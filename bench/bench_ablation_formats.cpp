@@ -1,0 +1,88 @@
+// Ablation (§II-C): sparse matrix formats — CSR / modified CRS vs ELLPACK
+// and Sliced ELLPACK. The paper argues the vector-friendly formats would
+// gain little on the IPU (no caches, narrow vector units) while costing
+// padding; this bench quantifies the padding/footprint trade-off and the
+// host-side SpMV behaviour of each format.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "matrix/ellpack.hpp"
+
+using namespace graphene;
+
+namespace {
+
+template <typename F>
+double timeSpmv(F&& spmv, std::size_t reps) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) spmv();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Ablation — sparse formats (CSR vs ELLPACK vs SELL)",
+                     "padding overheads and SpMV behaviour of the formats "
+                     "discussed in §II-C");
+
+  struct Case {
+    const char* name;
+    matrix::GeneratedMatrix g;
+  };
+  Case cases[] = {
+      {"poisson3d 24^3 (regular)", matrix::poisson3d7(24, 24, 24)},
+      {"g3_circuit-like (irregular)", matrix::g3CircuitLike(14000)},
+      {"af_shell7-like (FEM)", matrix::afShellLike(12000)},
+  };
+
+  TextTable t({"matrix", "format", "padding", "footprint", "spmv (host)",
+               "correct"});
+  bool ok = true;
+  for (Case& c : cases) {
+    const matrix::CsrMatrix& a = c.g.matrix;
+    auto ell = matrix::EllpackMatrix::fromCsr(a);
+    auto sell = matrix::SellMatrix::fromCsr(a, 8);
+
+    std::vector<double> x(a.cols()), yCsr(a.rows()), yEll(a.rows()),
+        ySell(a.rows());
+    Rng rng(4);
+    for (double& v : x) v = rng.uniform(-1, 1);
+    a.spmv(x, yCsr);
+    ell.spmv(x, yEll);
+    sell.spmv(x, ySell);
+    bool correct = true;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      correct &= std::abs(yEll[i] - yCsr[i]) < 1e-9;
+      correct &= std::abs(ySell[i] - yCsr[i]) < 1e-9;
+    }
+    ok &= correct;
+
+    const std::size_t reps = 20;
+    double tCsr = timeSpmv([&] { a.spmv(x, yCsr); }, reps);
+    double tEll = timeSpmv([&] { ell.spmv(x, yEll); }, reps);
+    double tSell = timeSpmv([&] { sell.spmv(x, ySell); }, reps);
+    const std::size_t csrBytes = a.nnz() * 12 + (a.rows() + 1) * 8;
+
+    t.addRow({c.name, "CSR", "1.00x", formatBytes(static_cast<double>(csrBytes)),
+              formatTime(tCsr), "ref"});
+    t.addRow({"", "ELLPACK", formatSig(ell.paddingFactor(), 3) + "x",
+              formatBytes(static_cast<double>(ell.footprintBytes())),
+              formatTime(tEll), correct ? "yes" : "NO"});
+    t.addRow({"", "SELL-8", formatSig(sell.paddingFactor(), 3) + "x",
+              formatBytes(static_cast<double>(sell.footprintBytes())),
+              formatTime(tSell), correct ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("expectation (§II-C): SELL recovers most of ELLPACK's layout "
+              "regularity at a fraction of its padding; for irregular\n"
+              "matrices ELLPACK's padding explodes — on a cache-less IPU the "
+              "padding cost buys nothing, supporting the paper's choice\n"
+              "of (modified) CRS.\n");
+  std::printf("check: all formats compute identical SpMVs: %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Ablation (§V-A): Level-Set Scheduling across 1..6 worker threads. The
+// paper's claim: the method "can often fully utilize all six worker threads
+// per tile" — sweep time should shrink nearly linearly with workers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "levelset/levelset.hpp"
+
+using namespace graphene;
+
+int main() {
+  bench::printHeader("Ablation — level-set scheduling worker sweep",
+                     "Gauss-Seidel sweep time vs worker threads per tile "
+                     "(paper §V-A)");
+
+  auto g = matrix::poisson3d7(24, 24, 24);
+  const std::size_t tiles = 16;
+  auto schedule = levelset::buildForwardLevels(g.matrix);
+  std::printf("matrix: %zu rows, %zu nnz; global level-set: %zu levels, "
+              "avg parallelism %.1f rows/level\n\n",
+              g.matrix.rows(), g.matrix.nnz(), schedule.numLevels(),
+              schedule.avgParallelism());
+
+  TextTable t({"workers/tile", "sweep cycles", "speedup vs 1",
+               "ideal"});
+  double base = 0;
+  std::vector<double> speedups;
+  for (std::size_t workers = 1; workers <= 6; ++workers) {
+    ipu::IpuTarget target = ipu::IpuTarget::testTarget(tiles);
+    target.workersPerTile = workers;
+    bench::DistSystem s = bench::makeSystem(g, target);
+    dsl::Tensor z = s.A->makeVector(dsl::DType::Float32, "z");
+    dsl::Tensor r = s.A->makeVector(dsl::DType::Float32, "r");
+    auto solver = solver::makeSolverFromString(
+        R"({"type":"gauss-seidel","sweeps":4})");
+    solver->apply(*s.A, z, r);
+    auto rhs = bench::randomRhs(g.matrix.rows(), 3);
+    auto prof = bench::runProgram(s, s.ctx->program(), rhs, r);
+    double cycles = prof.computeCycles.at("gauss_seidel");
+    if (workers == 1) base = cycles;
+    speedups.push_back(base / cycles);
+    t.addRow({std::to_string(workers), formatSig(cycles, 5),
+              formatSig(base / cycles, 3) + "x",
+              std::to_string(workers) + "x"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  bool pass = speedups.back() > 4.0;  // >2/3 of the ideal 6x
+  std::printf("check: 6 workers give >4x over 1 worker (level widths keep "
+              "all workers busy): %s (%.2fx)\n",
+              pass ? "PASS" : "FAIL", speedups.back());
+  return pass ? 0 : 1;
+}

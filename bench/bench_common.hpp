@@ -1,0 +1,70 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (§VI) at a scale that fits this host; it prints the sizes it
+// used, the series/rows of the original, and the qualitative check the
+// figure supports. EXPERIMENTS.md records paper-vs-measured for all of them.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/engine.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace graphene::bench {
+
+/// A distributed system ready to run: context + matrix + engine.
+struct DistSystem {
+  std::unique_ptr<dsl::Context> ctx;
+  std::unique_ptr<solver::DistMatrix> A;
+  std::unique_ptr<graph::Engine> engine;
+};
+
+/// Builds target/layout/matrix/engine for `g` on `target`. Emit programs via
+/// the context before creating more; upload() is already done.
+inline DistSystem makeSystem(const matrix::GeneratedMatrix& g,
+                             const ipu::IpuTarget& target) {
+  DistSystem s;
+  s.ctx = std::make_unique<dsl::Context>(target);
+  auto layout = partition::buildLayout(
+      g.matrix, partition::partitionAuto(g, target.totalTiles()),
+      target.totalTiles());
+  s.A = std::make_unique<solver::DistMatrix>(g.matrix, std::move(layout));
+  return s;
+}
+
+/// Runs `program` once on a fresh engine and returns the profile.
+inline ipu::Profile runProgram(DistSystem& s, const graph::ProgramPtr& program,
+                               std::span<const double> x,
+                               const dsl::Tensor& xTensor) {
+  s.engine = std::make_unique<graph::Engine>(s.ctx->graph());
+  s.A->upload(*s.engine);
+  if (!x.empty()) s.A->writeVector(*s.engine, xTensor, x);
+  s.engine->run(program);
+  return s.engine->profile();
+}
+
+inline std::vector<double> randomRhs(std::size_t n, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  // Snap through float32: the device system is single precision.
+  for (double& x : v) {
+    x = static_cast<double>(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return v;
+}
+
+inline void printHeader(const std::string& title, const std::string& paper) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace graphene::bench

@@ -1,0 +1,9 @@
+// Figure 10: convergence of PBiCGStab+ILU(0) solver configurations on the
+// af_shell7 stand-in (thin-shell FEM).
+#include "convergence_common.hpp"
+
+int main() {
+  return graphene::bench::runConvergenceFigure(
+      "Figure 10", "af_shell7", /*rows=*/4000, /*tiles=*/32,
+      /*innerIterations=*/40, /*refinements=*/10, /*shiftScale=*/300.0);
+}

@@ -1,0 +1,87 @@
+// Figure 5: strong scaling of one SpMV over 1..16 IPUs at a fixed problem
+// size, total speedup vs compute-only speedup vs ideal.
+//
+// The paper uses a 200^3 Poisson grid (58 M nnz) on up to 16 full IPUs
+// (1,472 tiles each); this host simulates a scaled-down pod (tiles/IPU and
+// grid size printed below). Strong-scaling *shape* is what matters: the
+// compute part scales ideally, the total deviates slightly as the
+// surface-to-volume ratio of the decomposition grows (§VI-B).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace graphene;
+
+namespace {
+
+struct Point {
+  std::size_t ipus;
+  double totalSec;
+  double computeSec;
+};
+
+Point measure(const matrix::GeneratedMatrix& g, std::size_t tilesPerIpu,
+              std::size_t ipus) {
+  Point pt{ipus, 0, 0};
+  for (int withExchange = 0; withExchange < 2; ++withExchange) {
+    ipu::IpuTarget target;
+    target.tilesPerIpu = tilesPerIpu;
+    target.numIpus = ipus;
+    bench::DistSystem s = bench::makeSystem(g, target);
+    dsl::Tensor x = s.A->makeVector(dsl::DType::Float32, "x");
+    dsl::Tensor y = s.A->makeVector(dsl::DType::Float32, "y");
+    s.A->spmv(y, x, /*exchange=*/withExchange == 1);
+    auto xh = bench::randomRhs(g.matrix.rows());
+    auto prof = bench::runProgram(s, s.ctx->program(), xh, x);
+    double sec = target.secondsFromCycles(prof.totalCycles());
+    if (withExchange) {
+      pt.totalSec = sec;
+    } else {
+      pt.computeSec = sec;
+    }
+  }
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Figure 5 — SpMV strong scaling",
+                     "near-ideal strong scaling of SpMV, compute part ideal "
+                     "(paper Fig. 5)");
+
+  const std::size_t tilesPerIpu = 64;  // scaled-down Mk2 (real: 1472)
+  const std::size_t grid = 64;         // scaled-down 200^3 (rows/tile at 16
+                                       // IPUs ≈ the paper's 340)
+  auto g = matrix::poisson3d7(grid, grid, grid);
+  std::printf("problem: %zu^3 Poisson 7-point, %zu rows, %zu nnz; "
+              "%zu tiles per simulated IPU\n\n",
+              grid, g.matrix.rows(), g.matrix.nnz(), tilesPerIpu);
+
+  const std::size_t ipuCounts[] = {1, 2, 4, 8, 16};
+  std::vector<Point> points;
+  for (std::size_t n : ipuCounts) points.push_back(measure(g, tilesPerIpu, n));
+
+  TextTable t({"IPUs", "total time", "speedup", "compute time",
+               "compute speedup", "ideal"});
+  for (const Point& p : points) {
+    t.addRow({std::to_string(p.ipus), formatTime(p.totalSec),
+              formatSig(points[0].totalSec / p.totalSec, 3),
+              formatTime(p.computeSec),
+              formatSig(points[0].computeSec / p.computeSec, 3),
+              std::to_string(p.ipus)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const Point& last = points.back();
+  double totalSpeedup = points[0].totalSec / last.totalSec;
+  double computeSpeedup = points[0].computeSec / last.computeSec;
+  std::printf("check: compute speedup at 16 IPUs within 15%% of ideal: %s\n",
+              computeSpeedup > 0.85 * 16 ? "PASS" : "FAIL");
+  std::printf("check: total speedup below compute speedup (halo overhead "
+              "grows with surface/volume): %s\n",
+              totalSpeedup <= computeSpeedup * 1.001 ? "PASS" : "FAIL");
+  std::printf("check: total speedup still > 60%% of ideal: %s (%.1fx)\n",
+              totalSpeedup > 0.6 * 16 ? "PASS" : "FAIL", totalSpeedup);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 6: weak scaling of one SpMV — the grid grows with the pod so every
+// tile keeps the same number of rows; ideal weak scaling means constant
+// time, and the halo-exchange time stays flat because the all-to-all fabric
+// exchanges all separator regions simultaneously (§VI-B).
+//
+// Paper: 58 M to 890 M nnz on 1..16 IPUs; here scaled down (sizes printed).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace graphene;
+
+int main() {
+  bench::printHeader("Figure 6 — SpMV weak scaling",
+                     "constant time per SpMV at constant rows/tile "
+                     "(paper Fig. 6)");
+
+  const std::size_t tilesPerIpu = 64;
+  const std::size_t rowsPerTile = 1000;
+  const std::size_t ipuCounts[] = {1, 2, 4, 8, 16};
+
+  std::printf("%zu tiles per simulated IPU, ~%zu rows per tile\n\n",
+              tilesPerIpu, rowsPerTile);
+
+  TextTable t({"IPUs", "grid", "nnz", "total time", "compute time",
+               "halo+sync time"});
+  std::vector<double> totals, halos;
+  for (std::size_t ipus : ipuCounts) {
+    const double targetRows =
+        static_cast<double>(rowsPerTile * tilesPerIpu * ipus);
+    const std::size_t side =
+        static_cast<std::size_t>(std::round(std::cbrt(targetRows)));
+    auto g = matrix::poisson3d7(side, side, side);
+
+    ipu::IpuTarget target;
+    target.tilesPerIpu = tilesPerIpu;
+    target.numIpus = ipus;
+    bench::DistSystem s = bench::makeSystem(g, target);
+    dsl::Tensor x = s.A->makeVector(dsl::DType::Float32, "x");
+    dsl::Tensor y = s.A->makeVector(dsl::DType::Float32, "y");
+    s.A->spmv(y, x);
+    auto xh = bench::randomRhs(g.matrix.rows());
+    auto prof = bench::runProgram(s, s.ctx->program(), xh, x);
+
+    const double total = target.secondsFromCycles(prof.totalCycles());
+    const double compute =
+        target.secondsFromCycles(prof.totalComputeCycles());
+    const double halo =
+        target.secondsFromCycles(prof.exchangeCycles + prof.syncCycles);
+    totals.push_back(total);
+    halos.push_back(halo);
+    t.addRow({std::to_string(ipus),
+              std::to_string(side) + "^3",
+              std::to_string(g.matrix.nnz()), formatTime(total),
+              formatTime(compute), formatTime(halo)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Ideal weak scaling: total time roughly flat 1 → 16 IPUs.
+  double drift = totals.back() / totals.front();
+  std::printf("check: total time at 16 IPUs within 1.35x of 1 IPU "
+              "(ideal weak scaling): %s (%.2fx)\n",
+              drift < 1.35 ? "PASS" : "FAIL", drift);
+  // The 1→2 IPU step adds the one-time global (IPU-Link) sync; within the
+  // multi-IPU regime the exchange time must stay flat even though the total
+  // communication volume grows linearly (§VI-B).
+  double haloDrift = halos.back() / std::max(halos[1], 1e-12);
+  std::printf("check: halo exchange time stays flat from 2 to 16 IPUs "
+              "(all-to-all fabric): %s (%.2fx)\n",
+              haloDrift < 1.3 ? "PASS" : "FAIL", haloDrift);
+  return 0;
+}

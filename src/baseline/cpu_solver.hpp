@@ -1,0 +1,65 @@
+// Host CPU reference solver stack (the HYPRE stand-in of §VI-A).
+//
+// Sequential, double-precision CSR kernels: SpMV, *global* ILU(0)
+// factorisation and triangular solves, and BiCGStab. Unlike the IPU solver,
+// the ILU here is computed on the whole matrix (no domain decomposition), so
+// its preconditioning quality is what a single CPU node achieves — the root
+// of the CPU's relatively better showing in the paper's Fig. 8 (§VI-D).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace graphene::baseline {
+
+/// Global ILU(0) factors stored in-place on the matrix pattern.
+class HostIlu0 {
+ public:
+  explicit HostIlu0(const matrix::CsrMatrix& a);
+
+  /// z = (LU)⁻¹ r : forward then backward substitution.
+  void solve(std::span<const double> r, std::span<double> z) const;
+
+  std::size_t rows() const { return diagIdx_.size(); }
+
+ private:
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::int32_t> col_;
+  std::vector<double> val_;
+  std::vector<std::size_t> diagIdx_;
+  mutable std::vector<double> scratch_;
+};
+
+struct HostSolveResult {
+  std::size_t iterations = 0;
+  bool converged = false;
+  double seconds = 0;  // measured wall-clock on this host
+  std::vector<double> residualHistory;  // relative recurrence residual
+};
+
+/// Double-precision (P)BiCGStab; `useIlu` toggles the global ILU(0)
+/// preconditioner. Measured with a monotonic clock.
+HostSolveResult hostBiCgStab(const matrix::CsrMatrix& a,
+                             std::span<const double> b, double tolerance,
+                             std::size_t maxIterations, bool useIlu);
+
+/// Double-precision preconditioned Conjugate Gradient for SPD systems.
+HostSolveResult hostCg(const matrix::CsrMatrix& a, std::span<const double> b,
+                       double tolerance, std::size_t maxIterations,
+                       bool useIlu);
+
+/// Double-precision Gauss-Seidel sweeps until the relative residual drops
+/// below `tolerance` (checked after every sweep).
+HostSolveResult hostGaussSeidel(const matrix::CsrMatrix& a,
+                                std::span<const double> b, double tolerance,
+                                std::size_t maxSweeps);
+
+/// Measures the average seconds of one CSR SpMV on this host
+/// (`warmup` + `measured` repetitions, paper §VI-A methodology).
+double measureHostSpmvSeconds(const matrix::CsrMatrix& a,
+                              std::size_t warmup = 20,
+                              std::size_t measured = 100);
+
+}  // namespace graphene::baseline

@@ -1,0 +1,84 @@
+#include "baseline/platform.hpp"
+
+#include <algorithm>
+
+namespace graphene::baseline {
+
+PlatformSpec xeon8470q() {
+  PlatformSpec p;
+  p.name = "Xeon 8470Q";
+  p.memBandwidth = 307e9;
+  p.peakFlops = 2.3e12;
+  p.tdpWatts = 350;
+  p.launchSeconds = 4e-6;  // MPI collective per solver step
+  p.triSolveBwFraction = 0.35;
+  return p;
+}
+
+PlatformSpec h100Sxm() {
+  PlatformSpec p;
+  p.name = "H100 SXM";
+  p.memBandwidth = 3.35e12;
+  p.peakFlops = 34e12;
+  p.tdpWatts = 700;
+  p.launchSeconds = 3e-6;  // kernel launch latency
+  p.triSolveBwFraction = 0.6;
+  p.perLevelLaunch = true;  // cuSPARSE tri-solve: one kernel per level
+  return p;
+}
+
+PlatformSpec m2000() {
+  PlatformSpec p;
+  p.name = "M2000 (4x Mk2 IPU)";
+  p.memBandwidth = 47.5e12;  // aggregate tile SRAM bandwidth
+  p.peakFlops = 11e12;       // FP32 (no FP64 hardware)
+  p.tdpWatts = 420;          // measured IPU-only draw (§VI-A)
+  return p;
+}
+
+double spmvSeconds(const PlatformSpec& p, std::size_t rows, std::size_t nnz) {
+  const double bytes = 12.0 * static_cast<double>(nnz) +
+                       20.0 * static_cast<double>(rows);
+  const double flops = 2.0 * static_cast<double>(nnz);
+  return std::max(bytes / p.memBandwidth, flops / p.peakFlops) +
+         p.launchSeconds;
+}
+
+double triSolveSeconds(const PlatformSpec& p, std::size_t rows,
+                       std::size_t nnz, std::size_t levels) {
+  // Each sweep touches ~half the off-diagonal entries plus the solution and
+  // rhs vectors.
+  const double bytes = 12.0 * static_cast<double>(nnz) / 2.0 +
+                       24.0 * static_cast<double>(rows);
+  const double bwTime = bytes / (p.memBandwidth * p.triSolveBwFraction);
+  // Only accelerators pay a launch per level-set level; a CPU sweeps the
+  // levels inside one loop nest.
+  const double launchTime =
+      p.perLevelLaunch
+          ? p.launchSeconds * static_cast<double>(std::max<std::size_t>(levels, 1))
+          : p.launchSeconds;
+  return bwTime + launchTime;
+}
+
+double bicgstabIterationSeconds(const PlatformSpec& p, std::size_t rows,
+                                std::size_t nnz, std::size_t levels,
+                                bool withIlu) {
+  const double spmv = spmvSeconds(p, rows, nnz);
+  // AXPY-type op: 3 vectors × 8 B; dot: 2 vectors × 8 B + a reduction step.
+  const double axpy =
+      24.0 * static_cast<double>(rows) / p.memBandwidth + p.launchSeconds;
+  const double dotOp =
+      16.0 * static_cast<double>(rows) / p.memBandwidth + 2 * p.launchSeconds;
+  double total = 2 * spmv + 6 * axpy + 4 * dotOp;
+  if (withIlu) {
+    // Two preconditioner applies per iteration, two triangular sweeps each.
+    total += 4 * triSolveSeconds(p, rows, nnz, levels);
+  }
+  return total;
+}
+
+double energyJoules(const PlatformSpec& p, double seconds) {
+  return p.tdpWatts * seconds;
+}
+
+}  // namespace graphene::baseline

@@ -1,0 +1,63 @@
+// Performance and energy models of the paper's comparison platforms
+// (Table III): Intel Xeon Platinum 8470Q, NVIDIA H100 SXM, GraphCore M2000.
+//
+// The IPU numbers in the benches come from the cycle-accurate simulator; the
+// CPU/GPU numbers come from these roofline-style models (no such hardware in
+// this environment — see DESIGN.md §1). SpMV is bandwidth-bound; sparse
+// triangular solves on the GPU additionally pay one kernel launch per
+// level-set level (cuSPARSE behaviour), which is what makes the CPU
+// comparatively strong in the solver benchmark (§VI-D).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace graphene::baseline {
+
+struct PlatformSpec {
+  std::string name;
+  double memBandwidth = 0;      // bytes/second
+  double peakFlops = 0;         // FLOP/s at the precision used (FP64)
+  double tdpWatts = 0;
+  double launchSeconds = 0;     // per-kernel launch / per-step sync overhead
+  double triSolveBwFraction = 1.0;  // achievable bandwidth in tri-solves
+  bool perLevelLaunch = false;  // accelerators launch one kernel per level
+};
+
+/// Intel Xeon Platinum 8470Q: 52 cores, 8-channel DDR5-4800 (~307 GB/s),
+/// 2.3 TFLOPS FP64, 350 W. HYPRE/MPI per-iteration collectives cost a few
+/// microseconds; triangular solves run at a fraction of stream bandwidth
+/// because of their dependency chains.
+PlatformSpec xeon8470q();
+
+/// NVIDIA H100 SXM: 3.35 TB/s HBM3, 34 TFLOPS FP64, 700 W, ~3 µs kernel
+/// launch. cuSPARSE triangular solves execute one kernel per level.
+PlatformSpec h100Sxm();
+
+/// GraphCore M2000 (4×Mk2): power for the energy comparison; timing comes
+/// from the simulator, not from this model. 420 W is the measured IPU-only
+/// draw the paper reports.
+PlatformSpec m2000();
+
+/// Double-precision CSR SpMV time: traffic / bandwidth + launch overhead,
+/// floored by the FLOP roofline. Traffic model: 12 B per nonzero
+/// (value + column index; x gather mostly cached) + 20 B per row
+/// (row pointer + y write + x stream share).
+double spmvSeconds(const PlatformSpec& p, std::size_t rows, std::size_t nnz);
+
+/// Sparse triangular solve (one of the two (L/U) sweeps of an ILU(0) apply):
+/// traffic at the platform's tri-solve bandwidth fraction plus one launch
+/// per level (GPU level-set scheduling).
+double triSolveSeconds(const PlatformSpec& p, std::size_t rows,
+                       std::size_t nnz, std::size_t levels);
+
+/// One PBiCGStab(+ILU(0)) iteration: 2 SpMV + 2 preconditioner applies
+/// (2 tri-solves each) + 4 dot products + ~6 AXPY-type vector ops.
+double bicgstabIterationSeconds(const PlatformSpec& p, std::size_t rows,
+                                std::size_t nnz, std::size_t levels,
+                                bool withIlu);
+
+/// Energy estimate: board power × time.
+double energyJoules(const PlatformSpec& p, double seconds);
+
+}  // namespace graphene::baseline

@@ -1,0 +1,51 @@
+#include "dsl/context.hpp"
+
+#include "support/error.hpp"
+
+namespace graphene::dsl {
+
+namespace {
+thread_local Context* g_currentContext = nullptr;
+}
+
+Context::Context(ipu::IpuTarget target) : graph_(target) {
+  GRAPHENE_CHECK(g_currentContext == nullptr,
+                 "only one DSL context may be active at a time");
+  g_currentContext = this;
+  root_ = graph::Program::sequence();
+  stack_.push_back(root_);
+}
+
+Context::~Context() { g_currentContext = nullptr; }
+
+Context& Context::current() {
+  GRAPHENE_CHECK(g_currentContext != nullptr,
+                 "TensorDSL used without an active Context");
+  return *g_currentContext;
+}
+
+bool Context::active() { return g_currentContext != nullptr; }
+
+void Context::emit(graph::ProgramPtr step) {
+  GRAPHENE_DCHECK(!stack_.empty(), "control-flow stack empty");
+  stack_.back()->children.push_back(std::move(step));
+}
+
+graph::ProgramPtr Context::pushSequence() {
+  auto seq = graph::Program::sequence();
+  stack_.push_back(seq);
+  return seq;
+}
+
+graph::ProgramPtr Context::popSequence() {
+  GRAPHENE_CHECK(stack_.size() > 1, "control-flow stack underflow");
+  auto top = stack_.back();
+  stack_.pop_back();
+  return top;
+}
+
+std::string Context::freshName(const std::string& prefix) {
+  return prefix + "_" + std::to_string(nameCounter_++);
+}
+
+}  // namespace graphene::dsl

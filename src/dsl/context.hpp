@@ -1,0 +1,57 @@
+// The DSL context: owns the dataflow graph being constructed and the
+// control-flow stack that TensorDSL uses to build the execution schedule
+// (paper §III-B).
+//
+// Exactly one Context is active per thread; Tensor/Expression operations
+// find it implicitly, which is what gives the DSL its mathematical-notation
+// look (no graph handle threading through user code).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/program.hpp"
+#include "ipu/target.hpp"
+
+namespace graphene::dsl {
+
+class Context {
+ public:
+  explicit Context(ipu::IpuTarget target);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  static Context& current();
+  static bool active();
+
+  graph::Graph& graph() { return graph_; }
+  const ipu::IpuTarget& target() const { return graph_.target(); }
+
+  /// Appends a step to the program sequence at the top of the control-flow
+  /// stack ("the program step at the top of the stack always represents the
+  /// current state of the symbolically executed program").
+  void emit(graph::ProgramPtr step);
+
+  /// Pushes a fresh sequence; subsequent emits land in it.
+  graph::ProgramPtr pushSequence();
+
+  /// Pops the top sequence and returns it.
+  graph::ProgramPtr popSequence();
+
+  /// The root program collecting everything emitted at the top level.
+  const graph::ProgramPtr& program() const { return root_; }
+
+  /// Generates a unique tensor/codelet name with the given prefix.
+  std::string freshName(const std::string& prefix);
+
+ private:
+  graph::Graph graph_;
+  graph::ProgramPtr root_;
+  std::vector<graph::ProgramPtr> stack_;
+  std::size_t nameCounter_ = 0;
+};
+
+}  // namespace graphene::dsl

@@ -1,0 +1,368 @@
+#include "dsl/interpreter.hpp"
+
+#include <cmath>
+
+#include "ipu/worker_pool.hpp"
+#include "support/error.hpp"
+
+namespace graphene::dsl {
+
+using graph::promote;
+using twofloat::Float2;
+using twofloat::SoftDouble;
+
+namespace {
+
+template <typename T>
+Scalar binNumeric(BinOp op, T a, T b) {
+  switch (op) {
+    case BinOp::Add: return Scalar(a + b);
+    case BinOp::Sub: return Scalar(a - b);
+    case BinOp::Mul: return Scalar(a * b);
+    case BinOp::Div: return Scalar(a / b);
+    case BinOp::Lt: return Scalar(a < b);
+    case BinOp::Le: return Scalar(a <= b);
+    case BinOp::Gt: return Scalar(a > b);
+    case BinOp::Ge: return Scalar(a >= b);
+    case BinOp::Eq: return Scalar(a == b);
+    case BinOp::Ne: return Scalar(!(a == b));
+    case BinOp::Min: return Scalar(b < a ? b : a);
+    case BinOp::Max: return Scalar(a < b ? b : a);
+    default: break;
+  }
+  GRAPHENE_UNREACHABLE("binary op not defined for this type");
+}
+
+}  // namespace
+
+Scalar evalBinaryScalar(BinOp op, const Scalar& lhs, const Scalar& rhs) {
+  DType common = promote(lhs.type(), rhs.type());
+  // Logic ops work on bools without promotion.
+  if (op == BinOp::And || op == BinOp::Or) {
+    bool a = lhs.truthy(), b = rhs.truthy();
+    return Scalar(op == BinOp::And ? (a && b) : (a || b));
+  }
+  if (common == DType::Bool) common = DType::Int32;  // bool arithmetic
+  Scalar a = lhs.castTo(common);
+  Scalar b = rhs.castTo(common);
+  switch (common) {
+    case DType::Int32: {
+      if (op == BinOp::Mod) {
+        GRAPHENE_CHECK(b.asInt() != 0, "integer modulo by zero in codelet");
+        return Scalar(a.asInt() % b.asInt());
+      }
+      if (op == BinOp::Div) {
+        GRAPHENE_CHECK(b.asInt() != 0, "integer division by zero in codelet");
+      }
+      return binNumeric<std::int32_t>(op, a.asInt(), b.asInt());
+    }
+    case DType::Float32:
+      GRAPHENE_CHECK(op != BinOp::Mod, "modulo needs integer operands");
+      return binNumeric<float>(op, a.asFloat(), b.asFloat());
+    case DType::Float64:
+      GRAPHENE_CHECK(op != BinOp::Mod, "modulo needs integer operands");
+      return binNumeric<SoftDouble>(op, a.asSoftDouble(), b.asSoftDouble());
+    case DType::DoubleWord:
+      GRAPHENE_CHECK(op != BinOp::Mod, "modulo needs integer operands");
+      return binNumeric<Float2>(op, a.asDoubleWord(), b.asDoubleWord());
+    default:
+      break;
+  }
+  GRAPHENE_UNREACHABLE("bad promoted type");
+}
+
+Scalar evalUnaryScalar(UnOp op, const Scalar& x) {
+  switch (op) {
+    case UnOp::Not:
+      return Scalar(!x.truthy());
+    case UnOp::Neg:
+      switch (x.type()) {
+        case DType::Bool:
+        case DType::Int32: return Scalar(-x.castTo(DType::Int32).asInt());
+        case DType::Float32: return Scalar(-x.asFloat());
+        case DType::Float64: return Scalar(-x.asSoftDouble());
+        case DType::DoubleWord: return Scalar(-x.asDoubleWord());
+      }
+      break;
+    case UnOp::Abs:
+      switch (x.type()) {
+        case DType::Bool:
+        case DType::Int32: {
+          std::int32_t v = x.castTo(DType::Int32).asInt();
+          return Scalar(v < 0 ? -v : v);
+        }
+        case DType::Float32: return Scalar(std::fabs(x.asFloat()));
+        case DType::Float64: return Scalar(SoftDouble::abs(x.asSoftDouble()));
+        case DType::DoubleWord: return Scalar(twofloat::abs(x.asDoubleWord()));
+      }
+      break;
+    case UnOp::Sqrt:
+      switch (x.type()) {
+        case DType::Bool:
+        case DType::Int32:
+        case DType::Float32:
+          return Scalar(std::sqrt(x.castTo(DType::Float32).asFloat()));
+        case DType::Float64: return Scalar(SoftDouble::sqrt(x.asSoftDouble()));
+        case DType::DoubleWord: return Scalar(twofloat::sqrt(x.asDoubleWord()));
+      }
+      break;
+  }
+  GRAPHENE_UNREACHABLE("bad unary op");
+}
+
+namespace {
+
+ipu::Op costOpFor(BinOp op, DType t) {
+  if (t == DType::Int32 || t == DType::Bool) return ipu::Op::IntArith;
+  switch (op) {
+    case BinOp::Add: return ipu::Op::Add;
+    case BinOp::Sub: return ipu::Op::Sub;
+    case BinOp::Mul: return ipu::Op::Mul;
+    case BinOp::Div: return ipu::Op::Div;
+    case BinOp::Mod: return ipu::Op::IntArith;
+    case BinOp::And:
+    case BinOp::Or: return ipu::Op::Logic;
+    default: return ipu::Op::Compare;  // relational, min, max
+  }
+}
+
+ipu::Op costOpFor(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return ipu::Op::Neg;
+    case UnOp::Abs: return ipu::Op::Abs;
+    case UnOp::Sqrt: return ipu::Op::Sqrt;
+    case UnOp::Not: return ipu::Op::Logic;
+  }
+  return ipu::Op::Logic;
+}
+
+/// One interpreter run over a vertex. Cycle accounting: ops accumulate into a
+/// LaneCycles block (fp/mem overlap); control flow flushes the block.
+class Exec {
+ public:
+  Exec(const CodeletIR& ir, const ipu::CostModel& cost,
+       std::size_t numWorkers, graph::VertexContext& ctx)
+      : ir_(ir), cost_(cost), numWorkers_(numWorkers), ctx_(ctx),
+        vars_(static_cast<std::size_t>(ir.numVars)) {}
+
+  double run() {
+    runStmts(ir_.statements);
+    flush();
+    return total_;
+  }
+
+ private:
+  void flush() {
+    total_ += lanes_.total();
+    lanes_ = ipu::LaneCycles{};
+  }
+
+  void charge(ipu::Op op, DType t) { lanes_.add(cost_, op, t); }
+
+  void chargeBranch() {
+    flush();
+    total_ += cost_.workerCycles(ipu::Op::Branch, DType::Int32);
+  }
+
+  Scalar eval(const ExprPtr& e) {
+    GRAPHENE_DCHECK(e != nullptr, "null expression");
+    switch (e->kind) {
+      case Expr::Kind::Const:
+        return e->constant;
+      case Expr::Kind::Var:
+        GRAPHENE_DCHECK(e->var >= 0 &&
+                            static_cast<std::size_t>(e->var) < vars_.size(),
+                        "bad var slot");
+        return vars_[static_cast<std::size_t>(e->var)];
+      case Expr::Kind::ArgLoad: {
+        Scalar idx = eval(e->a);
+        const std::int32_t i = idx.castTo(DType::Int32).asInt();
+        GRAPHENE_CHECK(i >= 0, "negative tensor index in codelet");
+        charge(ipu::Op::Load, ctx_.argType(static_cast<std::size_t>(e->arg)));
+        return ctx_.load(static_cast<std::size_t>(e->arg),
+                         static_cast<std::size_t>(i));
+      }
+      case Expr::Kind::ArgSize:
+        charge(ipu::Op::IntArith, DType::Int32);
+        return Scalar(static_cast<std::int32_t>(
+            ctx_.argSize(static_cast<std::size_t>(e->arg))));
+      case Expr::Kind::Binary: {
+        Scalar a = eval(e->a);
+        Scalar b = eval(e->b);
+        DType common = promote(a.type(), b.type());
+        // Mixed double-word × single-word operations use the cheaper
+        // DW∘FP algorithms of Joldes et al. (6–10 flops instead of 9–31):
+        // price them separately instead of as full DW∘DW (§III-D).
+        if (common == DType::DoubleWord && a.type() != b.type() &&
+            (a.type() == DType::Float32 || b.type() == DType::Float32)) {
+          double cycles = 0;
+          switch (e->bop) {
+            case BinOp::Add:
+            case BinOp::Sub: cycles = 84.0; break;   // DWPlusFP, 10 flops
+            case BinOp::Mul: cycles = 42.0; break;   // DWTimesFP3, 6 flops
+            case BinOp::Div: cycles = 66.0; break;   // DWDivFP3, 10 flops
+            default: cycles = 0; break;              // fall through below
+          }
+          if (cycles > 0) {
+            lanes_.add(ipu::Lane::Fp, cycles);
+            return evalBinaryScalar(e->bop, a, b);
+          }
+        }
+        charge(costOpFor(e->bop, common), common);
+        return evalBinaryScalar(e->bop, a, b);
+      }
+      case Expr::Kind::Unary: {
+        Scalar a = eval(e->a);
+        charge(costOpFor(e->uop), a.type());
+        return evalUnaryScalar(e->uop, a);
+      }
+      case Expr::Kind::Cast: {
+        Scalar a = eval(e->a);
+        if (a.type() != e->type &&
+            (e->type == DType::DoubleWord || e->type == DType::Float64 ||
+             a.type() == DType::DoubleWord || a.type() == DType::Float64)) {
+          charge(ipu::Op::Cast, e->type);
+        }
+        return a.castTo(e->type);
+      }
+      case Expr::Kind::Select: {
+        Scalar c = eval(e->a);
+        // Single-cycle conditional select on the IPU.
+        charge(ipu::Op::Branch, DType::Int32);
+        return c.truthy() ? eval(e->b) : eval(e->c);
+      }
+      case Expr::Kind::WorkerId:
+        return Scalar(static_cast<std::int32_t>(worker_));
+    }
+    GRAPHENE_UNREACHABLE("bad expr kind");
+  }
+
+  void runStmts(const StmtList& stmts) {
+    for (const StmtPtr& s : stmts) runStmt(*s);
+  }
+
+  void runStmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        Scalar v = eval(s.value);
+        GRAPHENE_DCHECK(s.var >= 0 &&
+                            static_cast<std::size_t>(s.var) < vars_.size(),
+                        "bad var slot");
+        vars_[static_cast<std::size_t>(s.var)] = v;
+        return;
+      }
+      case Stmt::Kind::StoreArg: {
+        Scalar idx = eval(s.index);
+        Scalar v = eval(s.value);
+        const std::int32_t i = idx.castTo(DType::Int32).asInt();
+        GRAPHENE_CHECK(i >= 0, "negative tensor index in codelet");
+        charge(ipu::Op::Store, ctx_.argType(static_cast<std::size_t>(s.arg)));
+        ctx_.store(static_cast<std::size_t>(s.arg),
+                   static_cast<std::size_t>(i), v);
+        return;
+      }
+      case Stmt::Kind::If: {
+        Scalar c = eval(s.cond);
+        chargeBranch();
+        if (c.truthy()) {
+          runStmts(s.body);
+        } else {
+          runStmts(s.elseBody);
+        }
+        return;
+      }
+      case Stmt::Kind::While: {
+        int guard = 0;
+        while (true) {
+          Scalar c = eval(s.cond);
+          chargeBranch();
+          if (!c.truthy()) break;
+          runStmts(s.body);
+          GRAPHENE_CHECK(++guard < (1 << 26),
+                         "runaway While loop in codelet");
+        }
+        return;
+      }
+      case Stmt::Kind::For: {
+        runFor(s, /*parallel=*/false);
+        return;
+      }
+      case Stmt::Kind::ParFor: {
+        runFor(s, /*parallel=*/true);
+        return;
+      }
+    }
+    GRAPHENE_UNREACHABLE("bad stmt kind");
+  }
+
+  void runFor(const Stmt& s, bool parallel) {
+    const std::int32_t begin = eval(s.begin).castTo(DType::Int32).asInt();
+    const std::int32_t end = eval(s.end).castTo(DType::Int32).asInt();
+    const std::int32_t step =
+        s.step ? eval(s.step).castTo(DType::Int32).asInt() : 1;
+    GRAPHENE_CHECK(step > 0, "For loops require a positive step");
+    GRAPHENE_DCHECK(s.var >= 0, "loop without induction variable");
+
+    if (!parallel) {
+      // Counted loops compile to the IPU's hardware-loop (rpt-style)
+      // instructions: setup costs one integer op + branch, iterations carry
+      // no bookkeeping overhead.
+      charge(ipu::Op::IntArith, DType::Int32);
+      chargeBranch();
+      for (std::int32_t i = begin; i < end; i += step) {
+        vars_[static_cast<std::size_t>(s.var)] = Scalar(i);
+        runStmts(s.body);
+      }
+      return;
+    }
+
+    // Worker-parallel loop (iputhreading): iterations are dealt round-robin
+    // to the tile's workers. Functionally they run in order (iterations in a
+    // level are independent by construction); the clock advances by the
+    // slowest worker plus spawn/sync overhead.
+    flush();
+    ipu::WorkerPool pool(numWorkers_);
+    pool.chargeSpawn();
+    const std::size_t savedWorker = worker_;
+    std::size_t w = 0;
+    for (std::int32_t i = begin; i < end; i += step) {
+      vars_[static_cast<std::size_t>(s.var)] = Scalar(i);
+      worker_ = w;
+      const double before = total_;
+      runStmts(s.body);
+      flush();
+      pool.addCycles(w, total_ - before);
+      total_ = before;  // iteration cost moved into the pool
+      w = (w + 1) % numWorkers_;
+    }
+    worker_ = savedWorker;
+    total_ += pool.sync();
+  }
+
+  const CodeletIR& ir_;
+  const ipu::CostModel& cost_;
+  std::size_t numWorkers_;
+  graph::VertexContext& ctx_;
+  std::vector<Scalar> vars_;
+  ipu::LaneCycles lanes_;
+  double total_ = 0;
+  std::size_t worker_ = 0;
+};
+
+}  // namespace
+
+graph::VertexCost interpretCodelet(const CodeletIR& ir,
+                                   const ipu::CostModel& cost,
+                                   std::size_t numWorkers,
+                                   graph::VertexContext& ctx) {
+  GRAPHENE_CHECK(ctx.numArgs() == ir.numArgs,
+                 "codelet arg count mismatch: vertex has ", ctx.numArgs(),
+                 ", codelet expects ", ir.numArgs);
+  Exec exec(ir, cost, numWorkers, ctx);
+  graph::VertexCost result;
+  result.workerCycles = exec.run();
+  result.wholeTile = ir.usesWorkers;
+  return result;
+}
+
+}  // namespace graphene::dsl

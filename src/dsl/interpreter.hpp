@@ -1,0 +1,28 @@
+// Interpreter for traced CodeDSL codelets.
+//
+// Executes the statement IR against a vertex's tensor slices with genuine
+// arithmetic (float32 / SoftDouble / double-word), while accumulating worker
+// cycles under the IPU cost model — including the two-pipeline dual issue
+// (max(fp, mem) per statement) and the iputhreading worker model for ParFor.
+#pragma once
+
+#include "dsl/codedsl_ir.hpp"
+#include "graph/codelet.hpp"
+#include "ipu/cost_model.hpp"
+
+namespace graphene::dsl {
+
+/// Executes `ir` against `ctx`; returns the modelled vertex cost.
+graph::VertexCost interpretCodelet(const CodeletIR& ir,
+                                   const ipu::CostModel& cost,
+                                   std::size_t numWorkers,
+                                   graph::VertexContext& ctx);
+
+/// Evaluates a binary operation on dynamically typed scalars with numeric
+/// promotion. Exposed for unit tests.
+Scalar evalBinaryScalar(BinOp op, const Scalar& lhs, const Scalar& rhs);
+
+/// Evaluates a unary operation. Exposed for unit tests.
+Scalar evalUnaryScalar(UnOp op, const Scalar& operand);
+
+}  // namespace graphene::dsl

@@ -1,0 +1,835 @@
+#include "dsl/tensor.hpp"
+
+#include <iostream>
+
+#include "dsl/interpreter.hpp"
+#include "graph/engine.hpp"
+#include "support/error.hpp"
+
+namespace graphene::dsl {
+
+namespace detail {
+
+struct ExpNode {
+  enum class Kind { Ref, Const, Binary, Unary, Cast, Select };
+  Kind kind = Kind::Const;
+  DType type = DType::Float32;
+  graph::TensorId tensor = graph::kInvalidTensor;  // Ref
+  Scalar constant;                                 // Const
+  ExpNodePtr a, b, c;
+  BinOp bop = BinOp::Add;
+  UnOp uop = UnOp::Neg;
+};
+
+namespace {
+
+ExpNodePtr refNode(graph::TensorId id) {
+  auto n = std::make_shared<ExpNode>();
+  n->kind = ExpNode::Kind::Ref;
+  n->tensor = id;
+  n->type = Context::current().graph().tensor(id).dtype;
+  return n;
+}
+
+ExpNodePtr constNode(Scalar s) {
+  auto n = std::make_shared<ExpNode>();
+  n->kind = ExpNode::Kind::Const;
+  n->constant = s;
+  n->type = s.type();
+  return n;
+}
+
+ExpNodePtr binaryNode(BinOp op, ExpNodePtr a, ExpNodePtr b) {
+  auto n = std::make_shared<ExpNode>();
+  n->kind = ExpNode::Kind::Binary;
+  bool isCmp = op == BinOp::Lt || op == BinOp::Le || op == BinOp::Gt ||
+               op == BinOp::Ge || op == BinOp::Eq || op == BinOp::Ne ||
+               op == BinOp::And || op == BinOp::Or;
+  n->type = isCmp ? DType::Bool : graph::promote(a->type, b->type);
+  n->bop = op;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+ExpNodePtr unaryNode(UnOp op, ExpNodePtr a) {
+  auto n = std::make_shared<ExpNode>();
+  n->kind = ExpNode::Kind::Unary;
+  n->type = op == UnOp::Not ? DType::Bool : a->type;
+  n->uop = op;
+  n->a = std::move(a);
+  return n;
+}
+
+/// Collects the distinct tensors referenced by an expression (depth-first,
+/// stable order).
+void collectRefs(const ExpNodePtr& node, std::vector<graph::TensorId>& out) {
+  if (!node) return;
+  if (node->kind == ExpNode::Kind::Ref) {
+    for (graph::TensorId id : out) {
+      if (id == node->tensor) return;
+    }
+    out.push_back(node->tensor);
+    return;
+  }
+  collectRefs(node->a, out);
+  collectRefs(node->b, out);
+  collectRefs(node->c, out);
+}
+
+bool tensorIsScalarShaped(const graph::TensorInfo& info) {
+  for (std::size_t s : info.mapping.sizePerTile) {
+    if (s != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::ExpNode;
+using detail::ExpNodePtr;
+
+// ---------------------------------------------------------------------------
+// Tensor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+graph::TensorId makeTensor(DType type, graph::TileMapping mapping,
+                           std::string name, bool replicated) {
+  Context& ctx = Context::current();
+  graph::TensorInfo info;
+  info.name = name.empty() ? ctx.freshName("t") : std::move(name);
+  info.dtype = type;
+  info.mapping = std::move(mapping);
+  info.replicated = replicated;
+  return ctx.graph().addTensor(std::move(info));
+}
+
+}  // namespace
+
+Tensor::Tensor(DType type, std::size_t size, std::string name) {
+  id_ = makeTensor(
+      type,
+      graph::TileMapping::linear(size, Context::current().target().totalTiles()),
+      std::move(name), false);
+}
+
+Tensor::Tensor(DType type, graph::TileMapping mapping, std::string name) {
+  id_ = makeTensor(type, std::move(mapping), std::move(name), false);
+}
+
+Tensor Tensor::scalar(DType type, std::string name) {
+  Tensor t;
+  t.id_ = makeTensor(
+      type,
+      graph::TileMapping::replicated(Context::current().target().totalTiles()),
+      std::move(name), true);
+  return t;
+}
+
+Tensor::Tensor(const Expression& e) { id_ = e.materialize().id(); }
+
+Tensor::Tensor(const Tensor& other) {
+  const auto& info = other.info();
+  id_ = makeTensor(info.dtype, info.mapping, "", info.replicated);
+  Expression(other).materializeInto(*this);
+}
+
+Tensor& Tensor::operator=(const Expression& e) {
+  e.materializeInto(*this);
+  return *this;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other || id_ == other.id_) return *this;
+  Expression(other).materializeInto(*this);
+  return *this;
+}
+
+Expression Tensor::reduce(ReduceKind kind) const {
+  return Expression(*this).reduce(kind);
+}
+
+Expression Tensor::cast(DType type) const {
+  return Expression(*this).cast(type);
+}
+
+std::size_t Tensor::size() const { return info().totalElements(); }
+
+DType Tensor::type() const { return info().dtype; }
+
+const graph::TensorInfo& Tensor::info() const {
+  return Context::current().graph().tensor(id_);
+}
+
+bool Tensor::isScalarShaped() const {
+  return detail::tensorIsScalarShaped(info());
+}
+
+Tensor Tensor::wrap(graph::TensorId id) {
+  Tensor t;
+  t.id_ = id;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Expression construction
+// ---------------------------------------------------------------------------
+
+Expression::Expression(const Tensor& t) { node_ = detail::refNode(t.id()); }
+Expression::Expression(float v) { node_ = detail::constNode(Scalar(v)); }
+Expression::Expression(double v)
+    : Expression(static_cast<float>(v)) {}
+Expression::Expression(int v) {
+  node_ = detail::constNode(Scalar(std::int32_t(v)));
+}
+
+Expression Expression::constant(Scalar s) {
+  return fromNode(detail::constNode(s));
+}
+
+Expression Expression::fromNode(detail::ExpNodePtr node) {
+  Expression e;
+  e.node_ = std::move(node);
+  return e;
+}
+
+Expression Expression::cast(DType type) const {
+  auto n = std::make_shared<ExpNode>();
+  n->kind = ExpNode::Kind::Cast;
+  n->type = type;
+  n->a = node_;
+  return fromNode(n);
+}
+
+DType Expression::type() const { return node_->type; }
+
+#define GRAPHENE_DEFINE_EXPR_BINOP(sym, op)                                  \
+  Expression operator sym(const Expression& a, const Expression& b) {        \
+    return Expression::fromNode(                                             \
+        detail::binaryNode(BinOp::op, a.node(), b.node()));                  \
+  }
+
+GRAPHENE_DEFINE_EXPR_BINOP(+, Add)
+GRAPHENE_DEFINE_EXPR_BINOP(-, Sub)
+GRAPHENE_DEFINE_EXPR_BINOP(*, Mul)
+GRAPHENE_DEFINE_EXPR_BINOP(/, Div)
+GRAPHENE_DEFINE_EXPR_BINOP(<, Lt)
+GRAPHENE_DEFINE_EXPR_BINOP(<=, Le)
+GRAPHENE_DEFINE_EXPR_BINOP(>, Gt)
+GRAPHENE_DEFINE_EXPR_BINOP(>=, Ge)
+GRAPHENE_DEFINE_EXPR_BINOP(==, Eq)
+GRAPHENE_DEFINE_EXPR_BINOP(!=, Ne)
+GRAPHENE_DEFINE_EXPR_BINOP(&&, And)
+GRAPHENE_DEFINE_EXPR_BINOP(||, Or)
+GRAPHENE_DEFINE_EXPR_BINOP(%, Mod)
+#undef GRAPHENE_DEFINE_EXPR_BINOP
+
+Expression operator-(const Expression& a) {
+  return Expression::fromNode(detail::unaryNode(UnOp::Neg, a.node()));
+}
+Expression operator!(const Expression& a) {
+  return Expression::fromNode(detail::unaryNode(UnOp::Not, a.node()));
+}
+Expression Abs(const Expression& a) {
+  return Expression::fromNode(detail::unaryNode(UnOp::Abs, a.node()));
+}
+Expression Sqrt(const Expression& a) {
+  return Expression::fromNode(detail::unaryNode(UnOp::Sqrt, a.node()));
+}
+Expression Min(const Expression& a, const Expression& b) {
+  return Expression::fromNode(detail::binaryNode(BinOp::Min, a.node(), b.node()));
+}
+Expression Max(const Expression& a, const Expression& b) {
+  return Expression::fromNode(detail::binaryNode(BinOp::Max, a.node(), b.node()));
+}
+Expression Select(const Expression& cond, const Expression& ifTrue,
+                  const Expression& ifFalse) {
+  auto n = std::make_shared<ExpNode>();
+  n->kind = ExpNode::Kind::Select;
+  n->type = graph::promote(ifTrue.type(), ifFalse.type());
+  n->a = cond.node();
+  n->b = ifTrue.node();
+  n->c = ifFalse.node();
+  return Expression::fromNode(n);
+}
+
+Expression Dot(const Expression& a, const Expression& b) {
+  return (a * b).reduce();
+}
+
+Expression Norm2(const Expression& a) { return Sqrt((a * a).reduce()); }
+
+Expression NormInf(const Expression& a) {
+  return Abs(a).reduce(ReduceKind::Max);
+}
+
+// ---------------------------------------------------------------------------
+// Materialisation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool exprIsScalarShaped(const ExpNodePtr& node) {
+  std::vector<graph::TensorId> refs;
+  detail::collectRefs(node, refs);
+  graph::Graph& g = Context::current().graph();
+  for (graph::TensorId id : refs) {
+    if (!detail::tensorIsScalarShaped(g.tensor(id))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Expression::materializeInto(Tensor& dst,
+                                 const std::string& category) const {
+  Context& ctx = Context::current();
+  graph::Graph& g = ctx.graph();
+  const graph::TensorInfo& dstInfo = g.tensor(dst.id());
+
+  std::vector<graph::TensorId> refs;
+  detail::collectRefs(node_, refs);
+
+  // Broadcast check: every referenced tensor matches dst's mapping exactly
+  // or is scalar-shaped (one element per tile — NumPy rule for size 1).
+  std::vector<bool> scalarArg(refs.size(), false);
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    const graph::TensorInfo& info = g.tensor(refs[k]);
+    if (refs[k] == dst.id()) {
+      scalarArg[k] = detail::tensorIsScalarShaped(info);
+      continue;  // in-place update, same mapping by construction
+    }
+    if (detail::tensorIsScalarShaped(info)) {
+      scalarArg[k] = true;
+    } else {
+      GRAPHENE_CHECK(info.mapping == dstInfo.mapping,
+                     "elementwise operands must share the destination's tile "
+                     "mapping or be scalars ('",
+                     info.name, "' vs '", dstInfo.name, "')");
+    }
+  }
+
+  // Trace the fused elementwise codelet (§III-C: the whole expression tree
+  // becomes one codelet).
+  CodeletBuilder builder;
+  builder.setNumArgs(1 + refs.size());
+  std::vector<Value> handles;
+  handles.push_back(Value::argument(0, dstInfo.dtype));
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    handles.push_back(
+        Value::argument(static_cast<int>(k + 1), g.tensor(refs[k]).dtype));
+  }
+
+  // Hoist scalar operands out of the loop.
+  std::vector<Value> hoisted;
+  hoisted.reserve(refs.size());
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    if (scalarArg[k]) {
+      hoisted.push_back(Value(handles[k + 1][Value(0)]));
+    } else {
+      hoisted.push_back(Value(0));  // unused slot
+    }
+  }
+
+  std::function<Value(const ExpNodePtr&, const Value&)> lower =
+      [&](const ExpNodePtr& n, const Value& i) -> Value {
+    switch (n->kind) {
+      case ExpNode::Kind::Ref: {
+        std::size_t k = 0;
+        while (k < refs.size() && refs[k] != n->tensor) ++k;
+        return scalarArg[k] ? hoisted[k] : Value(handles[k + 1][i]);
+      }
+      case ExpNode::Kind::Const:
+        return Value(n->constant);
+      case ExpNode::Kind::Binary: {
+        Value a = lower(n->a, i);
+        Value b = lower(n->b, i);
+        switch (n->bop) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div: return a / b;
+          case BinOp::Mod: return a % b;
+          case BinOp::Lt: return a < b;
+          case BinOp::Le: return a <= b;
+          case BinOp::Gt: return a > b;
+          case BinOp::Ge: return a >= b;
+          case BinOp::Eq: return a == b;
+          case BinOp::Ne: return a != b;
+          case BinOp::And: return a && b;
+          case BinOp::Or: return a || b;
+          case BinOp::Min: return Min(a, b);
+          case BinOp::Max: return Max(a, b);
+        }
+        GRAPHENE_UNREACHABLE("bad binop");
+      }
+      case ExpNode::Kind::Unary: {
+        Value a = lower(n->a, i);
+        switch (n->uop) {
+          case UnOp::Neg: return -a;
+          case UnOp::Abs: return Abs(a);
+          case UnOp::Sqrt: return Sqrt(a);
+          case UnOp::Not: return !a;
+        }
+        GRAPHENE_UNREACHABLE("bad unop");
+      }
+      case ExpNode::Kind::Cast:
+        return lower(n->a, i).cast(n->type);
+      case ExpNode::Kind::Select:
+        return Select(lower(n->a, i), lower(n->b, i), lower(n->c, i));
+    }
+    GRAPHENE_UNREACHABLE("bad node kind");
+  };
+
+  {
+    Value dstHandle = handles[0];
+    For(0, dstHandle.size(), 1, [&](Value i) {
+      dstHandle[i] = lower(node_, i);
+    });
+  }
+  CodeletIR ir = builder.finish();
+
+  // Register codelet + one vertex per tile with data.
+  const ipu::CostModel cost = g.costModel();
+  const std::size_t workers = g.target().workersPerTile;
+  graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
+      ctx.freshName("ew"), [ir = std::move(ir), cost, workers](
+                               graph::VertexContext& vc) {
+        return interpretCodelet(ir, cost, workers, vc);
+      }});
+
+  graph::ComputeSetId cs = g.addComputeSet(category);
+  for (std::size_t tile = 0; tile < g.target().totalTiles(); ++tile) {
+    if (dstInfo.mapping.sizePerTile[tile] == 0) continue;
+    graph::Vertex v;
+    v.codelet = codeletId;
+    v.tile = tile;
+    v.args.push_back(graph::TensorSlice{
+        dst.id(), tile, 0, dstInfo.mapping.sizePerTile[tile]});
+    for (graph::TensorId rid : refs) {
+      const auto& rinfo = g.tensor(rid);
+      v.args.push_back(graph::TensorSlice{
+          rid, tile, 0, rinfo.mapping.sizePerTile[tile]});
+    }
+    g.addVertex(cs, std::move(v));
+  }
+  ctx.emit(graph::Program::execute(cs));
+}
+
+Tensor Expression::materialize(const std::string& category) const {
+  Context& ctx = Context::current();
+  graph::Graph& g = ctx.graph();
+  std::vector<graph::TensorId> refs;
+  detail::collectRefs(node_, refs);
+
+  // Result shape: the common non-scalar mapping, else a replicated scalar.
+  const graph::TileMapping* mapping = nullptr;
+  for (graph::TensorId id : refs) {
+    const auto& info = g.tensor(id);
+    if (!detail::tensorIsScalarShaped(info)) {
+      mapping = &info.mapping;
+      break;
+    }
+  }
+  Tensor dst = mapping ? Tensor(node_->type, *mapping)
+                       : Tensor::scalar(node_->type);
+  materializeInto(dst, category);
+  return dst;
+}
+
+bool Expression::isScalarShaped() const { return exprIsScalarShaped(node_); }
+
+Expression Expression::reduce(ReduceKind kind) const {
+  Context& ctx = Context::current();
+  graph::Graph& g = ctx.graph();
+
+  // The accumulator combine step for this reduction kind.
+  auto combine = [kind](const Value& acc, const Value& v) -> Value {
+    switch (kind) {
+      case ReduceKind::Sum: return acc + v;
+      case ReduceKind::Max: return Max(acc, v);
+      case ReduceKind::Min: return Min(acc, v);
+      case ReduceKind::AbsMax: return Max(acc, Abs(v));
+    }
+    GRAPHENE_UNREACHABLE("bad reduce kind");
+  };
+
+  // Reducing a scalar-shaped expression is the expression itself (AbsMax
+  // still applies its elementwise transform).
+  if (exprIsScalarShaped(node_)) {
+    Tensor out = kind == ReduceKind::AbsMax
+                     ? Abs(*this).materialize("reduce")
+                     : materialize("reduce");
+    return Expression(out);
+  }
+
+  std::vector<graph::TensorId> refs;
+  detail::collectRefs(node_, refs);
+  const std::size_t nTiles = g.target().totalTiles();
+  const DType accType = node_->type;
+
+  std::vector<bool> scalarArg(refs.size());
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    scalarArg[k] = detail::tensorIsScalarShaped(g.tensor(refs[k]));
+  }
+  // All non-scalar refs must share one mapping; find it for loop bounds.
+  int loopArg = -1;
+  const graph::TileMapping* mapping = nullptr;
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    if (!scalarArg[k]) {
+      const auto& info = g.tensor(refs[k]);
+      if (mapping == nullptr) {
+        mapping = &info.mapping;
+        loopArg = static_cast<int>(k);
+      } else {
+        GRAPHENE_CHECK(info.mapping == *mapping,
+                       "reduce operands must share one tile mapping");
+      }
+    }
+  }
+  GRAPHENE_CHECK(loopArg >= 0, "reduce needs a non-scalar operand");
+
+  // Step 1: fused per-tile partial reduction.
+  Tensor partial(accType, graph::TileMapping::replicated(nTiles),
+                 ctx.freshName("partial"));
+  {
+    CodeletBuilder builder;
+    builder.setNumArgs(1 + refs.size());
+    std::vector<Value> handles;
+    handles.push_back(Value::argument(0, accType));
+    for (std::size_t k = 0; k < refs.size(); ++k) {
+      handles.push_back(
+          Value::argument(static_cast<int>(k + 1), g.tensor(refs[k]).dtype));
+    }
+    std::vector<Value> hoisted;
+    for (std::size_t k = 0; k < refs.size(); ++k) {
+      hoisted.push_back(scalarArg[k] ? Value(handles[k + 1][Value(0)])
+                                     : Value(0));
+    }
+    std::function<Value(const ExpNodePtr&, const Value&)> lower =
+        [&](const ExpNodePtr& n, const Value& i) -> Value {
+      switch (n->kind) {
+        case ExpNode::Kind::Ref: {
+          std::size_t k = 0;
+          while (k < refs.size() && refs[k] != n->tensor) ++k;
+          return scalarArg[k] ? hoisted[k] : Value(handles[k + 1][i]);
+        }
+        case ExpNode::Kind::Const: return Value(n->constant);
+        case ExpNode::Kind::Binary: {
+          Value a = lower(n->a, i), b = lower(n->b, i);
+          switch (n->bop) {
+            case BinOp::Add: return a + b;
+            case BinOp::Sub: return a - b;
+            case BinOp::Mul: return a * b;
+            case BinOp::Div: return a / b;
+            case BinOp::Mod: return a % b;
+            case BinOp::Lt: return a < b;
+            case BinOp::Le: return a <= b;
+            case BinOp::Gt: return a > b;
+            case BinOp::Ge: return a >= b;
+            case BinOp::Eq: return a == b;
+            case BinOp::Ne: return a != b;
+            case BinOp::And: return a && b;
+            case BinOp::Or: return a || b;
+            case BinOp::Min: return Min(a, b);
+            case BinOp::Max: return Max(a, b);
+          }
+          GRAPHENE_UNREACHABLE("bad binop");
+        }
+        case ExpNode::Kind::Unary: {
+          Value a = lower(n->a, i);
+          switch (n->uop) {
+            case UnOp::Neg: return -a;
+            case UnOp::Abs: return Abs(a);
+            case UnOp::Sqrt: return Sqrt(a);
+            case UnOp::Not: return !a;
+          }
+          GRAPHENE_UNREACHABLE("bad unop");
+        }
+        case ExpNode::Kind::Cast: return lower(n->a, i).cast(n->type);
+        case ExpNode::Kind::Select:
+          return Select(lower(n->a, i), lower(n->b, i), lower(n->c, i));
+      }
+      GRAPHENE_UNREACHABLE("bad node kind");
+    };
+
+    // Initialise from element 0 (identity-free: works for Max/Min too; an
+    // empty tile region keeps the zero initialiser).
+    Value acc(Scalar::zero(accType));
+    Value loopHandle = handles[static_cast<std::size_t>(loopArg) + 1];
+    If(loopHandle.size() > 0, [&] {
+      Value first = lower(node_, Value(0));
+      acc = kind == ReduceKind::AbsMax ? Abs(first) : first;
+    });
+    For(1, loopHandle.size(), 1,
+        [&](Value i) { acc = combine(acc, lower(node_, i)); });
+    Value out = handles[0];
+    out[Value(0)] = acc;
+
+    CodeletIR ir = builder.finish();
+    const ipu::CostModel cost = g.costModel();
+    const std::size_t workers = g.target().workersPerTile;
+    graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
+        ctx.freshName("reduce_partial"),
+        [ir = std::move(ir), cost, workers](graph::VertexContext& vc) {
+          return interpretCodelet(ir, cost, workers, vc);
+        }});
+    graph::ComputeSetId cs = g.addComputeSet("reduce");
+    for (std::size_t tile = 0; tile < nTiles; ++tile) {
+      graph::Vertex v;
+      v.codelet = codeletId;
+      v.tile = tile;
+      v.args.push_back(graph::TensorSlice{partial.id(), tile, 0, 1});
+      for (graph::TensorId rid : refs) {
+        const auto& rinfo = g.tensor(rid);
+        v.args.push_back(graph::TensorSlice{
+            rid, tile, 0, rinfo.mapping.sizePerTile[tile]});
+      }
+      g.addVertex(cs, std::move(v));
+    }
+    ctx.emit(graph::Program::execute(cs));
+  }
+
+  // Step 2: gather partials on tile 0.
+  Tensor gathered(accType, graph::TileMapping::onTile(nTiles, 0, nTiles),
+                  ctx.freshName("gather"));
+  {
+    std::vector<graph::CopySegment> segs;
+    segs.reserve(nTiles);
+    for (std::size_t tile = 0; tile < nTiles; ++tile) {
+      graph::CopySegment s;
+      s.src = partial.id();
+      s.srcTile = tile;
+      s.srcBegin = 0;
+      s.dst = gathered.id();
+      s.dsts.push_back({0, tile});
+      s.count = 1;
+      segs.push_back(std::move(s));
+    }
+    ctx.emit(graph::Program::copy(std::move(segs)));
+  }
+
+  // Step 3: final reduction on tile 0 into a replicated scalar.
+  Tensor out = Tensor::scalar(accType, ctx.freshName("reduced"));
+  {
+    CodeletBuilder builder;
+    builder.setNumArgs(2);
+    Value gHandle = Value::argument(0, accType);
+    Value oHandle = Value::argument(1, accType);
+    Value acc(gHandle[Value(0)]);
+    For(1, gHandle.size(), 1,
+        [&](Value i) { acc = combine(acc, Value(gHandle[i])); });
+    oHandle[Value(0)] = acc;
+    CodeletIR ir = builder.finish();
+    const ipu::CostModel cost = g.costModel();
+    const std::size_t workers = g.target().workersPerTile;
+    graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
+        ctx.freshName("reduce_final"),
+        [ir = std::move(ir), cost, workers](graph::VertexContext& vc) {
+          return interpretCodelet(ir, cost, workers, vc);
+        }});
+    graph::ComputeSetId cs = g.addComputeSet("reduce");
+    graph::Vertex v;
+    v.codelet = codeletId;
+    v.tile = 0;
+    v.args.push_back(graph::TensorSlice{gathered.id(), 0, 0, nTiles});
+    v.args.push_back(graph::TensorSlice{out.id(), 0, 0, 1});
+    g.addVertex(cs, std::move(v));
+    ctx.emit(graph::Program::execute(cs));
+  }
+
+  // Step 4: broadcast the result to every tile's replica.
+  if (nTiles > 1) {
+    graph::CopySegment s;
+    s.src = out.id();
+    s.srcTile = 0;
+    s.srcBegin = 0;
+    s.dst = out.id();
+    s.count = 1;
+    for (std::size_t tile = 1; tile < nTiles; ++tile) {
+      s.dsts.push_back({tile, 0});
+    }
+    ctx.emit(graph::Program::copy({std::move(s)}));
+  }
+
+  return Expression(out);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Materialises `cond` into a fresh replicated Bool scalar inside a new
+/// program sequence; returns (sequence, tensorId).
+std::pair<graph::ProgramPtr, graph::TensorId> buildCondition(
+    const Expression& cond) {
+  Context& ctx = Context::current();
+  GRAPHENE_CHECK(cond.isScalarShaped(),
+                 "control-flow conditions must be scalar expressions");
+  ctx.pushSequence();
+  Tensor condT = Tensor::scalar(DType::Bool, ctx.freshName("cond"));
+  Expression c = cond;
+  c.materializeInto(condT, "condition");
+  graph::ProgramPtr prog = ctx.popSequence();
+  return {prog, condT.id()};
+}
+
+}  // namespace
+
+void If(const Expression& cond, const std::function<void()>& then,
+        const std::function<void()>& otherwise) {
+  Context& ctx = Context::current();
+  auto [condProg, condId] = buildCondition(cond);
+  ctx.pushSequence();
+  then();
+  graph::ProgramPtr thenProg = ctx.popSequence();
+  graph::ProgramPtr elseProg;
+  if (otherwise) {
+    ctx.pushSequence();
+    otherwise();
+    elseProg = ctx.popSequence();
+  }
+  ctx.emit(graph::Program::branch(condProg, condId, thenProg, elseProg));
+}
+
+void While(const Expression& cond, const std::function<void()>& body) {
+  Context& ctx = Context::current();
+  auto [condProg, condId] = buildCondition(cond);
+  ctx.pushSequence();
+  body();
+  graph::ProgramPtr bodyProg = ctx.popSequence();
+  ctx.emit(graph::Program::repeatWhile(condProg, condId, bodyProg));
+}
+
+void Repeat(std::size_t times, const std::function<void()>& body) {
+  Context& ctx = Context::current();
+  ctx.pushSequence();
+  body();
+  graph::ProgramPtr bodyProg = ctx.popSequence();
+  ctx.emit(graph::Program::repeat(times, bodyProg));
+}
+
+void Print(const std::string& label, const Tensor& t) {
+  graph::TensorId id = t.id();
+  Context::current().emit(
+      graph::Program::hostCall([label, id](graph::Engine& engine) {
+        const auto& info = engine.graph().tensor(id);
+        std::size_t n = std::min<std::size_t>(info.totalElements(),
+                                              info.replicated ? 1 : 8);
+        std::cout << label << ":";
+        for (std::size_t i = 0; i < n; ++i) {
+          std::cout << " " << engine.loadElement(id, i).toString();
+        }
+        if (!info.replicated && info.totalElements() > n) std::cout << " ...";
+        std::cout << "\n";
+      }));
+}
+
+void HostCall(std::function<void(graph::Engine&)> fn) {
+  Context::current().emit(graph::Program::hostCall(std::move(fn)));
+}
+
+// ---------------------------------------------------------------------------
+// Execute — CodeDSL entry point
+// ---------------------------------------------------------------------------
+
+void ExecuteOnTiles(const std::vector<TensorRef>& tensors,
+                    const std::function<void(std::vector<Value>&)>& fn,
+                    const std::string& category,
+                    const std::vector<std::size_t>& tiles) {
+  Context& ctx = Context::current();
+  graph::Graph& g = ctx.graph();
+
+  CodeletBuilder builder;
+  builder.setNumArgs(tensors.size());
+  std::vector<Value> handles;
+  handles.reserve(tensors.size());
+  for (std::size_t k = 0; k < tensors.size(); ++k) {
+    handles.push_back(Value::argument(static_cast<int>(k),
+                                      g.tensor(tensors[k].id()).dtype));
+  }
+  fn(handles);
+  CodeletIR ir = builder.finish();
+
+  const ipu::CostModel cost = g.costModel();
+  const std::size_t workers = g.target().workersPerTile;
+  graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
+      ctx.freshName("codelet"),
+      [ir = std::move(ir), cost, workers](graph::VertexContext& vc) {
+        return interpretCodelet(ir, cost, workers, vc);
+      }});
+
+  std::vector<std::size_t> vertexTiles = tiles;
+  if (vertexTiles.empty()) {
+    for (std::size_t tile = 0; tile < g.target().totalTiles(); ++tile) {
+      for (const TensorRef& t : tensors) {
+        if (g.tensor(t.id()).mapping.sizePerTile[tile] > 0) {
+          vertexTiles.push_back(tile);
+          break;
+        }
+      }
+    }
+  }
+
+  graph::ComputeSetId cs = g.addComputeSet(category);
+  for (std::size_t tile : vertexTiles) {
+    graph::Vertex v;
+    v.codelet = codeletId;
+    v.tile = tile;
+    for (const TensorRef& t : tensors) {
+      const auto& info = g.tensor(t.id());
+      v.args.push_back(graph::TensorSlice{
+          t.id(), tile, 0, info.mapping.sizePerTile[tile]});
+    }
+    g.addVertex(cs, std::move(v));
+  }
+  ctx.emit(graph::Program::execute(cs));
+}
+
+void Execute(const std::vector<TensorRef>& tensors,
+             const std::function<void(std::vector<Value>&)>& fn,
+             const std::string& category) {
+  ExecuteOnTiles(tensors, fn, category, {});
+}
+
+void Execute(const std::vector<TensorRef>& tensors,
+             const std::function<void(Value)>& fn,
+             const std::string& category) {
+  GRAPHENE_CHECK(tensors.size() == 1, "Execute arity mismatch");
+  Execute(tensors, [&](std::vector<Value>& args) { fn(args[0]); }, category);
+}
+
+void Execute(const std::vector<TensorRef>& tensors,
+             const std::function<void(Value, Value)>& fn,
+             const std::string& category) {
+  GRAPHENE_CHECK(tensors.size() == 2, "Execute arity mismatch");
+  Execute(tensors,
+          [&](std::vector<Value>& args) { fn(args[0], args[1]); }, category);
+}
+
+void Execute(const std::vector<TensorRef>& tensors,
+             const std::function<void(Value, Value, Value)>& fn,
+             const std::string& category) {
+  GRAPHENE_CHECK(tensors.size() == 3, "Execute arity mismatch");
+  Execute(tensors,
+          [&](std::vector<Value>& args) { fn(args[0], args[1], args[2]); },
+          category);
+}
+
+void Execute(const std::vector<TensorRef>& tensors,
+             const std::function<void(Value, Value, Value, Value)>& fn,
+             const std::string& category) {
+  GRAPHENE_CHECK(tensors.size() == 4, "Execute arity mismatch");
+  Execute(tensors,
+          [&](std::vector<Value>& args) {
+            fn(args[0], args[1], args[2], args[3]);
+          },
+          category);
+}
+
+}  // namespace graphene::dsl

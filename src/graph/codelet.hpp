@@ -1,0 +1,79 @@
+// Codelets and vertices — the compute side of the dataflow graph.
+//
+// A codelet is "an individual computational operation, similar to a CUDA
+// kernel, programmed in C++" (§II-A). In this simulation a codelet carries an
+// opaque run function (produced by CodeDSL from its statement IR) that
+// executes the computation against the vertex's tensor slices and returns the
+// worker cycles it consumed under the cost model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/scalar.hpp"
+#include "graph/tensor.hpp"
+
+namespace graphene::graph {
+
+class Engine;
+
+using CodeletId = std::uint32_t;
+using ComputeSetId = std::uint32_t;
+
+/// A tile-local window of a tensor, passed to a codelet as an argument.
+struct TensorSlice {
+  TensorId tensor = kInvalidTensor;
+  std::size_t tile = 0;   // region owner; must equal the vertex's tile
+  std::size_t begin = 0;  // element offset within the tile's region
+  std::size_t count = 0;  // elements visible to the codelet
+};
+
+/// Cost result of running one vertex.
+struct VertexCost {
+  /// Worker-visible cycles consumed.
+  double workerCycles = 0;
+  /// True when the codelet internally manages all six workers (level-set
+  /// supervisor codelets): its cycles then occupy the whole tile.
+  bool wholeTile = false;
+};
+
+/// Runtime interface handed to a codelet: access to its argument slices.
+/// All indices are relative to the slice, enforcing tile-locality.
+class VertexContext {
+ public:
+  virtual ~VertexContext() = default;
+  virtual std::size_t numArgs() const = 0;
+  virtual std::size_t argSize(std::size_t arg) const = 0;
+  virtual ipu::DType argType(std::size_t arg) const = 0;
+  virtual Scalar load(std::size_t arg, std::size_t index) const = 0;
+  virtual void store(std::size_t arg, std::size_t index,
+                     const Scalar& value) = 0;
+  /// Fast typed view of an argument slice (dtype must match T).
+  virtual std::span<float> floatSpan(std::size_t arg) = 0;
+  virtual std::span<const std::int32_t> intSpan(std::size_t arg) const = 0;
+};
+
+struct Codelet {
+  std::string name;
+  std::function<VertexCost(VertexContext&)> run;
+};
+
+/// One codelet instance placed on one tile with bound tensor slices.
+struct Vertex {
+  CodeletId codelet = 0;
+  std::size_t tile = 0;
+  std::vector<TensorSlice> args;
+};
+
+/// Vertices that may execute in parallel, separated from neighbours by BSP
+/// syncs. `category` labels profile attribution (Table IV breakdown).
+struct ComputeSet {
+  std::string category;
+  std::vector<Vertex> vertices;
+};
+
+}  // namespace graphene::graph

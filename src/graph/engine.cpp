@@ -1,0 +1,217 @@
+#include "graph/engine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ipu/exchange.hpp"
+#include "ipu/worker_pool.hpp"
+
+namespace graphene::graph {
+
+namespace {
+
+/// VertexContext backed by engine storage; indices are slice-relative, which
+/// enforces tile-local access.
+class StorageVertexContext final : public VertexContext {
+ public:
+  StorageVertexContext(Engine& engine, const Vertex& vertex)
+      : engine_(engine), vertex_(vertex) {
+    flatBase_.reserve(vertex.args.size());
+    for (const TensorSlice& s : vertex.args) {
+      flatBase_.push_back(engine_.storageFor(s.tensor).tileOffset(s.tile) +
+                          s.begin);
+    }
+  }
+
+  std::size_t numArgs() const override { return vertex_.args.size(); }
+
+  std::size_t argSize(std::size_t arg) const override {
+    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
+    return vertex_.args[arg].count;
+  }
+
+  ipu::DType argType(std::size_t arg) const override {
+    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
+    return engine_.storageFor(vertex_.args[arg].tensor).dtype();
+  }
+
+  Scalar load(std::size_t arg, std::size_t index) const override {
+    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
+    GRAPHENE_DCHECK(index < vertex_.args[arg].count,
+                    "codelet read past its slice");
+    return engine_.storageFor(vertex_.args[arg].tensor)
+        .load(flatBase_[arg] + index);
+  }
+
+  void store(std::size_t arg, std::size_t index,
+             const Scalar& value) override {
+    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
+    GRAPHENE_DCHECK(index < vertex_.args[arg].count,
+                    "codelet write past its slice");
+    engine_.storageFor(vertex_.args[arg].tensor)
+        .store(flatBase_[arg] + index, value);
+  }
+
+  std::span<float> floatSpan(std::size_t arg) override {
+    auto whole = engine_.storageFor(vertex_.args[arg].tensor).as<float>();
+    return whole.subspan(flatBase_[arg], vertex_.args[arg].count);
+  }
+
+  std::span<const std::int32_t> intSpan(std::size_t arg) const override {
+    auto whole =
+        engine_.storageFor(vertex_.args[arg].tensor).as<std::int32_t>();
+    return whole.subspan(flatBase_[arg], vertex_.args[arg].count);
+  }
+
+ private:
+  Engine& engine_;
+  const Vertex& vertex_;
+  std::vector<std::size_t> flatBase_;
+};
+
+}  // namespace
+
+Engine::Engine(Graph& graph) : graph_(graph) { syncStorage(); }
+
+void Engine::syncStorage() {
+  for (std::size_t i = storage_.size(); i < graph_.numTensors(); ++i) {
+    storage_.emplace_back(graph_.tensor(static_cast<TensorId>(i)));
+  }
+}
+
+TensorStorage& Engine::storageFor(TensorId id) {
+  syncStorage();
+  GRAPHENE_CHECK(id < storage_.size(), "invalid tensor id");
+  return storage_[id];
+}
+
+Scalar Engine::readScalar(TensorId id) { return storageFor(id).load(0); }
+
+void Engine::writeScalar(TensorId id, const Scalar& value) {
+  TensorStorage& s = storageFor(id);
+  if (graph_.tensor(id).replicated) {
+    for (std::size_t i = 0; i < s.totalElements(); ++i) s.store(i, value);
+  } else {
+    s.store(0, value);
+  }
+}
+
+Scalar Engine::loadElement(TensorId id, std::size_t flatIndex) {
+  return storageFor(id).load(flatIndex);
+}
+
+void Engine::storeElement(TensorId id, std::size_t flatIndex,
+                          const Scalar& value) {
+  storageFor(id).store(flatIndex, value);
+}
+
+void Engine::run(const ProgramPtr& program) {
+  if (!program) return;
+  syncStorage();
+  switch (program->kind) {
+    case Program::Kind::Sequence:
+      for (const auto& child : program->children) run(child);
+      break;
+    case Program::Kind::Execute:
+      runExecute(program->computeSet);
+      break;
+    case Program::Kind::Copy:
+      runCopy(program->copies);
+      break;
+    case Program::Kind::Repeat:
+      for (std::size_t i = 0; i < program->repeatCount; ++i) {
+        run(program->body);
+      }
+      break;
+    case Program::Kind::RepeatWhile:
+      while (true) {
+        run(program->condProgram);
+        if (!readScalar(program->condTensor).truthy()) break;
+        run(program->body);
+      }
+      break;
+    case Program::Kind::If:
+      run(program->condProgram);
+      if (readScalar(program->condTensor).truthy()) {
+        run(program->thenBody);
+      } else {
+        run(program->elseBody);
+      }
+      break;
+    case Program::Kind::HostCall:
+      if (program->hostFn) program->hostFn(*this);
+      break;
+  }
+}
+
+void Engine::runExecute(ComputeSetId csId) {
+  const ComputeSet& cs = graph_.computeSet(csId);
+  const ipu::IpuTarget& target = graph_.target();
+
+  // Group vertex indices by tile.
+  std::map<std::size_t, std::vector<std::size_t>> byTile;
+  for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+    byTile[cs.vertices[i].tile].push_back(i);
+  }
+
+  double maxTileCycles = 0;
+  for (const auto& [tile, vertexIds] : byTile) {
+    ipu::WorkerPool pool(target.workersPerTile);
+    std::size_t nextWorker = 0;
+    for (std::size_t vi : vertexIds) {
+      const Vertex& v = cs.vertices[vi];
+      StorageVertexContext ctx(*this, v);
+      VertexCost cost = graph_.codelet(v.codelet).run(ctx);
+      if (cost.wholeTile) {
+        // Supervisor codelet driving all workers itself: serialise against
+        // everything else on the tile.
+        pool.sync();
+        for (std::size_t w = 0; w < pool.numWorkers(); ++w) {
+          pool.addCycles(w, cost.workerCycles);
+        }
+      } else {
+        pool.addCycles(nextWorker, cost.workerCycles);
+        nextWorker = (nextWorker + 1) % pool.numWorkers();
+      }
+    }
+    maxTileCycles = std::max(maxTileCycles, pool.elapsed());
+  }
+
+  // Compute supersteps end with each IPU's *internal* sync; the IPUs sync in
+  // parallel, so the cost does not grow with the pod size. Global syncs are
+  // only paid when an exchange crosses IPUs (priced in priceExchange).
+  profile_.computeCycles[cs.category] += maxTileCycles;
+  profile_.syncCycles += target.syncCyclesOnChip;
+  profile_.computeSupersteps += 1;
+}
+
+void Engine::runCopy(const std::vector<CopySegment>& segments) {
+  std::vector<ipu::Transfer> transfers;
+  transfers.reserve(segments.size());
+  for (const CopySegment& seg : segments) {
+    GRAPHENE_CHECK(seg.src != kInvalidTensor && seg.dst != kInvalidTensor,
+                   "copy segment with invalid tensors");
+    TensorStorage& src = storageFor(seg.src);
+    TensorStorage& dst = storageFor(seg.dst);
+    const std::size_t srcFlat = src.tileOffset(seg.srcTile) + seg.srcBegin;
+    ipu::Transfer t;
+    t.srcTile = seg.srcTile;
+    t.bytes = seg.count * ipu::sizeOf(src.dtype());
+    for (const CopySegment::Destination& d : seg.dsts) {
+      const std::size_t dstFlat = dst.tileOffset(d.tile) + d.begin;
+      if (seg.src == seg.dst && seg.srcTile == d.tile && srcFlat == dstFlat) {
+        continue;  // no-op self copy
+      }
+      dst.copyFrom(src, srcFlat, dstFlat, seg.count);
+      t.dstTiles.push_back(d.tile);
+    }
+    if (!t.dstTiles.empty()) transfers.push_back(std::move(t));
+  }
+  ipu::ExchangeStats stats = ipu::priceExchange(graph_.target(), transfers);
+  profile_.exchangeCycles += stats.cycles;
+  profile_.exchangeSupersteps += 1;
+  profile_.exchangeInstructions += stats.instructions;
+  profile_.exchangedBytes += stats.totalBytes;
+}
+
+}  // namespace graphene::graph

@@ -1,0 +1,79 @@
+// The Engine: loads a Graph, executes Programs on the simulated IPU, and
+// collects the cycle profile.
+//
+// Functional semantics are exact (codelets run real arithmetic on the typed
+// tensor storage); timing comes from the cost model: compute supersteps cost
+// the slowest tile (BSP), exchange supersteps are priced by the fabric model.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/program.hpp"
+#include "graph/storage.hpp"
+#include "ipu/profile.hpp"
+
+namespace graphene::graph {
+
+class Engine {
+ public:
+  explicit Engine(Graph& graph);
+
+  Graph& graph() { return graph_; }
+  const ipu::IpuTarget& target() const { return graph_.target(); }
+
+  /// Executes a program tree to completion.
+  void run(const ProgramPtr& program);
+
+  /// Host→device write of a whole tensor, in flat element order (the
+  /// concatenation of per-tile regions).
+  template <typename T>
+  void writeTensor(TensorId id, std::span<const T> values) {
+    auto dst = storageFor(id).as<T>();
+    GRAPHENE_CHECK(values.size() == dst.size(), "write size mismatch on '",
+                   graph_.tensor(id).name, "': ", values.size(), " vs ",
+                   dst.size());
+    std::copy(values.begin(), values.end(), dst.begin());
+  }
+
+  /// Device→host read of a whole tensor in flat element order.
+  template <typename T>
+  std::vector<T> readTensor(TensorId id) {
+    auto src = storageFor(id).as<T>();
+    return std::vector<T>(src.begin(), src.end());
+  }
+
+  /// Reads element 0 of a (replicated) scalar tensor.
+  Scalar readScalar(TensorId id);
+
+  /// Writes a scalar value into every replica of a replicated scalar tensor
+  /// (or element 0 of a plain tensor).
+  void writeScalar(TensorId id, const Scalar& value);
+
+  /// Dynamically typed element access (host-side convenience).
+  Scalar loadElement(TensorId id, std::size_t flatIndex);
+  void storeElement(TensorId id, std::size_t flatIndex, const Scalar& value);
+
+  TensorStorage& storageFor(TensorId id);
+
+  const ipu::Profile& profile() const { return profile_; }
+  ipu::Profile& profile() { return profile_; }
+
+  /// Simulated wall-clock seconds for everything run so far.
+  double elapsedSeconds() const {
+    return target().secondsFromCycles(profile_.totalCycles());
+  }
+
+ private:
+  void runExecute(ComputeSetId cs);
+  void runCopy(const std::vector<CopySegment>& segments);
+  void syncStorage();
+
+  Graph& graph_;
+  std::vector<TensorStorage> storage_;
+  ipu::Profile profile_;
+};
+
+}  // namespace graphene::graph

@@ -1,0 +1,61 @@
+#include "graph/graph.hpp"
+
+namespace graphene::graph {
+
+TensorId Graph::addTensor(TensorInfo info) {
+  GRAPHENE_CHECK(info.mapping.numTiles() == target_.totalTiles(),
+                 "tensor '", info.name, "' mapping covers ",
+                 info.mapping.numTiles(), " tiles, target has ",
+                 target_.totalTiles());
+  const std::size_t elemBytes = ipu::sizeOf(info.dtype);
+  for (std::size_t t = 0; t < info.mapping.numTiles(); ++t) {
+    const std::size_t bytes = info.mapping.sizePerTile[t] * elemBytes;
+    if (bytes > 0) ledger_.allocate(t, bytes, info.name);
+  }
+  tensors_.push_back(std::move(info));
+  return static_cast<TensorId>(tensors_.size() - 1);
+}
+
+const TensorInfo& Graph::tensor(TensorId id) const {
+  GRAPHENE_CHECK(id < tensors_.size(), "invalid tensor id");
+  return tensors_[id];
+}
+
+CodeletId Graph::addCodelet(Codelet codelet) {
+  codelets_.push_back(std::move(codelet));
+  return static_cast<CodeletId>(codelets_.size() - 1);
+}
+
+const Codelet& Graph::codelet(CodeletId id) const {
+  GRAPHENE_CHECK(id < codelets_.size(), "invalid codelet id");
+  return codelets_[id];
+}
+
+ComputeSetId Graph::addComputeSet(std::string category) {
+  computeSets_.push_back(ComputeSet{std::move(category), {}});
+  return static_cast<ComputeSetId>(computeSets_.size() - 1);
+}
+
+void Graph::addVertex(ComputeSetId cs, Vertex v) {
+  GRAPHENE_CHECK(cs < computeSets_.size(), "invalid compute set id");
+  GRAPHENE_CHECK(v.codelet < codelets_.size(), "invalid codelet id");
+  GRAPHENE_CHECK(v.tile < target_.totalTiles(), "vertex tile out of range");
+  for (const TensorSlice& s : v.args) {
+    GRAPHENE_CHECK(s.tensor < tensors_.size(), "invalid slice tensor");
+    GRAPHENE_CHECK(s.tile == v.tile,
+                   "codelets can only access tile-local tensor regions "
+                   "(vertex on tile ", v.tile, ", slice on tile ", s.tile,
+                   ")");
+    const auto& info = tensors_[s.tensor];
+    GRAPHENE_CHECK(s.begin + s.count <= info.mapping.sizePerTile[s.tile],
+                   "slice overruns tile region of '", info.name, "'");
+  }
+  computeSets_[cs].vertices.push_back(std::move(v));
+}
+
+const ComputeSet& Graph::computeSet(ComputeSetId id) const {
+  GRAPHENE_CHECK(id < computeSets_.size(), "invalid compute set id");
+  return computeSets_[id];
+}
+
+}  // namespace graphene::graph

@@ -1,0 +1,55 @@
+// The dataflow graph: tensor variables, codelets, and compute sets, plus the
+// per-tile SRAM ledger that constrains them. The Engine executes Programs
+// against a Graph.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/codelet.hpp"
+#include "graph/program.hpp"
+#include "graph/tensor.hpp"
+#include "ipu/cost_model.hpp"
+#include "ipu/memory.hpp"
+#include "ipu/target.hpp"
+
+namespace graphene::graph {
+
+class Graph {
+ public:
+  explicit Graph(ipu::IpuTarget target)
+      : target_(target), ledger_(target) {}
+
+  const ipu::IpuTarget& target() const { return target_; }
+
+  ipu::CostModel& costModel() { return costModel_; }
+  const ipu::CostModel& costModel() const { return costModel_; }
+
+  /// Creates a tensor variable; reserves its SRAM on every mapped tile.
+  TensorId addTensor(TensorInfo info);
+
+  const TensorInfo& tensor(TensorId id) const;
+  std::size_t numTensors() const { return tensors_.size(); }
+
+  CodeletId addCodelet(Codelet codelet);
+  const Codelet& codelet(CodeletId id) const;
+  std::size_t numCodelets() const { return codelets_.size(); }
+
+  ComputeSetId addComputeSet(std::string category);
+  void addVertex(ComputeSetId cs, Vertex v);
+  const ComputeSet& computeSet(ComputeSetId id) const;
+  std::size_t numComputeSets() const { return computeSets_.size(); }
+
+  const ipu::TileMemoryLedger& ledger() const { return ledger_; }
+
+ private:
+  ipu::IpuTarget target_;
+  ipu::CostModel costModel_;
+  ipu::TileMemoryLedger ledger_;
+  std::vector<TensorInfo> tensors_;
+  std::vector<Codelet> codelets_;
+  std::vector<ComputeSet> computeSets_;
+};
+
+}  // namespace graphene::graph

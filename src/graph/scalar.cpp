@@ -1,0 +1,114 @@
+#include "graph/scalar.hpp"
+
+#include <sstream>
+
+namespace graphene::graph {
+
+using twofloat::Float2;
+using twofloat::SoftDouble;
+
+Scalar Scalar::castTo(DType target) const {
+  if (target == type()) return *this;
+  switch (target) {
+    case DType::Bool:
+      return Scalar(truthy());
+    case DType::Int32:
+      switch (type()) {
+        case DType::Bool: return Scalar(std::int32_t(asBool() ? 1 : 0));
+        case DType::Float32: return Scalar(static_cast<std::int32_t>(asFloat()));
+        case DType::Float64:
+          return Scalar(static_cast<std::int32_t>(asSoftDouble().toDouble()));
+        case DType::DoubleWord:
+          return Scalar(static_cast<std::int32_t>(asDoubleWord().toWide()));
+        default: break;
+      }
+      break;
+    case DType::Float32:
+      switch (type()) {
+        case DType::Bool: return Scalar(asBool() ? 1.0f : 0.0f);
+        case DType::Int32: return Scalar(static_cast<float>(asInt()));
+        case DType::Float64: return Scalar(asSoftDouble().toFloat());
+        case DType::DoubleWord: return Scalar(asDoubleWord().hi);
+        default: break;
+      }
+      break;
+    case DType::Float64:
+      switch (type()) {
+        case DType::Bool:
+          return Scalar(SoftDouble::fromDouble(asBool() ? 1.0 : 0.0));
+        case DType::Int32:
+          return Scalar(SoftDouble::fromDouble(static_cast<double>(asInt())));
+        case DType::Float32: return Scalar(SoftDouble::fromFloat(asFloat()));
+        case DType::DoubleWord: {
+          // hi + lo, both exact widenings, summed in software float64.
+          Float2 dw = asDoubleWord();
+          return Scalar(SoftDouble::fromFloat(dw.hi) +
+                        SoftDouble::fromFloat(dw.lo));
+        }
+        default: break;
+      }
+      break;
+    case DType::DoubleWord:
+      switch (type()) {
+        case DType::Bool: return Scalar(Float2(asBool() ? 1.0f : 0.0f));
+        case DType::Int32: {
+          // Ints up to 2^24 are exact in the hi word; larger ones split.
+          return Scalar(Float2::fromWide(static_cast<double>(asInt())));
+        }
+        case DType::Float32: return Scalar(Float2(asFloat()));
+        case DType::Float64:
+          return Scalar(Float2::fromWide(asSoftDouble().toDouble()));
+        default: break;
+      }
+      break;
+  }
+  GRAPHENE_UNREACHABLE("unhandled scalar cast");
+}
+
+Scalar Scalar::zero(DType t) {
+  switch (t) {
+    case DType::Bool: return Scalar(false);
+    case DType::Int32: return Scalar(std::int32_t(0));
+    case DType::Float32: return Scalar(0.0f);
+    case DType::Float64: return Scalar(SoftDouble());
+    case DType::DoubleWord: return Scalar(Float2());
+  }
+  GRAPHENE_UNREACHABLE("bad dtype");
+}
+
+Scalar Scalar::fromHostDouble(DType t, double d) {
+  switch (t) {
+    case DType::Bool: return Scalar(d != 0.0);
+    case DType::Int32: return Scalar(static_cast<std::int32_t>(d));
+    case DType::Float32: return Scalar(static_cast<float>(d));
+    case DType::Float64: return Scalar(SoftDouble::fromDouble(d));
+    case DType::DoubleWord: return Scalar(Float2::fromWide(d));
+  }
+  GRAPHENE_UNREACHABLE("bad dtype");
+}
+
+std::string Scalar::toString() const {
+  std::ostringstream oss;
+  switch (type()) {
+    case DType::Bool: oss << (asBool() ? "true" : "false"); break;
+    case DType::Int32: oss << asInt(); break;
+    default: oss << toHostDouble(); break;
+  }
+  return oss.str();
+}
+
+DType promote(DType a, DType b) {
+  auto rank = [](DType t) {
+    switch (t) {
+      case DType::Bool: return 0;
+      case DType::Int32: return 1;
+      case DType::Float32: return 2;
+      case DType::DoubleWord: return 3;
+      case DType::Float64: return 4;
+    }
+    return -1;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+}  // namespace graphene::graph

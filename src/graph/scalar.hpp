@@ -1,0 +1,103 @@
+// Dynamically typed runtime scalar — the value domain of the DSLs.
+//
+// Both DSLs are dynamically typed (paper §III): at symbolic-execution time a
+// Value carries one of the DType element types; at concrete-execution time
+// the interpreter manipulates these Scalars. FLOAT64 values are SoftDouble
+// (software emulation) and DOUBLEWORD values are TwoFloat double-words, so
+// extended-precision results genuinely come from the emulated paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "ipu/types.hpp"
+#include "support/error.hpp"
+#include "twofloat/softdouble.hpp"
+#include "twofloat/twofloat.hpp"
+
+namespace graphene::graph {
+
+using ipu::DType;
+
+class Scalar {
+ public:
+  using Variant = std::variant<bool, std::int32_t, float, twofloat::SoftDouble,
+                               twofloat::Float2>;
+
+  Scalar() : v_(0.0f) {}
+  Scalar(bool b) : v_(b) {}
+  Scalar(std::int32_t i) : v_(i) {}
+  Scalar(float f) : v_(f) {}
+  Scalar(twofloat::SoftDouble d) : v_(d) {}
+  Scalar(twofloat::Float2 dw) : v_(dw) {}
+
+  DType type() const {
+    switch (v_.index()) {
+      case 0: return DType::Bool;
+      case 1: return DType::Int32;
+      case 2: return DType::Float32;
+      case 3: return DType::Float64;
+      default: return DType::DoubleWord;
+    }
+  }
+
+  bool asBool() const { return std::get<bool>(v_); }
+  std::int32_t asInt() const { return std::get<std::int32_t>(v_); }
+  float asFloat() const { return std::get<float>(v_); }
+  twofloat::SoftDouble asSoftDouble() const {
+    return std::get<twofloat::SoftDouble>(v_);
+  }
+  twofloat::Float2 asDoubleWord() const {
+    return std::get<twofloat::Float2>(v_);
+  }
+
+  /// Lossless-ish view as host double, for host readout and conditions.
+  double toHostDouble() const {
+    switch (type()) {
+      case DType::Bool: return asBool() ? 1.0 : 0.0;
+      case DType::Int32: return static_cast<double>(asInt());
+      case DType::Float32: return static_cast<double>(asFloat());
+      case DType::Float64: return asSoftDouble().toDouble();
+      case DType::DoubleWord: return asDoubleWord().toWide();
+    }
+    GRAPHENE_UNREACHABLE("bad scalar type");
+  }
+
+  /// Truthiness for control flow: nonzero (and non-NaN-safe for bools).
+  bool truthy() const {
+    switch (type()) {
+      case DType::Bool: return asBool();
+      case DType::Int32: return asInt() != 0;
+      case DType::Float32: return asFloat() != 0.0f;
+      case DType::Float64: return !(asSoftDouble().isZero());
+      case DType::DoubleWord: {
+        auto dw = asDoubleWord();
+        return dw.hi != 0.0f || dw.lo != 0.0f;
+      }
+    }
+    GRAPHENE_UNREACHABLE("bad scalar type");
+  }
+
+  /// Converts this scalar to `target` type. Conversions through the
+  /// simulated device use the same software paths the device would.
+  Scalar castTo(DType target) const;
+
+  /// Creates a zero of the given type.
+  static Scalar zero(DType t);
+
+  /// Creates a scalar of type `t` from a host double.
+  static Scalar fromHostDouble(DType t, double d);
+
+  std::string toString() const;
+
+ private:
+  Variant v_;
+};
+
+/// Numeric promotion for binary operations between mixed types
+/// (bool < int32 < float32 < doubleword < float64 in "width" order; mixing
+/// doubleword and float64 promotes to float64, the wider format).
+DType promote(DType a, DType b);
+
+}  // namespace graphene::graph

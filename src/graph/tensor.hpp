@@ -1,0 +1,88 @@
+// Tensor metadata: dtype plus the mapping of elements to tiles.
+//
+// Poplar tensors are N-dimensional with arbitrary tile mappings; for sparse
+// linear algebra everything the paper needs is one-dimensional data with a
+// per-tile *ragged* layout: each tile owns a contiguous region whose length
+// may differ per tile (CRS arrays, halo buffers) or be equal (row-partitioned
+// vectors), or be exactly one element everywhere (replicated scalars).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ipu/types.hpp"
+#include "support/error.hpp"
+
+namespace graphene::graph {
+
+using TensorId = std::uint32_t;
+constexpr TensorId kInvalidTensor = static_cast<TensorId>(-1);
+
+/// How a tensor's elements are distributed over tiles.
+struct TileMapping {
+  /// Number of elements resident on each tile (ragged allowed).
+  std::vector<std::size_t> sizePerTile;
+
+  static TileMapping ragged(std::vector<std::size_t> sizes) {
+    return TileMapping{std::move(sizes)};
+  }
+
+  /// Splits `total` elements evenly over `tiles` (remainder to low tiles) —
+  /// the row-wise distribution of §II-B.
+  static TileMapping linear(std::size_t total, std::size_t tiles) {
+    GRAPHENE_CHECK(tiles > 0, "need at least one tile");
+    std::vector<std::size_t> sizes(tiles);
+    std::size_t base = total / tiles, rem = total % tiles;
+    for (std::size_t t = 0; t < tiles; ++t) sizes[t] = base + (t < rem ? 1 : 0);
+    return TileMapping{std::move(sizes)};
+  }
+
+  /// One element on every tile — replicated scalars.
+  static TileMapping replicated(std::size_t tiles) {
+    return TileMapping{std::vector<std::size_t>(tiles, 1)};
+  }
+
+  /// All elements on a single tile.
+  static TileMapping onTile(std::size_t total, std::size_t tile,
+                            std::size_t tiles) {
+    std::vector<std::size_t> sizes(tiles, 0);
+    GRAPHENE_CHECK(tile < tiles, "tile out of range");
+    sizes[tile] = total;
+    return TileMapping{std::move(sizes)};
+  }
+
+  std::size_t numTiles() const { return sizePerTile.size(); }
+
+  std::size_t totalElements() const {
+    return std::accumulate(sizePerTile.begin(), sizePerTile.end(),
+                           std::size_t{0});
+  }
+
+  bool operator==(const TileMapping& o) const {
+    return sizePerTile == o.sizePerTile;
+  }
+};
+
+/// Static description of one tensor variable in the graph.
+struct TensorInfo {
+  std::string name;
+  ipu::DType dtype = ipu::DType::Float32;
+  TileMapping mapping;
+  /// True when the tensor is a replicated scalar kept consistent across all
+  /// tiles (TensorDSL scalars, loop conditions).
+  bool replicated = false;
+
+  std::size_t totalElements() const { return mapping.totalElements(); }
+
+  /// Element offset of the start of `tile`'s region in the flat host view.
+  std::size_t tileOffset(std::size_t tile) const {
+    GRAPHENE_CHECK(tile < mapping.numTiles(), "tile out of range");
+    std::size_t off = 0;
+    for (std::size_t t = 0; t < tile; ++t) off += mapping.sizePerTile[t];
+    return off;
+  }
+};
+
+}  // namespace graphene::graph

@@ -1,0 +1,136 @@
+#include "ipu/cost_model.hpp"
+
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+const char* dtypeName(DType t) {
+  switch (t) {
+    case DType::Bool: return "bool";
+    case DType::Int32: return "int32";
+    case DType::Float32: return "float32";
+    case DType::Float64: return "float64";
+    case DType::DoubleWord: return "doubleword";
+  }
+  return "?";
+}
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Neg: return "neg";
+    case Op::Abs: return "abs";
+    case Op::Sqrt: return "sqrt";
+    case Op::Compare: return "compare";
+    case Op::Logic: return "logic";
+    case Op::IntArith: return "intarith";
+    case Op::Load: return "load";
+    case Op::Store: return "store";
+    case Op::Branch: return "branch";
+    case Op::Cast: return "cast";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Table I cycle counts for the extended-precision types, Joldes policy.
+double doubleWordCycles(Op op, twofloat::Policy policy) {
+  // Accurate (Joldes): paper Table I. Fast (Lange-Rump): priced from the
+  // flop ratio of the two arithmetic families at 6 cycles/flop plus the same
+  // fixed overhead share.
+  const auto acc = twofloat::flopCounts(twofloat::Policy::Accurate);
+  const auto fast = twofloat::flopCounts(twofloat::Policy::Fast);
+  auto scale = [&](double accurateCycles, int accFlops, int fastFlops) {
+    if (policy == twofloat::Policy::Accurate) return accurateCycles;
+    return accurateCycles * static_cast<double>(fastFlops) /
+           static_cast<double>(accFlops);
+  };
+  switch (op) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Neg:
+      return op == Op::Neg ? 12.0
+                           : scale(132.0, acc.addDwDw, fast.addDwDw);
+    case Op::Mul: return scale(162.0, acc.mulDwDw, fast.mulDwDw);
+    case Op::Div: return scale(240.0, acc.divDwDw, fast.divDwDw);
+    case Op::Abs: return 12.0;
+    case Op::Sqrt: return 360.0;  // ~sqrt + one refinement step
+    case Op::Compare: return 12.0;
+    case Op::Cast: return 12.0;
+    default: break;
+  }
+  GRAPHENE_UNREACHABLE("unpriced double-word op");
+}
+
+/// Table I cycle counts for software-emulated binary64 (compiler-rt style).
+double float64Cycles(Op op) {
+  switch (op) {
+    case Op::Add:
+    case Op::Sub: return 1080.0;
+    case Op::Mul: return 1260.0;
+    case Op::Div: return 2520.0;
+    case Op::Neg: return 12.0;   // sign-bit flip
+    case Op::Abs: return 12.0;   // sign-bit clear
+    case Op::Sqrt: return 9000.0;
+    case Op::Compare: return 60.0;
+    case Op::Cast: return 60.0;
+    default: break;
+  }
+  GRAPHENE_UNREACHABLE("unpriced float64 op");
+}
+
+}  // namespace
+
+double CostModel::workerCycles(Op op, DType t) const {
+  switch (op) {
+    case Op::Load:
+    case Op::Store:
+      // The tile's 64-bit load/store paths move two 32-bit words per issue
+      // slot (the 2-element vector accesses of §II-C); 8-byte types need a
+      // full slot.
+      return sizeOf(t) > 4 ? issue : issue / 2;
+    case Op::Branch:
+      // Single-cycle branch latency (§II-C), but it still occupies the
+      // worker's issue slot.
+      return issue;
+    case Op::IntArith:
+    case Op::Logic:
+      return issue;
+    default:
+      break;
+  }
+  switch (t) {
+    case DType::Bool:
+    case DType::Int32:
+      return issue;
+    case DType::Float32:
+      // All priced float32 ops are single instructions (Table I); sqrt and
+      // div are not vectorisable but still pipelined scalar ops.
+      return op == Op::Sqrt ? 6 * issue : issue;
+    case DType::DoubleWord:
+      return doubleWordCycles(op, dwPolicy);
+    case DType::Float64:
+      return float64Cycles(op);
+  }
+  GRAPHENE_UNREACHABLE("unpriced op/type combination");
+}
+
+Lane CostModel::lane(Op op) {
+  switch (op) {
+    case Op::Load:
+    case Op::Store:
+    case Op::IntArith:
+    case Op::Logic:
+      return Lane::Mem;
+    case Op::Branch:
+      return Lane::Ctrl;
+    default:
+      return Lane::Fp;
+  }
+}
+
+}  // namespace graphene::ipu

@@ -1,0 +1,73 @@
+// Worker-cycle cost model for codelet execution on a simulated tile.
+//
+// Calibration: paper Table I. Native float32 arithmetic costs one issue slot
+// (6 cycles as seen by a worker). Double-word operations use the Joldes
+// et al. algorithms (132 / 162 / 240 cycles for + / * / ÷); the Lange-Rump
+// "fast" policy is priced from its flop counts. Emulated float64 uses the
+// compiler-rt-style soft-float costs (~1080 / 1260 / 2520 cycles).
+//
+// The model also captures the IPU's two-pipeline design (§VI-D): one
+// floating-point instruction and one load/store/integer instruction can issue
+// simultaneously. Codelet interpreters accumulate cycles on two lanes and a
+// basic block costs max(fpLane, memLane) + ctrl.
+#pragma once
+
+#include <cstdint>
+
+#include "ipu/types.hpp"
+#include "twofloat/twofloat.hpp"
+
+namespace graphene::ipu {
+
+/// Which of the two tile pipelines an operation occupies.
+enum class Lane {
+  Fp,    // floating-point pipeline
+  Mem,   // load/store + integer pipeline
+  Ctrl,  // serialising (branches, sync) — cannot overlap
+};
+
+struct CostModel {
+  /// Issue-slot granularity in tile cycles (one worker issues every 6).
+  double issue = 6.0;
+
+  /// Double-word arithmetic policy in use (affects op costs).
+  twofloat::Policy dwPolicy = twofloat::Policy::Accurate;
+
+  /// Worker-visible cycles for one operation on elements of type `t`.
+  double workerCycles(Op op, DType t) const;
+
+  /// The pipeline lane an operation occupies.
+  static Lane lane(Op op);
+};
+
+/// Accumulates the cost of a straight-line region with dual-issue overlap:
+/// total = max(fp, mem) + ctrl.
+class LaneCycles {
+ public:
+  void add(Lane lane, double cycles) {
+    switch (lane) {
+      case Lane::Fp: fp_ += cycles; break;
+      case Lane::Mem: mem_ += cycles; break;
+      case Lane::Ctrl: ctrl_ += cycles; break;
+    }
+  }
+
+  void add(const CostModel& model, Op op, DType t) {
+    add(CostModel::lane(op), model.workerCycles(op, t));
+  }
+
+  double total() const { return (fp_ > mem_ ? fp_ : mem_) + ctrl_; }
+  double fp() const { return fp_; }
+  double mem() const { return mem_; }
+  double ctrl() const { return ctrl_; }
+
+  /// Merges another region sequentially (no overlap across regions).
+  void addSequential(const LaneCycles& other) { ctrl_ += other.total(); }
+
+ private:
+  double fp_ = 0;
+  double mem_ = 0;
+  double ctrl_ = 0;
+};
+
+}  // namespace graphene::ipu

@@ -1,0 +1,74 @@
+#include "ipu/exchange.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+ExchangeStats priceExchange(const IpuTarget& target,
+                            const std::vector<Transfer>& transfers) {
+  ExchangeStats stats;
+  if (transfers.empty()) return stats;
+
+  const std::size_t nTiles = target.totalTiles();
+  std::vector<double> sendBytes(nTiles, 0.0);
+  std::vector<double> recvBytes(nTiles, 0.0);
+  std::vector<std::size_t> instrs(nTiles, 0);
+  // Bytes crossing each ordered (srcIpu, dstIpu) link.
+  std::map<std::pair<std::size_t, std::size_t>, double> linkBytes;
+
+  for (const Transfer& t : transfers) {
+    GRAPHENE_CHECK(t.srcTile < nTiles, "transfer source tile out of range");
+    const std::size_t srcIpu = target.ipuOfTile(t.srcTile);
+    bool remoteDst = false;
+    // Which IPUs need the payload over a link (once per destination IPU —
+    // the gateway fans out on the remote chip).
+    std::vector<bool> ipuSeen(target.numIpus, false);
+    for (std::size_t dst : t.dstTiles) {
+      GRAPHENE_CHECK(dst < nTiles, "transfer destination tile out of range");
+      if (dst == t.srcTile) continue;  // tile-local copy
+      remoteDst = true;
+      recvBytes[dst] += static_cast<double>(t.bytes);
+      const std::size_t dstIpu = target.ipuOfTile(dst);
+      if (dstIpu != srcIpu && !ipuSeen[dstIpu]) {
+        ipuSeen[dstIpu] = true;
+        linkBytes[{srcIpu, dstIpu}] += static_cast<double>(t.bytes);
+        stats.interIpuBytes += t.bytes;
+        stats.crossesIpus = true;
+      }
+    }
+    if (!remoteDst) continue;  // purely local
+    // Broadcast: the source serialises the payload once regardless of the
+    // number of on-chip destinations.
+    sendBytes[t.srcTile] += static_cast<double>(t.bytes);
+    instrs[t.srcTile] += 1;
+    stats.instructions += 1;
+    stats.totalBytes += t.bytes;
+  }
+
+  double maxSendCycles = 0;
+  double maxRecvCycles = 0;
+  double maxInstr = 0;
+  for (std::size_t i = 0; i < nTiles; ++i) {
+    maxSendCycles = std::max(maxSendCycles,
+                             sendBytes[i] / target.exchangeSendBytesPerCycle);
+    maxRecvCycles = std::max(maxRecvCycles,
+                             recvBytes[i] / target.exchangeRecvBytesPerCycle);
+    maxInstr = std::max(maxInstr, static_cast<double>(instrs[i]));
+  }
+
+  double linkCycles = 0;
+  for (const auto& [pair, bytes] : linkBytes) {
+    linkCycles = std::max(linkCycles, bytes / target.linkBytesPerCycle());
+  }
+
+  const double sync =
+      stats.crossesIpus ? target.syncCyclesGlobal : target.syncCyclesOnChip;
+  stats.cycles = sync + target.exchangeInstrCycles * maxInstr +
+                 std::max(maxSendCycles, maxRecvCycles) + linkCycles;
+  return stats;
+}
+
+}  // namespace graphene::ipu

@@ -1,0 +1,45 @@
+// BSP exchange-phase cycle model for the IPU's all-to-all fabric.
+//
+// Communication programs are generated before execution (graph compile time)
+// and are cycle-precise (§II-A). This model prices one exchange superstep
+// given its list of transfers:
+//
+//   cycles = sync + instrOverhead * (busiest tile's transfer count)
+//            + max over tiles of send/recv serialisation
+//            + inter-IPU link serialisation (if any)
+//
+// A broadcast — one separator region consumed by several neighbour tiles — is
+// a *single* send (§IV: "broadcast to all neighbors in a single blockwise
+// transfer"); only the receivers each pay the receive cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ipu/target.hpp"
+
+namespace graphene::ipu {
+
+/// One blockwise transfer in an exchange program: `bytes` sent from
+/// `srcTile` to every tile in `dstTiles` (broadcast when > 1).
+struct Transfer {
+  std::size_t srcTile = 0;
+  std::vector<std::size_t> dstTiles;
+  std::size_t bytes = 0;
+};
+
+/// Static description of a compiled exchange program.
+struct ExchangeStats {
+  double cycles = 0;            // modelled duration of the exchange superstep
+  std::size_t instructions = 0; // total transfer instructions (program size)
+  std::size_t totalBytes = 0;   // payload bytes pushed into the fabric
+  std::size_t interIpuBytes = 0;
+  bool crossesIpus = false;
+};
+
+/// Prices an exchange superstep. Transfers whose source and destination are
+/// the same tile are local copies (no fabric traffic, memcpy-rate on tile).
+ExchangeStats priceExchange(const IpuTarget& target,
+                            const std::vector<Transfer>& transfers);
+
+}  // namespace graphene::ipu

@@ -1,0 +1,62 @@
+// Per-tile SRAM accounting.
+//
+// Each tile's 612 kB SRAM is exclusively accessible by its core (§II-A);
+// every tensor region mapped to a tile consumes part of that budget. The
+// ledger enforces the budget at graph-construction time — the simulated
+// equivalent of Poplar's out-of-memory compile error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ipu/target.hpp"
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+class TileMemoryLedger {
+ public:
+  explicit TileMemoryLedger(const IpuTarget& target)
+      : budget_(target.sramBytesPerTile), used_(target.totalTiles(), 0) {}
+
+  /// Reserves `bytes` on `tile`; throws ResourceError when the tile SRAM
+  /// budget would be exceeded.
+  void allocate(std::size_t tile, std::size_t bytes, const std::string& what) {
+    GRAPHENE_CHECK(tile < used_.size(), "tile out of range");
+    if (used_[tile] + bytes > budget_) {
+      throw ResourceError("tile " + std::to_string(tile) +
+                          " SRAM exceeded allocating " +
+                          std::to_string(bytes) + " B for '" + what +
+                          "' (used " + std::to_string(used_[tile]) + " of " +
+                          std::to_string(budget_) + " B)");
+    }
+    used_[tile] += bytes;
+  }
+
+  void release(std::size_t tile, std::size_t bytes) {
+    GRAPHENE_CHECK(tile < used_.size(), "tile out of range");
+    GRAPHENE_CHECK(bytes <= used_[tile], "releasing more than allocated");
+    used_[tile] -= bytes;
+  }
+
+  std::size_t used(std::size_t tile) const {
+    GRAPHENE_CHECK(tile < used_.size(), "tile out of range");
+    return used_[tile];
+  }
+
+  std::size_t budget() const { return budget_; }
+
+  /// Largest per-tile usage — the tile that limits problem size.
+  std::size_t peakUsed() const {
+    std::size_t peak = 0;
+    for (std::size_t u : used_) peak = std::max(peak, u);
+    return peak;
+  }
+
+ private:
+  std::size_t budget_;
+  std::vector<std::size_t> used_;
+};
+
+}  // namespace graphene::ipu

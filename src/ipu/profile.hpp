@@ -1,0 +1,56 @@
+// Execution profile collected by the Engine — the simulated analogue of
+// Poplar's profiling feature (§VI-A: "For the IPU, we use Poplar's profiling
+// feature to measure the required number of cycles").
+//
+// Compute cycles are attributed to the *category* of the compute set that
+// spent them (e.g. "spmv", "reduce", "ilu_solve", "extended_precision"),
+// which is exactly the granularity of the paper's Table IV breakdown.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace graphene::ipu {
+
+struct Profile {
+  /// Cycles per compute-set category (superstep durations, i.e. max over
+  /// tiles, summed over executions).
+  std::map<std::string, double> computeCycles;
+
+  /// Cycles spent in exchange supersteps (incl. their sync).
+  double exchangeCycles = 0;
+
+  /// Cycles spent in compute-superstep BSP syncs.
+  double syncCycles = 0;
+
+  std::size_t computeSupersteps = 0;
+  std::size_t exchangeSupersteps = 0;
+  std::size_t exchangeInstructions = 0;
+  std::size_t exchangedBytes = 0;
+
+  double totalComputeCycles() const {
+    double s = 0;
+    for (const auto& [k, v] : computeCycles) s += v;
+    return s;
+  }
+
+  double totalCycles() const {
+    return totalComputeCycles() + exchangeCycles + syncCycles;
+  }
+
+  void clear() { *this = Profile{}; }
+
+  Profile& operator+=(const Profile& o) {
+    for (const auto& [k, v] : o.computeCycles) computeCycles[k] += v;
+    exchangeCycles += o.exchangeCycles;
+    syncCycles += o.syncCycles;
+    computeSupersteps += o.computeSupersteps;
+    exchangeSupersteps += o.exchangeSupersteps;
+    exchangeInstructions += o.exchangeInstructions;
+    exchangedBytes += o.exchangedBytes;
+    return *this;
+  }
+};
+
+}  // namespace graphene::ipu

@@ -1,0 +1,83 @@
+// Description of the simulated IPU system (a Graphcore Mk2 "M2000"-style
+// machine and pods built from it).
+//
+// Every quantity that the cycle model needs is collected here so that scaling
+// experiments can sweep tile counts, and so the substitution for real
+// hardware is explicit and auditable. Defaults follow the paper (§II-A) and
+// public Mk2 specifications.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+struct IpuTarget {
+  /// Number of tiles on one IPU chip. Mk2: 1,472. Benchmarks on this small
+  /// host typically use a scaled-down value; every bench prints it.
+  std::size_t tilesPerIpu = 1472;
+
+  /// Number of interconnected IPU chips (a POD16 has 16).
+  std::size_t numIpus = 1;
+
+  /// Local SRAM per tile in bytes. Mk2: 624 KiB (~612 kB in the paper).
+  std::size_t sramBytesPerTile = 624 * 1024;
+
+  /// Hardware worker threads per tile; all six must be used for full
+  /// utilisation (§II-A).
+  std::size_t workersPerTile = 6;
+
+  /// Tile clock. Mk2: 1.325 GHz, constant (execution is cycle-deterministic).
+  double clockHz = 1.325e9;
+
+  /// Issue granularity: one worker issues an instruction every `workerIssue`
+  /// tile cycles (the 6-stage pipeline is time-multiplexed round-robin).
+  std::size_t workerIssueCycles = 6;
+
+  /// On-chip exchange: bytes one tile can push into the fabric per tile
+  /// cycle (Mk2 exchange bus: 32 bits/cycle per tile outbound).
+  double exchangeSendBytesPerCycle = 4.0;
+
+  /// On-chip exchange: bytes one tile can accept per tile cycle (receive
+  /// side is wider than send on Mk2).
+  double exchangeRecvBytesPerCycle = 16.0;
+
+  /// Cycles of overhead per transfer instruction in a tile's communication
+  /// program. Fewer, larger (blockwise) transfers amortise this — the point
+  /// of the paper's reordering strategy (§IV).
+  double exchangeInstrCycles = 12.0;
+
+  /// BSP synchronisation cost for an on-chip superstep barrier.
+  double syncCyclesOnChip = 150.0;
+
+  /// BSP synchronisation cost when the superstep spans multiple IPUs
+  /// (IPU-Link sync is microsecond-scale).
+  double syncCyclesGlobal = 2000.0;
+
+  /// IPU-Link bandwidth per direction between a pair of IPUs, bytes/second.
+  double linkBytesPerSecond = 64e9;
+
+  std::size_t totalTiles() const { return tilesPerIpu * numIpus; }
+
+  /// IPU index that owns a global tile id.
+  std::size_t ipuOfTile(std::size_t tile) const {
+    GRAPHENE_DCHECK(tile < totalTiles(), "tile out of range");
+    return tile / tilesPerIpu;
+  }
+
+  double secondsFromCycles(double cycles) const { return cycles / clockHz; }
+
+  double linkBytesPerCycle() const { return linkBytesPerSecond / clockHz; }
+
+  /// A scaled-down target for unit tests: few tiles, small SRAM.
+  static IpuTarget testTarget(std::size_t tiles = 8, std::size_t ipus = 1) {
+    IpuTarget t;
+    t.tilesPerIpu = tiles;
+    t.numIpus = ipus;
+    return t;
+  }
+};
+
+}  // namespace graphene::ipu

@@ -1,0 +1,62 @@
+// Element data types and abstract operations of the simulated IPU.
+//
+// The DSLs are dynamically typed (paper §III): every DSL value carries one of
+// these types at symbolic-execution time. FLOAT64 is software-emulated
+// (SoftDouble) and DOUBLEWORD is the TwoFloat double-word type — the IPU has
+// no native double precision (§III-D).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace graphene::ipu {
+
+enum class DType {
+  Bool,
+  Int32,
+  Float32,
+  Float64,     // software-emulated IEEE binary64
+  DoubleWord,  // two-float double-word value (hi, lo)
+};
+
+/// Size in bytes of one element in tile SRAM.
+constexpr std::size_t sizeOf(DType t) {
+  switch (t) {
+    case DType::Bool: return 1;
+    case DType::Int32: return 4;
+    case DType::Float32: return 4;
+    case DType::Float64: return 8;
+    case DType::DoubleWord: return 8;  // two float32 words
+  }
+  return 0;
+}
+
+constexpr bool isFloating(DType t) {
+  return t == DType::Float32 || t == DType::Float64 || t == DType::DoubleWord;
+}
+
+const char* dtypeName(DType t);
+
+/// Abstract operations the cycle model prices. These correspond to worker
+/// instructions (or short instruction sequences for the extended-precision
+/// types) on the simulated tile.
+enum class Op {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Abs,
+  Sqrt,
+  Compare,  // any relational operator
+  Logic,    // and/or/not on bools
+  IntArith, // integer add/sub/mul, index arithmetic
+  Load,     // tile-local SRAM load
+  Store,    // tile-local SRAM store
+  Branch,   // conditional branch (single-cycle on IPU)
+  Cast,     // dtype conversion
+};
+
+const char* opName(Op op);
+
+}  // namespace graphene::ipu

@@ -1,0 +1,78 @@
+// Worker-thread timing model — the simulated equivalent of the paper's
+// open-sourced IPUTHREADING library (§V-A, reference [18]).
+//
+// A tile has six hardware worker threads. Poplar inserts a sync before every
+// compute set; adding one compute set per level-set level made graph
+// compilation unacceptably slow, so the paper spawns and synchronises worker
+// threads *inside* a single compute set using the run/runall/sync
+// instructions. This class models exactly that: per-worker cycle clocks, a
+// `runall` spawn overhead, and `sync` barriers that advance every worker to
+// the slowest one.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+class WorkerPool {
+ public:
+  /// Cycle cost of the supervisor issuing `runall` (spawning all workers).
+  static constexpr double kRunAllCycles = 18.0;
+  /// Cycle cost of a `sync` barrier across the tile's workers.
+  static constexpr double kSyncCycles = 12.0;
+
+  explicit WorkerPool(std::size_t numWorkers) : clocks_(numWorkers, 0.0) {
+    GRAPHENE_CHECK(numWorkers > 0, "worker pool needs at least one worker");
+  }
+
+  std::size_t numWorkers() const { return clocks_.size(); }
+
+  /// Charges `cycles` of work to worker `w`.
+  void addCycles(std::size_t w, double cycles) {
+    GRAPHENE_CHECK(w < clocks_.size(), "worker index out of range");
+    clocks_[w] += cycles;
+  }
+
+  /// Models `runall`: the supervisor hands one work item per worker.
+  void chargeSpawn() {
+    for (double& c : clocks_) c += kRunAllCycles / static_cast<double>(clocks_.size());
+  }
+
+  /// Barrier: every worker's clock advances to the slowest worker, plus the
+  /// sync instruction cost. Returns the barrier time.
+  double sync() {
+    double m = elapsed() + kSyncCycles;
+    std::fill(clocks_.begin(), clocks_.end(), m);
+    return m;
+  }
+
+  /// Max over worker clocks — the tile-visible duration so far.
+  double elapsed() const {
+    double m = 0;
+    for (double c : clocks_) m = std::max(m, c);
+    return m;
+  }
+
+  /// Sum of worker clocks — total work (for utilisation statistics).
+  double totalWork() const {
+    double s = 0;
+    for (double c : clocks_) s += c;
+    return s;
+  }
+
+  /// Fraction of issue slots doing useful work: totalWork / (workers*elapsed).
+  double utilisation() const {
+    double e = elapsed();
+    if (e == 0) return 1.0;
+    return totalWork() / (static_cast<double>(clocks_.size()) * e);
+  }
+
+ private:
+  std::vector<double> clocks_;
+};
+
+}  // namespace graphene::ipu

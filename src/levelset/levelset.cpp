@@ -1,0 +1,64 @@
+#include "levelset/levelset.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace graphene::levelset {
+
+LevelSchedule buildLevels(std::span<const std::size_t> rowPtr,
+                          std::span<const std::int32_t> colIdx, std::size_t n,
+                          bool lower) {
+  GRAPHENE_CHECK(rowPtr.size() == n + 1, "rowPtr size mismatch");
+  // level[r] = 1 + max(level[dependencies]); computed in topological order,
+  // which for triangular dependencies is simply ascending (lower) or
+  // descending (upper) row order.
+  std::vector<std::int32_t> level(n, 0);
+  std::int32_t maxLevel = -1;
+  auto process = [&](std::size_t r) {
+    std::int32_t lv = 0;
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      const std::int32_t c = colIdx[k];
+      if (c < 0 || static_cast<std::size_t>(c) >= n) continue;  // halo ref
+      const std::size_t cs = static_cast<std::size_t>(c);
+      const bool isDep = lower ? cs < r : cs > r;
+      if (isDep) lv = std::max(lv, level[cs] + 1);
+    }
+    level[r] = lv;
+    maxLevel = std::max(maxLevel, lv);
+  };
+  if (lower) {
+    for (std::size_t r = 0; r < n; ++r) process(r);
+  } else {
+    for (std::size_t r = n; r-- > 0;) process(r);
+  }
+
+  LevelSchedule sched;
+  const std::size_t levels = static_cast<std::size_t>(maxLevel + 1);
+  sched.levelPtr.assign(levels + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    ++sched.levelPtr[static_cast<std::size_t>(level[r]) + 1];
+  }
+  for (std::size_t l = 0; l < levels; ++l) {
+    sched.levelPtr[l + 1] += sched.levelPtr[l];
+  }
+  sched.order.resize(n);
+  std::vector<std::int32_t> cursor(sched.levelPtr.begin(),
+                                   sched.levelPtr.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    sched.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(level[r])]++)] =
+        static_cast<std::int32_t>(r);
+  }
+  return sched;
+}
+
+LevelSchedule buildForwardLevels(const matrix::CsrMatrix& a) {
+  return buildLevels(a.rowPtr(), a.colIdx(), a.rows(), /*lower=*/true);
+}
+
+LevelSchedule buildBackwardLevels(const matrix::CsrMatrix& a) {
+  return buildLevels(a.rowPtr(), a.colIdx(), a.rows(), /*lower=*/false);
+}
+
+}  // namespace graphene::levelset

@@ -1,0 +1,211 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace graphene::matrix {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> rowPtr,
+                     std::vector<std::int32_t> col, std::vector<double> val)
+    : rows_(rows), cols_(cols), rowPtr_(std::move(rowPtr)),
+      col_(std::move(col)), val_(std::move(val)) {
+  GRAPHENE_CHECK(rowPtr_.size() == rows_ + 1, "rowPtr must have rows+1 entries");
+  GRAPHENE_CHECK(col_.size() == val_.size(), "col/val size mismatch");
+  GRAPHENE_CHECK(rowPtr_.front() == 0 && rowPtr_.back() == val_.size(),
+                 "rowPtr bounds invalid");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    GRAPHENE_CHECK(rowPtr_[r] <= rowPtr_[r + 1], "rowPtr not monotone");
+  }
+  for (std::int32_t c : col_) {
+    GRAPHENE_CHECK(c >= 0 && static_cast<std::size_t>(c) < cols_,
+                   "column index out of range");
+  }
+}
+
+CsrMatrix CsrMatrix::fromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<std::size_t> rowPtr(rows + 1, 0);
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+  col.reserve(triplets.size());
+  val.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    const Triplet& t = triplets[i];
+    GRAPHENE_CHECK(t.row < rows && t.col < cols,
+                   "triplet out of range: (", t.row, ",", t.col, ")");
+    double sum = 0.0;
+    std::size_t j = i;
+    while (j < triplets.size() && triplets[j].row == t.row &&
+           triplets[j].col == t.col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      col.push_back(static_cast<std::int32_t>(t.col));
+      val.push_back(sum);
+      ++rowPtr[t.row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) rowPtr[r + 1] += rowPtr[r];
+  return CsrMatrix(rows, cols, std::move(rowPtr), std::move(col),
+                   std::move(val));
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  GRAPHENE_CHECK(r < rows_ && c < cols_, "index out of range");
+  auto begin = col_.begin() + static_cast<std::ptrdiff_t>(rowPtr_[r]);
+  auto end = col_.begin() + static_cast<std::ptrdiff_t>(rowPtr_[r + 1]);
+  auto it = std::lower_bound(begin, end, static_cast<std::int32_t>(c));
+  if (it != end && *it == static_cast<std::int32_t>(c)) {
+    return val_[static_cast<std::size_t>(it - col_.begin())];
+  }
+  return 0.0;
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  GRAPHENE_CHECK(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      acc += val_[k] * x[static_cast<std::size_t>(col_[k])];
+    }
+    y[r] = acc;
+  }
+}
+
+bool CsrMatrix::isSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      std::size_t c = static_cast<std::size_t>(col_[k]);
+      double mirror = at(c, r);
+      double scale = std::max(std::abs(val_[k]), std::abs(mirror));
+      if (std::abs(val_[k] - mirror) > tol * std::max(scale, 1.0)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CsrMatrix::hasFullDiagonal() const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (at(r, r) == 0.0) return false;
+  }
+  return true;
+}
+
+std::size_t CsrMatrix::bandwidth() const {
+  std::size_t bw = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      std::size_t c = static_cast<std::size_t>(col_[k]);
+      bw = std::max(bw, c > r ? c - r : r - c);
+    }
+  }
+  return bw;
+}
+
+CsrMatrix CsrMatrix::permuted(std::span<const std::size_t> perm) const {
+  GRAPHENE_CHECK(perm.size() == rows_ && rows_ == cols_,
+                 "permutation must cover a square matrix");
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      trips.push_back(Triplet{perm[r],
+                              perm[static_cast<std::size_t>(col_[k])],
+                              val_[k]});
+    }
+  }
+  return fromTriplets(rows_, cols_, std::move(trips));
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      trips.push_back(
+          Triplet{static_cast<std::size_t>(col_[k]), r, val_[k]});
+    }
+  }
+  return fromTriplets(cols_, rows_, std::move(trips));
+}
+
+ModifiedCrs ModifiedCrs::fromCsr(const CsrMatrix& a) {
+  GRAPHENE_CHECK(a.rows() == a.cols(), "modified CRS needs a square matrix");
+  ModifiedCrs m;
+  const std::size_t n = a.rows();
+  m.diag_.resize(n, 0.0);
+  m.rowPtr_.assign(n + 1, 0);
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto val = a.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    bool sawDiag = false;
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      if (static_cast<std::size_t>(col[k]) == r) {
+        m.diag_[r] = val[k];
+        sawDiag = true;
+      } else {
+        m.col_.push_back(col[k]);
+        m.val_.push_back(val[k]);
+        ++m.rowPtr_[r + 1];
+      }
+    }
+    GRAPHENE_CHECK(sawDiag && m.diag_[r] != 0.0,
+                   "modified CRS requires nonzero diagonal (row ", r, ")");
+  }
+  for (std::size_t r = 0; r < n; ++r) m.rowPtr_[r + 1] += m.rowPtr_[r];
+  return m;
+}
+
+CsrMatrix ModifiedCrs::toCsr() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  const std::size_t n = rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    trips.push_back(Triplet{r, r, diag_[r]});
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      trips.push_back(Triplet{r, static_cast<std::size_t>(col_[k]), val_[k]});
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, std::move(trips));
+}
+
+void ModifiedCrs::spmv(std::span<const double> x, std::span<double> y) const {
+  const std::size_t n = rows();
+  GRAPHENE_CHECK(x.size() == n && y.size() == n, "spmv size mismatch");
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = diag_[r] * x[r];
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      acc += val_[k] * x[static_cast<std::size_t>(col_[k])];
+    }
+    y[r] = acc;
+  }
+}
+
+MatrixStats computeStats(const CsrMatrix& a) {
+  MatrixStats s;
+  s.rows = a.rows();
+  s.nnz = a.nnz();
+  s.avgNnzPerRow = a.rows() ? static_cast<double>(a.nnz()) /
+                                  static_cast<double>(a.rows())
+                            : 0.0;
+  s.bandwidth = a.bandwidth();
+  s.symmetric = a.isSymmetric(1e-10);
+  s.fullDiagonal = a.hasFullDiagonal();
+  return s;
+}
+
+}  // namespace graphene::matrix

@@ -1,0 +1,119 @@
+// Sparse matrix containers: canonical CSR and the paper's modified CRS.
+//
+// The framework's device format (§II-C) stores the diagonal separately in a
+// dense array and keeps only off-diagonal entries in the CRS structure,
+// saving the diagonal's column indices and giving solvers like Gauss-Seidel
+// direct access to a_ii. Host-side analysis and baselines use plain CSR in
+// double precision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace graphene::matrix {
+
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed Sparse Row matrix (double precision, host side).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> rowPtr,
+            std::vector<std::int32_t> col, std::vector<double> val);
+
+  /// Builds from (possibly unsorted, possibly duplicated) triplets;
+  /// duplicates are summed.
+  static CsrMatrix fromTriplets(std::size_t rows, std::size_t cols,
+                                std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+
+  std::span<const std::size_t> rowPtr() const { return rowPtr_; }
+  std::span<const std::int32_t> colIdx() const { return col_; }
+  std::span<const double> values() const { return val_; }
+  std::span<double> values() { return val_; }
+
+  /// Number of entries in one row.
+  std::size_t rowNnz(std::size_t r) const {
+    return rowPtr_[r + 1] - rowPtr_[r];
+  }
+
+  /// Reads A(r, c); zero if not stored.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// y = A * x (double precision reference).
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Structural + numerical symmetry within `tol` (relative).
+  bool isSymmetric(double tol = 1e-12) const;
+
+  /// True when every diagonal entry is present and nonzero.
+  bool hasFullDiagonal() const;
+
+  /// Max |r - c| over stored entries.
+  std::size_t bandwidth() const;
+
+  /// Applies a symmetric permutation: B(newI, newJ) = A(oldI, oldJ), where
+  /// perm[oldI] = newI.
+  CsrMatrix permuted(std::span<const std::size_t> perm) const;
+
+  /// Transpose.
+  CsrMatrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::int32_t> col_;
+  std::vector<double> val_;
+};
+
+/// Modified CRS (§II-C): dense diagonal + off-diagonal CRS.
+class ModifiedCrs {
+ public:
+  ModifiedCrs() = default;
+
+  /// Splits a CSR matrix; every diagonal entry must exist and be nonzero.
+  static ModifiedCrs fromCsr(const CsrMatrix& a);
+
+  CsrMatrix toCsr() const;
+
+  std::size_t rows() const { return diag_.size(); }
+  std::size_t nnz() const { return val_.size() + diag_.size(); }
+
+  std::span<const double> diagonal() const { return diag_; }
+  std::span<const std::size_t> rowPtr() const { return rowPtr_; }
+  std::span<const std::int32_t> colIdx() const { return col_; }
+  std::span<const double> values() const { return val_; }
+
+  /// y = A * x.
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  std::vector<double> diag_;
+  std::vector<std::size_t> rowPtr_;  // off-diagonal entries only
+  std::vector<std::int32_t> col_;
+  std::vector<double> val_;
+};
+
+/// Summary statistics printed by benches (Table II columns).
+struct MatrixStats {
+  std::size_t rows = 0;
+  std::size_t nnz = 0;
+  double avgNnzPerRow = 0;
+  std::size_t bandwidth = 0;
+  bool symmetric = false;
+  bool fullDiagonal = false;
+};
+
+MatrixStats computeStats(const CsrMatrix& a);
+
+}  // namespace graphene::matrix

@@ -1,0 +1,138 @@
+#include "matrix/ellpack.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace graphene::matrix {
+
+EllpackMatrix EllpackMatrix::fromCsr(const CsrMatrix& a) {
+  EllpackMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.nnz_ = a.nnz();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    m.width_ = std::max(m.width_, a.rowNnz(r));
+  }
+  m.val_.assign(m.rows_ * m.width_, 0.0);
+  m.col_.assign(m.rows_ * m.width_, 0);
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto val = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::size_t j = 0;
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k, ++j) {
+      m.val_[j * m.rows_ + r] = val[k];
+      m.col_[j * m.rows_ + r] = col[k];
+    }
+  }
+  return m;
+}
+
+void EllpackMatrix::spmv(std::span<const double> x,
+                         std::span<double> y) const {
+  GRAPHENE_CHECK(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  // Column-of-entries major loop: streaming access over val_/col_, the
+  // pattern wide-SIMD machines vectorise across rows.
+  for (std::size_t j = 0; j < width_; ++j) {
+    const double* v = val_.data() + j * rows_;
+    const std::int32_t* c = col_.data() + j * rows_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      y[r] += v[r] * x[static_cast<std::size_t>(c[r])];
+    }
+  }
+}
+
+CsrMatrix EllpackMatrix::toCsr() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < width_; ++j) {
+      double v = val_[j * rows_ + r];
+      if (v != 0.0) {
+        trips.push_back(
+            Triplet{r, static_cast<std::size_t>(col_[j * rows_ + r]), v});
+      }
+    }
+  }
+  return CsrMatrix::fromTriplets(rows_, cols_, std::move(trips));
+}
+
+SellMatrix SellMatrix::fromCsr(const CsrMatrix& a, std::size_t sliceHeight) {
+  GRAPHENE_CHECK(sliceHeight > 0, "slice height must be positive");
+  SellMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.c_ = sliceHeight;
+  m.nnz_ = a.nnz();
+  const std::size_t numSlices = (a.rows() + sliceHeight - 1) / sliceHeight;
+  m.sliceOffset_.resize(numSlices);
+  m.sliceWidth_.resize(numSlices);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < numSlices; ++s) {
+    std::size_t width = 0;
+    for (std::size_t i = 0; i < sliceHeight; ++i) {
+      std::size_t r = s * sliceHeight + i;
+      if (r < a.rows()) width = std::max(width, a.rowNnz(r));
+    }
+    m.sliceOffset_[s] = total;
+    m.sliceWidth_[s] = width;
+    total += width * sliceHeight;
+  }
+  m.val_.assign(total, 0.0);
+  m.col_.assign(total, 0);
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto val = a.values();
+  for (std::size_t s = 0; s < numSlices; ++s) {
+    for (std::size_t i = 0; i < sliceHeight; ++i) {
+      std::size_t r = s * sliceHeight + i;
+      if (r >= a.rows()) continue;
+      std::size_t j = 0;
+      for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k, ++j) {
+        std::size_t idx = m.sliceOffset_[s] + j * sliceHeight + i;
+        m.val_[idx] = val[k];
+        m.col_[idx] = col[k];
+      }
+    }
+  }
+  return m;
+}
+
+void SellMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  GRAPHENE_CHECK(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t s = 0; s < sliceWidth_.size(); ++s) {
+    const std::size_t base = s * c_;
+    const std::size_t lanes = std::min(c_, rows_ - base);
+    for (std::size_t j = 0; j < sliceWidth_[s]; ++j) {
+      const double* v = val_.data() + sliceOffset_[s] + j * c_;
+      const std::int32_t* c = col_.data() + sliceOffset_[s] + j * c_;
+      for (std::size_t i = 0; i < lanes; ++i) {
+        y[base + i] += v[i] * x[static_cast<std::size_t>(c[i])];
+      }
+    }
+  }
+}
+
+CsrMatrix SellMatrix::toCsr() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz_);
+  for (std::size_t s = 0; s < sliceWidth_.size(); ++s) {
+    const std::size_t base = s * c_;
+    for (std::size_t i = 0; i < c_ && base + i < rows_; ++i) {
+      for (std::size_t j = 0; j < sliceWidth_[s]; ++j) {
+        std::size_t idx = sliceOffset_[s] + j * c_ + i;
+        if (val_[idx] != 0.0) {
+          trips.push_back(Triplet{base + i,
+                                  static_cast<std::size_t>(col_[idx]),
+                                  val_[idx]});
+        }
+      }
+    }
+  }
+  return CsrMatrix::fromTriplets(rows_, cols_, std::move(trips));
+}
+
+}  // namespace graphene::matrix

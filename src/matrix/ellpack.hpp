@@ -1,0 +1,94 @@
+// ELLPACK and Sliced ELLPACK (SELL) sparse formats (§II-C).
+//
+// The paper discusses these vector-friendly formats (ITPACKV's ELLPACK and
+// Bell & Garland's SELL) and argues that the IPU's cache-less design and
+// narrow vector units make their benefit small, leaving them as future work.
+// This implementation explores exactly that trade-off: both formats with
+// conversions, SpMV kernels, and padding/footprint statistics, compared
+// against CSR in `bench_ablation_formats`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace graphene::matrix {
+
+/// ELLPACK: every row padded to the longest row; column-major storage so
+/// consecutive lanes (rows) read consecutive memory — ideal for wide SIMD,
+/// wasteful when row lengths vary.
+class EllpackMatrix {
+ public:
+  static EllpackMatrix fromCsr(const CsrMatrix& a);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t rowWidth() const { return width_; }
+  std::size_t nnz() const { return nnz_; }
+
+  /// Stored entries including padding.
+  std::size_t paddedEntries() const { return rows_ * width_; }
+
+  /// Padding overhead: padded / nnz.
+  double paddingFactor() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(paddedEntries()) /
+                           static_cast<double>(nnz_);
+  }
+
+  /// Bytes of value + index storage.
+  std::size_t footprintBytes() const { return paddedEntries() * (8 + 4); }
+
+  /// y = A * x.
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  CsrMatrix toCsr() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, width_ = 0, nnz_ = 0;
+  // Column-major: entry (r, j) at val_[j * rows_ + r]. Padded columns use
+  // index 0 with value 0 (safe to multiply).
+  std::vector<double> val_;
+  std::vector<std::int32_t> col_;
+};
+
+/// Sliced ELLPACK: rows are grouped into slices of height C; each slice is
+/// padded only to its own longest row, recovering most of ELLPACK's
+/// vectorisability at a fraction of the padding.
+class SellMatrix {
+ public:
+  static SellMatrix fromCsr(const CsrMatrix& a, std::size_t sliceHeight = 8);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t sliceHeight() const { return c_; }
+  std::size_t numSlices() const { return sliceWidth_.size(); }
+  std::size_t nnz() const { return nnz_; }
+
+  std::size_t paddedEntries() const { return val_.size(); }
+
+  double paddingFactor() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(paddedEntries()) /
+                           static_cast<double>(nnz_);
+  }
+
+  std::size_t footprintBytes() const { return paddedEntries() * (8 + 4); }
+
+  /// y = A * x.
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  CsrMatrix toCsr() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, c_ = 0, nnz_ = 0;
+  std::vector<std::size_t> sliceOffset_;  // into val_/col_, per slice
+  std::vector<std::size_t> sliceWidth_;   // padded width per slice
+  // Within a slice: column-major over its C rows.
+  std::vector<double> val_;
+  std::vector<std::int32_t> col_;
+};
+
+}  // namespace graphene::matrix

@@ -1,0 +1,261 @@
+#include "matrix/generators.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace graphene::matrix {
+
+namespace {
+
+/// Builds an SPD matrix from weighted undirected edges as a graph Laplacian
+/// plus a diagonal shift: a_uv = -w, a_uu = Σ w + shift. Diagonally dominant
+/// ⇒ SPD; smaller shift ⇒ larger condition number.
+CsrMatrix laplacian(std::size_t n, const std::vector<Triplet>& edges,
+                    double shift) {
+  std::vector<Triplet> trips;
+  trips.reserve(edges.size() * 2 + n);
+  std::vector<double> diag(n, shift);
+  for (const Triplet& e : edges) {
+    GRAPHENE_DCHECK(e.row < n && e.col < n && e.row != e.col, "bad edge");
+    GRAPHENE_DCHECK(e.value > 0, "edge weights must be positive");
+    trips.push_back(Triplet{e.row, e.col, -e.value});
+    trips.push_back(Triplet{e.col, e.row, -e.value});
+    diag[e.row] += e.value;
+    diag[e.col] += e.value;
+  }
+  for (std::size_t i = 0; i < n; ++i) trips.push_back(Triplet{i, i, diag[i]});
+  return CsrMatrix::fromTriplets(n, n, std::move(trips));
+}
+
+std::size_t idx3(std::size_t x, std::size_t y, std::size_t z, std::size_t nx,
+                 std::size_t ny) {
+  return (z * ny + y) * nx + x;
+}
+
+/// 27-point-stencil FEM-style slab: edges to all <=1-offset neighbours with
+/// weights from a provided coefficient field evaluated at the edge midpoint.
+std::vector<Triplet> stencil27Edges(
+    std::size_t nx, std::size_t ny, std::size_t nz,
+    const std::function<double(double, double, double)>& coeff) {
+  std::vector<Triplet> edges;
+  edges.reserve(nx * ny * nz * 13);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t u = idx3(x, y, z, nx, ny);
+        // Enumerate each undirected edge once: positive lexicographic offset.
+        for (int dz = 0; dz <= 1; ++dz) {
+          for (int dy = dz == 0 ? 0 : -1; dy <= 1; ++dy) {
+            for (int dx = (dz == 0 && dy == 0) ? 1 : -1; dx <= 1; ++dx) {
+              const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + dx;
+              const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + dy;
+              const std::ptrdiff_t zz = static_cast<std::ptrdiff_t>(z) + dz;
+              if (xx < 0 || yy < 0 || zz < 0 ||
+                  xx >= static_cast<std::ptrdiff_t>(nx) ||
+                  yy >= static_cast<std::ptrdiff_t>(ny) ||
+                  zz >= static_cast<std::ptrdiff_t>(nz)) {
+                continue;
+              }
+              const std::size_t v =
+                  idx3(static_cast<std::size_t>(xx), static_cast<std::size_t>(yy),
+                       static_cast<std::size_t>(zz), nx, ny);
+              const double dist =
+                  std::sqrt(static_cast<double>(dx * dx + dy * dy + dz * dz));
+              const double mx = (static_cast<double>(x) + xx * 0.5) /
+                                static_cast<double>(nx);
+              const double my = (static_cast<double>(y) + yy * 0.5) /
+                                static_cast<double>(ny);
+              const double mz = (static_cast<double>(z) + zz * 0.5) /
+                                static_cast<double>(nz);
+              edges.push_back(Triplet{u, v, coeff(mx, my, mz) / dist});
+            }
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+GeneratedMatrix poisson3d7(std::size_t nx, std::size_t ny, std::size_t nz) {
+  GRAPHENE_CHECK(nx > 0 && ny > 0 && nz > 0, "empty grid");
+  const std::size_t n = nx * ny * nz;
+  std::vector<Triplet> trips;
+  trips.reserve(n * 7);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t u = idx3(x, y, z, nx, ny);
+        trips.push_back(Triplet{u, u, 6.0});
+        if (x + 1 < nx) trips.push_back(Triplet{u, idx3(x + 1, y, z, nx, ny), -1.0});
+        if (x > 0) trips.push_back(Triplet{u, idx3(x - 1, y, z, nx, ny), -1.0});
+        if (y + 1 < ny) trips.push_back(Triplet{u, idx3(x, y + 1, z, nx, ny), -1.0});
+        if (y > 0) trips.push_back(Triplet{u, idx3(x, y - 1, z, nx, ny), -1.0});
+        if (z + 1 < nz) trips.push_back(Triplet{u, idx3(x, y, z + 1, nx, ny), -1.0});
+        if (z > 0) trips.push_back(Triplet{u, idx3(x, y, z - 1, nx, ny), -1.0});
+      }
+    }
+  }
+  GeneratedMatrix g;
+  g.matrix = CsrMatrix::fromTriplets(n, n, std::move(trips));
+  g.name = "poisson3d_" + std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+           std::to_string(nz);
+  g.nx = nx;
+  g.ny = ny;
+  g.nz = nz;
+  return g;
+}
+
+GeneratedMatrix poisson2d5(std::size_t nx, std::size_t ny) {
+  GRAPHENE_CHECK(nx > 0 && ny > 0, "empty grid");
+  const std::size_t n = nx * ny;
+  std::vector<Triplet> trips;
+  trips.reserve(n * 5);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const std::size_t u = y * nx + x;
+      trips.push_back(Triplet{u, u, 4.0});
+      if (x + 1 < nx) trips.push_back(Triplet{u, u + 1, -1.0});
+      if (x > 0) trips.push_back(Triplet{u, u - 1, -1.0});
+      if (y + 1 < ny) trips.push_back(Triplet{u, u + nx, -1.0});
+      if (y > 0) trips.push_back(Triplet{u, u - nx, -1.0});
+    }
+  }
+  GeneratedMatrix g;
+  g.matrix = CsrMatrix::fromTriplets(n, n, std::move(trips));
+  g.name = "poisson2d_" + std::to_string(nx) + "x" + std::to_string(ny);
+  g.nx = nx;
+  g.ny = ny;
+  g.nz = 1;
+  return g;
+}
+
+GeneratedMatrix g3CircuitLike(std::size_t targetRows, std::uint64_t seed,
+                              double shiftScale) {
+  // Circuit matrices are irregular graph Laplacians: local connectivity from
+  // placement plus sparse long-range nets. nnz/row of G3_circuit is ~4.8.
+  const std::size_t side =
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(targetRows)));
+  const std::size_t n = side * side;
+  Rng rng(seed);
+  std::vector<Triplet> edges;
+  edges.reserve(n * 3);
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      const std::size_t u = y * side + x;
+      // Local wiring: right/down neighbours with varying conductance, a few
+      // connections dropped (irregular routing).
+      if (x + 1 < side && rng.nextDouble() > 0.08) {
+        edges.push_back(Triplet{u, u + 1, rng.uniform(0.5, 2.0)});
+      }
+      if (y + 1 < side && rng.nextDouble() > 0.08) {
+        edges.push_back(Triplet{u, u + side, rng.uniform(0.5, 2.0)});
+      }
+      // Sparse long-range nets (~0.4 per node) to random targets.
+      if (rng.nextDouble() < 0.4) {
+        std::size_t v = rng.nextBelow(n);
+        if (v != u) edges.push_back(Triplet{u, v, rng.uniform(0.1, 1.0)});
+      }
+    }
+  }
+  GeneratedMatrix g;
+  g.matrix = laplacian(n, edges, 1e-3 * shiftScale);
+  g.name = "g3_circuit_like";
+  return g;
+}
+
+GeneratedMatrix afShellLike(std::size_t targetRows, std::uint64_t seed,
+                            double shiftScale) {
+  // Thin shell: a slab only 3 elements thick with a smooth stiffness field.
+  const std::size_t side = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(targetRows) / 3.0));
+  Rng rng(seed);
+  const double phase = rng.uniform(0.0, 6.28);
+  auto coeff = [phase](double x, double y, double z) {
+    (void)z;
+    return 1.0 + 0.8 * std::sin(6.0 * x + phase) * std::cos(5.0 * y);
+  };
+  auto edges = stencil27Edges(side, side, 3, coeff);
+  GeneratedMatrix g;
+  g.matrix = laplacian(side * side * 3, edges, 2e-4 * shiftScale);
+  g.name = "af_shell7_like";
+  g.nx = side;
+  g.ny = side;
+  g.nz = 3;
+  return g;
+}
+
+GeneratedMatrix geoLike(std::size_t targetRows, std::uint64_t seed,
+                        double shiftScale) {
+  // Geomechanics: strongly heterogeneous lognormal stiffness on a cube —
+  // the hardest conditioning of the four (Geo_1438 needs the most
+  // iterations in the paper's Figure 9).
+  const std::size_t side = static_cast<std::size_t>(
+      std::cbrt(static_cast<double>(targetRows)));
+  Rng rng(seed);
+  // Smooth random field: sum of a few random cosines, exponentiated.
+  struct Mode {
+    double kx, ky, kz, phase, amp;
+  };
+  std::vector<Mode> modes;
+  for (int i = 0; i < 6; ++i) {
+    modes.push_back(Mode{rng.uniform(1.0, 9.0), rng.uniform(1.0, 9.0),
+                         rng.uniform(1.0, 9.0), rng.uniform(0.0, 6.28),
+                         rng.uniform(0.3, 0.9)});
+  }
+  auto coeff = [modes](double x, double y, double z) {
+    double f = 0;
+    for (const Mode& m : modes) {
+      f += m.amp * std::cos(m.kx * x + m.ky * y + m.kz * z + m.phase);
+    }
+    return std::exp(1.8 * f);  // lognormal-like, ~3 decades of contrast
+  };
+  auto edges = stencil27Edges(side, side, side, coeff);
+  GeneratedMatrix g;
+  g.matrix = laplacian(side * side * side, edges, 1e-4 * shiftScale);
+  g.name = "geo_1438_like";
+  g.nx = side;
+  g.ny = side;
+  g.nz = side;
+  return g;
+}
+
+GeneratedMatrix hookLike(std::size_t targetRows, std::uint64_t seed,
+                         double shiftScale) {
+  // Elasticity on an elongated block (Hook_1498 is a steel hook): moderate
+  // coefficient variation, 2:1:1 aspect ratio.
+  const std::size_t base = static_cast<std::size_t>(
+      std::cbrt(static_cast<double>(targetRows) / 2.0));
+  Rng rng(seed);
+  const double phase = rng.uniform(0.0, 6.28);
+  auto coeff = [phase](double x, double y, double z) {
+    return 1.0 + 0.5 * std::sin(4.0 * x + phase) * std::sin(3.0 * y) *
+                     std::cos(5.0 * z);
+  };
+  auto edges = stencil27Edges(2 * base, base, base, coeff);
+  GeneratedMatrix g;
+  g.matrix = laplacian(2 * base * base * base, edges, 5e-4 * shiftScale);
+  g.name = "hook_1498_like";
+  g.nx = 2 * base;
+  g.ny = base;
+  g.nz = base;
+  return g;
+}
+
+GeneratedMatrix makeBenchmarkMatrix(const std::string& name,
+                                    std::size_t targetRows,
+                                    double shiftScale) {
+  if (name == "g3_circuit") return g3CircuitLike(targetRows, 1, shiftScale);
+  if (name == "af_shell7") return afShellLike(targetRows, 2, shiftScale);
+  if (name == "geo_1438") return geoLike(targetRows, 3, shiftScale);
+  if (name == "hook_1498") return hookLike(targetRows, 4, shiftScale);
+  GRAPHENE_CHECK(false, "unknown benchmark matrix '", name, "'");
+  return {};
+}
+
+}  // namespace graphene::matrix

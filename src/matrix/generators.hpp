@@ -1,0 +1,71 @@
+// Synthetic problem generators.
+//
+// Two families:
+//  1. Poisson stencils on regular grids — exactly what the paper uses for
+//     its strong/weak scaling experiments (§VI-A: "matrices by discretizing
+//     the Poisson equation on a regular, cubic 3D grid with a 7-point
+//     stencil").
+//  2. SuiteSparse stand-ins — the evaluation matrices (G3_circuit, af_shell7,
+//     Geo_1438, Hook_1498) cannot be downloaded in this offline environment,
+//     so we generate synthetic SPD matrices of the same structural class and
+//     similar nnz/row, at sizes that fit the simulation host (documented in
+//     DESIGN.md §1).
+//
+// All generated matrices are real, symmetric positive definite with full
+// nonzero diagonals (Table II: "all of which are real, symmetric, and
+// positive definite").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace graphene::matrix {
+
+/// A generated matrix plus the grid geometry it came from (0 = unstructured).
+struct GeneratedMatrix {
+  CsrMatrix matrix;
+  std::string name;
+  std::size_t nx = 0, ny = 0, nz = 0;
+};
+
+/// 7-point Poisson stencil on an nx × ny × nz grid (Dirichlet boundaries).
+GeneratedMatrix poisson3d7(std::size_t nx, std::size_t ny, std::size_t nz);
+
+/// 5-point Poisson stencil on an nx × ny grid.
+GeneratedMatrix poisson2d5(std::size_t nx, std::size_t ny);
+
+/// The `shiftScale` parameter of the stand-in generators multiplies the
+/// diagonal shift: 1.0 gives the hardest (most realistic) conditioning;
+/// larger values make the system proportionally easier. Scaled-down
+/// benchmarks use larger shifts so iteration counts stay in the regime the
+/// paper reports for the full-size matrices (see DESIGN.md §1).
+
+/// G3_circuit stand-in: irregular circuit-style graph Laplacian —
+/// a 2-D grid of nodes with sparse random long-range nets; ~4.8 nnz/row.
+GeneratedMatrix g3CircuitLike(std::size_t targetRows, std::uint64_t seed = 1,
+                              double shiftScale = 1.0);
+
+/// af_shell7 stand-in: thin-shell FEM sheet — a 27-point stencil on an
+/// (n × n × 3) slab with smooth variable stiffness; ~35 nnz/row.
+GeneratedMatrix afShellLike(std::size_t targetRows, std::uint64_t seed = 2,
+                            double shiftScale = 1.0);
+
+/// Geo_1438 stand-in: 3-D geomechanical FEM — 27-point stencil on a cube
+/// with strongly heterogeneous (lognormal) coefficients; ~44 nnz/row,
+/// high condition number.
+GeneratedMatrix geoLike(std::size_t targetRows, std::uint64_t seed = 3,
+                        double shiftScale = 1.0);
+
+/// Hook_1498 stand-in: 3-D elasticity FEM — 27-point stencil on an elongated
+/// block with moderately variable coefficients; ~40 nnz/row.
+GeneratedMatrix hookLike(std::size_t targetRows, std::uint64_t seed = 4,
+                         double shiftScale = 1.0);
+
+/// The four evaluation stand-ins at a common benchmark scale.
+GeneratedMatrix makeBenchmarkMatrix(const std::string& name,
+                                    std::size_t targetRows,
+                                    double shiftScale = 1.0);
+
+}  // namespace graphene::matrix

@@ -1,0 +1,88 @@
+#include "matrix/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace graphene::matrix {
+
+CsrMatrix readMatrixMarket(std::istream& in) {
+  std::string line;
+  GRAPHENE_CHECK(static_cast<bool>(std::getline(in, line)),
+                 "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    throw ParseError("missing %%MatrixMarket banner");
+  }
+  if (object != "matrix" || format != "coordinate") {
+    throw ParseError("only 'matrix coordinate' MatrixMarket files supported");
+  }
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    throw ParseError("unsupported MatrixMarket field type: " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw ParseError("unsupported MatrixMarket symmetry: " + symmetry);
+  }
+
+  // Skip comments.
+  do {
+    GRAPHENE_CHECK(static_cast<bool>(std::getline(in, line)),
+                   "truncated MatrixMarket header");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream sizes(line);
+  std::size_t rows = 0, cols = 0, entries = 0;
+  sizes >> rows >> cols >> entries;
+  if (sizes.fail()) throw ParseError("malformed MatrixMarket size line");
+
+  std::vector<Triplet> trips;
+  trips.reserve(symmetric ? 2 * entries : entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    GRAPHENE_CHECK(static_cast<bool>(std::getline(in, line)),
+                   "truncated MatrixMarket data at entry ", i);
+    std::istringstream es(line);
+    std::size_t r = 0, c = 0;
+    double v = 1.0;
+    es >> r >> c;
+    if (!pattern) es >> v;
+    if (es.fail() || r == 0 || c == 0 || r > rows || c > cols) {
+      throw ParseError("malformed MatrixMarket entry: " + line);
+    }
+    trips.push_back(Triplet{r - 1, c - 1, v});
+    if (symmetric && r != c) trips.push_back(Triplet{c - 1, r - 1, v});
+  }
+  return CsrMatrix::fromTriplets(rows, cols, std::move(trips));
+}
+
+CsrMatrix readMatrixMarketFile(const std::string& path) {
+  std::ifstream in(path);
+  GRAPHENE_CHECK(in.good(), "cannot open MatrixMarket file '", path, "'");
+  return readMatrixMarket(in);
+}
+
+void writeMatrixMarket(const CsrMatrix& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto val = a.values();
+  out.precision(17);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      out << (r + 1) << " " << (col[k] + 1) << " " << val[k] << "\n";
+    }
+  }
+}
+
+void writeMatrixMarketFile(const CsrMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  GRAPHENE_CHECK(out.good(), "cannot open '", path, "' for writing");
+  writeMatrixMarket(a, out);
+}
+
+}  // namespace graphene::matrix

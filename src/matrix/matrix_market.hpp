@@ -1,0 +1,28 @@
+// MatrixMarket coordinate-format IO.
+//
+// The paper evaluates on matrices from the SuiteSparse collection [31],
+// which ships in MatrixMarket format. Supported here: `matrix coordinate
+// real|integer|pattern general|symmetric`. Symmetric files are expanded to
+// full storage on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace graphene::matrix {
+
+/// Parses a MatrixMarket stream. Throws graphene::ParseError on malformed
+/// input.
+CsrMatrix readMatrixMarket(std::istream& in);
+
+/// Reads a .mtx file from disk.
+CsrMatrix readMatrixMarketFile(const std::string& path);
+
+/// Writes in `matrix coordinate real general` format (1-based indices).
+void writeMatrixMarket(const CsrMatrix& a, std::ostream& out);
+
+void writeMatrixMarketFile(const CsrMatrix& a, const std::string& path);
+
+}  // namespace graphene::matrix

@@ -1,0 +1,158 @@
+#include "matrix/reorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace graphene::matrix {
+
+std::vector<std::size_t> reverseCuthillMcKee(const CsrMatrix& a) {
+  GRAPHENE_CHECK(a.rows() == a.cols(), "RCM needs a square matrix");
+  const std::size_t n = a.rows();
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto degree = [&](std::size_t r) { return rowPtr[r + 1] - rowPtr[r]; };
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  // Process every connected component from its minimum-degree seed.
+  std::vector<std::size_t> byDegree(n);
+  for (std::size_t i = 0; i < n; ++i) byDegree[i] = i;
+  std::sort(byDegree.begin(), byDegree.end(),
+            [&](std::size_t x, std::size_t y) { return degree(x) < degree(y); });
+
+  std::vector<std::size_t> neighbours;
+  for (std::size_t seedIdx = 0; seedIdx < n; ++seedIdx) {
+    const std::size_t seed = byDegree[seedIdx];
+    if (visited[seed]) continue;
+    std::queue<std::size_t> frontier;
+    frontier.push(seed);
+    visited[seed] = true;
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      order.push_back(u);
+      neighbours.clear();
+      for (std::size_t k = rowPtr[u]; k < rowPtr[u + 1]; ++k) {
+        const std::size_t v = static_cast<std::size_t>(col[k]);
+        if (v != u && !visited[v]) {
+          visited[v] = true;
+          neighbours.push_back(v);
+        }
+      }
+      // Cuthill-McKee visits neighbours in ascending degree order.
+      std::sort(neighbours.begin(), neighbours.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return degree(x) < degree(y);
+                });
+      for (std::size_t v : neighbours) frontier.push(v);
+    }
+  }
+  GRAPHENE_CHECK(order.size() == n, "RCM traversal lost vertices");
+
+  // Reverse, and convert visit order → permutation (perm[old] = new).
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[order[i]] = n - 1 - i;
+  }
+  return perm;
+}
+
+namespace {
+
+double norm(std::span<const double> v) {
+  double s = 0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+void normalise(std::span<double> v) {
+  double s = norm(v);
+  if (s == 0) return;
+  for (double& x : v) x /= s;
+}
+
+/// Unpreconditioned CG solve to moderate accuracy (inner solver of the
+/// inverse power iteration).
+void cgSolve(const CsrMatrix& a, std::span<const double> b,
+             std::span<double> x, std::size_t maxIter, double tol) {
+  const std::size_t n = a.rows();
+  std::vector<double> r(b.begin(), b.end()), p = r, Ap(n);
+  std::fill(x.begin(), x.end(), 0.0);
+  double rr = 0;
+  for (double v : r) rr += v * v;
+  const double stop = tol * tol * rr;
+  for (std::size_t it = 0; it < maxIter && rr > stop && rr > 0; ++it) {
+    a.spmv(p, Ap);
+    double pAp = 0;
+    for (std::size_t i = 0; i < n; ++i) pAp += p[i] * Ap[i];
+    if (pAp <= 0) break;
+    const double alpha = rr / pAp;
+    double rrNew = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+      rrNew += r[i] * r[i];
+    }
+    const double beta = rrNew / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rrNew;
+  }
+}
+
+}  // namespace
+
+double estimateLargestEigenvalue(const CsrMatrix& a, std::size_t iterations,
+                                 std::uint64_t seed) {
+  const std::size_t n = a.rows();
+  Rng rng(seed);
+  std::vector<double> v(n), Av(n);
+  for (double& x : v) x = rng.uniform(-1, 1);
+  normalise(v);
+  double lambda = 0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    a.spmv(v, Av);
+    lambda = 0;
+    for (std::size_t i = 0; i < n; ++i) lambda += v[i] * Av[i];
+    normalise(Av);
+    std::swap(v, Av);
+  }
+  return lambda;
+}
+
+double estimateSmallestEigenvalue(const CsrMatrix& a, std::size_t iterations,
+                                  std::uint64_t seed) {
+  const std::size_t n = a.rows();
+  Rng rng(seed);
+  std::vector<double> v(n), w(n);
+  for (double& x : v) x = rng.uniform(-1, 1);
+  normalise(v);
+  double mu = 0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    cgSolve(a, v, w, 200, 1e-8);
+    // Rayleigh quotient of A at the (normalised) inverse iterate.
+    double wNorm = norm(w);
+    if (wNorm == 0) break;
+    for (double& x : w) x /= wNorm;
+    std::vector<double> Aw(n);
+    a.spmv(w, Aw);
+    mu = 0;
+    for (std::size_t i = 0; i < n; ++i) mu += w[i] * Aw[i];
+    std::swap(v, w);
+  }
+  return mu;
+}
+
+double estimateConditionNumber(const CsrMatrix& a) {
+  const double hi = estimateLargestEigenvalue(a);
+  const double lo = estimateSmallestEigenvalue(a);
+  GRAPHENE_CHECK(lo > 0, "condition estimate needs an SPD matrix");
+  return hi / lo;
+}
+
+}  // namespace graphene::matrix

@@ -1,0 +1,180 @@
+#include "partition/halo.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace graphene::partition {
+
+DistributedLayout buildLayout(const matrix::CsrMatrix& a,
+                              std::vector<std::size_t> rowToTile,
+                              std::size_t numTiles) {
+  const std::size_t n = a.rows();
+  GRAPHENE_CHECK(a.rows() == a.cols(), "layout needs a square matrix");
+  GRAPHENE_CHECK(rowToTile.size() == n, "rowToTile size mismatch");
+  for (std::size_t t : rowToTile) {
+    GRAPHENE_CHECK(t < numTiles, "row assigned to invalid tile");
+  }
+
+  DistributedLayout layout;
+  layout.numTiles = numTiles;
+  layout.rowToTile = std::move(rowToTile);
+
+  // Step 1 (paper): identify separator cells and the neighbouring tiles
+  // requiring their values. Consumers of column c are owners of rows that
+  // reference c — a transpose-direction pass.
+  std::vector<std::vector<std::size_t>> consumers(n);
+  {
+    auto rowPtr = a.rowPtr();
+    auto col = a.colIdx();
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t rt = layout.rowToTile[r];
+      for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+        const std::size_t c = static_cast<std::size_t>(col[k]);
+        if (layout.rowToTile[c] != rt) consumers[c].push_back(rt);
+      }
+    }
+    for (auto& v : consumers) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+  }
+
+  // Step 2: group separator cells with identical consumer sets into regions.
+  // Keyed by (owner, consumer set); cells are appended in ascending global
+  // order, which establishes the consistent ordering (step 4) for free.
+  std::map<std::pair<std::size_t, std::vector<std::size_t>>, std::size_t>
+      regionIndex;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (consumers[r].empty()) continue;
+    auto key = std::make_pair(layout.rowToTile[r], consumers[r]);
+    auto [it, inserted] = regionIndex.try_emplace(key, layout.regions.size());
+    if (inserted) {
+      Region region;
+      region.id = layout.regions.size();
+      region.ownerTile = layout.rowToTile[r];
+      region.consumerTiles = consumers[r];
+      layout.regions.push_back(std::move(region));
+    }
+    layout.regions[it->second].cells.push_back(r);
+  }
+
+  // Step 3+4: per-tile layouts. Owned part: interior cells ascending, then
+  // this tile's separator regions (by region id). Halo part: consumed
+  // regions (by region id), each keeping the owner's cell order.
+  layout.tiles.resize(numTiles);
+  layout.globalToLocalOwned.assign(n, 0);
+  std::vector<std::vector<std::size_t>> ownedSeparatorRegions(numTiles);
+  std::vector<std::vector<std::size_t>> consumedRegions(numTiles);
+  for (const Region& region : layout.regions) {
+    ownedSeparatorRegions[region.ownerTile].push_back(region.id);
+    for (std::size_t t : region.consumerTiles) {
+      consumedRegions[t].push_back(region.id);
+    }
+  }
+
+  for (std::size_t t = 0; t < numTiles; ++t) {
+    TileLayout& tl = layout.tiles[t];
+    tl.tile = t;
+    // Interior cells ascending.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (layout.rowToTile[r] == t && consumers[r].empty()) {
+        layout.globalToLocalOwned[r] = tl.localToGlobal.size();
+        tl.localToGlobal.push_back(r);
+      }
+    }
+    tl.numInterior = tl.localToGlobal.size();
+    // Separator regions.
+    for (std::size_t rid : ownedSeparatorRegions[t]) {
+      const Region& region = layout.regions[rid];
+      tl.separatorRegions.push_back({rid, tl.localToGlobal.size()});
+      for (std::size_t r : region.cells) {
+        layout.globalToLocalOwned[r] = tl.localToGlobal.size();
+        tl.localToGlobal.push_back(r);
+      }
+    }
+    tl.numOwned = tl.localToGlobal.size();
+    // Halo regions, same cell order as the source separator region.
+    for (std::size_t rid : consumedRegions[t]) {
+      const Region& region = layout.regions[rid];
+      tl.haloRegions.push_back({rid, tl.localToGlobal.size()});
+      for (std::size_t r : region.cells) tl.localToGlobal.push_back(r);
+    }
+    tl.numHalo = tl.localToGlobal.size() - tl.numOwned;
+  }
+
+  // Blockwise exchange plan: one broadcast per region.
+  layout.transfers.reserve(layout.regions.size());
+  for (const Region& region : layout.regions) {
+    HaloTransfer tr;
+    tr.regionId = region.id;
+    tr.srcTile = region.ownerTile;
+    tr.count = region.cells.size();
+    // Source offset: find the region in the owner's separator list.
+    for (const TileLayout::RegionRef& ref :
+         layout.tiles[region.ownerTile].separatorRegions) {
+      if (ref.regionId == region.id) {
+        tr.srcLocalOffset = ref.localOffset;
+        break;
+      }
+    }
+    for (std::size_t t : region.consumerTiles) {
+      for (const TileLayout::RegionRef& ref : layout.tiles[t].haloRegions) {
+        if (ref.regionId == region.id) {
+          tr.dsts.push_back({t, ref.localOffset});
+          break;
+        }
+      }
+    }
+    GRAPHENE_CHECK(tr.dsts.size() == region.consumerTiles.size(),
+                   "halo region missing on a consumer tile");
+    layout.transfers.push_back(std::move(tr));
+  }
+
+  return layout;
+}
+
+std::vector<std::size_t> DistributedLayout::reorderingPermutation() const {
+  std::vector<std::size_t> perm(rowToTile.size());
+  std::size_t next = 0;
+  for (const TileLayout& tl : tiles) {
+    for (std::size_t i = 0; i < tl.numOwned; ++i) {
+      perm[tl.localToGlobal[i]] = next++;
+    }
+  }
+  GRAPHENE_CHECK(next == rowToTile.size(), "permutation incomplete");
+  return perm;
+}
+
+CellKind DistributedLayout::kindOf(std::size_t globalRow,
+                                   std::size_t onTile) const {
+  GRAPHENE_CHECK(globalRow < rowToTile.size(), "row out of range");
+  const std::size_t owner = rowToTile[globalRow];
+  if (owner != onTile) return CellKind::Halo;
+  const TileLayout& tl = tiles[onTile];
+  const std::size_t local = globalToLocalOwned[globalRow];
+  return local < tl.numInterior ? CellKind::Interior : CellKind::Separator;
+}
+
+std::vector<HaloTransfer> naivePerCellTransfers(
+    const DistributedLayout& layout) {
+  std::vector<HaloTransfer> out;
+  out.reserve(layout.numSeparatorCells());
+  for (const HaloTransfer& tr : layout.transfers) {
+    for (std::size_t i = 0; i < tr.count; ++i) {
+      HaloTransfer cell;
+      cell.regionId = tr.regionId;
+      cell.srcTile = tr.srcTile;
+      cell.srcLocalOffset = tr.srcLocalOffset + i;
+      cell.count = 1;
+      for (const HaloTransfer::Dst& d : tr.dsts) {
+        cell.dsts.push_back({d.tile, d.localOffset + i});
+      }
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace graphene::partition

@@ -1,0 +1,109 @@
+// Halo-region analysis and the paper's matrix reordering strategy (§IV).
+//
+// Cells (matrix rows) are classified per tile as interior, separator (owned
+// but required by neighbours) or halo (owned by neighbours but required
+// here). Separator cells with identical *involved-tile sets* form a region;
+// the same cell order is used in the separator region and in every
+// corresponding halo region, so one blockwise broadcast per region updates
+// all copies — no per-cell transfers, no local reordering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace graphene::partition {
+
+enum class CellKind { Interior, Separator, Halo };
+
+/// A separator region: the largest group of cells owned by one tile and
+/// required by exactly the same set of neighbouring tiles.
+struct Region {
+  std::size_t id = 0;
+  std::size_t ownerTile = 0;
+  std::vector<std::size_t> consumerTiles;  // sorted, excludes the owner
+  std::vector<std::size_t> cells;          // global row ids, consistent order
+};
+
+/// The memory layout of one tile's share of a solution vector (paper
+/// Fig. 3b): [ interior | separator regions | halo regions ].
+struct TileLayout {
+  std::size_t tile = 0;
+
+  /// local index → global row id, covering owned cells then halo copies.
+  std::vector<std::size_t> localToGlobal;
+
+  std::size_t numInterior = 0;
+  std::size_t numOwned = 0;  // interior + separator cells
+  std::size_t numHalo = 0;
+
+  struct RegionRef {
+    std::size_t regionId = 0;
+    std::size_t localOffset = 0;
+  };
+  std::vector<RegionRef> separatorRegions;  // owned by this tile
+  std::vector<RegionRef> haloRegions;       // consumed from neighbours
+
+  std::size_t localSize() const { return numOwned + numHalo; }
+};
+
+/// One blockwise halo transfer: a separator region broadcast from its owner
+/// to the halo buffers of all consumer tiles.
+struct HaloTransfer {
+  std::size_t regionId = 0;
+  std::size_t srcTile = 0;
+  std::size_t srcLocalOffset = 0;
+  std::size_t count = 0;
+  struct Dst {
+    std::size_t tile = 0;
+    std::size_t localOffset = 0;
+  };
+  std::vector<Dst> dsts;
+};
+
+struct DistributedLayout {
+  std::size_t numTiles = 0;
+  std::vector<std::size_t> rowToTile;
+  std::vector<Region> regions;
+  std::vector<TileLayout> tiles;
+  std::vector<HaloTransfer> transfers;  // blockwise plan: one per region
+
+  /// global row id → local index among its owner tile's owned cells.
+  std::vector<std::size_t> globalToLocalOwned;
+
+  std::size_t numSeparatorCells() const {
+    std::size_t n = 0;
+    for (const Region& r : regions) n += r.cells.size();
+    return n;
+  }
+
+  std::size_t numHaloCopies() const {
+    std::size_t n = 0;
+    for (const Region& r : regions) {
+      n += r.cells.size() * r.consumerTiles.size();
+    }
+    return n;
+  }
+
+  /// The §IV matrix permutation: rows grouped by tile, interior first, then
+  /// separator regions. perm[oldGlobal] = newGlobal.
+  std::vector<std::size_t> reorderingPermutation() const;
+
+  CellKind kindOf(std::size_t globalRow, std::size_t onTile) const;
+};
+
+/// Builds regions, layouts and the blockwise exchange plan from a matrix and
+/// a row→tile assignment. Consumers of row r are the tiles owning rows with
+/// a structural entry in column r (computed via the transpose, so
+/// nonsymmetric matrices are handled correctly).
+DistributedLayout buildLayout(const matrix::CsrMatrix& a,
+                              std::vector<std::size_t> rowToTile,
+                              std::size_t numTiles);
+
+/// Burchard-style baseline plan for the ablation benchmark: one transfer per
+/// separator *cell* instead of per region (what the compiler would emit
+/// without the consistent-ordering reordering strategy).
+std::vector<HaloTransfer> naivePerCellTransfers(const DistributedLayout& layout);
+
+}  // namespace graphene::partition

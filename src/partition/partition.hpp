@@ -1,0 +1,39 @@
+// Row→tile partitioning strategies.
+//
+// The framework distributes the matrix row-wise across all tiles (§II-B).
+// For grid-derived matrices a block-grid decomposition minimises the
+// surface-to-volume ratio; for unstructured matrices a BFS-grown partition
+// keeps subdomains connected.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+
+namespace graphene::partition {
+
+/// Contiguous row blocks of (almost) equal size.
+std::vector<std::size_t> partitionLinear(std::size_t rows, std::size_t tiles);
+
+/// Block-grid decomposition of an nx × ny × nz grid into `tiles` cuboidal
+/// subdomains (tiles is factored into px·py·pz as cubically as possible).
+/// Cell (x,y,z) keeps the generator's index order: idx = (z*ny + y)*nx + x.
+std::vector<std::size_t> partitionGrid(std::size_t nx, std::size_t ny,
+                                       std::size_t nz, std::size_t tiles);
+
+/// BFS-grown partition for unstructured matrices: grows connected chunks of
+/// ~rows/tiles cells following the adjacency of A.
+std::vector<std::size_t> partitionBfs(const matrix::CsrMatrix& a,
+                                      std::size_t tiles);
+
+/// Picks grid partitioning when geometry is available, BFS otherwise.
+std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
+                                       std::size_t tiles);
+
+/// Number of rows per tile (validation / balance statistics).
+std::vector<std::size_t> partitionSizes(const std::vector<std::size_t>& rowToTile,
+                                        std::size_t tiles);
+
+}  // namespace graphene::partition

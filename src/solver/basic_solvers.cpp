@@ -1,0 +1,24 @@
+// Identity and Jacobi solvers.
+#include "solver/solvers.hpp"
+
+namespace graphene::solver {
+
+using dsl::Expression;
+
+void IdentitySolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
+  (void)a;
+  z = Expression(r);
+}
+
+void JacobiSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
+  z = Expression(0.0f);
+  Tensor res = a.makeVector(DType::Float32, "jacobi_res");
+  dsl::Repeat(iterations_, [&] {
+    a.spmv(res, z);
+    res = Expression(r) - Expression(res);
+    z = Expression(z) +
+        Expression(omega_) * Expression(res) / Expression(a.diagonal());
+  });
+}
+
+}  // namespace graphene::solver

@@ -1,0 +1,77 @@
+// Preconditioned Conjugate Gradient (for the SPD systems of Table II) and
+// the Richardson iteration.
+#include <cmath>
+
+#include "solver/solvers.hpp"
+
+namespace graphene::solver {
+
+using dsl::Dot;
+using dsl::Expression;
+using dsl::Tensor;
+
+void RichardsonSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
+  z = Expression(0.0f);
+  Tensor res = a.makeVector(DType::Float32, "rich_res");
+  dsl::Repeat(iterations_, [&] {
+    a.spmv(res, z);
+    z = Expression(z) +
+        Expression(omega_) * (Expression(r) - Expression(res));
+  });
+}
+
+void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
+  precond_->ensureSetup(a);
+
+  x = Expression(0.0f);
+  Tensor r = b;  // r0 = b - A*0
+  Tensor z = a.makeVector(DType::Float32, "cg_z");
+  precond_->apply(a, z, r);
+  Tensor p = z;  // deep copy
+  Tensor Ap = a.makeVector(DType::Float32, "cg_Ap");
+
+  Tensor bNormSq = Dot(b, b);
+  Tensor rz = Tensor(Dot(r, z));
+  Tensor rzNew = Tensor::scalar(DType::Float32, "cg_rznew");
+  Tensor alpha = Tensor::scalar(DType::Float32, "cg_alpha");
+  Tensor beta = Tensor::scalar(DType::Float32, "cg_beta");
+  Tensor denom = Tensor::scalar(DType::Float32, "cg_denom");
+  Tensor resNormSq = Tensor(Expression(bNormSq));
+  Tensor iter = Tensor::scalar(DType::Int32, "cg_iter");
+  iter = Expression(0);
+
+  const float tol2 = static_cast<float>(tolerance_ * tolerance_);
+  auto histPtr = history_;
+  graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
+
+  Expression keepGoing =
+      tolerance_ > 0.0
+          ? Expression(iter) < static_cast<int>(maxIterations_) &&
+                Expression(resNormSq) > Expression(tol2) * Expression(bNormSq)
+          : Expression(iter) < static_cast<int>(maxIterations_);
+
+  dsl::While(keepGoing, [&] {
+    a.spmv(Ap, p);
+    denom = Dot(p, Ap);
+    alpha = dsl::Select(Abs(Expression(denom)) > Expression(0.0f),
+                        Expression(rz) / Expression(denom), Expression(0.0f));
+    x = Expression(x) + Expression(alpha) * Expression(p);
+    r = Expression(r) - Expression(alpha) * Expression(Ap);
+    precond_->apply(a, z, r);
+    rzNew = Dot(r, z);
+    beta = dsl::Select(Abs(Expression(rz)) > Expression(0.0f),
+                       Expression(rzNew) / Expression(rz), Expression(0.0f));
+    p = Expression(z) + Expression(beta) * Expression(p);
+    rz = Expression(rzNew);
+    iter = Expression(iter) + 1;
+    resNormSq = Dot(r, r);
+    dsl::HostCall([histPtr, resId, bId](graph::Engine& e) {
+      double rr = e.readScalar(resId).toHostDouble();
+      double bb = e.readScalar(bId).toHostDouble();
+      histPtr->push_back(
+          {histPtr->size() + 1, std::sqrt(std::abs(rr) / std::max(bb, 1e-300))});
+    });
+  });
+}
+
+}  // namespace graphene::solver

@@ -1,0 +1,83 @@
+// JSON-driven solver factory (§V: "The solver hierarchy and associated
+// parameters are easily configured through a JSON file").
+#include "solver/solvers.hpp"
+#include "support/error.hpp"
+
+namespace graphene::solver {
+
+namespace {
+
+DType parseExtendedType(const std::string& s) {
+  if (s == "doubleword" || s == "dw") return DType::DoubleWord;
+  if (s == "float64" || s == "double" || s == "dp") return DType::Float64;
+  if (s == "float32" || s == "float" || s == "none") return DType::Float32;
+  GRAPHENE_CHECK(false, "unknown extended type '", s, "'");
+  return DType::Float32;
+}
+
+}  // namespace
+
+std::unique_ptr<Solver> makeSolver(const json::Value& config) {
+  GRAPHENE_CHECK(config.isObject(), "solver config must be a JSON object");
+  const std::string type = config.at("type").asString();
+
+  if (type == "identity" || type == "none") {
+    return std::make_unique<IdentitySolver>();
+  }
+  if (type == "jacobi") {
+    return std::make_unique<JacobiSolver>(
+        static_cast<std::size_t>(config.getOr("iterations", 3)),
+        static_cast<float>(config.getOr("omega", 1.0)));
+  }
+  if (type == "gauss-seidel" || type == "gaussseidel" || type == "gs") {
+    return std::make_unique<GaussSeidelSolver>(
+        static_cast<std::size_t>(config.getOr("sweeps", 1)),
+        config.getOr("tolerance", 0.0),
+        static_cast<std::size_t>(config.getOr("maxIterations", 1000)));
+  }
+  if (type == "ilu") {
+    return std::make_unique<IluSolver>(IluSolver::Variant::Ilu0);
+  }
+  if (type == "dilu") {
+    return std::make_unique<IluSolver>(IluSolver::Variant::Dilu);
+  }
+  if (type == "richardson") {
+    return std::make_unique<RichardsonSolver>(
+        static_cast<std::size_t>(config.getOr("iterations", 10)),
+        static_cast<float>(config.getOr("omega", 0.5)));
+  }
+  if (type == "bicgstab" || type == "cg") {
+    std::unique_ptr<Solver> precond;
+    if (config.contains("preconditioner")) {
+      precond = makeSolver(config.at("preconditioner"));
+    } else {
+      precond = std::make_unique<IdentitySolver>();
+    }
+    const auto maxIterations =
+        static_cast<std::size_t>(config.getOr("maxIterations", 1000));
+    const double tolerance = config.getOr("tolerance", 1e-9);
+    if (type == "cg") {
+      return std::make_unique<CgSolver>(maxIterations, tolerance,
+                                        std::move(precond));
+    }
+    return std::make_unique<BiCgStabSolver>(maxIterations, tolerance,
+                                            std::move(precond));
+  }
+  if (type == "mpir" || type == "ir") {
+    GRAPHENE_CHECK(config.contains("inner"),
+                   "mpir solver needs an 'inner' solver config");
+    return std::make_unique<MpirSolver>(
+        parseExtendedType(config.getOr("extendedType",
+                                       std::string("doubleword"))),
+        static_cast<std::size_t>(config.getOr("maxRefinements", 20)),
+        config.getOr("tolerance", 1e-13), makeSolver(config.at("inner")));
+  }
+  GRAPHENE_CHECK(false, "unknown solver type '", type, "'");
+  return nullptr;
+}
+
+std::unique_ptr<Solver> makeSolverFromString(const std::string& jsonText) {
+  return makeSolver(json::parse(jsonText));
+}
+
+}  // namespace graphene::solver

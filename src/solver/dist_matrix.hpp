@@ -1,0 +1,118 @@
+// DistMatrix — a sparse matrix distributed across the tiles of the simulated
+// IPU, in the framework's modified-CRS device format (§II-C) with the §IV
+// halo-region layout.
+//
+// Per tile it holds: the dense diagonal of its owned rows, the off-diagonal
+// CRS arrays with *local* column indices into [owned | halo] space, and the
+// blockwise halo-exchange plan. SpMV and the extended-precision residual of
+// the MPIR method are emitted as CodeDSL codelets using all six workers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsl/tensor.hpp"
+#include "graph/engine.hpp"
+#include "matrix/csr.hpp"
+#include "partition/halo.hpp"
+
+namespace graphene::solver {
+
+using dsl::DType;
+using dsl::Tensor;
+
+class DistMatrix {
+ public:
+  /// Builds device structures from a host matrix and a row→tile layout.
+  /// Requires an active dsl::Context.
+  DistMatrix(const matrix::CsrMatrix& a, partition::DistributedLayout layout);
+
+  const partition::DistributedLayout& layout() const { return layout_; }
+  std::size_t rows() const { return layout_.rowToTile.size(); }
+
+  /// Tiles that own at least one row (vertices are only placed there).
+  const std::vector<std::size_t>& activeTiles() const { return activeTiles_; }
+
+  /// The per-tile owned-row mapping shared by all solver vectors.
+  const graph::TileMapping& ownedMapping() const { return ownedMapping_; }
+
+  /// Creates a vector with the owned-row mapping.
+  Tensor makeVector(DType type = DType::Float32,
+                    const std::string& name = "") const;
+
+  /// Emits the blockwise halo exchange: separator regions of `v` are
+  /// broadcast into this matrix's halo buffer for v's dtype.
+  void haloExchange(const Tensor& v);
+
+  /// Emits y = A·v. `exchange=false` skips the halo update (the scaling
+  /// benches measure compute-only this way; values in the halo buffer are
+  /// then whatever the last exchange left).
+  void spmv(Tensor& y, const Tensor& v, bool exchange = true,
+            const std::string& category = "spmv");
+
+  /// Emits r = b − A·x with x, b, r all in an extended type (DoubleWord or
+  /// Float64); matrix coefficients stay float32 (MPIR step 1, §V-B).
+  void residualExt(Tensor& r, const Tensor& b, const Tensor& x);
+
+  /// Uploads the matrix coefficients (must run before the program).
+  void upload(graph::Engine& engine) const;
+
+  /// Host→device write of a vector in *global row order* (any dtype).
+  void writeVector(graph::Engine& engine, const Tensor& v,
+                   std::span<const double> globalValues) const;
+
+  /// Device→host read of a vector back to global row order.
+  std::vector<double> readVector(graph::Engine& engine, const Tensor& v) const;
+
+  /// Host-side local structure of one tile's owned submatrix (full rows
+  /// including the diagonal, local column indices into [owned | halo]).
+  /// Used by the (D)ILU and Gauss-Seidel builders.
+  struct TileLocal {
+    std::size_t numOwned = 0;
+    std::size_t numHalo = 0;
+    std::vector<std::size_t> rowPtr;   // numOwned + 1
+    std::vector<std::int32_t> col;     // local indices, ascending per row
+    std::vector<double> val;
+  };
+  const std::vector<TileLocal>& tileLocal() const { return tileLocal_; }
+
+  /// Device tensors (for custom codelets).
+  Tensor& diagonal() { return *diag_; }
+  Tensor& offVal() { return *offVal_; }
+  Tensor& offCol() { return *offCol_; }
+  Tensor& offRowPtr() { return *offRowPtr_; }
+  /// Per row: offset into the off-diagonal arrays where the halo-referencing
+  /// entries begin. Local column indices are sorted, and halo copies live
+  /// *after* the owned cells (§IV layout), so every row splits into an
+  /// owned-column run followed by a halo run — the generated codelets loop
+  /// over each run without per-entry branching.
+  Tensor& haloSplit() { return *offSplit_; }
+  Tensor& haloBuffer(DType type);
+
+  /// Exchange-plan statistics (ablation bench): transfers in the blockwise
+  /// plan vs the per-cell baseline.
+  std::size_t numBlockwiseTransfers() const { return layout_.transfers.size(); }
+
+ private:
+  partition::DistributedLayout layout_;
+  graph::TileMapping ownedMapping_;
+  graph::TileMapping haloMapping_;
+  std::vector<std::size_t> activeTiles_;
+  std::vector<std::size_t> ownedFlatOffset_;  // per tile, into owned tensors
+
+  std::vector<TileLocal> tileLocal_;
+
+  // Device tensors (optional: constructed in ctor; pointers keep Tensor
+  // default-constructible-free).
+  std::optional<Tensor> diag_, offVal_, offCol_, offRowPtr_, offSplit_;
+  std::map<DType, Tensor> haloBuffers_;
+
+  // Host staging for upload().
+  std::vector<float> diagHost_, valHost_;
+  std::vector<std::int32_t> colHost_, rowPtrHost_, splitHost_;
+};
+
+}  // namespace graphene::solver

@@ -1,0 +1,278 @@
+// ILU(0) and DILU preconditioners (§V-E).
+//
+// Both the factorisation and the substitution run on the device,
+// parallelised with Level-Set Scheduling across the six workers of each
+// tile. The factorisation keeps the owned-block sparsity pattern (fill-in
+// discarded, halo couplings disregarded).
+#include <cmath>
+
+#include "levelset/levelset.hpp"
+#include "solver/solvers.hpp"
+
+namespace graphene::solver {
+
+using dsl::Context;
+using dsl::ExecuteOnTiles;
+using dsl::Expression;
+using dsl::For;
+using dsl::If;
+using dsl::ParallelFor;
+using dsl::Select;
+using dsl::Value;
+using dsl::While;
+
+void IluSolver::setup(DistMatrix& a) {
+  Context& ctx = Context::current();
+  const std::size_t nTiles = ctx.target().totalTiles();
+
+  // Host-side: filtered per-tile structure — owned columns only, diagonal
+  // included, ascending column order (block-Jacobi ILU pattern).
+  std::vector<std::size_t> valSizes(nTiles, 0), rowPtrSizes(nTiles, 0),
+      ownedSizes(nTiles, 0), fwdOrderSizes(nTiles, 0), fwdPtrSizes(nTiles, 0),
+      bwdPtrSizes(nTiles, 0);
+  std::vector<float> valHost, mirrorHost;
+  std::vector<std::int32_t> colHost, rowPtrHost, diagIdxHost, fwdOrderHost,
+      fwdPtrHost, bwdOrderHost, bwdPtrHost;
+
+  for (std::size_t t = 0; t < nTiles; ++t) {
+    const DistMatrix::TileLocal& local = a.tileLocal()[t];
+    const std::size_t n = local.numOwned;
+    if (n == 0) continue;
+    std::vector<std::size_t> frp(n + 1, 0);
+    std::vector<std::int32_t> fcol;
+    std::vector<float> fval, fmirror;
+    std::vector<std::int32_t> fdiag(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = local.rowPtr[i]; k < local.rowPtr[i + 1]; ++k) {
+        const std::int32_t c = local.col[k];
+        if (static_cast<std::size_t>(c) >= n) continue;  // halo coupling
+        if (c == static_cast<std::int32_t>(i)) {
+          fdiag[i] = static_cast<std::int32_t>(fcol.size());
+        }
+        fcol.push_back(c);
+        fval.push_back(static_cast<float>(local.val[k]));
+        // DILU needs a(c, i): look it up in row c of the local structure.
+        double mirror = 0.0;
+        for (std::size_t k2 = local.rowPtr[static_cast<std::size_t>(c)];
+             k2 < local.rowPtr[static_cast<std::size_t>(c) + 1]; ++k2) {
+          if (local.col[k2] == static_cast<std::int32_t>(i)) {
+            mirror = local.val[k2];
+            break;
+          }
+        }
+        fmirror.push_back(static_cast<float>(mirror));
+      }
+      frp[i + 1] = fcol.size();
+      GRAPHENE_CHECK(fdiag[i] >= 0, "ILU needs a diagonal entry in every row");
+    }
+    // Level schedules on the filtered pattern.
+    auto fwd = levelset::buildLevels(frp, fcol, n, /*lower=*/true);
+    auto bwd = levelset::buildLevels(frp, fcol, n, /*lower=*/false);
+
+    valSizes[t] = fval.size();
+    rowPtrSizes[t] = frp.size();
+    ownedSizes[t] = n;
+    fwdOrderSizes[t] = n;
+    fwdPtrSizes[t] = fwd.levelPtr.size();
+    bwdPtrSizes[t] = bwd.levelPtr.size();
+
+    valHost.insert(valHost.end(), fval.begin(), fval.end());
+    mirrorHost.insert(mirrorHost.end(), fmirror.begin(), fmirror.end());
+    colHost.insert(colHost.end(), fcol.begin(), fcol.end());
+    for (std::size_t p : frp) rowPtrHost.push_back(static_cast<std::int32_t>(p));
+    diagIdxHost.insert(diagIdxHost.end(), fdiag.begin(), fdiag.end());
+    fwdOrderHost.insert(fwdOrderHost.end(), fwd.order.begin(), fwd.order.end());
+    fwdPtrHost.insert(fwdPtrHost.end(), fwd.levelPtr.begin(),
+                      fwd.levelPtr.end());
+    bwdOrderHost.insert(bwdOrderHost.end(), bwd.order.begin(), bwd.order.end());
+    bwdPtrHost.insert(bwdPtrHost.end(), bwd.levelPtr.begin(),
+                      bwd.levelPtr.end());
+  }
+
+  fVal_.emplace(DType::Float32, graph::TileMapping::ragged(valSizes),
+                ctx.freshName("ilu_val"));
+  fCol_.emplace(DType::Int32, graph::TileMapping::ragged(valSizes),
+                ctx.freshName("ilu_col"));
+  fRowPtr_.emplace(DType::Int32, graph::TileMapping::ragged(rowPtrSizes),
+                   ctx.freshName("ilu_rowptr"));
+  diagIdx_.emplace(DType::Int32, graph::TileMapping::ragged(ownedSizes),
+                   ctx.freshName("ilu_diagidx"));
+  fwdOrder_.emplace(DType::Int32, graph::TileMapping::ragged(fwdOrderSizes),
+                    ctx.freshName("ilu_fwdorder"));
+  fwdPtr_.emplace(DType::Int32, graph::TileMapping::ragged(fwdPtrSizes),
+                  ctx.freshName("ilu_fwdptr"));
+  bwdOrder_.emplace(DType::Int32, graph::TileMapping::ragged(fwdOrderSizes),
+                    ctx.freshName("ilu_bwdorder"));
+  bwdPtr_.emplace(DType::Int32, graph::TileMapping::ragged(bwdPtrSizes),
+                  ctx.freshName("ilu_bwdptr"));
+  scratchY_ = a.makeVector(DType::Float32, ctx.freshName("ilu_y"));
+  if (variant_ == Variant::Dilu) {
+    mirrorVal_.emplace(DType::Float32, graph::TileMapping::ragged(valSizes),
+                       ctx.freshName("dilu_mirror"));
+    dtilde_ = a.makeVector(DType::Float32, ctx.freshName("dilu_d"));
+  }
+
+  // Upload structure + initial values at execution time.
+  {
+    graph::TensorId valId = fVal_->id(), colId = fCol_->id(),
+                    rpId = fRowPtr_->id(), diId = diagIdx_->id(),
+                    foId = fwdOrder_->id(), fpId = fwdPtr_->id(),
+                    boId = bwdOrder_->id(), bpId = bwdPtr_->id();
+    std::optional<graph::TensorId> mirrorId;
+    if (mirrorVal_) mirrorId = mirrorVal_->id();
+    dsl::HostCall([=](graph::Engine& e) {
+      e.writeTensor<float>(valId, valHost);
+      e.writeTensor<std::int32_t>(colId, colHost);
+      e.writeTensor<std::int32_t>(rpId, rowPtrHost);
+      e.writeTensor<std::int32_t>(diId, diagIdxHost);
+      e.writeTensor<std::int32_t>(foId, fwdOrderHost);
+      e.writeTensor<std::int32_t>(fpId, fwdPtrHost);
+      e.writeTensor<std::int32_t>(boId, bwdOrderHost);
+      e.writeTensor<std::int32_t>(bpId, bwdPtrHost);
+      if (mirrorId) e.writeTensor<float>(*mirrorId, mirrorHost);
+    });
+  }
+
+  // Factorisation (device, level-scheduled).
+  if (variant_ == Variant::Ilu0) {
+    // In-place IKJ ILU(0): for each row i (in level order), divide its lower
+    // entries by the pivot and update the remainder of the row against the
+    // pivot row, restricted to the existing pattern.
+    ExecuteOnTiles(
+        {*fVal_, *fCol_, *fRowPtr_, *diagIdx_, *fwdOrder_, *fwdPtr_},
+        [&](std::vector<Value>& args) {
+          Value fv = args[0], fc = args[1], rp = args[2], di = args[3],
+                order = args[4], lvl = args[5];
+          For(0, lvl.size() - 1, 1, [&](Value l) {
+            ParallelFor(lvl[l], lvl[l + 1], [&](Value idx) {
+              Value i = order[idx];
+              For(rp[i], rp[i + 1], 1, [&](Value k) {
+                Value c = fc[k];
+                If(c < i, [&] {
+                  Value piv = Value(fv[k]) / Value(fv[di[c]]);
+                  fv[k] = piv;
+                  // Merge row c's upper part with the rest of row i.
+                  Value k2 = Value(di[c]) + 1;
+                  Value k3 = k + 1;
+                  Value rowCEnd = rp[c + 1];
+                  Value rowIEnd = rp[i + 1];
+                  While([&] { return k2 < rowCEnd && k3 < rowIEnd; }, [&] {
+                    Value c2 = fc[k2];
+                    Value c3 = fc[k3];
+                    If(c2 == c3,
+                       [&] {
+                         fv[k3] = Value(fv[k3]) - piv * Value(fv[k2]);
+                         k2 = k2 + 1;
+                         k3 = k3 + 1;
+                       },
+                       [&] {
+                         If(c2 < c3, [&] { k2 = k2 + 1; },
+                            [&] { k3 = k3 + 1; });
+                       });
+                  });
+                });
+              });
+            });
+          });
+        },
+        "ilu_factorize", a.activeTiles());
+  } else {
+    // DILU: only the modified diagonal d̃ is computed:
+    //   d̃_i = a_ii − Σ_{c<i} a_ic · a_ci / d̃_c.
+    ExecuteOnTiles(
+        {*dtilde_, *fVal_, *fCol_, *fRowPtr_, *diagIdx_, *mirrorVal_,
+         *fwdOrder_, *fwdPtr_},
+        [&](std::vector<Value>& args) {
+          Value d = args[0], fv = args[1], fc = args[2], rp = args[3],
+                di = args[4], mv = args[5], order = args[6], lvl = args[7];
+          For(0, lvl.size() - 1, 1, [&](Value l) {
+            ParallelFor(lvl[l], lvl[l + 1], [&](Value idx) {
+              Value i = order[idx];
+              Value acc = fv[di[i]];
+              For(rp[i], rp[i + 1], 1, [&](Value k) {
+                Value c = fc[k];
+                If(c < i, [&] {
+                  acc = acc - Value(fv[k]) * Value(mv[k]) / Value(d[c]);
+                });
+              });
+              d[i] = acc;
+            });
+          });
+        },
+        "ilu_factorize", a.activeTiles());
+  }
+}
+
+void IluSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
+  ensureSetup(a);
+  Tensor& y = *scratchY_;
+  if (variant_ == Variant::Ilu0) {
+    // Forward substitution L y = r (unit diagonal), then backward U z = y.
+    ExecuteOnTiles(
+        {z, r, y, *fVal_, *fCol_, *fRowPtr_, *diagIdx_, *fwdOrder_, *fwdPtr_,
+         *bwdOrder_, *bwdPtr_},
+        [&](std::vector<Value>& args) {
+          Value zv = args[0], rv = args[1], yv = args[2], fv = args[3],
+                fc = args[4], rp = args[5], di = args[6], fo = args[7],
+                fp = args[8], bo = args[9], bp = args[10];
+          For(0, fp.size() - 1, 1, [&](Value l) {
+            ParallelFor(fp[l], fp[l + 1], [&](Value idx) {
+              Value i = fo[idx];
+              Value acc = rv[i];
+              For(rp[i], rp[i + 1], 1, [&](Value k) {
+                Value c = fc[k];
+                If(c < i, [&] { acc = acc - Value(fv[k]) * Value(yv[c]); });
+              });
+              yv[i] = acc;
+            });
+          });
+          For(0, bp.size() - 1, 1, [&](Value l) {
+            ParallelFor(bp[l], bp[l + 1], [&](Value idx) {
+              Value i = bo[idx];
+              Value acc = yv[i];
+              For(rp[i], rp[i + 1], 1, [&](Value k) {
+                Value c = fc[k];
+                If(c > i, [&] { acc = acc - Value(fv[k]) * Value(zv[c]); });
+              });
+              zv[i] = acc / Value(fv[di[i]]);
+            });
+          });
+        },
+        "ilu_solve", a.activeTiles());
+  } else {
+    // DILU: (E + L) w = r with w scaled by d̃, then (E + U) z = E w.
+    ExecuteOnTiles(
+        {z, r, y, *fVal_, *fCol_, *fRowPtr_, *dtilde_, *fwdOrder_, *fwdPtr_,
+         *bwdOrder_, *bwdPtr_},
+        [&](std::vector<Value>& args) {
+          Value zv = args[0], rv = args[1], yv = args[2], fv = args[3],
+                fc = args[4], rp = args[5], d = args[6], fo = args[7],
+                fp = args[8], bo = args[9], bp = args[10];
+          For(0, fp.size() - 1, 1, [&](Value l) {
+            ParallelFor(fp[l], fp[l + 1], [&](Value idx) {
+              Value i = fo[idx];
+              Value acc = rv[i];
+              For(rp[i], rp[i + 1], 1, [&](Value k) {
+                Value c = fc[k];
+                If(c < i, [&] { acc = acc - Value(fv[k]) * Value(yv[c]); });
+              });
+              yv[i] = acc / Value(d[i]);
+            });
+          });
+          For(0, bp.size() - 1, 1, [&](Value l) {
+            ParallelFor(bp[l], bp[l + 1], [&](Value idx) {
+              Value i = bo[idx];
+              Value acc = Value(0.0f);
+              For(rp[i], rp[i + 1], 1, [&](Value k) {
+                Value c = fc[k];
+                If(c > i, [&] { acc = acc + Value(fv[k]) * Value(zv[c]); });
+              });
+              zv[i] = Value(yv[i]) - acc / Value(d[i]);
+            });
+          });
+        },
+        "ilu_solve", a.activeTiles());
+  }
+}
+
+}  // namespace graphene::solver

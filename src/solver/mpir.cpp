@@ -1,0 +1,77 @@
+// (Mixed-Precision) Iterative Refinement (§V-B).
+#include <cmath>
+
+#include "solver/solvers.hpp"
+
+namespace graphene::solver {
+
+using dsl::Dot;
+using dsl::Expression;
+using dsl::Tensor;
+
+void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
+  inner_->ensureSetup(a);
+
+  // Extended-precision state (step 1 and 3 operate here).
+  Tensor bExt = a.makeVector(extType_, "mpir_b");
+  bExt = Expression(b).cast(extType_);
+  xExt_ = a.makeVector(extType_, "mpir_x");
+  Tensor& xExt = *xExt_;
+  {
+    // Zero-initialise via a cast of the zeroed working solution.
+    x = Expression(0.0f);
+    xExt = Expression(x).cast(extType_);
+  }
+  Tensor rExt = a.makeVector(extType_, "mpir_r");
+  Tensor rWork = a.makeVector(DType::Float32, "mpir_rwork");
+  Tensor c = a.makeVector(DType::Float32, "mpir_c");
+
+  // ‖b‖² in extended precision for the true relative residual.
+  Tensor bNormSq = Tensor(Dot(Expression(bExt), Expression(bExt)));
+  Tensor resNormSq = Tensor::scalar(extType_, "mpir_resnormsq");
+  resNormSq = Expression(bNormSq);
+  Tensor m = Tensor::scalar(DType::Int32, "mpir_m");
+  m = Expression(0);
+
+  auto trueHist = trueHistory_;
+  Solver* innerRaw = inner_.get();
+  graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
+
+  const double tol2 = tolerance_ * tolerance_;
+  Expression keepGoing =
+      Expression(m) < static_cast<int>(maxRefinements_) &&
+      Expression(resNormSq).cast(DType::Float64) >
+          (Expression(bNormSq) * Expression::constant(graph::Scalar(
+                                     static_cast<float>(tol2))))
+              .cast(DType::Float64);
+
+  dsl::While(keepGoing, [&] {
+    // Step 1: r(m) = b − A x(m), extended precision.
+    a.residualExt(rExt, bExt, xExt);
+    resNormSq = Dot(Expression(rExt), Expression(rExt));
+    dsl::HostCall([trueHist, innerRaw, resId, bId](graph::Engine& e) {
+      double rr = e.readScalar(resId).toHostDouble();
+      double bb = e.readScalar(bId).toHostDouble();
+      trueHist->push_back({innerRaw->history().size(),
+                           std::sqrt(std::abs(rr) / std::max(bb, 1e-300))});
+    });
+    // Step 2: solve A c = r(m) in working precision.
+    {
+      dsl::Expression narrow = Expression(rExt).cast(DType::Float32);
+      narrow.materializeInto(rWork, "extended_precision");
+    }
+    inner_->apply(a, c, rWork);
+    // Step 3: x(m+1) = x(m) + c, extended precision.
+    {
+      dsl::Expression update =
+          Expression(xExt) + Expression(c).cast(extType_);
+      update.materializeInto(xExt, "extended_precision");
+    }
+    m = Expression(m) + 1;
+  });
+
+  // The working-precision output is the rounded extended solution.
+  x = Expression(xExt).cast(DType::Float32);
+}
+
+}  // namespace graphene::solver

@@ -1,0 +1,78 @@
+// Solver interface (paper §V).
+//
+// "A key feature is the modular design, which allows for nested solver
+// configurations — any solver can serve as a preconditioner for another."
+// A Solver emits, via symbolic execution, the program computing
+// z ≈ A⁻¹ r from a zero initial guess. Used at the top level it is the
+// solve; used inside another solver it is the preconditioner application.
+//
+// The hierarchy is configured through JSON (§V): see makeSolver().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/dist_matrix.hpp"
+#include "support/json.hpp"
+
+namespace graphene::solver {
+
+/// One host-recorded convergence sample.
+struct IterationRecord {
+  std::size_t iteration = 0;  // cumulative inner-iteration count
+  double residual = 0.0;      // relative residual ‖r‖/‖b‖
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Emits one-time preparation (e.g. the (D)ILU factorisation). Idempotent:
+  /// composite solvers call this before building loop bodies so setup steps
+  /// are scheduled exactly once, outside any loop.
+  void ensureSetup(DistMatrix& a) {
+    if (!setupDone_) {
+      setupDone_ = true;
+      setup(a);
+    }
+  }
+
+  /// Emits the program computing z ≈ A⁻¹ r with zero initial guess.
+  /// z and r are float32 vectors with the matrix's owned mapping.
+  virtual void apply(DistMatrix& a, Tensor& z, Tensor& r) = 0;
+
+  /// Residual history recorded by host callbacks during execution
+  /// (top-level/iterative solvers only; empty for preconditioners).
+  const std::vector<IterationRecord>& history() const { return *history_; }
+  void clearHistory() { history_->clear(); }
+
+ protected:
+  virtual void setup(DistMatrix& a) { (void)a; }
+
+  std::shared_ptr<std::vector<IterationRecord>> history_ =
+      std::make_shared<std::vector<IterationRecord>>();
+
+ private:
+  bool setupDone_ = false;
+};
+
+/// Builds a (possibly nested) solver from a JSON configuration, e.g.:
+///   {
+///     "type": "mpir",
+///     "extendedType": "doubleword",
+///     "maxRefinements": 20, "tolerance": 1e-13,
+///     "inner": {
+///       "type": "bicgstab", "maxIterations": 100, "tolerance": 0,
+///       "preconditioner": {"type": "ilu"}
+///     }
+///   }
+/// Types: bicgstab, gauss-seidel, jacobi, ilu, dilu, mpir, identity.
+std::unique_ptr<Solver> makeSolver(const json::Value& config);
+
+/// Convenience: parses the JSON text, then builds the solver.
+std::unique_ptr<Solver> makeSolverFromString(const std::string& jsonText);
+
+}  // namespace graphene::solver

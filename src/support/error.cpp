@@ -1,0 +1,16 @@
+#include "support/error.hpp"
+
+namespace graphene::detail {
+
+void throwCheckFailure(const char* kind, const char* condition,
+                       const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace graphene::detail

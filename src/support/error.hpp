@@ -1,0 +1,72 @@
+// Error handling primitives for the Graphene-IPU framework.
+//
+// We follow a simple policy: programming errors and violated invariants throw
+// graphene::Error with a formatted message. Hot paths use GRAPHENE_DCHECK,
+// which compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace graphene {
+
+/// Base exception for all framework errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Thrown when a per-tile SRAM budget or similar hardware resource is exceeded.
+class ResourceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when parsing external input (JSON, MatrixMarket, ...) fails.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] void throwCheckFailure(const char* kind, const char* condition,
+                                    const char* file, int line,
+                                    const std::string& message);
+
+/// Streams every argument into one message string.
+template <typename... Args>
+std::string concatMessage(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+}  // namespace detail
+
+}  // namespace graphene
+
+/// Always-on invariant check. Throws graphene::Error on failure.
+#define GRAPHENE_CHECK(cond, ...)                                              \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::graphene::detail::throwCheckFailure(                                   \
+          "CHECK", #cond, __FILE__, __LINE__,                                  \
+          ::graphene::detail::concatMessage(__VA_ARGS__));                     \
+    }                                                                          \
+  } while (false)
+
+/// Debug-only invariant check, compiled out under NDEBUG.
+#ifdef NDEBUG
+#define GRAPHENE_DCHECK(cond, ...) \
+  do {                             \
+  } while (false)
+#else
+#define GRAPHENE_DCHECK(cond, ...) GRAPHENE_CHECK(cond, __VA_ARGS__)
+#endif
+
+/// Marks unreachable code paths.
+#define GRAPHENE_UNREACHABLE(msg)                                             \
+  ::graphene::detail::throwCheckFailure("UNREACHABLE", msg, __FILE__,         \
+                                        __LINE__, "")

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the framework (synthetic matrix generators,
+// random right-hand sides, property tests) draw from this generator so that
+// every run of every benchmark and test is bit-reproducible. We use the
+// SplitMix64 generator: tiny state, excellent statistical quality for our
+// purposes, and trivially seedable.
+#pragma once
+
+#include <cstdint>
+
+namespace graphene {
+
+/// SplitMix64 PRNG (Steele, Lea, Flood; used as the seeding generator of
+/// xoshiro). Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t nextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(nextU64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t nextBelow(std::uint64_t n) {
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = (0 - n) % n;
+    while (true) {
+      std::uint64_t r = nextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace graphene

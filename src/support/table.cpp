@@ -1,0 +1,88 @@
+#include "support/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace graphene {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GRAPHENE_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  GRAPHENE_CHECK(cells.size() == header_.size(), "row arity ", cells.size(),
+                 " does not match header arity ", header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    oss << "|\n";
+  };
+  emitRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << "|" << std::string(widths[c] + 2, '-');
+  }
+  oss << "|\n";
+  for (const auto& row : rows_) {
+    emitRow(row);
+  }
+  return oss.str();
+}
+
+std::string formatSig(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string formatTime(double seconds) {
+  const char* unit = "s";
+  double v = seconds;
+  if (std::abs(v) < 1e-6) {
+    v *= 1e9;
+    unit = "ns";
+  } else if (std::abs(v) < 1e-3) {
+    v *= 1e6;
+    unit = "us";
+  } else if (std::abs(v) < 1.0) {
+    v *= 1e3;
+    unit = "ms";
+  }
+  return formatSig(v, 4) + " " + unit;
+}
+
+std::string formatBytes(double bytes) {
+  const char* unit = "B";
+  double v = bytes;
+  if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    unit = "GB";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    unit = "MB";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    unit = "kB";
+  }
+  return formatSig(v, 4) + " " + unit;
+}
+
+}  // namespace graphene

@@ -1,0 +1,37 @@
+// Plain-text table printer used by the benchmark harness to emit rows that
+// mirror the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graphene {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders the table with column alignment and a header separator.
+  std::string render() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (bench output helper).
+std::string formatSig(double value, int digits = 4);
+
+/// Formats a time in seconds with an auto-selected unit (s / ms / µs / ns).
+std::string formatTime(double seconds);
+
+/// Formats a byte count with an auto-selected unit (B / kB / MB / GB).
+std::string formatBytes(double bytes);
+
+}  // namespace graphene

@@ -1,0 +1,100 @@
+// Error-free transforms (EFTs) — the building blocks of double-word
+// arithmetic.
+//
+// An EFT computes, for a floating-point operation ∘, the rounded result
+// fl(a ∘ b) *and* the exact rounding error, such that
+//   a ∘ b = fl(a ∘ b) + err   holds exactly in floating point.
+//
+// References:
+//   - Knuth, TAOCP vol. 2 (TwoSum)
+//   - Dekker 1971 (FastTwoSum, splitting)
+//   - Joldes, Muller, Popescu 2017 (usage in double-word arithmetic)
+//
+// IMPORTANT: these algorithms require strict IEEE-754 semantics. The build
+// must not enable -ffast-math or any contraction that is not an explicit
+// std::fma call.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+namespace graphene::twofloat {
+
+/// Result pair of an error-free transform: `value + error` equals the exact
+/// result of the transformed operation.
+template <typename T>
+struct Eft {
+  T value;
+  T error;
+};
+
+/// TwoSum (Knuth): s = fl(a+b), err exact. 6 flops, no precondition.
+template <typename T>
+constexpr Eft<T> twoSum(T a, T b) {
+  static_assert(std::is_floating_point_v<T>);
+  T s = a + b;
+  T bb = s - a;
+  T err = (a - (s - bb)) + (b - bb);
+  return {s, err};
+}
+
+/// FastTwoSum (Dekker): 3 flops; requires |a| >= |b| (or a == 0).
+template <typename T>
+constexpr Eft<T> fastTwoSum(T a, T b) {
+  static_assert(std::is_floating_point_v<T>);
+  T s = a + b;
+  T err = b - (s - a);
+  return {s, err};
+}
+
+/// Dekker's constant for splitting a T into two half-width parts:
+/// 2^ceil(p/2) + 1 where p is the precision of T. Computed at compile time,
+/// so the library works with any IEEE float type (float: 4097, double: 2^27+1).
+template <typename T>
+constexpr T splitterConstant() {
+  constexpr int p = std::numeric_limits<T>::digits;
+  constexpr int s = (p + 1) / 2;
+  T result = 1;
+  for (int i = 0; i < s; ++i) result *= T(2);
+  return result + T(1);
+}
+
+/// Dekker split: x = hi + lo where hi has at most ceil(p/2) significant bits.
+template <typename T>
+constexpr Eft<T> split(T x) {
+  constexpr T splitter = splitterConstant<T>();
+  T c = splitter * x;
+  T hi = c - (c - x);
+  T lo = x - hi;
+  return {hi, lo};
+}
+
+/// TwoProd via FMA: p = fl(a*b), err = fma(a, b, -p) exact. 2 flops.
+template <typename T>
+inline Eft<T> twoProdFma(T a, T b) {
+  T p = a * b;
+  T err = std::fma(a, b, -p);
+  return {p, err};
+}
+
+/// TwoProd via Dekker splitting (for targets without FMA). 17 flops.
+template <typename T>
+constexpr Eft<T> twoProdDekker(T a, T b) {
+  T p = a * b;
+  Eft<T> as = split(a);
+  Eft<T> bs = split(b);
+  T err = ((as.value * bs.value - p) + as.value * bs.error +
+           as.error * bs.value) +
+          as.error * bs.error;
+  return {p, err};
+}
+
+/// Default TwoProd: FMA-based (the IPU has an FMA unit; so do all hosts we
+/// target).
+template <typename T>
+inline Eft<T> twoProd(T a, T b) {
+  return twoProdFma(a, b);
+}
+
+}  // namespace graphene::twofloat

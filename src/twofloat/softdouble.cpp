@@ -1,0 +1,405 @@
+#include "twofloat/softdouble.hpp"
+
+#include <cstring>
+
+namespace graphene::twofloat {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr int kExpBits = 11;
+constexpr int kFracBits = 52;
+constexpr int kBias = 1023;
+constexpr u64 kSignMask = 1ull << 63;
+constexpr u64 kFracMask = (1ull << kFracBits) - 1;
+constexpr u64 kImplicitBit = 1ull << kFracBits;
+constexpr int kExpMax = (1 << kExpBits) - 1;  // all-ones exponent: inf/nan
+constexpr u64 kQuietNan = 0x7FF8000000000000ull;
+
+/// Unpacked representation with a *normalised* significand: frac always has
+/// its leading bit at position 52 (so frac ∈ [2^52, 2^53)), and exp is the
+/// (possibly non-positive) biased exponent that makes
+///   value = (-1)^sign * (frac / 2^52) * 2^(exp - kBias).
+/// Subnormal inputs are normalised here; roundAndPack denormalises on output.
+struct Unpacked {
+  bool sign;
+  int exp;
+  u64 frac;
+  bool isNan;
+  bool isInf;
+  bool isZero;
+};
+
+Unpacked unpack(u64 bits) {
+  Unpacked u{};
+  u.sign = (bits & kSignMask) != 0;
+  int e = static_cast<int>((bits >> kFracBits) & kExpMax);
+  u64 f = bits & kFracMask;
+  if (e == kExpMax) {
+    u.isNan = f != 0;
+    u.isInf = f == 0;
+    return u;
+  }
+  if (e == 0) {
+    if (f == 0) {
+      u.isZero = true;
+      return u;
+    }
+    // Subnormal: normalise so the leading bit sits at position 52.
+    u.exp = 1;
+    u.frac = f;
+    while ((u.frac & kImplicitBit) == 0) {
+      u.frac <<= 1;
+      --u.exp;
+    }
+  } else {
+    u.exp = e;
+    u.frac = f | kImplicitBit;
+  }
+  return u;
+}
+
+constexpr u64 packInf(bool sign) {
+  return (sign ? kSignMask : 0) | (static_cast<u64>(kExpMax) << kFracBits);
+}
+
+constexpr u64 packZero(bool sign) { return sign ? kSignMask : 0; }
+
+/// Rounds and packs a significand with 3 extra bits (guard, round, sticky)
+/// below the target 53-bit position. `exp` is the biased exponent that the
+/// leading (bit 55) position corresponds to. Handles overflow to infinity and
+/// underflow to subnormals/zero.
+u64 roundAndPack(bool sign, int exp, u64 sig) {
+  // sig layout: [bit 55 .. bit 3] significand, [bit 2..0] grs.
+  // Normalise so the leading 1 is at bit 55 (i.e. value in [1, 2)).
+  if (sig == 0) return packZero(sign);
+  while (sig < (1ull << 55)) {
+    sig <<= 1;
+    --exp;
+  }
+  while (sig >= (1ull << 56)) {
+    sig = (sig >> 1) | (sig & 1);  // keep sticky
+    ++exp;
+  }
+  if (exp >= kExpMax) return packInf(sign);
+  if (exp <= 0) {
+    // Subnormal: shift right until exp == 1, accumulating sticky.
+    int shift = 1 - exp;
+    if (shift > 58) {
+      sig = (sig != 0) ? 1 : 0;  // everything is sticky
+    } else {
+      u64 sticky = (sig & ((1ull << shift) - 1)) != 0 ? 1 : 0;
+      sig = (sig >> shift) | sticky;
+    }
+    exp = 1;
+    // After the shift the implicit position may be empty — that is what makes
+    // the result subnormal. Round below, then detect whether it became 0 exp.
+    u64 grs = sig & 7;
+    u64 mant = sig >> 3;
+    if (grs > 4 || (grs == 4 && (mant & 1))) ++mant;
+    if (mant >= kImplicitBit) {
+      // Rounded back up into the normal range.
+      return (sign ? kSignMask : 0) | (1ull << kFracBits) |
+             ((mant - kImplicitBit) & kFracMask);
+    }
+    return (sign ? kSignMask : 0) | mant;  // exponent field 0: subnormal
+  }
+  u64 grs = sig & 7;
+  u64 mant = sig >> 3;
+  if (grs > 4 || (grs == 4 && (mant & 1))) ++mant;
+  if (mant >= (1ull << 56 >> 3) * 2) {  // carry out of the 53-bit significand
+    mant >>= 1;
+    ++exp;
+    if (exp >= kExpMax) return packInf(sign);
+  }
+  return (sign ? kSignMask : 0) | (static_cast<u64>(exp) << kFracBits) |
+         (mant & kFracMask);
+}
+
+/// Magnitude addition/subtraction with correct rounding. Returns packed bits.
+u64 addBits(u64 ab, u64 bb) {
+  Unpacked a = unpack(ab);
+  Unpacked b = unpack(bb);
+  if (a.isNan || b.isNan) return kQuietNan;
+  if (a.isInf) {
+    if (b.isInf && a.sign != b.sign) return kQuietNan;  // inf - inf
+    return packInf(a.sign);
+  }
+  if (b.isInf) return packInf(b.sign);
+  if (a.isZero && b.isZero) {
+    // +0 + -0 = +0 under round-to-nearest.
+    return (a.sign && b.sign) ? packZero(true) : packZero(false);
+  }
+  if (a.isZero) return bb;
+  if (b.isZero) return ab;
+
+  // Work with significands extended by 3 grs bits at bit position 3.
+  // Align to the larger exponent.
+  if (a.exp < b.exp || (a.exp == b.exp && a.frac < b.frac)) {
+    std::swap(a, b);
+  }
+  u64 asig = a.frac << 3;
+  u64 bsig = b.frac << 3;
+  int shift = a.exp - b.exp;
+  if (shift > 60) {
+    bsig = 1;  // pure sticky
+  } else if (shift > 0) {
+    u64 sticky = (bsig & ((1ull << shift) - 1)) != 0 ? 1 : 0;
+    bsig = (bsig >> shift) | sticky;
+  }
+  bool sign;
+  u64 sig;
+  if (a.sign == b.sign) {
+    sign = a.sign;
+    sig = asig + bsig;
+  } else {
+    sign = a.sign;
+    sig = asig - bsig;
+    if (sig == 0) return packZero(false);
+  }
+  return roundAndPack(sign, a.exp, sig);
+}
+
+u64 mulBits(u64 ab, u64 bb) {
+  Unpacked a = unpack(ab);
+  Unpacked b = unpack(bb);
+  bool sign = a.sign != b.sign;
+  if (a.isNan || b.isNan) return kQuietNan;
+  if (a.isInf || b.isInf) {
+    if (a.isZero || b.isZero) return kQuietNan;  // inf * 0
+    return packInf(sign);
+  }
+  if (a.isZero || b.isZero) return packZero(sign);
+
+  // 53 x 53 -> 106-bit product.
+  u128 prod = static_cast<u128>(a.frac) * static_cast<u128>(b.frac);
+  // a.frac, b.frac in [2^52, 2^53) for normals => prod in [2^104, 2^106).
+  // Position the result so the leading bit lands near bit 55 with grs below.
+  // We take the top 56 bits and fold the rest into sticky.
+  int exp = a.exp + b.exp - kBias + 1;
+  // Shift so that a product with leading bit at position 105 maps to bit 55.
+  int shift = 105 - 55;
+  u64 lowMask = (static_cast<u128>(1) << shift) - 1;
+  u64 sticky = (prod & lowMask) != 0 ? 1 : 0;
+  u64 sig = static_cast<u64>(prod >> shift) | sticky;
+  // If the leading bit was at 104 instead of 105, roundAndPack's
+  // normalisation loop fixes it (and adjusts exp).
+  return roundAndPack(sign, exp, sig);
+}
+
+u64 divBits(u64 ab, u64 bb) {
+  Unpacked a = unpack(ab);
+  Unpacked b = unpack(bb);
+  bool sign = a.sign != b.sign;
+  if (a.isNan || b.isNan) return kQuietNan;
+  if (a.isInf) {
+    if (b.isInf) return kQuietNan;
+    return packInf(sign);
+  }
+  if (b.isInf) return packZero(sign);
+  if (b.isZero) {
+    if (a.isZero) return kQuietNan;  // 0/0
+    return packInf(sign);
+  }
+  if (a.isZero) return packZero(sign);
+
+  // Long division: numerator shifted left by 55+3 bits relative to the
+  // denominator gives a quotient with the leading bit near position 55..56.
+  u128 num = static_cast<u128>(a.frac) << 58;
+  u128 den = static_cast<u128>(b.frac);
+  u64 quot = static_cast<u64>(num / den);
+  u64 rem = static_cast<u64>(num % den);
+  u64 sig = quot | (rem != 0 ? 1 : 0);
+  // value = quot * 2^-58 * 2^(Ea-Eb); roundAndPack treats sig as a 2^-55
+  // fixed-point significand, hence the -3 adjustment.
+  int exp = a.exp - b.exp + kBias - 3;
+  return roundAndPack(sign, exp, sig);
+}
+
+}  // namespace
+
+SoftDouble SoftDouble::fromDouble(double value) {
+  u64 bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return fromBits(bits);
+}
+
+SoftDouble SoftDouble::fromFloat(float value) {
+  // Exact widening: every float is representable as a double; do it in
+  // software from the float bit pattern.
+  std::uint32_t fb;
+  std::memcpy(&fb, &value, sizeof(fb));
+  bool sign = (fb >> 31) != 0;
+  int fexp = static_cast<int>((fb >> 23) & 0xFF);
+  std::uint32_t frac = fb & 0x7FFFFFu;
+  if (fexp == 0xFF) {
+    return fromBits((sign ? kSignMask : 0) |
+                    (static_cast<u64>(kExpMax) << kFracBits) |
+                    (frac != 0 ? 1ull << 51 : 0));
+  }
+  if (fexp == 0 && frac == 0) return fromBits(packZero(sign));
+  int exp;
+  u64 mant;
+  if (fexp == 0) {
+    // Subnormal float: normalise.
+    exp = -126;
+    mant = frac;
+    while ((mant & (1ull << 23)) == 0) {
+      mant <<= 1;
+      --exp;
+    }
+    mant &= (1ull << 23) - 1;
+  } else {
+    exp = fexp - 127;
+    mant = frac;
+  }
+  u64 dexp = static_cast<u64>(exp + kBias);
+  return fromBits((sign ? kSignMask : 0) | (dexp << kFracBits) | (mant << 29));
+}
+
+double SoftDouble::toDouble() const {
+  double d;
+  std::memcpy(&d, &bits_, sizeof(d));
+  return d;
+}
+
+float SoftDouble::toFloat() const {
+  Unpacked u = unpack(bits_);
+  if (u.isNan) {
+    std::uint32_t fb = 0x7FC00000u;
+    float f;
+    std::memcpy(&f, &fb, sizeof(f));
+    return f;
+  }
+  if (u.isInf || u.isZero) {
+    std::uint32_t fb = (u.sign ? 0x80000000u : 0u) |
+                       (u.isInf ? 0x7F800000u : 0u);
+    float f;
+    std::memcpy(&f, &fb, sizeof(f));
+    return f;
+  }
+  // Narrow 53-bit significand to 24 bits with round-to-nearest-even.
+  int exp = u.exp - kBias;        // unbiased
+  u64 sig = u.frac;               // 53 bits with implicit for normals
+  // Normalise subnormal doubles.
+  while ((sig & kImplicitBit) == 0) {
+    sig <<= 1;
+    --exp;
+  }
+  int fexp = exp + 127;
+  std::uint32_t fb = u.sign ? 0x80000000u : 0u;
+  if (fexp >= 0xFF) {
+    fb |= 0x7F800000u;  // overflow to inf
+  } else if (fexp <= 0) {
+    // Subnormal or zero in float.
+    int shift = 29 + 1 - fexp;  // 29 = 52-23
+    if (shift >= 60) {
+      // underflows to zero
+    } else {
+      u64 sticky = (sig & ((1ull << (shift - 1)) - 1)) != 0 ? 1 : 0;
+      u64 mant = sig >> shift;
+      u64 roundBit = (sig >> (shift - 1)) & 1;
+      if (roundBit && (sticky || (mant & 1))) ++mant;
+      fb |= static_cast<std::uint32_t>(mant);
+    }
+  } else {
+    u64 sticky = (sig & ((1ull << 28) - 1)) != 0 ? 1 : 0;
+    u64 mant = sig >> 29;
+    u64 roundBit = (sig >> 28) & 1;
+    if (roundBit && (sticky || (mant & 1))) ++mant;
+    if (mant >= (1ull << 24)) {
+      mant >>= 1;
+      ++fexp;
+      if (fexp >= 0xFF) {
+        fb |= 0x7F800000u;
+        float f;
+        std::memcpy(&f, &fb, sizeof(f));
+        return f;
+      }
+    }
+    fb |= static_cast<std::uint32_t>(fexp) << 23;
+    fb |= static_cast<std::uint32_t>(mant & ((1ull << 23) - 1));
+  }
+  float f;
+  std::memcpy(&f, &fb, sizeof(f));
+  return f;
+}
+
+bool SoftDouble::isNan() const {
+  return ((bits_ >> kFracBits) & kExpMax) == static_cast<u64>(kExpMax) &&
+         (bits_ & kFracMask) != 0;
+}
+
+bool SoftDouble::isInf() const {
+  return ((bits_ >> kFracBits) & kExpMax) == static_cast<u64>(kExpMax) &&
+         (bits_ & kFracMask) == 0;
+}
+
+bool SoftDouble::isZero() const {
+  return (bits_ & ~kSignMask) == 0;
+}
+
+SoftDouble operator+(SoftDouble a, SoftDouble b) {
+  return SoftDouble::fromBits(addBits(a.bits_, b.bits_));
+}
+
+SoftDouble operator-(SoftDouble a, SoftDouble b) {
+  return SoftDouble::fromBits(addBits(a.bits_, b.bits_ ^ kSignMask));
+}
+
+SoftDouble operator*(SoftDouble a, SoftDouble b) {
+  return SoftDouble::fromBits(mulBits(a.bits_, b.bits_));
+}
+
+SoftDouble operator/(SoftDouble a, SoftDouble b) {
+  return SoftDouble::fromBits(divBits(a.bits_, b.bits_));
+}
+
+SoftDouble operator-(SoftDouble a) {
+  if (a.isNan()) return a;
+  return SoftDouble::fromBits(a.bits_ ^ kSignMask);
+}
+
+bool operator==(SoftDouble a, SoftDouble b) {
+  if (a.isNan() || b.isNan()) return false;
+  if (a.isZero() && b.isZero()) return true;  // -0 == +0
+  return a.bits_ == b.bits_;
+}
+
+bool operator<(SoftDouble a, SoftDouble b) {
+  if (a.isNan() || b.isNan()) return false;
+  if (a.isZero() && b.isZero()) return false;
+  bool as = (a.bits_ & kSignMask) != 0;
+  bool bs = (b.bits_ & kSignMask) != 0;
+  if (as != bs) return as;
+  // Same sign: compare magnitudes; flip for negatives.
+  u64 am = a.bits_ & ~kSignMask;
+  u64 bm = b.bits_ & ~kSignMask;
+  return as ? (am > bm) : (am < bm);
+}
+
+bool operator<=(SoftDouble a, SoftDouble b) {
+  if (a.isNan() || b.isNan()) return false;
+  return a < b || a == b;
+}
+
+SoftDouble SoftDouble::sqrt(SoftDouble x) {
+  if (x.isNan() || x.isZero()) return x;
+  if ((x.bits_ & kSignMask) != 0) return fromBits(kQuietNan);
+  if (x.isInf()) return x;
+  // Newton iteration y <- (y + x/y) / 2 entirely in software arithmetic,
+  // seeded by halving the exponent.
+  Unpacked u = unpack(x.bits_);
+  int exp = u.exp;  // biased
+  int halfExp = ((exp - kBias) / 2) + kBias;
+  SoftDouble y = fromBits(static_cast<u64>(halfExp) << kFracBits);
+  SoftDouble half = fromBits(0x3FE0000000000000ull);  // 0.5
+  for (int i = 0; i < 6; ++i) {
+    y = (y + x / y) * half;
+  }
+  return y;
+}
+
+}  // namespace graphene::twofloat

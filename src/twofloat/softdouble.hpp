@@ -1,0 +1,77 @@
+// SoftDouble — software-emulated IEEE-754 binary64 arithmetic.
+//
+// The IPU has no double-precision hardware; the paper's FLOAT64 type is
+// emulated in software (compiler-rt soft-float, §III-D, Table I). This class
+// is our from-scratch equivalent: all arithmetic is performed on the 64-bit
+// pattern with integer operations only, with round-to-nearest-even, correct
+// handling of signed zeros, subnormals, infinities and NaNs.
+//
+// It serves two purposes:
+//   1. The DSL's FLOAT64 data type materialises through it, so FLOAT64
+//      results on the "IPU" genuinely come from the emulation path.
+//   2. Its per-operation costs in the simulator cost table reproduce the
+//      ~1080/1260/2520-cycle numbers of Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace graphene::twofloat {
+
+class SoftDouble {
+ public:
+  constexpr SoftDouble() : bits_(0) {}
+
+  /// Constructs from a raw IEEE-754 binary64 bit pattern.
+  static constexpr SoftDouble fromBits(std::uint64_t bits) {
+    SoftDouble d;
+    d.bits_ = bits;
+    return d;
+  }
+
+  /// Constructs from a host double (bit-exact, no arithmetic involved).
+  static SoftDouble fromDouble(double value);
+
+  /// Constructs from a float (exact widening conversion done in software).
+  static SoftDouble fromFloat(float value);
+
+  /// Bit-exact conversion back to a host double (for verification/IO).
+  double toDouble() const;
+
+  /// Conversion to float with round-to-nearest-even (software narrowing).
+  float toFloat() const;
+
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  bool isNan() const;
+  bool isInf() const;
+  bool isZero() const;
+
+  /// Arithmetic, all performed in software on the bit patterns.
+  friend SoftDouble operator+(SoftDouble a, SoftDouble b);
+  friend SoftDouble operator-(SoftDouble a, SoftDouble b);
+  friend SoftDouble operator*(SoftDouble a, SoftDouble b);
+  friend SoftDouble operator/(SoftDouble a, SoftDouble b);
+  friend SoftDouble operator-(SoftDouble a);
+
+  /// IEEE comparison (NaN compares unordered; -0 == +0).
+  friend bool operator==(SoftDouble a, SoftDouble b);
+  friend bool operator<(SoftDouble a, SoftDouble b);
+  friend bool operator<=(SoftDouble a, SoftDouble b);
+  friend bool operator>(SoftDouble a, SoftDouble b) { return b < a; }
+  friend bool operator>=(SoftDouble a, SoftDouble b) { return b <= a; }
+  friend bool operator!=(SoftDouble a, SoftDouble b) { return !(a == b); }
+
+  /// Square root (software Newton iteration on the bit pattern).
+  static SoftDouble sqrt(SoftDouble x);
+
+  /// Absolute value (clears the sign bit).
+  static constexpr SoftDouble abs(SoftDouble x) {
+    return fromBits(x.bits_ & 0x7FFFFFFFFFFFFFFFull);
+  }
+
+ private:
+  std::uint64_t bits_;
+};
+
+}  // namespace graphene::twofloat

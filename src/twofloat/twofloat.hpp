@@ -1,0 +1,303 @@
+// TWOFLOAT — double-word arithmetic in C++ (reproduction of the paper's
+// open-sourced TwoFloat library, reference [11]).
+//
+// A double-word number represents a real value as the unevaluated sum of two
+// floating-point numbers (hi, lo) with |lo| <= ulp(hi)/2. The pair carries
+// roughly twice the precision of the base type while keeping its range.
+//
+// Two arithmetic families are provided, selected by `Policy`:
+//   - Policy::Accurate — the tight, normalised algorithms of
+//     JOLDES, MULLER, POPESCU (ACM TOMS 44(2), 2017). 20–34 flops per op.
+//     Used by the MPIR method (the paper prioritises numerical stability).
+//   - Policy::Fast — the faithful-rounding algorithms in the style of
+//     LANGE & RUMP (ACM TOMS 46(3), 2020), which omit normalisation steps.
+//     7–25 flops per op; error grows with consecutive operations.
+//
+// The template works for any IEEE base type; all constants (Dekker splitter)
+// are computed at compile time. `DoubleWord<float>` gives ~13–14 decimal
+// digits with float range; `DoubleWord<double>` gives ~31 digits.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "twofloat/eft.hpp"
+
+namespace graphene::twofloat {
+
+enum class Policy {
+  Accurate,  // Joldes et al. — normalised, tight error bounds
+  Fast,      // Lange & Rump style — fewer flops, faithful rounding
+};
+
+template <typename T, Policy P = Policy::Accurate>
+struct DoubleWord {
+  static_assert(std::is_floating_point_v<T>);
+
+  T hi = T(0);
+  T lo = T(0);
+
+  constexpr DoubleWord() = default;
+  constexpr DoubleWord(T h) : hi(h), lo(T(0)) {}
+  constexpr DoubleWord(T h, T l) : hi(h), lo(l) {}
+
+  /// Builds a double-word value from a wider type by splitting off the
+  /// leading base-type part (exact when `d` is representable as hi+lo).
+  static DoubleWord fromWide(double d) {
+    T h = static_cast<T>(d);
+    T l = static_cast<T>(d - static_cast<double>(h));
+    return {h, l};
+  }
+
+  /// Recombines into the wider host type (used for verification only; on the
+  /// IPU no such wider type exists).
+  double toWide() const {
+    return static_cast<double>(hi) + static_cast<double>(lo);
+  }
+
+  bool isFinite() const { return std::isfinite(hi) && std::isfinite(lo); }
+};
+
+// ---------------------------------------------------------------------------
+// Addition
+// ---------------------------------------------------------------------------
+
+/// DW + FP. Accurate: Joldes Alg. 4 (AccurateDWPlusFP), 10 flops, relative
+/// error <= 2 u^2.
+template <typename T>
+inline DoubleWord<T, Policy::Accurate> addDwFp(
+    DoubleWord<T, Policy::Accurate> x, T y) {
+  Eft<T> s = twoSum(x.hi, y);
+  T v = x.lo + s.error;
+  Eft<T> z = fastTwoSum(s.value, v);
+  return {z.value, z.error};
+}
+
+/// DW + DW. Accurate: Joldes Alg. 6 (AccurateDWPlusDW), 20 flops, relative
+/// error <= 3 u^2 / (1 - 4u).
+template <typename T>
+inline DoubleWord<T, Policy::Accurate> addDwDw(
+    DoubleWord<T, Policy::Accurate> x, DoubleWord<T, Policy::Accurate> y) {
+  Eft<T> s = twoSum(x.hi, y.hi);
+  Eft<T> t = twoSum(x.lo, y.lo);
+  T c = s.error + t.value;
+  Eft<T> v = fastTwoSum(s.value, c);
+  T w = t.error + v.error;
+  Eft<T> z = fastTwoSum(v.value, w);
+  return {z.value, z.error};
+}
+
+/// DW + DW. Fast: sloppy addition (Joldes Alg. 5 / Lange-Rump style),
+/// 11 flops. The error bound does not hold for opposite-sign operands of
+/// similar magnitude.
+template <typename T>
+inline DoubleWord<T, Policy::Fast> addDwDw(DoubleWord<T, Policy::Fast> x,
+                                           DoubleWord<T, Policy::Fast> y) {
+  Eft<T> s = twoSum(x.hi, y.hi);
+  T v = x.lo + y.lo;
+  T w = s.error + v;
+  Eft<T> z = fastTwoSum(s.value, w);
+  return {z.value, z.error};
+}
+
+/// DW + FP. Fast variant: 7 flops.
+template <typename T>
+inline DoubleWord<T, Policy::Fast> addDwFp(DoubleWord<T, Policy::Fast> x,
+                                           T y) {
+  Eft<T> s = twoSum(x.hi, y);
+  T w = s.error + x.lo;
+  Eft<T> z = fastTwoSum(s.value, w);
+  return {z.value, z.error};
+}
+
+// ---------------------------------------------------------------------------
+// Multiplication
+// ---------------------------------------------------------------------------
+
+/// DW × FP. Accurate: Joldes Alg. 9 (DWTimesFP3, FMA), 6 flops, error <= 2u^2.
+template <typename T, Policy P>
+inline DoubleWord<T, P> mulDwFp(DoubleWord<T, P> x, T y) {
+  Eft<T> c = twoProd(x.hi, y);
+  T cl3 = std::fma(x.lo, y, c.error);
+  Eft<T> z = fastTwoSum(c.value, cl3);
+  return {z.value, z.error};
+}
+
+/// DW × DW. Accurate: Joldes Alg. 12 (DWTimesDW3, FMA), 9 flops, error
+/// <= 4 u^2.
+template <typename T>
+inline DoubleWord<T, Policy::Accurate> mulDwDw(
+    DoubleWord<T, Policy::Accurate> x, DoubleWord<T, Policy::Accurate> y) {
+  Eft<T> c = twoProd(x.hi, y.hi);
+  T tl0 = x.lo * y.lo;
+  T tl1 = std::fma(x.hi, y.lo, tl0);
+  T cl2 = std::fma(x.lo, y.hi, tl1);
+  T cl3 = c.error + cl2;
+  Eft<T> z = fastTwoSum(c.value, cl3);
+  return {z.value, z.error};
+}
+
+/// DW × DW. Fast: Joldes Alg. 11 (DWTimesDW2) — drops the xl*yl term,
+/// 8 flops, error <= 5 u^2.
+template <typename T>
+inline DoubleWord<T, Policy::Fast> mulDwDw(DoubleWord<T, Policy::Fast> x,
+                                           DoubleWord<T, Policy::Fast> y) {
+  Eft<T> c = twoProd(x.hi, y.hi);
+  T tl = std::fma(x.hi, y.lo, x.lo * y.hi);
+  T cl2 = c.error + tl;
+  Eft<T> z = fastTwoSum(c.value, cl2);
+  return {z.value, z.error};
+}
+
+// ---------------------------------------------------------------------------
+// Division
+// ---------------------------------------------------------------------------
+
+/// DW ÷ FP. Joldes Alg. 15 (DWDivFP3), 10 flops, error <= 3 u^2.
+template <typename T, Policy P>
+inline DoubleWord<T, P> divDwFp(DoubleWord<T, P> x, T y) {
+  T th = x.hi / y;
+  Eft<T> p = twoProd(th, y);
+  T dh = x.hi - p.value;
+  T dt = dh - p.error;
+  T d = dt + x.lo;
+  T tl = d / y;
+  Eft<T> z = fastTwoSum(th, tl);
+  return {z.value, z.error};
+}
+
+/// DW ÷ DW. Accurate: Joldes Alg. 18 (DWDivDW3) — Newton-Raphson reciprocal
+/// refinement, ~31 flops, error <= 9.8 u^2.
+template <typename T>
+inline DoubleWord<T, Policy::Accurate> divDwDw(
+    DoubleWord<T, Policy::Accurate> x, DoubleWord<T, Policy::Accurate> y) {
+  using DW = DoubleWord<T, Policy::Accurate>;
+  T th = T(1) / y.hi;
+  T rh = std::fma(-y.hi, th, T(1));
+  T rl = -(y.lo * th);
+  Eft<T> e = fastTwoSum(rh, rl);
+  DW delta = mulDwFp(DW{e.value, e.error}, th);
+  DW m = addDwFp(delta, th);
+  return mulDwDw(x, m);
+}
+
+/// DW ÷ DW. Fast: Joldes Alg. 17 (DWDivDW2) — long-division style, 24 flops,
+/// error <= 15 u^2 + 56 u^3.
+template <typename T>
+inline DoubleWord<T, Policy::Fast> divDwDw(DoubleWord<T, Policy::Fast> x,
+                                           DoubleWord<T, Policy::Fast> y) {
+  T th = x.hi / y.hi;
+  DoubleWord<T, Policy::Fast> r =
+      addDwDw(x, mulDwFp(DoubleWord<T, Policy::Fast>{-y.hi, -y.lo}, th));
+  T tl = r.hi / y.hi;
+  Eft<T> z = fastTwoSum(th, tl);
+  return {z.value, z.error};
+}
+
+// ---------------------------------------------------------------------------
+// Negation / subtraction / operators
+// ---------------------------------------------------------------------------
+
+template <typename T, Policy P>
+constexpr DoubleWord<T, P> negate(DoubleWord<T, P> x) {
+  return {-x.hi, -x.lo};
+}
+
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator+(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return addDwDw(a, b);
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator-(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return addDwDw(a, negate(b));
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator*(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return mulDwDw(a, b);
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator/(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return divDwDw(a, b);
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator+(DoubleWord<T, P> a, T b) {
+  return addDwFp(a, b);
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator-(DoubleWord<T, P> a, T b) {
+  return addDwFp(a, -b);
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator*(DoubleWord<T, P> a, T b) {
+  return mulDwFp(a, b);
+}
+template <typename T, Policy P>
+inline DoubleWord<T, P> operator/(DoubleWord<T, P> a, T b) {
+  return divDwFp(a, b);
+}
+template <typename T, Policy P>
+constexpr DoubleWord<T, P> operator-(DoubleWord<T, P> a) {
+  return negate(a);
+}
+
+/// Exact comparison of the represented values (hi is normalised, so
+/// lexicographic comparison on (hi, lo) is value order).
+template <typename T, Policy P>
+constexpr bool operator==(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return a.hi == b.hi && a.lo == b.lo;
+}
+template <typename T, Policy P>
+constexpr bool operator<(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return a.hi < b.hi || (a.hi == b.hi && a.lo < b.lo);
+}
+template <typename T, Policy P>
+constexpr bool operator>(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return b < a;
+}
+template <typename T, Policy P>
+constexpr bool operator<=(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return !(b < a);
+}
+template <typename T, Policy P>
+constexpr bool operator>=(DoubleWord<T, P> a, DoubleWord<T, P> b) {
+  return !(a < b);
+}
+
+/// Absolute value.
+template <typename T, Policy P>
+constexpr DoubleWord<T, P> abs(DoubleWord<T, P> x) {
+  return x.hi < T(0) || (x.hi == T(0) && x.lo < T(0)) ? negate(x) : x;
+}
+
+/// sqrt via one Newton step on the base-type estimate (Karp-Markstein style);
+/// needed by vector norms in extended precision.
+template <typename T, Policy P>
+inline DoubleWord<T, P> sqrt(DoubleWord<T, P> x) {
+  if (x.hi == T(0) && x.lo == T(0)) return {T(0), T(0)};
+  T s = std::sqrt(x.hi);
+  // r = x - s^2 computed exactly, then correction r / (2s).
+  Eft<T> p = twoProd(s, s);
+  DoubleWord<T, P> r = addDwDw(x, DoubleWord<T, P>{-p.value, -p.error});
+  T corr = r.hi / (T(2) * s);
+  Eft<T> z = fastTwoSum(s, corr);
+  return {z.value, z.error};
+}
+
+/// Convenience aliases matching the paper's usage: double-word over float32.
+using Float2 = DoubleWord<float, Policy::Accurate>;
+using FastFloat2 = DoubleWord<float, Policy::Fast>;
+
+/// Flop counts per operation, used by the IPU cycle model and documented in
+/// the paper (§III-D: Joldes 20–34 flops, Lange-Rump 7–25 flops).
+struct FlopCounts {
+  int addDwDw;
+  int mulDwDw;
+  int divDwDw;
+};
+constexpr FlopCounts flopCounts(Policy p) {
+  return p == Policy::Accurate ? FlopCounts{20, 9, 31} : FlopCounts{11, 8, 24};
+}
+
+}  // namespace graphene::twofloat

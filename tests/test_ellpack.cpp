@@ -1,0 +1,106 @@
+// Tests for the ELLPACK / SELL formats (§II-C future-work exploration).
+#include <gtest/gtest.h>
+
+#include "matrix/ellpack.hpp"
+#include "matrix/generators.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+using namespace graphene::matrix;
+
+namespace {
+
+CsrMatrix randomMatrix(std::size_t n, std::size_t nnzPerRow,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> trips;
+  for (std::size_t r = 0; r < n; ++r) {
+    trips.push_back({r, r, rng.uniform(1, 2)});
+    std::size_t extra = rng.nextBelow(nnzPerRow);
+    for (std::size_t k = 0; k < extra; ++k) {
+      trips.push_back({r, rng.nextBelow(n), rng.uniform(-1, 1)});
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, std::move(trips));
+}
+
+}  // namespace
+
+class FormatRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatRoundTrip, EllpackPreservesMatrix) {
+  auto a = randomMatrix(150, 9, GetParam());
+  auto e = EllpackMatrix::fromCsr(a);
+  auto back = e.toCsr();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      ASSERT_DOUBLE_EQ(back.at(r, c), a.at(r, c));
+    }
+  }
+}
+
+TEST_P(FormatRoundTrip, SellPreservesMatrix) {
+  auto a = randomMatrix(150, 9, GetParam() + 7);
+  for (std::size_t sliceHeight : {1u, 4u, 8u, 16u, 150u, 200u}) {
+    auto s = SellMatrix::fromCsr(a, sliceHeight);
+    auto back = s.toCsr();
+    ASSERT_EQ(back.nnz(), a.nnz()) << "slice " << sliceHeight;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+        ASSERT_DOUBLE_EQ(
+            back.at(r, static_cast<std::size_t>(a.colIdx()[k])),
+            a.values()[k]);
+      }
+    }
+  }
+}
+
+TEST_P(FormatRoundTrip, SpmvAgreesWithCsr) {
+  auto a = randomMatrix(200, 7, GetParam() + 13);
+  auto e = EllpackMatrix::fromCsr(a);
+  auto s = SellMatrix::fromCsr(a, 8);
+  Rng rng(GetParam());
+  std::vector<double> x(a.cols()), y1(a.rows()), y2(a.rows()), y3(a.rows());
+  for (double& v : x) v = rng.uniform(-2, 2);
+  a.spmv(x, y1);
+  e.spmv(x, y2);
+  s.spmv(x, y3);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    ASSERT_NEAR(y2[r], y1[r], 1e-12);
+    ASSERT_NEAR(y3[r], y1[r], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatRoundTrip,
+                         ::testing::Values(1, 22, 333));
+
+TEST(Ellpack, PaddingOnRegularStencilIsSmall) {
+  auto g = poisson3d7(12, 12, 12);
+  auto e = EllpackMatrix::fromCsr(g.matrix);
+  EXPECT_EQ(e.rowWidth(), 7u);
+  EXPECT_LT(e.paddingFactor(), 1.15);
+}
+
+TEST(Ellpack, PaddingOnIrregularMatrixIsLarge) {
+  // One long row forces every row to the same width.
+  std::vector<Triplet> trips;
+  const std::size_t n = 100;
+  for (std::size_t r = 0; r < n; ++r) trips.push_back({r, r, 1.0});
+  for (std::size_t c = 0; c < 50; ++c) trips.push_back({0, c, 0.5});
+  auto a = CsrMatrix::fromTriplets(n, n, trips);
+  auto e = EllpackMatrix::fromCsr(a);
+  EXPECT_EQ(e.rowWidth(), 50u);
+  EXPECT_GT(e.paddingFactor(), 20.0);
+  // SELL contains the damage to one slice.
+  auto s = SellMatrix::fromCsr(a, 8);
+  EXPECT_LT(s.paddingFactor(), 5.0);
+  EXPECT_LT(s.footprintBytes(), e.footprintBytes());
+}
+
+TEST(Sell, SliceAccountingAddsUp) {
+  auto g = afShellLike(2000);
+  auto s = SellMatrix::fromCsr(g.matrix, 8);
+  EXPECT_EQ(s.numSlices(), (g.matrix.rows() + 7) / 8);
+  EXPECT_GE(s.paddedEntries(), g.matrix.nnz());
+  EXPECT_EQ(s.nnz(), g.matrix.nnz());
+}

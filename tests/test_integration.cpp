@@ -1,0 +1,232 @@
+// Integration sweeps: full pipeline (generator → partition → halo layout →
+// device matrix → JSON-configured solver → simulated execution → host
+// verification) across solver configurations, matrices, and pod shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/engine.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+using namespace graphene::solver;
+using dsl::Context;
+using dsl::Tensor;
+
+namespace {
+
+double solveAndMeasure(const matrix::GeneratedMatrix& g,
+                       const ipu::IpuTarget& target,
+                       const std::string& config,
+                       ipu::Profile* profileOut = nullptr) {
+  Context ctx(target);
+  auto layout = partition::buildLayout(
+      g.matrix, partition::partitionAuto(g, target.totalTiles()),
+      target.totalTiles());
+  DistMatrix A(g.matrix, std::move(layout));
+  Tensor x = A.makeVector(dsl::DType::Float32, "x");
+  Tensor b = A.makeVector(dsl::DType::Float32, "b");
+  auto solver = makeSolverFromString(config);
+  solver->apply(A, x, b);
+
+  graph::Engine engine(ctx.graph());
+  A.upload(engine);
+  Rng rng(77);
+  std::vector<double> rhs(g.matrix.rows());
+  for (double& v : rhs) {
+    v = static_cast<double>(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  A.writeVector(engine, b, rhs);
+  engine.run(ctx.program());
+  if (profileOut) *profileOut = engine.profile();
+
+  std::vector<double> xh;
+  if (auto* mpir = dynamic_cast<MpirSolver*>(solver.get());
+      mpir && mpir->extendedSolution()) {
+    xh = A.readVector(engine, *mpir->extendedSolution());
+  } else {
+    xh = A.readVector(engine, x);
+  }
+  // Verify against the float32-cast system — that is the system the device
+  // stores and solves (DESIGN.md §1).
+  std::vector<double> vals32(g.matrix.values().begin(),
+                             g.matrix.values().end());
+  for (double& v : vals32) v = static_cast<double>(static_cast<float>(v));
+  matrix::CsrMatrix a32(
+      g.matrix.rows(), g.matrix.cols(),
+      {g.matrix.rowPtr().begin(), g.matrix.rowPtr().end()},
+      {g.matrix.colIdx().begin(), g.matrix.colIdx().end()}, std::move(vals32));
+  std::vector<double> Ax(xh.size());
+  a32.spmv(xh, Ax);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < Ax.size(); ++i) {
+    num += (rhs[i] - Ax[i]) * (rhs[i] - Ax[i]);
+    den += rhs[i] * rhs[i];
+  }
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Solver-config × matrix sweep: everything in the factory must converge on
+// every structural class.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  const char* label;
+  const char* matrixName;
+  const char* config;
+  double tolerance;
+};
+
+class SolverMatrixSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SolverMatrixSweep, ConvergesOnSimulatedIpu) {
+  const SweepCase& c = GetParam();
+  auto g = matrix::makeBenchmarkMatrix(c.matrixName, 2500, /*shiftScale=*/300);
+  double res = solveAndMeasure(g, ipu::IpuTarget::testTarget(16), c.config);
+  EXPECT_LT(res, c.tolerance) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SolverMatrixSweep,
+    ::testing::Values(
+        SweepCase{"bicgstab_ilu_g3", "g3_circuit",
+                  R"({"type":"bicgstab","maxIterations":400,"tolerance":1e-6,
+                      "preconditioner":{"type":"ilu"}})",
+                  1e-4},
+        SweepCase{"bicgstab_dilu_shell", "af_shell7",
+                  R"({"type":"bicgstab","maxIterations":600,"tolerance":1e-6,
+                      "preconditioner":{"type":"dilu"}})",
+                  1e-4},
+        SweepCase{"bicgstab_gs_hook", "hook_1498",
+                  R"({"type":"bicgstab","maxIterations":600,"tolerance":1e-6,
+                      "preconditioner":{"type":"gauss-seidel","sweeps":2}})",
+                  1e-4},
+        SweepCase{"cg_ilu_geo", "geo_1438",
+                  R"({"type":"cg","maxIterations":600,"tolerance":1e-6,
+                      "preconditioner":{"type":"ilu"}})",
+                  1e-4},
+        SweepCase{"cg_jacobi_g3", "g3_circuit",
+                  R"({"type":"cg","maxIterations":900,"tolerance":1e-6,
+                      "preconditioner":{"type":"jacobi","iterations":2}})",
+                  1e-4},
+        SweepCase{"mpir_dw_shell", "af_shell7",
+                  R"({"type":"mpir","extendedType":"doubleword",
+                      "maxRefinements":40,"tolerance":1e-11,
+                      "inner":{"type":"bicgstab","maxIterations":30,
+                               "tolerance":0,
+                               "preconditioner":{"type":"ilu"}}})",
+                  1e-8},
+        SweepCase{"mpir_dp_cg_geo", "geo_1438",
+                  R"({"type":"mpir","extendedType":"float64",
+                      "maxRefinements":40,"tolerance":1e-11,
+                      "inner":{"type":"cg","maxIterations":30,"tolerance":0,
+                               "preconditioner":{"type":"ilu"}}})",
+                  1e-8}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// Pod-shape sweep: the same solve must work and stay numerically healthy
+// on every decomposition, including multi-IPU pods and pods with more tiles
+// than some matrices can fill evenly.
+// ---------------------------------------------------------------------------
+
+class PodShapeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PodShapeSweep, SolveWorksOnEveryPodShape) {
+  auto [tilesPerIpu, ipus] = GetParam();
+  ipu::IpuTarget target;
+  target.tilesPerIpu = tilesPerIpu;
+  target.numIpus = ipus;
+  auto g = matrix::poisson3d7(12, 12, 12);
+  double res = solveAndMeasure(
+      g, target,
+      R"({"type":"bicgstab","maxIterations":300,"tolerance":1e-6,
+          "preconditioner":{"type":"ilu"}})");
+  EXPECT_LT(res, 1e-4) << tilesPerIpu << " tiles x " << ipus << " IPUs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PodShapeSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{16, 1},
+                      std::pair<std::size_t, std::size_t>{8, 2},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{3, 3}));
+
+TEST(Integration, MultiIpuSolveExchangesOverLinks) {
+  ipu::IpuTarget target;
+  target.tilesPerIpu = 8;
+  target.numIpus = 2;
+  auto g = matrix::poisson3d7(10, 10, 10);
+  ipu::Profile prof;
+  double res = solveAndMeasure(
+      g, target,
+      R"({"type":"bicgstab","maxIterations":200,"tolerance":1e-6,
+          "preconditioner":{"type":"ilu"}})",
+      &prof);
+  EXPECT_LT(res, 1e-4);
+  EXPECT_GT(prof.exchangedBytes, 0u);
+  EXPECT_GT(prof.exchangeSupersteps, 0u);
+}
+
+TEST(Integration, DeterministicCycleCounts) {
+  // "Due to the determinism of the IPU ... the execution time is the same
+  // for every invocation" (§VI-A) — the simulation must be bit-deterministic.
+  auto run = [] {
+    auto g = matrix::afShellLike(1200);
+    ipu::Profile prof;
+    solveAndMeasure(g, ipu::IpuTarget::testTarget(8),
+                    R"({"type":"bicgstab","maxIterations":50,"tolerance":0,
+                        "preconditioner":{"type":"dilu"}})",
+                    &prof);
+    return prof.totalCycles();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Integration, SramExhaustionSurfacesAsResourceError) {
+  ipu::IpuTarget tiny = ipu::IpuTarget::testTarget(2);
+  tiny.sramBytesPerTile = 16 * 1024;
+  Context ctx(tiny);
+  auto g = matrix::poisson3d7(16, 16, 16);  // ~4k rows won't fit on 2 tiny tiles
+  auto rowToTile = partition::partitionAuto(g, 2);
+  EXPECT_THROW(
+      {
+        auto layout = partition::buildLayout(g.matrix, rowToTile, 2);
+        DistMatrix A(g.matrix, std::move(layout));
+      },
+      ResourceError);
+}
+
+TEST(Integration, RichardsonSmootherReducesResidual) {
+  auto g = matrix::poisson2d5(12, 12);
+  double res = solveAndMeasure(
+      g, ipu::IpuTarget::testTarget(4),
+      R"({"type":"bicgstab","maxIterations":200,"tolerance":1e-6,
+          "preconditioner":{"type":"richardson","iterations":4,
+                            "omega":0.15}})");
+  EXPECT_LT(res, 1e-4);
+}
+
+TEST(Integration, CgMatchesBiCgStabOnSpdSystem) {
+  auto g = matrix::poisson2d5(14, 14);
+  double cg = solveAndMeasure(
+      g, ipu::IpuTarget::testTarget(4),
+      R"({"type":"cg","maxIterations":300,"tolerance":1e-6,
+          "preconditioner":{"type":"ilu"}})");
+  double bicg = solveAndMeasure(
+      g, ipu::IpuTarget::testTarget(4),
+      R"({"type":"bicgstab","maxIterations":300,"tolerance":1e-6,
+          "preconditioner":{"type":"ilu"}})");
+  EXPECT_LT(cg, 1e-4);
+  EXPECT_LT(bicg, 1e-4);
+}

@@ -1,0 +1,190 @@
+// Unit tests for the CodeDSL interpreter's scalar semantics and cycle
+// accounting behaviour.
+#include <gtest/gtest.h>
+
+#include "dsl/interpreter.hpp"
+#include "dsl/tensor.hpp"
+#include "graph/engine.hpp"
+
+using namespace graphene;
+using namespace graphene::dsl;
+using graph::Scalar;
+using twofloat::Float2;
+using twofloat::SoftDouble;
+
+// ---------------------------------------------------------------------------
+// evalBinaryScalar / evalUnaryScalar
+// ---------------------------------------------------------------------------
+
+TEST(ScalarOps, IntegerArithmetic) {
+  EXPECT_EQ(evalBinaryScalar(BinOp::Add, Scalar(7), Scalar(5)).asInt(), 12);
+  EXPECT_EQ(evalBinaryScalar(BinOp::Sub, Scalar(7), Scalar(5)).asInt(), 2);
+  EXPECT_EQ(evalBinaryScalar(BinOp::Mul, Scalar(7), Scalar(5)).asInt(), 35);
+  EXPECT_EQ(evalBinaryScalar(BinOp::Div, Scalar(7), Scalar(5)).asInt(), 1);
+  EXPECT_EQ(evalBinaryScalar(BinOp::Mod, Scalar(7), Scalar(5)).asInt(), 2);
+  EXPECT_EQ(evalBinaryScalar(BinOp::Min, Scalar(7), Scalar(5)).asInt(), 5);
+  EXPECT_EQ(evalBinaryScalar(BinOp::Max, Scalar(7), Scalar(5)).asInt(), 7);
+}
+
+TEST(ScalarOps, IntegerDivisionByZeroThrows) {
+  EXPECT_THROW(evalBinaryScalar(BinOp::Div, Scalar(1), Scalar(0)), Error);
+  EXPECT_THROW(evalBinaryScalar(BinOp::Mod, Scalar(1), Scalar(0)), Error);
+}
+
+TEST(ScalarOps, ModOnFloatsThrows) {
+  EXPECT_THROW(evalBinaryScalar(BinOp::Mod, Scalar(1.0f), Scalar(2.0f)),
+               Error);
+}
+
+TEST(ScalarOps, ComparisonsYieldBool) {
+  auto r = evalBinaryScalar(BinOp::Lt, Scalar(1.0f), Scalar(2.0f));
+  EXPECT_EQ(r.type(), DType::Bool);
+  EXPECT_TRUE(r.asBool());
+  EXPECT_FALSE(evalBinaryScalar(BinOp::Gt, Scalar(1.0f), Scalar(2.0f)).asBool());
+  EXPECT_TRUE(evalBinaryScalar(BinOp::Ne, Scalar(1), Scalar(2)).asBool());
+}
+
+TEST(ScalarOps, MixedTypePromotion) {
+  // int * float -> float
+  auto r1 = evalBinaryScalar(BinOp::Mul, Scalar(3), Scalar(0.5f));
+  EXPECT_EQ(r1.type(), DType::Float32);
+  EXPECT_FLOAT_EQ(r1.asFloat(), 1.5f);
+  // float + double-word -> double-word
+  auto r2 = evalBinaryScalar(BinOp::Add, Scalar(1.0f),
+                             Scalar(Float2::fromWide(1e-9)));
+  EXPECT_EQ(r2.type(), DType::DoubleWord);
+  EXPECT_NEAR(r2.toHostDouble(), 1.0 + 1e-9, 1e-15);
+  // double-word + float64 -> float64 (widest wins)
+  auto r3 = evalBinaryScalar(BinOp::Add, Scalar(Float2::fromWide(1.0)),
+                             Scalar(SoftDouble::fromDouble(2.0)));
+  EXPECT_EQ(r3.type(), DType::Float64);
+  EXPECT_DOUBLE_EQ(r3.toHostDouble(), 3.0);
+  // bool arithmetic promotes to int
+  auto r4 = evalBinaryScalar(BinOp::Add, Scalar(true), Scalar(true));
+  EXPECT_EQ(r4.type(), DType::Int32);
+  EXPECT_EQ(r4.asInt(), 2);
+}
+
+TEST(ScalarOps, LogicOperatorsUseTruthiness) {
+  EXPECT_TRUE(evalBinaryScalar(BinOp::And, Scalar(1.0f), Scalar(2)).asBool());
+  EXPECT_FALSE(evalBinaryScalar(BinOp::And, Scalar(0.0f), Scalar(2)).asBool());
+  EXPECT_TRUE(evalBinaryScalar(BinOp::Or, Scalar(0), Scalar(true)).asBool());
+}
+
+TEST(ScalarOps, UnaryOperations) {
+  EXPECT_FLOAT_EQ(evalUnaryScalar(UnOp::Neg, Scalar(2.5f)).asFloat(), -2.5f);
+  EXPECT_EQ(evalUnaryScalar(UnOp::Neg, Scalar(-3)).asInt(), 3);
+  EXPECT_FLOAT_EQ(evalUnaryScalar(UnOp::Abs, Scalar(-2.5f)).asFloat(), 2.5f);
+  EXPECT_FLOAT_EQ(evalUnaryScalar(UnOp::Sqrt, Scalar(9.0f)).asFloat(), 3.0f);
+  EXPECT_TRUE(evalUnaryScalar(UnOp::Not, Scalar(false)).asBool());
+  // Extended types route through their software implementations.
+  auto dw = evalUnaryScalar(UnOp::Sqrt, Scalar(Float2::fromWide(2.0)));
+  EXPECT_NEAR(dw.toHostDouble(), std::sqrt(2.0), 1e-13);
+  auto sd = evalUnaryScalar(UnOp::Sqrt, Scalar(SoftDouble::fromDouble(2.0)));
+  EXPECT_NEAR(sd.toHostDouble(), std::sqrt(2.0), 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle accounting properties (via full DSL programs)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double cyclesOf(DType type, std::size_t n, std::size_t tiles = 1) {
+  Context ctx(ipu::IpuTarget::testTarget(tiles));
+  Tensor a(type, n, "a");
+  Tensor b(type, n, "b");
+  Tensor c(type, n, "c");
+  c = Expression(a) * Expression(b) + Expression(a);
+  graph::Engine e(ctx.graph());
+  e.run(ctx.program());
+  return e.profile().totalComputeCycles();
+}
+
+}  // namespace
+
+TEST(CycleAccounting, ExtendedTypesCostMore) {
+  double f32 = cyclesOf(DType::Float32, 300);
+  double dw = cyclesOf(DType::DoubleWord, 300);
+  double f64 = cyclesOf(DType::Float64, 300);
+  EXPECT_GT(dw, 3 * f32);   // Table I: ~20x on pure flops, loads dilute
+  EXPECT_GT(f64, 2.5 * dw); // f64 emulation ~8x DW on flops
+}
+
+TEST(CycleAccounting, CyclesScaleLinearlyWithElements) {
+  double small = cyclesOf(DType::Float32, 600);
+  double large = cyclesOf(DType::Float32, 2400);
+  EXPECT_NEAR(large / small, 4.0, 0.4);
+}
+
+TEST(CycleAccounting, WorkSplitsAcrossTiles) {
+  // Same total elements on 1 vs 4 tiles: the BSP superstep costs the
+  // slowest tile, so 4 tiles ≈ 1/4 the cycles.
+  double one = cyclesOf(DType::Float32, 2400, 1);
+  double four = cyclesOf(DType::Float32, 2400, 4);
+  EXPECT_NEAR(one / four, 4.0, 0.5);
+}
+
+TEST(CycleAccounting, SelectEvaluatesOnlyChosenSide) {
+  // Guarded halo-style indexing must not read out of bounds AND must not
+  // charge for the untaken (expensive) branch.
+  Context ctx(ipu::IpuTarget::testTarget(1));
+  Tensor flags(DType::Int32, 64, "flags");
+  Tensor cheap(DType::Float32, 64, "cheap");
+  Tensor out(DType::Float32, 64, "out");
+  Execute({flags, cheap, out}, [](Value f, Value c, Value o) {
+    For(0, o.size(), 1, [&](Value i) {
+      // Out-of-range index on the untaken side: must never be evaluated.
+      o[i] = Select(f[i] == 0, c[i], c[i - 1000000]);
+    });
+  });
+  graph::Engine e(ctx.graph());
+  // flags all zero → always take the first branch.
+  e.run(ctx.program());
+  SUCCEED();
+}
+
+TEST(CycleAccounting, WhileConditionReevaluatedEachIteration) {
+  Context ctx(ipu::IpuTarget::testTarget(1));
+  Tensor out(DType::Int32, 1, "out");
+  Execute({out}, [](Value o) {
+    Value i = 0;
+    Value limit = 5;
+    While([&] { return i < limit; }, [&] {
+      i = i + 1;
+      limit = limit - 1;  // moving target: must terminate at crossover
+    });
+    o[0] = i;
+  });
+  graph::Engine e(ctx.graph());
+  e.run(ctx.program());
+  EXPECT_EQ(e.readTensor<std::int32_t>(out.id())[0], 3);
+}
+
+TEST(CycleAccounting, NegativeIndexDetected) {
+  Context ctx(ipu::IpuTarget::testTarget(1));
+  Tensor v(DType::Float32, 8, "v");
+  Execute({v}, [](Value t) {
+    Value i = 0;
+    t[i - 5] = 1.0f;
+  });
+  graph::Engine e(ctx.graph());
+  EXPECT_THROW(e.run(ctx.program()), Error);
+}
+
+TEST(CycleAccounting, MixedDwFpOpsPricedBelowFullDw) {
+  // float32 coefficient times double-word vector (the MPIR residual inner
+  // product) must be cheaper than full DW×DW (§III-D: DWTimesFP vs
+  // DWTimesDW).
+  auto run = [](bool mixed) {
+    Context ctx(ipu::IpuTarget::testTarget(1));
+    Tensor a(mixed ? DType::Float32 : DType::DoubleWord, 512, "a");
+    Tensor b(DType::DoubleWord, 512, "b");
+    Tensor c(DType::DoubleWord, 512, "c");
+    c = Expression(a) * Expression(b);
+    graph::Engine e(ctx.graph());
+    e.run(ctx.program());
+    return e.profile().totalComputeCycles();
+  };
+  EXPECT_LT(run(true), run(false));
+}

@@ -1,0 +1,190 @@
+// Unit tests for the IPU machine model: cost tables, exchange pricing,
+// worker pool, memory ledger, target arithmetic.
+#include <gtest/gtest.h>
+
+#include "ipu/cost_model.hpp"
+#include "ipu/exchange.hpp"
+#include "ipu/memory.hpp"
+#include "ipu/target.hpp"
+#include "ipu/worker_pool.hpp"
+#include "support/error.hpp"
+
+using namespace graphene;
+using namespace graphene::ipu;
+
+TEST(Target, TileToIpuMapping) {
+  IpuTarget t;
+  t.tilesPerIpu = 4;
+  t.numIpus = 3;
+  EXPECT_EQ(t.totalTiles(), 12u);
+  EXPECT_EQ(t.ipuOfTile(0), 0u);
+  EXPECT_EQ(t.ipuOfTile(3), 0u);
+  EXPECT_EQ(t.ipuOfTile(4), 1u);
+  EXPECT_EQ(t.ipuOfTile(11), 2u);
+}
+
+TEST(Target, SecondsFromCycles) {
+  IpuTarget t;
+  t.clockHz = 1.325e9;
+  EXPECT_DOUBLE_EQ(t.secondsFromCycles(1.325e9), 1.0);
+  EXPECT_NEAR(t.secondsFromCycles(1325.0), 1e-6, 1e-12);
+}
+
+TEST(CostModelTable, MatchesPaperTableI) {
+  CostModel cost;
+  // Native float32: one issue slot (6 cycles).
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Add, DType::Float32), 6.0);
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Mul, DType::Float32), 6.0);
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Div, DType::Float32), 6.0);
+  // Double-word (Joldes): Table I.
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Add, DType::DoubleWord), 132.0);
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Mul, DType::DoubleWord), 162.0);
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Div, DType::DoubleWord), 240.0);
+  // Emulated float64: Table I.
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Add, DType::Float64), 1080.0);
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Mul, DType::Float64), 1260.0);
+  EXPECT_DOUBLE_EQ(cost.workerCycles(Op::Div, DType::Float64), 2520.0);
+}
+
+TEST(CostModelTable, FastPolicyIsCheaper) {
+  CostModel accurate;
+  CostModel fast;
+  fast.dwPolicy = twofloat::Policy::Fast;
+  for (Op op : {Op::Add, Op::Mul, Op::Div}) {
+    EXPECT_LT(fast.workerCycles(op, DType::DoubleWord),
+              accurate.workerCycles(op, DType::DoubleWord));
+  }
+}
+
+TEST(CostModelTable, LaneAssignment) {
+  EXPECT_EQ(CostModel::lane(Op::Add), Lane::Fp);
+  EXPECT_EQ(CostModel::lane(Op::Load), Lane::Mem);
+  EXPECT_EQ(CostModel::lane(Op::Store), Lane::Mem);
+  EXPECT_EQ(CostModel::lane(Op::IntArith), Lane::Mem);
+  EXPECT_EQ(CostModel::lane(Op::Branch), Lane::Ctrl);
+}
+
+TEST(LaneCyclesModel, DualIssueOverlap) {
+  CostModel cost;
+  LaneCycles lanes;
+  lanes.add(Lane::Fp, 60);
+  lanes.add(Lane::Mem, 40);
+  lanes.add(Lane::Ctrl, 10);
+  // max(fp, mem) + ctrl.
+  EXPECT_DOUBLE_EQ(lanes.total(), 70.0);
+  lanes.add(Lane::Mem, 50);  // mem now 90 > fp 60
+  EXPECT_DOUBLE_EQ(lanes.total(), 100.0);
+}
+
+TEST(WorkerPoolModel, SyncAdvancesToSlowest) {
+  WorkerPool pool(6);
+  pool.addCycles(0, 100);
+  pool.addCycles(3, 250);
+  EXPECT_DOUBLE_EQ(pool.elapsed(), 250.0);
+  // Utilisation reflects the imbalance (measured before the barrier, which
+  // by definition levels all worker clocks).
+  EXPECT_LT(pool.utilisation(), 1.0);
+  double afterSync = pool.sync();
+  EXPECT_DOUBLE_EQ(afterSync, 250.0 + WorkerPool::kSyncCycles);
+  EXPECT_DOUBLE_EQ(pool.elapsed(), afterSync);
+}
+
+TEST(WorkerPoolModel, BalancedLoadHasHighUtilisation) {
+  WorkerPool pool(6);
+  for (std::size_t w = 0; w < 6; ++w) pool.addCycles(w, 600);
+  EXPECT_DOUBLE_EQ(pool.utilisation(), 1.0);
+  EXPECT_DOUBLE_EQ(pool.totalWork(), 3600.0);
+}
+
+TEST(MemoryLedger, EnforcesBudget) {
+  IpuTarget t = IpuTarget::testTarget(2);
+  t.sramBytesPerTile = 1000;
+  TileMemoryLedger ledger(t);
+  ledger.allocate(0, 600, "a");
+  ledger.allocate(0, 400, "b");  // exactly full
+  EXPECT_EQ(ledger.used(0), 1000u);
+  EXPECT_THROW(ledger.allocate(0, 1, "c"), ResourceError);
+  // Other tiles are unaffected.
+  ledger.allocate(1, 1000, "d");
+  EXPECT_EQ(ledger.peakUsed(), 1000u);
+  ledger.release(0, 600);
+  ledger.allocate(0, 500, "e");
+  EXPECT_EQ(ledger.used(0), 900u);
+  EXPECT_THROW(ledger.release(0, 10000), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange pricing
+// ---------------------------------------------------------------------------
+
+TEST(ExchangePricing, EmptyIsFree) {
+  IpuTarget t = IpuTarget::testTarget(4);
+  auto stats = priceExchange(t, {});
+  EXPECT_DOUBLE_EQ(stats.cycles, 0.0);
+  EXPECT_EQ(stats.instructions, 0u);
+}
+
+TEST(ExchangePricing, BroadcastCountsOneSend) {
+  IpuTarget t = IpuTarget::testTarget(8);
+  Transfer broadcast{0, {1, 2, 3, 4}, 1024};
+  Transfer fourSends1{0, {1}, 1024};
+  Transfer fourSends2{0, {2}, 1024};
+  Transfer fourSends3{0, {3}, 1024};
+  Transfer fourSends4{0, {4}, 1024};
+  auto bc = priceExchange(t, {broadcast});
+  auto sep = priceExchange(t, {fourSends1, fourSends2, fourSends3, fourSends4});
+  EXPECT_EQ(bc.instructions, 1u);
+  EXPECT_EQ(sep.instructions, 4u);
+  // Broadcast sends the payload once: 4x less source serialisation.
+  EXPECT_LT(bc.cycles, sep.cycles);
+  EXPECT_EQ(bc.totalBytes, 1024u);
+  EXPECT_EQ(sep.totalBytes, 4096u);
+}
+
+TEST(ExchangePricing, SelfCopyIsLocal) {
+  IpuTarget t = IpuTarget::testTarget(4);
+  Transfer self{2, {2}, 4096};
+  auto stats = priceExchange(t, {self});
+  EXPECT_EQ(stats.instructions, 0u);
+  EXPECT_EQ(stats.totalBytes, 0u);
+}
+
+TEST(ExchangePricing, BottleneckIsBusiestTile) {
+  IpuTarget t = IpuTarget::testTarget(8);
+  // Tile 0 sends 4 kB; tiles 1..4 send 1 kB each, all concurrently.
+  std::vector<Transfer> transfers = {
+      {0, {5}, 4096}, {1, {5}, 0}, {1, {6}, 1024}, {2, {6}, 1024},
+      {3, {7}, 1024}, {4, {7}, 1024}};
+  auto stats = priceExchange(t, transfers);
+  // Send side: tile0 = 4096 / 4 B/cycle = 1024 cycles dominates receive
+  // side (tile5: 4096/16 = 256).
+  EXPECT_GT(stats.cycles, 1024.0);
+  EXPECT_LT(stats.cycles, 1024.0 + t.syncCyclesOnChip + 10 * t.exchangeInstrCycles + 1);
+}
+
+TEST(ExchangePricing, InterIpuPaysLinkAndGlobalSync) {
+  IpuTarget t = IpuTarget::testTarget(4, 2);  // 2 IPUs x 4 tiles
+  Transfer onChip{0, {1}, 4096};
+  Transfer crossChip{0, {5}, 4096};
+  auto local = priceExchange(t, {onChip});
+  auto remote = priceExchange(t, {crossChip});
+  EXPECT_FALSE(local.crossesIpus);
+  EXPECT_TRUE(remote.crossesIpus);
+  EXPECT_EQ(remote.interIpuBytes, 4096u);
+  EXPECT_GT(remote.cycles, local.cycles);
+}
+
+TEST(ExchangePricing, BroadcastToTwoIpusPaysLinkOncePerIpu) {
+  IpuTarget t = IpuTarget::testTarget(4, 3);
+  // Broadcast from tile 0 to one tile on each other IPU.
+  Transfer tr{0, {4, 5, 8}, 1 << 20};
+  auto stats = priceExchange(t, {tr});
+  // Link bytes: once to IPU1, once to IPU2 (fan-out on the remote side).
+  EXPECT_EQ(stats.interIpuBytes, 2u << 20);
+}
+
+TEST(ExchangePricing, RejectsOutOfRangeTiles) {
+  IpuTarget t = IpuTarget::testTarget(2);
+  EXPECT_THROW(priceExchange(t, {Transfer{5, {0}, 16}}), Error);
+  EXPECT_THROW(priceExchange(t, {Transfer{0, {9}, 16}}), Error);
+}

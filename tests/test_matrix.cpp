@@ -1,0 +1,263 @@
+// Tests for sparse matrix containers, IO and generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/matrix_market.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+using namespace graphene::matrix;
+
+TEST(Csr, FromTripletsSortsAndMergesDuplicates) {
+  std::vector<Triplet> trips = {
+      {1, 1, 2.0}, {0, 0, 1.0}, {1, 0, 3.0}, {1, 1, 4.0},  // dup (1,1)
+  };
+  CsrMatrix a = CsrMatrix::fromTriplets(2, 2, trips);
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+}
+
+TEST(Csr, DropsExplicitZeroSums) {
+  std::vector<Triplet> trips = {{0, 1, 2.0}, {0, 1, -2.0}, {0, 0, 1.0}};
+  CsrMatrix a = CsrMatrix::fromTriplets(1, 2, trips);
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  Rng rng(7);
+  const std::size_t n = 40;
+  std::vector<Triplet> trips;
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (int k = 0; k < 300; ++k) {
+    std::size_t r = rng.nextBelow(n), c = rng.nextBelow(n);
+    double v = rng.uniform(-2, 2);
+    trips.push_back({r, c, v});
+    dense[r][c] += v;
+  }
+  CsrMatrix a = CsrMatrix::fromTriplets(n, n, trips);
+  std::vector<double> x(n), y(n), yRef(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rng.uniform(-1, 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) yRef[r] += dense[r][c] * x[c];
+  }
+  a.spmv(x, y);
+  for (std::size_t r = 0; r < n; ++r) EXPECT_NEAR(y[r], yRef[r], 1e-12);
+}
+
+TEST(Csr, PermutedPreservesEntries) {
+  auto g = poisson2d5(5, 4);
+  const CsrMatrix& a = g.matrix;
+  std::vector<std::size_t> perm(a.rows());
+  // Reverse permutation.
+  for (std::size_t i = 0; i < a.rows(); ++i) perm[i] = a.rows() - 1 - i;
+  CsrMatrix b = a.permuted(perm);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(b.at(perm[r], perm[c]), a.at(r, c));
+    }
+  }
+}
+
+TEST(Csr, TransposeOfSymmetricIsIdentical) {
+  auto g = poisson3d7(5, 4, 3);
+  CsrMatrix t = g.matrix.transposed();
+  EXPECT_EQ(t.nnz(), g.matrix.nnz());
+  for (std::size_t r = 0; r < g.matrix.rows(); ++r) {
+    for (std::size_t k = g.matrix.rowPtr()[r]; k < g.matrix.rowPtr()[r + 1];
+         ++k) {
+      std::size_t c = static_cast<std::size_t>(g.matrix.colIdx()[k]);
+      EXPECT_DOUBLE_EQ(t.at(c, r), g.matrix.values()[k]);
+    }
+  }
+}
+
+TEST(ModifiedCrsFormat, RoundTripsAndSavesDiagonalIndices) {
+  auto g = poisson3d7(6, 6, 6);
+  ModifiedCrs m = ModifiedCrs::fromCsr(g.matrix);
+  EXPECT_EQ(m.nnz(), g.matrix.nnz());
+  // Off-diagonal storage avoids n column indices (§II-C memory saving).
+  EXPECT_EQ(m.colIdx().size(), g.matrix.nnz() - g.matrix.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(m.diagonal()[r], 6.0);
+  }
+  CsrMatrix back = m.toCsr();
+  EXPECT_EQ(back.nnz(), g.matrix.nnz());
+  for (std::size_t r = 0; r < back.rows(); ++r) {
+    for (std::size_t c = 0; c < back.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(back.at(r, c), g.matrix.at(r, c));
+    }
+  }
+}
+
+TEST(ModifiedCrsFormat, SpmvMatchesCsr) {
+  auto g = afShellLike(2000);
+  ModifiedCrs m = ModifiedCrs::fromCsr(g.matrix);
+  Rng rng(9);
+  std::vector<double> x(g.matrix.rows()), y1(x.size()), y2(x.size());
+  for (double& v : x) v = rng.uniform(-1, 1);
+  g.matrix.spmv(x, y1);
+  m.spmv(x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(ModifiedCrsFormat, RejectsZeroDiagonal) {
+  CsrMatrix a = CsrMatrix::fromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0},
+                                               {1, 0, 3.0}});
+  EXPECT_THROW(ModifiedCrs::fromCsr(a), Error);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  auto g = poisson2d5(7, 6);
+  std::ostringstream out;
+  writeMatrixMarket(g.matrix, out);
+  std::istringstream in(out.str());
+  CsrMatrix back = readMatrixMarket(in);
+  EXPECT_EQ(back.rows(), g.matrix.rows());
+  EXPECT_EQ(back.nnz(), g.matrix.nnz());
+  for (std::size_t r = 0; r < back.rows(); ++r) {
+    for (std::size_t c = 0; c < back.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(back.at(r, c), g.matrix.at(r, c));
+    }
+  }
+}
+
+TEST(MatrixMarket, SymmetricFilesAreExpanded) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 2.0\n");
+  CsrMatrix a = readMatrixMarket(in);
+  EXPECT_EQ(a.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(a.isSymmetric());
+}
+
+TEST(MatrixMarket, PatternFilesGetUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  CsrMatrix a = readMatrixMarket(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  auto tryParse = [](const std::string& s) {
+    std::istringstream in(s);
+    readMatrixMarket(in);
+  };
+  EXPECT_THROW(tryParse(""), Error);
+  EXPECT_THROW(tryParse("%%NotMatrixMarket matrix coordinate real general\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix array real general\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "3 1 1.0\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 2\n"
+                        "1 1 1.0\n"),
+               Error);  // truncated
+}
+
+// ---------------------------------------------------------------------------
+// Generators: every benchmark matrix must be SPD-shaped (symmetric, full
+// nonzero diagonal, diagonally dominant) like the paper's Table II set.
+// ---------------------------------------------------------------------------
+
+class GeneratorProperties
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorProperties, SymmetricPositiveDefiniteShape) {
+  auto g = makeBenchmarkMatrix(GetParam(), 3000);
+  const CsrMatrix& a = g.matrix;
+  EXPECT_GE(a.rows(), 1500u);
+  EXPECT_TRUE(a.isSymmetric(1e-10)) << g.name;
+  EXPECT_TRUE(a.hasFullDiagonal()) << g.name;
+  // Weak diagonal dominance with positive diagonal ⇒ SPD for these
+  // Laplacian-based constructions.
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto val = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0, off = 0.0;
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      if (static_cast<std::size_t>(col[k]) == r) {
+        diag = val[k];
+      } else {
+        off += std::abs(val[k]);
+      }
+    }
+    ASSERT_GT(diag, 0.0);
+    ASSERT_GE(diag + 1e-9 * diag, off) << "row " << r << " of " << g.name;
+  }
+}
+
+TEST_P(GeneratorProperties, DeterministicForFixedSeed) {
+  auto a = makeBenchmarkMatrix(GetParam(), 2000);
+  auto b = makeBenchmarkMatrix(GetParam(), 2000);
+  ASSERT_EQ(a.matrix.nnz(), b.matrix.nnz());
+  for (std::size_t k = 0; k < a.matrix.nnz(); ++k) {
+    ASSERT_EQ(a.matrix.values()[k], b.matrix.values()[k]);
+    ASSERT_EQ(a.matrix.colIdx()[k], b.matrix.colIdx()[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchmarkMatrices, GeneratorProperties,
+                         ::testing::Values("g3_circuit", "af_shell7",
+                                           "geo_1438", "hook_1498"));
+
+TEST(Generators, PoissonMatchesTextbookStencil) {
+  auto g = poisson3d7(4, 4, 4);
+  const CsrMatrix& a = g.matrix;
+  EXPECT_EQ(a.rows(), 64u);
+  // Interior point: 6 on diagonal, -1 to all six neighbours.
+  // Node (1,1,1) has index 1 + 4 + 16 = 21.
+  EXPECT_DOUBLE_EQ(a.at(21, 21), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(21, 20), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(21, 22), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(21, 17), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(21, 25), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(21, 5), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(21, 37), -1.0);
+  EXPECT_EQ(a.rowNnz(21), 7u);
+  // Corner: 3 neighbours.
+  EXPECT_EQ(a.rowNnz(0), 4u);
+  EXPECT_TRUE(a.isSymmetric());
+}
+
+TEST(Generators, NnzPerRowMatchesStructuralClass) {
+  // Match the paper's Table II structure classes: G3_circuit ~4.8 nnz/row,
+  // af_shell7 ~35, Geo_1438 ~44, Hook_1498 ~40.
+  auto stats = [](const char* name) {
+    return computeStats(makeBenchmarkMatrix(name, 20000).matrix);
+  };
+  auto g3 = stats("g3_circuit");
+  EXPECT_GT(g3.avgNnzPerRow, 3.5);
+  EXPECT_LT(g3.avgNnzPerRow, 6.5);
+  auto shell = stats("af_shell7");
+  EXPECT_GT(shell.avgNnzPerRow, 18.0);
+  EXPECT_LT(shell.avgNnzPerRow, 40.0);
+  auto geo = stats("geo_1438");
+  EXPECT_GT(geo.avgNnzPerRow, 18.0);
+  EXPECT_LT(geo.avgNnzPerRow, 45.0);
+  auto hook = stats("hook_1498");
+  EXPECT_GT(hook.avgNnzPerRow, 18.0);
+  EXPECT_LT(hook.avgNnzPerRow, 45.0);
+}

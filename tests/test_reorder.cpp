@@ -1,0 +1,89 @@
+// Tests for RCM reordering and the spectral estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/generators.hpp"
+#include "matrix/reorder.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+using namespace graphene::matrix;
+
+TEST(Rcm, PermutationIsValid) {
+  auto g = g3CircuitLike(2000);
+  auto perm = reverseCuthillMcKee(g.matrix);
+  std::vector<int> seen(perm.size(), 0);
+  for (std::size_t p : perm) {
+    ASSERT_LT(p, perm.size());
+    ++seen[p];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledMatrix) {
+  // Shuffle a banded matrix, then RCM must recover a small bandwidth.
+  auto g = poisson2d5(30, 30);
+  Rng rng(3);
+  std::vector<std::size_t> shuffle(g.matrix.rows());
+  for (std::size_t i = 0; i < shuffle.size(); ++i) shuffle[i] = i;
+  for (std::size_t i = shuffle.size(); i-- > 1;) {
+    std::swap(shuffle[i], shuffle[rng.nextBelow(i + 1)]);
+  }
+  CsrMatrix shuffled = g.matrix.permuted(shuffle);
+  EXPECT_GT(shuffled.bandwidth(), 200u);  // destroyed locality
+
+  auto perm = reverseCuthillMcKee(shuffled);
+  CsrMatrix restored = shuffled.permuted(perm);
+  EXPECT_LT(restored.bandwidth(), 70u);  // near the grid's natural ~30
+  EXPECT_EQ(restored.nnz(), g.matrix.nnz());
+  EXPECT_TRUE(restored.isSymmetric(1e-12));
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two independent 2x2 blocks plus an isolated diagonal row.
+  auto a = CsrMatrix::fromTriplets(
+      5, 5,
+      {{0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0},
+       {2, 2, 1.0},
+       {3, 3, 2.0}, {3, 4, -1.0}, {4, 3, -1.0}, {4, 4, 2.0}});
+  auto perm = reverseCuthillMcKee(a);
+  auto b = a.permuted(perm);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_LE(b.bandwidth(), 1u);
+}
+
+TEST(Spectral, PowerIterationOnKnownSpectrum) {
+  // diag(1, 2, ..., 10): eigenvalues are exactly the entries.
+  std::vector<Triplet> trips;
+  for (std::size_t i = 0; i < 10; ++i) {
+    trips.push_back({i, i, static_cast<double>(i + 1)});
+  }
+  auto a = CsrMatrix::fromTriplets(10, 10, trips);
+  EXPECT_NEAR(estimateLargestEigenvalue(a, 200), 10.0, 1e-3);
+  EXPECT_NEAR(estimateSmallestEigenvalue(a, 40), 1.0, 1e-3);
+  EXPECT_NEAR(estimateConditionNumber(a), 10.0, 0.1);
+}
+
+TEST(Spectral, PoissonConditionMatchesTheory) {
+  // 2D 5-point Poisson with Dirichlet boundaries: eigenvalues are
+  // 4 − 2cos(iπh) − 2cos(jπh); λmax ≈ 8, λmin = 4 − 4cos(πh) ≈ 2π²h².
+  const std::size_t n = 20;
+  auto g = poisson2d5(n, n);
+  double hi = estimateLargestEigenvalue(g.matrix, 300);
+  double lo = estimateSmallestEigenvalue(g.matrix, 40);
+  const double h = 1.0 / static_cast<double>(n + 1);
+  const double pi = 3.14159265358979;
+  EXPECT_NEAR(hi, 8.0, 0.5);
+  EXPECT_NEAR(lo, 2.0 * pi * pi * h * h, lo * 0.1);
+}
+
+TEST(Spectral, ShiftScaleLowersCondition) {
+  // The generators' shiftScale knob must reduce the condition number
+  // roughly proportionally (DESIGN.md §1 size-matched conditioning).
+  auto hard = geoLike(1500, 3, 1.0);
+  auto easy = geoLike(1500, 3, 300.0);
+  double kHard = estimateConditionNumber(hard.matrix);
+  double kEasy = estimateConditionNumber(easy.matrix);
+  EXPECT_GT(kHard, 20.0 * kEasy);
+}

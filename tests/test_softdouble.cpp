@@ -1,0 +1,212 @@
+// Tests for SoftDouble, the software-emulated IEEE-754 binary64 type.
+//
+// The host CPU has hardware binary64, so every operation can be verified
+// bit-exactly against the hardware result.
+#include "twofloat/softdouble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/rng.hpp"
+
+using graphene::twofloat::SoftDouble;
+
+namespace {
+
+std::uint64_t bitsOf(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+bool sameBitsOrBothNan(SoftDouble got, double expect) {
+  if (std::isnan(expect)) return got.isNan();
+  return got.bits() == bitsOf(expect);
+}
+
+double randomDouble(graphene::Rng& rng) {
+  // Mix of magnitudes, including values near the subnormal range.
+  switch (rng.nextU64() % 4) {
+    case 0: return rng.uniform(-1e3, 1e3);
+    case 1: return rng.uniform(-1e300, 1e300);
+    case 2: return rng.uniform(-1e-300, 1e-300);
+    default: return rng.uniform(-1.0, 1.0) * std::pow(2.0, static_cast<double>(rng.nextU64() % 2000) - 1000.0);
+  }
+}
+
+}  // namespace
+
+TEST(SoftDouble, RoundTripBits) {
+  graphene::Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    double d = randomDouble(rng);
+    EXPECT_EQ(SoftDouble::fromDouble(d).toDouble(), d);
+  }
+}
+
+TEST(SoftDouble, ClassificationPredicates) {
+  EXPECT_TRUE(SoftDouble::fromDouble(0.0).isZero());
+  EXPECT_TRUE(SoftDouble::fromDouble(-0.0).isZero());
+  EXPECT_TRUE(
+      SoftDouble::fromDouble(std::numeric_limits<double>::infinity()).isInf());
+  EXPECT_TRUE(
+      SoftDouble::fromDouble(std::numeric_limits<double>::quiet_NaN()).isNan());
+  EXPECT_FALSE(SoftDouble::fromDouble(1.5).isNan());
+  EXPECT_FALSE(SoftDouble::fromDouble(1.5).isInf());
+  EXPECT_FALSE(SoftDouble::fromDouble(1.5).isZero());
+}
+
+class SoftDoubleRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoftDoubleRandomOps, AddMatchesHardwareBitExactly) {
+  graphene::Rng rng(GetParam());
+  for (int i = 0; i < 20000; ++i) {
+    double a = randomDouble(rng);
+    double b = randomDouble(rng);
+    auto r = SoftDouble::fromDouble(a) + SoftDouble::fromDouble(b);
+    EXPECT_TRUE(sameBitsOrBothNan(r, a + b))
+        << "a=" << a << " b=" << b << " got=" << r.toDouble()
+        << " want=" << (a + b);
+  }
+}
+
+TEST_P(SoftDoubleRandomOps, SubMatchesHardwareBitExactly) {
+  graphene::Rng rng(GetParam() + 1);
+  for (int i = 0; i < 20000; ++i) {
+    double a = randomDouble(rng);
+    double b = randomDouble(rng);
+    auto r = SoftDouble::fromDouble(a) - SoftDouble::fromDouble(b);
+    EXPECT_TRUE(sameBitsOrBothNan(r, a - b)) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(SoftDoubleRandomOps, MulMatchesHardwareBitExactly) {
+  graphene::Rng rng(GetParam() + 2);
+  for (int i = 0; i < 20000; ++i) {
+    double a = randomDouble(rng);
+    double b = randomDouble(rng);
+    auto r = SoftDouble::fromDouble(a) * SoftDouble::fromDouble(b);
+    EXPECT_TRUE(sameBitsOrBothNan(r, a * b))
+        << "a=" << a << " b=" << b << " got=" << r.toDouble()
+        << " want=" << a * b;
+  }
+}
+
+TEST_P(SoftDoubleRandomOps, DivMatchesHardwareBitExactly) {
+  graphene::Rng rng(GetParam() + 3);
+  for (int i = 0; i < 20000; ++i) {
+    double a = randomDouble(rng);
+    double b = randomDouble(rng);
+    auto r = SoftDouble::fromDouble(a) / SoftDouble::fromDouble(b);
+    EXPECT_TRUE(sameBitsOrBothNan(r, a / b))
+        << "a=" << a << " b=" << b << " got=" << r.toDouble()
+        << " want=" << a / b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftDoubleRandomOps,
+                         ::testing::Values(101, 202, 303));
+
+TEST(SoftDouble, SpecialCaseTable) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  struct Case {
+    double a, b;
+  };
+  const Case cases[] = {
+      {0.0, 0.0},   {0.0, -0.0},  {-0.0, -0.0}, {inf, 1.0},  {1.0, inf},
+      {inf, inf},   {inf, -inf},  {nan, 1.0},   {1.0, nan},  {nan, nan},
+      {0.0, inf},   {inf, 0.0},   {1.0, 0.0},   {0.0, 1.0},  {-1.0, 0.0},
+      {0.0, -1.0},  {1e308, 1e308}, {-1e308, -1e308}, {1e-308, 1e-308},
+      {5e-324, 5e-324}, {5e-324, -5e-324}, {1.0, 5e-324},
+  };
+  for (const auto& c : cases) {
+    EXPECT_TRUE(sameBitsOrBothNan(
+        SoftDouble::fromDouble(c.a) + SoftDouble::fromDouble(c.b), c.a + c.b))
+        << "add " << c.a << "," << c.b;
+    EXPECT_TRUE(sameBitsOrBothNan(
+        SoftDouble::fromDouble(c.a) * SoftDouble::fromDouble(c.b), c.a * c.b))
+        << "mul " << c.a << "," << c.b;
+    EXPECT_TRUE(sameBitsOrBothNan(
+        SoftDouble::fromDouble(c.a) / SoftDouble::fromDouble(c.b), c.a / c.b))
+        << "div " << c.a << "," << c.b;
+  }
+}
+
+TEST(SoftDouble, SubnormalArithmetic) {
+  graphene::Rng rng(55);
+  for (int i = 0; i < 5000; ++i) {
+    // Generate doubles in and around the subnormal range.
+    double a = rng.uniform(-1.0, 1.0) * 1e-310;
+    double b = rng.uniform(-1.0, 1.0) * 1e-310;
+    EXPECT_TRUE(sameBitsOrBothNan(
+        SoftDouble::fromDouble(a) + SoftDouble::fromDouble(b), a + b))
+        << a << " + " << b;
+    EXPECT_TRUE(sameBitsOrBothNan(
+        SoftDouble::fromDouble(a) - SoftDouble::fromDouble(b), a - b))
+        << a << " - " << b;
+  }
+}
+
+TEST(SoftDouble, FromFloatIsExactWidening) {
+  graphene::Rng rng(66);
+  for (int i = 0; i < 20000; ++i) {
+    float f = static_cast<float>(rng.uniform(-1e30, 1e30));
+    EXPECT_EQ(SoftDouble::fromFloat(f).toDouble(), static_cast<double>(f));
+  }
+  // Subnormal floats widen exactly too.
+  float tiny = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(SoftDouble::fromFloat(tiny).toDouble(), static_cast<double>(tiny));
+  EXPECT_EQ(SoftDouble::fromFloat(-0.0f).toDouble(), 0.0);
+  EXPECT_TRUE(std::signbit(SoftDouble::fromFloat(-0.0f).toDouble()));
+}
+
+TEST(SoftDouble, ToFloatMatchesHardwareNarrowing) {
+  graphene::Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    double d = randomDouble(rng);
+    float expect = static_cast<float>(d);
+    float got = SoftDouble::fromDouble(d).toFloat();
+    if (std::isnan(expect)) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_EQ(got, expect) << "d=" << d;
+    }
+  }
+}
+
+TEST(SoftDouble, Comparisons) {
+  auto sd = [](double d) { return SoftDouble::fromDouble(d); };
+  EXPECT_TRUE(sd(1.0) < sd(2.0));
+  EXPECT_TRUE(sd(-2.0) < sd(-1.0));
+  EXPECT_TRUE(sd(-1.0) < sd(1.0));
+  EXPECT_TRUE(sd(0.0) == sd(-0.0));
+  EXPECT_FALSE(sd(0.0) < sd(-0.0));
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(sd(nan) == sd(nan));
+  EXPECT_FALSE(sd(nan) < sd(1.0));
+  EXPECT_FALSE(sd(1.0) <= sd(nan));
+  EXPECT_TRUE(sd(1.0) != sd(nan));
+  EXPECT_TRUE(sd(3.0) >= sd(3.0));
+}
+
+TEST(SoftDouble, SqrtAccuracy) {
+  graphene::Rng rng(88);
+  for (int i = 0; i < 2000; ++i) {
+    double d = rng.uniform(1e-10, 1e10);
+    double got = SoftDouble::sqrt(SoftDouble::fromDouble(d)).toDouble();
+    double want = std::sqrt(d);
+    EXPECT_NEAR(got, want, std::abs(want) * 1e-15) << "d=" << d;
+  }
+  EXPECT_TRUE(SoftDouble::sqrt(SoftDouble::fromDouble(-1.0)).isNan());
+  EXPECT_TRUE(SoftDouble::sqrt(SoftDouble::fromDouble(0.0)).isZero());
+}
+
+TEST(SoftDouble, NegationAndAbs) {
+  EXPECT_EQ((-SoftDouble::fromDouble(2.5)).toDouble(), -2.5);
+  EXPECT_EQ(SoftDouble::abs(SoftDouble::fromDouble(-2.5)).toDouble(), 2.5);
+  EXPECT_EQ(SoftDouble::abs(SoftDouble::fromDouble(2.5)).toDouble(), 2.5);
+}

@@ -1,0 +1,297 @@
+// Tests for the TwoFloat double-word arithmetic library.
+//
+// Strategy: double-word-over-float results are compared against host double
+// arithmetic, which is more than precise enough to serve as a reference for
+// the ~2^-44 error bounds of float double-word operations.
+#include "twofloat/twofloat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace tf = graphene::twofloat;
+
+using tf::DoubleWord;
+using tf::Policy;
+
+namespace {
+
+// Unit roundoff of float squared — the magnitude scale of double-word errors.
+constexpr double kU = 0x1.0p-24;
+constexpr double kU2 = kU * kU;  // ~3.55e-15
+
+template <Policy P>
+double relError(DoubleWord<float, P> got, double expect) {
+  if (expect == 0.0) return std::abs(got.toWide());
+  return std::abs((got.toWide() - expect) / expect);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Error-free transforms
+// ---------------------------------------------------------------------------
+
+TEST(Eft, TwoSumIsErrorFree) {
+  graphene::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    float a = static_cast<float>(rng.uniform(-1e10, 1e10));
+    float b = static_cast<float>(rng.uniform(-1e-10, 1e-10));
+    auto r = tf::twoSum(a, b);
+    // value + error == a + b exactly in double (float ops are exact in
+    // double when inputs are floats and the op is exact by construction).
+    EXPECT_EQ(static_cast<double>(r.value) + static_cast<double>(r.error),
+              static_cast<double>(a) + static_cast<double>(b));
+  }
+}
+
+TEST(Eft, FastTwoSumMatchesTwoSumWhenOrdered) {
+  graphene::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    float a = static_cast<float>(rng.uniform(-1e6, 1e6));
+    float b = static_cast<float>(rng.uniform(-1.0, 1.0));
+    if (std::abs(a) < std::abs(b)) std::swap(a, b);
+    auto fast = tf::fastTwoSum(a, b);
+    auto full = tf::twoSum(a, b);
+    EXPECT_EQ(fast.value, full.value);
+    EXPECT_EQ(fast.error, full.error);
+  }
+}
+
+TEST(Eft, TwoProdFmaIsErrorFree) {
+  graphene::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    float a = static_cast<float>(rng.uniform(-1e5, 1e5));
+    float b = static_cast<float>(rng.uniform(-1e5, 1e5));
+    auto r = tf::twoProdFma(a, b);
+    EXPECT_EQ(static_cast<double>(r.value) + static_cast<double>(r.error),
+              static_cast<double>(a) * static_cast<double>(b));
+  }
+}
+
+TEST(Eft, TwoProdDekkerMatchesFma) {
+  graphene::Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    float a = static_cast<float>(rng.uniform(-1e4, 1e4));
+    float b = static_cast<float>(rng.uniform(-1e4, 1e4));
+    auto fma = tf::twoProdFma(a, b);
+    auto dek = tf::twoProdDekker(a, b);
+    EXPECT_EQ(fma.value, dek.value);
+    EXPECT_EQ(fma.error, dek.error);
+  }
+}
+
+TEST(Eft, SplitterConstants) {
+  // float: 2^12+1, double: 2^27+1 (Dekker).
+  EXPECT_EQ(tf::splitterConstant<float>(), 4097.0f);
+  EXPECT_EQ(tf::splitterConstant<double>(), 134217729.0);
+}
+
+TEST(Eft, SplitPartsRecombineExactly) {
+  graphene::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    float x = static_cast<float>(rng.uniform(-1e8, 1e8));
+    auto s = tf::split(x);
+    EXPECT_EQ(s.value + s.error, x);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Double-word arithmetic: representability
+// ---------------------------------------------------------------------------
+
+TEST(TwoFloat, RepresentsBeyondSinglePrecision) {
+  // The paper's example: 1.00000001 is not representable in float32 but is
+  // representable as the sum of two floats.
+  auto dw = tf::Float2::fromWide(1.00000001);
+  EXPECT_NE(static_cast<double>(static_cast<float>(1.00000001)), 1.00000001);
+  EXPECT_NEAR(dw.toWide(), 1.00000001, 1e-15);
+}
+
+TEST(TwoFloat, FromWideSplitsExactly) {
+  graphene::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.uniform(-1e6, 1e6);
+    auto dw = tf::Float2::fromWide(d);
+    // hi + lo recovers d to double-word precision (|err| <= ulp(lo)/2).
+    EXPECT_NEAR(dw.toWide(), d, std::abs(d) * kU2 + 1e-300);
+    // Normalisation: |lo| <= ulp(hi)/2.
+    EXPECT_LE(std::abs(static_cast<double>(dw.lo)),
+              std::abs(static_cast<double>(dw.hi)) * kU * 1.0001 + 1e-300);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accurate (Joldes) arithmetic: property sweeps against double reference
+// ---------------------------------------------------------------------------
+
+class TwoFloatAccurateOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoFloatAccurateOps, AddBound) {
+  graphene::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.uniform(-1e8, 1e8);
+    double b = rng.uniform(-1e8, 1e8);
+    auto r = tf::Float2::fromWide(a) + tf::Float2::fromWide(b);
+    // Joldes bound: 3u^2 relative to the result; input representation error
+    // (up to u^2 each) is absolute in max(|a|,|b|), so under cancellation the
+    // bound is absolute in the input magnitude.
+    double scale = std::max(std::abs(a), std::abs(b));
+    EXPECT_NEAR(r.toWide(), a + b, scale * 8 * kU2) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(TwoFloatAccurateOps, AddCancellationStaysAccurate) {
+  // The accurate DW+DW algorithm keeps its bound even under heavy
+  // cancellation — this is why the paper picks Joldes for MPIR.
+  graphene::Rng rng(GetParam() + 100);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.uniform(1.0, 2.0);
+    double b = -a * (1.0 + rng.uniform(-1e-7, 1e-7));
+    auto r = tf::Float2::fromWide(a) + tf::Float2::fromWide(b);
+    double expect = a + b;
+    EXPECT_NEAR(r.toWide(), expect, std::abs(a) * 8 * kU2);
+  }
+}
+
+TEST_P(TwoFloatAccurateOps, MulBound) {
+  graphene::Rng rng(GetParam() + 200);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.uniform(-1e4, 1e4);
+    double b = rng.uniform(-1e4, 1e4);
+    auto r = tf::Float2::fromWide(a) * tf::Float2::fromWide(b);
+    EXPECT_LE(relError(r, a * b), 10 * kU2);
+  }
+}
+
+TEST_P(TwoFloatAccurateOps, DivBound) {
+  graphene::Rng rng(GetParam() + 300);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.uniform(-1e4, 1e4);
+    double b = rng.uniform(0.1, 1e4) * (rng.nextU64() % 2 ? 1 : -1);
+    auto r = tf::Float2::fromWide(a) / tf::Float2::fromWide(b);
+    EXPECT_LE(relError(r, a / b), 16 * kU2);
+  }
+}
+
+TEST_P(TwoFloatAccurateOps, MixedDwFpOps) {
+  graphene::Rng rng(GetParam() + 400);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.uniform(-1e4, 1e4);
+    float b = static_cast<float>(rng.uniform(-1e3, 1e3));
+    if (b == 0.0f) continue;
+    auto x = tf::Float2::fromWide(a);
+    EXPECT_LE(relError(x + b, a + static_cast<double>(b)), 8 * kU2 + 1e-9);
+    EXPECT_LE(relError(x * b, a * static_cast<double>(b)), 10 * kU2);
+    EXPECT_LE(relError(x / b, a / static_cast<double>(b)), 10 * kU2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoFloatAccurateOps,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Fast (Lange-Rump style) arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(TwoFloatFast, SameSignAddIsAccurate) {
+  graphene::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    double a = rng.uniform(0.1, 1e8);
+    double b = rng.uniform(0.1, 1e8);
+    auto r = tf::FastFloat2::fromWide(a) + tf::FastFloat2::fromWide(b);
+    EXPECT_LE(relError(r, a + b), 16 * kU2);
+  }
+}
+
+TEST(TwoFloatFast, MulAndDivBounds) {
+  graphene::Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    double a = rng.uniform(-1e4, 1e4);
+    double b = rng.uniform(0.1, 1e4);
+    EXPECT_LE(relError(tf::FastFloat2::fromWide(a) * tf::FastFloat2::fromWide(b),
+                       a * b),
+              16 * kU2);
+    EXPECT_LE(relError(tf::FastFloat2::fromWide(a) / tf::FastFloat2::fromWide(b),
+                       a / b),
+              64 * kU2);
+  }
+}
+
+TEST(TwoFloatFast, AccurateBeatsFastUnderCancellation) {
+  // Repeated accumulation of alternating-sign values: the sloppy addition
+  // loses digits, the accurate one does not. This is the §III-D trade-off.
+  double reference = 0.0;
+  tf::Float2 acc{};
+  tf::FastFloat2 fast{};
+  graphene::Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.uniform(-1.0, 1.0);
+    reference += v;
+    acc = acc + tf::Float2::fromWide(v);
+    fast = fast + tf::FastFloat2::fromWide(v);
+  }
+  double accErr = std::abs(acc.toWide() - reference);
+  double fastErr = std::abs(fast.toWide() - reference);
+  EXPECT_LE(accErr, 1e-9);
+  EXPECT_LE(accErr, fastErr + 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons, abs, sqrt, misc
+// ---------------------------------------------------------------------------
+
+TEST(TwoFloat, ComparisonOperators) {
+  auto a = tf::Float2::fromWide(1.0);
+  auto b = tf::Float2::fromWide(1.0 + 1e-10);  // differs only in lo
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TwoFloat, AbsAndNegate) {
+  auto a = tf::Float2::fromWide(-3.25);
+  EXPECT_DOUBLE_EQ(tf::abs(a).toWide(), 3.25);
+  EXPECT_DOUBLE_EQ((-a).toWide(), 3.25);
+  auto z = tf::Float2::fromWide(0.0);
+  EXPECT_DOUBLE_EQ(tf::abs(z).toWide(), 0.0);
+}
+
+TEST(TwoFloat, SqrtAccuracy) {
+  graphene::Rng rng(10);
+  for (int i = 0; i < 5000; ++i) {
+    double a = rng.uniform(1e-6, 1e8);
+    auto r = tf::sqrt(tf::Float2::fromWide(a));
+    EXPECT_LE(relError(r, std::sqrt(a)), 16 * kU2);
+  }
+  EXPECT_DOUBLE_EQ(tf::sqrt(tf::Float2{}).toWide(), 0.0);
+}
+
+TEST(TwoFloat, DecimalDigitsMatchTableI) {
+  // Table I: double-word float32 gives 13.3 to 14.0 decimal digits. Verify a
+  // long dependent chain keeps at least ~13 digits.
+  tf::Float2 x = tf::Float2::fromWide(1.0);
+  double ref = 1.0;
+  for (int i = 1; i <= 100; ++i) {
+    double v = 1.0 / i;
+    x = x * tf::Float2::fromWide(1.0 + v * 1e-3);
+    ref = ref * (1.0 + v * 1e-3);
+  }
+  double digits = -std::log10(std::abs((x.toWide() - ref) / ref) + 1e-300);
+  EXPECT_GE(digits, 13.0);
+}
+
+TEST(TwoFloat, FlopCountsMatchPaper) {
+  auto acc = tf::flopCounts(Policy::Accurate);
+  auto fast = tf::flopCounts(Policy::Fast);
+  // §III-D: Joldes 20–34 flops, Lange-Rump 7–25 flops per double-word op.
+  EXPECT_GE(acc.addDwDw, fast.addDwDw);
+  EXPECT_GE(acc.divDwDw, fast.divDwDw);
+  EXPECT_EQ(acc.addDwDw, 20);
+  EXPECT_LE(fast.divDwDw, 25);
+}
