@@ -1,0 +1,133 @@
+// Fault injection and solver self-healing on the simulated IPU.
+//
+// Attaches a seeded, JSON-configured fault plan to the engine and solves the
+// same MPIR system clean and under fire: one corrupted extended-precision
+// residual halo exchange (refinement step 2) plus one corrupted float32 halo
+// transfer in the middle of an inner BiCGStab solve. The solvers' guards
+// detect the damage — MPIR rolls back to the last good iterate and
+// re-refines, the inner solver re-seeds from its checkpoint — and the solve
+// still converges. The full fault/repair timeline lands in the profile's
+// structured fault log, printed at the end.
+//
+// Usage: ./example_fault_recovery [rows=1200] [tiles=8]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/engine.hpp"
+#include "ipu/fault.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+
+namespace {
+
+constexpr const char* kSolverJson =
+    R"({"type":"mpir","extendedType":"doubleword",
+        "maxRefinements":20,"tolerance":1e-11,
+        "inner":{"type":"bicgstab","maxIterations":30,"tolerance":0,
+                 "preconditioner":{"type":"ilu"}}})";
+
+struct Outcome {
+  solver::SolveResult result;
+  ipu::Profile profile;
+  // Discovered on the clean run: the extended-precision residual halo tensor
+  // and how many point-to-point transfers one halo exchange performs. A
+  // fault plan can use these to pin a corruption to one specific exchange.
+  std::string extHaloName;
+  std::size_t transfersPerExchange = 0;
+};
+
+Outcome solveWith(const matrix::GeneratedMatrix& problem, std::size_t tiles,
+                  ipu::FaultPlan* plan) {
+  dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
+  auto layout = partition::buildLayout(
+      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
+  const std::size_t perExchange = layout.transfers.size();
+  solver::DistMatrix A(problem.matrix, std::move(layout));
+  dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");
+  dsl::Tensor b = A.makeVector(dsl::DType::Float32, "b");
+  auto solver = solver::makeSolverFromString(kSolverJson);
+  solver->apply(A, x, b);
+
+  graph::Engine engine(ctx.graph());
+  if (plan != nullptr) {
+    plan->reset();
+    engine.setFaultPlan(plan);
+  }
+  A.upload(engine);
+  Rng rng(2024);
+  std::vector<double> rhs(problem.matrix.rows());
+  for (double& v : rhs) {
+    v = static_cast<double>(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  A.writeVector(engine, b, rhs);
+  engine.run(ctx.program());
+
+  Outcome out;
+  out.result = solver->result();
+  out.profile = engine.profile();
+  out.transfersPerExchange = perExchange;
+  for (std::size_t i = 0; i < ctx.graph().numTensors(); ++i) {
+    const auto& info = ctx.graph().tensor(static_cast<graph::TensorId>(i));
+    if (info.dtype == dsl::DType::DoubleWord &&
+        info.name.rfind("halo", 0) == 0) {
+      out.extHaloName = info.name;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1200;
+  const std::size_t tiles = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  auto problem = matrix::g3CircuitLike(rows);
+  std::printf("matrix: %s, %zu rows, %zu nnz, %zu simulated tiles\n\n",
+              problem.name.c_str(), problem.matrix.rows(),
+              problem.matrix.nnz(), tiles);
+
+  Outcome clean = solveWith(problem, tiles, nullptr);
+
+  // The fault plan, built from what the clean run told us about the program:
+  //  - one flipped bit in the DoubleWord residual halo of refinement step 2
+  //    (skip = 2 exchanges' worth of transfers into that tensor's traffic);
+  //  - one corrupted float32 halo transfer deep inside an inner BiCGStab
+  //    solve. Everything is seeded: rerunning this binary reproduces the
+  //    exact same fault sequence, byte for byte.
+  std::string planJson = R"({
+    "seed": 42,
+    "faults": [
+      {"type": "exchange-corrupt", "tensor": ")" +
+                         clean.extHaloName + R"(", "bit": 30,
+       "skip": )" + std::to_string(2 * clean.transfersPerExchange) +
+                         R"(, "count": 1},
+      {"type": "exchange-corrupt", "tensor": "halo", "bit": 30,
+       "skip": 10000, "count": 1}
+    ]
+  })";
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(planJson);
+  Outcome faulted = solveWith(problem, tiles, &plan);
+
+  std::printf("%-18s %-16s %14s %10s %10s\n", "run", "status",
+              "rel. residual", "restarts", "rollbacks");
+  std::printf("%-18s %-16s %14.3e %10zu %10zu\n", "clean",
+              solver::toString(clean.result.status), clean.result.finalResidual,
+              clean.result.restarts, clean.result.rollbacks);
+  std::printf("%-18s %-16s %14.3e %10zu %10zu\n", "under faults",
+              solver::toString(faulted.result.status),
+              faulted.result.finalResidual, faulted.result.restarts,
+              faulted.result.rollbacks);
+
+  std::printf("\nfault log (%zu events):\n%s",
+              faulted.profile.faultEvents.size(),
+              ipu::formatFaultEvents(faulted.profile.faultEvents).c_str());
+  std::printf(
+      "\nEvery injected fault and every recovery action appears above in"
+      "\nexecution order; with the same seed the log is reproduced exactly.\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "graph/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "ipu/exchange.hpp"
@@ -9,6 +10,38 @@
 namespace graphene::graph {
 
 namespace {
+
+/// Adapts the engine's tensor storage to the fault injector's view of the
+/// machine (ipu::FaultSurface keeps the ipu layer independent of graph).
+class EngineFaultSurface final : public ipu::FaultSurface {
+ public:
+  explicit EngineFaultSurface(Engine& engine) : engine_(engine) {}
+
+  std::size_t numTensors() override { return engine_.graph().numTensors(); }
+
+  std::string tensorName(std::size_t tensor) override {
+    return engine_.graph().tensor(static_cast<TensorId>(tensor)).name;
+  }
+
+  std::size_t tensorElements(std::size_t tensor) override {
+    return engine_.storageFor(static_cast<TensorId>(tensor)).totalElements();
+  }
+
+  void flipBit(std::size_t tensor, std::size_t element,
+               unsigned bit) override {
+    engine_.storageFor(static_cast<TensorId>(tensor)).flipBit(element, bit);
+  }
+
+  void zeroElement(std::size_t tensor, std::size_t element) override {
+    TensorStorage& s = engine_.storageFor(static_cast<TensorId>(tensor));
+    s.store(element, Scalar::zero(s.dtype()));
+  }
+
+  ipu::Profile& profile() override { return engine_.profile(); }
+
+ private:
+  Engine& engine_;
+};
 
 /// VertexContext backed by engine storage; indices are slice-relative, which
 /// enforces tile-local access.
@@ -86,6 +119,16 @@ TensorStorage& Engine::storageFor(TensorId id) {
 }
 
 Scalar Engine::readScalar(TensorId id) { return storageFor(id).load(0); }
+
+Scalar Engine::readScalarFinite(TensorId id) {
+  Scalar value = readScalar(id);
+  if (!std::isfinite(value.toHostDouble())) {
+    throw NumericalError(detail::concatMessage(
+        "non-finite value ", value.toString(), " read from tensor '",
+        graph_.tensor(id).name, "'"));
+  }
+  return value;
+}
 
 void Engine::writeScalar(TensorId id, const Scalar& value) {
   TensorStorage& s = storageFor(id);
@@ -177,6 +220,14 @@ void Engine::runExecute(ComputeSetId csId) {
     maxTileCycles = std::max(maxTileCycles, pool.elapsed());
   }
 
+  // Fault injection: SRAM upsets land between supersteps; a stalled tile
+  // delays the BSP barrier, so its extra cycles join the critical path.
+  if (faultPlan_ != nullptr) {
+    EngineFaultSurface surface(*this);
+    maxTileCycles +=
+        faultPlan_->afterComputeSuperstep(profile_.computeSupersteps, surface);
+  }
+
   // Compute supersteps end with each IPU's *internal* sync; the IPUs sync in
   // parallel, so the cost does not grow with the pod size. Global syncs are
   // only paid when an exchange crosses IPUs (priced in priceExchange).
@@ -197,13 +248,37 @@ void Engine::runCopy(const std::vector<CopySegment>& segments) {
     ipu::Transfer t;
     t.srcTile = seg.srcTile;
     t.bytes = seg.count * ipu::sizeOf(src.dtype());
+    // Fault injection: a transfer can be dropped (payload lost, destination
+    // keeps its stale data) or corrupted (payload lands with a flipped bit).
+    // Either way the fabric spent the cycles, so pricing is unchanged.
+    ipu::TransferFate fate = ipu::TransferFate::Deliver;
+    bool fateDecided = false;
+    bool delivered = false;
+    std::size_t firstDeliveredFlat = 0;
     for (const CopySegment::Destination& d : seg.dsts) {
       const std::size_t dstFlat = dst.tileOffset(d.tile) + d.begin;
       if (seg.src == seg.dst && seg.srcTile == d.tile && srcFlat == dstFlat) {
         continue;  // no-op self copy
       }
-      dst.copyFrom(src, srcFlat, dstFlat, seg.count);
+      if (faultPlan_ != nullptr && !fateDecided) {
+        EngineFaultSurface surface(*this);
+        fate = faultPlan_->onTransfer(profile_.exchangeSupersteps,
+                                      transfers.size(), seg.dst, surface);
+        fateDecided = true;
+      }
+      if (fate != ipu::TransferFate::Drop) {
+        dst.copyFrom(src, srcFlat, dstFlat, seg.count);
+        if (!delivered) {
+          delivered = true;
+          firstDeliveredFlat = dstFlat;
+        }
+      }
       t.dstTiles.push_back(d.tile);
+    }
+    if (fate == ipu::TransferFate::Corrupt && delivered) {
+      EngineFaultSurface surface(*this);
+      faultPlan_->corruptDelivered(profile_.exchangeSupersteps, seg.dst,
+                                   firstDeliveredFlat, seg.count, surface);
     }
     if (!t.dstTiles.empty()) transfers.push_back(std::move(t));
   }

@@ -13,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "graph/program.hpp"
 #include "graph/storage.hpp"
+#include "ipu/fault.hpp"
 #include "ipu/profile.hpp"
 
 namespace graphene::graph {
@@ -48,6 +49,11 @@ class Engine {
   /// Reads element 0 of a (replicated) scalar tensor.
   Scalar readScalar(TensorId id);
 
+  /// Like readScalar, but throws NumericalError when the value is not finite
+  /// — host convergence callbacks use it to surface NaN/Inf residuals as a
+  /// typed error instead of recording garbage.
+  Scalar readScalarFinite(TensorId id);
+
   /// Writes a scalar value into every replica of a replicated scalar tensor
   /// (or element 0 of a plain tensor).
   void writeScalar(TensorId id, const Scalar& value);
@@ -60,6 +66,12 @@ class Engine {
 
   const ipu::Profile& profile() const { return profile_; }
   ipu::Profile& profile() { return profile_; }
+
+  /// Attaches a fault-injection plan (non-owning; nullptr detaches). With no
+  /// plan attached every hook is a single null-pointer test, so execution is
+  /// bit-identical to an engine without the fault framework.
+  void setFaultPlan(ipu::FaultPlan* plan) { faultPlan_ = plan; }
+  ipu::FaultPlan* faultPlan() const { return faultPlan_; }
 
   /// Simulated wall-clock seconds for everything run so far.
   double elapsedSeconds() const {
@@ -74,6 +86,7 @@ class Engine {
   Graph& graph_;
   std::vector<TensorStorage> storage_;
   ipu::Profile profile_;
+  ipu::FaultPlan* faultPlan_ = nullptr;
 };
 
 }  // namespace graphene::graph

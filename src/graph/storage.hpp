@@ -8,6 +8,7 @@
 // (exchange supersteps).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <variant>
@@ -99,6 +100,38 @@ class TensorStorage {
             vec[flatIndex] = v.asSoftDouble();
           } else {
             vec[flatIndex] = v.asDoubleWord();
+          }
+        },
+        data_);
+  }
+
+  /// Flips one bit of an element's raw storage representation — the
+  /// simulated analogue of an SRAM single-event upset (fault injection).
+  /// Bit indices wrap modulo the element's bit width. For DoubleWord pairs,
+  /// bits 0–31 hit the high word and 32–63 the low word.
+  void flipBit(std::size_t flatIndex, unsigned bit) {
+    GRAPHENE_DCHECK(flatIndex < totalElements(), "index out of range");
+    std::visit(
+        [&](auto& vec) {
+          using T = typename std::decay_t<decltype(vec)>::value_type;
+          if constexpr (std::is_same_v<T, std::uint8_t>) {
+            vec[flatIndex] ^= 1;  // a bool cell can only toggle
+          } else if constexpr (std::is_same_v<T, std::int32_t>) {
+            vec[flatIndex] = std::bit_cast<std::int32_t>(
+                std::bit_cast<std::uint32_t>(vec[flatIndex]) ^
+                (std::uint32_t(1) << (bit % 32)));
+          } else if constexpr (std::is_same_v<T, float>) {
+            vec[flatIndex] = std::bit_cast<float>(
+                std::bit_cast<std::uint32_t>(vec[flatIndex]) ^
+                (std::uint32_t(1) << (bit % 32)));
+          } else if constexpr (std::is_same_v<T, twofloat::SoftDouble>) {
+            vec[flatIndex] = twofloat::SoftDouble::fromBits(
+                vec[flatIndex].bits() ^ (std::uint64_t(1) << (bit % 64)));
+          } else {
+            float& word = (bit % 64) < 32 ? vec[flatIndex].hi
+                                          : vec[flatIndex].lo;
+            word = std::bit_cast<float>(std::bit_cast<std::uint32_t>(word) ^
+                                        (std::uint32_t(1) << (bit % 32)));
           }
         },
         data_);

@@ -1,0 +1,262 @@
+#include "ipu/fault.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+namespace {
+
+FaultPlan::Rule::Kind parseKind(const std::string& s) {
+  using Kind = FaultPlan::Rule::Kind;
+  if (s == "bitflip" || s == "bit-flip") return Kind::BitFlip;
+  if (s == "stuck-zero" || s == "zero") return Kind::StuckZero;
+  if (s == "exchange-drop" || s == "drop") return Kind::ExchangeDrop;
+  if (s == "exchange-corrupt" || s == "corrupt") return Kind::ExchangeCorrupt;
+  if (s == "stall") return Kind::Stall;
+  throw ParseError("unknown fault type '" + s + "'");
+}
+
+const char* kindName(FaultPlan::Rule::Kind kind) {
+  using Kind = FaultPlan::Rule::Kind;
+  switch (kind) {
+    case Kind::BitFlip: return "bitflip";
+    case Kind::StuckZero: return "stuck-zero";
+    case Kind::ExchangeDrop: return "exchange-drop";
+    case Kind::ExchangeCorrupt: return "exchange-corrupt";
+    case Kind::Stall: return "stall";
+  }
+  GRAPHENE_UNREACHABLE("bad fault kind");
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::fromJson(const json::Value& config) {
+  GRAPHENE_CHECK(config.isObject(), "fault plan must be a JSON object");
+  FaultPlan plan;
+  plan.seed_ = static_cast<std::uint64_t>(
+      config.getOr("seed", std::int64_t(0x9E3779B97F4A7C15ull)));
+  plan.rng_ = Rng(plan.seed_);
+  if (!config.contains("faults")) return plan;
+  for (const json::Value& f : config.at("faults").asArray()) {
+    GRAPHENE_CHECK(f.isObject(), "each fault rule must be a JSON object");
+    Rule r;
+    r.kind = parseKind(f.at("type").asString());
+    r.tensor = f.getOr("tensor", std::string());
+    r.superstep = f.getOr("superstep", std::int64_t(-1));
+    r.probability = f.getOr("probability", 1.0);
+    GRAPHENE_CHECK(r.probability >= 0.0 && r.probability <= 1.0,
+                   "fault probability must be in [0, 1], got ", r.probability);
+    r.element = f.getOr("element", std::int64_t(-1));
+    r.bit = static_cast<int>(f.getOr("bit", std::int64_t(-1)));
+    r.tile = static_cast<std::size_t>(f.getOr("tile", std::int64_t(0)));
+    r.stallCycles = f.getOr("cycles", 0.0);
+    r.skip = static_cast<std::size_t>(f.getOr("skip", std::int64_t(0)));
+    const std::int64_t count =
+        f.getOr("count", std::int64_t(-1));
+    r.count = count < 0 ? SIZE_MAX : static_cast<std::size_t>(count);
+    if (r.kind == Rule::Kind::Stall) {
+      GRAPHENE_CHECK(r.stallCycles > 0,
+                     "stall fault needs positive 'cycles'");
+    }
+    plan.rules_.push_back(r);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::fromJsonText(const std::string& text) {
+  return fromJson(json::parse(text));
+}
+
+void FaultPlan::reset() {
+  rng_ = Rng(seed_);
+  states_.clear();
+  injected_ = 0;
+  pendingCorruptBit_ = -1;
+}
+
+bool FaultPlan::fires(const Rule& rule, RuleState& state, std::int64_t index) {
+  if (rule.superstep >= 0 && rule.superstep != index) return false;
+  if (state.injected >= rule.count) return false;
+  if (rule.probability < 1.0 && rng_.nextDouble() >= rule.probability) {
+    return false;
+  }
+  if (state.skipped < rule.skip) {
+    ++state.skipped;
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::size_t>& FaultPlan::matchingTensors(
+    const Rule& rule, RuleState& state, FaultSurface& surface) {
+  const std::size_t n = surface.numTensors();
+  if (state.matchedAt != n) {
+    state.matches.clear();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (rule.tensor.empty() ||
+          surface.tensorName(t).find(rule.tensor) != std::string::npos) {
+        state.matches.push_back(t);
+      }
+    }
+    state.matchedAt = n;
+  }
+  return state.matches;
+}
+
+double FaultPlan::afterComputeSuperstep(std::size_t index,
+                                        FaultSurface& surface) {
+  states_.resize(rules_.size());
+  const auto idx = static_cast<std::int64_t>(index);
+  double extraCycles = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    RuleState& state = states_[i];
+    switch (rule.kind) {
+      case Rule::Kind::BitFlip:
+      case Rule::Kind::StuckZero: {
+        // Fast pre-checks before consuming randomness.
+        if (rule.superstep >= 0 && rule.superstep != idx) break;
+        if (state.injected >= rule.count) break;
+        const auto& matches = matchingTensors(rule, state, surface);
+        if (matches.empty()) break;
+        if (!fires(rule, state, idx)) break;
+        const std::size_t tensor =
+            matches.size() == 1 ? matches[0]
+                                : matches[rng_.nextBelow(matches.size())];
+        const std::size_t elems = surface.tensorElements(tensor);
+        if (elems == 0) break;
+        const std::size_t element =
+            rule.element >= 0
+                ? static_cast<std::size_t>(rule.element) % elems
+                : rng_.nextBelow(elems);
+        FaultEvent ev;
+        ev.kind = kindName(rule.kind);
+        ev.superstep = index;
+        ev.target = surface.tensorName(tensor);
+        ev.element = element;
+        if (rule.kind == Rule::Kind::BitFlip) {
+          ev.bit = rule.bit >= 0 ? rule.bit
+                                 : static_cast<int>(rng_.nextBelow(32));
+          surface.flipBit(tensor, element, static_cast<unsigned>(ev.bit));
+        } else {
+          surface.zeroElement(tensor, element);
+        }
+        surface.profile().faultEvents.push_back(std::move(ev));
+        ++state.injected;
+        ++injected_;
+        break;
+      }
+      case Rule::Kind::Stall: {
+        if (!fires(rule, state, idx)) break;
+        FaultEvent ev;
+        ev.kind = kindName(rule.kind);
+        ev.superstep = index;
+        ev.target = "tile " + std::to_string(rule.tile);
+        ev.cycles = rule.stallCycles;
+        surface.profile().faultEvents.push_back(std::move(ev));
+        extraCycles += rule.stallCycles;
+        ++state.injected;
+        ++injected_;
+        break;
+      }
+      case Rule::Kind::ExchangeDrop:
+      case Rule::Kind::ExchangeCorrupt:
+        break;  // exchange hooks only
+    }
+  }
+  return extraCycles;
+}
+
+TransferFate FaultPlan::onTransfer(std::size_t exchangeIndex,
+                                   std::size_t transferIndex,
+                                   std::size_t dstTensor,
+                                   FaultSurface& surface) {
+  (void)transferIndex;
+  states_.resize(rules_.size());
+  const auto idx = static_cast<std::int64_t>(exchangeIndex);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.kind != Rule::Kind::ExchangeDrop &&
+        rule.kind != Rule::Kind::ExchangeCorrupt) {
+      continue;
+    }
+    RuleState& state = states_[i];
+    if (rule.superstep >= 0 && rule.superstep != idx) continue;
+    if (state.injected >= rule.count) continue;
+    if (!rule.tensor.empty() &&
+        surface.tensorName(dstTensor).find(rule.tensor) ==
+            std::string::npos) {
+      continue;
+    }
+    if (!fires(rule, state, idx)) continue;
+    ++state.injected;
+    ++injected_;
+    if (rule.kind == Rule::Kind::ExchangeDrop) {
+      FaultEvent ev;
+      ev.kind = kindName(rule.kind);
+      ev.superstep = exchangeIndex;
+      ev.target = surface.tensorName(dstTensor);
+      ev.detail = "transfer payload lost in flight";
+      surface.profile().faultEvents.push_back(std::move(ev));
+      return TransferFate::Drop;
+    }
+    pendingCorruptBit_ = rule.bit;
+    return TransferFate::Corrupt;
+  }
+  return TransferFate::Deliver;
+}
+
+void FaultPlan::corruptDelivered(std::size_t exchangeIndex,
+                                 std::size_t dstTensor, std::size_t dstFlat,
+                                 std::size_t count, FaultSurface& surface) {
+  GRAPHENE_CHECK(count > 0, "cannot corrupt an empty transfer");
+  // The bit choice was fixed when the Corrupt verdict fell; the element
+  // within the delivered range is drawn from the plan RNG.
+  const int bit = pendingCorruptBit_;
+  pendingCorruptBit_ = -1;
+  FaultEvent ev;
+  ev.kind = "exchange-corrupt";
+  ev.superstep = exchangeIndex;
+  ev.target = surface.tensorName(dstTensor);
+  ev.element = dstFlat + rng_.nextBelow(count);
+  ev.bit = bit >= 0 ? bit : static_cast<int>(rng_.nextBelow(32));
+  ev.detail = "transfer payload damaged in flight";
+  surface.flipBit(dstTensor, ev.element, static_cast<unsigned>(ev.bit));
+  surface.profile().faultEvents.push_back(std::move(ev));
+}
+
+json::Value faultEventsToJson(const std::vector<FaultEvent>& events) {
+  json::Array out;
+  out.reserve(events.size());
+  for (const FaultEvent& ev : events) {
+    json::Object o;
+    o["kind"] = ev.kind;
+    o["superstep"] = ev.superstep;
+    o["target"] = ev.target;
+    o["element"] = ev.element;
+    if (ev.bit >= 0) o["bit"] = ev.bit;
+    if (ev.cycles > 0) o["cycles"] = ev.cycles;
+    if (!ev.detail.empty()) o["detail"] = ev.detail;
+    out.push_back(json::Value(std::move(o)));
+  }
+  return json::Value(std::move(out));
+}
+
+std::string formatFaultEvents(const std::vector<FaultEvent>& events) {
+  std::ostringstream oss;
+  for (const FaultEvent& ev : events) {
+    oss << "[superstep " << ev.superstep << "] " << ev.kind << " on "
+        << ev.target;
+    if (ev.bit >= 0) {
+      oss << " (element " << ev.element << ", bit " << ev.bit << ")";
+    }
+    if (ev.cycles > 0) oss << " (+" << ev.cycles << " cycles)";
+    if (!ev.detail.empty()) oss << " — " << ev.detail;
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace graphene::ipu

@@ -1,0 +1,158 @@
+// Deterministic fault injection for the simulated IPU.
+//
+// Real fabrics misbehave: tile SRAM takes single-event upsets, exchange
+// transfers arrive corrupted or not at all, and a tile can fall behind its
+// BSP peers. The simulator must be able to reproduce such behaviour *exactly*
+// — a fault plan is seeded, and two runs of the same program under the same
+// plan inject byte-identical faults — so that the solver layer's recovery
+// paths (restart, checkpoint/rollback) are testable.
+//
+// A FaultPlan is configured from JSON (the same mechanism that configures
+// the solver hierarchy) and attached to a graph::Engine via setFaultPlan().
+// With no plan attached the engine's hooks are a single null-pointer test:
+// cycle counts and results are bit-identical to a build without the
+// framework. Every injected event is appended to the engine Profile's
+// structured fault log.
+//
+// Plan document shape:
+//   {
+//     "seed": 42,
+//     "faults": [
+//       {"type": "bitflip",          // SRAM single-event upset
+//        "tensor": "cg_x",           // substring match on tensor names
+//        "superstep": 120,           // compute superstep; -1/absent = any
+//        "element": -1,              // flat index; -1 = seeded-random
+//        "bit": 30,                  // -1 = seeded-random
+//        "probability": 1.0,         // per matching opportunity
+//        "skip": 0,                  // skip the first N opportunities
+//        "count": 1},                // at most N injections
+//       {"type": "stuck-zero", "tensor": "bicg_rho"},   // SRAM stuck-at-0
+//       {"type": "exchange-drop",    "tensor": "halo", "count": 1},
+//       {"type": "exchange-corrupt", "tensor": "halo", "bit": 30},
+//       {"type": "stall", "tile": 3, "cycles": 10000, "superstep": 5}
+//     ]
+//   }
+// Exchange rules match on the *destination* tensor of a transfer and trigger
+// per transfer; their "superstep" is the exchange-superstep index. Dropped
+// and corrupted transfers are still priced normally — the fabric spent the
+// cycles, the payload was lost or damaged in flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipu/profile.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace graphene::ipu {
+
+/// What the engine exposes to the injector. Keeps this layer independent of
+/// the graph substrate: the engine adapts its tensor storage behind this
+/// interface.
+class FaultSurface {
+ public:
+  virtual ~FaultSurface() = default;
+
+  virtual std::size_t numTensors() = 0;
+  virtual std::string tensorName(std::size_t tensor) = 0;
+  virtual std::size_t tensorElements(std::size_t tensor) = 0;
+
+  /// Flips one bit of an element's raw storage (an SEU). Bit indices wrap
+  /// modulo the element width.
+  virtual void flipBit(std::size_t tensor, std::size_t element,
+                       unsigned bit) = 0;
+
+  /// Forces an element to zero (a stuck-at-zero cell).
+  virtual void zeroElement(std::size_t tensor, std::size_t element) = 0;
+
+  /// The profile whose fault log receives injected events.
+  virtual Profile& profile() = 0;
+};
+
+/// Fate of one exchange transfer under the active plan.
+enum class TransferFate { Deliver, Drop, Corrupt };
+
+class FaultPlan {
+ public:
+  struct Rule {
+    enum class Kind { BitFlip, StuckZero, ExchangeDrop, ExchangeCorrupt,
+                      Stall };
+    Kind kind = Kind::BitFlip;
+    std::string tensor;            // substring of the target tensor's name
+    std::int64_t superstep = -1;   // exact superstep trigger; -1 = any
+    double probability = 1.0;      // per matching opportunity
+    std::int64_t element = -1;     // -1 = seeded-random within the tensor
+    int bit = -1;                  // -1 = seeded-random
+    std::size_t tile = 0;          // stall target
+    double stallCycles = 0;
+    std::size_t skip = 0;          // skip the first N matching opportunities
+    std::size_t count = SIZE_MAX;  // injection budget
+  };
+
+  FaultPlan() = default;
+
+  /// Builds a plan from a parsed JSON document (shape documented above).
+  static FaultPlan fromJson(const json::Value& config);
+  static FaultPlan fromJsonText(const std::string& text);
+
+  void addRule(Rule rule) { rules_.push_back(rule); }
+
+  bool enabled() const { return !rules_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t injectedCount() const { return injected_; }
+
+  /// Restores the plan to its just-built state (RNG re-seeded, budgets and
+  /// skip counters reset) so the same plan object can drive a fresh run.
+  void reset();
+
+  // -- engine hooks ---------------------------------------------------------
+
+  /// Called after compute superstep `index` completes, before its cycles are
+  /// committed. Applies SRAM faults (bit flips / stuck-at-zero) and returns
+  /// extra stall cycles to charge to the superstep's critical path.
+  double afterComputeSuperstep(std::size_t index, FaultSurface& surface);
+
+  /// Decides the fate of one exchange transfer destined for `dstTensor`.
+  /// Drop events are logged here; a Corrupt verdict is followed by a
+  /// corruptDelivered() call once the payload has landed.
+  TransferFate onTransfer(std::size_t exchangeIndex,
+                          std::size_t transferIndex, std::size_t dstTensor,
+                          FaultSurface& surface);
+
+  /// Flips one bit somewhere in the delivered range [dstFlat, dstFlat+count)
+  /// of a transfer that onTransfer() marked Corrupt, and logs the event.
+  void corruptDelivered(std::size_t exchangeIndex, std::size_t dstTensor,
+                        std::size_t dstFlat, std::size_t count,
+                        FaultSurface& surface);
+
+ private:
+  struct RuleState {
+    std::size_t injected = 0;
+    std::size_t skipped = 0;
+    // Tensor-name match cache; rebuilt when the tensor count changes.
+    std::vector<std::size_t> matches;
+    std::size_t matchedAt = SIZE_MAX;
+  };
+
+  bool fires(const Rule& rule, RuleState& state, std::int64_t index);
+  const std::vector<std::size_t>& matchingTensors(const Rule& rule,
+                                                  RuleState& state,
+                                                  FaultSurface& surface);
+
+  std::uint64_t seed_ = 0x9E3779B97F4A7C15ull;
+  Rng rng_{seed_};
+  std::vector<Rule> rules_;
+  std::vector<RuleState> states_;
+  std::size_t injected_ = 0;
+  int pendingCorruptBit_ = -1;  // bit choice of the last Corrupt verdict
+};
+
+/// Serialises a fault log (e.g. `engine.profile().faultEvents`) to JSON.
+json::Value faultEventsToJson(const std::vector<FaultEvent>& events);
+
+/// Human-readable one-line-per-event rendering of a fault log.
+std::string formatFaultEvents(const std::vector<FaultEvent>& events);
+
+}  // namespace graphene::ipu

@@ -10,8 +10,30 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace graphene::ipu {
+
+/// One injected fault or recovery action, recorded in execution order. The
+/// engine's fault-injection hooks append hardware-level events ("bitflip",
+/// "stuck-zero", "exchange-drop", "exchange-corrupt", "stall"); the solver
+/// layer appends its recovery actions ("recovery:restart",
+/// "recovery:rollback") so a log reads as a complete fault/repair timeline.
+struct FaultEvent {
+  std::string kind;
+  std::size_t superstep = 0;  // compute- or exchange-superstep index
+  std::string target;         // tensor name, or "tile N" for stalls
+  std::size_t element = 0;    // flat element index (bitflip / stuck-zero)
+  int bit = -1;               // flipped bit, -1 when not applicable
+  double cycles = 0;          // extra cycles charged (stalls)
+  std::string detail;
+
+  bool operator==(const FaultEvent& o) const {
+    return kind == o.kind && superstep == o.superstep && target == o.target &&
+           element == o.element && bit == o.bit && cycles == o.cycles &&
+           detail == o.detail;
+  }
+};
 
 struct Profile {
   /// Cycles per compute-set category (superstep durations, i.e. max over
@@ -28,6 +50,10 @@ struct Profile {
   std::size_t exchangeSupersteps = 0;
   std::size_t exchangeInstructions = 0;
   std::size_t exchangedBytes = 0;
+
+  /// Structured fault log: every injected fault and every solver-level
+  /// recovery action, in execution order (empty when no plan is attached).
+  std::vector<FaultEvent> faultEvents;
 
   double totalComputeCycles() const {
     double s = 0;
@@ -49,6 +75,8 @@ struct Profile {
     exchangeSupersteps += o.exchangeSupersteps;
     exchangeInstructions += o.exchangeInstructions;
     exchangedBytes += o.exchangedBytes;
+    faultEvents.insert(faultEvents.end(), o.faultEvents.begin(),
+                       o.faultEvents.end());
     return *this;
   }
 };

@@ -1,5 +1,6 @@
 #include "matrix/matrix_market.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,56 +8,108 @@
 
 namespace graphene::matrix {
 
+namespace {
+
+/// Throws ParseError with a 1-based line number — corrupt files name the
+/// exact offending line, not just the first symptom downstream.
+[[noreturn]] void parseFail(std::size_t lineNo, const std::string& what,
+                            const std::string& line = {}) {
+  std::ostringstream oss;
+  oss << "MatrixMarket line " << lineNo << ": " << what;
+  if (!line.empty()) oss << " (got: \"" << line << "\")";
+  throw ParseError(oss.str());
+}
+
+/// A size/entry line must be fully consumed: trailing junk ("3 3 4 garbage")
+/// is a corrupt file, not something to silently ignore.
+bool hasTrailingTokens(std::istringstream& s) {
+  std::string rest;
+  return static_cast<bool>(s >> rest);
+}
+
+}  // namespace
+
 CsrMatrix readMatrixMarket(std::istream& in) {
   std::string line;
-  GRAPHENE_CHECK(static_cast<bool>(std::getline(in, line)),
-                 "empty MatrixMarket stream");
+  std::size_t lineNo = 0;
+  if (!std::getline(in, line)) throw ParseError("empty MatrixMarket stream");
+  ++lineNo;
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
   if (banner != "%%MatrixMarket") {
-    throw ParseError("missing %%MatrixMarket banner");
+    parseFail(lineNo, "missing %%MatrixMarket banner", line);
   }
   if (object != "matrix" || format != "coordinate") {
-    throw ParseError("only 'matrix coordinate' MatrixMarket files supported");
+    parseFail(lineNo, "only 'matrix coordinate' MatrixMarket files supported",
+              line);
   }
   const bool pattern = field == "pattern";
   if (field != "real" && field != "integer" && !pattern) {
-    throw ParseError("unsupported MatrixMarket field type: " + field);
+    parseFail(lineNo, "unsupported field type '" + field + "'");
   }
   const bool symmetric = symmetry == "symmetric";
   if (!symmetric && symmetry != "general") {
-    throw ParseError("unsupported MatrixMarket symmetry: " + symmetry);
+    parseFail(lineNo, "unsupported symmetry '" + symmetry + "'");
   }
 
   // Skip comments.
   do {
-    GRAPHENE_CHECK(static_cast<bool>(std::getline(in, line)),
-                   "truncated MatrixMarket header");
+    if (!std::getline(in, line)) {
+      parseFail(lineNo, "truncated header: no size line");
+    }
+    ++lineNo;
   } while (!line.empty() && line[0] == '%');
 
   std::istringstream sizes(line);
-  std::size_t rows = 0, cols = 0, entries = 0;
+  long long rows = -1, cols = -1, entries = -1;
   sizes >> rows >> cols >> entries;
-  if (sizes.fail()) throw ParseError("malformed MatrixMarket size line");
+  if (sizes.fail() || rows < 0 || cols < 0 || entries < 0) {
+    parseFail(lineNo, "malformed size line, expected 'rows cols nnz'", line);
+  }
+  if (hasTrailingTokens(sizes)) {
+    parseFail(lineNo, "trailing tokens after 'rows cols nnz'", line);
+  }
+  if ((rows == 0 || cols == 0) && entries > 0) {
+    parseFail(lineNo, "empty matrix cannot have entries", line);
+  }
 
   std::vector<Triplet> trips;
-  trips.reserve(symmetric ? 2 * entries : entries);
-  for (std::size_t i = 0; i < entries; ++i) {
-    GRAPHENE_CHECK(static_cast<bool>(std::getline(in, line)),
-                   "truncated MatrixMarket data at entry ", i);
+  trips.reserve(symmetric ? 2 * static_cast<std::size_t>(entries)
+                          : static_cast<std::size_t>(entries));
+  for (long long i = 0; i < entries; ++i) {
+    if (!std::getline(in, line)) {
+      parseFail(lineNo, "truncated data: entry " + std::to_string(i + 1) +
+                            " of " + std::to_string(entries) + " missing");
+    }
+    ++lineNo;
     std::istringstream es(line);
-    std::size_t r = 0, c = 0;
+    long long r = 0, c = 0;
     double v = 1.0;
     es >> r >> c;
     if (!pattern) es >> v;
-    if (es.fail() || r == 0 || c == 0 || r > rows || c > cols) {
-      throw ParseError("malformed MatrixMarket entry: " + line);
+    if (es.fail()) parseFail(lineNo, "malformed entry", line);
+    if (hasTrailingTokens(es)) {
+      parseFail(lineNo, "trailing tokens after entry", line);
     }
-    trips.push_back(Triplet{r - 1, c - 1, v});
-    if (symmetric && r != c) trips.push_back(Triplet{c - 1, r - 1, v});
+    if (r < 1 || c < 1 || r > rows || c > cols) {
+      parseFail(lineNo,
+                "index (" + std::to_string(r) + ", " + std::to_string(c) +
+                    ") outside " + std::to_string(rows) + "x" +
+                    std::to_string(cols) + " matrix (1-based)",
+                line);
+    }
+    if (!std::isfinite(v)) {
+      parseFail(lineNo, "non-finite value", line);
+    }
+    const std::size_t r0 = static_cast<std::size_t>(r - 1);
+    const std::size_t c0 = static_cast<std::size_t>(c - 1);
+    trips.push_back(Triplet{r0, c0, v});
+    if (symmetric && r != c) trips.push_back(Triplet{c0, r0, v});
   }
-  return CsrMatrix::fromTriplets(rows, cols, std::move(trips));
+  return CsrMatrix::fromTriplets(static_cast<std::size_t>(rows),
+                                 static_cast<std::size_t>(cols),
+                                 std::move(trips));
 }
 
 CsrMatrix readMatrixMarketFile(const std::string& path) {

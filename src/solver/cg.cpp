@@ -1,5 +1,10 @@
 // Preconditioned Conjugate Gradient (for the SPD systems of Table II) and
 // the Richardson iteration.
+//
+// CG is hardened against numerical faults: residuals are checked on the host
+// every iteration, NaN/Inf or divergence triggers an automatic restart from
+// the last checkpointed iterate (bounded by RobustnessOptions::maxRestarts),
+// and the structured outcome is reported through Solver::result().
 #include <cmath>
 
 #include "solver/solvers.hpp"
@@ -24,10 +29,12 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   precond_->ensureSetup(a);
 
   x = Expression(0.0f);
-  Tensor r = b;  // r0 = b - A*0
+  Tensor r = a.makeVector(DType::Float32, "cg_resid");
+  r = Expression(b);  // r0 = b - A*0
   Tensor z = a.makeVector(DType::Float32, "cg_z");
   precond_->apply(a, z, r);
-  Tensor p = z;  // deep copy
+  Tensor p = a.makeVector(DType::Float32, "cg_p");
+  p = Expression(z);
   Tensor Ap = a.makeVector(DType::Float32, "cg_Ap");
 
   Tensor bNormSq = Dot(b, b);
@@ -40,9 +47,36 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   Tensor iter = Tensor::scalar(DType::Int32, "cg_iter");
   iter = Expression(0);
 
+  // Self-healing state: host-controlled abort flag, restart request flag,
+  // and the checkpointed iterate restarts re-seed from.
+  Tensor ok = Tensor::scalar(DType::Int32, "cg_ok");
+  ok = Expression(1);
+  Tensor restart = Tensor::scalar(DType::Int32, "cg_restart");
+  restart = Expression(0);
+  const bool recovery = robust_.maxRestarts > 0 && robust_.checkpointEvery > 0;
+  std::optional<Tensor> xCkpt;
+  if (recovery) {
+    xCkpt.emplace(a.makeVector(DType::Float32, "cg_ckpt"));
+    *xCkpt = Expression(x);  // x0 = 0 is always a valid restart point
+  }
+
   const float tol2 = static_cast<float>(tolerance_ * tolerance_);
   auto histPtr = history_;
+  auto resPtr = result_;
+  const RobustnessOptions opts = robust_;
+  const double tolerance = tolerance_;
   graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
+  graph::TensorId okId = ok.id(), restartId = restart.id(),
+                  iterId = iter.id();
+
+  // Runs at execution time, before the loop: (re)arm the structured result.
+  // The history is deliberately NOT cleared here — as an MPIR inner solver
+  // this callback runs every refinement, and the history's cumulative
+  // iteration count is what the refinement records are keyed on.
+  dsl::HostCall([resPtr](graph::Engine&) {
+    *resPtr = SolveResult{};
+    resPtr->status = SolveStatus::Running;
+  });
 
   Expression keepGoing =
       tolerance_ > 0.0
@@ -50,7 +84,22 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
                 Expression(resNormSq) > Expression(tol2) * Expression(bNormSq)
           : Expression(iter) < static_cast<int>(maxIterations_);
 
-  dsl::While(keepGoing, [&] {
+  dsl::While(keepGoing && Expression(ok) > Expression(0), [&] {
+    if (recovery) {
+      // A host guard requested a restart: re-seed from the checkpoint. The
+      // residual is recomputed from scratch, so a corrupted r/p/z state is
+      // fully flushed.
+      dsl::If(Expression(restart) > Expression(0), [&] {
+        x = Expression(*xCkpt);
+        a.spmv(Ap, x);
+        r = Expression(b) - Expression(Ap);
+        precond_->apply(a, z, r);
+        p = Expression(z);
+        rz = Dot(r, z);
+        resNormSq = Dot(r, r);
+        restart = Expression(0);
+      });
+    }
     a.spmv(Ap, p);
     denom = Dot(p, Ap);
     alpha = dsl::Select(Abs(Expression(denom)) > Expression(0.0f),
@@ -65,12 +114,60 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     rz = Expression(rzNew);
     iter = Expression(iter) + 1;
     resNormSq = Dot(r, r);
-    dsl::HostCall([histPtr, resId, bId](graph::Engine& e) {
-      double rr = e.readScalar(resId).toHostDouble();
-      double bb = e.readScalar(bId).toHostDouble();
-      histPtr->push_back(
-          {histPtr->size() + 1, std::sqrt(std::abs(rr) / std::max(bb, 1e-300))});
+    if (recovery) {
+      dsl::If(Expression(iter) %
+                      static_cast<int>(robust_.checkpointEvery) ==
+                  Expression(0),
+              [&] { *xCkpt = Expression(x); });
+    }
+    dsl::HostCall([histPtr, resPtr, opts, recovery, resId, bId, okId,
+                   restartId, iterId](graph::Engine& e) {
+      const double rr = e.readScalar(resId).toHostDouble();
+      const double bb = e.readScalar(bId).toHostDouble();
+      const auto it =
+          static_cast<std::size_t>(e.readScalar(iterId).toHostDouble());
+      const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+      const bool bad = !std::isfinite(rr) ||
+                       rel > opts.divergenceFactor;
+      if (!bad) {
+        histPtr->push_back({histPtr->size() + 1, rel});
+        resPtr->iterations = it;
+        resPtr->finalResidual = rel;
+        return;
+      }
+      // A NaN/Inf or runaway residual never reaches the history; it either
+      // triggers a restart or becomes the typed outcome of the solve.
+      if (recovery && resPtr->restarts < opts.maxRestarts) {
+        ++resPtr->restarts;
+        e.writeScalar(restartId, graph::Scalar(std::int32_t(1)));
+        // Repair the condition scalar so the While loop survives the NaN
+        // (NaN comparisons are false and would end the loop prematurely).
+        e.writeScalar(resId, graph::Scalar(static_cast<float>(bb)));
+        e.profile().faultEvents.push_back(
+            {"recovery:restart", e.profile().computeSupersteps, "cg", it, -1,
+             0.0,
+             !std::isfinite(rr) ? "nan residual; re-seeding from checkpoint"
+                                : "diverged; re-seeding from checkpoint"});
+      } else {
+        resPtr->status = std::isfinite(rr) ? SolveStatus::Diverged
+                                           : SolveStatus::NanDetected;
+        resPtr->iterations = it;
+        e.writeScalar(okId, graph::Scalar(std::int32_t(0)));
+      }
     });
+  });
+
+  dsl::HostCall([resPtr, resId, bId, iterId, tolerance](graph::Engine& e) {
+    if (resPtr->status != SolveStatus::Running) return;
+    const double rr = e.readScalar(resId).toHostDouble();
+    const double bb = e.readScalar(bId).toHostDouble();
+    const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+    resPtr->iterations =
+        static_cast<std::size_t>(e.readScalar(iterId).toHostDouble());
+    if (std::isfinite(rel)) resPtr->finalResidual = rel;
+    resPtr->status = tolerance > 0.0 && rel <= tolerance
+                         ? SolveStatus::Converged
+                         : SolveStatus::MaxIterations;
   });
 }
 

@@ -17,6 +17,31 @@ DType parseExtendedType(const std::string& s) {
 
 }  // namespace
 
+RobustnessOptions parseRobustness(const json::Value& config) {
+  RobustnessOptions opts;
+  if (!config.isObject() || !config.contains("robustness")) return opts;
+  const json::Value& r = config.at("robustness");
+  GRAPHENE_CHECK(r.isObject(), "'robustness' must be a JSON object");
+  opts.maxRestarts = static_cast<std::size_t>(
+      r.getOr("maxRestarts", static_cast<std::int64_t>(opts.maxRestarts)));
+  opts.divergenceFactor = r.getOr("divergenceFactor", opts.divergenceFactor);
+  opts.breakdownTolerance =
+      r.getOr("breakdownTolerance", opts.breakdownTolerance);
+  opts.checkpointEvery = static_cast<std::size_t>(r.getOr(
+      "checkpointEvery", static_cast<std::int64_t>(opts.checkpointEvery)));
+  opts.maxRollbacks = static_cast<std::size_t>(
+      r.getOr("maxRollbacks", static_cast<std::int64_t>(opts.maxRollbacks)));
+  opts.residualGrowthFactor =
+      r.getOr("residualGrowthFactor", opts.residualGrowthFactor);
+  GRAPHENE_CHECK(opts.divergenceFactor > 0.0,
+                 "robustness.divergenceFactor must be positive");
+  GRAPHENE_CHECK(opts.breakdownTolerance >= 0.0,
+                 "robustness.breakdownTolerance must be non-negative");
+  GRAPHENE_CHECK(opts.residualGrowthFactor > 1.0,
+                 "robustness.residualGrowthFactor must exceed 1");
+  return opts;
+}
+
 std::unique_ptr<Solver> makeSolver(const json::Value& config) {
   GRAPHENE_CHECK(config.isObject(), "solver config must be a JSON object");
   const std::string type = config.at("type").asString();
@@ -58,10 +83,12 @@ std::unique_ptr<Solver> makeSolver(const json::Value& config) {
     const double tolerance = config.getOr("tolerance", 1e-9);
     if (type == "cg") {
       return std::make_unique<CgSolver>(maxIterations, tolerance,
-                                        std::move(precond));
+                                        std::move(precond),
+                                        parseRobustness(config));
     }
     return std::make_unique<BiCgStabSolver>(maxIterations, tolerance,
-                                            std::move(precond));
+                                            std::move(precond),
+                                            parseRobustness(config));
   }
   if (type == "mpir" || type == "ir") {
     GRAPHENE_CHECK(config.contains("inner"),
@@ -70,7 +97,8 @@ std::unique_ptr<Solver> makeSolver(const json::Value& config) {
         parseExtendedType(config.getOr("extendedType",
                                        std::string("doubleword"))),
         static_cast<std::size_t>(config.getOr("maxRefinements", 20)),
-        config.getOr("tolerance", 1e-13), makeSolver(config.at("inner")));
+        config.getOr("tolerance", 1e-13), makeSolver(config.at("inner")),
+        parseRobustness(config));
   }
   GRAPHENE_CHECK(false, "unknown solver type '", type, "'");
   return nullptr;

@@ -1,4 +1,6 @@
 // Gauss-Seidel with Level-Set Scheduling (§V-A, §V-D).
+#include <cmath>
+
 #include "levelset/levelset.hpp"
 #include "solver/solvers.hpp"
 
@@ -97,7 +99,14 @@ void GaussSeidelSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
   iter = Expression(0);
   const float tol2 = static_cast<float>(tolerance_ * tolerance_);
   auto histPtr = history_;
+  auto resPtr = result_;
+  const double tolerance = tolerance_;
   graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
+  graph::TensorId iterId = iter.id();
+  dsl::HostCall([resPtr](graph::Engine&) {
+    *resPtr = SolveResult{};
+    resPtr->status = SolveStatus::Running;
+  });
   dsl::While(
       Expression(iter) < static_cast<int>(maxIterations_) &&
           Expression(resNormSq) > Expression(tol2) * Expression(bNormSq),
@@ -107,13 +116,31 @@ void GaussSeidelSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
         res = Expression(r) - Expression(res);
         resNormSq = Dot(res, res);
         iter = Expression(iter) + 1;
-        dsl::HostCall([histPtr, resId, bId](graph::Engine& e) {
+        dsl::HostCall([histPtr, resPtr, resId, bId](graph::Engine& e) {
           double rr = e.readScalar(resId).toHostDouble();
           double bb = e.readScalar(bId).toHostDouble();
-          histPtr->push_back(
-              {histPtr->size() + 1, std::sqrt(rr / std::max(bb, 1e-300))});
+          double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+          // Keep the history free of NaN/Inf garbage: a non-finite residual
+          // becomes a typed outcome instead of a bogus sample.
+          if (!std::isfinite(rel)) {
+            resPtr->status = SolveStatus::NanDetected;
+            return;
+          }
+          histPtr->push_back({histPtr->size() + 1, rel});
+          resPtr->finalResidual = rel;
         });
       });
+  dsl::HostCall([resPtr, resId, bId, iterId, tolerance](graph::Engine& e) {
+    if (resPtr->status != SolveStatus::Running) return;
+    const double rr = e.readScalar(resId).toHostDouble();
+    const double bb = e.readScalar(bId).toHostDouble();
+    const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+    resPtr->iterations =
+        static_cast<std::size_t>(e.readScalar(iterId).toHostDouble());
+    if (std::isfinite(rel)) resPtr->finalResidual = rel;
+    resPtr->status = rel <= tolerance ? SolveStatus::Converged
+                                      : SolveStatus::MaxIterations;
+  });
 }
 
 }  // namespace graphene::solver

@@ -1,4 +1,12 @@
 // (Mixed-Precision) Iterative Refinement (§V-B).
+//
+// The refinement loop is hardened with checkpoint/rollback: the last good
+// extended iterate is kept on the device, and a corrupted residual (NaN/Inf
+// or a jump past RobustnessOptions::residualGrowthFactor over the last good
+// step) rolls x back and re-refines. Retries are bounded with backoff — each
+// consecutive rollback costs double the previous one against a fixed budget,
+// so a persistently corrupted loop stops with a typed status instead of
+// thrashing.
 #include <cmath>
 
 #include "solver/solvers.hpp"
@@ -8,6 +16,17 @@ namespace graphene::solver {
 using dsl::Dot;
 using dsl::Expression;
 using dsl::Tensor;
+
+namespace {
+
+/// Host-side guard state shared between the refinement-loop callbacks.
+struct MpirGuardState {
+  double lastGoodResidual = -1.0;  // relative norm of the last good step
+  std::size_t budgetUsed = 0;      // backoff units consumed so far
+  std::size_t nextCost = 1;        // cost of the next rollback (doubles)
+};
+
+}  // namespace
 
 void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   inner_->ensureSetup(a);
@@ -33,9 +52,34 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   Tensor m = Tensor::scalar(DType::Int32, "mpir_m");
   m = Expression(0);
 
+  // Self-healing state: host-controlled abort flag, rollback request flag,
+  // and the last good extended iterate (the rollback target).
+  Tensor ok = Tensor::scalar(DType::Int32, "mpir_ok");
+  ok = Expression(1);
+  Tensor rollback = Tensor::scalar(DType::Int32, "mpir_rollback");
+  rollback = Expression(0);
+  const bool recovery = robust_.maxRollbacks > 0;
+  std::optional<Tensor> xGood;
+  if (recovery) {
+    xGood.emplace(a.makeVector(extType_, "mpir_xgood"));
+    *xGood = Expression(xExt);  // x0 = 0 is always a valid rollback point
+  }
+
   auto trueHist = trueHistory_;
+  auto resPtr = result_;
+  auto guard = std::make_shared<MpirGuardState>();
+  const RobustnessOptions opts = robust_;
+  const double tolerance = tolerance_;
   Solver* innerRaw = inner_.get();
   graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
+  graph::TensorId okId = ok.id(), rollbackId = rollback.id(), mId = m.id();
+
+  dsl::HostCall([resPtr, trueHist, guard](graph::Engine&) {
+    *resPtr = SolveResult{};
+    resPtr->status = SolveStatus::Running;
+    trueHist->clear();
+    *guard = MpirGuardState{};
+  });
 
   const double tol2 = tolerance_ * tolerance_;
   Expression keepGoing =
@@ -45,16 +89,69 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
                                      static_cast<float>(tol2))))
               .cast(DType::Float64);
 
-  dsl::While(keepGoing, [&] {
+  dsl::While(keepGoing && Expression(ok) > Expression(0), [&] {
     // Step 1: r(m) = b − A x(m), extended precision.
     a.residualExt(rExt, bExt, xExt);
     resNormSq = Dot(Expression(rExt), Expression(rExt));
-    dsl::HostCall([trueHist, innerRaw, resId, bId](graph::Engine& e) {
-      double rr = e.readScalar(resId).toHostDouble();
-      double bb = e.readScalar(bId).toHostDouble();
-      trueHist->push_back({innerRaw->history().size(),
-                           std::sqrt(std::abs(rr) / std::max(bb, 1e-300))});
+    // Guard: decide whether this residual is trustworthy. A corrupted one
+    // (NaN/Inf, or growth past residualGrowthFactor over the last good step)
+    // schedules a rollback; a clean one is recorded and becomes the new
+    // checkpoint.
+    dsl::HostCall([trueHist, resPtr, guard, innerRaw, opts, recovery, resId,
+                   bId, rollbackId, okId, mId](graph::Engine& e) {
+      const double rr = e.readScalar(resId).toHostDouble();
+      const double bb = e.readScalar(bId).toHostDouble();
+      const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+      const bool corrupted =
+          !std::isfinite(rr) ||
+          (guard->lastGoodResidual >= 0.0 &&
+           rel > guard->lastGoodResidual * opts.residualGrowthFactor);
+      if (!corrupted) {
+        trueHist->push_back({innerRaw->history().size(), rel});
+        resPtr->iterations =
+            static_cast<std::size_t>(e.readScalar(mId).toHostDouble());
+        resPtr->finalResidual = rel;
+        guard->lastGoodResidual = rel;
+        guard->nextCost = 1;  // a good step resets the backoff
+        return;
+      }
+      if (recovery &&
+          guard->budgetUsed + guard->nextCost <= opts.maxRollbacks) {
+        guard->budgetUsed += guard->nextCost;
+        guard->nextCost *= 2;
+        ++resPtr->rollbacks;
+        e.writeScalar(rollbackId, graph::Scalar(std::int32_t(1)));
+        // Repair the condition scalar so the While loop survives the NaN
+        // (NaN comparisons are false and would end the loop prematurely).
+        e.writeScalar(resId, graph::Scalar(static_cast<float>(bb)));
+        e.profile().faultEvents.push_back(
+            {"recovery:rollback", e.profile().computeSupersteps, "mpir",
+             static_cast<std::size_t>(e.readScalar(mId).toHostDouble()), -1,
+             0.0,
+             !std::isfinite(rr)
+                 ? "nan residual; restored last good iterate"
+                 : "residual jumped; restored last good iterate"});
+      } else {
+        resPtr->status = std::isfinite(rr) ? SolveStatus::Diverged
+                                           : SolveStatus::NanDetected;
+        resPtr->iterations =
+            static_cast<std::size_t>(e.readScalar(mId).toHostDouble());
+        e.writeScalar(okId, graph::Scalar(std::int32_t(0)));
+      }
     });
+    if (recovery) {
+      dsl::If(
+          Expression(rollback) > Expression(0),
+          [&] {
+            // Restore the last good iterate and measure its residual afresh
+            // — the refinement below then re-refines from known-good state.
+            xExt = Expression(*xGood);
+            a.residualExt(rExt, bExt, xExt);
+            resNormSq = Dot(Expression(rExt), Expression(rExt));
+            rollback = Expression(0);
+          },
+          [&] { *xGood = Expression(xExt); });
+    }
     // Step 2: solve A c = r(m) in working precision.
     {
       dsl::Expression narrow = Expression(rExt).cast(DType::Float32);
@@ -68,6 +165,19 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
       update.materializeInto(xExt, "extended_precision");
     }
     m = Expression(m) + 1;
+  });
+
+  dsl::HostCall([resPtr, resId, bId, mId, tolerance](graph::Engine& e) {
+    if (resPtr->status != SolveStatus::Running) return;
+    const double rr = e.readScalar(resId).toHostDouble();
+    const double bb = e.readScalar(bId).toHostDouble();
+    const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+    resPtr->iterations =
+        static_cast<std::size_t>(e.readScalar(mId).toHostDouble());
+    if (std::isfinite(rel)) resPtr->finalResidual = rel;
+    resPtr->status = tolerance > 0.0 && rel <= tolerance
+                         ? SolveStatus::Converged
+                         : SolveStatus::MaxIterations;
   });
 
   // The working-precision output is the rounded extended solution.

@@ -24,6 +24,70 @@ struct IterationRecord {
   double residual = 0.0;      // relative residual ‖r‖/‖b‖
 };
 
+/// Structured outcome of an iterative solve. Iteration no longer fails
+/// silently: numerical breakdown, divergence, and NaN/Inf residuals are
+/// first-class, testable outcomes (the design production frameworks such as
+/// Ginkgo use for their stopping/breakdown logic).
+enum class SolveStatus {
+  NotRun,         // apply() emitted, program not executed yet
+  Running,        // execution started, no verdict yet
+  Converged,      // relative residual reached the tolerance
+  MaxIterations,  // iteration budget exhausted (also the tolerance==0 mode)
+  Breakdown,      // recurrence collapsed (e.g. BiCGStab rho → 0)
+  Diverged,       // residual grew past the divergence threshold
+  NanDetected,    // NaN/Inf residual survived every restart attempt
+};
+
+inline const char* toString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::NotRun: return "not-run";
+    case SolveStatus::Running: return "running";
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::Breakdown: return "breakdown";
+    case SolveStatus::Diverged: return "diverged";
+    case SolveStatus::NanDetected: return "nan-detected";
+  }
+  return "unknown";
+}
+
+/// Filled in by host callbacks while the emitted program executes; read it
+/// after engine.run().
+struct SolveResult {
+  SolveStatus status = SolveStatus::NotRun;
+  std::size_t iterations = 0;   // iterations (CG/BiCGStab) or refinements
+  double finalResidual = -1.0;  // last recorded relative residual
+  std::size_t restarts = 0;     // automatic restarts taken (CG/BiCGStab)
+  std::size_t rollbacks = 0;    // checkpoint rollbacks taken (MPIR)
+};
+
+/// Fault-tolerance knobs of the iterative solvers, configured through the
+/// JSON "robustness" object. The defaults keep recovery on; setting
+/// maxRestarts/maxRollbacks to 0 removes the recovery program steps
+/// entirely (the guards that detect and report bad states remain).
+struct RobustnessOptions {
+  /// CG/BiCGStab: automatic restarts (re-seed from the last checkpointed
+  /// iterate) before giving up on a NaN/diverged/broken-down state.
+  std::size_t maxRestarts = 2;
+  /// Relative residual above which the iteration counts as diverged.
+  double divergenceFactor = 1e8;
+  /// BiCGStab: |rho| <= breakdownTolerance * ‖b‖² flags a breakdown.
+  double breakdownTolerance = 1e-30;
+  /// CG/BiCGStab: checkpoint the iterate every N iterations (0 disables,
+  /// which also disables restarts — nothing valid to restart from).
+  std::size_t checkpointEvery = 8;
+  /// MPIR: rollback retry budget. Each consecutive rollback costs double
+  /// the previous one (backoff), so a persistently corrupted refinement
+  /// loop exhausts the budget quickly instead of thrashing.
+  std::size_t maxRollbacks = 3;
+  /// MPIR: a residual that grows by more than this factor (in norm) over
+  /// the last good refinement step is treated as corrupted.
+  double residualGrowthFactor = 100.0;
+};
+
+/// Parses the optional "robustness" object of a solver config.
+RobustnessOptions parseRobustness(const json::Value& config);
+
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -46,14 +110,21 @@ class Solver {
 
   /// Residual history recorded by host callbacks during execution
   /// (top-level/iterative solvers only; empty for preconditioners).
+  /// Guaranteed free of NaN/Inf garbage: non-finite samples are surfaced
+  /// through result().status instead of being recorded.
   const std::vector<IterationRecord>& history() const { return *history_; }
   void clearHistory() { history_->clear(); }
+
+  /// Structured outcome of the last execution (iterative solvers; stays
+  /// NotRun for pure preconditioners).
+  const SolveResult& result() const { return *result_; }
 
  protected:
   virtual void setup(DistMatrix& a) { (void)a; }
 
   std::shared_ptr<std::vector<IterationRecord>> history_ =
       std::make_shared<std::vector<IterationRecord>>();
+  std::shared_ptr<SolveResult> result_ = std::make_shared<SolveResult>();
 
  private:
   bool setupDone_ = false;

@@ -104,9 +104,10 @@ class RichardsonSolver final : public Solver {
 class CgSolver final : public Solver {
  public:
   CgSolver(std::size_t maxIterations, double tolerance,
-           std::unique_ptr<Solver> preconditioner)
+           std::unique_ptr<Solver> preconditioner,
+           RobustnessOptions robustness = {})
       : maxIterations_(maxIterations), tolerance_(tolerance),
-        precond_(std::move(preconditioner)) {}
+        precond_(std::move(preconditioner)), robust_(robustness) {}
   std::string name() const override { return "cg"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
   Solver* preconditioner() { return precond_.get(); }
@@ -115,6 +116,7 @@ class CgSolver final : public Solver {
   std::size_t maxIterations_;
   double tolerance_;
   std::unique_ptr<Solver> precond_;
+  RobustnessOptions robust_;
 };
 
 /// Preconditioned BiCGStab (§V-C, van der Vorst), following the paper's
@@ -123,9 +125,10 @@ class CgSolver final : public Solver {
 class BiCgStabSolver final : public Solver {
  public:
   BiCgStabSolver(std::size_t maxIterations, double tolerance,
-                 std::unique_ptr<Solver> preconditioner)
+                 std::unique_ptr<Solver> preconditioner,
+                 RobustnessOptions robustness = {})
       : maxIterations_(maxIterations), tolerance_(tolerance),
-        precond_(std::move(preconditioner)) {}
+        precond_(std::move(preconditioner)), robust_(robustness) {}
   std::string name() const override { return "bicgstab"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
   Solver* preconditioner() { return precond_.get(); }
@@ -147,6 +150,7 @@ class BiCgStabSolver final : public Solver {
   std::size_t maxIterations_;
   double tolerance_;
   std::unique_ptr<Solver> precond_;
+  RobustnessOptions robust_;
   std::size_t monitorEvery_ = 0;
   std::shared_ptr<std::vector<IterationRecord>> trueHistory_ =
       std::make_shared<std::vector<IterationRecord>>();
@@ -164,9 +168,10 @@ class BiCgStabSolver final : public Solver {
 class MpirSolver final : public Solver {
  public:
   MpirSolver(DType extendedType, std::size_t maxRefinements, double tolerance,
-             std::unique_ptr<Solver> inner)
+             std::unique_ptr<Solver> inner, RobustnessOptions robustness = {})
       : extType_(extendedType), maxRefinements_(maxRefinements),
-        tolerance_(tolerance), inner_(std::move(inner)) {}
+        tolerance_(tolerance), inner_(std::move(inner)),
+        robust_(robustness) {}
   std::string name() const override { return "mpir"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
   Solver* inner() { return inner_.get(); }
@@ -185,6 +190,7 @@ class MpirSolver final : public Solver {
   std::size_t maxRefinements_;
   double tolerance_;
   std::unique_ptr<Solver> inner_;
+  RobustnessOptions robust_;
   std::optional<Tensor> xExt_;
   std::shared_ptr<std::vector<IterationRecord>> trueHistory_ =
       std::make_shared<std::vector<IterationRecord>>();

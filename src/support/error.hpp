@@ -29,6 +29,14 @@ class ParseError : public Error {
   using Error::Error;
 };
 
+/// Thrown when a computation surfaces a non-finite value where a finite one
+/// is required (e.g. a NaN/Inf residual read back by a host convergence
+/// callback).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] void throwCheckFailure(const char* kind, const char* condition,

@@ -1,0 +1,454 @@
+// Deterministic fault injection and solver self-healing.
+//
+// Covers: seeded fault plans are byte-for-byte reproducible; an engine with
+// no (or an empty) plan is bit-identical to one without the framework; SRAM
+// bit flips trigger CG's restart path; a stuck-at-zero rho surfaces as
+// SolveStatus::Breakdown; a corrupted MPIR residual exchange rolls back to
+// the last good iterate and re-converges — with the whole fault/repair
+// timeline in the profile's fault log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/engine.hpp"
+#include "ipu/fault.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+
+using namespace graphene;
+using namespace graphene::solver;
+using dsl::Context;
+using dsl::Expression;
+using dsl::Tensor;
+
+namespace {
+
+std::vector<double> randomVector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+struct FaultedSolve {
+  std::vector<double> x;                       // read-back solution
+  double trueRelResidual = -1.0;               // host-side double check
+  std::vector<IterationRecord> history;
+  SolveResult result;
+  ipu::Profile profile;
+  std::size_t haloTransfersPerExchange = 0;    // layout transfer count
+};
+
+bool logContains(const ipu::Profile& profile, const std::string& kind) {
+  for (const ipu::FaultEvent& ev : profile.faultEvents) {
+    if (ev.kind == kind) return true;
+  }
+  return false;
+}
+
+/// Emits and executes `solverJson` on A x = b for the given generated
+/// matrix, optionally under a fault plan. The plan is reset() first so the
+/// same object can drive repeated, identical runs.
+FaultedSolve runFaultedSolve(const matrix::GeneratedMatrix& g,
+                             std::size_t tiles, const std::string& solverJson,
+                             ipu::FaultPlan* plan) {
+  Context ctx(ipu::IpuTarget::testTarget(tiles));
+  auto rowToTile = partition::partitionAuto(g, tiles);
+  auto layout = partition::buildLayout(g.matrix, rowToTile, tiles);
+  FaultedSolve out;
+  out.haloTransfersPerExchange = layout.transfers.size();
+  DistMatrix A(g.matrix, std::move(layout));
+  Tensor x = A.makeVector(DType::Float32, "x");
+  Tensor b = A.makeVector(DType::Float32, "b");
+  auto solver = makeSolverFromString(solverJson);
+  solver->apply(A, x, b);
+
+  graph::Engine engine(ctx.graph());
+  if (plan != nullptr) {
+    plan->reset();
+    engine.setFaultPlan(plan);
+  }
+  A.upload(engine);
+  auto bHost = randomVector(g.matrix.rows(), 42);
+  for (double& v : bHost) v = static_cast<double>(static_cast<float>(v));
+  A.writeVector(engine, b, bHost);
+  engine.run(ctx.program());
+
+  out.x = A.readVector(engine, x);
+  std::vector<double> Ax(out.x.size());
+  g.matrix.spmv(out.x, Ax);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < Ax.size(); ++i) {
+    num += (bHost[i] - Ax[i]) * (bHost[i] - Ax[i]);
+    den += bHost[i] * bHost[i];
+  }
+  out.trueRelResidual = std::sqrt(num / den);
+  out.history = solver->history();
+  out.result = solver->result();
+  out.profile = engine.profile();
+  return out;
+}
+
+const char* kCgJson = R"({
+  "type": "cg", "maxIterations": 500, "tolerance": 1e-6
+})";
+
+}  // namespace
+
+TEST(FaultPlanJson, ParsesAllRuleKinds) {
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "seed": 7,
+    "faults": [
+      {"type": "bitflip", "tensor": "cg_resid", "bit": 30, "count": 1},
+      {"type": "stuck-zero", "tensor": "bicg_rho"},
+      {"type": "exchange-drop", "tensor": "halo", "count": 2},
+      {"type": "exchange-corrupt", "tensor": "halo", "bit": 12},
+      {"type": "stall", "tile": 3, "cycles": 10000, "superstep": 5}
+    ]
+  })");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed(), 7u);
+  EXPECT_EQ(plan.injectedCount(), 0u);
+}
+
+TEST(FaultPlanJson, RejectsUnknownType) {
+  EXPECT_THROW(ipu::FaultPlan::fromJsonText(
+                   R"({"faults": [{"type": "gamma-ray"}]})"),
+               ParseError);
+}
+
+TEST(FaultPlanJson, RejectsBadProbability) {
+  EXPECT_THROW(
+      ipu::FaultPlan::fromJsonText(
+          R"({"faults": [{"type": "bitflip", "probability": 1.5}]})"),
+      Error);
+}
+
+TEST(FaultPlanJson, RejectsZeroCycleStall) {
+  EXPECT_THROW(ipu::FaultPlan::fromJsonText(
+                   R"({"faults": [{"type": "stall", "tile": 0}]})"),
+               Error);
+}
+
+// An engine without a plan and one with an *empty* plan attached must be
+// bit-identical: same cycles, same supersteps, same history, same solution.
+TEST(FaultInjection, DetachedAndEmptyPlanAreBitIdentical) {
+  auto g = matrix::poisson2d5(8, 8);
+  FaultedSolve clean = runFaultedSolve(g, 4, kCgJson, nullptr);
+  ipu::FaultPlan empty;
+  FaultedSolve withPlan = runFaultedSolve(g, 4, kCgJson, &empty);
+
+  EXPECT_EQ(clean.profile.computeCycles, withPlan.profile.computeCycles);
+  EXPECT_EQ(clean.profile.exchangeCycles, withPlan.profile.exchangeCycles);
+  EXPECT_EQ(clean.profile.syncCycles, withPlan.profile.syncCycles);
+  EXPECT_EQ(clean.profile.computeSupersteps,
+            withPlan.profile.computeSupersteps);
+  EXPECT_EQ(clean.profile.exchangeSupersteps,
+            withPlan.profile.exchangeSupersteps);
+  EXPECT_TRUE(withPlan.profile.faultEvents.empty());
+  ASSERT_EQ(clean.history.size(), withPlan.history.size());
+  for (std::size_t i = 0; i < clean.history.size(); ++i) {
+    EXPECT_EQ(clean.history[i].residual, withPlan.history[i].residual);
+  }
+  EXPECT_EQ(clean.x, withPlan.x);
+}
+
+// Two runs under the same seeded plan inject byte-identical faults: the
+// fault logs compare equal event by event and the solves are bit-identical.
+TEST(FaultInjection, SeededPlansAreReproducible) {
+  auto g = matrix::poisson2d5(8, 8);
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "seed": 123,
+    "faults": [
+      {"type": "bitflip", "tensor": "cg_", "probability": 0.02, "count": 3}
+    ]
+  })");
+  FaultedSolve a = runFaultedSolve(g, 4, kCgJson, &plan);
+  FaultedSolve b = runFaultedSolve(g, 4, kCgJson, &plan);
+
+  ASSERT_FALSE(a.profile.faultEvents.empty());
+  ASSERT_EQ(a.profile.faultEvents.size(), b.profile.faultEvents.size());
+  for (std::size_t i = 0; i < a.profile.faultEvents.size(); ++i) {
+    EXPECT_TRUE(a.profile.faultEvents[i] == b.profile.faultEvents[i])
+        << "fault logs diverge at event " << i;
+  }
+  EXPECT_EQ(a.x, b.x);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].residual, b.history[i].residual);
+  }
+}
+
+// A different seed draws different faults (with overwhelming probability for
+// random-element flips on a 64-element vector).
+TEST(FaultInjection, DifferentSeedDrawsDifferentFaults) {
+  auto g = matrix::poisson2d5(8, 8);
+  const char* ruleJson = R"({
+    "seed": %SEED%,
+    "faults": [
+      {"type": "bitflip", "tensor": "cg_resid", "skip": 40, "count": 3}
+    ]
+  })";
+  auto withSeed = [&](const std::string& seed) {
+    std::string text(ruleJson);
+    text.replace(text.find("%SEED%"), 6, seed);
+    return ipu::FaultPlan::fromJsonText(text);
+  };
+  ipu::FaultPlan p1 = withSeed("1");
+  ipu::FaultPlan p2 = withSeed("2");
+  FaultedSolve a = runFaultedSolve(g, 4, kCgJson, &p1);
+  FaultedSolve b = runFaultedSolve(g, 4, kCgJson, &p2);
+  ASSERT_FALSE(a.profile.faultEvents.empty());
+  ASSERT_FALSE(b.profile.faultEvents.empty());
+  bool anyDifferent = a.profile.faultEvents.size() !=
+                      b.profile.faultEvents.size();
+  for (std::size_t i = 0;
+       !anyDifferent &&
+       i < a.profile.faultEvents.size(); ++i) {
+    anyDifferent = !(a.profile.faultEvents[i] == b.profile.faultEvents[i]);
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+// A stalled tile delays the BSP barrier: exactly the stall cycles join the
+// critical path, and nothing else changes.
+TEST(FaultInjection, StallChargesExtraCycles) {
+  auto g = matrix::poisson2d5(8, 8);
+  FaultedSolve clean = runFaultedSolve(g, 4, kCgJson, nullptr);
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "faults": [{"type": "stall", "tile": 1, "cycles": 12345, "superstep": 3}]
+  })");
+  FaultedSolve stalled = runFaultedSolve(g, 4, kCgJson, &plan);
+
+  EXPECT_TRUE(logContains(stalled.profile, "stall"));
+  EXPECT_DOUBLE_EQ(stalled.profile.totalComputeCycles(),
+                   clean.profile.totalComputeCycles() + 12345.0);
+  EXPECT_EQ(clean.x, stalled.x);  // a stall delays, it does not corrupt
+}
+
+// Dropped transfers are still priced — the fabric spent the cycles even
+// though the payload never landed.
+TEST(FaultInjection, DroppedTransferIsStillPriced) {
+  auto g = matrix::poisson2d5(8, 8);
+
+  auto runSpmv = [&](ipu::FaultPlan* plan) {
+    Context ctx(ipu::IpuTarget::testTarget(4));
+    auto rowToTile = partition::partitionAuto(g, 4);
+    auto layout = partition::buildLayout(g.matrix, rowToTile, 4);
+    DistMatrix A(g.matrix, std::move(layout));
+    Tensor v = A.makeVector(DType::Float32, "v");
+    Tensor y = A.makeVector(DType::Float32, "y");
+    A.spmv(y, v);
+    graph::Engine engine(ctx.graph());
+    if (plan != nullptr) {
+      plan->reset();
+      engine.setFaultPlan(plan);
+    }
+    A.upload(engine);
+    A.writeVector(engine, v, randomVector(g.matrix.rows(), 7));
+    engine.run(ctx.program());
+    return std::make_pair(engine.profile(), A.readVector(engine, y));
+  };
+
+  auto [cleanProfile, cleanY] = runSpmv(nullptr);
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "faults": [{"type": "exchange-drop", "tensor": "halo", "count": 1}]
+  })");
+  auto [dropProfile, dropY] = runSpmv(&plan);
+
+  EXPECT_TRUE(logContains(dropProfile, "exchange-drop"));
+  EXPECT_EQ(cleanProfile.exchangeCycles, dropProfile.exchangeCycles);
+  EXPECT_EQ(cleanProfile.exchangedBytes, dropProfile.exchangedBytes);
+  EXPECT_EQ(cleanProfile.exchangeInstructions,
+            dropProfile.exchangeInstructions);
+  EXPECT_NE(cleanY, dropY);  // the halo payload never arrived
+}
+
+// An SRAM bit flip in CG's residual vector mid-solve blows the recurrence
+// up; the host guard catches it, restarts from the checkpoint, and the solve
+// still converges — with both the fault and the recovery in the log.
+TEST(SolverRecovery, CgRestartsAfterResidualBitFlip) {
+  auto g = matrix::poisson2d5(8, 8);
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "seed": 5,
+    "faults": [
+      {"type": "bitflip", "tensor": "cg_resid", "bit": 30,
+       "skip": 100, "count": 1}
+    ]
+  })");
+  FaultedSolve faulted = runFaultedSolve(g, 4, kCgJson, &plan);
+
+  EXPECT_TRUE(logContains(faulted.profile, "bitflip"));
+  EXPECT_TRUE(logContains(faulted.profile, "recovery:restart"));
+  EXPECT_GE(faulted.result.restarts, 1u);
+  EXPECT_EQ(faulted.result.status, SolveStatus::Converged);
+  EXPECT_LT(faulted.trueRelResidual, 1e-4);
+  for (const IterationRecord& rec : faulted.history) {
+    EXPECT_TRUE(std::isfinite(rec.residual));
+  }
+}
+
+// A stuck-at-zero cell under BiCGStab's rho scalar collapses the recurrence;
+// with recovery off this must surface as SolveStatus::Breakdown — and the
+// history must stay clean, not fill with NaN garbage.
+TEST(SolverRecovery, BiCgStabRhoBreakdownIsTyped) {
+  auto g = matrix::poisson2d5(8, 8);
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "faults": [{"type": "stuck-zero", "tensor": "bicg_rho", "skip": 60}]
+  })");
+  const char* json = R"({
+    "type": "bicgstab", "maxIterations": 300, "tolerance": 1e-6,
+    "robustness": {"maxRestarts": 0}
+  })";
+  FaultedSolve faulted = runFaultedSolve(g, 4, json, &plan);
+
+  EXPECT_EQ(faulted.result.status, SolveStatus::Breakdown);
+  EXPECT_TRUE(logContains(faulted.profile, "stuck-zero"));
+  for (const IterationRecord& rec : faulted.history) {
+    EXPECT_TRUE(std::isfinite(rec.residual)) << "NaN leaked into history";
+  }
+}
+
+// With the restart budget available, a corrupted residual is recovered
+// from: BiCGStab re-anchors its shadow residual and converges. Unlike CG,
+// BiCGStab fully rewrites its residual every iteration (rA = sA - omega*tA
+// reads sA/tA, not rA), so a single flip can land in a dead window and be
+// silently erased -- the rule therefore flips one bit per superstep across
+// a whole iteration (~15 supersteps), guaranteeing at least one corruption
+// is live when the host guard samples ||r||^2.
+TEST(SolverRecovery, BiCgStabRestartsAfterTransientBreakdown) {
+  auto g = matrix::poisson2d5(8, 8);
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "faults": [
+      {"type": "bitflip", "tensor": "bicg_resid", "bit": 30,
+       "skip": 120, "count": 15}
+    ]
+  })");
+  const char* json = R"({
+    "type": "bicgstab", "maxIterations": 300, "tolerance": 1e-6
+  })";
+  FaultedSolve faulted = runFaultedSolve(g, 4, json, &plan);
+
+  EXPECT_TRUE(logContains(faulted.profile, "bitflip"));
+  EXPECT_TRUE(logContains(faulted.profile, "recovery:restart"));
+  EXPECT_EQ(faulted.result.status, SolveStatus::Converged);
+  EXPECT_LT(faulted.trueRelResidual, 1e-4);
+}
+
+// Acceptance scenario: a seeded plan corrupts one MPIR residual exchange
+// (the extended-precision halo transfer of refinement step 1). The guard
+// sees the residual jump, rolls back to the last good iterate, re-refines,
+// and the solve converges — fault and recovery both visible in the log.
+TEST(SolverRecovery, MpirRollsBackCorruptedResidualExchange) {
+  auto g = matrix::poisson2d5(8, 8);
+  const char* json = R"({
+    "type": "mpir", "extendedType": "doubleword",
+    "maxRefinements": 20, "tolerance": 1e-10,
+    "inner": {"type": "bicgstab", "maxIterations": 40, "tolerance": 0}
+  })";
+
+  // Discover the layout's transfers-per-exchange so the corruption lands on
+  // refinement 1's residual exchange (refinement 0 starts from x = 0, where
+  // a corrupted halo is indistinguishable from a legitimate first residual).
+  FaultedSolve probe = runFaultedSolve(g, 4, json, nullptr);
+  ASSERT_EQ(probe.result.status, SolveStatus::Converged);
+  ASSERT_GT(probe.haloTransfersPerExchange, 0u);
+
+  // The extended residual is exchanged through the DoubleWord halo buffer;
+  // the float32 halo of the inner solver is a different tensor, so matching
+  // "halo" + skipping one exchange's worth of transfers pins the corruption
+  // to the extended path only if we match the right buffer. The DoubleWord
+  // halo is created first (residualExt runs before the inner solver), so its
+  // transfers are the first `haloTransfersPerExchange` matches per step.
+  std::string planJson = R"({
+    "seed": 9,
+    "faults": [
+      {"type": "exchange-corrupt", "tensor": "EXTHALO", "bit": 30,
+       "skip": SKIP, "count": 1}
+    ]
+  })";
+
+  // Find the DoubleWord halo tensor's exact name by emitting the program
+  // once more and scanning the graph.
+  std::string extHaloName;
+  {
+    Context ctx(ipu::IpuTarget::testTarget(4));
+    auto rowToTile = partition::partitionAuto(g, 4);
+    auto layout = partition::buildLayout(g.matrix, rowToTile, 4);
+    DistMatrix A(g.matrix, std::move(layout));
+    Tensor x = A.makeVector(DType::Float32, "x");
+    Tensor b = A.makeVector(DType::Float32, "b");
+    auto solver = makeSolverFromString(json);
+    solver->apply(A, x, b);
+    for (std::size_t i = 0; i < ctx.graph().numTensors(); ++i) {
+      const auto& info = ctx.graph().tensor(static_cast<graph::TensorId>(i));
+      if (info.dtype == DType::DoubleWord &&
+          info.name.rfind("halo", 0) == 0) {
+        extHaloName = info.name;
+      }
+    }
+  }
+  ASSERT_FALSE(extHaloName.empty()) << "no extended halo tensor found";
+  planJson.replace(planJson.find("EXTHALO"), 7, extHaloName);
+  planJson.replace(planJson.find("SKIP"), 4,
+                   std::to_string(probe.haloTransfersPerExchange));
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(planJson);
+
+  FaultedSolve faulted = runFaultedSolve(g, 4, json, &plan);
+  EXPECT_TRUE(logContains(faulted.profile, "exchange-corrupt"));
+  EXPECT_TRUE(logContains(faulted.profile, "recovery:rollback"));
+  EXPECT_GE(faulted.result.rollbacks, 1u);
+  EXPECT_EQ(faulted.result.status, SolveStatus::Converged);
+  EXPECT_LE(faulted.result.finalResidual, 1e-10);
+}
+
+// The persistent-corruption case: every residual exchange is corrupted, the
+// backoff budget runs out, and MPIR reports a typed failure instead of
+// looping forever or returning garbage.
+TEST(SolverRecovery, MpirExhaustsRollbackBudgetUnderPersistentFaults) {
+  auto g = matrix::poisson2d5(8, 8);
+  const char* json = R"({
+    "type": "mpir", "extendedType": "doubleword",
+    "maxRefinements": 20, "tolerance": 1e-10,
+    "inner": {"type": "bicgstab", "maxIterations": 40, "tolerance": 0}
+  })";
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "seed": 11,
+    "faults": [{"type": "bitflip", "tensor": "mpir_x", "bit": 28,
+                "probability": 0.5}]
+  })");
+  FaultedSolve faulted = runFaultedSolve(g, 4, json, &plan);
+  EXPECT_NE(faulted.result.status, SolveStatus::NotRun);
+  EXPECT_NE(faulted.result.status, SolveStatus::Running);
+  // Persistent corruption either exhausts the budget (typed failure) or, if
+  // every flip lands on already-insignificant bits, still converges. Either
+  // way: no NaN in the refinement history.
+  for (const IterationRecord& rec : faulted.history) {
+    EXPECT_TRUE(std::isfinite(rec.residual));
+  }
+}
+
+TEST(EngineGuards, ReadScalarFiniteThrowsOnNaN) {
+  Context ctx(ipu::IpuTarget::testTarget(2));
+  Tensor s = Tensor::scalar(DType::Float32, "probe");
+  graph::Engine engine(ctx.graph());
+  engine.writeScalar(s.id(), graph::Scalar(std::nanf("")));
+  EXPECT_THROW(engine.readScalarFinite(s.id()), NumericalError);
+  engine.writeScalar(s.id(), graph::Scalar(1.5f));
+  EXPECT_FLOAT_EQ(engine.readScalarFinite(s.id()).asFloat(), 1.5f);
+}
+
+TEST(FaultLog, SerialisesToJsonAndText) {
+  std::vector<ipu::FaultEvent> events;
+  events.push_back({"bitflip", 12, "cg_resid", 3, 30, 0.0, "seu"});
+  events.push_back({"stall", 5, "tile 3", 0, -1, 10000.0, ""});
+  json::Value v = ipu::faultEventsToJson(events);
+  ASSERT_TRUE(v.isArray());
+  EXPECT_EQ(v.asArray().size(), 2u);
+  std::string text = ipu::formatFaultEvents(events);
+  EXPECT_NE(text.find("bitflip"), std::string::npos);
+  EXPECT_NE(text.find("cg_resid"), std::string::npos);
+  EXPECT_NE(text.find("stall"), std::string::npos);
+}

@@ -1,6 +1,8 @@
 // Tests for sparse matrix containers, IO and generators.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "matrix/csr.hpp"
@@ -174,6 +176,92 @@ TEST(MatrixMarket, RejectsMalformedInput) {
                         "2 2 2\n"
                         "1 1 1.0\n"),
                Error);  // truncated
+}
+
+TEST(MatrixMarket, ErrorsNameTheOffendingLine) {
+  auto parseError = [](const std::string& s) -> std::string {
+    std::istringstream in(s);
+    try {
+      readMatrixMarket(in);
+    } catch (const ParseError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Out-of-range index on data line 3 (1-based line 3 of the stream).
+  std::string msg = parseError(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(3, 1)"), std::string::npos) << msg;
+  // Malformed size line is line 2.
+  msg = parseError(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 two 1\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarket, RejectsTrailingTokensAndNonFiniteValues) {
+  auto tryParse = [](const std::string& s) {
+    std::istringstream in(s);
+    readMatrixMarket(in);
+  };
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1 extra\n"
+                        "1 1 1.0\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "1 1 1.0 junk\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "1 1 nan\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "1 1 inf\n"),
+               ParseError);
+  // Negative or missing sizes.
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "-2 2 1\n"),
+               ParseError);
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "0 0 3\n"
+                        "1 1 1.0\n"),
+               ParseError);
+  // Zero-based indices must be rejected (MatrixMarket is 1-based).
+  EXPECT_THROW(tryParse("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "0 1 1.0\n"),
+               ParseError);
+}
+
+TEST(MatrixMarket, CorruptFileFixtureIsRejectedWithClearError) {
+  // A deliberately corrupted on-disk fixture: header claims 4 entries but
+  // the third has an out-of-range column index.
+  const std::string path = "corrupt_fixture.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "% synthetic corruption fixture\n"
+        << "3 3 4\n"
+        << "1 1 4.0\n"
+        << "2 2 4.0\n"
+        << "2 9 -1.0\n"
+        << "3 3 4.0\n";
+  }
+  try {
+    readMatrixMarketFile(path);
+    FAIL() << "corrupt fixture accepted";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(2, 9)"), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(readMatrixMarketFile("does_not_exist.mtx"), Error);
 }
 
 // ---------------------------------------------------------------------------

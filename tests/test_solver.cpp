@@ -411,3 +411,106 @@ TEST(DistMatrixIo, HaloSplitSeparatesOwnedFromHaloColumns) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Structured solve outcomes (SolveStatus / SolveResult)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Like runSolve, but keeps the solver alive so result() can be inspected.
+std::unique_ptr<Solver> solveAndKeep(const matrix::GeneratedMatrix& g,
+                                     std::size_t tiles,
+                                     const std::string& solverJson,
+                                     bool execute = true) {
+  Context ctx(ipu::IpuTarget::testTarget(tiles));
+  DistMatrix A = makeDistMatrix(g, tiles);
+  Tensor x = A.makeVector(DType::Float32, "x");
+  Tensor b = A.makeVector(DType::Float32, "b");
+  auto solver = makeSolverFromString(solverJson);
+  solver->apply(A, x, b);
+  if (!execute) return solver;
+  graph::Engine engine(ctx.graph());
+  A.upload(engine);
+  A.writeVector(engine, b, randomVector(g.matrix.rows(), 42));
+  engine.run(ctx.program());
+  return solver;
+}
+
+}  // namespace
+
+TEST(SolveStatusReporting, NotRunBeforeExecution) {
+  auto g = matrix::poisson2d5(8, 8);
+  auto solver = solveAndKeep(
+      g, 4, R"({"type":"cg","maxIterations":50,"tolerance":1e-6})",
+      /*execute=*/false);
+  EXPECT_EQ(solver->result().status, SolveStatus::NotRun);
+}
+
+TEST(SolveStatusReporting, CgReportsConverged) {
+  auto g = matrix::poisson2d5(8, 8);
+  auto solver = solveAndKeep(
+      g, 4, R"({"type":"cg","maxIterations":500,"tolerance":1e-6})");
+  const solver::SolveResult& r = solver->result();
+  EXPECT_EQ(r.status, SolveStatus::Converged);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_GE(r.finalResidual, 0.0);
+  EXPECT_LE(r.finalResidual, 1e-6);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_EQ(std::string(toString(r.status)), "converged");
+}
+
+TEST(SolveStatusReporting, BiCgStabReportsConverged) {
+  auto g = matrix::poisson2d5(8, 8);
+  auto solver = solveAndKeep(
+      g, 4, R"({"type":"bicgstab","maxIterations":500,"tolerance":1e-6})");
+  EXPECT_EQ(solver->result().status, SolveStatus::Converged);
+}
+
+TEST(SolveStatusReporting, ExhaustedBudgetReportsMaxIterations) {
+  auto g = matrix::poisson2d5(12, 12);
+  auto solver = solveAndKeep(
+      g, 4, R"({"type":"cg","maxIterations":3,"tolerance":1e-12})");
+  const solver::SolveResult& r = solver->result();
+  EXPECT_EQ(r.status, SolveStatus::MaxIterations);
+  EXPECT_EQ(r.iterations, 3u);
+  EXPECT_GT(r.finalResidual, 1e-12);
+}
+
+TEST(SolveStatusReporting, MpirReportsConverged) {
+  auto g = matrix::poisson2d5(10, 10);
+  auto solver = solveAndKeep(
+      g, 4,
+      R"({"type":"mpir","extendedType":"doubleword","maxRefinements":25,
+          "tolerance":1e-11,
+          "inner":{"type":"bicgstab","maxIterations":25,"tolerance":0,
+                   "preconditioner":{"type":"ilu"}}})");
+  const solver::SolveResult& r = solver->result();
+  EXPECT_EQ(r.status, SolveStatus::Converged);
+  EXPECT_LE(r.finalResidual, 1e-11);
+  EXPECT_EQ(r.rollbacks, 0u);  // clean run: no recovery taken
+}
+
+TEST(SolveStatusReporting, RobustnessOptionsParseFromJson) {
+  RobustnessOptions defaults = parseRobustness(json::parse(R"({})"));
+  EXPECT_EQ(defaults.maxRestarts, 2u);
+  EXPECT_EQ(defaults.checkpointEvery, 8u);
+  EXPECT_EQ(defaults.maxRollbacks, 3u);
+
+  RobustnessOptions custom = parseRobustness(json::parse(R"({
+    "robustness": {"maxRestarts": 5, "checkpointEvery": 4,
+                   "maxRollbacks": 7, "divergenceFactor": 1e6,
+                   "breakdownTolerance": 1e-20,
+                   "residualGrowthFactor": 50.0}
+  })"));
+  EXPECT_EQ(custom.maxRestarts, 5u);
+  EXPECT_EQ(custom.checkpointEvery, 4u);
+  EXPECT_EQ(custom.maxRollbacks, 7u);
+  EXPECT_DOUBLE_EQ(custom.divergenceFactor, 1e6);
+  EXPECT_DOUBLE_EQ(custom.breakdownTolerance, 1e-20);
+  EXPECT_DOUBLE_EQ(custom.residualGrowthFactor, 50.0);
+
+  EXPECT_THROW(parseRobustness(json::parse(
+                   R"({"robustness": {"residualGrowthFactor": 0.5}})")),
+               Error);
+}
