@@ -1,0 +1,111 @@
+// Simulator throughput bench: wall-clock speed of the simulator itself
+// (vertices/sec and solver iterations/sec), not simulated-device speed.
+//
+// Tracks the host-side execution engine across PRs: compiled execution
+// plans, codelet fast paths, and host-parallel tile execution all move
+// these numbers. Emits a JSON summary to stdout (saved as
+// BENCH_SIMSPEED.json at the repo root) so the trajectory is recorded.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace graphene;
+
+struct Config {
+  std::string solver;
+  std::size_t rows;
+  std::size_t tiles;
+  std::size_t iterations;  // CG iterations / MPIR refinements
+};
+
+struct Result {
+  std::string solver;
+  std::size_t hostThreads = 1;
+  double seconds = 0;
+  double verticesPerSec = 0;
+  double itersPerSec = 0;
+  std::size_t supersteps = 0;
+};
+
+Result runOnce(const Config& cfg, std::size_t hostThreads) {
+  auto g = matrix::poisson2d5(cfg.rows, cfg.rows);
+  ipu::IpuTarget target = ipu::IpuTarget::testTarget(cfg.tiles);
+  bench::DistSystem s = bench::makeSystem(g, target);
+  dsl::Tensor x = s.A->makeVector(dsl::DType::Float32, "x");
+  dsl::Tensor b = s.A->makeVector(dsl::DType::Float32, "b");
+
+  std::unique_ptr<solver::Solver> slv;
+  std::size_t iters = cfg.iterations;
+  if (cfg.solver == "cg") {
+    slv = std::make_unique<solver::CgSolver>(
+        cfg.iterations, 0.0, std::make_unique<solver::JacobiSolver>(2));
+  } else {
+    slv = std::make_unique<solver::MpirSolver>(
+        ipu::DType::DoubleWord, cfg.iterations, 0.0,
+        std::make_unique<solver::CgSolver>(
+            10, 0.0, std::make_unique<solver::IdentitySolver>()));
+    iters = cfg.iterations * 10;  // inner iterations dominate
+  }
+  slv->apply(*s.A, x, b);
+
+  auto rhs = bench::randomRhs(g.matrix.rows(), 7);
+  s.engine = std::make_unique<graph::Engine>(s.ctx->graph(), hostThreads);
+  s.A->upload(*s.engine);
+  s.A->writeVector(*s.engine, b, rhs);
+
+  auto t0 = std::chrono::steady_clock::now();
+  s.engine->run(s.ctx->program());
+  auto t1 = std::chrono::steady_clock::now();
+
+  Result r;
+  r.solver = cfg.solver;
+  r.hostThreads = hostThreads;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.supersteps = s.engine->profile().computeSupersteps;
+  r.verticesPerSec =
+      static_cast<double>(s.engine->profile().verticesExecuted) / r.seconds;
+  r.itersPerSec = static_cast<double>(iters) / r.seconds;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Config> configs = {
+      {"cg", 48, 16, 40},
+      {"mpir", 48, 16, 3},
+  };
+
+  // 1 thread isolates the plan-cache + fast-path gains; the ladder up to
+  // hardware_concurrency measures tile-parallel scaling (flat on 1-core
+  // hosts by definition).
+  std::vector<std::size_t> threadCounts = {1, 2, 4};
+  const std::size_t hw = std::thread::hardware_concurrency() > 0
+                             ? std::thread::hardware_concurrency()
+                             : 1;
+  if (hw > 4) threadCounts.push_back(hw);
+
+  std::printf("{\n  \"bench\": \"simspeed\",\n  \"hardwareConcurrency\": %zu,"
+              "\n  \"results\": [\n",
+              hw);
+  bool first = true;
+  for (const Config& cfg : configs) {
+    for (std::size_t threads : threadCounts) {
+      Result r = runOnce(cfg, threads);
+      std::printf("%s    {\"solver\": \"%s\", \"hostThreads\": %zu, "
+                  "\"seconds\": %.4f, \"supersteps\": %zu, "
+                  "\"itersPerSec\": %.2f, \"verticesPerSec\": %.0f}",
+                  first ? "" : ",\n", r.solver.c_str(), r.hostThreads,
+                  r.seconds, r.supersteps, r.itersPerSec, r.verticesPerSec);
+      first = false;
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

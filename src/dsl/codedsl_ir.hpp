@@ -85,4 +85,60 @@ struct CodeletIR {
   std::size_t numArgs = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Linearised ("flat") form of the traced IR.
+//
+// The shared_ptr trees above are convenient to build during tracing but
+// expensive to walk millions of times inside solver loops: every node is a
+// separate heap object (pointer chases, no locality) and evaluation recurses.
+// The interpreter therefore flattens each codelet once into the index-linked
+// arrays below — a compact bytecode the flat executor walks with plain
+// integer indices. Flattening is purely structural; evaluation semantics and
+// cycle accounting are defined by the executor, not by this representation.
+// ---------------------------------------------------------------------------
+
+/// One expression node; child links are indices into FlatCodelet::exprs
+/// (-1 = absent).
+struct FlatExpr {
+  Expr::Kind kind = Expr::Kind::Const;
+  DType type = DType::Float32;  // result type at trace time
+  Scalar constant;              // Const
+  std::int32_t var = -1;        // Var
+  std::int32_t arg = -1;        // ArgLoad / ArgSize
+  std::int32_t a = -1, b = -1, c = -1;
+  BinOp bop = BinOp::Add;
+  UnOp uop = UnOp::Neg;
+};
+
+/// One statement; expression operands are indices into FlatCodelet::exprs,
+/// statement bodies are indices into FlatCodelet::lists (-1 = absent).
+struct FlatStmt {
+  Stmt::Kind kind = Stmt::Kind::Assign;
+  std::int32_t var = -1;
+  std::int32_t arg = -1;
+  std::int32_t index = -1, value = -1, cond = -1;
+  std::int32_t begin = -1, end = -1, step = -1;
+  std::int32_t body = -1, elseBody = -1;
+  /// For/ParFor only: id of a compiled bulk loop kernel in the owning
+  /// CompiledCodelet (-1 = run the generic statement walk). Filled in by the
+  /// interpreter's compile step, not by flattening.
+  std::int32_t fastLoop = -1;
+};
+
+/// A flattened codelet: all expressions and statements of the tree pooled
+/// into arrays, with statement sequences stored as index lists.
+struct FlatCodelet {
+  std::vector<FlatExpr> exprs;
+  std::vector<FlatStmt> stmts;
+  std::vector<std::vector<std::int32_t>> lists;  // stmt-id sequences
+  std::int32_t root = -1;                        // top-level list id
+  int numVars = 0;
+  bool usesWorkers = false;
+  std::size_t numArgs = 0;
+};
+
+/// Flattens a traced codelet tree. The result is self-contained (no
+/// references back into `ir`).
+FlatCodelet flattenCodelet(const CodeletIR& ir);
+
 }  // namespace graphene::dsl

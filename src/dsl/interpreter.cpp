@@ -1,6 +1,16 @@
 #include "dsl/interpreter.hpp"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "ipu/worker_pool.hpp"
 #include "support/error.hpp"
@@ -110,6 +120,86 @@ Scalar evalUnaryScalar(UnOp op, const Scalar& x) {
   GRAPHENE_UNREACHABLE("bad unary op");
 }
 
+// ---------------------------------------------------------------------------
+// Flattening: shared_ptr statement trees → index-linked arrays.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Flattener {
+ public:
+  explicit Flattener(FlatCodelet& out) : out_(out) {}
+
+  std::int32_t expr(const ExprPtr& e) {
+    if (!e) return -1;
+    FlatExpr fe;
+    fe.kind = e->kind;
+    fe.type = e->type;
+    fe.constant = e->constant;
+    fe.var = e->var;
+    fe.arg = e->arg;
+    fe.bop = e->bop;
+    fe.uop = e->uop;
+    fe.a = expr(e->a);
+    fe.b = expr(e->b);
+    fe.c = expr(e->c);
+    out_.exprs.push_back(fe);
+    return static_cast<std::int32_t>(out_.exprs.size()) - 1;
+  }
+
+  std::int32_t list(const StmtList& stmts) {
+    std::vector<std::int32_t> ids;
+    ids.reserve(stmts.size());
+    for (const StmtPtr& s : stmts) ids.push_back(stmt(*s));
+    out_.lists.push_back(std::move(ids));
+    return static_cast<std::int32_t>(out_.lists.size()) - 1;
+  }
+
+  std::int32_t stmt(const Stmt& s) {
+    FlatStmt fs;
+    fs.kind = s.kind;
+    fs.var = s.var;
+    fs.arg = s.arg;
+    fs.index = expr(s.index);
+    fs.value = expr(s.value);
+    fs.cond = expr(s.cond);
+    fs.begin = expr(s.begin);
+    fs.end = expr(s.end);
+    fs.step = expr(s.step);
+    const bool hasBody = s.kind == Stmt::Kind::If || s.kind == Stmt::Kind::While ||
+                         s.kind == Stmt::Kind::For || s.kind == Stmt::Kind::ParFor;
+    fs.body = hasBody ? list(s.body) : -1;
+    fs.elseBody = s.kind == Stmt::Kind::If ? list(s.elseBody) : -1;
+    out_.stmts.push_back(fs);
+    return static_cast<std::int32_t>(out_.stmts.size()) - 1;
+  }
+
+ private:
+  FlatCodelet& out_;
+};
+
+}  // namespace
+
+FlatCodelet flattenCodelet(const CodeletIR& ir) {
+  FlatCodelet out;
+  out.numVars = ir.numVars;
+  out.usesWorkers = ir.usesWorkers;
+  out.numArgs = ir.numArgs;
+  Flattener f(out);
+  out.root = f.list(ir.statements);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Loop kernels: counted For loops whose bodies are straight-line Float32 /
+// Int32 arithmetic are lowered once into a tiny register program ("ops"),
+// optionally specialised further into one of the named span kernels. Per-
+// iteration cycle charges are priced at compile time from the same cost
+// tables the generic walk consults — and every priced constant is an integral
+// double, so `n * perIteration` equals n repeated additions exactly and the
+// bulk charge is bit-identical to the generic walk's.
+// ---------------------------------------------------------------------------
+
 namespace {
 
 ipu::Op costOpFor(BinOp op, DType t) {
@@ -136,17 +226,582 @@ ipu::Op costOpFor(UnOp op) {
   return ipu::Op::Logic;
 }
 
-/// One interpreter run over a vertex. Cycle accounting: ops accumulate into a
-/// LaneCycles block (fp/mem overlap); control flow flushes the block.
-class Exec {
+struct LoopOp {
+  enum class K : std::uint8_t {
+    FConst, FMov, FLoad, FStore,
+    FAdd, FSub, FMul, FDiv, FMin, FMax,
+    FNeg, FAbs, FSqrt, FFromInt,
+    IConst, IMov, ILoad,
+    IAdd, ISub, IMul, IMin, IMax,
+    INeg, IAbs, IFromFloat,
+  };
+  K k{};
+  std::int16_t dst = -1, a = -1, b = -1;
+  std::int16_t arg = -1;
+  float fimm = 0;
+  std::int32_t iimm = 0;
+};
+
+/// Recognised whole-loop span kernels (all Float32, unit step): the shapes
+/// the solvers' elementwise maps and reductions trace.
+struct NamedLoop {
+  enum class P : std::uint8_t { None, Copy, Scale, AddVec, Axpy, DotPartial };
+  P p = P::None;
+  std::int16_t dstArg = -1, aArg = -1, bArg = -1;
+  bool sIsConst = false;
+  float sConst = 0;
+  std::int32_t sVar = -1;
+  bool sFirst = false;    // scale factor is the left multiplicand
+  bool loadFirst = true;  // axpy: the plain load is the left addend
+  bool isSub = false;     // top-level op is Sub
+  std::int32_t accVar = -1;
+  bool accFirst = true;   // dot: acc is the left addend
+  bool dotSingle = false; // acc += a[i] instead of acc += a[i]*b[i]
+};
+
+struct LoopKernel {
+  static constexpr std::size_t kMaxRegs = 64;
+  static constexpr std::size_t kMaxArgs = 16;
+
+  std::vector<LoopOp> ops;
+  // Once-per-entry register seeds.
+  std::vector<std::pair<std::int16_t, std::int16_t>> sizeSeeds;  // (reg, arg)
+  std::int16_t workerReg = -1;
+  std::vector<std::pair<std::int32_t, std::int16_t>> seedFloat;  // (var, reg)
+  std::vector<std::pair<std::int32_t, std::int16_t>> seedInt;
+  // Vars assigned in the body, written back after the last iteration.
+  std::vector<std::pair<std::int32_t, std::int16_t>> writeFloat;
+  std::vector<std::pair<std::int32_t, std::int16_t>> writeInt;
+  // Runtime dtype guards (trace-time types must hold at run time or the
+  // kernel is skipped for that execution).
+  std::vector<std::int16_t> floatArgs, intArgs;
+  int numFloatRegs = 0, numIntRegs = 0;
+  // Per-iteration lane charges (priced at compile time).
+  double iterFp = 0, iterMem = 0, iterCtrl = 0;
+  NamedLoop named;
+};
+
+/// Compiles one For statement's body into a LoopKernel, or nothing if the
+/// body leaves the supported subset (nested control flow, bools, comparisons,
+/// integer division, extended-precision types, …). Bailing is never an error:
+/// the generic walk runs the loop instead.
+class LoopCompiler {
  public:
-  Exec(const CodeletIR& ir, const ipu::CostModel& cost,
-       std::size_t numWorkers, graph::VertexContext& ctx)
-      : ir_(ir), cost_(cost), numWorkers_(numWorkers), ctx_(ctx),
-        vars_(static_cast<std::size_t>(ir.numVars)) {}
+  LoopCompiler(const FlatCodelet& flat, const ipu::CostModel& cost)
+      : flat_(flat), cost_(cost) {}
+
+  std::optional<LoopKernel> compile(std::int32_t forId) {
+    const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(forId)];
+    if (fs.var < 0 || fs.body < 0) return std::nullopt;
+    k_ = LoopKernel{};
+    iter_ = ipu::LaneCycles{};
+    homes_.clear();
+    loopVar_ = fs.var;
+    // Int register 0 is the induction variable.
+    k_.numIntRegs = 1;
+    try {
+      for (std::int32_t sid : flat_.lists[static_cast<std::size_t>(fs.body)]) {
+        compileStmt(flat_.stmts[static_cast<std::size_t>(sid)]);
+      }
+    } catch (const Bail&) {
+      return std::nullopt;
+    }
+    k_.iterFp = iter_.fp();
+    k_.iterMem = iter_.mem();
+    k_.iterCtrl = iter_.ctrl();
+    matchNamed(forId);
+    return std::move(k_);
+  }
+
+ private:
+  struct Bail {};
+  struct Val {
+    std::int16_t reg;
+    bool isFloat;
+  };
+  struct Home {
+    std::int16_t reg;
+    bool isFloat;
+    bool assigned = false;
+  };
+
+  [[noreturn]] static void bail() { throw Bail{}; }
+
+  std::int16_t newFloat() {
+    if (k_.numFloatRegs >= static_cast<int>(LoopKernel::kMaxRegs)) bail();
+    return static_cast<std::int16_t>(k_.numFloatRegs++);
+  }
+  std::int16_t newInt() {
+    if (k_.numIntRegs >= static_cast<int>(LoopKernel::kMaxRegs)) bail();
+    return static_cast<std::int16_t>(k_.numIntRegs++);
+  }
+
+  void emit(LoopOp::K kk, std::int16_t dst, std::int16_t a = -1,
+            std::int16_t b = -1, std::int16_t arg = -1) {
+    LoopOp op;
+    op.k = kk;
+    op.dst = dst;
+    op.a = a;
+    op.b = b;
+    op.arg = arg;
+    k_.ops.push_back(op);
+  }
+
+  void chargeIter(ipu::Op op, DType t) { iter_.add(cost_, op, t); }
+
+  std::int16_t guardArg(std::int32_t arg, bool isFloat) {
+    if (arg < 0 || arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs)) bail();
+    auto& list = isFloat ? k_.floatArgs : k_.intArgs;
+    const auto a16 = static_cast<std::int16_t>(arg);
+    if (std::find(list.begin(), list.end(), a16) == list.end()) list.push_back(a16);
+    return a16;
+  }
+
+  std::int16_t toInt(Val v) {
+    if (!v.isFloat) return v.reg;
+    const std::int16_t dst = newInt();
+    emit(LoopOp::K::IFromFloat, dst, v.reg);  // matches Scalar::castTo(Int32)
+    return dst;
+  }
+
+  std::int16_t toFloat(Val v) {
+    if (v.isFloat) return v.reg;
+    const std::int16_t dst = newFloat();
+    emit(LoopOp::K::FFromInt, dst, v.reg);  // matches Scalar::castTo(Float32)
+    return dst;
+  }
+
+  Val compileExpr(std::int32_t id) {
+    if (id < 0) bail();
+    const FlatExpr& e = flat_.exprs[static_cast<std::size_t>(id)];
+    switch (e.kind) {
+      case Expr::Kind::Const: {
+        if (e.constant.type() == DType::Float32) {
+          const std::int16_t dst = newFloat();
+          LoopOp op;
+          op.k = LoopOp::K::FConst;
+          op.dst = dst;
+          op.fimm = e.constant.asFloat();
+          k_.ops.push_back(op);
+          return {dst, true};
+        }
+        if (e.constant.type() == DType::Int32) {
+          const std::int16_t dst = newInt();
+          LoopOp op;
+          op.k = LoopOp::K::IConst;
+          op.dst = dst;
+          op.iimm = e.constant.asInt();
+          k_.ops.push_back(op);
+          return {dst, false};
+        }
+        bail();
+      }
+      case Expr::Kind::Var: {
+        if (e.var == loopVar_) return {0, false};
+        auto it = homes_.find(e.var);
+        if (it != homes_.end()) return {it->second.reg, it->second.isFloat};
+        // First touch is a read: the var is loop-carried or loop-invariant;
+        // seed its home register from the interpreter's var slot on entry.
+        bool isFloat;
+        if (e.type == DType::Float32) {
+          isFloat = true;
+        } else if (e.type == DType::Int32) {
+          isFloat = false;
+        } else {
+          bail();
+        }
+        const std::int16_t reg = isFloat ? newFloat() : newInt();
+        (isFloat ? k_.seedFloat : k_.seedInt).emplace_back(e.var, reg);
+        homes_.emplace(e.var, Home{reg, isFloat, false});
+        return {reg, isFloat};
+      }
+      case Expr::Kind::ArgLoad: {
+        const std::int16_t idx = toInt(compileExpr(e.a));
+        if (e.type == DType::Float32) {
+          const std::int16_t arg = guardArg(e.arg, /*isFloat=*/true);
+          chargeIter(ipu::Op::Load, DType::Float32);
+          const std::int16_t dst = newFloat();
+          emit(LoopOp::K::FLoad, dst, idx, -1, arg);
+          return {dst, true};
+        }
+        if (e.type == DType::Int32) {
+          const std::int16_t arg = guardArg(e.arg, /*isFloat=*/false);
+          chargeIter(ipu::Op::Load, DType::Int32);
+          const std::int16_t dst = newInt();
+          emit(LoopOp::K::ILoad, dst, idx, -1, arg);
+          return {dst, false};
+        }
+        bail();
+      }
+      case Expr::Kind::ArgSize: {
+        if (e.arg < 0 || e.arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs))
+          bail();
+        const std::int16_t dst = newInt();
+        k_.sizeSeeds.emplace_back(dst, static_cast<std::int16_t>(e.arg));
+        chargeIter(ipu::Op::IntArith, DType::Int32);
+        return {dst, false};
+      }
+      case Expr::Kind::WorkerId: {
+        if (k_.workerReg < 0) k_.workerReg = newInt();
+        return {k_.workerReg, false};
+      }
+      case Expr::Kind::Binary: {
+        switch (e.bop) {
+          case BinOp::Add: case BinOp::Sub: case BinOp::Mul: case BinOp::Div:
+          case BinOp::Min: case BinOp::Max:
+            break;
+          default:
+            bail();  // comparisons/logic produce bools; Mod needs checks
+        }
+        const Val a = compileExpr(e.a);
+        const Val b = compileExpr(e.b);
+        if (!a.isFloat && !b.isFloat) {
+          if (e.bop == BinOp::Div) bail();  // zero check in generic walk
+          chargeIter(ipu::Op::IntArith, DType::Int32);
+          const std::int16_t dst = newInt();
+          LoopOp::K kk;
+          switch (e.bop) {
+            case BinOp::Add: kk = LoopOp::K::IAdd; break;
+            case BinOp::Sub: kk = LoopOp::K::ISub; break;
+            case BinOp::Mul: kk = LoopOp::K::IMul; break;
+            case BinOp::Min: kk = LoopOp::K::IMin; break;
+            default: kk = LoopOp::K::IMax; break;
+          }
+          emit(kk, dst, a.reg, b.reg);
+          return {dst, false};
+        }
+        // Promotion to Float32 (casts inside evalBinaryScalar are uncharged).
+        const std::int16_t fa = toFloat(a);
+        const std::int16_t fb = toFloat(b);
+        chargeIter(costOpFor(e.bop, DType::Float32), DType::Float32);
+        const std::int16_t dst = newFloat();
+        LoopOp::K kk;
+        switch (e.bop) {
+          case BinOp::Add: kk = LoopOp::K::FAdd; break;
+          case BinOp::Sub: kk = LoopOp::K::FSub; break;
+          case BinOp::Mul: kk = LoopOp::K::FMul; break;
+          case BinOp::Div: kk = LoopOp::K::FDiv; break;
+          case BinOp::Min: kk = LoopOp::K::FMin; break;
+          default: kk = LoopOp::K::FMax; break;
+        }
+        emit(kk, dst, fa, fb);
+        return {dst, true};
+      }
+      case Expr::Kind::Unary: {
+        if (e.uop == UnOp::Not) bail();
+        const Val a = compileExpr(e.a);
+        const DType at = a.isFloat ? DType::Float32 : DType::Int32;
+        chargeIter(costOpFor(e.uop), at);
+        if (e.uop == UnOp::Sqrt) {
+          const std::int16_t fa = toFloat(a);  // generic casts ints to f32
+          const std::int16_t dst = newFloat();
+          emit(LoopOp::K::FSqrt, dst, fa);
+          return {dst, true};
+        }
+        const std::int16_t dst = a.isFloat ? newFloat() : newInt();
+        emit(a.isFloat
+                 ? (e.uop == UnOp::Neg ? LoopOp::K::FNeg : LoopOp::K::FAbs)
+                 : (e.uop == UnOp::Neg ? LoopOp::K::INeg : LoopOp::K::IAbs),
+             dst, a.reg);
+        return {dst, a.isFloat};
+      }
+      case Expr::Kind::Cast: {
+        const Val a = compileExpr(e.a);
+        // Only same-width casts are uncharged and representable here;
+        // double-word / float64 targets bail (they would also be charged).
+        if (e.type == DType::Float32) return {toFloat(a), true};
+        if (e.type == DType::Int32) return {toInt(a), false};
+        bail();
+      }
+      case Expr::Kind::Select:
+        bail();  // data-dependent evaluation order
+    }
+    GRAPHENE_UNREACHABLE("bad expr kind");
+  }
+
+  void compileStmt(const FlatStmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        if (s.var == loopVar_) bail();  // rewriting the induction variable
+        const Val v = compileExpr(s.value);
+        auto it = homes_.find(s.var);
+        if (it == homes_.end()) {
+          const std::int16_t reg = v.isFloat ? newFloat() : newInt();
+          it = homes_.emplace(s.var, Home{reg, v.isFloat, false}).first;
+        }
+        Home& h = it->second;
+        if (h.isFloat != v.isFloat) bail();  // var changes type across loop
+        emit(v.isFloat ? LoopOp::K::FMov : LoopOp::K::IMov, h.reg, v.reg);
+        if (!h.assigned) {
+          h.assigned = true;
+          (h.isFloat ? k_.writeFloat : k_.writeInt).emplace_back(s.var, h.reg);
+        }
+        return;
+      }
+      case Stmt::Kind::StoreArg: {
+        const std::int16_t idx = toInt(compileExpr(s.index));
+        const std::int16_t val = toFloat(compileExpr(s.value));
+        // Only Float32 destinations: integer spans are read-only views and
+        // extended types have no raw span at all.
+        const std::int16_t arg = guardArg(s.arg, /*isFloat=*/true);
+        chargeIter(ipu::Op::Store, DType::Float32);
+        emit(LoopOp::K::FStore, -1, idx, val, arg);
+        return;
+      }
+      case Stmt::Kind::If:
+      case Stmt::Kind::While:
+      case Stmt::Kind::For:
+      case Stmt::Kind::ParFor:
+        bail();  // nested control flow stays on the generic walk
+    }
+    GRAPHENE_UNREACHABLE("bad stmt kind");
+  }
+
+  // ---- named-pattern recognition ----------------------------------------
+
+  const FlatExpr& resolve(std::int32_t id,
+                          const std::unordered_map<int, std::int32_t>& env) {
+    const FlatExpr* e = &flat_.exprs[static_cast<std::size_t>(id)];
+    while (e->kind == Expr::Kind::Var) {
+      auto it = env.find(e->var);
+      if (it == env.end()) break;
+      e = &flat_.exprs[static_cast<std::size_t>(it->second)];
+    }
+    return *e;
+  }
+
+  bool isLoopIndex(std::int32_t id,
+                   const std::unordered_map<int, std::int32_t>& env) {
+    const FlatExpr& e = resolve(id, env);
+    return e.kind == Expr::Kind::Var && e.var == loopVar_;
+  }
+
+  /// Matches a resolved expression as `args[A][loopVar]` with A Float32.
+  bool isLoad(const FlatExpr& e,
+              const std::unordered_map<int, std::int32_t>& env,
+              std::int16_t& outArg) {
+    if (e.kind != Expr::Kind::ArgLoad || e.type != DType::Float32) return false;
+    if (!isLoopIndex(e.a, env)) return false;
+    outArg = static_cast<std::int16_t>(e.arg);
+    return true;
+  }
+
+  /// Matches a loop-invariant Float32 scalar: a literal, or a var the body
+  /// never assigns (e.g. a hoisted broadcast operand).
+  bool isScalar(const FlatExpr& e, const std::unordered_set<int>& assigned,
+                NamedLoop& nm) {
+    if (e.kind == Expr::Kind::Const && e.constant.type() == DType::Float32) {
+      nm.sIsConst = true;
+      nm.sConst = e.constant.asFloat();
+      return true;
+    }
+    if (e.kind == Expr::Kind::Var && e.type == DType::Float32 &&
+        e.var != loopVar_ && assigned.count(e.var) == 0) {
+      nm.sVar = e.var;
+      return true;
+    }
+    return false;
+  }
+
+  /// Collects every var id read by statements outside this For's body (the
+  /// For's own bound expressions count as outside).
+  std::unordered_set<int> varsReadOutside(std::int32_t forId) {
+    const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(forId)];
+    std::unordered_set<std::int32_t> bodyStmts;
+    for (std::int32_t sid : flat_.lists[static_cast<std::size_t>(fs.body)]) {
+      bodyStmts.insert(sid);  // body is straight-line: no nested stmts
+    }
+    std::unordered_set<int> reads;
+    std::function<void(std::int32_t)> walkExpr = [&](std::int32_t id) {
+      if (id < 0) return;
+      const FlatExpr& e = flat_.exprs[static_cast<std::size_t>(id)];
+      if (e.kind == Expr::Kind::Var) reads.insert(e.var);
+      walkExpr(e.a);
+      walkExpr(e.b);
+      walkExpr(e.c);
+    };
+    for (std::int32_t sid = 0;
+         sid < static_cast<std::int32_t>(flat_.stmts.size()); ++sid) {
+      if (bodyStmts.count(sid) != 0) continue;
+      const FlatStmt& s = flat_.stmts[static_cast<std::size_t>(sid)];
+      walkExpr(s.index);
+      walkExpr(s.value);
+      walkExpr(s.cond);
+      walkExpr(s.begin);
+      walkExpr(s.end);
+      walkExpr(s.step);
+    }
+    return reads;
+  }
+
+  void matchNamed(std::int32_t forId) {
+    const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(forId)];
+    const auto& body = flat_.lists[static_cast<std::size_t>(fs.body)];
+    if (body.empty()) return;
+    // Unit step only (absent or literal 1).
+    if (fs.step >= 0) {
+      const FlatExpr& st = flat_.exprs[static_cast<std::size_t>(fs.step)];
+      if (st.kind != Expr::Kind::Const || st.constant.type() != DType::Int32 ||
+          st.constant.asInt() != 1) {
+        return;
+      }
+    }
+    // All statements but the last must be single-assignment temps.
+    std::unordered_map<int, std::int32_t> env;
+    std::unordered_set<int> assigned;
+    for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+      const FlatStmt& s = flat_.stmts[static_cast<std::size_t>(body[i])];
+      if (s.kind != Stmt::Kind::Assign) return;
+      if (!env.emplace(s.var, s.value).second) return;  // shadowed def
+      assigned.insert(s.var);
+    }
+    const FlatStmt& last = flat_.stmts[static_cast<std::size_t>(body.back())];
+
+    NamedLoop nm;
+    if (last.kind == Stmt::Kind::StoreArg) {
+      if (last.arg < 0 ||
+          last.arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs) ||
+          !isLoopIndex(last.index, env)) {
+        return;
+      }
+      nm.dstArg = static_cast<std::int16_t>(last.arg);
+      const FlatExpr& v = resolve(last.value, env);
+      if (isLoad(v, env, nm.aArg)) {
+        nm.p = NamedLoop::P::Copy;
+      } else if (v.kind == Expr::Kind::Binary && v.bop == BinOp::Mul) {
+        const FlatExpr& l = resolve(v.a, env);
+        const FlatExpr& r = resolve(v.b, env);
+        if (isScalar(l, assigned, nm) && isLoad(r, env, nm.aArg)) {
+          nm.p = NamedLoop::P::Scale;
+          nm.sFirst = true;
+        } else if (isLoad(l, env, nm.aArg) && isScalar(r, assigned, nm)) {
+          nm.p = NamedLoop::P::Scale;
+          nm.sFirst = false;
+        } else {
+          return;
+        }
+      } else if (v.kind == Expr::Kind::Binary &&
+                 (v.bop == BinOp::Add || v.bop == BinOp::Sub)) {
+        nm.isSub = v.bop == BinOp::Sub;
+        const FlatExpr& l = resolve(v.a, env);
+        const FlatExpr& r = resolve(v.b, env);
+        auto asMul = [&](const FlatExpr& e, std::int16_t& arg) {
+          if (e.kind != Expr::Kind::Binary || e.bop != BinOp::Mul) return false;
+          const FlatExpr& ml = resolve(e.a, env);
+          const FlatExpr& mr = resolve(e.b, env);
+          if (isScalar(ml, assigned, nm) && isLoad(mr, env, arg)) {
+            nm.sFirst = true;
+            return true;
+          }
+          if (isLoad(ml, env, arg) && isScalar(mr, assigned, nm)) {
+            nm.sFirst = false;
+            return true;
+          }
+          return false;
+        };
+        if (isLoad(l, env, nm.aArg) && asMul(r, nm.bArg)) {
+          nm.p = NamedLoop::P::Axpy;
+          nm.loadFirst = true;
+        } else if (asMul(l, nm.bArg) && isLoad(r, env, nm.aArg)) {
+          nm.p = NamedLoop::P::Axpy;
+          nm.loadFirst = false;
+        } else if (isLoad(l, env, nm.aArg) && isLoad(r, env, nm.bArg)) {
+          nm.p = NamedLoop::P::AddVec;
+        } else {
+          return;
+        }
+      } else {
+        return;
+      }
+    } else if (last.kind == Stmt::Kind::Assign) {
+      // Reduction partial: acc = acc + X, acc assigned nowhere else.
+      if (assigned.count(last.var) != 0) return;
+      const FlatExpr& v = resolve(last.value, env);
+      if (v.kind != Expr::Kind::Binary || v.bop != BinOp::Add) return;
+      const FlatExpr& l = resolve(v.a, env);
+      const FlatExpr& r = resolve(v.b, env);
+      auto isAcc = [&](const FlatExpr& e) {
+        return e.kind == Expr::Kind::Var && e.var == last.var &&
+               e.type == DType::Float32;
+      };
+      const FlatExpr* x = nullptr;
+      if (isAcc(l)) {
+        nm.accFirst = true;
+        x = &r;
+      } else if (isAcc(r)) {
+        nm.accFirst = false;
+        x = &l;
+      } else {
+        return;
+      }
+      nm.accVar = last.var;
+      if (isLoad(*x, env, nm.aArg)) {
+        nm.dotSingle = true;
+      } else if (x->kind == Expr::Kind::Binary && x->bop == BinOp::Mul &&
+                 isLoad(resolve(x->a, env), env, nm.aArg) &&
+                 isLoad(resolve(x->b, env), env, nm.bArg)) {
+        nm.dotSingle = false;
+      } else {
+        return;
+      }
+      nm.p = NamedLoop::P::DotPartial;
+      assigned.insert(last.var);  // counts as assigned for the outside scan
+    } else {
+      return;
+    }
+
+    // The named kernels do not materialise the per-iteration temps, so no
+    // statement outside the loop may read them (the accumulator and the
+    // induction variable are restored explicitly and are exempt).
+    std::unordered_set<int> outside = varsReadOutside(forId);
+    for (int v : assigned) {
+      if (v == nm.accVar) continue;
+      if (outside.count(v) != 0) return;
+    }
+    k_.named = nm;
+  }
+
+  const FlatCodelet& flat_;
+  const ipu::CostModel& cost_;
+  LoopKernel k_;
+  ipu::LaneCycles iter_;
+  std::unordered_map<int, Home> homes_;
+  int loopVar_ = -1;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompiledCodelet + flat executor.
+// ---------------------------------------------------------------------------
+
+class CompiledCodelet {
+ public:
+  FlatCodelet flat;
+  std::vector<LoopKernel> kernels;
+  ipu::CostModel cost;
+  std::size_t numWorkers = 6;
+};
+
+namespace {
+
+std::atomic<bool> g_fastPaths{[] {
+  const char* e = std::getenv("GRAPHENE_NO_FASTPATH");
+  return !(e != nullptr && e[0] != '\0' && e[0] != '0');
+}()};
+
+/// One execution of a compiled codelet over a vertex. Cycle accounting is
+/// identical to the original tree-walking interpreter: ops accumulate into a
+/// LaneCycles block (fp/mem overlap); control flow flushes the block.
+class FlatExec {
+ public:
+  FlatExec(const CompiledCodelet& cc, graph::VertexContext& ctx)
+      : cc_(cc), ctx_(ctx),
+        vars_(static_cast<std::size_t>(cc.flat.numVars)),
+        fastPaths_(g_fastPaths.load(std::memory_order_relaxed)) {}
 
   double run() {
-    runStmts(ir_.statements);
+    runList(cc_.flat.root);
     flush();
     return total_;
   }
@@ -157,38 +812,43 @@ class Exec {
     lanes_ = ipu::LaneCycles{};
   }
 
-  void charge(ipu::Op op, DType t) { lanes_.add(cost_, op, t); }
+  void charge(ipu::Op op, DType t) { lanes_.add(cc_.cost, op, t); }
 
   void chargeBranch() {
     flush();
-    total_ += cost_.workerCycles(ipu::Op::Branch, DType::Int32);
+    total_ += cc_.cost.workerCycles(ipu::Op::Branch, DType::Int32);
   }
 
-  Scalar eval(const ExprPtr& e) {
-    GRAPHENE_DCHECK(e != nullptr, "null expression");
-    switch (e->kind) {
+  const FlatExpr& expr(std::int32_t id) const {
+    return cc_.flat.exprs[static_cast<std::size_t>(id)];
+  }
+
+  Scalar eval(std::int32_t id) {
+    GRAPHENE_DCHECK(id >= 0, "null expression");
+    const FlatExpr& e = expr(id);
+    switch (e.kind) {
       case Expr::Kind::Const:
-        return e->constant;
+        return e.constant;
       case Expr::Kind::Var:
-        GRAPHENE_DCHECK(e->var >= 0 &&
-                            static_cast<std::size_t>(e->var) < vars_.size(),
+        GRAPHENE_DCHECK(e.var >= 0 &&
+                            static_cast<std::size_t>(e.var) < vars_.size(),
                         "bad var slot");
-        return vars_[static_cast<std::size_t>(e->var)];
+        return vars_[static_cast<std::size_t>(e.var)];
       case Expr::Kind::ArgLoad: {
-        Scalar idx = eval(e->a);
+        Scalar idx = eval(e.a);
         const std::int32_t i = idx.castTo(DType::Int32).asInt();
         GRAPHENE_CHECK(i >= 0, "negative tensor index in codelet");
-        charge(ipu::Op::Load, ctx_.argType(static_cast<std::size_t>(e->arg)));
-        return ctx_.load(static_cast<std::size_t>(e->arg),
+        charge(ipu::Op::Load, ctx_.argType(static_cast<std::size_t>(e.arg)));
+        return ctx_.load(static_cast<std::size_t>(e.arg),
                          static_cast<std::size_t>(i));
       }
       case Expr::Kind::ArgSize:
         charge(ipu::Op::IntArith, DType::Int32);
         return Scalar(static_cast<std::int32_t>(
-            ctx_.argSize(static_cast<std::size_t>(e->arg))));
+            ctx_.argSize(static_cast<std::size_t>(e.arg))));
       case Expr::Kind::Binary: {
-        Scalar a = eval(e->a);
-        Scalar b = eval(e->b);
+        Scalar a = eval(e.a);
+        Scalar b = eval(e.b);
         DType common = promote(a.type(), b.type());
         // Mixed double-word × single-word operations use the cheaper
         // DW∘FP algorithms of Joldes et al. (6–10 flops instead of 9–31):
@@ -196,7 +856,7 @@ class Exec {
         if (common == DType::DoubleWord && a.type() != b.type() &&
             (a.type() == DType::Float32 || b.type() == DType::Float32)) {
           double cycles = 0;
-          switch (e->bop) {
+          switch (e.bop) {
             case BinOp::Add:
             case BinOp::Sub: cycles = 84.0; break;   // DWPlusFP, 10 flops
             case BinOp::Mul: cycles = 42.0; break;   // DWTimesFP3, 6 flops
@@ -205,31 +865,31 @@ class Exec {
           }
           if (cycles > 0) {
             lanes_.add(ipu::Lane::Fp, cycles);
-            return evalBinaryScalar(e->bop, a, b);
+            return evalBinaryScalar(e.bop, a, b);
           }
         }
-        charge(costOpFor(e->bop, common), common);
-        return evalBinaryScalar(e->bop, a, b);
+        charge(costOpFor(e.bop, common), common);
+        return evalBinaryScalar(e.bop, a, b);
       }
       case Expr::Kind::Unary: {
-        Scalar a = eval(e->a);
-        charge(costOpFor(e->uop), a.type());
-        return evalUnaryScalar(e->uop, a);
+        Scalar a = eval(e.a);
+        charge(costOpFor(e.uop), a.type());
+        return evalUnaryScalar(e.uop, a);
       }
       case Expr::Kind::Cast: {
-        Scalar a = eval(e->a);
-        if (a.type() != e->type &&
-            (e->type == DType::DoubleWord || e->type == DType::Float64 ||
+        Scalar a = eval(e.a);
+        if (a.type() != e.type &&
+            (e.type == DType::DoubleWord || e.type == DType::Float64 ||
              a.type() == DType::DoubleWord || a.type() == DType::Float64)) {
-          charge(ipu::Op::Cast, e->type);
+          charge(ipu::Op::Cast, e.type);
         }
-        return a.castTo(e->type);
+        return a.castTo(e.type);
       }
       case Expr::Kind::Select: {
-        Scalar c = eval(e->a);
+        Scalar c = eval(e.a);
         // Single-cycle conditional select on the IPU.
         charge(ipu::Op::Branch, DType::Int32);
-        return c.truthy() ? eval(e->b) : eval(e->c);
+        return c.truthy() ? eval(e.b) : eval(e.c);
       }
       case Expr::Kind::WorkerId:
         return Scalar(static_cast<std::int32_t>(worker_));
@@ -237,11 +897,14 @@ class Exec {
     GRAPHENE_UNREACHABLE("bad expr kind");
   }
 
-  void runStmts(const StmtList& stmts) {
-    for (const StmtPtr& s : stmts) runStmt(*s);
+  void runList(std::int32_t listId) {
+    if (listId < 0) return;
+    for (std::int32_t sid : cc_.flat.lists[static_cast<std::size_t>(listId)]) {
+      runStmt(cc_.flat.stmts[static_cast<std::size_t>(sid)]);
+    }
   }
 
-  void runStmt(const Stmt& s) {
+  void runStmt(const FlatStmt& s) {
     switch (s.kind) {
       case Stmt::Kind::Assign: {
         Scalar v = eval(s.value);
@@ -265,9 +928,9 @@ class Exec {
         Scalar c = eval(s.cond);
         chargeBranch();
         if (c.truthy()) {
-          runStmts(s.body);
+          runList(s.body);
         } else {
-          runStmts(s.elseBody);
+          runList(s.elseBody);
         }
         return;
       }
@@ -277,9 +940,8 @@ class Exec {
           Scalar c = eval(s.cond);
           chargeBranch();
           if (!c.truthy()) break;
-          runStmts(s.body);
-          GRAPHENE_CHECK(++guard < (1 << 26),
-                         "runaway While loop in codelet");
+          runList(s.body);
+          GRAPHENE_CHECK(++guard < (1 << 26), "runaway While loop in codelet");
         }
         return;
       }
@@ -295,11 +957,11 @@ class Exec {
     GRAPHENE_UNREACHABLE("bad stmt kind");
   }
 
-  void runFor(const Stmt& s, bool parallel) {
+  void runFor(const FlatStmt& s, bool parallel) {
     const std::int32_t begin = eval(s.begin).castTo(DType::Int32).asInt();
     const std::int32_t end = eval(s.end).castTo(DType::Int32).asInt();
     const std::int32_t step =
-        s.step ? eval(s.step).castTo(DType::Int32).asInt() : 1;
+        s.step >= 0 ? eval(s.step).castTo(DType::Int32).asInt() : 1;
     GRAPHENE_CHECK(step > 0, "For loops require a positive step");
     GRAPHENE_DCHECK(s.var >= 0, "loop without induction variable");
 
@@ -309,9 +971,14 @@ class Exec {
       // no bookkeeping overhead.
       charge(ipu::Op::IntArith, DType::Int32);
       chargeBranch();
+      if (s.fastLoop >= 0 && fastPaths_ &&
+          runFastLoop(cc_.kernels[static_cast<std::size_t>(s.fastLoop)], s,
+                      begin, end, step)) {
+        return;
+      }
       for (std::int32_t i = begin; i < end; i += step) {
         vars_[static_cast<std::size_t>(s.var)] = Scalar(i);
-        runStmts(s.body);
+        runList(s.body);
       }
       return;
     }
@@ -321,7 +988,7 @@ class Exec {
     // level are independent by construction); the clock advances by the
     // slowest worker plus spawn/sync overhead.
     flush();
-    ipu::WorkerPool pool(numWorkers_);
+    ipu::WorkerPool pool(cc_.numWorkers);
     pool.chargeSpawn();
     const std::size_t savedWorker = worker_;
     std::size_t w = 0;
@@ -329,40 +996,330 @@ class Exec {
       vars_[static_cast<std::size_t>(s.var)] = Scalar(i);
       worker_ = w;
       const double before = total_;
-      runStmts(s.body);
+      runList(s.body);
       flush();
       pool.addCycles(w, total_ - before);
       total_ = before;  // iteration cost moved into the pool
-      w = (w + 1) % numWorkers_;
+      w = (w + 1) % cc_.numWorkers;
     }
     worker_ = savedWorker;
     total_ += pool.sync();
   }
 
-  const CodeletIR& ir_;
-  const ipu::CostModel& cost_;
-  std::size_t numWorkers_;
+  /// Runs a compiled loop kernel for [begin, end) step `step`. Returns false
+  /// when a runtime guard fails (the generic walk then runs the loop; both
+  /// paths are exact, the kernel is only faster).
+  bool runFastLoop(const LoopKernel& k, const FlatStmt& s, std::int32_t begin,
+                   std::int32_t end, std::int32_t step) {
+    for (std::int16_t a : k.floatArgs) {
+      if (ctx_.argType(static_cast<std::size_t>(a)) != DType::Float32)
+        return false;
+    }
+    for (std::int16_t a : k.intArgs) {
+      if (ctx_.argType(static_cast<std::size_t>(a)) != DType::Int32)
+        return false;
+    }
+    for (const auto& [v, reg] : k.seedFloat) {
+      if (vars_[static_cast<std::size_t>(v)].type() != DType::Float32)
+        return false;
+    }
+    for (const auto& [v, reg] : k.seedInt) {
+      if (vars_[static_cast<std::size_t>(v)].type() != DType::Int32)
+        return false;
+    }
+    if (begin >= end) return true;  // zero iterations: setup charges only
+
+    // Bulk cycle charge: every priced constant is an integral double, so
+    // n × perIteration is exactly the sum the generic walk accumulates.
+    const double n = static_cast<double>(
+        (static_cast<std::int64_t>(end) - begin + step - 1) / step);
+    lanes_.add(ipu::Lane::Fp, n * k.iterFp);
+    lanes_.add(ipu::Lane::Mem, n * k.iterMem);
+    lanes_.add(ipu::Lane::Ctrl, n * k.iterCtrl);
+
+    std::array<std::span<float>, LoopKernel::kMaxArgs> fsp;
+    std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs> isp;
+    for (std::int16_t a : k.floatArgs) {
+      fsp[static_cast<std::size_t>(a)] =
+          ctx_.floatSpan(static_cast<std::size_t>(a));
+    }
+    for (std::int16_t a : k.intArgs) {
+      isp[static_cast<std::size_t>(a)] =
+          ctx_.intSpan(static_cast<std::size_t>(a));
+    }
+
+    const NamedLoop& nm = k.named;
+    if (nm.p != NamedLoop::P::None && step == 1 && begin >= 0 &&
+        namedBoundsOk(nm, fsp, end)) {
+      runNamed(nm, fsp, begin, end);
+      vars_[static_cast<std::size_t>(s.var)] = Scalar(end - 1);
+      return true;
+    }
+
+    // Register VM fallback: same ops, same order, per element.
+    std::array<float, LoopKernel::kMaxRegs> fr{};
+    std::array<std::int32_t, LoopKernel::kMaxRegs> ir{};
+    for (const auto& [reg, arg] : k.sizeSeeds) {
+      ir[static_cast<std::size_t>(reg)] = static_cast<std::int32_t>(
+          ctx_.argSize(static_cast<std::size_t>(arg)));
+    }
+    if (k.workerReg >= 0) {
+      ir[static_cast<std::size_t>(k.workerReg)] =
+          static_cast<std::int32_t>(worker_);
+    }
+    for (const auto& [v, reg] : k.seedFloat) {
+      fr[static_cast<std::size_t>(reg)] =
+          vars_[static_cast<std::size_t>(v)].asFloat();
+    }
+    for (const auto& [v, reg] : k.seedInt) {
+      ir[static_cast<std::size_t>(reg)] =
+          vars_[static_cast<std::size_t>(v)].asInt();
+    }
+    std::int32_t last = begin;
+    for (std::int32_t iv = begin; iv < end; iv += step) {
+      ir[0] = iv;
+      last = iv;
+      for (const LoopOp& op : k.ops) {
+        switch (op.k) {
+          case LoopOp::K::FConst: fr[op.dst] = op.fimm; break;
+          case LoopOp::K::FMov: fr[op.dst] = fr[op.a]; break;
+          case LoopOp::K::FLoad: {
+            const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
+            const auto ix = static_cast<std::uint32_t>(ir[op.a]);
+            GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
+            fr[op.dst] = sp[ix];
+            break;
+          }
+          case LoopOp::K::FStore: {
+            const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
+            const auto ix = static_cast<std::uint32_t>(ir[op.a]);
+            GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
+            sp[ix] = fr[op.b];
+            break;
+          }
+          case LoopOp::K::FAdd: fr[op.dst] = fr[op.a] + fr[op.b]; break;
+          case LoopOp::K::FSub: fr[op.dst] = fr[op.a] - fr[op.b]; break;
+          case LoopOp::K::FMul: fr[op.dst] = fr[op.a] * fr[op.b]; break;
+          case LoopOp::K::FDiv: fr[op.dst] = fr[op.a] / fr[op.b]; break;
+          case LoopOp::K::FMin: {
+            const float a = fr[op.a], b = fr[op.b];
+            fr[op.dst] = b < a ? b : a;  // matches binNumeric Min
+            break;
+          }
+          case LoopOp::K::FMax: {
+            const float a = fr[op.a], b = fr[op.b];
+            fr[op.dst] = a < b ? b : a;  // matches binNumeric Max
+            break;
+          }
+          case LoopOp::K::FNeg: fr[op.dst] = -fr[op.a]; break;
+          case LoopOp::K::FAbs: fr[op.dst] = std::fabs(fr[op.a]); break;
+          case LoopOp::K::FSqrt: fr[op.dst] = std::sqrt(fr[op.a]); break;
+          case LoopOp::K::FFromInt:
+            fr[op.dst] = static_cast<float>(ir[op.a]);
+            break;
+          case LoopOp::K::IConst: ir[op.dst] = op.iimm; break;
+          case LoopOp::K::IMov: ir[op.dst] = ir[op.a]; break;
+          case LoopOp::K::ILoad: {
+            const auto& sp = isp[static_cast<std::size_t>(op.arg)];
+            const auto ix = static_cast<std::uint32_t>(ir[op.a]);
+            GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
+            ir[op.dst] = sp[ix];
+            break;
+          }
+          case LoopOp::K::IAdd: ir[op.dst] = ir[op.a] + ir[op.b]; break;
+          case LoopOp::K::ISub: ir[op.dst] = ir[op.a] - ir[op.b]; break;
+          case LoopOp::K::IMul: ir[op.dst] = ir[op.a] * ir[op.b]; break;
+          case LoopOp::K::IMin: {
+            const std::int32_t a = ir[op.a], b = ir[op.b];
+            ir[op.dst] = b < a ? b : a;
+            break;
+          }
+          case LoopOp::K::IMax: {
+            const std::int32_t a = ir[op.a], b = ir[op.b];
+            ir[op.dst] = a < b ? b : a;
+            break;
+          }
+          case LoopOp::K::INeg: ir[op.dst] = -ir[op.a]; break;
+          case LoopOp::K::IAbs: {
+            const std::int32_t v = ir[op.a];
+            ir[op.dst] = v < 0 ? -v : v;
+            break;
+          }
+          case LoopOp::K::IFromFloat:
+            ir[op.dst] = static_cast<std::int32_t>(fr[op.a]);
+            break;
+        }
+      }
+    }
+    vars_[static_cast<std::size_t>(s.var)] = Scalar(last);
+    for (const auto& [v, reg] : k.writeFloat) {
+      vars_[static_cast<std::size_t>(v)] =
+          Scalar(fr[static_cast<std::size_t>(reg)]);
+    }
+    for (const auto& [v, reg] : k.writeInt) {
+      vars_[static_cast<std::size_t>(v)] =
+          Scalar(ir[static_cast<std::size_t>(reg)]);
+    }
+    return true;
+  }
+
+  bool namedBoundsOk(
+      const NamedLoop& nm,
+      const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
+      std::int32_t end) const {
+    const auto e = static_cast<std::size_t>(end);
+    auto ok = [&](std::int16_t arg) {
+      return arg < 0 || e <= fsp[static_cast<std::size_t>(arg)].size();
+    };
+    return ok(nm.dstArg) && ok(nm.aArg) && ok(nm.bArg);
+  }
+
+  void runNamed(const NamedLoop& nm,
+                const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
+                std::int32_t begin, std::int32_t end) {
+    auto span = [&](std::int16_t arg) {
+      return fsp[static_cast<std::size_t>(arg)];
+    };
+    const float sv =
+        nm.sIsConst
+            ? nm.sConst
+            : (nm.sVar >= 0
+                   ? vars_[static_cast<std::size_t>(nm.sVar)].asFloat()
+                   : 0.0f);
+    switch (nm.p) {
+      case NamedLoop::P::Copy: {
+        auto d = span(nm.dstArg);
+        auto a = span(nm.aArg);
+        for (std::int32_t i = begin; i < end; ++i) d[i] = a[i];
+        return;
+      }
+      case NamedLoop::P::Scale: {
+        auto d = span(nm.dstArg);
+        auto a = span(nm.aArg);
+        if (nm.sFirst) {
+          for (std::int32_t i = begin; i < end; ++i) d[i] = sv * a[i];
+        } else {
+          for (std::int32_t i = begin; i < end; ++i) d[i] = a[i] * sv;
+        }
+        return;
+      }
+      case NamedLoop::P::AddVec: {
+        auto d = span(nm.dstArg);
+        auto a = span(nm.aArg);
+        auto b = span(nm.bArg);
+        if (nm.isSub) {
+          for (std::int32_t i = begin; i < end; ++i) d[i] = a[i] - b[i];
+        } else {
+          for (std::int32_t i = begin; i < end; ++i) d[i] = a[i] + b[i];
+        }
+        return;
+      }
+      case NamedLoop::P::Axpy: {
+        auto d = span(nm.dstArg);
+        auto a = span(nm.aArg);
+        auto b = span(nm.bArg);
+        for (std::int32_t i = begin; i < end; ++i) {
+          const float m = nm.sFirst ? sv * b[i] : b[i] * sv;
+          d[i] = nm.loadFirst ? (nm.isSub ? a[i] - m : a[i] + m)
+                              : (nm.isSub ? m - a[i] : m + a[i]);
+        }
+        return;
+      }
+      case NamedLoop::P::DotPartial: {
+        auto a = span(nm.aArg);
+        float acc = vars_[static_cast<std::size_t>(nm.accVar)].asFloat();
+        if (nm.dotSingle) {
+          for (std::int32_t i = begin; i < end; ++i) {
+            acc = nm.accFirst ? acc + a[i] : a[i] + acc;
+          }
+        } else {
+          auto b = span(nm.bArg);
+          for (std::int32_t i = begin; i < end; ++i) {
+            const float m = a[i] * b[i];
+            acc = nm.accFirst ? acc + m : m + acc;
+          }
+        }
+        vars_[static_cast<std::size_t>(nm.accVar)] = Scalar(acc);
+        return;
+      }
+      case NamedLoop::P::None:
+        return;
+    }
+  }
+
+  const CompiledCodelet& cc_;
   graph::VertexContext& ctx_;
   std::vector<Scalar> vars_;
   ipu::LaneCycles lanes_;
   double total_ = 0;
   std::size_t worker_ = 0;
+  bool fastPaths_ = true;
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+void setCodeletFastPaths(bool enabled) {
+  g_fastPaths.store(enabled, std::memory_order_relaxed);
+}
+
+bool codeletFastPathsEnabled() {
+  return g_fastPaths.load(std::memory_order_relaxed);
+}
+
+CompiledCodeletPtr compileCodelet(const CodeletIR& ir,
+                                  const ipu::CostModel& cost,
+                                  std::size_t numWorkers) {
+  auto cc = std::make_shared<CompiledCodelet>();
+  cc->flat = flattenCodelet(ir);
+  cc->cost = cost;
+  cc->numWorkers = numWorkers;
+  // Kernels are always compiled; whether they run is decided per execution
+  // (setCodeletFastPaths), so the generic/fast A-B comparison can use the
+  // same graph.
+  LoopCompiler lc(cc->flat, cc->cost);
+  for (std::size_t sid = 0; sid < cc->flat.stmts.size(); ++sid) {
+    FlatStmt& s = cc->flat.stmts[sid];
+    if (s.kind != Stmt::Kind::For) continue;
+    if (auto kernel = lc.compile(static_cast<std::int32_t>(sid))) {
+      s.fastLoop = static_cast<std::int32_t>(cc->kernels.size());
+      cc->kernels.push_back(std::move(*kernel));
+    }
+  }
+  return cc;
+}
+
+graph::VertexCost runCompiled(const CompiledCodelet& codelet,
+                              graph::VertexContext& ctx) {
+  GRAPHENE_CHECK(ctx.numArgs() == codelet.flat.numArgs,
+                 "codelet arg count mismatch: vertex has ", ctx.numArgs(),
+                 ", codelet expects ", codelet.flat.numArgs);
+  FlatExec exec(codelet, ctx);
+  graph::VertexCost result;
+  result.workerCycles = exec.run();
+  result.wholeTile = codelet.flat.usesWorkers;
+  return result;
+}
+
+graph::Codelet makeCodelet(std::string name, CodeletIR ir,
+                           const ipu::CostModel& cost,
+                           std::size_t numWorkers) {
+  CompiledCodeletPtr cc = compileCodelet(ir, cost, numWorkers);
+  return graph::Codelet{std::move(name),
+                        [cc = std::move(cc)](graph::VertexContext& vc) {
+                          return runCompiled(*cc, vc);
+                        }};
+}
 
 graph::VertexCost interpretCodelet(const CodeletIR& ir,
                                    const ipu::CostModel& cost,
                                    std::size_t numWorkers,
                                    graph::VertexContext& ctx) {
-  GRAPHENE_CHECK(ctx.numArgs() == ir.numArgs,
-                 "codelet arg count mismatch: vertex has ", ctx.numArgs(),
-                 ", codelet expects ", ir.numArgs);
-  Exec exec(ir, cost, numWorkers, ctx);
-  graph::VertexCost result;
-  result.workerCycles = exec.run();
-  result.wholeTile = ir.usesWorkers;
-  return result;
+  CompiledCodeletPtr cc = compileCodelet(ir, cost, numWorkers);
+  return runCompiled(*cc, ctx);
 }
 
 }  // namespace graphene::dsl

@@ -395,11 +395,8 @@ void Expression::materializeInto(Tensor& dst,
   // Register codelet + one vertex per tile with data.
   const ipu::CostModel cost = g.costModel();
   const std::size_t workers = g.target().workersPerTile;
-  graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
-      ctx.freshName("ew"), [ir = std::move(ir), cost, workers](
-                               graph::VertexContext& vc) {
-        return interpretCodelet(ir, cost, workers, vc);
-      }});
+  graph::CodeletId codeletId = g.addCodelet(
+      makeCodelet(ctx.freshName("ew"), std::move(ir), cost, workers));
 
   graph::ComputeSetId cs = g.addComputeSet(category);
   for (std::size_t tile = 0; tile < g.target().totalTiles(); ++tile) {
@@ -572,11 +569,8 @@ Expression Expression::reduce(ReduceKind kind) const {
     CodeletIR ir = builder.finish();
     const ipu::CostModel cost = g.costModel();
     const std::size_t workers = g.target().workersPerTile;
-    graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
-        ctx.freshName("reduce_partial"),
-        [ir = std::move(ir), cost, workers](graph::VertexContext& vc) {
-          return interpretCodelet(ir, cost, workers, vc);
-        }});
+    graph::CodeletId codeletId = g.addCodelet(makeCodelet(
+        ctx.freshName("reduce_partial"), std::move(ir), cost, workers));
     graph::ComputeSetId cs = g.addComputeSet("reduce");
     for (std::size_t tile = 0; tile < nTiles; ++tile) {
       graph::Vertex v;
@@ -626,11 +620,8 @@ Expression Expression::reduce(ReduceKind kind) const {
     CodeletIR ir = builder.finish();
     const ipu::CostModel cost = g.costModel();
     const std::size_t workers = g.target().workersPerTile;
-    graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
-        ctx.freshName("reduce_final"),
-        [ir = std::move(ir), cost, workers](graph::VertexContext& vc) {
-          return interpretCodelet(ir, cost, workers, vc);
-        }});
+    graph::CodeletId codeletId = g.addCodelet(makeCodelet(
+        ctx.freshName("reduce_final"), std::move(ir), cost, workers));
     graph::ComputeSetId cs = g.addComputeSet("reduce");
     graph::Vertex v;
     v.codelet = codeletId;
@@ -758,11 +749,8 @@ void ExecuteOnTiles(const std::vector<TensorRef>& tensors,
 
   const ipu::CostModel cost = g.costModel();
   const std::size_t workers = g.target().workersPerTile;
-  graph::CodeletId codeletId = g.addCodelet(graph::Codelet{
-      ctx.freshName("codelet"),
-      [ir = std::move(ir), cost, workers](graph::VertexContext& vc) {
-        return interpretCodelet(ir, cost, workers, vc);
-      }});
+  graph::CodeletId codeletId = g.addCodelet(
+      makeCodelet(ctx.freshName("codelet"), std::move(ir), cost, workers));
 
   std::vector<std::size_t> vertexTiles = tiles;
   if (vertexTiles.empty()) {

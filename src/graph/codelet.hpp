@@ -59,6 +59,15 @@ class VertexContext {
 
 struct Codelet {
   std::string name;
+  /// Executes the codelet against one vertex's argument slices.
+  ///
+  /// Thread-safety contract: the engine invokes `run` for vertices on
+  /// different tiles from concurrent host threads. The callable must
+  /// therefore be stateless with respect to the invocation — any captured
+  /// state (e.g. a compiled codelet) must be immutable, with all per-run
+  /// state living on the caller's stack or in the VertexContext. Distinct
+  /// invocations never share a VertexContext, and their argument slices
+  /// reference disjoint storage regions (slices are tile-local).
   std::function<VertexCost(VertexContext&)> run;
 };
 

@@ -2,14 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "ipu/exchange.hpp"
 #include "ipu/worker_pool.hpp"
+#include "support/thread_pool.hpp"
 
 namespace graphene::graph {
 
 namespace {
+
+std::size_t resolveHostThreads(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* e = std::getenv("GRAPHENE_TEST_HOST_THREADS")) {
+    const long v = std::strtol(e, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
 
 /// Adapts the engine's tensor storage to the fault injector's view of the
 /// machine (ipu::FaultSurface keeps the ipu layer independent of graph).
@@ -43,68 +56,71 @@ class EngineFaultSurface final : public ipu::FaultSurface {
   Engine& engine_;
 };
 
-/// VertexContext backed by engine storage; indices are slice-relative, which
-/// enforces tile-local access.
-class StorageVertexContext final : public VertexContext {
- public:
-  StorageVertexContext(Engine& engine, const Vertex& vertex)
-      : engine_(engine), vertex_(vertex) {
-    flatBase_.reserve(vertex.args.size());
-    for (const TensorSlice& s : vertex.args) {
-      flatBase_.push_back(engine_.storageFor(s.tensor).tileOffset(s.tile) +
-                          s.begin);
-    }
-  }
+}  // namespace
 
-  std::size_t numArgs() const override { return vertex_.args.size(); }
+/// VertexContext over a plan's precomputed argument windows; indices are
+/// slice-relative, which enforces tile-local access. Holds a raw pointer to
+/// the engine's storage array: during a compute superstep no tensors are
+/// created, so the pointer is stable — including under tile-parallel
+/// execution, where concurrent contexts touch disjoint regions.
+class Engine::PlanVertexContext final : public VertexContext {
+ public:
+  PlanVertexContext(TensorStorage* storage, const PlanArg* args,
+                    std::size_t numArgs)
+      : storage_(storage), args_(args), numArgs_(numArgs) {}
+
+  std::size_t numArgs() const override { return numArgs_; }
 
   std::size_t argSize(std::size_t arg) const override {
-    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
-    return vertex_.args[arg].count;
+    GRAPHENE_DCHECK(arg < numArgs_, "arg out of range");
+    return args_[arg].count;
   }
 
   ipu::DType argType(std::size_t arg) const override {
-    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
-    return engine_.storageFor(vertex_.args[arg].tensor).dtype();
+    GRAPHENE_DCHECK(arg < numArgs_, "arg out of range");
+    return args_[arg].dtype;
   }
 
   Scalar load(std::size_t arg, std::size_t index) const override {
-    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
-    GRAPHENE_DCHECK(index < vertex_.args[arg].count,
-                    "codelet read past its slice");
-    return engine_.storageFor(vertex_.args[arg].tensor)
-        .load(flatBase_[arg] + index);
+    GRAPHENE_DCHECK(arg < numArgs_, "arg out of range");
+    GRAPHENE_DCHECK(index < args_[arg].count, "codelet read past its slice");
+    return storage_[args_[arg].tensor].load(args_[arg].base + index);
   }
 
   void store(std::size_t arg, std::size_t index,
              const Scalar& value) override {
-    GRAPHENE_DCHECK(arg < vertex_.args.size(), "arg out of range");
-    GRAPHENE_DCHECK(index < vertex_.args[arg].count,
-                    "codelet write past its slice");
-    engine_.storageFor(vertex_.args[arg].tensor)
-        .store(flatBase_[arg] + index, value);
+    GRAPHENE_DCHECK(arg < numArgs_, "arg out of range");
+    GRAPHENE_DCHECK(index < args_[arg].count, "codelet write past its slice");
+    storage_[args_[arg].tensor].store(args_[arg].base + index, value);
   }
 
   std::span<float> floatSpan(std::size_t arg) override {
-    auto whole = engine_.storageFor(vertex_.args[arg].tensor).as<float>();
-    return whole.subspan(flatBase_[arg], vertex_.args[arg].count);
+    GRAPHENE_DCHECK(arg < numArgs_, "arg out of range");
+    auto whole = storage_[args_[arg].tensor].as<float>();
+    return whole.subspan(args_[arg].base, args_[arg].count);
   }
 
   std::span<const std::int32_t> intSpan(std::size_t arg) const override {
-    auto whole =
-        engine_.storageFor(vertex_.args[arg].tensor).as<std::int32_t>();
-    return whole.subspan(flatBase_[arg], vertex_.args[arg].count);
+    GRAPHENE_DCHECK(arg < numArgs_, "arg out of range");
+    auto whole = storage_[args_[arg].tensor].as<std::int32_t>();
+    return whole.subspan(args_[arg].base, args_[arg].count);
   }
 
  private:
-  Engine& engine_;
-  const Vertex& vertex_;
-  std::vector<std::size_t> flatBase_;
+  TensorStorage* storage_;
+  const PlanArg* args_;
+  std::size_t numArgs_;
 };
 
-}  // namespace
+Engine::Engine(Graph& graph, std::size_t numHostThreads)
+    : graph_(graph), numHostThreads_(resolveHostThreads(numHostThreads)) {
+  if (numHostThreads_ > 1) {
+    hostPool_ = std::make_unique<support::ThreadPool>(numHostThreads_);
+  }
+  syncStorage();
+}
 
-Engine::Engine(Graph& graph) : graph_(graph) { syncStorage(); }
+Engine::~Engine() = default;
 
 void Engine::syncStorage() {
   for (std::size_t i = storage_.size(); i < graph_.numTensors(); ++i) {
@@ -133,7 +149,7 @@ Scalar Engine::readScalarFinite(TensorId id) {
 void Engine::writeScalar(TensorId id, const Scalar& value) {
   TensorStorage& s = storageFor(id);
   if (graph_.tensor(id).replicated) {
-    for (std::size_t i = 0; i < s.totalElements(); ++i) s.store(i, value);
+    s.fill(value);  // one cast, then a typed fill over every replica
   } else {
     s.store(0, value);
   }
@@ -187,38 +203,90 @@ void Engine::run(const ProgramPtr& program) {
   }
 }
 
-void Engine::runExecute(ComputeSetId csId) {
+const Engine::ExecPlan& Engine::planFor(ComputeSetId csId) {
+  if (plans_.size() <= csId) plans_.resize(csId + 1);
+  ExecPlan& plan = plans_[csId];
   const ComputeSet& cs = graph_.computeSet(csId);
-  const ipu::IpuTarget& target = graph_.target();
+  if (plan.builtVertices == cs.vertices.size()) return plan;
 
-  // Group vertex indices by tile.
+  // Rebuild from scratch: vertices are appended to compute sets in bulk at
+  // graph-construction time, so in practice this runs once per compute set
+  // and every later execution is a cache hit.
+  plan = ExecPlan{};
   std::map<std::size_t, std::vector<std::size_t>> byTile;
   for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
     byTile[cs.vertices[i].tile].push_back(i);
   }
-
-  double maxTileCycles = 0;
+  plan.vertexOrder.reserve(cs.vertices.size());
+  plan.argStart.reserve(cs.vertices.size() + 1);
   for (const auto& [tile, vertexIds] : byTile) {
-    ipu::WorkerPool pool(target.workersPerTile);
-    std::size_t nextWorker = 0;
+    plan.tasks.push_back(TileTask{tile, plan.vertexOrder.size(),
+                                  vertexIds.size()});
     for (std::size_t vi : vertexIds) {
-      const Vertex& v = cs.vertices[vi];
-      StorageVertexContext ctx(*this, v);
-      VertexCost cost = graph_.codelet(v.codelet).run(ctx);
-      if (cost.wholeTile) {
-        // Supervisor codelet driving all workers itself: serialise against
-        // everything else on the tile.
-        pool.sync();
-        for (std::size_t w = 0; w < pool.numWorkers(); ++w) {
-          pool.addCycles(w, cost.workerCycles);
-        }
-      } else {
-        pool.addCycles(nextWorker, cost.workerCycles);
-        nextWorker = (nextWorker + 1) % pool.numWorkers();
+      plan.argStart.push_back(plan.args.size());
+      plan.vertexOrder.push_back(vi);
+      for (const TensorSlice& s : cs.vertices[vi].args) {
+        TensorStorage& ts = storageFor(s.tensor);
+        plan.args.push_back(PlanArg{s.tensor, ts.tileOffset(s.tile) + s.begin,
+                                    s.count, ts.dtype()});
       }
     }
-    maxTileCycles = std::max(maxTileCycles, pool.elapsed());
   }
+  plan.argStart.push_back(plan.args.size());
+  plan.builtVertices = cs.vertices.size();
+  return plan;
+}
+
+double Engine::runTileTask(const ComputeSet& cs, const ExecPlan& plan,
+                           TensorStorage* storage, std::size_t task) {
+  const TileTask& t = plan.tasks[task];
+  ipu::WorkerPool pool(graph_.target().workersPerTile);
+  std::size_t nextWorker = 0;
+  for (std::size_t p = t.firstVertex; p < t.firstVertex + t.count; ++p) {
+    const Vertex& v = cs.vertices[plan.vertexOrder[p]];
+    PlanVertexContext ctx(storage, plan.args.data() + plan.argStart[p],
+                          plan.argStart[p + 1] - plan.argStart[p]);
+    VertexCost cost = graph_.codelet(v.codelet).run(ctx);
+    if (cost.wholeTile) {
+      // Supervisor codelet driving all workers itself: serialise against
+      // everything else on the tile.
+      pool.sync();
+      for (std::size_t w = 0; w < pool.numWorkers(); ++w) {
+        pool.addCycles(w, cost.workerCycles);
+      }
+    } else {
+      pool.addCycles(nextWorker, cost.workerCycles);
+      nextWorker = (nextWorker + 1) % pool.numWorkers();
+    }
+  }
+  return pool.elapsed();
+}
+
+void Engine::runExecute(ComputeSetId csId) {
+  syncStorage();  // materialise any tensors created since the last program
+  const ComputeSet& cs = graph_.computeSet(csId);
+  const ipu::IpuTarget& target = graph_.target();
+  const ExecPlan& plan = planFor(csId);
+
+  // Simulate every tile of the superstep, one TileTask per tile with data.
+  // Tasks write to disjoint storage regions and to their own tileCycles_
+  // slot, so running them on the host pool is race-free and — because each
+  // task's arithmetic is self-contained — bit-identical to the serial loop.
+  TensorStorage* storage = storage_.data();
+  const std::size_t nTasks = plan.tasks.size();
+  tileCycles_.assign(nTasks, 0.0);
+  if (hostPool_ != nullptr && nTasks > 1) {
+    hostPool_->parallelFor(nTasks, [&](std::size_t ti) {
+      tileCycles_[ti] = runTileTask(cs, plan, storage, ti);
+    });
+  } else {
+    for (std::size_t ti = 0; ti < nTasks; ++ti) {
+      tileCycles_[ti] = runTileTask(cs, plan, storage, ti);
+    }
+  }
+  double maxTileCycles = 0;
+  for (double c : tileCycles_) maxTileCycles = std::max(maxTileCycles, c);
+  profile_.verticesExecuted += cs.vertices.size();
 
   // Fault injection: SRAM upsets land between supersteps; a stalled tile
   // delays the BSP barrier, so its extra cycles join the critical path.

@@ -6,6 +6,7 @@
 // the slowest tile (BSP), exchange supersteps are priced by the fabric model.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,14 +17,29 @@
 #include "ipu/fault.hpp"
 #include "ipu/profile.hpp"
 
+namespace graphene::support {
+class ThreadPool;
+}
+
 namespace graphene::graph {
 
 class Engine {
  public:
-  explicit Engine(Graph& graph);
+  /// `numHostThreads` controls how many host threads simulate tiles in
+  /// parallel within a compute superstep: 1 executes tiles serially (the
+  /// historical behaviour), 0 resolves to the GRAPHENE_TEST_HOST_THREADS
+  /// environment variable when set, else std::thread::hardware_concurrency.
+  /// Results, profiles and fault logs are bit-identical at every thread
+  /// count: tiles are independent between BSP syncs, so the host-side
+  /// schedule cannot influence what the simulated machine computes.
+  explicit Engine(Graph& graph, std::size_t numHostThreads = 0);
+  ~Engine();
 
   Graph& graph() { return graph_; }
   const ipu::IpuTarget& target() const { return graph_.target(); }
+
+  /// Host threads used for tile-parallel compute supersteps (>= 1).
+  std::size_t numHostThreads() const { return numHostThreads_; }
 
   /// Executes a program tree to completion.
   void run(const ProgramPtr& program);
@@ -79,7 +95,44 @@ class Engine {
   }
 
  private:
+  class PlanVertexContext;
+
+  /// One codelet argument, resolved to a flat storage window at plan-build
+  /// time (tile offsets are fixed when a tensor is created, so the resolved
+  /// base never goes stale).
+  struct PlanArg {
+    TensorId tensor = kInvalidTensor;
+    std::size_t base = 0;  // flat offset of the slice within its tensor
+    std::size_t count = 0;
+    ipu::DType dtype = ipu::DType::Float32;
+  };
+
+  /// All vertices of one tile within a compute set: a contiguous range of
+  /// ExecPlan::vertexOrder. Tasks touch disjoint storage regions (vertex
+  /// slices are tile-local by construction), which is what makes them safe
+  /// to run on concurrent host threads.
+  struct TileTask {
+    std::size_t tile = 0;
+    std::size_t firstVertex = 0;  // index into ExecPlan::vertexOrder
+    std::size_t count = 0;
+  };
+
+  /// Compiled execution plan for one compute set: vertex order grouped by
+  /// tile, with every argument's flat storage window precomputed. Built on
+  /// first execution, reused until the compute set grows (vertices are only
+  /// ever appended, so a vertex-count check is a complete staleness test).
+  struct ExecPlan {
+    std::vector<std::size_t> vertexOrder;
+    std::vector<PlanArg> args;           // pooled, all vertices back to back
+    std::vector<std::size_t> argStart;   // per vertexOrder entry, +1 sentinel
+    std::vector<TileTask> tasks;
+    std::size_t builtVertices = 0;
+  };
+
   void runExecute(ComputeSetId cs);
+  double runTileTask(const ComputeSet& cs, const ExecPlan& plan,
+                     TensorStorage* storage, std::size_t task);
+  const ExecPlan& planFor(ComputeSetId cs);
   void runCopy(const std::vector<CopySegment>& segments);
   void syncStorage();
 
@@ -87,6 +140,10 @@ class Engine {
   std::vector<TensorStorage> storage_;
   ipu::Profile profile_;
   ipu::FaultPlan* faultPlan_ = nullptr;
+  std::size_t numHostThreads_ = 1;
+  std::unique_ptr<support::ThreadPool> hostPool_;  // null when single-threaded
+  std::vector<ExecPlan> plans_;                    // indexed by ComputeSetId
+  std::vector<double> tileCycles_;                 // per-task scratch
 };
 
 }  // namespace graphene::graph

@@ -8,6 +8,7 @@
 // (exchange supersteps).
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -100,6 +101,29 @@ class TensorStorage {
             vec[flatIndex] = v.asSoftDouble();
           } else {
             vec[flatIndex] = v.asDoubleWord();
+          }
+        },
+        data_);
+  }
+
+  /// Sets every element to `value`. Casts once and fills the typed vector —
+  /// the bulk path for broadcasting into replicated scalar tensors.
+  void fill(const Scalar& value) {
+    Scalar v = value.castTo(dtype_);
+    std::visit(
+        [&](auto& vec) {
+          using T = typename std::decay_t<decltype(vec)>::value_type;
+          if constexpr (std::is_same_v<T, std::uint8_t>) {
+            std::fill(vec.begin(), vec.end(),
+                      static_cast<std::uint8_t>(v.asBool() ? 1 : 0));
+          } else if constexpr (std::is_same_v<T, std::int32_t>) {
+            std::fill(vec.begin(), vec.end(), v.asInt());
+          } else if constexpr (std::is_same_v<T, float>) {
+            std::fill(vec.begin(), vec.end(), v.asFloat());
+          } else if constexpr (std::is_same_v<T, twofloat::SoftDouble>) {
+            std::fill(vec.begin(), vec.end(), v.asSoftDouble());
+          } else {
+            std::fill(vec.begin(), vec.end(), v.asDoubleWord());
           }
         },
         data_);

@@ -51,6 +51,10 @@ struct Profile {
   std::size_t exchangeInstructions = 0;
   std::size_t exchangedBytes = 0;
 
+  /// Vertices run across all compute supersteps (simulator throughput
+  /// statistics; no hardware analogue).
+  std::size_t verticesExecuted = 0;
+
   /// Structured fault log: every injected fault and every solver-level
   /// recovery action, in execution order (empty when no plan is attached).
   std::vector<FaultEvent> faultEvents;
@@ -75,6 +79,7 @@ struct Profile {
     exchangeSupersteps += o.exchangeSupersteps;
     exchangeInstructions += o.exchangeInstructions;
     exchangedBytes += o.exchangedBytes;
+    verticesExecuted += o.verticesExecuted;
     faultEvents.insert(faultEvents.end(), o.faultEvents.begin(),
                        o.faultEvents.end());
     return *this;

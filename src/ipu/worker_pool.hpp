@@ -11,8 +11,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
-#include <vector>
+#include <memory>
 
 #include "support/error.hpp"
 
@@ -25,42 +26,57 @@ class WorkerPool {
   /// Cycle cost of a `sync` barrier across the tile's workers.
   static constexpr double kSyncCycles = 12.0;
 
-  explicit WorkerPool(std::size_t numWorkers) : clocks_(numWorkers, 0.0) {
+  /// A pool is created per simulated tile per compute superstep (and per
+  /// ParFor), so construction sits on the engine's hottest path: the worker
+  /// clocks live inline for realistic worker counts (the IPU has six) and
+  /// only fall back to the heap for synthetic larger pools.
+  explicit WorkerPool(std::size_t numWorkers) : size_(numWorkers) {
     GRAPHENE_CHECK(numWorkers > 0, "worker pool needs at least one worker");
+    if (size_ <= kInlineWorkers) {
+      clocks_ = inline_.data();
+    } else {
+      heap_ = std::make_unique<double[]>(size_);
+      clocks_ = heap_.get();
+    }
+    std::fill(clocks_, clocks_ + size_, 0.0);
   }
 
-  std::size_t numWorkers() const { return clocks_.size(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t numWorkers() const { return size_; }
 
   /// Charges `cycles` of work to worker `w`.
   void addCycles(std::size_t w, double cycles) {
-    GRAPHENE_CHECK(w < clocks_.size(), "worker index out of range");
+    GRAPHENE_CHECK(w < size_, "worker index out of range");
     clocks_[w] += cycles;
   }
 
   /// Models `runall`: the supervisor hands one work item per worker.
   void chargeSpawn() {
-    for (double& c : clocks_) c += kRunAllCycles / static_cast<double>(clocks_.size());
+    const double share = kRunAllCycles / static_cast<double>(size_);
+    for (std::size_t w = 0; w < size_; ++w) clocks_[w] += share;
   }
 
   /// Barrier: every worker's clock advances to the slowest worker, plus the
   /// sync instruction cost. Returns the barrier time.
   double sync() {
     double m = elapsed() + kSyncCycles;
-    std::fill(clocks_.begin(), clocks_.end(), m);
+    std::fill(clocks_, clocks_ + size_, m);
     return m;
   }
 
   /// Max over worker clocks — the tile-visible duration so far.
   double elapsed() const {
     double m = 0;
-    for (double c : clocks_) m = std::max(m, c);
+    for (std::size_t w = 0; w < size_; ++w) m = std::max(m, clocks_[w]);
     return m;
   }
 
   /// Sum of worker clocks — total work (for utilisation statistics).
   double totalWork() const {
     double s = 0;
-    for (double c : clocks_) s += c;
+    for (std::size_t w = 0; w < size_; ++w) s += clocks_[w];
     return s;
   }
 
@@ -68,11 +84,16 @@ class WorkerPool {
   double utilisation() const {
     double e = elapsed();
     if (e == 0) return 1.0;
-    return totalWork() / (static_cast<double>(clocks_.size()) * e);
+    return totalWork() / (static_cast<double>(size_) * e);
   }
 
  private:
-  std::vector<double> clocks_;
+  static constexpr std::size_t kInlineWorkers = 8;
+
+  std::size_t size_ = 0;
+  std::array<double, kInlineWorkers> inline_{};
+  std::unique_ptr<double[]> heap_;
+  double* clocks_ = nullptr;
 };
 
 }  // namespace graphene::ipu

@@ -1,0 +1,221 @@
+// Host-parallel tile execution must be invisible to the simulated machine.
+//
+// The engine may simulate the tiles of a compute superstep on any number of
+// host threads; tiles are independent between BSP syncs, so every observable
+// — tensor bytes, cycle profile, superstep counts, fault logs — must be
+// bit-identical to the serial schedule. These tests run the same solves at
+// numHostThreads 1 and 8 (through full CG RepeatWhile loops with host
+// convergence callbacks, with and without an attached fault plan) and assert
+// exactly that. The compiled-codelet fast paths get the same treatment:
+// bulk span kernels vs the generic statement walk must agree bit-for-bit in
+// both results and charged cycles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "dsl/interpreter.hpp"
+#include "graph/engine.hpp"
+#include "ipu/fault.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace graphene;
+using namespace graphene::solver;
+using dsl::Context;
+using dsl::Tensor;
+
+namespace {
+
+std::vector<double> randomVector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+struct SolveObservables {
+  std::vector<double> x;
+  ipu::Profile profile;
+};
+
+/// Builds a fresh graph for `solverJson` on A x = b and executes it with the
+/// given host thread count (fresh context per run: host callbacks close over
+/// per-solver state, so engines must not share a program).
+SolveObservables runSolve(const matrix::GeneratedMatrix& g, std::size_t tiles,
+                          const std::string& solverJson,
+                          std::size_t hostThreads, ipu::FaultPlan* plan) {
+  Context ctx(ipu::IpuTarget::testTarget(tiles));
+  auto rowToTile = partition::partitionAuto(g, tiles);
+  auto layout = partition::buildLayout(g.matrix, rowToTile, tiles);
+  DistMatrix A(g.matrix, std::move(layout));
+  Tensor x = A.makeVector(DType::Float32, "x");
+  Tensor b = A.makeVector(DType::Float32, "b");
+  auto solver = makeSolverFromString(solverJson);
+  solver->apply(A, x, b);
+
+  graph::Engine engine(ctx.graph(), hostThreads);
+  EXPECT_EQ(engine.numHostThreads(), hostThreads);
+  if (plan != nullptr) {
+    plan->reset();
+    engine.setFaultPlan(plan);
+  }
+  A.upload(engine);
+  auto bHost = randomVector(g.matrix.rows(), 42);
+  for (double& v : bHost) v = static_cast<double>(static_cast<float>(v));
+  A.writeVector(engine, b, bHost);
+  engine.run(ctx.program());
+
+  SolveObservables out;
+  out.x = A.readVector(engine, x);
+  out.profile = engine.profile();
+  return out;
+}
+
+/// Field-by-field exact comparison (doubles compared with ==: the runs must
+/// charge literally the same cycles, not merely close ones).
+void expectProfilesIdentical(const ipu::Profile& a, const ipu::Profile& b) {
+  EXPECT_EQ(a.computeCycles.size(), b.computeCycles.size());
+  for (const auto& [category, cycles] : a.computeCycles) {
+    auto it = b.computeCycles.find(category);
+    ASSERT_NE(it, b.computeCycles.end()) << "missing category " << category;
+    EXPECT_EQ(cycles, it->second) << "cycles differ in " << category;
+  }
+  EXPECT_EQ(a.exchangeCycles, b.exchangeCycles);
+  EXPECT_EQ(a.syncCycles, b.syncCycles);
+  EXPECT_EQ(a.computeSupersteps, b.computeSupersteps);
+  EXPECT_EQ(a.exchangeSupersteps, b.exchangeSupersteps);
+  EXPECT_EQ(a.exchangeInstructions, b.exchangeInstructions);
+  EXPECT_EQ(a.exchangedBytes, b.exchangedBytes);
+  EXPECT_EQ(a.verticesExecuted, b.verticesExecuted);
+  ASSERT_EQ(a.faultEvents.size(), b.faultEvents.size());
+  for (std::size_t i = 0; i < a.faultEvents.size(); ++i) {
+    EXPECT_TRUE(a.faultEvents[i] == b.faultEvents[i])
+        << "fault event " << i << " differs: " << a.faultEvents[i].kind
+        << " vs " << b.faultEvents[i].kind;
+  }
+}
+
+const char* kCgJson = R"({
+  "type": "cg", "maxIterations": 200, "tolerance": 1e-6,
+  "preconditioner": {"type": "jacobi", "iterations": 2}
+})";
+
+}  // namespace
+
+TEST(ParallelEngine, BitIdenticalToSerial) {
+  auto g = matrix::poisson2d5(24, 24);
+  SolveObservables serial = runSolve(g, 8, kCgJson, 1, nullptr);
+  SolveObservables parallel = runSolve(g, 8, kCgJson, 8, nullptr);
+
+  ASSERT_EQ(serial.x.size(), parallel.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    EXPECT_EQ(serial.x[i], parallel.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(serial.profile, parallel.profile);
+  EXPECT_GT(serial.profile.verticesExecuted, 0u);
+}
+
+TEST(ParallelEngine, BitIdenticalWithFaultPlanAttached) {
+  auto g = matrix::poisson2d5(20, 20);
+  // A stall (lands on the critical path of one superstep) plus bit flips in
+  // the CG residual (forces the self-healing restart path): the recovery
+  // timeline itself must not depend on the host schedule.
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "seed": 11,
+    "faults": [
+      {"type": "stall", "tile": 1, "cycles": 5000, "superstep": 7},
+      {"type": "bitflip", "tensor": "cg_resid", "bit": 30, "count": 2,
+       "skip": 30}
+    ]
+  })");
+  SolveObservables serial = runSolve(g, 8, kCgJson, 1, &plan);
+  SolveObservables parallel = runSolve(g, 8, kCgJson, 8, &plan);
+
+  ASSERT_EQ(serial.x.size(), parallel.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    EXPECT_EQ(serial.x[i], parallel.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(serial.profile, parallel.profile);
+  EXPECT_FALSE(serial.profile.faultEvents.empty());
+}
+
+TEST(ParallelEngine, FastPathMatchesGenericWalk) {
+  auto g = matrix::poisson2d5(16, 16);
+  ASSERT_TRUE(dsl::codeletFastPathsEnabled());
+  SolveObservables fast = runSolve(g, 4, kCgJson, 1, nullptr);
+  dsl::setCodeletFastPaths(false);
+  SolveObservables generic = runSolve(g, 4, kCgJson, 1, nullptr);
+  dsl::setCodeletFastPaths(true);
+
+  ASSERT_EQ(fast.x.size(), generic.x.size());
+  for (std::size_t i = 0; i < fast.x.size(); ++i) {
+    EXPECT_EQ(fast.x[i], generic.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(fast.profile, generic.profile);
+}
+
+TEST(ParallelEngine, MixedPrecisionBitIdenticalToSerial) {
+  auto g = matrix::poisson2d5(16, 16);
+  const char* mpirJson = R"({
+    "type": "mpir", "extendedType": "doubleword",
+    "maxIterations": 4, "tolerance": 1e-12,
+    "inner": {"type": "cg", "maxIterations": 10, "tolerance": 0}
+  })";
+  SolveObservables serial = runSolve(g, 8, mpirJson, 1, nullptr);
+  SolveObservables parallel = runSolve(g, 8, mpirJson, 8, nullptr);
+
+  ASSERT_EQ(serial.x.size(), parallel.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    EXPECT_EQ(serial.x[i], parallel.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(serial.profile, parallel.profile);
+}
+
+// ---------------------------------------------------------------------------
+// support::ThreadPool unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(HostThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.numThreads(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (int round = 0; round < 20; ++round) {
+    for (auto& h : hits) h.store(0);
+    pool.parallelFor(kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " round " << round;
+    }
+  }
+}
+
+TEST(HostThreadPool, SingleThreadRunsInline) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.numThreads(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallelFor(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(HostThreadPool, RethrowsFirstItemError) {
+  support::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallelFor(64,
+                                [&](std::size_t i) {
+                                  if (i % 7 == 3) {
+                                    throw std::runtime_error("item failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after an exceptional job.
+  std::atomic<int> count{0};
+  pool.parallelFor(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
