@@ -16,6 +16,7 @@
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace graphene::bench {
 
@@ -39,11 +40,14 @@ inline DistSystem makeSystem(const matrix::GeneratedMatrix& g,
   return s;
 }
 
-/// Runs `program` once on a fresh engine and returns the profile.
+/// Runs `program` once on a fresh engine and returns the profile. An
+/// optional trace sink captures the execution timeline alongside.
 inline ipu::Profile runProgram(DistSystem& s, const graph::ProgramPtr& program,
                                std::span<const double> x,
-                               const dsl::Tensor& xTensor) {
+                               const dsl::Tensor& xTensor,
+                               support::TraceSink* trace = nullptr) {
   s.engine = std::make_unique<graph::Engine>(s.ctx->graph());
+  if (trace != nullptr) s.engine->setTraceSink(trace);
   s.A->upload(*s.engine);
   if (!x.empty()) s.A->writeVector(*s.engine, xTensor, x);
   s.engine->run(program);

@@ -14,8 +14,13 @@ using namespace graphene;
 
 namespace {
 
-std::map<std::string, double> runBreakdown(const matrix::GeneratedMatrix& g,
-                                           const std::string& extType) {
+struct Breakdown {
+  std::map<std::string, double> rows;
+  bool traceMatchesProfile = false;  // trace-derived cycles == Profile's
+};
+
+Breakdown runBreakdown(const matrix::GeneratedMatrix& g,
+                       const std::string& extType) {
   ipu::IpuTarget target = ipu::IpuTarget::testTarget(64);
   bench::DistSystem s = bench::makeSystem(g, target);
   dsl::Tensor x = s.A->makeVector(dsl::DType::Float32, "x");
@@ -27,24 +32,32 @@ std::map<std::string, double> runBreakdown(const matrix::GeneratedMatrix& g,
                    "preconditioner":{"type":"ilu"}}})");
   solver->apply(*s.A, x, b);
   auto rhs = bench::randomRhs(g.matrix.rows(), 5);
-  auto prof = bench::runProgram(s, s.ctx->program(), rhs, b);
+  support::TraceSink trace;
+  auto prof = bench::runProgram(s, s.ctx->program(), rhs, b, &trace);
 
-  // Aggregate to the paper's Table IV rows.
-  std::map<std::string, double> rows;
+  // The breakdown is computed from the execution *trace*; the Profile's
+  // per-category counters only serve as the cross-check below. Both sum the
+  // same per-superstep critical-path cycles in the same order, so the match
+  // is exact, not approximate.
+  std::map<std::string, double> cycles = support::traceComputeCycles(trace);
+  bool match = cycles == prof.computeCycles;
+
+  Breakdown out;
+  out.traceMatchesProfile = match;
   double total = 0;
-  for (const auto& [cat, cycles] : prof.computeCycles) total += cycles;
+  for (const auto& [cat, c] : cycles) total += c;
   auto pct = [&](double v) { return 100.0 * v / total; };
   auto get = [&](const char* c) {
-    auto it = prof.computeCycles.find(c);
-    return it == prof.computeCycles.end() ? 0.0 : it->second;
+    auto it = cycles.find(c);
+    return it == cycles.end() ? 0.0 : it->second;
   };
-  rows["ILU(0) Solve"] = pct(get("ilu_solve") + get("ilu_factorize"));
-  rows["SpMV"] = pct(get("spmv"));
-  rows["Reduce"] = pct(get("reduce"));
-  rows["Elementwise Ops"] = pct(get("elementwise") + get("condition") +
-                                get("gauss_seidel") + get("codedsl"));
-  rows["Extended-Precision Ops"] = pct(get("extended_precision"));
-  return rows;
+  out.rows["ILU(0) Solve"] = pct(get("ilu_solve") + get("ilu_factorize"));
+  out.rows["SpMV"] = pct(get("spmv"));
+  out.rows["Reduce"] = pct(get("reduce"));
+  out.rows["Elementwise Ops"] = pct(get("elementwise") + get("condition") +
+                                    get("gauss_seidel") + get("codedsl"));
+  out.rows["Extended-Precision Ops"] = pct(get("extended_precision"));
+  return out;
 }
 
 }  // namespace
@@ -59,8 +72,10 @@ int main() {
               "IR step\n\n",
               g.name.c_str(), g.matrix.rows(), g.matrix.nnz());
 
-  auto dw = runBreakdown(g, "doubleword");
-  auto dp = runBreakdown(g, "float64");
+  auto dwRun = runBreakdown(g, "doubleword");
+  auto dpRun = runBreakdown(g, "float64");
+  const auto& dw = dwRun.rows;
+  const auto& dp = dpRun.rows;
 
   TextTable t({"Operation", "Double-Word", "Double-Precision", "paper DW",
                "paper DP"});
@@ -94,5 +109,9 @@ int main() {
   std::printf("check: soft-float64 extended ops cost several times more "
               "than double-word (paper 14%% vs 2%%): %s\n",
               extGrowsDp ? "PASS" : "FAIL");
-  return innerDominates && extSmallDw && extGrowsDp ? 0 : 1;
+  bool traceMatches = dwRun.traceMatchesProfile && dpRun.traceMatchesProfile;
+  std::printf("check: trace-derived per-category cycles match the Profile "
+              "exactly: %s\n",
+              traceMatches ? "PASS" : "FAIL");
+  return innerDominates && extSmallDw && extGrowsDp && traceMatches ? 0 : 1;
 }

@@ -2,18 +2,15 @@
 // class the paper's introduction motivates (pressure correction in finite
 // volume solvers).
 //
-// Demonstrates: grid partitioning, the §IV halo layout, a JSON-configured
-// MPIR + PBiCGStab + ILU(0) solver, and per-category cycle profiling.
+// Demonstrates: SolveSession driving a JSON-configured MPIR + PBiCGStab +
+// ILU(0) hierarchy, the refinement history, and the per-category cycle
+// summary derived from the execution trace.
 //
 // Usage: ./example_poisson_solve [grid=24] [tiles=32]
 #include <cstdio>
 #include <cstdlib>
-#include <cmath>
 
-#include "graph/engine.hpp"
-#include "matrix/generators.hpp"
-#include "partition/partition.hpp"
-#include "solver/solvers.hpp"
+#include "graphene.hpp"
 
 using namespace graphene;
 
@@ -28,19 +25,8 @@ int main(int argc, char** argv) {
   std::printf("matrix: %zu rows, %zu nnz (%.1f nnz/row)\n", stats.rows,
               stats.nnz, stats.avgNnzPerRow);
 
-  dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
-  auto layout = partition::buildLayout(
-      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
-  std::printf("halo: %zu separator cells in %zu regions, %zu blockwise "
-              "transfers\n",
-              layout.numSeparatorCells(), layout.regions.size(),
-              layout.transfers.size());
-  solver::DistMatrix A(problem.matrix, std::move(layout));
-
-  dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");
-  dsl::Tensor b = A.makeVector(dsl::DType::Float32, "b");
-
-  auto solver = solver::makeSolverFromString(R"({
+  solver::SolveSession session({.tiles = tiles});
+  session.load(problem).configure(R"({
     "type": "mpir",
     "extendedType": "doubleword",
     "maxRefinements": 12,
@@ -50,37 +36,33 @@ int main(int argc, char** argv) {
       "preconditioner": {"type": "ilu"}
     }
   })");
-  solver->apply(A, x, b);
+  const auto& layout = session.matrix().layout();
+  std::printf("halo: %zu separator cells in %zu regions, %zu blockwise "
+              "transfers\n",
+              layout.numSeparatorCells(), layout.regions.size(),
+              layout.transfers.size());
+  std::printf("solver: %s\n", session.solver().chainName().c_str());
 
-  graph::Engine engine(ctx.graph());
-  A.upload(engine);
   // RHS: a localised source/sink pair, as in a channel-flow pressure
   // correction.
-  std::vector<double> rhs(problem.matrix.rows(), 0.0);
+  std::vector<double> rhs(session.matrix().rows(), 0.0);
   rhs[0] = 1.0;
   rhs[rhs.size() - 1] = -1.0;
-  A.writeVector(engine, b, rhs);
-  engine.run(ctx.program());
+  auto result = session.solve(rhs);
 
-  auto* mpir = dynamic_cast<solver::MpirSolver*>(solver.get());
-  const auto& hist = mpir->trueResidualHistory();
+  auto& mpir = dynamic_cast<solver::MpirSolver&>(session.solver());
+  const auto& hist = mpir.trueResidualHistory();
   std::printf("\nrefinement history (true residual, double-word):\n");
   for (const auto& rec : hist) {
     std::printf("  inner iteration %4zu : rel residual %.3e\n", rec.iteration,
                 rec.residual);
   }
 
-  const auto& prof = engine.profile();
-  std::printf("\ncycle breakdown:\n");
-  for (const auto& [category, cycles] : prof.computeCycles) {
-    std::printf("  %-20s %12.0f cycles (%4.1f%%)\n", category.c_str(), cycles,
-                100.0 * cycles / prof.totalCycles());
-  }
-  std::printf("  %-20s %12.0f cycles (%4.1f%%)\n", "exchange",
-              prof.exchangeCycles,
-              100.0 * prof.exchangeCycles / prof.totalCycles());
+  std::printf("\n%s", support::traceSummaryTable(session.trace())
+                          .render()
+                          .c_str());
   std::printf("simulated solve time: %.3f ms\n",
-              1e3 * engine.elapsedSeconds());
+              1e3 * result.simulatedSeconds);
 
   return hist.empty() || hist.back().residual > 1e-8 ? 1 : 0;
 }

@@ -1,68 +1,61 @@
-// Quickstart: the paper's Figure 1 example.
+// Quickstart: solve a sparse system in three calls.
 //
-// CodeDSL fills a tensor with the Leibniz sequence from each tile's local
-// perspective; TensorDSL reduces it and scales by four, yielding π. Shows
-// the two DSLs working hand-in-hand, host IO, and the cycle profile.
+// SolveSession is the one-stop API: load() partitions the matrix over the
+// simulated IPU's tiles and builds the device structures, configure() builds
+// the (possibly nested) solver from JSON, solve() runs it and hands back the
+// solution, the convergence history and a full execution trace.
 //
-// Build & run:  ./example_quickstart
+// Build & run:  ./example_quickstart [--trace out.json]
+//   --trace writes the merged execution timeline (compute/exchange/sync
+//   spans, solver iterations) as Chrome trace_event JSON — load it into
+//   chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
-#include "dsl/tensor.hpp"
-#include "graph/engine.hpp"
+#include "graphene.hpp"
 
 using namespace graphene;
-using namespace graphene::dsl;
 
-int main() {
-  // A small simulated IPU: 16 tiles, 6 workers each.
-  ipu::IpuTarget target = ipu::IpuTarget::testTarget(/*tiles=*/16);
-  Context ctx(target);
-
-  // Create a TensorDSL tensor distributed over all tiles.
-  const std::size_t n = 100000;
-  Tensor x(DType::Float32, n, "x");
-
-  // Each tile needs its global start offset to compute its share of the
-  // sequence (CodeDSL is tile-centric: it sees only local elements).
-  Tensor offsets(DType::Int32,
-                 graph::TileMapping::replicated(target.totalTiles()),
-                 "offsets");
-
-  // Fill the tensor with the Leibniz sequence using CodeDSL.
-  Execute({x, offsets}, [](Value xv, Value off) {
-    Value base = off[0];
-    For(0, xv.size(), 1, [&](Value i) {
-      Value g = base + i;  // global element index
-      xv[i] = Select(g % 2 == 0, 1.0f, -1.0f) /
-              (2.0f * g.cast(DType::Float32) + 1.0f);
-    });
-  });
-
-  // Calculate pi from the Leibniz sequence using TensorDSL.
-  Tensor pi = Expression(x).reduce() * 4.0f;
-
-  If(Abs(Expression(pi) - 3.141f) < 0.001f,
-     [&] { Print("We found pi!", pi); },
-     [&] { Print("Not quite pi:", pi); });
-
-  // Execute on the simulated IPU.
-  graph::Engine engine(ctx.graph());
-  const auto& info = ctx.graph().tensor(x.id());
-  std::size_t offset = 0;
-  for (std::size_t t = 0; t < target.totalTiles(); ++t) {
-    engine.storeElement(offsets.id(), t,
-                        graph::Scalar(static_cast<std::int32_t>(offset)));
-    offset += info.mapping.sizePerTile[t];
+int main(int argc, char** argv) {
+  std::string tracePath;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) tracePath = argv[i + 1];
   }
-  engine.run(ctx.program());
 
-  const double piValue = engine.readScalar(pi.id()).toHostDouble();
-  const auto& prof = engine.profile();
-  std::printf("pi           = %.6f\n", piValue);
-  std::printf("cycles       = %.0f (compute %.0f, exchange %.0f, sync %.0f)\n",
-              prof.totalCycles(), prof.totalComputeCycles(),
-              prof.exchangeCycles, prof.syncCycles);
-  std::printf("time on IPU  = %.2f us (simulated, %zu tiles)\n",
-              1e6 * engine.elapsedSeconds(), target.totalTiles());
-  return piValue > 3.140 && piValue < 3.143 ? 0 : 1;
+  // A 2-D Poisson problem distributed over 16 simulated tiles, solved with
+  // ILU(0)-preconditioned CG.
+  solver::SolveSession session({.tiles = 16});
+  session.load(matrix::poisson2d5(48, 48))
+      .configure(R"({
+        "type": "cg",
+        "tolerance": 1e-6,
+        "maxIterations": 300,
+        "preconditioner": {"type": "ilu"}
+      })");
+
+  std::vector<double> rhs(session.matrix().rows(), 1.0);
+  auto result = session.solve(rhs);
+
+  std::printf("solver       = %s\n", session.solver().chainName().c_str());
+  std::printf("status       = %s\n", toString(result.solve.status));
+  std::printf("iterations   = %zu (rel residual %.3e)\n",
+              result.solve.iterations, result.solve.finalResidual);
+  std::printf("time on IPU  = %.3f ms (simulated)\n",
+              1e3 * result.simulatedSeconds);
+
+  // The same trace that feeds the Chrome export renders as a per-category
+  // cycle summary (the paper's Table IV granularity).
+  std::printf("\n%s", support::traceSummaryTable(session.trace())
+                          .render()
+                          .c_str());
+
+  if (!tracePath.empty()) {
+    std::ofstream out(tracePath);
+    out << session.traceChromeJson().dump(2) << "\n";
+    std::printf("\ntrace written to %s (%zu events)\n", tracePath.c_str(),
+                session.trace().events().size());
+  }
+  return result.solve.status == solver::SolveStatus::Converged ? 0 : 1;
 }

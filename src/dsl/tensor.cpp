@@ -729,10 +729,10 @@ void HostCall(std::function<void(graph::Engine&)> fn) {
 // Execute — CodeDSL entry point
 // ---------------------------------------------------------------------------
 
-void ExecuteOnTiles(const std::vector<TensorRef>& tensors,
-                    const std::function<void(std::vector<Value>&)>& fn,
-                    const std::string& category,
-                    const std::vector<std::size_t>& tiles) {
+graph::ComputeSetId ExecuteOnTiles(
+    const std::vector<TensorRef>& tensors,
+    const std::function<void(std::vector<Value>&)>& fn,
+    const std::string& category, const std::vector<std::size_t>& tiles) {
   Context& ctx = Context::current();
   graph::Graph& g = ctx.graph();
 
@@ -777,6 +777,7 @@ void ExecuteOnTiles(const std::vector<TensorRef>& tensors,
     g.addVertex(cs, std::move(v));
   }
   ctx.emit(graph::Program::execute(cs));
+  return cs;
 }
 
 void Execute(const std::vector<TensorRef>& tensors,

@@ -202,10 +202,12 @@ void Execute(const std::vector<TensorRef>& tensors,
 
 /// Core Execute working on an explicit tile list; `tiles` restricts which
 /// tiles get a vertex (empty = every tile where some argument has data).
-/// Library building block for solvers.
-void ExecuteOnTiles(const std::vector<TensorRef>& tensors,
-                    const std::function<void(std::vector<Value>&)>& fn,
-                    const std::string& category,
-                    const std::vector<std::size_t>& tiles);
+/// Library building block for solvers. Returns the compute set it emitted,
+/// so callers can attach per-execution metrics to it
+/// (Graph::addComputeSetMetric).
+graph::ComputeSetId ExecuteOnTiles(
+    const std::vector<TensorRef>& tensors,
+    const std::function<void(std::vector<Value>&)>& fn,
+    const std::string& category, const std::vector<std::size_t>& tiles);
 
 }  // namespace graphene::dsl

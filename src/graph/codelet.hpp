@@ -12,6 +12,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/scalar.hpp"
@@ -83,6 +84,9 @@ struct Vertex {
 struct ComputeSet {
   std::string category;
   std::vector<Vertex> vertices;
+  /// Counters ticked into Profile::metrics each time this compute set
+  /// executes (e.g. {"spmv.flops", 2·nnz}). Usually empty.
+  std::vector<std::pair<std::string, double>> perExecMetrics;
 };
 
 }  // namespace graphene::graph

@@ -9,6 +9,7 @@
 #include "ipu/exchange.hpp"
 #include "ipu/worker_pool.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace graphene::graph {
 
@@ -122,6 +123,30 @@ Engine::Engine(Graph& graph, std::size_t numHostThreads)
 
 Engine::~Engine() = default;
 
+void Engine::setTraceSink(support::TraceSink* sink) {
+  trace_ = sink;
+  // Only fault-log entries appended from now on belong to this trace.
+  tracedFaultEvents_ = profile_.faultEvents.size();
+}
+
+void Engine::traceNewFaultEvents() {
+  const auto& log = profile_.faultEvents;
+  for (; tracedFaultEvents_ < log.size(); ++tracedFaultEvents_) {
+    const ipu::FaultEvent& fe = log[tracedFaultEvents_];
+    support::TraceEvent ev;
+    ev.kind = fe.kind.rfind("recovery:", 0) == 0
+                  ? support::TraceKind::Recovery
+                  : support::TraceKind::Fault;
+    ev.name = fe.kind;
+    ev.startCycle = simClock_;
+    ev.superstep = fe.superstep;
+    ev.detail = fe.target.empty()
+                    ? fe.detail
+                    : fe.target + (fe.detail.empty() ? "" : ": " + fe.detail);
+    trace_->record(std::move(ev));
+  }
+}
+
 void Engine::syncStorage() {
   for (std::size_t i = storage_.size(); i < graph_.numTensors(); ++i) {
     storage_.emplace_back(graph_.tensor(static_cast<TensorId>(i)));
@@ -175,7 +200,7 @@ void Engine::run(const ProgramPtr& program) {
       runExecute(program->computeSet);
       break;
     case Program::Kind::Copy:
-      runCopy(program->copies);
+      runCopy(*program);
       break;
     case Program::Kind::Repeat:
       for (std::size_t i = 0; i < program->repeatCount; ++i) {
@@ -199,6 +224,10 @@ void Engine::run(const ProgramPtr& program) {
       break;
     case Program::Kind::HostCall:
       if (program->hostFn) program->hostFn(*this);
+      // Solver guards append recovery actions to the fault log from host
+      // callbacks; mirror them into the trace right away so the timeline
+      // stays ordered.
+      if (trace_ != nullptr) traceNewFaultEvents();
       break;
   }
 }
@@ -284,8 +313,27 @@ void Engine::runExecute(ComputeSetId csId) {
       tileCycles_[ti] = runTileTask(cs, plan, storage, ti);
     }
   }
+  // Tile-cycle distribution of this superstep: the max is the BSP critical
+  // path; min/mean and the straggler tile id feed the straggler stats and
+  // the trace. One serial pass in task order, so the result is bit-identical
+  // at every host thread count.
   double maxTileCycles = 0;
-  for (double c : tileCycles_) maxTileCycles = std::max(maxTileCycles, c);
+  double minTileCycles = 0;
+  double sumTileCycles = 0;
+  std::size_t stragglerTask = 0;
+  for (std::size_t ti = 0; ti < nTasks; ++ti) {
+    const double c = tileCycles_[ti];
+    sumTileCycles += c;
+    if (ti == 0 || c < minTileCycles) minTileCycles = c;
+    if (c > maxTileCycles) {
+      maxTileCycles = c;
+      stragglerTask = ti;
+    }
+  }
+  const double meanTileCycles =
+      nTasks > 0 ? sumTileCycles / static_cast<double>(nTasks) : 0.0;
+  const std::size_t stragglerTile =
+      nTasks > 0 ? plan.tasks[stragglerTask].tile : SIZE_MAX;
   profile_.verticesExecuted += cs.vertices.size();
 
   // Fault injection: SRAM upsets land between supersteps; a stalled tile
@@ -300,11 +348,43 @@ void Engine::runExecute(ComputeSetId csId) {
   // parallel, so the cost does not grow with the pod size. Global syncs are
   // only paid when an exchange crosses IPUs (priced in priceExchange).
   profile_.computeCycles[cs.category] += maxTileCycles;
+  profile_.superstepStats[cs.category].record(profile_.computeSupersteps,
+                                              minTileCycles, meanTileCycles,
+                                              maxTileCycles, stragglerTile);
   profile_.syncCycles += target.syncCyclesOnChip;
   profile_.computeSupersteps += 1;
+  for (const auto& [name, value] : cs.perExecMetrics) {
+    profile_.metrics.addCounter(name, value);
+  }
+
+  if (trace_ != nullptr) {
+    support::TraceEvent ev;
+    ev.kind = support::TraceKind::ComputeSuperstep;
+    ev.name = cs.category;
+    ev.startCycle = simClock_;
+    ev.durationCycles = maxTileCycles;
+    ev.superstep = profile_.computeSupersteps - 1;
+    ev.tileMin = minTileCycles;
+    ev.tileMean = meanTileCycles;
+    ev.tileMax = maxTileCycles;
+    ev.stragglerTile = stragglerTile;
+    ev.activeTiles = nTasks;
+    trace_->record(std::move(ev));
+
+    support::TraceEvent sync;
+    sync.kind = support::TraceKind::Sync;
+    sync.name = "sync";
+    sync.startCycle = simClock_ + maxTileCycles;
+    sync.durationCycles = target.syncCyclesOnChip;
+    sync.superstep = profile_.computeSupersteps - 1;
+    trace_->record(std::move(sync));
+  }
+  simClock_ += maxTileCycles + target.syncCyclesOnChip;
+  if (trace_ != nullptr) traceNewFaultEvents();
 }
 
-void Engine::runCopy(const std::vector<CopySegment>& segments) {
+void Engine::runCopy(const Program& program) {
+  const std::vector<CopySegment>& segments = program.copies;
   std::vector<ipu::Transfer> transfers;
   transfers.reserve(segments.size());
   for (const CopySegment& seg : segments) {
@@ -355,6 +435,22 @@ void Engine::runCopy(const std::vector<CopySegment>& segments) {
   profile_.exchangeSupersteps += 1;
   profile_.exchangeInstructions += stats.instructions;
   profile_.exchangedBytes += stats.totalBytes;
+  for (const auto& [name, value] : program.copyMetrics) {
+    profile_.metrics.addCounter(name, value);
+  }
+
+  if (trace_ != nullptr) {
+    support::TraceEvent ev;
+    ev.kind = support::TraceKind::ExchangeSuperstep;
+    ev.name = "exchange";
+    ev.startCycle = simClock_;
+    ev.durationCycles = stats.cycles;
+    ev.superstep = profile_.exchangeSupersteps - 1;
+    ev.bytes = stats.totalBytes;
+    trace_->record(std::move(ev));
+  }
+  simClock_ += stats.cycles;
+  if (trace_ != nullptr) traceNewFaultEvents();
 }
 
 }  // namespace graphene::graph

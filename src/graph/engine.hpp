@@ -19,6 +19,7 @@
 
 namespace graphene::support {
 class ThreadPool;
+class TraceSink;
 }
 
 namespace graphene::graph {
@@ -89,6 +90,19 @@ class Engine {
   void setFaultPlan(ipu::FaultPlan* plan) { faultPlan_ = plan; }
   ipu::FaultPlan* faultPlan() const { return faultPlan_; }
 
+  /// Attaches a trace sink (non-owning; nullptr detaches). Every compute
+  /// superstep, exchange, sync, injected fault and solver recovery action is
+  /// recorded as a timeline event. Pay-for-what-you-use: with no sink
+  /// attached each emission site is a single null-pointer test. Events
+  /// already in the profile's fault log at attach time are not re-emitted.
+  void setTraceSink(support::TraceSink* sink);
+  support::TraceSink* traceSink() const { return trace_; }
+
+  /// Monotonic simulated clock: cycles executed by this engine so far
+  /// (compute + exchange + sync). Unlike profile().totalCycles() it is O(1)
+  /// and survives profile clears — trace timestamps are drawn from it.
+  double simCycles() const { return simClock_; }
+
   /// Simulated wall-clock seconds for everything run so far.
   double elapsedSeconds() const {
     return target().secondsFromCycles(profile_.totalCycles());
@@ -133,13 +147,19 @@ class Engine {
   double runTileTask(const ComputeSet& cs, const ExecPlan& plan,
                      TensorStorage* storage, std::size_t task);
   const ExecPlan& planFor(ComputeSetId cs);
-  void runCopy(const std::vector<CopySegment>& segments);
+  void runCopy(const Program& program);
   void syncStorage();
+  /// Mirrors fault-log entries appended since the last call (injected
+  /// faults, solver recovery actions) into the trace as timeline events.
+  void traceNewFaultEvents();
 
   Graph& graph_;
   std::vector<TensorStorage> storage_;
   ipu::Profile profile_;
   ipu::FaultPlan* faultPlan_ = nullptr;
+  support::TraceSink* trace_ = nullptr;
+  double simClock_ = 0;             // monotonic simulated cycles
+  std::size_t tracedFaultEvents_ = 0;  // fault-log prefix already traced
   std::size_t numHostThreads_ = 1;
   std::unique_ptr<support::ThreadPool> hostPool_;  // null when single-threaded
   std::vector<ExecPlan> plans_;                    // indexed by ComputeSetId

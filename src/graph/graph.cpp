@@ -32,8 +32,14 @@ const Codelet& Graph::codelet(CodeletId id) const {
 }
 
 ComputeSetId Graph::addComputeSet(std::string category) {
-  computeSets_.push_back(ComputeSet{std::move(category), {}});
+  computeSets_.push_back(ComputeSet{std::move(category), {}, {}});
   return static_cast<ComputeSetId>(computeSets_.size() - 1);
+}
+
+void Graph::addComputeSetMetric(ComputeSetId cs, std::string name,
+                                double value) {
+  GRAPHENE_CHECK(cs < computeSets_.size(), "invalid compute set id");
+  computeSets_[cs].perExecMetrics.emplace_back(std::move(name), value);
 }
 
 void Graph::addVertex(ComputeSetId cs, Vertex v) {

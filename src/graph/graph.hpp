@@ -38,6 +38,10 @@ class Graph {
 
   ComputeSetId addComputeSet(std::string category);
   void addVertex(ComputeSetId cs, Vertex v);
+  /// Registers a counter ticked into Profile::metrics on every execution of
+  /// `cs` (e.g. SpMV FLOPs). Cheap: the engine walks an almost-always-empty
+  /// list per superstep.
+  void addComputeSetMetric(ComputeSetId cs, std::string name, double value);
   const ComputeSet& computeSet(ComputeSetId id) const;
   std::size_t numComputeSets() const { return computeSets_.size(); }
 

@@ -56,6 +56,9 @@ struct Program {
 
   // Copy
   std::vector<CopySegment> copies;
+  /// Counters ticked into Profile::metrics each time this copy executes
+  /// (e.g. {"halo.bytes", wire bytes}). Usually empty.
+  std::vector<std::pair<std::string, double>> copyMetrics;
 
   // Repeat
   std::size_t repeatCount = 0;

@@ -1,0 +1,21 @@
+// Umbrella header: the framework's public surface in one include.
+//
+//   #include "graphene.hpp"
+//
+//   graphene::solver::SolveSession session;
+//   session.load(graphene::matrix::poisson3d7(24, 24, 24))
+//          .configure(R"({"type": "cg", "tolerance": 1e-6})");
+//   auto result = session.solve(rhs);
+//
+// Layered use (own Context/Engine, custom codelets) remains available
+// through the individual headers this one pulls in.
+#pragma once
+
+#include "dsl/tensor.hpp"          // TensorDSL + CodeDSL symbolic execution
+#include "graph/engine.hpp"        // simulated-IPU execution + profiling
+#include "ipu/fault.hpp"           // deterministic fault injection
+#include "matrix/generators.hpp"   // model problems (Poisson stencils, ...)
+#include "partition/partition.hpp" // row → tile partitioning
+#include "solver/session.hpp"      // the one-stop SolveSession facade
+#include "solver/solvers.hpp"      // solver suite + JSON factory
+#include "support/trace.hpp"       // execution tracing + metrics

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "solver/solvers.hpp"
+#include "support/trace.hpp"
 
 namespace graphene::solver {
 
@@ -160,10 +161,14 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
         histPtr->push_back({histPtr->size() + 1, rel});
         resPtr->iterations = it;
         resPtr->finalResidual = rel;
+        support::recordIteration(e.traceSink(), "bicgstab", histPtr->size(),
+                                 rel, e.simCycles(),
+                                 e.profile().computeSupersteps);
         return;
       }
       if (recovery && resPtr->restarts < opts.maxRestarts) {
         ++resPtr->restarts;
+        e.profile().metrics.addCounter("bicgstab.restarts", 1);
         e.writeScalar(restartId, graph::Scalar(std::int32_t(1)));
         // Repair the condition scalar so the While loop survives the NaN
         // (NaN comparisons are false and would end the loop prematurely).

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "solver/solvers.hpp"
+#include "support/trace.hpp"
 
 namespace graphene::solver {
 
@@ -18,10 +19,20 @@ using dsl::Tensor;
 void RichardsonSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
   z = Expression(0.0f);
   Tensor res = a.makeVector(DType::Float32, "rich_res");
+  // Iteration counter shared by every execution of the emitted loop body —
+  // Richardson computes no residual norm (that would change its cycle
+  // cost), so its trace samples carry the iteration index only.
+  auto count = std::make_shared<std::size_t>(0);
   dsl::Repeat(iterations_, [&] {
     a.spmv(res, z);
     z = Expression(z) +
         Expression(omega_) * (Expression(r) - Expression(res));
+    dsl::HostCall([count](graph::Engine& e) {
+      ++*count;
+      support::recordIteration(e.traceSink(), "richardson", *count, -1.0,
+                               e.simCycles(),
+                               e.profile().computeSupersteps);
+    });
   });
 }
 
@@ -133,12 +144,16 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
         histPtr->push_back({histPtr->size() + 1, rel});
         resPtr->iterations = it;
         resPtr->finalResidual = rel;
+        support::recordIteration(e.traceSink(), "cg", histPtr->size(), rel,
+                                 e.simCycles(),
+                                 e.profile().computeSupersteps);
         return;
       }
       // A NaN/Inf or runaway residual never reaches the history; it either
       // triggers a restart or becomes the typed outcome of the solve.
       if (recovery && resPtr->restarts < opts.maxRestarts) {
         ++resPtr->restarts;
+        e.profile().metrics.addCounter("cg.restarts", 1);
         e.writeScalar(restartId, graph::Scalar(std::int32_t(1)));
         // Repair the condition scalar so the While loop survives the NaN
         // (NaN comparisons are false and would end the loop prematurely).

@@ -1,5 +1,10 @@
 // JSON-driven solver factory (§V: "The solver hierarchy and associated
 // parameters are easily configured through a JSON file").
+//
+// Configs are validated strictly: an unknown key or a key of the wrong JSON
+// type is an error that names the offending key and lists the keys the
+// solver type accepts. A typo like "tolerence" therefore fails the build of
+// the solver instead of silently running with the default.
 #include "solver/solvers.hpp"
 #include "support/error.hpp"
 
@@ -15,6 +20,52 @@ DType parseExtendedType(const std::string& s) {
   return DType::Float32;
 }
 
+/// What a solver config key must hold.
+enum class KeyKind { Number, String, Object };
+
+const char* toString(KeyKind kind) {
+  switch (kind) {
+    case KeyKind::Number: return "number";
+    case KeyKind::String: return "string";
+    case KeyKind::Object: return "object";
+  }
+  return "?";
+}
+
+struct KeySpec {
+  const char* key;
+  KeyKind kind;
+};
+
+/// Rejects unknown keys and wrong JSON types, naming the offending key and
+/// listing the keys `where` accepts.
+void validateKeys(const json::Value& config, const std::string& where,
+                  std::initializer_list<KeySpec> allowed) {
+  for (const auto& [key, value] : config.asObject()) {
+    const KeySpec* spec = nullptr;
+    for (const KeySpec& s : allowed) {
+      if (key == s.key) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      std::string valid;
+      for (const KeySpec& s : allowed) {
+        if (!valid.empty()) valid += ", ";
+        valid += s.key;
+      }
+      GRAPHENE_CHECK(false, "unknown key '", key, "' in ", where,
+                     " config (valid keys: ", valid, ")");
+    }
+    const bool ok = spec->kind == KeyKind::Number   ? value.isNumber()
+                    : spec->kind == KeyKind::String ? value.isString()
+                                                    : value.isObject();
+    GRAPHENE_CHECK(ok, "key '", key, "' in ", where, " config must be a ",
+                   toString(spec->kind));
+  }
+}
+
 }  // namespace
 
 RobustnessOptions parseRobustness(const json::Value& config) {
@@ -22,6 +73,13 @@ RobustnessOptions parseRobustness(const json::Value& config) {
   if (!config.isObject() || !config.contains("robustness")) return opts;
   const json::Value& r = config.at("robustness");
   GRAPHENE_CHECK(r.isObject(), "'robustness' must be a JSON object");
+  validateKeys(r, "'robustness'",
+               {{"maxRestarts", KeyKind::Number},
+                {"divergenceFactor", KeyKind::Number},
+                {"breakdownTolerance", KeyKind::Number},
+                {"checkpointEvery", KeyKind::Number},
+                {"maxRollbacks", KeyKind::Number},
+                {"residualGrowthFactor", KeyKind::Number}});
   opts.maxRestarts = static_cast<std::size_t>(
       r.getOr("maxRestarts", static_cast<std::int64_t>(opts.maxRestarts)));
   opts.divergenceFactor = r.getOr("divergenceFactor", opts.divergenceFactor);
@@ -44,34 +102,62 @@ RobustnessOptions parseRobustness(const json::Value& config) {
 
 std::unique_ptr<Solver> makeSolver(const json::Value& config) {
   GRAPHENE_CHECK(config.isObject(), "solver config must be a JSON object");
+  GRAPHENE_CHECK(config.contains("type"),
+                 "solver config needs a 'type' key (bicgstab, cg, mpir, "
+                 "gauss-seidel, richardson, jacobi, ilu, dilu, identity)");
+  GRAPHENE_CHECK(config.at("type").isString(),
+                 "key 'type' in solver config must be a string");
   const std::string type = config.at("type").asString();
+  const std::string where = "'" + type + "' solver";
 
   if (type == "identity" || type == "none") {
+    validateKeys(config, where, {{"type", KeyKind::String}});
     return std::make_unique<IdentitySolver>();
   }
   if (type == "jacobi") {
+    validateKeys(config, where,
+                 {{"type", KeyKind::String},
+                  {"iterations", KeyKind::Number},
+                  {"omega", KeyKind::Number}});
     return std::make_unique<JacobiSolver>(
         static_cast<std::size_t>(config.getOr("iterations", 3)),
         static_cast<float>(config.getOr("omega", 1.0)));
   }
   if (type == "gauss-seidel" || type == "gaussseidel" || type == "gs") {
+    validateKeys(config, where,
+                 {{"type", KeyKind::String},
+                  {"sweeps", KeyKind::Number},
+                  {"tolerance", KeyKind::Number},
+                  {"maxIterations", KeyKind::Number}});
     return std::make_unique<GaussSeidelSolver>(
         static_cast<std::size_t>(config.getOr("sweeps", 1)),
         config.getOr("tolerance", 0.0),
         static_cast<std::size_t>(config.getOr("maxIterations", 1000)));
   }
   if (type == "ilu") {
+    validateKeys(config, where, {{"type", KeyKind::String}});
     return std::make_unique<IluSolver>(IluSolver::Variant::Ilu0);
   }
   if (type == "dilu") {
+    validateKeys(config, where, {{"type", KeyKind::String}});
     return std::make_unique<IluSolver>(IluSolver::Variant::Dilu);
   }
   if (type == "richardson") {
+    validateKeys(config, where,
+                 {{"type", KeyKind::String},
+                  {"iterations", KeyKind::Number},
+                  {"omega", KeyKind::Number}});
     return std::make_unique<RichardsonSolver>(
         static_cast<std::size_t>(config.getOr("iterations", 10)),
         static_cast<float>(config.getOr("omega", 0.5)));
   }
   if (type == "bicgstab" || type == "cg") {
+    validateKeys(config, where,
+                 {{"type", KeyKind::String},
+                  {"maxIterations", KeyKind::Number},
+                  {"tolerance", KeyKind::Number},
+                  {"preconditioner", KeyKind::Object},
+                  {"robustness", KeyKind::Object}});
     std::unique_ptr<Solver> precond;
     if (config.contains("preconditioner")) {
       precond = makeSolver(config.at("preconditioner"));
@@ -91,6 +177,13 @@ std::unique_ptr<Solver> makeSolver(const json::Value& config) {
                                             parseRobustness(config));
   }
   if (type == "mpir" || type == "ir") {
+    validateKeys(config, where,
+                 {{"type", KeyKind::String},
+                  {"extendedType", KeyKind::String},
+                  {"maxRefinements", KeyKind::Number},
+                  {"tolerance", KeyKind::Number},
+                  {"inner", KeyKind::Object},
+                  {"robustness", KeyKind::Object}});
     GRAPHENE_CHECK(config.contains("inner"),
                    "mpir solver needs an 'inner' solver config");
     return std::make_unique<MpirSolver>(
@@ -100,7 +193,9 @@ std::unique_ptr<Solver> makeSolver(const json::Value& config) {
         config.getOr("tolerance", 1e-13), makeSolver(config.at("inner")),
         parseRobustness(config));
   }
-  GRAPHENE_CHECK(false, "unknown solver type '", type, "'");
+  GRAPHENE_CHECK(false, "unknown solver type '", type,
+                 "' (valid: bicgstab, cg, mpir, ir, gauss-seidel, "
+                 "richardson, jacobi, ilu, dilu, identity)");
   return nullptr;
 }
 

@@ -157,7 +157,14 @@ void DistMatrix::haloExchange(const Tensor& v) {
     segs.push_back(std::move(s));
   }
   if (!segs.empty()) {
-    Context::current().emit(graph::Program::copy(std::move(segs)));
+    graph::ProgramPtr copy = graph::Program::copy(std::move(segs));
+    double wireBytes = 0;
+    for (const graph::CopySegment& s : copy->copies) {
+      wireBytes += static_cast<double>(s.count * ipu::sizeOf(v.type()));
+    }
+    copy->copyMetrics.emplace_back("halo.bytes", wireBytes);
+    copy->copyMetrics.emplace_back("halo.exchanges", 1.0);
+    Context::current().emit(std::move(copy));
   }
 }
 
@@ -166,7 +173,7 @@ void DistMatrix::spmv(Tensor& y, const Tensor& v, bool exchange,
   GRAPHENE_CHECK(y.type() == v.type(), "spmv dtype mismatch");
   if (exchange) haloExchange(v);
   Tensor& halo = haloBuffer(v.type());
-  ExecuteOnTiles(
+  graph::ComputeSetId cs = ExecuteOnTiles(
       {y, v, halo, *diag_, *offVal_, *offCol_, *offRowPtr_, *offSplit_},
       [&](std::vector<Value>& args) {
         Value yv = args[0], xv = args[1], hv = args[2], dv = args[3],
@@ -186,6 +193,13 @@ void DistMatrix::spmv(Tensor& y, const Tensor& v, bool exchange,
         });
       },
       category, activeTiles_);
+  // 1 multiply per stored coefficient (diag + off-diag) and 1 add per
+  // off-diagonal entry, per execution of the emitted compute set.
+  graph::Graph& g = Context::current().graph();
+  g.addComputeSetMetric(
+      cs, "spmv.flops",
+      static_cast<double>(diagHost_.size() + 2 * valHost_.size()));
+  g.addComputeSetMetric(cs, "spmv.count", 1.0);
 }
 
 void DistMatrix::residualExt(Tensor& r, const Tensor& b, const Tensor& x) {

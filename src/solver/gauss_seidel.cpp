@@ -3,6 +3,7 @@
 
 #include "levelset/levelset.hpp"
 #include "solver/solvers.hpp"
+#include "support/trace.hpp"
 
 namespace graphene::solver {
 
@@ -128,6 +129,9 @@ void GaussSeidelSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
           }
           histPtr->push_back({histPtr->size() + 1, rel});
           resPtr->finalResidual = rel;
+          support::recordIteration(e.traceSink(), "gauss-seidel",
+                                   histPtr->size(), rel, e.simCycles(),
+                                   e.profile().computeSupersteps);
         });
       });
   dsl::HostCall([resPtr, resId, bId, iterId, tolerance](graph::Engine& e) {

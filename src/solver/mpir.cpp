@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "solver/solvers.hpp"
+#include "support/trace.hpp"
 
 namespace graphene::solver {
 
@@ -113,6 +114,9 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
         resPtr->finalResidual = rel;
         guard->lastGoodResidual = rel;
         guard->nextCost = 1;  // a good step resets the backoff
+        support::recordIteration(e.traceSink(), "mpir", resPtr->iterations,
+                                 rel, e.simCycles(),
+                                 e.profile().computeSupersteps);
         return;
       }
       if (recovery &&
@@ -120,6 +124,7 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
         guard->budgetUsed += guard->nextCost;
         guard->nextCost *= 2;
         ++resPtr->rollbacks;
+        e.profile().metrics.addCounter("mpir.rollbacks", 1);
         e.writeScalar(rollbackId, graph::Scalar(std::int32_t(1)));
         // Repair the condition scalar so the While loop survives the NaN
         // (NaN comparisons are false and would end the loop prematurely).

@@ -1,0 +1,106 @@
+// SolveSession implementation: owns the Context → layout → DistMatrix →
+// Solver → Engine choreography so callers don't have to.
+#include "solver/session.hpp"
+
+#include "dsl/context.hpp"
+#include "graph/engine.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "support/error.hpp"
+
+namespace graphene::solver {
+
+SolveSession::SolveSession(SessionOptions options)
+    : options_(options), trace_(std::max<std::size_t>(options.traceCapacity, 1)) {
+  GRAPHENE_CHECK(options_.tiles > 0, "SessionOptions.tiles must be positive");
+}
+
+SolveSession::~SolveSession() = default;
+
+SolveSession& SolveSession::load(const matrix::GeneratedMatrix& m) {
+  GRAPHENE_CHECK(!A_, "SolveSession::load() may only be called once");
+  ctx_ = std::make_unique<dsl::Context>(
+      ipu::IpuTarget::testTarget(options_.tiles));
+  auto layout = partition::buildLayout(
+      m.matrix, partition::partitionAuto(m, options_.tiles), options_.tiles);
+  A_ = std::make_unique<DistMatrix>(m.matrix, std::move(layout));
+  return *this;
+}
+
+SolveSession& SolveSession::load(const matrix::CsrMatrix& m) {
+  matrix::GeneratedMatrix g;  // no geometry hints → BFS partitioning
+  g.matrix = m;
+  g.name = "csr";
+  return load(g);
+}
+
+SolveSession& SolveSession::configure(const json::Value& solverConfig) {
+  GRAPHENE_CHECK(!emitted_,
+                 "SolveSession::configure() after solve(): the emitted "
+                 "program is tied to the previous solver");
+  solver_ = makeSolver(solverConfig);
+  return *this;
+}
+
+SolveSession& SolveSession::configure(const std::string& solverJsonText) {
+  return configure(json::parse(solverJsonText));
+}
+
+SolveSession& SolveSession::withFaultPlan(const json::Value& planConfig) {
+  faultPlan_ = ipu::FaultPlan::fromJson(planConfig);
+  return *this;
+}
+
+SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
+  GRAPHENE_CHECK(A_, "SolveSession::solve() before load(): no matrix");
+  GRAPHENE_CHECK(solver_,
+                 "SolveSession::solve() before configure(): no solver");
+  GRAPHENE_CHECK(rhs.size() == A_->rows(), "rhs has ", rhs.size(),
+                 " entries but the matrix has ", A_->rows(), " rows");
+
+  if (!emitted_) {
+    x_.emplace(A_->makeVector(DType::Float32, "session_x"));
+    b_.emplace(A_->makeVector(DType::Float32, "session_b"));
+    solver_->apply(*A_, *x_, *b_);
+    emitted_ = true;
+  }
+
+  solver_->clearHistory();
+  trace_.clear();
+  engine_ = std::make_unique<graph::Engine>(ctx_->graph(),
+                                            options_.hostThreads);
+  if (options_.traceCapacity > 0) engine_->setTraceSink(&trace_);
+  if (faultPlan_) engine_->setFaultPlan(&*faultPlan_);
+  A_->upload(*engine_);
+  A_->writeVector(*engine_, *b_, rhs);
+  engine_->run(ctx_->program());
+
+  Result r;
+  r.solve = solver_->result();
+  r.x = A_->readVector(*engine_, *x_);
+  r.history = solver_->history();
+  r.simulatedSeconds = engine_->elapsedSeconds();
+  return r;
+}
+
+const ipu::Profile& SolveSession::profile() const {
+  GRAPHENE_CHECK(engine_, "SolveSession::profile() before solve()");
+  return engine_->profile();
+}
+
+Solver& SolveSession::solver() {
+  GRAPHENE_CHECK(solver_, "SolveSession::solver() before configure()");
+  return *solver_;
+}
+
+DistMatrix& SolveSession::matrix() {
+  GRAPHENE_CHECK(A_, "SolveSession::matrix() before load()");
+  return *A_;
+}
+
+graph::Engine& SolveSession::engine() {
+  GRAPHENE_CHECK(engine_, "SolveSession::engine() before solve()");
+  return *engine_;
+}
+
+}  // namespace graphene::solver

@@ -1,0 +1,120 @@
+// SolveSession — the one-stop solver API.
+//
+// Composing a solve by hand takes five objects in the right order: an
+// IpuTarget, a dsl::Context, a partition layout, a DistMatrix, a Solver and
+// finally an Engine per execution. SolveSession owns that choreography
+// behind three calls:
+//
+//   SolveSession session;
+//   session.load(matrix::poisson3d7(24, 24, 24))
+//          .configure(R"({"type": "cg", "tolerance": 1e-6})");
+//   auto result = session.solve(rhs);
+//   // result.x, result.solve.status, session.trace(), session.profile()
+//
+// Every solve runs on a fresh Engine with the session's TraceSink attached,
+// so the merged timeline (compute/exchange/sync spans, solver iterations,
+// fault and recovery events) and the cycle profile are always available
+// afterwards — observability is the default here, not an opt-in.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipu/fault.hpp"
+#include "solver/solver.hpp"
+#include "support/trace.hpp"
+
+namespace graphene::dsl {
+class Context;
+}
+namespace graphene::matrix {
+struct GeneratedMatrix;
+}
+
+namespace graphene::solver {
+
+struct SessionOptions {
+  /// Tiles of the simulated IPU (IpuTarget::testTarget geometry).
+  std::size_t tiles = 32;
+  /// Host threads simulating tiles in parallel; 0 = Engine's default
+  /// resolution (GRAPHENE_TEST_HOST_THREADS, else hardware concurrency).
+  std::size_t hostThreads = 0;
+  /// Ring capacity of the session's TraceSink; 0 disables tracing.
+  std::size_t traceCapacity = support::TraceSink::kDefaultCapacity;
+};
+
+class SolveSession {
+ public:
+  explicit SolveSession(SessionOptions options = {});
+  ~SolveSession();
+  SolveSession(const SolveSession&) = delete;
+  SolveSession& operator=(const SolveSession&) = delete;
+
+  /// Builds the distributed matrix: partitions the rows (grid partitioning
+  /// when geometry is available, BFS otherwise), lays out the §IV halo
+  /// regions and creates the device structures. Call once, before solve().
+  ///
+  /// Note: a SolveSession owns the (thread-local, single-active)
+  /// dsl::Context from load() until destruction — build sessions one at a
+  /// time.
+  SolveSession& load(const matrix::GeneratedMatrix& m);
+  /// Same for a bare CSR matrix with no geometry hints (BFS partitioning).
+  SolveSession& load(const matrix::CsrMatrix& m);
+
+  /// Builds the (possibly nested) solver from its JSON config — strictly
+  /// validated, see makeSolver(). Call before solve(); reconfiguring after
+  /// a solve is an error (the emitted program is tied to the solver).
+  SolveSession& configure(const json::Value& solverConfig);
+  SolveSession& configure(const std::string& solverJsonText);
+  // json::Value converts from const char* too — disambiguate string literals
+  // toward the parse-then-build path.
+  SolveSession& configure(const char* solverJsonText) {
+    return configure(std::string(solverJsonText));
+  }
+
+  /// Attaches a fault-injection plan applied to every subsequent solve.
+  SolveSession& withFaultPlan(const json::Value& planConfig);
+
+  /// Everything a solve produces, copied out of the device state.
+  struct Result {
+    SolveResult solve;                     // structured outcome
+    std::vector<double> x;                 // solution, global row order
+    std::vector<IterationRecord> history;  // convergence samples
+    double simulatedSeconds = 0.0;         // wall clock on the simulated IPU
+  };
+
+  /// Runs the configured solver on a fresh Engine. The program is emitted
+  /// once (first call) and re-executed on subsequent calls; the trace sink
+  /// is cleared per solve, so trace() always shows the latest one.
+  Result solve(std::span<const double> rhs);
+
+  /// The merged execution timeline of the last solve.
+  const support::TraceSink& trace() const { return trace_; }
+  /// Convenience: the last solve's trace in Chrome trace_event JSON
+  /// (load into chrome://tracing or Perfetto).
+  json::Value traceChromeJson() const { return support::traceToChromeJson(trace_); }
+
+  /// Cycle profile of the last solve.
+  const ipu::Profile& profile() const;
+
+  Solver& solver();
+  DistMatrix& matrix();
+  /// Engine of the last solve (valid until the next solve()).
+  graph::Engine& engine();
+
+ private:
+  SessionOptions options_;
+  std::unique_ptr<dsl::Context> ctx_;
+  std::unique_ptr<DistMatrix> A_;
+  std::unique_ptr<Solver> solver_;
+  std::unique_ptr<graph::Engine> engine_;
+  std::optional<ipu::FaultPlan> faultPlan_;
+  std::optional<Tensor> x_, b_;
+  support::TraceSink trace_;
+  bool emitted_ = false;
+};
+
+}  // namespace graphene::solver

@@ -119,6 +119,24 @@ class Solver {
   /// NotRun for pure preconditioners).
   const SolveResult& result() const { return *result_; }
 
+  /// The nested solver this one delegates to, or nullptr for leaf solvers.
+  /// CG/BiCGStab return their preconditioner, MPIR its inner solver (IR is
+  /// preconditioned Richardson, so the inner solve *is* the preconditioner
+  /// application). Lets nested configurations be introspected uniformly —
+  /// e.g. the trace exporter naming solver rows, or tooling walking a chain
+  /// like mpir → bicgstab → ilu.
+  virtual Solver* preconditioner() { return nullptr; }
+
+  /// "cg+jacobi", "mpir+bicgstab+ilu": the solver chain, outermost first.
+  std::string chainName() {
+    std::string s = name();
+    for (Solver* p = preconditioner(); p != nullptr;
+         p = p->preconditioner()) {
+      s += "+" + p->name();
+    }
+    return s;
+  }
+
  protected:
   virtual void setup(DistMatrix& a) { (void)a; }
 

@@ -110,7 +110,7 @@ class CgSolver final : public Solver {
         precond_(std::move(preconditioner)), robust_(robustness) {}
   std::string name() const override { return "cg"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
-  Solver* preconditioner() { return precond_.get(); }
+  Solver* preconditioner() override { return precond_.get(); }
 
  private:
   std::size_t maxIterations_;
@@ -131,7 +131,7 @@ class BiCgStabSolver final : public Solver {
         precond_(std::move(preconditioner)), robust_(robustness) {}
   std::string name() const override { return "bicgstab"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
-  Solver* preconditioner() { return precond_.get(); }
+  Solver* preconditioner() override { return precond_.get(); }
 
   /// Measurement aid for the convergence figures: every `everyIterations`
   /// the *true* residual b − A·x is computed on the device in double-word
@@ -175,6 +175,9 @@ class MpirSolver final : public Solver {
   std::string name() const override { return "mpir"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
   Solver* inner() { return inner_.get(); }
+  /// IR is preconditioned Richardson in the extended type: the inner solve
+  /// plays the preconditioner role in the nested-config introspection.
+  Solver* preconditioner() override { return inner_.get(); }
 
   /// True-residual history: one sample per refinement step, measured in the
   /// extended type (this is what Figures 9/10 plot).

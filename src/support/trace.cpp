@@ -1,0 +1,308 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace graphene::support {
+
+const char* toString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::ComputeSuperstep: return "compute";
+    case TraceKind::ExchangeSuperstep: return "exchange";
+    case TraceKind::Sync: return "sync";
+    case TraceKind::Iteration: return "iteration";
+    case TraceKind::Fault: return "fault";
+    case TraceKind::Recovery: return "recovery";
+  }
+  return "unknown";
+}
+
+bool TraceEvent::operator==(const TraceEvent& o) const {
+  return kind == o.kind && name == o.name && startCycle == o.startCycle &&
+         durationCycles == o.durationCycles && superstep == o.superstep &&
+         tileMin == o.tileMin && tileMean == o.tileMean &&
+         tileMax == o.tileMax && stragglerTile == o.stragglerTile &&
+         activeTiles == o.activeTiles && bytes == o.bytes &&
+         iteration == o.iteration && residual == o.residual &&
+         detail == o.detail;
+}
+
+void MetricsRegistry::addCounter(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::setGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& o) {
+  for (const auto& [k, v] : o.counters_) counters_[k] += v;
+  for (const auto& [k, v] : o.gauges_) gauges_[k] = v;
+  return *this;
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceSink::record(TraceEvent event) {
+  switch (event.kind) {
+    case TraceKind::ComputeSuperstep: {
+      CategorySummary& s = computeSummary_[event.name];
+      s.supersteps += 1;
+      s.cycles += event.durationCycles;
+      s.tileMeanCycles += event.tileMean;
+      s.tileMinCycles += event.tileMin;
+      if (event.durationCycles > s.worstCycles) {
+        s.worstCycles = event.durationCycles;
+        s.worstStragglerTile = event.stragglerTile;
+      }
+      break;
+    }
+    case TraceKind::ExchangeSuperstep:
+      exchangeCycles_ += event.durationCycles;
+      exchangeSupersteps_ += 1;
+      exchangedBytes_ += event.bytes;
+      break;
+    case TraceKind::Sync:
+      syncCycles_ += event.durationCycles;
+      break;
+    case TraceKind::Iteration:
+      iterationCount_ += 1;
+      break;
+    case TraceKind::Fault:
+      faultCount_ += 1;
+      break;
+    case TraceKind::Recovery:
+      recoveryCount_ += 1;
+      break;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(event);
+  }
+  recorded_ += 1;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  const std::size_t start = recorded_ > capacity_ ? recorded_ % capacity_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  recorded_ = 0;
+  computeSummary_.clear();
+  exchangeCycles_ = syncCycles_ = 0;
+  exchangeSupersteps_ = exchangedBytes_ = 0;
+  faultCount_ = recoveryCount_ = iterationCount_ = 0;
+}
+
+double TraceSink::totalComputeCycles() const {
+  double s = 0;
+  for (const auto& [k, v] : computeSummary_) s += v.cycles;
+  return s;
+}
+
+void recordIteration(TraceSink* sink, const std::string& solver,
+                     std::size_t iteration, double residual, double cycle,
+                     std::size_t superstep) {
+  if (sink == nullptr) return;
+  TraceEvent ev;
+  ev.kind = TraceKind::Iteration;
+  ev.name = solver;
+  ev.startCycle = cycle;
+  ev.superstep = superstep;
+  ev.iteration = iteration;
+  ev.residual = residual;
+  sink->record(std::move(ev));
+}
+
+namespace {
+
+/// Stable row (Chrome "thread") ids: compute categories first, then the
+/// machine rows, then one row per solver, then the fault/recovery row.
+class RowIds {
+ public:
+  int idFor(const std::string& rowName) {
+    auto it = ids_.find(rowName);
+    if (it != ids_.end()) return it->second;
+    const int id = static_cast<int>(ids_.size()) + 1;
+    ids_.emplace(rowName, id);
+    order_.push_back(rowName);
+    return id;
+  }
+  const std::vector<std::string>& order() const { return order_; }
+  int lookup(const std::string& rowName) const { return ids_.at(rowName); }
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<std::string> order_;
+};
+
+std::string rowNameFor(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceKind::ComputeSuperstep: return "compute:" + ev.name;
+    case TraceKind::ExchangeSuperstep: return "exchange";
+    case TraceKind::Sync: return "sync";
+    case TraceKind::Iteration: return "solver:" + ev.name;
+    case TraceKind::Fault:
+    case TraceKind::Recovery: return "faults";
+  }
+  return "other";
+}
+
+}  // namespace
+
+json::Value traceToChromeJson(const TraceSink& sink) {
+  const std::vector<TraceEvent> events = sink.events();
+  RowIds rows;
+  json::Array traceEvents;
+
+  for (const TraceEvent& ev : events) {
+    const int tid = rows.idFor(rowNameFor(ev));
+    json::Object e;
+    e["name"] = ev.name;
+    e["cat"] = std::string(toString(ev.kind));
+    e["pid"] = 0;
+    e["tid"] = tid;
+    e["ts"] = ev.startCycle;
+    json::Object args;
+    args["superstep"] = ev.superstep;
+    switch (ev.kind) {
+      case TraceKind::ComputeSuperstep:
+        e["ph"] = std::string("X");
+        e["dur"] = ev.durationCycles;
+        args["tileMin"] = ev.tileMin;
+        args["tileMean"] = ev.tileMean;
+        args["tileMax"] = ev.tileMax;
+        args["stragglerTile"] = ev.stragglerTile;
+        args["activeTiles"] = ev.activeTiles;
+        break;
+      case TraceKind::ExchangeSuperstep:
+      case TraceKind::Sync:
+        e["ph"] = std::string("X");
+        e["dur"] = ev.durationCycles;
+        if (ev.kind == TraceKind::ExchangeSuperstep) {
+          args["bytes"] = ev.bytes;
+        }
+        break;
+      case TraceKind::Iteration:
+        e["ph"] = std::string("i");
+        e["s"] = std::string("t");  // instant scope: thread
+        args["iteration"] = ev.iteration;
+        if (ev.residual >= 0) args["residual"] = ev.residual;
+        break;
+      case TraceKind::Fault:
+      case TraceKind::Recovery:
+        e["ph"] = std::string("i");
+        e["s"] = std::string("p");  // instant scope: process-wide
+        break;
+    }
+    if (!ev.detail.empty()) args["detail"] = ev.detail;
+    e["args"] = std::move(args);
+    traceEvents.push_back(json::Value(std::move(e)));
+
+    // A residual counter track per solver row: Perfetto plots it as a
+    // graph, which is how a fault event visually lines up with its
+    // residual spike.
+    if (ev.kind == TraceKind::Iteration && ev.residual >= 0) {
+      json::Object c;
+      c["name"] = "residual:" + ev.name;
+      c["ph"] = std::string("C");
+      c["pid"] = 0;
+      c["ts"] = ev.startCycle;
+      json::Object cargs;
+      // log10 keeps the counter track readable over 10+ decades.
+      cargs["log10"] = std::log10(std::max(ev.residual, 1e-300));
+      c["args"] = std::move(cargs);
+      traceEvents.push_back(json::Value(std::move(c)));
+    }
+  }
+
+  // Name the rows (thread_name metadata events, the Chrome convention).
+  for (const std::string& rowName : rows.order()) {
+    json::Object m;
+    m["name"] = std::string("thread_name");
+    m["ph"] = std::string("M");
+    m["pid"] = 0;
+    m["tid"] = rows.lookup(rowName);
+    json::Object args;
+    args["name"] = rowName;
+    m["args"] = std::move(args);
+    traceEvents.push_back(json::Value(std::move(m)));
+  }
+
+  json::Object root;
+  root["traceEvents"] = json::Value(std::move(traceEvents));
+  root["displayTimeUnit"] = std::string("ns");
+  json::Object meta;
+  meta["recordedEvents"] = sink.recorded();
+  meta["droppedEvents"] = sink.dropped();
+  meta["clockDomain"] = std::string("simulated-ipu-cycles");
+  root["otherData"] = std::move(meta);
+  return json::Value(std::move(root));
+}
+
+TextTable traceSummaryTable(const TraceSink& sink) {
+  TextTable t({"Category", "Supersteps", "Cycles", "% of total",
+               "Mean tile", "Imbalance", "Worst straggler"});
+  const double total = sink.totalCycles();
+  auto pct = [&](double v) {
+    return formatSig(total > 0 ? 100.0 * v / total : 0.0, 3) + "%";
+  };
+  for (const auto& [category, s] : sink.computeSummary()) {
+    const double mean =
+        s.supersteps > 0 ? s.tileMeanCycles / static_cast<double>(s.supersteps)
+                         : 0.0;
+    const double imbalance =
+        s.tileMeanCycles > 0 ? s.cycles / s.tileMeanCycles : 1.0;
+    t.addRow({category, std::to_string(s.supersteps), formatSig(s.cycles, 6),
+              pct(s.cycles), formatSig(mean, 4),
+              formatSig(imbalance, 3) + "x",
+              s.worstStragglerTile == SIZE_MAX
+                  ? "-"
+                  : "tile " + std::to_string(s.worstStragglerTile)});
+  }
+  t.addRow({"exchange", std::to_string(sink.exchangeSupersteps()),
+            formatSig(sink.exchangeCycles(), 6), pct(sink.exchangeCycles()),
+            "-", "-", "-"});
+  t.addRow({"sync", "-", formatSig(sink.syncCycles(), 6),
+            pct(sink.syncCycles()), "-", "-", "-"});
+  return t;
+}
+
+std::map<std::string, double> traceComputeCycles(const TraceSink& sink) {
+  std::map<std::string, double> out;
+  for (const auto& [category, s] : sink.computeSummary()) {
+    out[category] = s.cycles;
+  }
+  return out;
+}
+
+}  // namespace graphene::support

@@ -1,0 +1,197 @@
+// Execution tracing & metrics — the observability layer of the simulator.
+//
+// The paper's whole evaluation (§VI) rests on Poplar's profiling feature;
+// aggregate counters (ipu::Profile) answer "how many cycles", but not *when*
+// they were spent, which tile was the straggler of a superstep, or how a
+// fault event lines up with a residual spike. A TraceSink records a merged
+// timeline of everything the engine and the solver layer do:
+//
+//   ComputeSuperstep  one BSP compute superstep (per compute-set category,
+//                     with per-tile cycle min/mean/max + the straggler tile)
+//   Sync              the on-chip BSP sync ending a compute superstep
+//   ExchangeSuperstep one exchange superstep (cycles + bytes on the wire)
+//   Iteration         one solver iteration / refinement (residual attached)
+//   Fault             an injected hardware fault (bitflip, drop, stall, ...)
+//   Recovery          a solver recovery action (restart / rollback)
+//
+// Pay-for-what-you-use: nothing in this header runs unless a sink is
+// attached to the engine — every emission site is a single null-pointer
+// test. The sink itself is a fixed-capacity ring buffer (old events are
+// overwritten, a drop counter keeps the bookkeeping honest) plus exact
+// running aggregates that survive ring wrap, so summary tables are always
+// computed over the *full* run even when the timeline is truncated.
+//
+// Two exporters serialise a trace (trace.cpp):
+//   traceToChromeJson()  Chrome trace_event JSON — load the file in
+//                        chrome://tracing or Perfetto; one row per compute
+//                        category, one per solver, plus exchange/sync/fault
+//                        rows and a residual counter track.
+//   traceSummaryTable()  per-category cycle breakdown (the paper's Table IV
+//                        directly from a trace, no ad-hoc Profile math).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace graphene::support {
+
+enum class TraceKind : std::uint8_t {
+  ComputeSuperstep,
+  ExchangeSuperstep,
+  Sync,
+  Iteration,
+  Fault,
+  Recovery,
+};
+
+const char* toString(TraceKind kind);
+
+/// One timeline event. `startCycle` is the engine's monotonic simulated
+/// clock; durations are simulated cycles (zero for instantaneous events).
+struct TraceEvent {
+  TraceKind kind = TraceKind::ComputeSuperstep;
+  std::string name;  // compute-set category / solver name / fault kind
+  double startCycle = 0;
+  double durationCycles = 0;
+  std::size_t superstep = 0;  // compute- or exchange-superstep index
+
+  // ComputeSuperstep: per-tile cycle distribution across the active tiles.
+  double tileMin = 0;
+  double tileMean = 0;
+  double tileMax = 0;
+  std::size_t stragglerTile = SIZE_MAX;  // tile that set the critical path
+  std::size_t activeTiles = 0;
+
+  // ExchangeSuperstep
+  std::size_t bytes = 0;
+
+  // Iteration
+  std::size_t iteration = 0;
+  double residual = -1.0;  // < 0 when the solver does not measure one
+
+  std::string detail;
+
+  bool operator==(const TraceEvent& o) const;
+};
+
+/// Named counters and gauges that engine, codelets and solvers can tick
+/// (SpMV FLOPs, halo bytes, restart counts). Counters accumulate; gauges
+/// keep their last written value.
+class MetricsRegistry {
+ public:
+  void addCounter(const std::string& name, double delta);
+  void setGauge(const std::string& name, double value);
+
+  /// Value of a counter/gauge, 0 when never touched.
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  void clear();
+
+  /// Merge for Profile::operator+=: counters add, gauges take the
+  /// right-hand (newer) value.
+  MetricsRegistry& operator+=(const MetricsRegistry& o);
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Ring-buffered event sink with exact running aggregates.
+class TraceSink {
+ public:
+  /// Per-compute-category aggregate, updated on every record() — exact for
+  /// the whole run even after the ring has wrapped.
+  struct CategorySummary {
+    std::size_t supersteps = 0;
+    double cycles = 0;      // summed superstep durations (critical path)
+    double tileMeanCycles = 0;  // summed per-superstep mean over tiles
+    double tileMinCycles = 0;   // summed per-superstep min over tiles
+    /// Worst single superstep of this category and its straggler tile.
+    double worstCycles = 0;
+    std::size_t worstStragglerTile = SIZE_MAX;
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+
+  void record(TraceEvent event);
+
+  /// Events still in the ring, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t recorded() const { return recorded_; }
+  std::size_t dropped() const {
+    return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  }
+
+  /// Restores the sink to empty (aggregates included).
+  void clear();
+
+  // -- exact aggregates ------------------------------------------------------
+  const std::map<std::string, CategorySummary>& computeSummary() const {
+    return computeSummary_;
+  }
+  double exchangeCycles() const { return exchangeCycles_; }
+  double syncCycles() const { return syncCycles_; }
+  std::size_t exchangeSupersteps() const { return exchangeSupersteps_; }
+  std::size_t exchangedBytes() const { return exchangedBytes_; }
+  std::size_t faultCount() const { return faultCount_; }
+  std::size_t recoveryCount() const { return recoveryCount_; }
+  std::size_t iterationCount() const { return iterationCount_; }
+  double totalComputeCycles() const;
+  double totalCycles() const {
+    return totalComputeCycles() + exchangeCycles_ + syncCycles_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t recorded_ = 0;
+  std::vector<TraceEvent> ring_;
+
+  std::map<std::string, CategorySummary> computeSummary_;
+  double exchangeCycles_ = 0;
+  double syncCycles_ = 0;
+  std::size_t exchangeSupersteps_ = 0;
+  std::size_t exchangedBytes_ = 0;
+  std::size_t faultCount_ = 0;
+  std::size_t recoveryCount_ = 0;
+  std::size_t iterationCount_ = 0;
+};
+
+/// Records a solver iteration/refinement sample. No-op on a null sink, so
+/// host convergence callbacks can call it unconditionally.
+void recordIteration(TraceSink* sink, const std::string& solver,
+                     std::size_t iteration, double residual, double cycle,
+                     std::size_t superstep);
+
+/// Serialises the sink's timeline as Chrome trace_event JSON (the
+/// "traceEvents" array format understood by chrome://tracing and Perfetto).
+/// Cycles map to microseconds 1:1 — the UI's time axis reads as cycles.
+json::Value traceToChromeJson(const TraceSink& sink);
+
+/// Per-category cycle breakdown from the sink's exact aggregates: category,
+/// supersteps, cycles, share of total, mean-tile cycles, BSP imbalance
+/// (critical path / mean) and the worst straggler tile. Exchange and sync
+/// get their own rows. This reproduces the paper's Table IV directly from a
+/// trace.
+TextTable traceSummaryTable(const TraceSink& sink);
+
+/// Compute cycles per category from the exact aggregates — matches
+/// Profile::computeCycles of the traced engine bit-for-bit (same values
+/// summed in the same order).
+std::map<std::string, double> traceComputeCycles(const TraceSink& sink);
+
+}  // namespace graphene::support

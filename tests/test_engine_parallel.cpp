@@ -164,7 +164,7 @@ TEST(ParallelEngine, MixedPrecisionBitIdenticalToSerial) {
   auto g = matrix::poisson2d5(16, 16);
   const char* mpirJson = R"({
     "type": "mpir", "extendedType": "doubleword",
-    "maxIterations": 4, "tolerance": 1e-12,
+    "maxRefinements": 4, "tolerance": 1e-12,
     "inner": {"type": "cg", "maxIterations": 10, "tolerance": 0}
   })";
   SolveObservables serial = runSolve(g, 8, mpirJson, 1, nullptr);

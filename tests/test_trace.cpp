@@ -1,0 +1,266 @@
+// Execution tracing & metrics.
+//
+// Covers: the trace timeline is bit-identical across host thread counts;
+// the Chrome trace_event export round-trips through the JSON layer; the
+// sink's exact aggregates match the engine's Profile (cycles summed in the
+// same order → equal, not approximately equal) and survive ring wrap; a
+// fault-plan run yields one merged, ordered timeline of injected faults and
+// recovery actions; Profile::operator+= merges the new straggler stats and
+// the metrics registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/engine.hpp"
+#include "ipu/fault.hpp"
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "solver/solvers.hpp"
+#include "support/trace.hpp"
+
+using namespace graphene;
+using namespace graphene::solver;
+using dsl::Context;
+using dsl::Tensor;
+using support::TraceEvent;
+using support::TraceKind;
+using support::TraceSink;
+
+namespace {
+
+const char* kCgJson = R"({
+  "type": "cg", "maxIterations": 200, "tolerance": 1e-6
+})";
+
+/// One emitted CG solve whose program can be re-run on fresh engines.
+struct TracedSetup {
+  std::unique_ptr<Context> ctx;
+  std::unique_ptr<DistMatrix> A;
+  std::unique_ptr<Solver> solver;
+  std::optional<Tensor> x, b;
+  std::vector<double> rhs;
+
+  explicit TracedSetup(const std::string& solverJson = kCgJson,
+                       std::size_t tiles = 4) {
+    auto g = matrix::poisson2d5(8, 8);
+    ctx = std::make_unique<Context>(ipu::IpuTarget::testTarget(tiles));
+    auto layout = partition::buildLayout(
+        g.matrix, partition::partitionAuto(g, tiles), tiles);
+    A = std::make_unique<DistMatrix>(g.matrix, std::move(layout));
+    x.emplace(A->makeVector(DType::Float32, "x"));
+    b.emplace(A->makeVector(DType::Float32, "b"));
+    solver = makeSolverFromString(solverJson);
+    solver->apply(*A, *x, *b);
+    rhs.assign(g.matrix.rows(), 1.0);
+  }
+
+  /// Runs the program on a fresh engine with `sink` attached.
+  std::unique_ptr<graph::Engine> run(TraceSink& sink,
+                                     std::size_t hostThreads = 1,
+                                     ipu::FaultPlan* plan = nullptr) {
+    solver->clearHistory();
+    auto engine = std::make_unique<graph::Engine>(ctx->graph(), hostThreads);
+    engine->setTraceSink(&sink);
+    if (plan != nullptr) {
+      plan->reset();
+      engine->setFaultPlan(plan);
+    }
+    A->upload(*engine);
+    A->writeVector(*engine, *b, rhs);
+    engine->run(ctx->program());
+    return engine;
+  }
+};
+
+}  // namespace
+
+// Tile stats (min/mean/max/straggler) are computed in one serial pass in
+// task order, so the timeline — timestamps, durations, straggler picks,
+// iteration samples — must be byte-identical whether 1 or 8 host threads
+// simulate the tiles.
+TEST(TraceDeterminism, BitIdenticalAcrossHostThreads) {
+  TracedSetup setup;
+  TraceSink serial, parallel;
+  setup.run(serial, 1);
+  setup.run(parallel, 8);
+
+  ASSERT_GT(serial.recorded(), 0u);
+  ASSERT_EQ(serial.recorded(), parallel.recorded());
+  auto a = serial.events();
+  auto b = parallel.events();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << "timelines diverge at event " << i << " ("
+                              << support::toString(a[i].kind) << " '"
+                              << a[i].name << "')";
+  }
+  EXPECT_EQ(serial.computeSummary().size(), parallel.computeSummary().size());
+  EXPECT_DOUBLE_EQ(serial.totalCycles(), parallel.totalCycles());
+}
+
+// The sink's running aggregates sum the same per-superstep doubles in the
+// same order as the engine's Profile — exact equality, not tolerance.
+TEST(TraceAggregates, MatchEngineProfileExactly) {
+  TracedSetup setup;
+  TraceSink sink;
+  auto engine = setup.run(sink);
+  const ipu::Profile& prof = engine->profile();
+
+  EXPECT_EQ(support::traceComputeCycles(sink), prof.computeCycles);
+  EXPECT_DOUBLE_EQ(sink.exchangeCycles(), prof.exchangeCycles);
+  EXPECT_DOUBLE_EQ(sink.syncCycles(), prof.syncCycles);
+  EXPECT_EQ(sink.exchangeSupersteps(), prof.exchangeSupersteps);
+  EXPECT_DOUBLE_EQ(sink.totalCycles(), prof.totalCycles());
+
+  // The timeline ends where the engine's monotonic clock ends.
+  EXPECT_DOUBLE_EQ(engine->simCycles(), prof.totalCycles());
+
+  // Iteration samples mirror the solver's recorded history.
+  EXPECT_EQ(sink.iterationCount(), setup.solver->history().size());
+
+  // Per-superstep straggler stats landed in the profile for every traced
+  // category, with consistent totals.
+  for (const auto& [cat, summary] : sink.computeSummary()) {
+    auto it = prof.superstepStats.find(cat);
+    ASSERT_NE(it, prof.superstepStats.end()) << cat;
+    EXPECT_EQ(it->second.supersteps, summary.supersteps);
+    EXPECT_DOUBLE_EQ(it->second.maxCycles, summary.cycles);
+    EXPECT_DOUBLE_EQ(it->second.worstCycles, summary.worstCycles);
+    EXPECT_EQ(it->second.worstStragglerTile, summary.worstStragglerTile);
+    EXPECT_GE(it->second.imbalance(), 1.0);
+  }
+
+  // The engine ticked the DistMatrix codelet metrics: SpMV FLOPs and halo
+  // traffic are first-class counters now.
+  EXPECT_GT(prof.metrics.counter("spmv.flops"), 0.0);
+  EXPECT_GT(prof.metrics.counter("spmv.count"), 0.0);
+  EXPECT_GT(prof.metrics.counter("halo.bytes"), 0.0);
+  EXPECT_GT(prof.metrics.counter("halo.exchanges"), 0.0);
+}
+
+// A tiny ring drops old events but the aggregates stay exact: the summary
+// table is computed over the full run, not the surviving window.
+TEST(TraceAggregates, ExactAfterRingWrap) {
+  TracedSetup setup;
+  TraceSink full, tiny(64);
+  setup.run(full);
+  setup.run(tiny);
+
+  ASSERT_GT(tiny.dropped(), 0u);
+  EXPECT_EQ(tiny.events().size(), 64u);
+  EXPECT_EQ(tiny.recorded(), full.recorded());
+  EXPECT_DOUBLE_EQ(tiny.totalCycles(), full.totalCycles());
+  EXPECT_EQ(support::traceComputeCycles(tiny),
+            support::traceComputeCycles(full));
+  EXPECT_EQ(tiny.iterationCount(), full.iterationCount());
+  // And the rendered table agrees too.
+  EXPECT_EQ(support::traceSummaryTable(tiny).render(),
+            support::traceSummaryTable(full).render());
+}
+
+// The Chrome export is valid JSON for our own parser and round-trips
+// structurally (dump → parse → dump fixed point).
+TEST(TraceExport, ChromeJsonRoundTrips) {
+  TracedSetup setup;
+  TraceSink sink;
+  setup.run(sink);
+
+  json::Value doc = support::traceToChromeJson(sink);
+  ASSERT_TRUE(doc.isObject());
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.isArray());
+  EXPECT_GE(events.asArray().size(), sink.events().size());
+
+  json::Value reparsed = json::parse(doc.dump(2));
+  EXPECT_TRUE(reparsed == doc);
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+}
+
+// A seeded bitflip plan under recovery-enabled CG: the trace interleaves the
+// injected fault and the solver's recovery restart into one ordered
+// timeline, stamped with superstep indices.
+TEST(TraceFaults, MergedOrderedFaultTimeline) {
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "seed": 5,
+    "faults": [
+      {"type": "bitflip", "tensor": "cg_resid", "bit": 30,
+       "skip": 100, "count": 1}
+    ]
+  })");
+  TracedSetup setup;
+  TraceSink sink;
+  auto engine = setup.run(sink, 1, &plan);
+
+  EXPECT_GE(sink.faultCount(), 1u);
+  EXPECT_GE(sink.recoveryCount(), 1u);
+  // Every profile fault-log entry was mirrored into the timeline.
+  EXPECT_EQ(sink.faultCount() + sink.recoveryCount(),
+            engine->profile().faultEvents.size());
+
+  double lastStart = -1.0;
+  bool sawFault = false, sawRecoveryAfterFault = false;
+  for (const TraceEvent& ev : sink.events()) {
+    EXPECT_GE(ev.startCycle, lastStart) << "timeline out of order at '"
+                                        << ev.name << "'";
+    lastStart = ev.startCycle;
+    if (ev.kind == TraceKind::Fault) {
+      sawFault = true;
+      EXPECT_EQ(ev.name, "bitflip");
+    }
+    if (ev.kind == TraceKind::Recovery && sawFault) {
+      sawRecoveryAfterFault = true;
+      EXPECT_EQ(ev.name, "recovery:restart");
+      EXPECT_GT(ev.superstep, 0u);
+    }
+  }
+  EXPECT_TRUE(sawFault);
+  EXPECT_TRUE(sawRecoveryAfterFault);
+
+  // The restart also ticked the solver's metrics counter.
+  EXPECT_GE(engine->profile().metrics.counter("cg.restarts"), 1.0);
+}
+
+// Profile::operator+= folds the new observability state: superstep stats
+// add their sums and keep the globally worst superstep; metrics counters
+// add, gauges take the newer value.
+TEST(ProfileMerge, AccumulatesStragglerStatsAndMetrics) {
+  ipu::Profile a, b;
+  a.superstepStats["spmv"].record(/*superstep=*/0, /*min=*/10, /*mean=*/12,
+                                  /*max=*/20, /*stragglerTile=*/3);
+  b.superstepStats["spmv"].record(/*superstep=*/7, /*min=*/11, /*mean=*/13,
+                                  /*max=*/50, /*stragglerTile=*/1);
+  b.superstepStats["reduce"].record(/*superstep=*/8, /*min=*/1, /*mean=*/2,
+                                    /*max=*/3, /*stragglerTile=*/0);
+  a.metrics.addCounter("spmv.flops", 100);
+  b.metrics.addCounter("spmv.flops", 50);
+  a.metrics.setGauge("mem.peak", 1.0);
+  b.metrics.setGauge("mem.peak", 2.0);
+
+  a += b;
+  const ipu::SuperstepStats& s = a.superstepStats.at("spmv");
+  EXPECT_EQ(s.supersteps, 2u);
+  EXPECT_DOUBLE_EQ(s.maxCycles, 70.0);
+  EXPECT_DOUBLE_EQ(s.meanCycles, 25.0);
+  EXPECT_DOUBLE_EQ(s.minCycles, 21.0);
+  EXPECT_DOUBLE_EQ(s.worstCycles, 50.0);   // b's superstep was worse
+  EXPECT_EQ(s.worstStragglerTile, 1u);
+  EXPECT_EQ(s.worstSuperstep, 7u);
+  EXPECT_EQ(a.superstepStats.count("reduce"), 1u);
+  EXPECT_DOUBLE_EQ(a.metrics.counter("spmv.flops"), 150.0);
+  EXPECT_DOUBLE_EQ(a.metrics.gauge("mem.peak"), 2.0);
+}
+
+// With no sink attached nothing is recorded and nothing breaks — the
+// pay-for-what-you-use contract of every emission site.
+TEST(TraceSinkApi, DetachedEngineRecordsNothing) {
+  TracedSetup setup;
+  graph::Engine engine(setup.ctx->graph(), 1);
+  EXPECT_EQ(engine.traceSink(), nullptr);
+  setup.A->upload(engine);
+  setup.A->writeVector(engine, *setup.b, setup.rhs);
+  engine.run(setup.ctx->program());
+  EXPECT_EQ(setup.solver->result().status, SolveStatus::Converged);
+
+  // recordIteration on a null sink is a safe no-op.
+  support::recordIteration(nullptr, "cg", 1, 0.5, 0.0, 0);
+}
