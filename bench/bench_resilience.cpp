@@ -1,0 +1,126 @@
+// Resilience-overhead bench: what fault tolerance costs, in simulated
+// cycles and solver iterations.
+//
+// Three questions, for CG and MPIR through the full SolveSession stack:
+//   1. What does ABFT checksum verification cost when nothing goes wrong?
+//      (It must be zero when disabled — the clean row is the reference.)
+//   2. How do cycles/iterations grow with the transient-fault rate, with
+//      ABFT + checkpoint restarts cleaning up behind the flips?
+//   3. What does a hard fault cost end to end — watchdog detection,
+//      blacklist, repartition over the survivors, migrated resume?
+//
+// Emits a JSON summary to stdout (saved as BENCH_RESILIENCE.json at the
+// repo root) so the recovery-cost trajectory is recorded across PRs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "solver/session.hpp"
+
+namespace {
+
+using namespace graphene;
+
+struct Row {
+  std::string solver;
+  std::string scenario;
+  std::string status;
+  double cycles = 0;
+  std::size_t iterations = 0;
+  std::size_t faultEvents = 0;
+  double remaps = 0;
+  double abftMismatches = 0;
+};
+
+std::string solverJson(const std::string& name, bool abft) {
+  const std::string robustness = abft
+      ? R"("robustness": {"maxRestarts": 4, "maxRollbacks": 4,
+           "checkpointEvery": 8, "abft": true, "abftTolerance": 1e-3})"
+      : R"("robustness": {"maxRestarts": 4, "maxRollbacks": 4,
+           "checkpointEvery": 8})";
+  if (name == "cg") {
+    return R"({"type": "cg", "maxIterations": 400, "tolerance": 1e-6, )" +
+           robustness + "}";
+  }
+  return R"({"type": "mpir", "maxRefinements": 20, "tolerance": 1e-9,
+             "inner": {"type": "cg", "maxIterations": 30, "tolerance": 0}, )" +
+         robustness + "}";
+}
+
+/// A seeded plan with `flips` finite bit flips against the SpMV result —
+/// the fault class only ABFT can see.
+std::string flipPlan(std::size_t flips) {
+  return R"({"seed": 21, "faults": [
+      {"type": "bitflip", "tensor": "Ap", "bit": 25, "count": )" +
+         std::to_string(flips) +
+         R"(, "probability": 0.2, "skip": 20},
+      {"type": "bitflip", "tensor": "resid", "bit": 25, "count": )" +
+         std::to_string(flips) +
+         R"(, "probability": 0.2, "skip": 20}]})";
+}
+
+Row run(const std::string& solverName, const std::string& scenario,
+        const matrix::GeneratedMatrix& g, bool abft, const char* planJson) {
+  solver::SolveSession session({.tiles = 8, .maxRemaps = 2});
+  session.load(g).configure(solverJson(solverName, abft));
+  if (planJson != nullptr) session.withFaultPlan(json::parse(planJson));
+  std::vector<double> rhs = bench::randomRhs(g.matrix.rows(), 7);
+  auto result = session.solve(rhs);
+
+  Row r;
+  r.solver = solverName;
+  r.scenario = scenario;
+  r.status = solver::toString(result.solve.status);
+  r.cycles = session.profile().totalCycles();
+  r.iterations = result.solve.iterations;
+  r.faultEvents = session.profile().faultEvents.size();
+  r.remaps = session.profile().metrics.counter("resilience.remaps");
+  r.abftMismatches =
+      session.profile().metrics.counter("resilience.abft.mismatches");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto g = matrix::poisson2d5(24, 24);
+  std::vector<Row> rows;
+
+  for (const char* solverName : {"cg", "mpir"}) {
+    // Reference and the zero-fault ABFT overhead.
+    rows.push_back(run(solverName, "clean", g, false, nullptr));
+    rows.push_back(run(solverName, "abft-clean", g, true, nullptr));
+    // Transient-fault-rate sweep, recovery machinery fully armed.
+    for (std::size_t flips : {1, 2, 4}) {
+      rows.push_back(run(solverName, "flips-" + std::to_string(flips), g,
+                         true, flipPlan(flips).c_str()));
+    }
+    // Hard fault: one tile dies mid-solve, the session remaps around it.
+    rows.push_back(run(solverName, "tile-dead", g, true,
+                       R"({"seed": 21, "faults": [
+                           {"type": "tile-dead", "tile": 3,
+                            "superstep": 40}]})"));
+  }
+
+  std::printf("{\n  \"bench\": \"resilience\",\n  \"matrix\": \"%s\",\n"
+              "  \"rows\": %zu,\n  \"tiles\": 8,\n  \"results\": [\n",
+              g.name.c_str(), g.matrix.rows());
+  double cleanCycles = 0;
+  bool first = true;
+  for (const Row& r : rows) {
+    if (r.scenario == "clean") cleanCycles = r.cycles;
+    std::printf("%s    {\"solver\": \"%s\", \"scenario\": \"%s\", "
+                "\"status\": \"%s\", \"cycles\": %.0f, "
+                "\"cyclesVsClean\": %.3f, \"iterations\": %zu, "
+                "\"faultEvents\": %zu, \"remaps\": %.0f, "
+                "\"abftMismatches\": %.0f}",
+                first ? "" : ",\n", r.solver.c_str(), r.scenario.c_str(),
+                r.status.c_str(), r.cycles,
+                cleanCycles > 0 ? r.cycles / cleanCycles : 0.0, r.iterations,
+                r.faultEvents, r.remaps, r.abftMismatches);
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

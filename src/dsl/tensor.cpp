@@ -587,8 +587,10 @@ Expression Expression::reduce(ReduceKind kind) const {
     ctx.emit(graph::Program::execute(cs));
   }
 
-  // Step 2: gather partials on tile 0.
-  Tensor gathered(accType, graph::TileMapping::onTile(nTiles, 0, nTiles),
+  // Step 2: gather partials on the control tile (tile 0 unless a resilience
+  // layer moved control off a blacklisted tile).
+  const std::size_t ctrl = g.controlTile();
+  Tensor gathered(accType, graph::TileMapping::onTile(nTiles, ctrl, nTiles),
                   ctx.freshName("gather"));
   {
     std::vector<graph::CopySegment> segs;
@@ -599,14 +601,14 @@ Expression Expression::reduce(ReduceKind kind) const {
       s.srcTile = tile;
       s.srcBegin = 0;
       s.dst = gathered.id();
-      s.dsts.push_back({0, tile});
+      s.dsts.push_back({ctrl, tile});
       s.count = 1;
       segs.push_back(std::move(s));
     }
     ctx.emit(graph::Program::copy(std::move(segs)));
   }
 
-  // Step 3: final reduction on tile 0 into a replicated scalar.
+  // Step 3: final reduction on the control tile into a replicated scalar.
   Tensor out = Tensor::scalar(accType, ctx.freshName("reduced"));
   {
     CodeletBuilder builder;
@@ -625,9 +627,9 @@ Expression Expression::reduce(ReduceKind kind) const {
     graph::ComputeSetId cs = g.addComputeSet("reduce");
     graph::Vertex v;
     v.codelet = codeletId;
-    v.tile = 0;
-    v.args.push_back(graph::TensorSlice{gathered.id(), 0, 0, nTiles});
-    v.args.push_back(graph::TensorSlice{out.id(), 0, 0, 1});
+    v.tile = ctrl;
+    v.args.push_back(graph::TensorSlice{gathered.id(), ctrl, 0, nTiles});
+    v.args.push_back(graph::TensorSlice{out.id(), ctrl, 0, 1});
     g.addVertex(cs, std::move(v));
     ctx.emit(graph::Program::execute(cs));
   }
@@ -636,12 +638,12 @@ Expression Expression::reduce(ReduceKind kind) const {
   if (nTiles > 1) {
     graph::CopySegment s;
     s.src = out.id();
-    s.srcTile = 0;
+    s.srcTile = ctrl;
     s.srcBegin = 0;
     s.dst = out.id();
     s.count = 1;
-    for (std::size_t tile = 1; tile < nTiles; ++tile) {
-      s.dsts.push_back({tile, 0});
+    for (std::size_t tile = 0; tile < nTiles; ++tile) {
+      if (tile != ctrl) s.dsts.push_back({tile, 0});
     }
     ctx.emit(graph::Program::copy({std::move(s)}));
   }

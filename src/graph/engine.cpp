@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "ipu/exchange.hpp"
+#include "ipu/health.hpp"
 #include "ipu/worker_pool.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -159,7 +160,15 @@ TensorStorage& Engine::storageFor(TensorId id) {
   return storage_[id];
 }
 
-Scalar Engine::readScalar(TensorId id) { return storageFor(id).load(0); }
+Scalar Engine::readScalar(TensorId id) {
+  // Replicated scalars are read from the control tile's replica — the one
+  // the reduce/broadcast machinery keeps authoritative. Reading a fixed
+  // tile 0 would return a frozen value once tile 0 is dead or excluded.
+  const graph::TensorInfo& info = graph_.tensor(id);
+  const std::size_t flat =
+      info.replicated ? info.tileOffset(graph_.controlTile()) : 0;
+  return storageFor(id).load(flat);
+}
 
 Scalar Engine::readScalarFinite(TensorId id) {
   Scalar value = readScalar(id);
@@ -169,6 +178,17 @@ Scalar Engine::readScalarFinite(TensorId id) {
         graph_.tensor(id).name, "'"));
   }
   return value;
+}
+
+void Engine::setExcludedTiles(const std::vector<std::size_t>& tiles) {
+  tileExcluded_.clear();
+  if (tiles.empty()) return;
+  tileExcluded_.assign(graph_.target().totalTiles(), 0);
+  for (std::size_t t : tiles) {
+    GRAPHENE_CHECK(t < tileExcluded_.size(), "excluded tile ", t,
+                   " out of range for ", tileExcluded_.size(), " tiles");
+    tileExcluded_[t] = 1;
+  }
 }
 
 void Engine::writeScalar(TensorId id, const Scalar& value) {
@@ -297,20 +317,40 @@ void Engine::runExecute(ComputeSetId csId) {
   const ipu::IpuTarget& target = graph_.target();
   const ExecPlan& plan = planFor(csId);
 
+  // Permanent faults: activation events and persistent SRAM damage are
+  // applied serially before the tiles run; the per-task dead-tile query
+  // below is a pure function of the plan, so it is safe from the pool.
+  const bool hardFaults = faultPlan_ != nullptr && faultPlan_->hasHardFaults();
+  if (hardFaults) {
+    EngineFaultSurface surface(*this);
+    faultPlan_->onComputeSuperstepStart(profile_.computeSupersteps, surface);
+  }
+
   // Simulate every tile of the superstep, one TileTask per tile with data.
   // Tasks write to disjoint storage regions and to their own tileCycles_
   // slot, so running them on the host pool is race-free and — because each
   // task's arithmetic is self-contained — bit-identical to the serial loop.
+  // A dead tile executes nothing: it charges its watchdog-scale cycle count
+  // and leaves its storage exactly as the previous superstep left it.
   TensorStorage* storage = storage_.data();
   const std::size_t nTasks = plan.tasks.size();
+  const std::size_t superstepIndex = profile_.computeSupersteps;
+  auto taskCycles = [&](std::size_t ti) -> double {
+    const std::size_t tile = plan.tasks[ti].tile;
+    if (!tileExcluded_.empty() && tileExcluded_[tile]) return 0.0;
+    if (hardFaults && faultPlan_->tileDead(tile, superstepIndex)) {
+      return faultPlan_->deadTileCycles(tile);
+    }
+    return runTileTask(cs, plan, storage, ti);
+  };
   tileCycles_.assign(nTasks, 0.0);
   if (hostPool_ != nullptr && nTasks > 1) {
     hostPool_->parallelFor(nTasks, [&](std::size_t ti) {
-      tileCycles_[ti] = runTileTask(cs, plan, storage, ti);
+      tileCycles_[ti] = taskCycles(ti);
     });
   } else {
     for (std::size_t ti = 0; ti < nTasks; ++ti) {
-      tileCycles_[ti] = runTileTask(cs, plan, storage, ti);
+      tileCycles_[ti] = taskCycles(ti);
     }
   }
   // Tile-cycle distribution of this superstep: the max is the BSP critical
@@ -335,6 +375,16 @@ void Engine::runExecute(ComputeSetId csId) {
   const std::size_t stragglerTile =
       nTasks > 0 ? plan.tasks[stragglerTask].tile : SIZE_MAX;
   profile_.verticesExecuted += cs.vertices.size();
+
+  // Watchdog: report every tile's cycle count from this serial pass, so
+  // trips and dead-tile confirmations are bit-identical at any host thread
+  // count. The abort (if armed) fires after the superstep is committed.
+  if (health_ != nullptr) {
+    for (std::size_t ti = 0; ti < nTasks; ++ti) {
+      health_->observeCompute(superstepIndex, plan.tasks[ti].tile,
+                              tileCycles_[ti], profile_);
+    }
+  }
 
   // Fault injection: SRAM upsets land between supersteps; a stalled tile
   // delays the BSP barrier, so its extra cycles join the critical path.
@@ -381,15 +431,40 @@ void Engine::runExecute(ComputeSetId csId) {
   }
   simClock_ += maxTileCycles + target.syncCyclesOnChip;
   if (trace_ != nullptr) traceNewFaultEvents();
+
+  // The superstep is fully committed (profile, trace, clock); a confirmed
+  // dead tile now surfaces as a typed error the solver layer can catch to
+  // blacklist, repartition and resume.
+  if (health_ != nullptr && health_->abortPending()) {
+    health_->clearAbort();
+    std::string tiles;
+    for (std::size_t t : health_->deadTiles()) {
+      if (!tiles.empty()) tiles += ", ";
+      tiles += std::to_string(t);
+    }
+    throw ipu::HardFaultError(
+        detail::concatMessage("hard fault: tile(s) ", tiles,
+                              " confirmed dead by the superstep watchdog"),
+        health_->deadTiles());
+  }
 }
 
 void Engine::runCopy(const Program& program) {
   const std::vector<CopySegment>& segments = program.copies;
+  const bool hardFaults = faultPlan_ != nullptr && faultPlan_->hasHardFaults();
   std::vector<ipu::Transfer> transfers;
   transfers.reserve(segments.size());
   for (const CopySegment& seg : segments) {
     GRAPHENE_CHECK(seg.src != kInvalidTensor && seg.dst != kInvalidTensor,
                    "copy segment with invalid tensors");
+    // A dead tile never sends: its outgoing transfers neither deliver nor
+    // cost fabric cycles, and every destination keeps its stale data. (The
+    // tile-dead trigger is on the compute-superstep clock, hence the
+    // computeSupersteps index here.)
+    if (hardFaults &&
+        faultPlan_->tileDead(seg.srcTile, profile_.computeSupersteps)) {
+      continue;
+    }
     TensorStorage& src = storageFor(seg.src);
     TensorStorage& dst = storageFor(seg.dst);
     const std::size_t srcFlat = src.tileOffset(seg.srcTile) + seg.srcBegin;
@@ -431,6 +506,13 @@ void Engine::runCopy(const Program& program) {
     if (!t.dstTiles.empty()) transfers.push_back(std::move(t));
   }
   ipu::ExchangeStats stats = ipu::priceExchange(graph_.target(), transfers);
+  if (hardFaults) {
+    // Degraded links slow the whole exchange phase: BSP exchanges complete
+    // when the last transfer lands, so one slow link stretches the phase.
+    EngineFaultSurface surface(*this);
+    stats.cycles *=
+        faultPlan_->onExchangeSuperstep(profile_.exchangeSupersteps, surface);
+  }
   profile_.exchangeCycles += stats.cycles;
   profile_.exchangeSupersteps += 1;
   profile_.exchangeInstructions += stats.instructions;

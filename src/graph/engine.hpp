@@ -22,6 +22,10 @@ class ThreadPool;
 class TraceSink;
 }
 
+namespace graphene::ipu {
+class HealthMonitor;
+}
+
 namespace graphene::graph {
 
 class Engine {
@@ -90,6 +94,25 @@ class Engine {
   void setFaultPlan(ipu::FaultPlan* plan) { faultPlan_ = plan; }
   ipu::FaultPlan* faultPlan() const { return faultPlan_; }
 
+  /// Attaches a health monitor (non-owning; nullptr detaches). Every
+  /// compute superstep's per-tile cycle counts are reported to it from the
+  /// serial reduction pass (deterministic at any host thread count). When
+  /// the monitor confirms a tile dead and is configured to abort, run()
+  /// throws ipu::HardFaultError *after* committing the superstep to the
+  /// profile, trace and simulated clock. With no monitor attached the hook
+  /// is a single null-pointer test.
+  void setHealthMonitor(ipu::HealthMonitor* monitor) { health_ = monitor; }
+  ipu::HealthMonitor* healthMonitor() const { return health_; }
+
+  /// Removes tiles from the simulated machine (a resilience layer calls
+  /// this with its blacklist after a remap). An excluded tile executes no
+  /// vertices and contributes zero cycles to the BSP critical path — so the
+  /// watchdog cannot re-confirm a tile whose loss has already been handled,
+  /// and a dead straggler doesn't distort the timing of the remapped run.
+  /// Exchanges still run: after a remap an excluded tile owns no live data,
+  /// and writes *to* its stale replicas are harmless.
+  void setExcludedTiles(const std::vector<std::size_t>& tiles);
+
   /// Attaches a trace sink (non-owning; nullptr detaches). Every compute
   /// superstep, exchange, sync, injected fault and solver recovery action is
   /// recorded as a timeline event. Pay-for-what-you-use: with no sink
@@ -157,6 +180,7 @@ class Engine {
   std::vector<TensorStorage> storage_;
   ipu::Profile profile_;
   ipu::FaultPlan* faultPlan_ = nullptr;
+  ipu::HealthMonitor* health_ = nullptr;
   support::TraceSink* trace_ = nullptr;
   double simClock_ = 0;             // monotonic simulated cycles
   std::size_t tracedFaultEvents_ = 0;  // fault-log prefix already traced
@@ -164,6 +188,7 @@ class Engine {
   std::unique_ptr<support::ThreadPool> hostPool_;  // null when single-threaded
   std::vector<ExecPlan> plans_;                    // indexed by ComputeSetId
   std::vector<double> tileCycles_;                 // per-task scratch
+  std::vector<char> tileExcluded_;                 // empty = none excluded
 };
 
 }  // namespace graphene::graph

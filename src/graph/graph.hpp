@@ -23,6 +23,19 @@ class Graph {
 
   const ipu::IpuTarget& target() const { return target_; }
 
+  /// The tile hosting control state: reduction gathers/finals, the
+  /// authoritative replica of replicated scalars (loop conditions,
+  /// convergence flags) and their host-side reads. Defaults to tile 0. A
+  /// resilience layer that blacklists tiles must point it at a surviving
+  /// tile *before* programs are emitted — control placed on a dead tile
+  /// would freeze every loop condition at its last value.
+  std::size_t controlTile() const { return controlTile_; }
+  void setControlTile(std::size_t tile) {
+    GRAPHENE_CHECK(tile < target_.totalTiles(), "control tile ", tile,
+                   " out of range for ", target_.totalTiles(), " tiles");
+    controlTile_ = tile;
+  }
+
   ipu::CostModel& costModel() { return costModel_; }
   const ipu::CostModel& costModel() const { return costModel_; }
 
@@ -49,6 +62,7 @@ class Graph {
 
  private:
   ipu::IpuTarget target_;
+  std::size_t controlTile_ = 0;
   ipu::CostModel costModel_;
   ipu::TileMemoryLedger ledger_;
   std::vector<TensorInfo> tensors_;

@@ -1,5 +1,6 @@
 #include "ipu/fault.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -15,7 +16,15 @@ FaultPlan::Rule::Kind parseKind(const std::string& s) {
   if (s == "exchange-drop" || s == "drop") return Kind::ExchangeDrop;
   if (s == "exchange-corrupt" || s == "corrupt") return Kind::ExchangeCorrupt;
   if (s == "stall") return Kind::Stall;
-  throw ParseError("unknown fault type '" + s + "'");
+  if (s == "tile-dead" || s == "tile_dead") return Kind::TileDead;
+  if (s == "link-degraded" || s == "link_degraded") return Kind::LinkDegraded;
+  if (s == "sram-region-dead" || s == "sram_region_dead") {
+    return Kind::SramRegionDead;
+  }
+  throw ParseError(
+      "unknown fault type '" + s +
+      "' (valid: bitflip, stuck-zero, exchange-drop, exchange-corrupt, "
+      "stall, tile-dead, link-degraded, sram-region-dead)");
 }
 
 const char* kindName(FaultPlan::Rule::Kind kind) {
@@ -26,14 +35,129 @@ const char* kindName(FaultPlan::Rule::Kind kind) {
     case Kind::ExchangeDrop: return "exchange-drop";
     case Kind::ExchangeCorrupt: return "exchange-corrupt";
     case Kind::Stall: return "stall";
+    case Kind::TileDead: return "tile-dead";
+    case Kind::LinkDegraded: return "link-degraded";
+    case Kind::SramRegionDead: return "sram-region-dead";
   }
   GRAPHENE_UNREACHABLE("bad fault kind");
+}
+
+/// What a fault-rule key must hold (same strict-validation style as the
+/// solver configs: unknown or ill-typed keys are errors that name the key
+/// and list the valid set).
+enum class KeyKind { Number, String, Array };
+
+const char* toString(KeyKind kind) {
+  switch (kind) {
+    case KeyKind::Number: return "number";
+    case KeyKind::String: return "string";
+    case KeyKind::Array: return "array";
+  }
+  return "?";
+}
+
+struct KeySpec {
+  const char* key;
+  KeyKind kind;
+};
+
+void validateKeys(const json::Value& config, const std::string& where,
+                  std::initializer_list<KeySpec> allowed) {
+  for (const auto& [key, value] : config.asObject()) {
+    const KeySpec* spec = nullptr;
+    for (const KeySpec& s : allowed) {
+      if (key == s.key) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      std::string valid;
+      for (const KeySpec& s : allowed) {
+        if (!valid.empty()) valid += ", ";
+        valid += s.key;
+      }
+      GRAPHENE_CHECK(false, "unknown key '", key, "' in ", where,
+                     " (valid keys: ", valid, ")");
+    }
+    const bool ok = spec->kind == KeyKind::Number   ? value.isNumber()
+                    : spec->kind == KeyKind::String ? value.isString()
+                                                    : value.isArray();
+    GRAPHENE_CHECK(ok, "key '", key, "' in ", where, " must be a ",
+                   toString(spec->kind));
+  }
+}
+
+void validateRule(const json::Value& f, FaultPlan::Rule::Kind kind) {
+  using Kind = FaultPlan::Rule::Kind;
+  const std::string where =
+      std::string("'") + kindName(kind) + "' fault rule";
+  // Shared transient-rule knobs.
+  const KeySpec type{"type", KeyKind::String};
+  const KeySpec tensor{"tensor", KeyKind::String};
+  const KeySpec superstep{"superstep", KeyKind::Number};
+  const KeySpec probability{"probability", KeyKind::Number};
+  const KeySpec skip{"skip", KeyKind::Number};
+  const KeySpec count{"count", KeyKind::Number};
+  switch (kind) {
+    case Kind::BitFlip:
+      validateKeys(f, where,
+                   {type, tensor, superstep, {"element", KeyKind::Number},
+                    {"bit", KeyKind::Number}, probability, skip, count});
+      break;
+    case Kind::StuckZero:
+      validateKeys(f, where,
+                   {type, tensor, superstep, {"element", KeyKind::Number},
+                    probability, skip, count});
+      break;
+    case Kind::ExchangeDrop:
+      validateKeys(f, where, {type, tensor, superstep, probability, skip,
+                              count});
+      break;
+    case Kind::ExchangeCorrupt:
+      validateKeys(f, where, {type, tensor, superstep,
+                              {"bit", KeyKind::Number}, probability, skip,
+                              count});
+      break;
+    case Kind::Stall:
+      validateKeys(f, where,
+                   {type, {"tile", KeyKind::Number},
+                    {"cycles", KeyKind::Number}, superstep, probability, skip,
+                    count});
+      break;
+    case Kind::TileDead:
+      validateKeys(f, where, {type, {"tile", KeyKind::Number}, superstep,
+                              {"cycles", KeyKind::Number}});
+      break;
+    case Kind::LinkDegraded:
+      validateKeys(f, where, {type, {"tile", KeyKind::Number}, superstep,
+                              {"factor", KeyKind::Number}});
+      break;
+    case Kind::SramRegionDead:
+      validateKeys(f, where, {type, tensor, superstep,
+                              {"element", KeyKind::Number},
+                              {"elements", KeyKind::Number}});
+      break;
+  }
+}
+
+bool isHardKind(FaultPlan::Rule::Kind kind) {
+  using Kind = FaultPlan::Rule::Kind;
+  return kind == Kind::TileDead || kind == Kind::LinkDegraded ||
+         kind == Kind::SramRegionDead;
+}
+
+/// A hard fault is active at superstep `index` once its trigger is reached.
+bool hardActive(const FaultPlan::Rule& rule, std::int64_t index) {
+  return rule.superstep < 0 || index >= rule.superstep;
 }
 
 }  // namespace
 
 FaultPlan FaultPlan::fromJson(const json::Value& config) {
   GRAPHENE_CHECK(config.isObject(), "fault plan must be a JSON object");
+  validateKeys(config, "fault plan",
+               {{"seed", KeyKind::Number}, {"faults", KeyKind::Array}});
   FaultPlan plan;
   plan.seed_ = static_cast<std::uint64_t>(
       config.getOr("seed", std::int64_t(0x9E3779B97F4A7C15ull)));
@@ -41,8 +165,15 @@ FaultPlan FaultPlan::fromJson(const json::Value& config) {
   if (!config.contains("faults")) return plan;
   for (const json::Value& f : config.at("faults").asArray()) {
     GRAPHENE_CHECK(f.isObject(), "each fault rule must be a JSON object");
+    GRAPHENE_CHECK(f.contains("type"),
+                   "each fault rule needs a 'type' key (bitflip, stuck-zero, "
+                   "exchange-drop, exchange-corrupt, stall, tile-dead, "
+                   "link-degraded, sram-region-dead)");
+    GRAPHENE_CHECK(f.at("type").isString(),
+                   "key 'type' in fault rule must be a string");
     Rule r;
     r.kind = parseKind(f.at("type").asString());
+    validateRule(f, r.kind);
     r.tensor = f.getOr("tensor", std::string());
     r.superstep = f.getOr("superstep", std::int64_t(-1));
     r.probability = f.getOr("probability", 1.0);
@@ -59,6 +190,23 @@ FaultPlan FaultPlan::fromJson(const json::Value& config) {
     if (r.kind == Rule::Kind::Stall) {
       GRAPHENE_CHECK(r.stallCycles > 0,
                      "stall fault needs positive 'cycles'");
+    }
+    if (r.kind == Rule::Kind::TileDead) {
+      // A dead tile hangs at the barrier; what the fabric observes per
+      // superstep is a watchdog-scale cycle count, not a stall.
+      if (r.stallCycles <= 0) r.stallCycles = 1e9;
+    }
+    if (r.kind == Rule::Kind::LinkDegraded) {
+      r.factor = f.getOr("factor", 4.0);
+      GRAPHENE_CHECK(r.factor >= 1.0,
+                     "link-degraded 'factor' must be >= 1, got ", r.factor);
+    }
+    if (r.kind == Rule::Kind::SramRegionDead) {
+      const std::int64_t elements = f.getOr("elements", std::int64_t(1));
+      GRAPHENE_CHECK(elements >= 1,
+                     "sram-region-dead 'elements' must be >= 1, got ",
+                     elements);
+      r.regionElements = static_cast<std::size_t>(elements);
     }
     plan.rules_.push_back(r);
   }
@@ -103,6 +251,137 @@ const std::vector<std::size_t>& FaultPlan::matchingTensors(
     state.matchedAt = n;
   }
   return state.matches;
+}
+
+bool FaultPlan::hasHardFaults() const {
+  for (const Rule& rule : rules_) {
+    if (isHardKind(rule.kind)) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::tileDead(std::size_t tile, std::size_t index) const {
+  const auto idx = static_cast<std::int64_t>(index);
+  for (const Rule& rule : rules_) {
+    if (rule.kind == Rule::Kind::TileDead && rule.tile == tile &&
+        hardActive(rule, idx)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::deadTileCycles(std::size_t tile) const {
+  double cycles = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.kind == Rule::Kind::TileDead && rule.tile == tile) {
+      cycles = std::max(cycles, rule.stallCycles);
+    }
+  }
+  return cycles;
+}
+
+double FaultPlan::linkFactor(std::size_t index) const {
+  const auto idx = static_cast<std::int64_t>(index);
+  double factor = 1.0;
+  for (const Rule& rule : rules_) {
+    if (rule.kind == Rule::Kind::LinkDegraded && hardActive(rule, idx)) {
+      factor *= rule.factor;
+    }
+  }
+  return factor;
+}
+
+void FaultPlan::onComputeSuperstepStart(std::size_t index,
+                                        FaultSurface& surface) {
+  states_.resize(rules_.size());
+  const auto idx = static_cast<std::int64_t>(index);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    RuleState& state = states_[i];
+    switch (rule.kind) {
+      case Rule::Kind::TileDead: {
+        if (!hardActive(rule, idx) || state.activated) break;
+        state.activated = true;
+        FaultEvent ev;
+        ev.kind = kindName(rule.kind);
+        ev.superstep = index;
+        ev.target = "tile " + std::to_string(rule.tile);
+        ev.cycles = rule.stallCycles;
+        ev.detail = "permanent: tile stops executing; outgoing transfers "
+                    "are lost";
+        surface.profile().faultEvents.push_back(std::move(ev));
+        ++injected_;
+        break;
+      }
+      case Rule::Kind::SramRegionDead: {
+        if (!hardActive(rule, idx)) break;
+        if (!state.activated) {
+          const auto& matches = matchingTensors(rule, state, surface);
+          if (matches.empty()) break;
+          const std::size_t tensor =
+              matches.size() == 1 ? matches[0]
+                                  : matches[rng_.nextBelow(matches.size())];
+          const std::size_t elems = surface.tensorElements(tensor);
+          if (elems == 0) break;
+          state.activated = true;
+          state.regionTensor = tensor;
+          state.regionStart =
+              rule.element >= 0
+                  ? static_cast<std::size_t>(rule.element) % elems
+                  : rng_.nextBelow(elems);
+          FaultEvent ev;
+          ev.kind = kindName(rule.kind);
+          ev.superstep = index;
+          ev.target = surface.tensorName(tensor);
+          ev.element = state.regionStart;
+          ev.detail = "permanent: " + std::to_string(rule.regionElements) +
+                      " element(s) stuck at zero";
+          surface.profile().faultEvents.push_back(std::move(ev));
+          ++injected_;
+        }
+        // Persistence: re-pin the region to zero before every superstep, so
+        // writes from the previous superstep never stick.
+        const std::size_t elems =
+            surface.tensorElements(state.regionTensor);
+        for (std::size_t e = 0; e < rule.regionElements; ++e) {
+          const std::size_t flat = state.regionStart + e;
+          if (flat >= elems) break;
+          surface.zeroElement(state.regionTensor, flat);
+        }
+        break;
+      }
+      default:
+        break;  // transient rules and link-degraded have their own hooks
+    }
+  }
+}
+
+double FaultPlan::onExchangeSuperstep(std::size_t index,
+                                      FaultSurface& surface) {
+  states_.resize(rules_.size());
+  const auto idx = static_cast<std::int64_t>(index);
+  double factor = 1.0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.kind != Rule::Kind::LinkDegraded || !hardActive(rule, idx)) {
+      continue;
+    }
+    RuleState& state = states_[i];
+    if (!state.activated) {
+      state.activated = true;
+      FaultEvent ev;
+      ev.kind = kindName(rule.kind);
+      ev.superstep = index;
+      ev.target = "tile " + std::to_string(rule.tile);
+      ev.detail = "permanent: fabric cost x" + std::to_string(rule.factor) +
+                  " from this exchange on";
+      surface.profile().faultEvents.push_back(std::move(ev));
+      ++injected_;
+    }
+    factor *= rule.factor;
+  }
+  return factor;
 }
 
 double FaultPlan::afterComputeSuperstep(std::size_t index,
@@ -164,6 +443,10 @@ double FaultPlan::afterComputeSuperstep(std::size_t index,
       case Rule::Kind::ExchangeDrop:
       case Rule::Kind::ExchangeCorrupt:
         break;  // exchange hooks only
+      case Rule::Kind::TileDead:
+      case Rule::Kind::LinkDegraded:
+      case Rule::Kind::SramRegionDead:
+        break;  // permanent faults: onComputeSuperstepStart / exchange hooks
     }
   }
   return extraCycles;
@@ -242,6 +525,37 @@ json::Value faultEventsToJson(const std::vector<FaultEvent>& events) {
     out.push_back(json::Value(std::move(o)));
   }
   return json::Value(std::move(out));
+}
+
+std::vector<FaultEvent> faultEventsFromJson(const json::Value& doc) {
+  GRAPHENE_CHECK(doc.isArray(), "fault log must be a JSON array");
+  std::vector<FaultEvent> events;
+  events.reserve(doc.asArray().size());
+  for (const json::Value& e : doc.asArray()) {
+    GRAPHENE_CHECK(e.isObject(), "each fault-log entry must be a JSON object");
+    validateKeys(e, "fault-log entry",
+                 {{"kind", KeyKind::String},
+                  {"superstep", KeyKind::Number},
+                  {"target", KeyKind::String},
+                  {"element", KeyKind::Number},
+                  {"bit", KeyKind::Number},
+                  {"cycles", KeyKind::Number},
+                  {"detail", KeyKind::String}});
+    GRAPHENE_CHECK(e.contains("kind"),
+                   "fault-log entry needs a 'kind' key");
+    FaultEvent ev;
+    ev.kind = e.at("kind").asString();
+    ev.superstep =
+        static_cast<std::size_t>(e.getOr("superstep", std::int64_t(0)));
+    ev.target = e.getOr("target", std::string());
+    ev.element =
+        static_cast<std::size_t>(e.getOr("element", std::int64_t(0)));
+    ev.bit = static_cast<int>(e.getOr("bit", std::int64_t(-1)));
+    ev.cycles = e.getOr("cycles", 0.0);
+    ev.detail = e.getOr("detail", std::string());
+    events.push_back(std::move(ev));
+  }
+  return events;
 }
 
 std::string formatFaultEvents(const std::vector<FaultEvent>& events) {

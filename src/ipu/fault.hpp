@@ -29,13 +29,31 @@
 //       {"type": "stuck-zero", "tensor": "bicg_rho"},   // SRAM stuck-at-0
 //       {"type": "exchange-drop",    "tensor": "halo", "count": 1},
 //       {"type": "exchange-corrupt", "tensor": "halo", "bit": 30},
-//       {"type": "stall", "tile": 3, "cycles": 10000, "superstep": 5}
+//       {"type": "stall", "tile": 3, "cycles": 10000, "superstep": 5},
+//       // Permanent (hard) faults — persist from the trigger superstep on:
+//       {"type": "tile-dead", "tile": 3, "superstep": 40},
+//       {"type": "link-degraded", "tile": 5, "factor": 8.0, "superstep": 10},
+//       {"type": "sram-region-dead", "tensor": "cg_p", "element": 4,
+//        "elements": 8, "superstep": 25}
 //     ]
 //   }
 // Exchange rules match on the *destination* tensor of a transfer and trigger
 // per transfer; their "superstep" is the exchange-superstep index. Dropped
 // and corrupted transfers are still priced normally — the fabric spent the
 // cycles, the payload was lost or damaged in flight.
+//
+// Hard faults, unlike the transient rules above, ignore "probability",
+// "skip" and "count": once the trigger superstep is reached (-1/absent =
+// from the start) they stay active for the rest of the run. A dead tile
+// stops executing its vertices (each of its compute supersteps instead
+// charges "cycles", default 1e9 — what a watchdog sees as a hung tile) and
+// its outgoing exchange transfers never happen; "tile-dead"'s trigger is on
+// the compute-superstep clock. "link-degraded" multiplies the fabric cost of
+// every exchange superstep at or after its (exchange-clock) trigger by
+// "factor". "sram-region-dead" pins a region of `elements` cells starting at
+// `element` (-1 = seeded-random start) to zero before every compute
+// superstep — overwrites don't stick, which is what distinguishes it from a
+// transient stuck-zero.
 #pragma once
 
 #include <cstdint>
@@ -78,17 +96,20 @@ class FaultPlan {
  public:
   struct Rule {
     enum class Kind { BitFlip, StuckZero, ExchangeDrop, ExchangeCorrupt,
-                      Stall };
+                      Stall, TileDead, LinkDegraded, SramRegionDead };
     Kind kind = Kind::BitFlip;
     std::string tensor;            // substring of the target tensor's name
     std::int64_t superstep = -1;   // exact superstep trigger; -1 = any
+                                   // (hard faults: trigger; -1 = from start)
     double probability = 1.0;      // per matching opportunity
     std::int64_t element = -1;     // -1 = seeded-random within the tensor
     int bit = -1;                  // -1 = seeded-random
-    std::size_t tile = 0;          // stall target
-    double stallCycles = 0;
+    std::size_t tile = 0;          // stall / tile-dead / link target
+    double stallCycles = 0;        // stall charge; tile-dead superstep cost
     std::size_t skip = 0;          // skip the first N matching opportunities
-    std::size_t count = SIZE_MAX;  // injection budget
+    std::size_t count = SIZE_MAX;  // injection budget (transient rules only)
+    double factor = 1.0;           // link-degraded fabric-cost multiplier
+    std::size_t regionElements = 1;  // sram-region-dead region length
   };
 
   FaultPlan() = default;
@@ -103,11 +124,41 @@ class FaultPlan {
   std::uint64_t seed() const { return seed_; }
   std::size_t injectedCount() const { return injected_; }
 
+  /// Whether any rule is a permanent fault (tile-dead / link-degraded /
+  /// sram-region-dead). The engine checks this once per superstep and only
+  /// then consults the per-tile queries below.
+  bool hasHardFaults() const;
+
+  // -- permanent-fault queries ----------------------------------------------
+  // Pure functions of the rule set (no RNG, no state): safe to call from
+  // concurrent host threads simulating tiles in parallel.
+
+  /// True when `tile` is dead at compute superstep `index`.
+  bool tileDead(std::size_t tile, std::size_t index) const;
+
+  /// Cycles a dead tile charges per compute superstep (what the BSP barrier
+  /// — and a watchdog — sees while the rest of the machine waits).
+  double deadTileCycles(std::size_t tile) const;
+
+  /// Fabric-cost multiplier for exchange superstep `index` (product of the
+  /// factors of every active link-degraded rule; 1.0 = healthy fabric).
+  double linkFactor(std::size_t index) const;
+
   /// Restores the plan to its just-built state (RNG re-seeded, budgets and
   /// skip counters reset) so the same plan object can drive a fresh run.
   void reset();
 
   // -- engine hooks ---------------------------------------------------------
+
+  /// Called (serially) before compute superstep `index` runs, and only when
+  /// hasHardFaults(). Logs one activation event per hard fault crossing its
+  /// trigger and re-applies persistent SRAM-region damage so that overwrites
+  /// from the previous superstep don't stick.
+  void onComputeSuperstepStart(std::size_t index, FaultSurface& surface);
+
+  /// Called (serially) once per exchange superstep when hasHardFaults():
+  /// logs link-degradation activation events and returns linkFactor(index).
+  double onExchangeSuperstep(std::size_t index, FaultSurface& surface);
 
   /// Called after compute superstep `index` completes, before its cycles are
   /// committed. Applies SRAM faults (bit flips / stuck-at-zero) and returns
@@ -134,6 +185,11 @@ class FaultPlan {
     // Tensor-name match cache; rebuilt when the tensor count changes.
     std::vector<std::size_t> matches;
     std::size_t matchedAt = SIZE_MAX;
+    // Hard faults: activation already logged, and the (tensor, start)
+    // choice of a sram-region-dead rule, fixed at activation time.
+    bool activated = false;
+    std::size_t regionTensor = SIZE_MAX;
+    std::size_t regionStart = 0;
   };
 
   bool fires(const Rule& rule, RuleState& state, std::int64_t index);
@@ -151,6 +207,11 @@ class FaultPlan {
 
 /// Serialises a fault log (e.g. `engine.profile().faultEvents`) to JSON.
 json::Value faultEventsToJson(const std::vector<FaultEvent>& events);
+
+/// Parses a fault log serialised by faultEventsToJson — strict (unknown or
+/// ill-typed keys are errors), and an exact round-trip inverse:
+/// faultEventsFromJson(faultEventsToJson(log)) == log.
+std::vector<FaultEvent> faultEventsFromJson(const json::Value& doc);
 
 /// Human-readable one-line-per-event rendering of a fault log.
 std::string formatFaultEvents(const std::vector<FaultEvent>& events);

@@ -1,0 +1,88 @@
+#include "ipu/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace graphene::ipu {
+
+namespace {
+
+// std::to_string on a double prints six fixed decimals ("50000000.000000");
+// cycle budgets read better in %g.
+std::string formatCycles(double cycles) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", cycles);
+  return buf;
+}
+
+}  // namespace
+
+void HealthMonitor::observeCompute(std::size_t superstep, std::size_t tile,
+                                   double cycles, Profile& profile) {
+  if (options_.computeCycleBudget <= 0) return;
+  TileHealth& h = tiles_[tile];
+  if (h.dead) return;  // already confirmed; don't spam the log
+  if (cycles <= options_.computeCycleBudget) {
+    h.trips = 0;  // a healthy superstep breaks the consecutive-trip chain
+    return;
+  }
+  ++h.trips;
+  ++h.totalTrips;
+  ++trips_;
+  h.lastTripSuperstep = superstep;
+  profile.metrics.addCounter("resilience.watchdog.trips", 1);
+  FaultEvent trip;
+  trip.kind = "watchdog-trip";
+  trip.superstep = superstep;
+  trip.target = "tile " + std::to_string(tile);
+  trip.cycles = cycles;
+  trip.detail = "exceeded compute budget of " +
+                formatCycles(options_.computeCycleBudget) + " cycles (trip " +
+                std::to_string(h.trips) + "/" +
+                std::to_string(options_.tripsToConfirm) + ")";
+  profile.faultEvents.push_back(std::move(trip));
+  if (h.trips < std::max<std::size_t>(options_.tripsToConfirm, 1)) return;
+
+  h.dead = true;
+  deadTiles_.push_back(tile);
+  std::sort(deadTiles_.begin(), deadTiles_.end());
+  FaultEvent dead;
+  dead.kind = "health:tile-dead";
+  dead.superstep = superstep;
+  dead.target = "tile " + std::to_string(tile);
+  dead.detail = "confirmed dead after " + std::to_string(h.trips) +
+                " consecutive watchdog trips";
+  profile.faultEvents.push_back(std::move(dead));
+  if (options_.abortOnConfirmedDead) abortPending_ = true;
+}
+
+json::Value HealthMonitor::reportJson() const {
+  json::Object report;
+  report["computeCycleBudget"] = options_.computeCycleBudget;
+  report["tripsToConfirm"] = options_.tripsToConfirm;
+  report["trips"] = trips_;
+  json::Array deadArr;
+  for (std::size_t t : deadTiles_) deadArr.push_back(json::Value(t));
+  report["deadTiles"] = json::Value(std::move(deadArr));
+  json::Array tilesArr;
+  for (const auto& [tile, h] : tiles_) {
+    if (h.totalTrips == 0) continue;
+    json::Object o;
+    o["tile"] = tile;
+    o["trips"] = h.totalTrips;
+    o["dead"] = h.dead;
+    o["lastTripSuperstep"] = h.lastTripSuperstep;
+    tilesArr.push_back(json::Value(std::move(o)));
+  }
+  report["tiles"] = json::Value(std::move(tilesArr));
+  return json::Value(std::move(report));
+}
+
+void HealthMonitor::reset() {
+  tiles_.clear();
+  deadTiles_.clear();
+  trips_ = 0;
+  abortPending_ = false;
+}
+
+}  // namespace graphene::ipu

@@ -133,6 +133,27 @@ std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
   return partitionBfs(g.matrix, tiles);
 }
 
+std::vector<std::size_t> partitionAuto(
+    const matrix::GeneratedMatrix& g, std::size_t tiles,
+    const std::vector<std::size_t>& blacklist) {
+  if (blacklist.empty()) return partitionAuto(g, tiles);
+  std::vector<bool> dead(tiles, false);
+  for (std::size_t t : blacklist) {
+    GRAPHENE_CHECK(t < tiles, "blacklisted tile ", t, " out of range (",
+                   tiles, " tiles)");
+    dead[t] = true;
+  }
+  std::vector<std::size_t> survivors;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    if (!dead[t]) survivors.push_back(t);
+  }
+  GRAPHENE_CHECK(!survivors.empty(),
+                 "all ", tiles, " tiles are blacklisted — nothing to run on");
+  std::vector<std::size_t> packed = partitionAuto(g, survivors.size());
+  for (std::size_t& t : packed) t = survivors[t];
+  return packed;
+}
+
 std::vector<std::size_t> partitionSizes(
     const std::vector<std::size_t>& rowToTile, std::size_t tiles) {
   std::vector<std::size_t> sizes(tiles, 0);

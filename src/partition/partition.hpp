@@ -32,6 +32,14 @@ std::vector<std::size_t> partitionBfs(const matrix::CsrMatrix& a,
 std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
                                        std::size_t tiles);
 
+/// Like partitionAuto, but never places rows on a blacklisted tile: the
+/// partition is computed over the surviving tile count and relabelled onto
+/// the surviving physical tile ids (ascending). This is what the hard-fault
+/// remap path uses after the watchdog confirms tiles dead.
+std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
+                                       std::size_t tiles,
+                                       const std::vector<std::size_t>& blacklist);
+
 /// Number of rows per tile (validation / balance statistics).
 std::vector<std::size_t> partitionSizes(const std::vector<std::size_t>& rowToTile,
                                         std::size_t tiles);

@@ -19,6 +19,7 @@ using dsl::Tensor;
 
 void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   precond_->ensureSetup(a);
+  if (robust_.abft) a.enableAbft(robust_.abftTolerance);
 
   // Zero initial guess: r0 = b − A·x = b.
   x = Expression(0.0f);
@@ -59,6 +60,13 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     xCkpt.emplace(a.makeVector(DType::Float32, "bicg_ckpt"));
     *xCkpt = Expression(x);  // x0 = 0 is always a valid restart point
   }
+  stateId_ = recovery ? xCkpt->id() : x.id();
+  // ABFT dot-reduction check: a second, independently emitted reduction of
+  // the same operand (bit-identical fault-free).
+  std::optional<Tensor> resDup;
+  if (robust_.abft) {
+    resDup.emplace(Tensor::scalar(DType::Float32, "bicg_rrdup"));
+  }
 
   const float tol2 = static_cast<float>(tolerance_ * tolerance_);
   auto histPtr = history_;
@@ -68,6 +76,9 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
   graph::TensorId rhoId = rA0rA.id(), okId = ok.id(),
                   restartId = restart.id(), iterId = iter.id();
+  graph::TensorId abftId =
+      robust_.abft ? a.abftFlagId() : graph::kInvalidTensor;
+  graph::TensorId dupId = robust_.abft ? resDup->id() : graph::kInvalidTensor;
 
   // Runs at execution time, before the loop: (re)arm the structured result.
   // The history is deliberately NOT cleared here — as an MPIR inner solver
@@ -138,6 +149,7 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     rA0rAold = Expression(rA0rA);
     iter = Expression(iter) + 1;
     resNormSq = Dot(rA, rA);
+    if (robust_.abft) *resDup = Dot(rA, rA);
     if (recovery) {
       dsl::If(Expression(iter) %
                       static_cast<int>(robust_.checkpointEvery) ==
@@ -145,7 +157,8 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
               [&] { *xCkpt = Expression(x); });
     }
     dsl::HostCall([histPtr, resPtr, opts, recovery, tolerance, resId, bId,
-                   rhoId, okId, restartId, iterId](graph::Engine& e) {
+                   rhoId, okId, restartId, iterId, abftId,
+                   dupId](graph::Engine& e) {
       const double rr = e.readScalar(resId).toHostDouble();
       const double bb = e.readScalar(bId).toHostDouble();
       const double rho = e.readScalar(rhoId).toHostDouble();
@@ -157,7 +170,14 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
           !converged && std::abs(rho) <= opts.breakdownTolerance *
                                              std::max(bb, 1e-300);
       const bool bad = !std::isfinite(rr) || rel > opts.divergenceFactor;
-      if (!bad && !broken) {
+      // ABFT verdict: sticky checksum flag plus the duplicated reduction.
+      bool abftBad = false;
+      if (!bad && !broken && abftId != graph::kInvalidTensor) {
+        const double flag = e.readScalar(abftId).toHostDouble();
+        const double dup = e.readScalar(dupId).toHostDouble();
+        abftBad = !(flag <= opts.abftTolerance) || dup != rr;
+      }
+      if (!bad && !broken && !abftBad) {
         histPtr->push_back({histPtr->size() + 1, rel});
         resPtr->iterations = it;
         resPtr->finalResidual = rel;
@@ -165,6 +185,13 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
                                  rel, e.simCycles(),
                                  e.profile().computeSupersteps);
         return;
+      }
+      if (abftBad) {
+        e.profile().metrics.addCounter("resilience.abft.mismatches", 1);
+        e.profile().faultEvents.push_back(
+            {"abft-mismatch", e.profile().computeSupersteps, "bicgstab", it,
+             -1, 0.0, "checksum defect above tolerance"});
+        e.writeScalar(abftId, graph::Scalar(0.0f));  // re-arm the flag
       }
       if (recovery && resPtr->restarts < opts.maxRestarts) {
         ++resPtr->restarts;
@@ -177,11 +204,13 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
             {"recovery:restart", e.profile().computeSupersteps, "bicgstab",
              it, -1, 0.0,
              broken ? "rho breakdown; re-seeding from checkpoint"
-                    : (!std::isfinite(rr)
-                           ? "nan residual; re-seeding from checkpoint"
-                           : "diverged; re-seeding from checkpoint")});
+             : abftBad ? "abft mismatch; re-seeding from checkpoint"
+                       : (!std::isfinite(rr)
+                              ? "nan residual; re-seeding from checkpoint"
+                              : "diverged; re-seeding from checkpoint")});
       } else {
-        resPtr->status = broken ? SolveStatus::Breakdown
+        resPtr->status = broken      ? SolveStatus::Breakdown
+                         : abftBad   ? SolveStatus::CorruptionDetected
                          : std::isfinite(rr) ? SolveStatus::Diverged
                                              : SolveStatus::NanDetected;
         resPtr->iterations = it;
@@ -191,7 +220,20 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     if (monitorEvery_ > 0) emitTrueResidualMonitor(a, x, b);
   });
 
-  dsl::HostCall([resPtr, resId, bId, iterId, tolerance](graph::Engine& e) {
+  // Post-loop verification (ABFT only): re-measure the true residual so a
+  // silently corrupted "converged" x cannot slip through.
+  graph::TensorId verId = graph::kInvalidTensor;
+  std::optional<Tensor> verNormSq;
+  if (robust_.abft && tolerance_ > 0.0) {
+    a.spmv(tA, x);
+    Tensor vr = a.makeVector(DType::Float32, "bicg_verify");
+    vr = Expression(b) - Expression(tA);
+    verNormSq.emplace(Dot(vr, vr));
+    verId = verNormSq->id();
+  }
+
+  dsl::HostCall([resPtr, resId, bId, iterId, verId,
+                 tolerance](graph::Engine& e) {
     if (resPtr->status != SolveStatus::Running) return;
     const double rr = e.readScalar(resId).toHostDouble();
     const double bb = e.readScalar(bId).toHostDouble();
@@ -202,6 +244,15 @@ void BiCgStabSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     resPtr->status = tolerance > 0.0 && rel <= tolerance
                          ? SolveStatus::Converged
                          : SolveStatus::MaxIterations;
+    if (resPtr->status == SolveStatus::Converged &&
+        verId != graph::kInvalidTensor) {
+      const double vv = e.readScalar(verId).toHostDouble();
+      const double vrel = std::sqrt(std::abs(vv) / std::max(bb, 1e-300));
+      if (!(vrel <= 50.0 * tolerance)) {
+        resPtr->status = SolveStatus::CorruptionDetected;
+        resPtr->finalResidual = vrel;
+      }
+    }
   });
 }
 

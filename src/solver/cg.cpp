@@ -38,6 +38,7 @@ void RichardsonSolver::apply(DistMatrix& a, Tensor& z, Tensor& r) {
 
 void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   precond_->ensureSetup(a);
+  if (robust_.abft) a.enableAbft(robust_.abftTolerance);
 
   x = Expression(0.0f);
   Tensor r = a.makeVector(DType::Float32, "cg_resid");
@@ -70,6 +71,12 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     xCkpt.emplace(a.makeVector(DType::Float32, "cg_ckpt"));
     *xCkpt = Expression(x);  // x0 = 0 is always a valid restart point
   }
+  stateId_ = recovery ? xCkpt->id() : x.id();
+  // ABFT dot-reduction check: a second, independently emitted reduction of
+  // the same operand. Fault-free they are bit-identical; corruption landing
+  // between or inside the reductions makes them disagree.
+  std::optional<Tensor> resDup;
+  if (robust_.abft) resDup.emplace(Tensor::scalar(DType::Float32, "cg_rrdup"));
 
   const float tol2 = static_cast<float>(tolerance_ * tolerance_);
   auto histPtr = history_;
@@ -79,6 +86,9 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
   graph::TensorId okId = ok.id(), restartId = restart.id(),
                   iterId = iter.id();
+  graph::TensorId abftId =
+      robust_.abft ? a.abftFlagId() : graph::kInvalidTensor;
+  graph::TensorId dupId = robust_.abft ? resDup->id() : graph::kInvalidTensor;
 
   // Runs at execution time, before the loop: (re)arm the structured result.
   // The history is deliberately NOT cleared here — as an MPIR inner solver
@@ -125,6 +135,7 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     rz = Expression(rzNew);
     iter = Expression(iter) + 1;
     resNormSq = Dot(r, r);
+    if (robust_.abft) *resDup = Dot(r, r);
     if (recovery) {
       dsl::If(Expression(iter) %
                       static_cast<int>(robust_.checkpointEvery) ==
@@ -132,7 +143,7 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
               [&] { *xCkpt = Expression(x); });
     }
     dsl::HostCall([histPtr, resPtr, opts, recovery, resId, bId, okId,
-                   restartId, iterId](graph::Engine& e) {
+                   restartId, iterId, abftId, dupId](graph::Engine& e) {
       const double rr = e.readScalar(resId).toHostDouble();
       const double bb = e.readScalar(bId).toHostDouble();
       const auto it =
@@ -140,7 +151,15 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
       const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
       const bool bad = !std::isfinite(rr) ||
                        rel > opts.divergenceFactor;
-      if (!bad) {
+      // ABFT verdict: the sticky checksum flag (SpMV defects) and the
+      // duplicated dot reduction (which is bit-identical fault-free).
+      bool abftBad = false;
+      if (!bad && abftId != graph::kInvalidTensor) {
+        const double flag = e.readScalar(abftId).toHostDouble();
+        const double dup = e.readScalar(dupId).toHostDouble();
+        abftBad = !(flag <= opts.abftTolerance) || dup != rr;
+      }
+      if (!bad && !abftBad) {
         histPtr->push_back({histPtr->size() + 1, rel});
         resPtr->iterations = it;
         resPtr->finalResidual = rel;
@@ -149,8 +168,15 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
                                  e.profile().computeSupersteps);
         return;
       }
-      // A NaN/Inf or runaway residual never reaches the history; it either
-      // triggers a restart or becomes the typed outcome of the solve.
+      if (abftBad) {
+        e.profile().metrics.addCounter("resilience.abft.mismatches", 1);
+        e.profile().faultEvents.push_back(
+            {"abft-mismatch", e.profile().computeSupersteps, "cg", it, -1,
+             0.0, "checksum defect above tolerance"});
+        e.writeScalar(abftId, graph::Scalar(0.0f));  // re-arm the flag
+      }
+      // A NaN/Inf, runaway, or checksum-flagged residual never reaches the
+      // history; it either triggers a restart or becomes the typed outcome.
       if (recovery && resPtr->restarts < opts.maxRestarts) {
         ++resPtr->restarts;
         e.profile().metrics.addCounter("cg.restarts", 1);
@@ -161,18 +187,36 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
         e.profile().faultEvents.push_back(
             {"recovery:restart", e.profile().computeSupersteps, "cg", it, -1,
              0.0,
-             !std::isfinite(rr) ? "nan residual; re-seeding from checkpoint"
-                                : "diverged; re-seeding from checkpoint"});
+             bad ? (!std::isfinite(rr)
+                        ? "nan residual; re-seeding from checkpoint"
+                        : "diverged; re-seeding from checkpoint")
+                 : "abft mismatch; re-seeding from checkpoint"});
       } else {
-        resPtr->status = std::isfinite(rr) ? SolveStatus::Diverged
-                                           : SolveStatus::NanDetected;
+        resPtr->status = bad ? (std::isfinite(rr) ? SolveStatus::Diverged
+                                                  : SolveStatus::NanDetected)
+                             : SolveStatus::CorruptionDetected;
         resPtr->iterations = it;
         e.writeScalar(okId, graph::Scalar(std::int32_t(0)));
       }
     });
   });
 
-  dsl::HostCall([resPtr, resId, bId, iterId, tolerance](graph::Engine& e) {
+  // Post-loop verification (ABFT only): re-measure the true residual
+  // ‖b − A·x‖ from scratch. Corruption that slipped a *small* value into
+  // the recurrence's residual norm would otherwise end the loop with a
+  // silently wrong "converged" x.
+  graph::TensorId verId = graph::kInvalidTensor;
+  std::optional<Tensor> verNormSq;
+  if (robust_.abft && tolerance_ > 0.0) {
+    a.spmv(Ap, x);
+    Tensor vr = a.makeVector(DType::Float32, "cg_verify");
+    vr = Expression(b) - Expression(Ap);
+    verNormSq.emplace(Dot(vr, vr));
+    verId = verNormSq->id();
+  }
+
+  dsl::HostCall([resPtr, resId, bId, iterId, verId,
+                 tolerance](graph::Engine& e) {
     if (resPtr->status != SolveStatus::Running) return;
     const double rr = e.readScalar(resId).toHostDouble();
     const double bb = e.readScalar(bId).toHostDouble();
@@ -183,6 +227,17 @@ void CgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     resPtr->status = tolerance > 0.0 && rel <= tolerance
                          ? SolveStatus::Converged
                          : SolveStatus::MaxIterations;
+    if (resPtr->status == SolveStatus::Converged &&
+        verId != graph::kInvalidTensor) {
+      const double vv = e.readScalar(verId).toHostDouble();
+      const double vrel = std::sqrt(std::abs(vv) / std::max(bb, 1e-300));
+      // Slack over the recurrence tolerance: the float32 recurrence
+      // residual legitimately drifts from the true one near convergence.
+      if (!(vrel <= 50.0 * tolerance)) {
+        resPtr->status = SolveStatus::CorruptionDetected;
+        resPtr->finalResidual = vrel;
+      }
+    }
   });
 }
 

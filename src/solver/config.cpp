@@ -21,13 +21,14 @@ DType parseExtendedType(const std::string& s) {
 }
 
 /// What a solver config key must hold.
-enum class KeyKind { Number, String, Object };
+enum class KeyKind { Number, String, Object, Bool };
 
 const char* toString(KeyKind kind) {
   switch (kind) {
     case KeyKind::Number: return "number";
     case KeyKind::String: return "string";
     case KeyKind::Object: return "object";
+    case KeyKind::Bool: return "boolean";
   }
   return "?";
 }
@@ -60,6 +61,7 @@ void validateKeys(const json::Value& config, const std::string& where,
     }
     const bool ok = spec->kind == KeyKind::Number   ? value.isNumber()
                     : spec->kind == KeyKind::String ? value.isString()
+                    : spec->kind == KeyKind::Bool   ? value.isBool()
                                                     : value.isObject();
     GRAPHENE_CHECK(ok, "key '", key, "' in ", where, " config must be a ",
                    toString(spec->kind));
@@ -79,7 +81,9 @@ RobustnessOptions parseRobustness(const json::Value& config) {
                 {"breakdownTolerance", KeyKind::Number},
                 {"checkpointEvery", KeyKind::Number},
                 {"maxRollbacks", KeyKind::Number},
-                {"residualGrowthFactor", KeyKind::Number}});
+                {"residualGrowthFactor", KeyKind::Number},
+                {"abft", KeyKind::Bool},
+                {"abftTolerance", KeyKind::Number}});
   opts.maxRestarts = static_cast<std::size_t>(
       r.getOr("maxRestarts", static_cast<std::int64_t>(opts.maxRestarts)));
   opts.divergenceFactor = r.getOr("divergenceFactor", opts.divergenceFactor);
@@ -91,6 +95,10 @@ RobustnessOptions parseRobustness(const json::Value& config) {
       r.getOr("maxRollbacks", static_cast<std::int64_t>(opts.maxRollbacks)));
   opts.residualGrowthFactor =
       r.getOr("residualGrowthFactor", opts.residualGrowthFactor);
+  opts.abft = r.getOr("abft", opts.abft);
+  opts.abftTolerance = r.getOr("abftTolerance", opts.abftTolerance);
+  GRAPHENE_CHECK(opts.abftTolerance > 0.0,
+                 "robustness.abftTolerance must be positive");
   GRAPHENE_CHECK(opts.divergenceFactor > 0.0,
                  "robustness.divergenceFactor must be positive");
   GRAPHENE_CHECK(opts.breakdownTolerance >= 0.0,

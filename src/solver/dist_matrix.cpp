@@ -200,6 +200,9 @@ void DistMatrix::spmv(Tensor& y, const Tensor& v, bool exchange,
       cs, "spmv.flops",
       static_cast<double>(diagHost_.size() + 2 * valHost_.size()));
   g.addComputeSetMetric(cs, "spmv.count", 1.0);
+  // The check is a separate compute set: it re-reads y after the BSP sync,
+  // so corruption landing on y *between* supersteps is caught too.
+  if (abftEnabled_) emitAbftCheck(y, v, nullptr);
 }
 
 void DistMatrix::residualExt(Tensor& r, const Tensor& b, const Tensor& x) {
@@ -231,6 +234,119 @@ void DistMatrix::residualExt(Tensor& r, const Tensor& b, const Tensor& x) {
         });
       },
       "spmv", activeTiles_);
+  if (abftEnabled_) emitAbftCheck(r, x, &b);
+}
+
+void DistMatrix::enableAbft(double tolerance) {
+  if (abftEnabled_) return;
+  abftEnabled_ = true;
+  abftTolerance_ = tolerance;
+
+  // Per-tile, per-local-column coefficient sums (diagonal included), in the
+  // same float32 the device multiplies with so the checksum identity sees
+  // the exact coefficients the SpMV sees. Accumulated in double: the
+  // checksum must not itself be the noisiest term of the compare.
+  const std::size_t nTiles = layout_.numTiles;
+  std::vector<double> owned, halo;
+  std::size_t ownedTotal = 0, haloTotal = 0;
+  for (std::size_t t = 0; t < nTiles; ++t) {
+    ownedTotal += tileLocal_[t].numOwned;
+    haloTotal += tileLocal_[t].numHalo;
+  }
+  owned.assign(ownedTotal, 0.0);
+  halo.assign(haloTotal, 0.0);
+  std::size_t ownedBase = 0, haloBase = 0;
+  for (std::size_t t = 0; t < nTiles; ++t) {
+    const TileLocal& local = tileLocal_[t];
+    for (std::size_t k = 0; k < local.col.size(); ++k) {
+      const auto c = static_cast<std::size_t>(local.col[k]);
+      const double v = static_cast<double>(static_cast<float>(local.val[k]));
+      if (c < local.numOwned) {
+        owned[ownedBase + c] += v;
+      } else {
+        halo[haloBase + (c - local.numOwned)] += v;
+      }
+    }
+    ownedBase += local.numOwned;
+    haloBase += local.numHalo;
+  }
+  abftOwnedHost_.assign(owned.begin(), owned.end());
+  abftHaloHost_.assign(halo.begin(), halo.end());
+
+  Context& ctx = Context::current();
+  abftColOwned_.emplace(DType::Float32, ownedMapping_,
+                        ctx.freshName("abft_colsum"));
+  abftColHalo_.emplace(DType::Float32, haloMapping_,
+                       ctx.freshName("abft_colsum_halo"));
+  // Two elements per active tile, not one: with every tile active a
+  // 1-per-tile tensor is indistinguishable from a replicated scalar, and
+  // reduce() would fold it *per tile* — the defect would stay on the tile
+  // that found it instead of reaching the replica the host guard reads.
+  std::vector<std::size_t> relSizes(nTiles, 0);
+  for (std::size_t t : activeTiles_) relSizes[t] = 2;
+  abftRel_.emplace(DType::Float32, graph::TileMapping::ragged(relSizes),
+                   ctx.freshName("abft_rel"));
+  abftFlag_.emplace(Tensor::scalar(DType::Float32, ctx.freshName("abft_flag")));
+  *abftFlag_ = dsl::Expression(0.0f);
+}
+
+graph::TensorId DistMatrix::abftFlagId() const {
+  GRAPHENE_CHECK(abftFlag_.has_value(), "ABFT is not enabled");
+  return abftFlag_->id();
+}
+
+void DistMatrix::emitAbftCheck(const Tensor& y, const Tensor& x,
+                               const Tensor* rhs) {
+  Tensor& halo = haloBuffer(x.type());
+  const graph::Scalar extZero = graph::Scalar::fromHostDouble(y.type(), 0.0);
+  std::vector<dsl::TensorRef> tensors = {y, x, halo, *abftColOwned_,
+                                         *abftColHalo_, *abftRel_};
+  if (rhs != nullptr) tensors.push_back(*rhs);
+  graph::ComputeSetId cs = ExecuteOnTiles(
+      tensors,
+      [&](std::vector<Value>& args) {
+        Value yv = args[0], xv = args[1], hv = args[2], co = args[3],
+              ch = args[4], relv = args[5];
+        // defect accumulates in y's dtype (extended types keep their
+        // precision); scale collects |term|₁ in float32 — the compare is
+        // relative, so float32 headroom is plenty.
+        Value defect = Value(extZero);
+        Value scale = Value(0.0f);
+        For(0, yv.size(), 1, [&](Value r) {
+          defect = defect + Value(yv[r]);
+          scale = scale + Abs(Value(yv[r]).cast(DType::Float32));
+        });
+        // colsum·x enters with the sign that zeroes the identity:
+        //   y = A·x      ⇒ Σy − colsum·x            == 0
+        //   r = b − A·x  ⇒ Σr + colsum·x − Σb       == 0
+        const bool residual = rhs != nullptr;
+        auto foldTerm = [&](Value term) {
+          defect = residual ? defect + term : defect - term;
+          scale = scale + Abs(term.cast(DType::Float32));
+        };
+        For(0, xv.size(), 1,
+            [&](Value c) { foldTerm(Value(co[c]) * Value(xv[c])); });
+        For(0, hv.size(), 1,
+            [&](Value h) { foldTerm(Value(ch[h]) * Value(hv[h])); });
+        if (residual) {
+          Value bv = args[6];
+          For(0, bv.size(), 1, [&](Value r) {
+            defect = defect - Value(bv[r]);
+            scale = scale + Abs(Value(bv[r]).cast(DType::Float32));
+          });
+        }
+        Value rel = Abs(defect.cast(DType::Float32)) /
+                    Max(scale, Value(1e-30f));
+        relv[0] = rel;
+        relv[1] = Value(0.0f);  // padding slot (see enableAbft)
+      },
+      "abft", activeTiles_);
+  Context::current().graph().addComputeSetMetric(cs, "resilience.abft.checks",
+                                                 1.0);
+  // Fold this check's worst tile into the sticky flag scalar; the host
+  // guard reads it against the tolerance and writes 0 to re-arm.
+  *abftFlag_ = dsl::Max(dsl::Expression(*abftFlag_),
+                        abftRel_->reduce(dsl::ReduceKind::Max));
 }
 
 void DistMatrix::upload(graph::Engine& engine) const {
@@ -239,6 +355,10 @@ void DistMatrix::upload(graph::Engine& engine) const {
   engine.writeTensor<std::int32_t>(offCol_->id(), colHost_);
   engine.writeTensor<std::int32_t>(offRowPtr_->id(), rowPtrHost_);
   engine.writeTensor<std::int32_t>(offSplit_->id(), splitHost_);
+  if (abftColOwned_.has_value()) {
+    engine.writeTensor<float>(abftColOwned_->id(), abftOwnedHost_);
+    engine.writeTensor<float>(abftColHalo_->id(), abftHaloHost_);
+  }
 }
 
 void DistMatrix::writeVector(graph::Engine& engine, const Tensor& v,
@@ -260,12 +380,17 @@ std::vector<double> DistMatrix::readVector(graph::Engine& engine,
                                            const Tensor& v) const {
   GRAPHENE_CHECK(v.info().mapping == ownedMapping_,
                  "readVector needs an owned-mapped vector");
+  return readVectorById(engine, v.id());
+}
+
+std::vector<double> DistMatrix::readVectorById(graph::Engine& engine,
+                                               graph::TensorId id) const {
   std::vector<double> out(rows());
   for (std::size_t g = 0; g < out.size(); ++g) {
     const std::size_t tile = layout_.rowToTile[g];
     const std::size_t flat =
         ownedFlatOffset_[tile] + layout_.globalToLocalOwned[g];
-    out[g] = engine.loadElement(v.id(), flat).toHostDouble();
+    out[g] = engine.loadElement(id, flat).toHostDouble();
   }
   return out;
 }

@@ -57,6 +57,26 @@ class DistMatrix {
   /// Float64); matrix coefficients stay float32 (MPIR step 1, §V-B).
   void residualExt(Tensor& r, const Tensor& b, const Tensor& x);
 
+  /// Enables ABFT checksum verification (algorithm-based fault tolerance,
+  /// Huang & Abraham style). Per tile the identity
+  ///   Σ_rows y[r] == Σ_cols colsum[c]·x[c]
+  /// holds for y = A·x, where colsum is the per-local-column sum of the
+  /// tile's coefficients (diagonal included). After this call every spmv()
+  /// and residualExt() emission appends a checksum-check compute set that
+  /// evaluates the per-tile relative defect and folds its maximum into the
+  /// ABFT flag scalar. `tolerance` is the relative defect above which a
+  /// check counts as a mismatch (rounding headroom: the identity is exact
+  /// only in exact arithmetic). Must be called before the spmv emissions it
+  /// should guard; it is a no-op on repeat calls.
+  void enableAbft(double tolerance);
+  bool abftEnabled() const { return abftEnabled_; }
+  double abftTolerance() const { return abftTolerance_; }
+
+  /// Replicated float32 scalar: the maximum relative checksum defect folded
+  /// in since the last reset. Host guards read it after each iteration and
+  /// write 0 to re-arm (valid only after enableAbft()).
+  graph::TensorId abftFlagId() const;
+
   /// Uploads the matrix coefficients (must run before the program).
   void upload(graph::Engine& engine) const;
 
@@ -66,6 +86,12 @@ class DistMatrix {
 
   /// Device→host read of a vector back to global row order.
   std::vector<double> readVector(graph::Engine& engine, const Tensor& v) const;
+
+  /// Same, addressed by tensor id. The tensor must use the owned-row
+  /// mapping (any dtype) — the hard-fault migration path uses this to pull
+  /// a solver's checkpoint out of a dying engine.
+  std::vector<double> readVectorById(graph::Engine& engine,
+                                     graph::TensorId id) const;
 
   /// Host-side local structure of one tile's owned submatrix (full rows
   /// including the diagonal, local column indices into [owned | halo]).
@@ -105,14 +131,27 @@ class DistMatrix {
 
   std::vector<TileLocal> tileLocal_;
 
+  /// Emits the ABFT checksum check for an spmv-shaped emission. For
+  /// y = A·x pass rhs == nullptr; for r = b − A·x pass rhs = &b (the
+  /// identity then reads Σr + colsum·x − Σb == 0).
+  void emitAbftCheck(const Tensor& y, const Tensor& x, const Tensor* rhs);
+
   // Device tensors (optional: constructed in ctor; pointers keep Tensor
   // default-constructible-free).
   std::optional<Tensor> diag_, offVal_, offCol_, offRowPtr_, offSplit_;
   std::map<DType, Tensor> haloBuffers_;
 
+  // ABFT state (allocated by enableAbft).
+  bool abftEnabled_ = false;
+  double abftTolerance_ = 1e-3;
+  std::optional<Tensor> abftColOwned_, abftColHalo_;  // per-column checksums
+  std::optional<Tensor> abftRel_;   // per-active-tile relative defect
+  std::optional<Tensor> abftFlag_;  // replicated max-defect scalar
+
   // Host staging for upload().
   std::vector<float> diagHost_, valHost_;
   std::vector<std::int32_t> colHost_, rowPtrHost_, splitHost_;
+  std::vector<float> abftOwnedHost_, abftHaloHost_;
 };
 
 }  // namespace graphene::solver

@@ -31,6 +31,7 @@ struct MpirGuardState {
 
 void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   inner_->ensureSetup(a);
+  if (robust_.abft) a.enableAbft(robust_.abftTolerance);
 
   // Extended-precision state (step 1 and 3 operate here).
   Tensor bExt = a.makeVector(extType_, "mpir_b");
@@ -65,6 +66,7 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     xGood.emplace(a.makeVector(extType_, "mpir_xgood"));
     *xGood = Expression(xExt);  // x0 = 0 is always a valid rollback point
   }
+  stateId_ = recovery ? xGood->id() : xExt.id();
 
   auto trueHist = trueHistory_;
   auto resPtr = result_;
@@ -74,6 +76,8 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
   Solver* innerRaw = inner_.get();
   graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
   graph::TensorId okId = ok.id(), rollbackId = rollback.id(), mId = m.id();
+  graph::TensorId abftId =
+      robust_.abft ? a.abftFlagId() : graph::kInvalidTensor;
 
   dsl::HostCall([resPtr, trueHist, guard](graph::Engine&) {
     *resPtr = SolveResult{};
@@ -99,14 +103,27 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     // schedules a rollback; a clean one is recorded and becomes the new
     // checkpoint.
     dsl::HostCall([trueHist, resPtr, guard, innerRaw, opts, recovery, resId,
-                   bId, rollbackId, okId, mId](graph::Engine& e) {
+                   bId, rollbackId, okId, mId, abftId](graph::Engine& e) {
       const double rr = e.readScalar(resId).toHostDouble();
       const double bb = e.readScalar(bId).toHostDouble();
       const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+      bool abftBad = false;
+      if (abftId != graph::kInvalidTensor) {
+        const double flag = e.readScalar(abftId).toHostDouble();
+        abftBad = !(flag <= opts.abftTolerance);
+      }
       const bool corrupted =
-          !std::isfinite(rr) ||
+          !std::isfinite(rr) || abftBad ||
           (guard->lastGoodResidual >= 0.0 &&
            rel > guard->lastGoodResidual * opts.residualGrowthFactor);
+      if (abftBad) {
+        e.profile().metrics.addCounter("resilience.abft.mismatches", 1);
+        e.profile().faultEvents.push_back(
+            {"abft-mismatch", e.profile().computeSupersteps, "mpir",
+             static_cast<std::size_t>(e.readScalar(mId).toHostDouble()), -1,
+             0.0, "checksum defect above tolerance"});
+        e.writeScalar(abftId, graph::Scalar(0.0f));  // re-arm the flag
+      }
       if (!corrupted) {
         trueHist->push_back({innerRaw->history().size(), rel});
         resPtr->iterations =
@@ -135,10 +152,12 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
              0.0,
              !std::isfinite(rr)
                  ? "nan residual; restored last good iterate"
-                 : "residual jumped; restored last good iterate"});
+             : abftBad ? "abft mismatch; restored last good iterate"
+                       : "residual jumped; restored last good iterate"});
       } else {
-        resPtr->status = std::isfinite(rr) ? SolveStatus::Diverged
-                                           : SolveStatus::NanDetected;
+        resPtr->status = !std::isfinite(rr) ? SolveStatus::NanDetected
+                         : abftBad          ? SolveStatus::CorruptionDetected
+                                            : SolveStatus::Diverged;
         resPtr->iterations =
             static_cast<std::size_t>(e.readScalar(mId).toHostDouble());
         e.writeScalar(okId, graph::Scalar(std::int32_t(0)));
@@ -172,7 +191,17 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     m = Expression(m) + 1;
   });
 
-  dsl::HostCall([resPtr, resId, bId, mId, tolerance](graph::Engine& e) {
+  // Post-loop (ABFT only): the loop's last residual measurement predates
+  // its final refinement step, so re-measure b − A·x for the final iterate
+  // — the reported status then reflects the x the caller actually gets,
+  // and the measurement itself is checksum-guarded.
+  if (robust_.abft) {
+    a.residualExt(rExt, bExt, xExt);
+    resNormSq = Dot(Expression(rExt), Expression(rExt));
+  }
+
+  dsl::HostCall([resPtr, resId, bId, mId, abftId, opts,
+                 tolerance](graph::Engine& e) {
     if (resPtr->status != SolveStatus::Running) return;
     const double rr = e.readScalar(resId).toHostDouble();
     const double bb = e.readScalar(bId).toHostDouble();
@@ -183,6 +212,13 @@ void MpirSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
     resPtr->status = tolerance > 0.0 && rel <= tolerance
                          ? SolveStatus::Converged
                          : SolveStatus::MaxIterations;
+    if (abftId != graph::kInvalidTensor &&
+        resPtr->status == SolveStatus::Converged) {
+      const double flag = e.readScalar(abftId).toHostDouble();
+      if (!(flag <= opts.abftTolerance)) {
+        resPtr->status = SolveStatus::CorruptionDetected;
+      }
+    }
   });
 
   // The working-precision output is the rounded extended solution.

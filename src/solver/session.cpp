@@ -1,9 +1,16 @@
 // SolveSession implementation: owns the Context → layout → DistMatrix →
-// Solver → Engine choreography so callers don't have to.
+// Solver → Engine choreography so callers don't have to — including the
+// hard-fault recovery loop (watchdog → blacklist → repartition → migrate →
+// resume) documented in the header.
 #include "solver/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 
 #include "dsl/context.hpp"
 #include "graph/engine.hpp"
+#include "ipu/health.hpp"
 #include "matrix/generators.hpp"
 #include "partition/partition.hpp"
 #include "support/error.hpp"
@@ -17,13 +24,44 @@ SolveSession::SolveSession(SessionOptions options)
 
 SolveSession::~SolveSession() = default;
 
-SolveSession& SolveSession::load(const matrix::GeneratedMatrix& m) {
-  GRAPHENE_CHECK(!A_, "SolveSession::load() may only be called once");
+void SolveSession::buildPipeline() {
+  // Teardown in dependency order: the engine holds pointers into the fault
+  // plan and monitor, tensors and the solver hold handles into the context's
+  // graph, and dsl::Context is thread-local single-active.
+  engine_.reset();
+  health_.reset();
+  faultPlan_.reset();
+  x_.reset();
+  b_.reset();
+  solver_.reset();
+  A_.reset();
+  ctx_.reset();
+  emitted_ = false;
+
   ctx_ = std::make_unique<dsl::Context>(
       ipu::IpuTarget::testTarget(options_.tiles));
+  // Control state (reduction finals, loop conditions, scalar replicas the
+  // host reads) must live on a surviving tile: the DSL defaults to tile 0,
+  // which may be exactly the tile that just died. blacklist_ is sorted.
+  std::size_t control = 0;
+  for (std::size_t t : blacklist_) {
+    if (t == control) ++control;
+  }
+  GRAPHENE_CHECK(control < options_.tiles,
+                 "all ", options_.tiles, " tiles are blacklisted");
+  ctx_->graph().setControlTile(control);
   auto layout = partition::buildLayout(
-      m.matrix, partition::partitionAuto(m, options_.tiles), options_.tiles);
-  A_ = std::make_unique<DistMatrix>(m.matrix, std::move(layout));
+      m_.matrix, partition::partitionAuto(m_, options_.tiles, blacklist_),
+      options_.tiles);
+  A_ = std::make_unique<DistMatrix>(m_.matrix, std::move(layout));
+  if (configured_) solver_ = makeSolver(solverConfig_);
+}
+
+SolveSession& SolveSession::load(const matrix::GeneratedMatrix& m) {
+  GRAPHENE_CHECK(!loaded_, "SolveSession::load() may only be called once");
+  m_ = m;
+  loaded_ = true;
+  buildPipeline();
   return *this;
 }
 
@@ -39,6 +77,8 @@ SolveSession& SolveSession::configure(const json::Value& solverConfig) {
                  "SolveSession::configure() after solve(): the emitted "
                  "program is tied to the previous solver");
   solver_ = makeSolver(solverConfig);
+  solverConfig_ = solverConfig;
+  configured_ = true;
   return *this;
 }
 
@@ -47,7 +87,10 @@ SolveSession& SolveSession::configure(const std::string& solverJsonText) {
 }
 
 SolveSession& SolveSession::withFaultPlan(const json::Value& planConfig) {
+  // Validate eagerly (errors surface at attach time), but rebuild from JSON
+  // for every solve attempt — FaultPlan rules are stateful.
   faultPlan_ = ipu::FaultPlan::fromJson(planConfig);
+  faultPlanJson_ = planConfig;
   return *this;
 }
 
@@ -58,28 +101,175 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
   GRAPHENE_CHECK(rhs.size() == A_->rows(), "rhs has ", rhs.size(),
                  " entries but the matrix has ", A_->rows(), " rows");
 
-  if (!emitted_) {
-    x_.emplace(A_->makeVector(DType::Float32, "session_x"));
-    b_.emplace(A_->makeVector(DType::Float32, "session_b"));
-    solver_->apply(*A_, *x_, *b_);
-    emitted_ = true;
-  }
-
-  solver_->clearHistory();
   trace_.clear();
-  engine_ = std::make_unique<graph::Engine>(ctx_->graph(),
-                                            options_.hostThreads);
-  if (options_.traceCapacity > 0) engine_->setTraceSink(&trace_);
-  if (faultPlan_) engine_->setFaultPlan(&*faultPlan_);
-  A_->upload(*engine_);
-  A_->writeVector(*engine_, *b_, rhs);
-  engine_->run(ctx_->program());
+
+  // Hard-fault recovery state for this solve. After a remap the rebuilt
+  // pipeline solves the shifted system A·dx = b − A·x0, where x0 is the
+  // iterate migrated out of the dying engine; the final answer is x0 + dx.
+  std::vector<ipu::FaultEvent> carriedLog;
+  std::vector<double> x0(rhs.size(), 0.0);
+  std::vector<double> shifted(rhs.begin(), rhs.end());
+  std::size_t remaps = 0;
+
+  for (;;) {
+    if (!emitted_) {
+      x_.emplace(A_->makeVector(DType::Float32, "session_x"));
+      b_.emplace(A_->makeVector(DType::Float32, "session_b"));
+      solver_->apply(*A_, *x_, *b_);
+      emitted_ = true;
+    }
+
+    solver_->clearHistory();
+    engine_ = std::make_unique<graph::Engine>(ctx_->graph(),
+                                              options_.hostThreads);
+    engine_->setExcludedTiles(blacklist_);
+    health_.reset();
+    if (faultPlanJson_) {
+      // Rules aimed at a blacklisted tile are dropped for this attempt: the
+      // tile is already out of the machine, so re-injecting its death would
+      // only make the watchdog re-confirm a fault that has been handled.
+      json::Value planJson = *faultPlanJson_;
+      if (!blacklist_.empty()) {
+        json::Array kept;
+        for (const json::Value& f : planJson.at("faults").asArray()) {
+          if (f.isObject() && f.asObject().count("tile") > 0 &&
+              std::find(blacklist_.begin(), blacklist_.end(),
+                        static_cast<std::size_t>(f.at("tile").asNumber())) !=
+                  blacklist_.end()) {
+            continue;
+          }
+          kept.push_back(f);
+        }
+        planJson.asObject()["faults"] = json::Value(kept);
+      }
+      faultPlan_.emplace(ipu::FaultPlan::fromJson(planJson));
+      engine_->setFaultPlan(&*faultPlan_);
+      if (faultPlan_->hasHardFaults()) {
+        ipu::HealthMonitor::Options h;
+        h.computeCycleBudget = options_.watchdogCycleBudget;
+        h.tripsToConfirm = options_.watchdogTrips;
+        health_ = std::make_unique<ipu::HealthMonitor>(h);
+        engine_->setHealthMonitor(health_.get());
+      }
+    }
+    // The fault log of earlier attempts (incl. the recovery:* seam events)
+    // carries into this engine's profile. Assigned BEFORE the trace sink is
+    // attached: setTraceSink watermarks the current log length, so carried
+    // events — already mirrored into the trace — are not re-traced.
+    engine_->profile().faultEvents = carriedLog;
+    if (remaps > 0) {
+      engine_->profile().metrics.addCounter("resilience.remaps",
+                                            static_cast<double>(remaps));
+      engine_->profile().metrics.addCounter(
+          "resilience.blacklisted", static_cast<double>(blacklist_.size()));
+    }
+    if (options_.traceCapacity > 0) engine_->setTraceSink(&trace_);
+
+    A_->upload(*engine_);
+    A_->writeVector(*engine_, *b_, shifted);
+    try {
+      engine_->run(ctx_->program());
+      break;
+    } catch (const ipu::HardFaultError& hf) {
+      // Out of remap budget: surface the typed error instead of attempting
+      // a "degraded" run — with freshly dead tiles still in the machine a
+      // run can stall forever (e.g. a dead control tile freezes every loop
+      // condition), and hanging is the one thing chaos must never do.
+      if (remaps >= options_.maxRemaps) throw;
+      // 1. Migrate: pull the solver's best-known iterate (its checkpoint /
+      // last-good tensor when it keeps one, else x) out of the dying engine
+      // and fold it into x0. Non-finite entries — a dead tile's vertices may
+      // never have run — contribute nothing.
+      const graph::TensorId sid = solver_->stateTensor();
+      std::vector<double> best = sid != graph::kInvalidTensor
+                                     ? A_->readVectorById(*engine_, sid)
+                                     : A_->readVector(*engine_, *x_);
+      for (double& v : best) {
+        if (!std::isfinite(v)) v = 0.0;
+      }
+      for (std::size_t i = 0; i < x0.size(); ++i) x0[i] += best[i];
+      m_.matrix.spmv(x0, shifted);  // shifted = A·x0 ...
+      for (std::size_t i = 0; i < shifted.size(); ++i) {
+        shifted[i] = rhs[i] - shifted[i];  // ... then b − A·x0
+      }
+
+      // 2. Blacklist the confirmed-dead tiles and mark the seam in the
+      // carried fault log and the trace timeline.
+      carriedLog = engine_->profile().faultEvents;
+      const std::size_t atSuperstep = engine_->profile().computeSupersteps;
+      const double atCycle = engine_->simCycles();
+      const std::size_t seamBegin = carriedLog.size();
+      for (std::size_t t : hf.deadTiles()) {
+        if (std::find(blacklist_.begin(), blacklist_.end(), t) ==
+            blacklist_.end()) {
+          blacklist_.push_back(t);
+        }
+        ipu::FaultEvent fe;
+        fe.kind = "recovery:blacklist";
+        fe.superstep = atSuperstep;
+        fe.target = "tile " + std::to_string(t);
+        fe.detail = "tile excluded from the partition after watchdog "
+                    "confirmation";
+        carriedLog.push_back(fe);
+      }
+      std::sort(blacklist_.begin(), blacklist_.end());
+      ++remaps;
+      ipu::FaultEvent fe;
+      fe.kind = "recovery:remap";
+      fe.superstep = atSuperstep;
+      fe.target = "session";
+      fe.element = remaps;
+      fe.detail = "repartitioned over " +
+                  std::to_string(options_.tiles - blacklist_.size()) +
+                  " surviving tiles; resuming from migrated iterate";
+      carriedLog.push_back(fe);
+      if (options_.traceCapacity > 0) {
+        // Mirror the seam events into the trace here — the next engine's
+        // sink watermark deliberately skips the carried log.
+        for (std::size_t i = seamBegin; i < carriedLog.size(); ++i) {
+          support::TraceEvent ev;
+          ev.kind = support::TraceKind::Recovery;
+          ev.name = carriedLog[i].kind;
+          ev.startCycle = atCycle;
+          ev.superstep = atSuperstep;
+          ev.detail = carriedLog[i].target + ": " + carriedLog[i].detail;
+          trace_.record(ev);
+        }
+      }
+
+      // 3. Rebuild the whole pipeline over the surviving tiles and retry.
+      buildPipeline();
+    }
+  }
 
   Result r;
   r.solve = solver_->result();
   r.x = A_->readVector(*engine_, *x_);
+  if (remaps > 0) {
+    for (std::size_t i = 0; i < r.x.size(); ++i) r.x[i] += x0[i];
+  }
   r.history = solver_->history();
   r.simulatedSeconds = engine_->elapsedSeconds();
+
+  // Safety net against silently-wrong results: with fault injection active,
+  // a Converged claim is re-verified on the host against the original
+  // system. The threshold is deliberately lenient — it exists to catch
+  // corrupted "solutions", not to second-guess the solver's tolerance.
+  if (faultPlanJson_ && r.solve.status == SolveStatus::Converged) {
+    std::vector<double> ax(r.x.size(), 0.0);
+    m_.matrix.spmv(r.x, ax);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      const double d = rhs[i] - ax[i];
+      num += d * d;
+      den += rhs[i] * rhs[i];
+    }
+    const double rel = std::sqrt(num / std::max(den, 1e-300));
+    if (!(rel <= 1e-3)) {
+      r.solve.status = SolveStatus::CorruptionDetected;
+      r.solve.finalResidual = rel;
+    }
+  }
   return r;
 }
 
@@ -101,6 +291,24 @@ DistMatrix& SolveSession::matrix() {
 graph::Engine& SolveSession::engine() {
   GRAPHENE_CHECK(engine_, "SolveSession::engine() before solve()");
   return *engine_;
+}
+
+json::Value SolveSession::healthReport() const {
+  // The watchdog's view of the *last attempt* (empty when no monitor was
+  // armed — e.g. after a remap filtered out every hard-fault rule), plus
+  // the session-level outcome: which tiles are out and where control lives.
+  json::Object report;
+  if (health_) report = health_->reportJson().asObject();
+  json::Array blacklisted;
+  for (std::size_t t : blacklist_) {
+    blacklisted.push_back(json::Value(static_cast<double>(t)));
+  }
+  report["blacklistedTiles"] = json::Value(blacklisted);
+  if (ctx_) {
+    report["controlTile"] =
+        json::Value(static_cast<double>(ctx_->graph().controlTile()));
+  }
+  return json::Value(report);
 }
 
 }  // namespace graphene::solver

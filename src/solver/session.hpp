@@ -15,6 +15,15 @@
 // so the merged timeline (compute/exchange/sync spans, solver iterations,
 // fault and recovery events) and the cycle profile are always available
 // afterwards — observability is the default here, not an opt-in.
+//
+// Hard-fault recovery: when a fault plan with permanent faults is attached,
+// every solve runs under a superstep watchdog (ipu::HealthMonitor). A tile
+// the watchdog confirms dead is blacklisted, the whole pipeline (layout,
+// DistMatrix, solver program) is rebuilt over the surviving tiles, the
+// best-known iterate x0 is migrated out of the dying engine, and the solve
+// resumes on the shifted system A·dx = b − A·x0 (final x = x0 + dx). The
+// fault log carries across the remap, with recovery:blacklist and
+// recovery:remap entries marking the seam.
 #pragma once
 
 #include <memory>
@@ -24,14 +33,15 @@
 #include <vector>
 
 #include "ipu/fault.hpp"
+#include "matrix/generators.hpp"
 #include "solver/solver.hpp"
 #include "support/trace.hpp"
 
 namespace graphene::dsl {
 class Context;
 }
-namespace graphene::matrix {
-struct GeneratedMatrix;
+namespace graphene::ipu {
+class HealthMonitor;
 }
 
 namespace graphene::solver {
@@ -44,6 +54,18 @@ struct SessionOptions {
   std::size_t hostThreads = 0;
   /// Ring capacity of the session's TraceSink; 0 disables tracing.
   std::size_t traceCapacity = support::TraceSink::kDefaultCapacity;
+  /// Watchdog: compute cycles one tile may spend in a single superstep
+  /// before it counts as a trip (only armed while a fault plan with hard
+  /// faults is attached). Must sit below the dead-tile charge (default
+  /// 1e9 cycles) and above every legitimate superstep.
+  double watchdogCycleBudget = 5e7;
+  /// Watchdog: consecutive trips before a tile is confirmed dead.
+  std::size_t watchdogTrips = 2;
+  /// Hard-fault recovery budget: how many blacklist-and-repartition cycles
+  /// a single solve() may take. When yet another tile is confirmed dead
+  /// with the budget exhausted, solve() rethrows the typed HardFaultError —
+  /// it never limps on with a freshly dead tile still in the machine.
+  std::size_t maxRemaps = 1;
 };
 
 class SolveSession {
@@ -75,7 +97,10 @@ class SolveSession {
     return configure(std::string(solverJsonText));
   }
 
-  /// Attaches a fault-injection plan applied to every subsequent solve.
+  /// Attaches a fault-injection plan applied to every subsequent solve. The
+  /// plan is rebuilt from this JSON for every solve attempt (FaultPlan rules
+  /// are stateful — one-shot activations, RNG), which keeps remap recovery
+  /// deterministic: identical plan + seed gives identical fault logs.
   SolveSession& withFaultPlan(const json::Value& planConfig);
 
   /// Everything a solve produces, copied out of the device state.
@@ -105,12 +130,32 @@ class SolveSession {
   /// Engine of the last solve (valid until the next solve()).
   graph::Engine& engine();
 
+  /// Tiles the watchdog confirmed dead and the remap path excluded from the
+  /// partition (ascending). Empty until a hard-fault recovery happened.
+  const std::vector<std::size_t>& blacklistedTiles() const {
+    return blacklist_;
+  }
+  /// Health report of the last solve's watchdog ({} when no watchdog ran).
+  json::Value healthReport() const;
+
  private:
+  /// (Re)builds context, layout (over surviving tiles), DistMatrix and —
+  /// when configured — the solver. Tears the old pipeline down first in
+  /// dependency order; the next solve() re-emits the program.
+  void buildPipeline();
+
   SessionOptions options_;
+  matrix::GeneratedMatrix m_;
+  bool loaded_ = false;
+  json::Value solverConfig_;
+  bool configured_ = false;
+  std::optional<json::Value> faultPlanJson_;
+  std::vector<std::size_t> blacklist_;
   std::unique_ptr<dsl::Context> ctx_;
   std::unique_ptr<DistMatrix> A_;
   std::unique_ptr<Solver> solver_;
   std::unique_ptr<graph::Engine> engine_;
+  std::unique_ptr<ipu::HealthMonitor> health_;
   std::optional<ipu::FaultPlan> faultPlan_;
   std::optional<Tensor> x_, b_;
   support::TraceSink trace_;

@@ -36,6 +36,7 @@ enum class SolveStatus {
   Breakdown,      // recurrence collapsed (e.g. BiCGStab rho → 0)
   Diverged,       // residual grew past the divergence threshold
   NanDetected,    // NaN/Inf residual survived every restart attempt
+  CorruptionDetected,  // ABFT checksum mismatch survived every recovery try
 };
 
 inline const char* toString(SolveStatus status) {
@@ -47,6 +48,7 @@ inline const char* toString(SolveStatus status) {
     case SolveStatus::Breakdown: return "breakdown";
     case SolveStatus::Diverged: return "diverged";
     case SolveStatus::NanDetected: return "nan-detected";
+    case SolveStatus::CorruptionDetected: return "corruption-detected";
   }
   return "unknown";
 }
@@ -83,6 +85,13 @@ struct RobustnessOptions {
   /// MPIR: a residual that grows by more than this factor (in norm) over
   /// the last good refinement step is treated as corrupted.
   double residualGrowthFactor = 100.0;
+  /// ABFT checksum verification of the SpMV and dot-reduction kernels.
+  /// Off by default: enabling it appends checksum compute sets to every
+  /// SpMV emission, so the disabled path carries zero cost.
+  bool abft = false;
+  /// Relative checksum defect above which an ABFT check counts as a
+  /// mismatch (rounding headroom for the float32 kernels).
+  double abftTolerance = 1e-3;
 };
 
 /// Parses the optional "robustness" object of a solver config.
@@ -118,6 +127,13 @@ class Solver {
   /// Structured outcome of the last execution (iterative solvers; stays
   /// NotRun for pure preconditioners).
   const SolveResult& result() const { return *result_; }
+
+  /// Id of the device tensor holding this solver's best-known iterate while
+  /// the emitted program runs — the checkpoint when checkpointing is on,
+  /// else the live iterate. The remap layer migrates solver state through
+  /// it after a hard fault. kInvalidTensor for solvers with no such state
+  /// (preconditioners); valid only after apply() has been emitted.
+  virtual graph::TensorId stateTensor() const { return graph::kInvalidTensor; }
 
   /// The nested solver this one delegates to, or nullptr for leaf solvers.
   /// CG/BiCGStab return their preconditioner, MPIR its inner solver (IR is

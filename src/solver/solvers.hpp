@@ -111,12 +111,14 @@ class CgSolver final : public Solver {
   std::string name() const override { return "cg"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
   Solver* preconditioner() override { return precond_.get(); }
+  graph::TensorId stateTensor() const override { return stateId_; }
 
  private:
   std::size_t maxIterations_;
   double tolerance_;
   std::unique_ptr<Solver> precond_;
   RobustnessOptions robust_;
+  graph::TensorId stateId_ = graph::kInvalidTensor;
 };
 
 /// Preconditioned BiCGStab (§V-C, van der Vorst), following the paper's
@@ -132,6 +134,7 @@ class BiCgStabSolver final : public Solver {
   std::string name() const override { return "bicgstab"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
   Solver* preconditioner() override { return precond_.get(); }
+  graph::TensorId stateTensor() const override { return stateId_; }
 
   /// Measurement aid for the convergence figures: every `everyIterations`
   /// the *true* residual b − A·x is computed on the device in double-word
@@ -151,6 +154,7 @@ class BiCgStabSolver final : public Solver {
   double tolerance_;
   std::unique_ptr<Solver> precond_;
   RobustnessOptions robust_;
+  graph::TensorId stateId_ = graph::kInvalidTensor;
   std::size_t monitorEvery_ = 0;
   std::shared_ptr<std::vector<IterationRecord>> trueHistory_ =
       std::make_shared<std::vector<IterationRecord>>();
@@ -174,6 +178,7 @@ class MpirSolver final : public Solver {
         robust_(robustness) {}
   std::string name() const override { return "mpir"; }
   void apply(DistMatrix& a, Tensor& z, Tensor& r) override;
+  graph::TensorId stateTensor() const override { return stateId_; }
   Solver* inner() { return inner_.get(); }
   /// IR is preconditioned Richardson in the extended type: the inner solve
   /// plays the preconditioner role in the nested-config introspection.
@@ -194,6 +199,7 @@ class MpirSolver final : public Solver {
   double tolerance_;
   std::unique_ptr<Solver> inner_;
   RobustnessOptions robust_;
+  graph::TensorId stateId_ = graph::kInvalidTensor;
   std::optional<Tensor> xExt_;
   std::shared_ptr<std::vector<IterationRecord>> trueHistory_ =
       std::make_shared<std::vector<IterationRecord>>();

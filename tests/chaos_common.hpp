@@ -1,0 +1,241 @@
+// Shared harness for the chaos campaigns (test_chaos.cpp).
+//
+// A *campaign* is one seeded solve under a randomized fault plan mixing
+// transient faults (bit flips, stuck cells, exchange drops/corruption,
+// stalls) with permanent ones (dead tiles, degraded links, dead SRAM
+// regions). The harness generates plans, runs them through SolveSession —
+// the layer that owns ABFT guards, checkpoint restarts, the superstep
+// watchdog and blacklist-and-remap recovery — and checks the one invariant
+// chaos testing is about:
+//
+//   every campaign either converges to a solution that actually solves the
+//   system, or fails *typed* (a SolveStatus verdict or a graphene::Error)
+//   — it never crashes, never hangs, and never returns a silently-wrong
+//   answer claiming convergence.
+//
+// Campaign count scales with GRAPHENE_CHAOS_CAMPAIGNS (CI caps it for the
+// sanitizer jobs; a nightly can crank it up). Everything is seeded: the
+// same campaign index always builds the same plan, rhs and decisions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graphene.hpp"
+
+namespace chaos {
+
+using namespace graphene;
+
+/// Campaign count: GRAPHENE_CHAOS_CAMPAIGNS when set (>0), else `fallback`.
+inline std::size_t campaignCount(std::size_t fallback) {
+  if (const char* env = std::getenv("GRAPHENE_CHAOS_CAMPAIGNS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
+/// Solver config for a campaign. All recovery machinery on: restarts /
+/// rollbacks, checkpoints and ABFT-guarded kernels. Budgets are bounded so
+/// a hopeless campaign fails typed instead of spinning.
+inline std::string solverConfigFor(const std::string& name) {
+  if (name == "cg") {
+    return R"({"type": "cg", "maxIterations": 120, "tolerance": 1e-6,
+               "robustness": {"maxRestarts": 2, "checkpointEvery": 8,
+                              "abft": true, "abftTolerance": 1e-3}})";
+  }
+  if (name == "bicgstab") {
+    return R"({"type": "bicgstab", "maxIterations": 120, "tolerance": 1e-6,
+               "robustness": {"maxRestarts": 2, "checkpointEvery": 8,
+                              "abft": true, "abftTolerance": 1e-3}})";
+  }
+  if (name == "mpir") {
+    return R"({"type": "mpir", "maxRefinements": 12, "tolerance": 1e-9,
+               "inner": {"type": "cg", "maxIterations": 40, "tolerance": 0},
+               "robustness": {"maxRollbacks": 3, "abft": true,
+                              "abftTolerance": 1e-3}})";
+  }
+  GRAPHENE_CHECK(false, "unknown campaign solver '", name, "'");
+  return "";
+}
+
+/// Tensor-name substrings a random rule may target. Some only exist for
+/// some solvers — a rule that matches nothing is inert, which is fine (the
+/// plan still exercises the matching machinery).
+inline const char* randomTensorTarget(Rng& rng) {
+  static const char* kTargets[] = {"resid", "_p",   "Ap",       "halo",
+                                   "rho",   "session_x", "ckpt", "_r"};
+  return kTargets[rng.nextBelow(sizeof(kTargets) / sizeof(kTargets[0]))];
+}
+
+/// Builds a seeded random fault plan with `transients` transient rules and,
+/// when `allowHard`, up to one hard fault of each kind. Superstep triggers
+/// land in the early solve so faults actually fire before convergence.
+inline json::Value randomPlan(std::uint64_t seed, std::size_t tiles,
+                              bool allowHard) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  json::Array faults;
+
+  const std::size_t transients = 1 + rng.nextBelow(3);
+  for (std::size_t i = 0; i < transients; ++i) {
+    json::Object f;
+    switch (rng.nextBelow(5)) {
+      case 0:
+        f["type"] = "bitflip";
+        f["tensor"] = randomTensorTarget(rng);
+        // Bits 12..27 keep the corruption finite (mantissa / low exponent):
+        // the nastier case for detection — NaN guards won't see it.
+        f["bit"] = static_cast<double>(12 + rng.nextBelow(16));
+        break;
+      case 1:
+        f["type"] = "stuck-zero";
+        f["tensor"] = randomTensorTarget(rng);
+        break;
+      case 2:
+        f["type"] = "exchange-drop";
+        f["tensor"] = "halo";
+        break;
+      case 3:
+        f["type"] = "exchange-corrupt";
+        f["tensor"] = "halo";
+        f["bit"] = static_cast<double>(12 + rng.nextBelow(16));
+        break;
+      default:
+        f["type"] = "stall";
+        f["tile"] = static_cast<double>(rng.nextBelow(tiles));
+        f["cycles"] = static_cast<double>(1000 + rng.nextBelow(20000));
+        break;
+    }
+    if (f.count("tile") == 0) {
+      f["probability"] = 0.25 + 0.75 * rng.nextDouble();
+      f["count"] = static_cast<double>(1 + rng.nextBelow(3));
+      f["skip"] = static_cast<double>(rng.nextBelow(4));
+    }
+    faults.push_back(json::Value(f));
+  }
+
+  if (allowHard) {
+    if (rng.nextBelow(2) == 0) {
+      json::Object f;
+      f["type"] = "tile-dead";
+      f["tile"] = static_cast<double>(rng.nextBelow(tiles));
+      f["superstep"] = static_cast<double>(10 + rng.nextBelow(60));
+      faults.push_back(json::Value(f));
+    }
+    if (rng.nextBelow(3) == 0) {
+      json::Object f;
+      f["type"] = "link-degraded";
+      f["tile"] = static_cast<double>(rng.nextBelow(tiles));
+      f["factor"] = 2.0 + rng.nextDouble() * 6.0;
+      f["superstep"] = static_cast<double>(rng.nextBelow(40));
+      faults.push_back(json::Value(f));
+    }
+    if (rng.nextBelow(3) == 0) {
+      json::Object f;
+      f["type"] = "sram-region-dead";
+      f["tensor"] = randomTensorTarget(rng);
+      f["elements"] = static_cast<double>(1 + rng.nextBelow(4));
+      f["superstep"] = static_cast<double>(10 + rng.nextBelow(60));
+      faults.push_back(json::Value(f));
+    }
+  }
+
+  json::Object plan;
+  plan["seed"] = static_cast<double>(seed);
+  plan["faults"] = json::Value(faults);
+  return json::Value(plan);
+}
+
+/// Deterministic per-campaign right-hand side.
+inline std::vector<double> randomRhs(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed * 2 + 1);
+  std::vector<double> rhs(n);
+  for (double& v : rhs) v = rng.uniform(-1.0, 1.0);
+  return rhs;
+}
+
+/// What one campaign produced. `typedError` means a graphene::Error escaped
+/// solve() — an allowed (typed) failure mode, e.g. every tile blacklisted.
+struct Outcome {
+  solver::SolveStatus status = solver::SolveStatus::NotRun;
+  bool typedError = false;
+  std::string errorMessage;
+  std::vector<double> x;
+  std::vector<ipu::FaultEvent> faultLog;
+  double remaps = 0;
+  double abftMismatches = 0;
+  double hostRel = -1.0;  // relative residual of x, computed on the host
+};
+
+inline Outcome runCampaign(const matrix::GeneratedMatrix& g,
+                           const std::string& solverName, std::uint64_t seed,
+                           const json::Value& plan, std::size_t tiles,
+                           std::size_t hostThreads = 0) {
+  solver::SolveSession session({.tiles = tiles,
+                                .hostThreads = hostThreads,
+                                .maxRemaps = 2});
+  session.load(g).configure(solverConfigFor(solverName)).withFaultPlan(plan);
+  const std::vector<double> rhs = randomRhs(seed, session.matrix().rows());
+
+  Outcome out;
+  try {
+    auto result = session.solve(rhs);
+    out.status = result.solve.status;
+    out.x = result.x;
+    out.faultLog = session.profile().faultEvents;
+    out.remaps = session.profile().metrics.counter("resilience.remaps");
+    out.abftMismatches =
+        session.profile().metrics.counter("resilience.abft.mismatches");
+    std::vector<double> ax(rhs.size(), 0.0);
+    g.matrix.spmv(result.x, ax);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      const double d = rhs[i] - ax[i];
+      num += d * d;
+      den += rhs[i] * rhs[i];
+    }
+    out.hostRel = std::sqrt(num / std::max(den, 1e-300));
+  } catch (const Error& e) {
+    out.typedError = true;
+    out.errorMessage = e.what();
+  }
+  return out;
+}
+
+/// The chaos invariant: converge-for-real or fail typed.
+inline ::testing::AssertionResult holdsInvariant(const Outcome& o) {
+  if (o.typedError) return ::testing::AssertionSuccess();  // typed failure
+  switch (o.status) {
+    case solver::SolveStatus::Converged:
+      break;  // checked below
+    case solver::SolveStatus::MaxIterations:
+    case solver::SolveStatus::Breakdown:
+    case solver::SolveStatus::Diverged:
+    case solver::SolveStatus::NanDetected:
+    case solver::SolveStatus::CorruptionDetected:
+      return ::testing::AssertionSuccess();  // typed non-convergence
+    default:
+      return ::testing::AssertionFailure()
+             << "campaign ended in non-verdict status '"
+             << solver::toString(o.status) << "'";
+  }
+  if (!(o.hostRel <= 1e-2)) {
+    return ::testing::AssertionFailure()
+           << "claimed convergence but host residual is " << o.hostRel
+           << " — a silently-wrong answer";
+  }
+  for (double v : o.x) {
+    if (!std::isfinite(v)) {
+      return ::testing::AssertionFailure()
+             << "claimed convergence with non-finite entries in x";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace chaos

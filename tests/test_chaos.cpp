@@ -1,0 +1,216 @@
+// Chaos campaigns: randomized fault plans against the full recovery stack.
+//
+// Covers: the grand campaign (dozens of seeded campaigns across CG /
+// BiCGStab / MPIR and 2-D / 3-D matrices, mixing transient and hard faults
+// — every one must converge-for-real or fail typed, and every fault log
+// must round-trip through JSON); ABFT catching *finite* SpMV corruption a
+// NaN guard can't see; a dead tile surviving via blacklist + live remap
+// with the recovery visible in the fault log, the trace timeline and the
+// resilience.* metrics; remap decisions and fault logs being byte-identical
+// at any host thread count; and a persistent-corruption campaign ending in
+// the typed CorruptionDetected verdict.
+#include <gtest/gtest.h>
+
+#include "chaos_common.hpp"
+
+using namespace graphene;
+using namespace chaos;
+
+namespace {
+
+std::string describe(const json::Value& plan) { return plan.dump(); }
+
+bool logContains(const std::vector<ipu::FaultEvent>& log,
+                 const std::string& kind) {
+  for (const auto& e : log) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// The flagship: many seeded campaigns, every solver, mixed fault classes.
+// GRAPHENE_CHAOS_CAMPAIGNS overrides the count (CI caps the sanitizer run).
+TEST(Chaos, GrandCampaign) {
+  const std::size_t campaigns = campaignCount(51);
+  const matrix::GeneratedMatrix m2 = matrix::poisson2d5(10, 10);
+  const matrix::GeneratedMatrix m3 = matrix::poisson3d7(5, 5, 5);
+  const char* solvers[] = {"cg", "bicgstab", "mpir"};
+
+  std::size_t hardFaultCampaigns = 0, converged = 0;
+  for (std::size_t i = 0; i < campaigns; ++i) {
+    const std::string solver = solvers[i % 3];
+    const matrix::GeneratedMatrix& g = (i % 2 == 0) ? m2 : m3;
+    const bool allowHard = (i % 2 == 1);
+    const json::Value plan = randomPlan(i, 8, allowHard);
+    if (allowHard) ++hardFaultCampaigns;
+
+    Outcome o = runCampaign(g, solver, i, plan, 8);
+    EXPECT_TRUE(holdsInvariant(o))
+        << "campaign " << i << " (" << solver << " on " << g.name
+        << "), plan: " << describe(plan);
+    if (!o.typedError) {
+      // The structured fault log survives a JSON round-trip exactly.
+      EXPECT_EQ(ipu::faultEventsFromJson(ipu::faultEventsToJson(o.faultLog)),
+                o.faultLog)
+          << "campaign " << i;
+      if (o.status == solver::SolveStatus::Converged) ++converged;
+    }
+  }
+  // The harness isn't vacuous: hard faults were actually in play, and the
+  // recovery machinery rescued a decent share of the campaigns.
+  EXPECT_GE(hardFaultCampaigns, campaigns / 3);
+  EXPECT_GE(converged, campaigns / 4);
+}
+
+// ABFT is off by default and literally free when off: no "abft" compute
+// category ever appears, and enabling it changes the solve's cost but not
+// its answer (the checksum path never writes solver state).
+TEST(Chaos, AbftIsFreeWhenDisabledAndInertWhenClean) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(8, 8);
+  const std::vector<double> rhs(g.matrix.rows(), 1.0);
+  auto run = [&](const char* robustness) {
+    solver::SolveSession session({.tiles = 4});
+    session.load(g).configure(
+        std::string(R"({"type": "cg", "maxIterations": 200,
+                        "tolerance": 1e-6)") +
+        robustness + "}");
+    auto result = session.solve(rhs);
+    const auto& cycles = session.profile().computeCycles;
+    return std::tuple(result.x, cycles.count("abft") > 0,
+                      session.profile().totalCycles());
+  };
+
+  auto [xOff, abftOff, cyclesOff] = run("");
+  auto [xOn, abftOn, cyclesOn] =
+      run(R"(, "robustness": {"abft": true, "abftTolerance": 1e-3})");
+
+  EXPECT_FALSE(abftOff) << "abft compute sets emitted while disabled";
+  EXPECT_TRUE(abftOn);
+  EXPECT_GT(cyclesOn, cyclesOff);  // the checksum supersteps are priced
+  EXPECT_EQ(xOff, xOn);            // ...but never touch the solution
+}
+
+// A finite bit flip in the SpMV result is invisible to NaN guards — only
+// the ABFT checksum sees it. Scan the flip's superstep over the early solve
+// so several land in the vulnerable window between the SpMV supersteps and
+// the checksum check; every run must keep the invariant and at least one
+// must be caught by ABFT specifically.
+TEST(Chaos, AbftCatchesFiniteSpmvCorruption) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(8, 8);
+  std::size_t caught = 0;
+  for (std::size_t superstep = 16; superstep <= 48; ++superstep) {
+    json::Object f;
+    f["type"] = "bitflip";
+    f["tensor"] = "cg_Ap";
+    f["bit"] = 22.0;  // top mantissa bit: large but finite corruption
+    f["probability"] = 1.0;
+    f["count"] = 1.0;
+    f["superstep"] = static_cast<double>(superstep);
+    json::Object plan;
+    plan["seed"] = static_cast<double>(superstep);
+    plan["faults"] = json::Value(json::Array{json::Value(f)});
+
+    Outcome o = runCampaign(g, "cg", superstep, json::Value(plan), 4);
+    EXPECT_TRUE(holdsInvariant(o)) << "flip at superstep " << superstep;
+    ASSERT_FALSE(o.typedError) << o.errorMessage;
+    if (o.abftMismatches > 0) {
+      ++caught;
+      EXPECT_TRUE(logContains(o.faultLog, "abft-mismatch"))
+          << "counter ticked but no abft-mismatch event at superstep "
+          << superstep;
+    }
+  }
+  EXPECT_GE(caught, 1u) << "no scanned flip position was caught by ABFT";
+}
+
+// A tile dies mid-solve: the watchdog confirms it, the session blacklists
+// it, repartitions over the survivors, migrates the iterate and converges.
+// The whole recovery is observable — fault log, trace timeline, metrics.
+TEST(Chaos, TileDeadSurvivesViaBlacklistAndRemap) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(10, 10);
+  solver::SolveSession session({.tiles = 8});
+  session.load(g)
+      .configure(R"({"type": "cg", "maxIterations": 200, "tolerance": 1e-6,
+                     "robustness": {"maxRestarts": 2, "checkpointEvery": 8}})")
+      .withFaultPlan(json::parse(R"({
+        "seed": 5,
+        "faults": [{"type": "tile-dead", "tile": 2, "superstep": 30}]
+      })"));
+  std::vector<double> rhs(session.matrix().rows(), 1.0);
+  auto result = session.solve(rhs);
+
+  EXPECT_EQ(result.solve.status, solver::SolveStatus::Converged)
+      << solver::toString(result.solve.status);
+  ASSERT_EQ(session.blacklistedTiles().size(), 1u);
+  EXPECT_EQ(session.blacklistedTiles()[0], 2u);
+
+  // The recovery ladder is in the fault log...
+  const auto& log = session.profile().faultEvents;
+  EXPECT_TRUE(logContains(log, "tile-dead"));          // the injected fault
+  EXPECT_TRUE(logContains(log, "watchdog-trip"));      // detection
+  EXPECT_TRUE(logContains(log, "health:tile-dead"));   // confirmation
+  EXPECT_TRUE(logContains(log, "recovery:blacklist")); // recovery
+  EXPECT_TRUE(logContains(log, "recovery:remap"));
+  // ...in the trace timeline...
+  EXPECT_GE(session.trace().recoveryCount(), 2u);
+  // ...and in the metrics.
+  EXPECT_EQ(session.profile().metrics.counter("resilience.remaps"), 1.0);
+  EXPECT_EQ(session.profile().metrics.counter("resilience.blacklisted"), 1.0);
+
+  // No row of the remapped layout lives on the dead tile.
+  for (std::size_t t : session.matrix().layout().rowToTile) {
+    EXPECT_NE(t, 2u);
+  }
+
+  // And x actually solves the system.
+  std::vector<double> ax(rhs.size(), 0.0);
+  g.matrix.spmv(result.x, ax);
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    EXPECT_NEAR(ax[i], rhs[i], 1e-3);
+  }
+}
+
+// The watchdog observes per-tile cycles from the engine's *serial*
+// reduction pass, so trips, confirmations, blacklist and remap decisions —
+// and hence the fault log and the solution — cannot depend on how many
+// host threads simulate the tiles.
+TEST(Chaos, RemapDecisionsAreHostThreadCountInvariant) {
+  const matrix::GeneratedMatrix g = matrix::poisson3d7(5, 5, 5);
+  const json::Value plan = json::parse(R"({
+    "seed": 11,
+    "faults": [
+      {"type": "tile-dead", "tile": 5, "superstep": 25},
+      {"type": "bitflip", "tensor": "cg_resid", "bit": 20, "count": 1,
+       "superstep": 12},
+      {"type": "link-degraded", "tile": 1, "factor": 3.0, "superstep": 8}
+    ]
+  })");
+
+  Outcome one = runCampaign(g, "cg", 11, plan, 8, /*hostThreads=*/1);
+  Outcome three = runCampaign(g, "cg", 11, plan, 8, /*hostThreads=*/3);
+
+  ASSERT_FALSE(one.typedError) << one.errorMessage;
+  ASSERT_FALSE(three.typedError) << three.errorMessage;
+  EXPECT_EQ(one.status, three.status);
+  EXPECT_EQ(one.faultLog, three.faultLog);  // byte-identical fault log
+  EXPECT_EQ(one.x, three.x);                // bit-identical solution
+  EXPECT_EQ(one.remaps, three.remaps);
+}
+
+// Persistently dead SRAM under the SpMV result: every checksum check fails,
+// the restart budget drains, and the verdict is the *typed*
+// CorruptionDetected — not a crash, not a silent wrong answer.
+TEST(Chaos, PersistentCorruptionEndsTyped) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(8, 8);
+  const json::Value plan = json::parse(R"({
+    "seed": 3,
+    "faults": [{"type": "sram-region-dead", "tensor": "cg_Ap",
+                "elements": 4, "superstep": 10}]
+  })");
+  Outcome o = runCampaign(g, "cg", 3, plan, 4);
+  EXPECT_TRUE(holdsInvariant(o));
+  ASSERT_FALSE(o.typedError) << o.errorMessage;
+  EXPECT_NE(o.status, solver::SolveStatus::Converged);
+}

@@ -132,6 +132,48 @@ TEST(FaultPlanJson, RejectsZeroCycleStall) {
                Error);
 }
 
+TEST(FaultPlanJson, ParsesHardFaultKinds) {
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "faults": [
+      {"type": "tile-dead", "tile": 2, "superstep": 30},
+      {"type": "link-degraded", "tile": 5, "factor": 3.5, "superstep": 10},
+      {"type": "sram-region-dead", "tensor": "cg_Ap", "elements": 4,
+       "superstep": 8}
+    ]
+  })");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.hasHardFaults());
+  EXPECT_TRUE(plan.tileDead(2, 30));
+  EXPECT_FALSE(plan.tileDead(2, 29));  // permanent *from* the trigger on
+  EXPECT_TRUE(plan.tileDead(2, 1000));
+  EXPECT_DOUBLE_EQ(plan.linkFactor(10), 3.5);
+  EXPECT_DOUBLE_EQ(plan.linkFactor(9), 1.0);
+}
+
+// Strict validation: a hard-fault rule with a key that belongs to a
+// different kind is rejected, and the error names both the offending key
+// and the keys that *are* valid for that kind.
+TEST(FaultPlanJson, RejectsForeignKeyOnHardFaultRule) {
+  try {
+    ipu::FaultPlan::fromJsonText(
+        R"({"faults": [{"type": "tile-dead", "tile": 1, "factor": 2.0}]})");
+    FAIL() << "expected a validation error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("factor"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tile-dead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("superstep"), std::string::npos) << msg;  // valid set
+  }
+}
+
+TEST(FaultPlanJson, RejectsTensorTargetOnLinkDegraded) {
+  EXPECT_THROW(
+      ipu::FaultPlan::fromJsonText(
+          R"({"faults": [{"type": "link-degraded", "tile": 0, "factor": 2,
+                          "tensor": "halo"}]})"),
+      Error);
+}
+
 // An engine without a plan and one with an *empty* plan attached must be
 // bit-identical: same cycles, same supersteps, same history, same solution.
 TEST(FaultInjection, DetachedAndEmptyPlanAreBitIdentical) {
@@ -451,4 +493,36 @@ TEST(FaultLog, SerialisesToJsonAndText) {
   EXPECT_NE(text.find("bitflip"), std::string::npos);
   EXPECT_NE(text.find("cg_resid"), std::string::npos);
   EXPECT_NE(text.find("stall"), std::string::npos);
+}
+
+// Every event kind the framework emits — transient injections, hard faults,
+// watchdog verdicts and recovery actions — survives the JSON round trip
+// field-for-field. This is what lets a chaos campaign's fault log be
+// archived and diffed byte-for-byte.
+TEST(FaultLog, RoundTripsThroughJsonExactly) {
+  std::vector<ipu::FaultEvent> events;
+  events.push_back({"bitflip", 12, "cg_resid", 3, 30, 0.0, "seu"});
+  events.push_back({"exchange-drop", 19, "halo", 7, -1, 0.0, ""});
+  events.push_back({"tile-dead", 56, "tile 0", 0, -1, 1e9, "hard fault"});
+  events.push_back({"link-degraded", 23, "tile 5", 0, -1, 0.0, "x2.74"});
+  events.push_back({"sram-region-dead", 10, "cg_Ap", 4, -1, 0.0, ""});
+  events.push_back({"watchdog-trip", 57, "tile 0", 0, -1, 1e9, ""});
+  events.push_back(
+      {"health:tile-dead", 58, "tile 0", 0, -1, 0.0, "2 consecutive trips"});
+  events.push_back({"recovery:blacklist", 58, "tile 0", 0, -1, 0.0,
+                    "tile excluded from the partition"});
+  events.push_back({"recovery:remap", 58, "session", 1, -1, 0.0,
+                    "repartitioned over 7 surviving tiles"});
+  events.push_back({"abft-mismatch", 44, "cg", 0, -1, 0.0, "rel 5.4e-3"});
+
+  const std::vector<ipu::FaultEvent> back =
+      ipu::faultEventsFromJson(ipu::faultEventsToJson(events));
+  EXPECT_EQ(back, events);
+
+  // And a second hop is a fixed point (dump → parse → dump is stable).
+  const std::string once = ipu::faultEventsToJson(events).dump();
+  const std::string twice =
+      ipu::faultEventsToJson(ipu::faultEventsFromJson(json::parse(once)))
+          .dump();
+  EXPECT_EQ(once, twice);
 }
