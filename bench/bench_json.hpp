@@ -1,0 +1,85 @@
+// Shared JSON schema for every bench_* emitter.
+//
+// Before this helper each bench printf-built its own JSON with its own key
+// set; the saved BENCH_*.json snapshots could not be compared or machine-
+// read uniformly. Every bench now emits the same envelope:
+//
+//   {
+//     "bench": "<name>",
+//     "schemaVersion": 2,
+//     "meta": {"gitRev", "date", "tiles", "hostThreads", ...},
+//     ... bench-specific top-level fields ...
+//     "results": [ {row}, {row}, ... ]
+//   }
+//
+// Run metadata that would otherwise need a wall clock or a subprocess (git
+// rev, date) is passed in via argv (`--git-rev <sha> --date <iso8601>`) —
+// benches make no wall-clock or environment calls in measurement paths, so
+// a bench binary's output is a pure function of its inputs.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace graphene::bench {
+
+/// Run metadata attached to every bench report.
+struct BenchMeta {
+  std::string gitRev = "unknown";  // --git-rev <sha>
+  std::string date = "unknown";    // --date <iso8601>
+  std::size_t tiles = 0;           // simulated tiles (0 = varies per row)
+  std::size_t hostThreads = 0;     // host threads (0 = varies per row)
+};
+
+/// Picks `--git-rev` / `--date` out of argv (unknown flags are ignored so
+/// benches can keep their own arguments).
+inline BenchMeta parseBenchMeta(int argc, char** argv) {
+  BenchMeta meta;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--git-rev") == 0) meta.gitRev = argv[i + 1];
+    if (std::strcmp(argv[i], "--date") == 0) meta.date = argv[i + 1];
+  }
+  return meta;
+}
+
+/// Accumulates result rows and renders the shared envelope.
+class BenchReport {
+ public:
+  static constexpr int kSchemaVersion = 2;
+
+  BenchReport(std::string name, BenchMeta meta)
+      : name_(std::move(name)), meta_(std::move(meta)) {}
+
+  /// Extra bench-specific top-level metadata (matrix name, sweep axis, ...).
+  void setField(const std::string& key, json::Value value) {
+    fields_[key] = std::move(value);
+  }
+
+  void addResult(json::Object row) { results_.emplace_back(std::move(row)); }
+
+  std::string dump(int indent = 2) const {
+    json::Object doc;
+    doc["bench"] = name_;
+    doc["schemaVersion"] = kSchemaVersion;
+    json::Object meta;
+    meta["gitRev"] = meta_.gitRev;
+    meta["date"] = meta_.date;
+    meta["tiles"] = meta_.tiles;
+    meta["hostThreads"] = meta_.hostThreads;
+    doc["meta"] = std::move(meta);
+    for (const auto& [key, value] : fields_) doc[key] = value;
+    doc["results"] = results_;
+    return json::Value(std::move(doc)).dump(indent);
+  }
+
+ private:
+  std::string name_;
+  BenchMeta meta_;
+  json::Object fields_;
+  json::Array results_;
+};
+
+}  // namespace graphene::bench

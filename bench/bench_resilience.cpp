@@ -11,11 +11,14 @@
 //
 // Emits a JSON summary to stdout (saved as BENCH_RESILIENCE.json at the
 // repo root) so the recovery-cost trajectory is recorded across PRs.
+// Run metadata (git rev, date) comes in via `--git-rev` / `--date` argv
+// flags — see bench_json.hpp; the bench itself makes no wall-clock calls.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "solver/session.hpp"
 
 namespace {
@@ -83,7 +86,7 @@ Row run(const std::string& solverName, const std::string& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto g = matrix::poisson2d5(24, 24);
   std::vector<Row> rows;
 
@@ -103,24 +106,28 @@ int main() {
                             "superstep": 40}]})"));
   }
 
-  std::printf("{\n  \"bench\": \"resilience\",\n  \"matrix\": \"%s\",\n"
-              "  \"rows\": %zu,\n  \"tiles\": 8,\n  \"results\": [\n",
-              g.name.c_str(), g.matrix.rows());
+  bench::BenchMeta meta = bench::parseBenchMeta(argc, argv);
+  meta.tiles = 8;
+  meta.hostThreads = 1;
+  bench::BenchReport report("resilience", meta);
+  report.setField("matrix", g.name);
+  report.setField("rows", g.matrix.rows());
+
   double cleanCycles = 0;
-  bool first = true;
   for (const Row& r : rows) {
     if (r.scenario == "clean") cleanCycles = r.cycles;
-    std::printf("%s    {\"solver\": \"%s\", \"scenario\": \"%s\", "
-                "\"status\": \"%s\", \"cycles\": %.0f, "
-                "\"cyclesVsClean\": %.3f, \"iterations\": %zu, "
-                "\"faultEvents\": %zu, \"remaps\": %.0f, "
-                "\"abftMismatches\": %.0f}",
-                first ? "" : ",\n", r.solver.c_str(), r.scenario.c_str(),
-                r.status.c_str(), r.cycles,
-                cleanCycles > 0 ? r.cycles / cleanCycles : 0.0, r.iterations,
-                r.faultEvents, r.remaps, r.abftMismatches);
-    first = false;
+    json::Object row;
+    row["solver"] = r.solver;
+    row["scenario"] = r.scenario;
+    row["status"] = r.status;
+    row["cycles"] = r.cycles;
+    row["cyclesVsClean"] = cleanCycles > 0 ? r.cycles / cleanCycles : 0.0;
+    row["iterations"] = r.iterations;
+    row["faultEvents"] = r.faultEvents;
+    row["remaps"] = r.remaps;
+    row["abftMismatches"] = r.abftMismatches;
+    report.addResult(std::move(row));
   }
-  std::printf("\n  ]\n}\n");
+  std::printf("%s\n", report.dump().c_str());
   return 0;
 }

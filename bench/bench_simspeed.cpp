@@ -5,6 +5,9 @@
 // plans, codelet fast paths, and host-parallel tile execution all move
 // these numbers. Emits a JSON summary to stdout (saved as
 // BENCH_SIMSPEED.json at the repo root) so the trajectory is recorded.
+// Run metadata (git rev, date) comes in via `--git-rev` / `--date` argv
+// flags — see bench_json.hpp; the measurement path makes no wall-clock
+// calls other than the timed region itself.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -76,7 +80,7 @@ Result runOnce(const Config& cfg, std::size_t hostThreads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<Config> configs = {
       {"cg", 48, 16, 40},
       {"mpir", 48, 16, 3},
@@ -91,21 +95,25 @@ int main() {
                              : 1;
   if (hw > 4) threadCounts.push_back(hw);
 
-  std::printf("{\n  \"bench\": \"simspeed\",\n  \"hardwareConcurrency\": %zu,"
-              "\n  \"results\": [\n",
-              hw);
-  bool first = true;
+  bench::BenchMeta meta = bench::parseBenchMeta(argc, argv);
+  meta.tiles = configs.front().tiles;
+  meta.hostThreads = 0;  // swept per row
+  bench::BenchReport report("simspeed", meta);
+  report.setField("hardwareConcurrency", hw);
+
   for (const Config& cfg : configs) {
     for (std::size_t threads : threadCounts) {
       Result r = runOnce(cfg, threads);
-      std::printf("%s    {\"solver\": \"%s\", \"hostThreads\": %zu, "
-                  "\"seconds\": %.4f, \"supersteps\": %zu, "
-                  "\"itersPerSec\": %.2f, \"verticesPerSec\": %.0f}",
-                  first ? "" : ",\n", r.solver.c_str(), r.hostThreads,
-                  r.seconds, r.supersteps, r.itersPerSec, r.verticesPerSec);
-      first = false;
+      json::Object row;
+      row["solver"] = r.solver;
+      row["hostThreads"] = r.hostThreads;
+      row["seconds"] = r.seconds;
+      row["supersteps"] = r.supersteps;
+      row["itersPerSec"] = r.itersPerSec;
+      row["verticesPerSec"] = r.verticesPerSec;
+      report.addResult(std::move(row));
     }
   }
-  std::printf("\n  ]\n}\n");
+  std::printf("%s\n", report.dump().c_str());
   return 0;
 }

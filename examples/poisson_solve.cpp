@@ -6,17 +6,35 @@
 // ILU(0) hierarchy, the refinement history, and the per-category cycle
 // summary derived from the execution trace.
 //
-// Usage: ./example_poisson_solve [grid=24] [tiles=32]
+// Usage: ./example_poisson_solve [grid=24] [tiles=32] [--profile out.json]
+//   --profile enables tile-level profiling and writes the report as JSON
+//   (or self-contained HTML when the path ends in .html); inspect with
+//   tools/graphene-prof.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "graphene.hpp"
 
 using namespace graphene;
 
 int main(int argc, char** argv) {
-  const std::size_t grid = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
-  const std::size_t tiles = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  std::string profilePath;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profilePath = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::size_t grid =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 24;
+  const std::size_t tiles =
+      positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 32;
 
   std::printf("Poisson %zu^3 pressure solve on %zu simulated tiles\n", grid,
               tiles);
@@ -42,6 +60,7 @@ int main(int argc, char** argv) {
               layout.numSeparatorCells(), layout.regions.size(),
               layout.transfers.size());
   std::printf("solver: %s\n", session.solver().chainName().c_str());
+  if (!profilePath.empty()) session.enableTileProfile();
 
   // RHS: a localised source/sink pair, as in a channel-flow pressure
   // correction.
@@ -63,6 +82,17 @@ int main(int argc, char** argv) {
                           .c_str());
   std::printf("simulated solve time: %.3f ms\n",
               1e3 * result.simulatedSeconds);
+
+  if (!profilePath.empty() && result.tileProfile) {
+    std::ofstream out(profilePath);
+    if (profilePath.size() > 5 &&
+        profilePath.compare(profilePath.size() - 5, 5, ".html") == 0) {
+      out << support::tileProfileToHtml(*result.tileProfile);
+    } else {
+      out << support::tileProfileToJson(*result.tileProfile).dump(2) << "\n";
+    }
+    std::printf("tile profile written to %s\n", profilePath.c_str());
+  }
 
   return hist.empty() || hist.back().residual > 1e-8 ? 1 : 0;
 }

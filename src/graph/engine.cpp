@@ -10,6 +10,7 @@
 #include "ipu/health.hpp"
 #include "ipu/worker_pool.hpp"
 #include "support/thread_pool.hpp"
+#include "support/tile_profile.hpp"
 #include "support/trace.hpp"
 
 namespace graphene::graph {
@@ -128,6 +129,50 @@ void Engine::setTraceSink(support::TraceSink* sink) {
   trace_ = sink;
   // Only fault-log entries appended from now on belong to this trace.
   tracedFaultEvents_ = profile_.faultEvents.size();
+}
+
+void Engine::setTileProfile(support::TileProfile* profile) {
+  tileProfile_ = profile;
+  sramTensorsCaptured_ = 0;
+  if (tileProfile_ == nullptr) return;
+  const ipu::IpuTarget& target = graph_.target();
+  tileProfile_->init(target.totalTiles(), target.workersPerTile,
+                     target.exchangeInstrCycles *
+                         target.exchangeSendBytesPerCycle);
+  captureSramSnapshot();
+}
+
+void Engine::captureSramSnapshot() {
+  const ipu::TileMemoryLedger& ledger = graph_.ledger();
+  const std::size_t nTiles = graph_.target().totalTiles();
+  support::TileSramProfile& sram = tileProfile_->sram;
+  sram.budgetBytes = ledger.budget();
+  sram.usedBytes.resize(nTiles);
+  sram.highWaterBytes.resize(nTiles);
+  for (std::size_t t = 0; t < nTiles; ++t) {
+    sram.usedBytes[t] = ledger.used(t);
+    sram.highWaterBytes[t] = std::max(sram.highWaterBytes[t],
+                                      ledger.highWater(t));
+  }
+  // Rebuild the per-tensor breakdown from the current graph (a successor
+  // engine after a remap brings a fresh graph whose tensors replace the old
+  // list; used/high-water above still reflect the machine being profiled).
+  sram.tensors.clear();
+  for (std::size_t i = 0; i < graph_.numTensors(); ++i) {
+    const TensorInfo& info = graph_.tensor(static_cast<TensorId>(i));
+    support::TileSramProfile::TensorSram t;
+    t.name = info.name;
+    t.dtype = ipu::dtypeName(info.dtype);
+    t.bytesPerTile.resize(nTiles, 0);
+    const std::size_t elemBytes = ipu::sizeOf(info.dtype);
+    const std::size_t mapped =
+        std::min(nTiles, info.mapping.sizePerTile.size());
+    for (std::size_t tile = 0; tile < mapped; ++tile) {
+      t.bytesPerTile[tile] = info.mapping.sizePerTile[tile] * elemBytes;
+    }
+    sram.tensors.push_back(std::move(t));
+  }
+  sramTensorsCaptured_ = graph_.numTensors();
 }
 
 void Engine::traceNewFaultEvents() {
@@ -287,10 +332,12 @@ const Engine::ExecPlan& Engine::planFor(ComputeSetId csId) {
 }
 
 double Engine::runTileTask(const ComputeSet& cs, const ExecPlan& plan,
-                           TensorStorage* storage, std::size_t task) {
+                           TensorStorage* storage, std::size_t task,
+                           double* workerBusyOut) {
   const TileTask& t = plan.tasks[task];
   ipu::WorkerPool pool(graph_.target().workersPerTile);
   std::size_t nextWorker = 0;
+  double workerBusy = 0;  // issue slots used, summed over the 6 workers
   for (std::size_t p = t.firstVertex; p < t.firstVertex + t.count; ++p) {
     const Vertex& v = cs.vertices[plan.vertexOrder[p]];
     PlanVertexContext ctx(storage, plan.args.data() + plan.argStart[p],
@@ -303,11 +350,14 @@ double Engine::runTileTask(const ComputeSet& cs, const ExecPlan& plan,
       for (std::size_t w = 0; w < pool.numWorkers(); ++w) {
         pool.addCycles(w, cost.workerCycles);
       }
+      workerBusy += cost.workerCycles * static_cast<double>(pool.numWorkers());
     } else {
       pool.addCycles(nextWorker, cost.workerCycles);
       nextWorker = (nextWorker + 1) % pool.numWorkers();
+      workerBusy += cost.workerCycles;
     }
   }
+  if (workerBusyOut != nullptr) *workerBusyOut = workerBusy;
   return pool.elapsed();
 }
 
@@ -335,13 +385,19 @@ void Engine::runExecute(ComputeSetId csId) {
   TensorStorage* storage = storage_.data();
   const std::size_t nTasks = plan.tasks.size();
   const std::size_t superstepIndex = profile_.computeSupersteps;
+  const bool tileProfiling = tileProfile_ != nullptr;
+  if (tileProfiling) {
+    if (graph_.numTensors() != sramTensorsCaptured_) captureSramSnapshot();
+    tileBusy_.assign(nTasks, 0.0);
+  }
   auto taskCycles = [&](std::size_t ti) -> double {
     const std::size_t tile = plan.tasks[ti].tile;
     if (!tileExcluded_.empty() && tileExcluded_[tile]) return 0.0;
     if (hardFaults && faultPlan_->tileDead(tile, superstepIndex)) {
       return faultPlan_->deadTileCycles(tile);
     }
-    return runTileTask(cs, plan, storage, ti);
+    return runTileTask(cs, plan, storage, ti,
+                       tileProfiling ? &tileBusy_[ti] : nullptr);
   };
   tileCycles_.assign(nTasks, 0.0);
   if (hostPool_ != nullptr && nTasks > 1) {
@@ -403,6 +459,25 @@ void Engine::runExecute(ComputeSetId csId) {
                                               maxTileCycles, stragglerTile);
   profile_.syncCycles += target.syncCyclesOnChip;
   profile_.computeSupersteps += 1;
+
+  // Tile-level attribution, from the same serial reduction (deterministic at
+  // any host thread count). The superstep's critical path — including any
+  // injected stall, mirroring profile_.computeCycles above — is charged to
+  // the straggler tile, so per-category tile sums reproduce computeCycles
+  // exactly; every other tile books the gap as barrier idle.
+  if (tileProfiling) {
+    support::TileCategoryProfile& cat = tileProfile_->category(cs.category);
+    cat.supersteps += 1;
+    for (std::size_t ti = 0; ti < nTasks; ++ti) {
+      const std::size_t tile = plan.tasks[ti].tile;
+      cat.busyCycles[tile] += tileCycles_[ti];
+      cat.workerBusyCycles[tile] += tileBusy_[ti];
+      cat.barrierIdleCycles[tile] += maxTileCycles - tileCycles_[ti];
+    }
+    if (nTasks > 0) cat.criticalCycles[stragglerTile] += maxTileCycles;
+    tileProfile_->computeSupersteps += 1;
+    tileProfile_->syncCycles += target.syncCyclesOnChip;
+  }
   for (const auto& [name, value] : cs.perExecMetrics) {
     profile_.metrics.addCounter(name, value);
   }
@@ -505,7 +580,9 @@ void Engine::runCopy(const Program& program) {
     }
     if (!t.dstTiles.empty()) transfers.push_back(std::move(t));
   }
-  ipu::ExchangeStats stats = ipu::priceExchange(graph_.target(), transfers);
+  ipu::ExchangeStats stats = ipu::priceExchange(
+      graph_.target(), transfers,
+      tileProfile_ != nullptr ? &tileProfile_->traffic : nullptr);
   if (hardFaults) {
     // Degraded links slow the whole exchange phase: BSP exchanges complete
     // when the last transfer lands, so one slow link stretches the phase.
@@ -517,6 +594,10 @@ void Engine::runCopy(const Program& program) {
   profile_.exchangeSupersteps += 1;
   profile_.exchangeInstructions += stats.instructions;
   profile_.exchangedBytes += stats.totalBytes;
+  if (tileProfile_ != nullptr) {
+    tileProfile_->exchangeCycles += stats.cycles;
+    tileProfile_->exchangeSupersteps += 1;
+  }
   for (const auto& [name, value] : program.copyMetrics) {
     profile_.metrics.addCounter(name, value);
   }

@@ -20,6 +20,7 @@
 namespace graphene::support {
 class ThreadPool;
 class TraceSink;
+struct TileProfile;
 }
 
 namespace graphene::ipu {
@@ -121,6 +122,19 @@ class Engine {
   void setTraceSink(support::TraceSink* sink);
   support::TraceSink* traceSink() const { return trace_; }
 
+  /// Attaches a tile-level profile collector (non-owning; nullptr detaches).
+  /// When attached, every compute superstep's per-tile cycle distribution,
+  /// every exchange's tile×tile traffic and the graph's per-tile SRAM
+  /// occupancy are recorded into it — all from the engine's serial reduction
+  /// passes, so the report is bit-identical at every host thread count. Like
+  /// the trace sink it is pay-for-what-you-use: with no collector attached
+  /// each emission site is a single null-pointer test, no extra compute sets
+  /// are emitted and cycle totals are unchanged. An already-populated
+  /// collector may be re-attached to a successor engine (e.g. after a
+  /// hard-fault remap); it accumulates across attachments.
+  void setTileProfile(support::TileProfile* profile);
+  support::TileProfile* tileProfile() const { return tileProfile_; }
+
   /// Monotonic simulated clock: cycles executed by this engine so far
   /// (compute + exchange + sync). Unlike profile().totalCycles() it is O(1)
   /// and survives profile clears — trace timestamps are drawn from it.
@@ -167,11 +181,18 @@ class Engine {
   };
 
   void runExecute(ComputeSetId cs);
+  /// Runs one tile's vertices; returns the tile-visible elapsed cycles.
+  /// When `workerBusyOut` is non-null it receives the issue slots actually
+  /// used across the tile's workers (the busy half of the busy/idle split).
   double runTileTask(const ComputeSet& cs, const ExecPlan& plan,
-                     TensorStorage* storage, std::size_t task);
+                     TensorStorage* storage, std::size_t task,
+                     double* workerBusyOut = nullptr);
   const ExecPlan& planFor(ComputeSetId cs);
   void runCopy(const Program& program);
   void syncStorage();
+  /// Refreshes the tile profile's SRAM snapshot from the graph's memory
+  /// ledger and tensor table (re-run whenever the tensor count grew).
+  void captureSramSnapshot();
   /// Mirrors fault-log entries appended since the last call (injected
   /// faults, solver recovery actions) into the trace as timeline events.
   void traceNewFaultEvents();
@@ -182,12 +203,15 @@ class Engine {
   ipu::FaultPlan* faultPlan_ = nullptr;
   ipu::HealthMonitor* health_ = nullptr;
   support::TraceSink* trace_ = nullptr;
+  support::TileProfile* tileProfile_ = nullptr;
+  std::size_t sramTensorsCaptured_ = 0;  // tensor count at last SRAM snapshot
   double simClock_ = 0;             // monotonic simulated cycles
   std::size_t tracedFaultEvents_ = 0;  // fault-log prefix already traced
   std::size_t numHostThreads_ = 1;
   std::unique_ptr<support::ThreadPool> hostPool_;  // null when single-threaded
   std::vector<ExecPlan> plans_;                    // indexed by ComputeSetId
   std::vector<double> tileCycles_;                 // per-task scratch
+  std::vector<double> tileBusy_;     // per-task worker-busy scratch (profiling)
   std::vector<char> tileExcluded_;                 // empty = none excluded
 };
 

@@ -4,11 +4,13 @@
 #include <map>
 
 #include "support/error.hpp"
+#include "support/tile_profile.hpp"
 
 namespace graphene::ipu {
 
 ExchangeStats priceExchange(const IpuTarget& target,
-                            const std::vector<Transfer>& transfers) {
+                            const std::vector<Transfer>& transfers,
+                            support::TileTrafficMatrix* traffic) {
   ExchangeStats stats;
   if (transfers.empty()) return stats;
 
@@ -46,6 +48,9 @@ ExchangeStats priceExchange(const IpuTarget& target,
     instrs[t.srcTile] += 1;
     stats.instructions += 1;
     stats.totalBytes += t.bytes;
+    if (traffic != nullptr) {
+      traffic->recordTransfer(t.srcTile, t.dstTiles, t.bytes);
+    }
   }
 
   double maxSendCycles = 0;

@@ -18,6 +18,10 @@
 
 #include "ipu/target.hpp"
 
+namespace graphene::support {
+class TileTrafficMatrix;
+}
+
 namespace graphene::ipu {
 
 /// One blockwise transfer in an exchange program: `bytes` sent from
@@ -39,7 +43,11 @@ struct ExchangeStats {
 
 /// Prices an exchange superstep. Transfers whose source and destination are
 /// the same tile are local copies (no fabric traffic, memcpy-rate on tile).
+/// When `traffic` is non-null, every fabric transfer is also recorded into
+/// the tile×tile traffic matrix (broadcast payload split integer-exactly
+/// over the remote destinations, matching `totalBytes` accounting).
 ExchangeStats priceExchange(const IpuTarget& target,
-                            const std::vector<Transfer>& transfers);
+                            const std::vector<Transfer>& transfers,
+                            support::TileTrafficMatrix* traffic = nullptr);
 
 }  // namespace graphene::ipu

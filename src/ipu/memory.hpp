@@ -18,7 +18,9 @@ namespace graphene::ipu {
 class TileMemoryLedger {
  public:
   explicit TileMemoryLedger(const IpuTarget& target)
-      : budget_(target.sramBytesPerTile), used_(target.totalTiles(), 0) {}
+      : budget_(target.sramBytesPerTile),
+        used_(target.totalTiles(), 0),
+        highWater_(target.totalTiles(), 0) {}
 
   /// Reserves `bytes` on `tile`; throws ResourceError when the tile SRAM
   /// budget would be exceeded.
@@ -32,6 +34,7 @@ class TileMemoryLedger {
                           std::to_string(budget_) + " B)");
     }
     used_[tile] += bytes;
+    if (used_[tile] > highWater_[tile]) highWater_[tile] = used_[tile];
   }
 
   void release(std::size_t tile, std::size_t bytes) {
@@ -43,6 +46,13 @@ class TileMemoryLedger {
   std::size_t used(std::size_t tile) const {
     GRAPHENE_CHECK(tile < used_.size(), "tile out of range");
     return used_[tile];
+  }
+
+  /// Highest occupancy `tile` ever reached (release never lowers it) — the
+  /// number that decides whether a plan fits, even if memory was freed later.
+  std::size_t highWater(std::size_t tile) const {
+    GRAPHENE_CHECK(tile < highWater_.size(), "tile out of range");
+    return highWater_[tile];
   }
 
   std::size_t budget() const { return budget_; }
@@ -57,6 +67,7 @@ class TileMemoryLedger {
  private:
   std::size_t budget_;
   std::vector<std::size_t> used_;
+  std::vector<std::size_t> highWater_;
 };
 
 }  // namespace graphene::ipu

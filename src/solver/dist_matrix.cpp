@@ -1,5 +1,6 @@
 #include "solver/dist_matrix.hpp"
 
+#include <cstdlib>
 #include <unordered_map>
 
 #include "support/error.hpp"
@@ -17,6 +18,9 @@ using dsl::Value;
 DistMatrix::DistMatrix(const matrix::CsrMatrix& a,
                        partition::DistributedLayout layout)
     : layout_(std::move(layout)) {
+  // A/B escape hatch mirroring GRAPHENE_NO_FASTPATH: profile a run without
+  // the §IV halo reordering without touching call sites.
+  if (std::getenv("GRAPHENE_NO_HALO_REORDER") != nullptr) perCellHalo_ = true;
   Context& ctx = Context::current();
   const std::size_t nTiles = ctx.target().totalTiles();
   GRAPHENE_CHECK(layout_.numTiles == nTiles,
@@ -140,9 +144,16 @@ void DistMatrix::haloExchange(const Tensor& v) {
   GRAPHENE_CHECK(v.info().mapping == ownedMapping_,
                  "halo exchange needs an owned-mapped vector");
   Tensor& halo = haloBuffer(v.type());
+  const std::vector<partition::HaloTransfer>* plan = &layout_.transfers;
+  if (perCellHalo_) {
+    if (perCellPlan_.empty() && !layout_.transfers.empty()) {
+      perCellPlan_ = partition::naivePerCellTransfers(layout_);
+    }
+    plan = &perCellPlan_;
+  }
   std::vector<graph::CopySegment> segs;
-  segs.reserve(layout_.transfers.size());
-  for (const partition::HaloTransfer& tr : layout_.transfers) {
+  segs.reserve(plan->size());
+  for (const partition::HaloTransfer& tr : *plan) {
     graph::CopySegment s;
     s.src = v.id();
     s.srcTile = tr.srcTile;

@@ -47,6 +47,15 @@ class DistMatrix {
   /// broadcast into this matrix's halo buffer for v's dtype.
   void haloExchange(const Tensor& v);
 
+  /// Switches halo exchanges to the per-cell baseline plan (one transfer
+  /// per separator cell — what a compiler without the §IV reordering would
+  /// emit). Same payloads and numerics, far more exchange instructions;
+  /// exists for A/B profiling of the reordering. Must be set before the
+  /// solver program is emitted. The GRAPHENE_NO_HALO_REORDER environment
+  /// variable forces it on at construction.
+  void setPerCellHalo(bool on) { perCellHalo_ = on; }
+  bool perCellHalo() const { return perCellHalo_; }
+
   /// Emits y = A·v. `exchange=false` skips the halo update (the scaling
   /// benches measure compute-only this way; values in the halo buffer are
   /// then whatever the last exchange left).
@@ -128,6 +137,9 @@ class DistMatrix {
   graph::TileMapping haloMapping_;
   std::vector<std::size_t> activeTiles_;
   std::vector<std::size_t> ownedFlatOffset_;  // per tile, into owned tensors
+  bool perCellHalo_ = false;
+  /// Cached per-cell plan (built lazily on first per-cell haloExchange).
+  std::vector<partition::HaloTransfer> perCellPlan_;
 
   std::vector<TileLocal> tileLocal_;
 

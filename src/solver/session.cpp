@@ -54,6 +54,7 @@ void SolveSession::buildPipeline() {
       m_.matrix, partition::partitionAuto(m_, options_.tiles, blacklist_),
       options_.tiles);
   A_ = std::make_unique<DistMatrix>(m_.matrix, std::move(layout));
+  if (options_.perCellHalo) A_->setPerCellHalo(true);
   if (configured_) solver_ = makeSolver(solverConfig_);
 }
 
@@ -102,6 +103,11 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
                  " entries but the matrix has ", A_->rows(), " rows");
 
   trace_.clear();
+  // Fresh tile-level report per solve; the same collector is re-attached to
+  // every remap attempt's engine, so it spans the whole solve.
+  tileProfile_ =
+      tileProfileEnabled_ ? std::make_shared<support::TileProfile>() : nullptr;
+  if (tileProfile_) tileProfile_->label = solver_->chainName();
 
   // Hard-fault recovery state for this solve. After a remap the rebuilt
   // pipeline solves the shifted system A·dx = b − A·x0, where x0 is the
@@ -164,6 +170,7 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
           "resilience.blacklisted", static_cast<double>(blacklist_.size()));
     }
     if (options_.traceCapacity > 0) engine_->setTraceSink(&trace_);
+    if (tileProfile_) engine_->setTileProfile(tileProfile_.get());
 
     A_->upload(*engine_);
     A_->writeVector(*engine_, *b_, shifted);
@@ -250,6 +257,7 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
   }
   r.history = solver_->history();
   r.simulatedSeconds = engine_->elapsedSeconds();
+  r.tileProfile = tileProfile_;
 
   // Safety net against silently-wrong results: with fault injection active,
   // a Converged claim is re-verified on the host against the original

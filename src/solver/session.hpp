@@ -35,6 +35,7 @@
 #include "ipu/fault.hpp"
 #include "matrix/generators.hpp"
 #include "solver/solver.hpp"
+#include "support/tile_profile.hpp"
 #include "support/trace.hpp"
 
 namespace graphene::dsl {
@@ -66,6 +67,11 @@ struct SessionOptions {
   /// with the budget exhausted, solve() rethrows the typed HardFaultError —
   /// it never limps on with a freshly dead tile still in the machine.
   std::size_t maxRemaps = 1;
+  /// Emits halo exchanges per cell instead of as blockwise region
+  /// broadcasts — the pre-reordering baseline of §IV. A/B profiling only
+  /// (same numerics, more exchange instructions); also forced by the
+  /// GRAPHENE_NO_HALO_REORDER environment variable.
+  bool perCellHalo = false;
 };
 
 class SolveSession {
@@ -103,12 +109,23 @@ class SolveSession {
   /// deterministic: identical plan + seed gives identical fault logs.
   SolveSession& withFaultPlan(const json::Value& planConfig);
 
+  /// Opts every subsequent solve into tile-level profiling: per-tile cycle
+  /// attribution per category, the tile×tile traffic matrix and the SRAM
+  /// snapshot. A fresh report is collected per solve (accumulating across
+  /// hard-fault remap attempts within it) and attached to the Result.
+  SolveSession& enableTileProfile() {
+    tileProfileEnabled_ = true;
+    return *this;
+  }
+
   /// Everything a solve produces, copied out of the device state.
   struct Result {
     SolveResult solve;                     // structured outcome
     std::vector<double> x;                 // solution, global row order
     std::vector<IterationRecord> history;  // convergence samples
     double simulatedSeconds = 0.0;         // wall clock on the simulated IPU
+    /// Tile-level report of this solve; null unless enableTileProfile().
+    std::shared_ptr<support::TileProfile> tileProfile;
   };
 
   /// Runs the configured solver on a fresh Engine. The program is emitted
@@ -124,6 +141,12 @@ class SolveSession {
 
   /// Cycle profile of the last solve.
   const ipu::Profile& profile() const;
+
+  /// Tile-level report of the last solve (null unless enableTileProfile()
+  /// was called before it).
+  const support::TileProfile* tileProfile() const {
+    return tileProfile_.get();
+  }
 
   Solver& solver();
   DistMatrix& matrix();
@@ -159,6 +182,8 @@ class SolveSession {
   std::optional<ipu::FaultPlan> faultPlan_;
   std::optional<Tensor> x_, b_;
   support::TraceSink trace_;
+  bool tileProfileEnabled_ = false;
+  std::shared_ptr<support::TileProfile> tileProfile_;
   bool emitted_ = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -59,6 +61,59 @@ MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& o) {
   return *this;
 }
 
+namespace {
+
+/// Maps a metric name onto the Prometheus charset: [a-zA-Z_:] first, then
+/// [a-zA-Z0-9_:]; anything else (dots, dashes, spaces) becomes '_'.
+std::string sanitizePrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += alpha || (digit && i > 0) ? c : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+void appendPrometheusValue(std::ostream& os, double value) {
+  // %.17g round-trips doubles; integral values print without an exponent.
+  char buf[64];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  os << buf;
+}
+
+}  // namespace
+
+std::string metricsToPrometheusText(const MetricsRegistry& metrics,
+                                    const std::string& prefix) {
+  const std::string p =
+      prefix.empty() ? "" : sanitizePrometheusName(prefix) + "_";
+  std::ostringstream os;
+  // std::map iteration gives each family in name order already.
+  for (const auto& [name, value] : metrics.counters()) {
+    const std::string m = p + sanitizePrometheusName(name);
+    os << "# TYPE " << m << " counter\n" << m << " ";
+    appendPrometheusValue(os, value);
+    os << "\n";
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    const std::string m = p + sanitizePrometheusName(name);
+    os << "# TYPE " << m << " gauge\n" << m << " ";
+    appendPrometheusValue(os, value);
+    os << "\n";
+  }
+  return os.str();
+}
+
 TraceSink::TraceSink(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -99,6 +154,16 @@ void TraceSink::record(TraceEvent event) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
+    if (recorded_ == capacity_) {
+      // Warn exactly once per filled ring: from here on the timeline is
+      // truncated (the aggregates above stay exact). stderr, not an error —
+      // a wrapped ring is a working configuration, just a lossy one.
+      std::fprintf(stderr,
+                   "graphene: trace ring capacity %zu reached; oldest "
+                   "timeline events are being dropped (summary aggregates "
+                   "remain exact)\n",
+                   capacity_);
+    }
     ring_[recorded_ % capacity_] = std::move(event);
   }
   recorded_ += 1;
@@ -294,6 +359,11 @@ TextTable traceSummaryTable(const TraceSink& sink) {
             "-", "-", "-"});
   t.addRow({"sync", "-", formatSig(sink.syncCycles(), 6),
             pct(sink.syncCycles()), "-", "-", "-"});
+  if (sink.dropped() > 0) {
+    // A wrapped ring must not read as a complete timeline.
+    t.addRow({"(dropped)", std::to_string(sink.dropped()) + " events", "-",
+              "-", "-", "-", "ring wrapped"});
+  }
   return t;
 }
 

@@ -107,6 +107,14 @@ class MetricsRegistry {
   std::map<std::string, double> gauges_;
 };
 
+/// Prometheus text exposition (version 0.0.4) of a registry: counters as
+/// `counter`, gauges as `gauge`, names sanitised to the Prometheus charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*, every other character becomes '_') and
+/// prefixed with `prefix` (itself sanitised; pass "" for none). Output is
+/// sorted by metric name — deterministic, scrape-ready.
+std::string metricsToPrometheusText(const MetricsRegistry& metrics,
+                                    const std::string& prefix = "graphene");
+
 /// Ring-buffered event sink with exact running aggregates.
 class TraceSink {
  public:
@@ -185,8 +193,10 @@ json::Value traceToChromeJson(const TraceSink& sink);
 /// Per-category cycle breakdown from the sink's exact aggregates: category,
 /// supersteps, cycles, share of total, mean-tile cycles, BSP imbalance
 /// (critical path / mean) and the worst straggler tile. Exchange and sync
-/// get their own rows. This reproduces the paper's Table IV directly from a
-/// trace.
+/// get their own rows; when the ring has wrapped, a final "(dropped)" row
+/// reports how many timeline events were overwritten (the aggregate rows
+/// above it remain exact). This reproduces the paper's Table IV directly
+/// from a trace.
 TextTable traceSummaryTable(const TraceSink& sink);
 
 /// Compute cycles per category from the exact aggregates — matches

@@ -153,9 +153,15 @@ TEST(TraceAggregates, ExactAfterRingWrap) {
   EXPECT_EQ(support::traceComputeCycles(tiny),
             support::traceComputeCycles(full));
   EXPECT_EQ(tiny.iterationCount(), full.iterationCount());
-  // And the rendered table agrees too.
-  EXPECT_EQ(support::traceSummaryTable(tiny).render(),
-            support::traceSummaryTable(full).render());
+  // The rendered tables agree on the aggregates, but the wrapped sink
+  // surfaces its data loss: a "(dropped)" row that the full sink's table
+  // does not have.
+  const std::string tinyTable = support::traceSummaryTable(tiny).render();
+  const std::string fullTable = support::traceSummaryTable(full).render();
+  EXPECT_NE(tinyTable.find("(dropped)"), std::string::npos);
+  EXPECT_NE(tinyTable.find(std::to_string(tiny.dropped())),
+            std::string::npos);
+  EXPECT_EQ(fullTable.find("(dropped)"), std::string::npos);
 }
 
 // The Chrome export is valid JSON for our own parser and round-trips
@@ -248,6 +254,84 @@ TEST(ProfileMerge, AccumulatesStragglerStatsAndMetrics) {
   EXPECT_EQ(a.superstepStats.count("reduce"), 1u);
   EXPECT_DOUBLE_EQ(a.metrics.counter("spmv.flops"), 150.0);
   EXPECT_DOUBLE_EQ(a.metrics.gauge("mem.peak"), 2.0);
+}
+
+// SuperstepStats::operator+= keeps the *strictly* worst superstep: on a
+// tie in worstCycles the left side's straggler/superstep win, so merging
+// per-attempt profiles is order-stable and deterministic.
+TEST(ProfileMerge, SuperstepStatsTieKeepsLeft) {
+  ipu::SuperstepStats a, b;
+  a.record(/*superstep=*/2, /*min=*/5, /*mean=*/6, /*max=*/40,
+           /*stragglerTile=*/7);
+  b.record(/*superstep=*/9, /*min=*/5, /*mean=*/6, /*max=*/40,
+           /*stragglerTile=*/1);
+
+  ipu::SuperstepStats merged = a;
+  merged += b;
+  EXPECT_EQ(merged.supersteps, 2u);
+  EXPECT_DOUBLE_EQ(merged.worstCycles, 40.0);
+  EXPECT_EQ(merged.worstStragglerTile, 7u);  // tie → left side kept
+  EXPECT_EQ(merged.worstSuperstep, 2u);
+
+  // Strictly worse on the right does replace.
+  ipu::SuperstepStats c;
+  c.record(/*superstep=*/11, /*min=*/5, /*mean=*/6, /*max=*/41,
+           /*stragglerTile=*/3);
+  merged += c;
+  EXPECT_DOUBLE_EQ(merged.worstCycles, 41.0);
+  EXPECT_EQ(merged.worstStragglerTile, 3u);
+  EXPECT_EQ(merged.worstSuperstep, 11u);
+}
+
+// Profile::operator+= with an empty fault log on either side and with
+// categories the left has never seen: nothing is lost, nothing is
+// double-counted.
+TEST(ProfileMerge, EmptyFaultLogAndUnseenCategories) {
+  ipu::Profile a, b;
+  a.computeCycles["spmv"] = 100.0;
+  a.faultEvents.push_back({"bitflip", 3, "resid", 5, 30, 0.0, ""});
+  b.computeCycles["reduce"] = 7.0;  // category a has never seen
+  ASSERT_TRUE(b.faultEvents.empty());
+
+  a += b;
+  EXPECT_DOUBLE_EQ(a.computeCycles.at("spmv"), 100.0);
+  EXPECT_DOUBLE_EQ(a.computeCycles.at("reduce"), 7.0);
+  ASSERT_EQ(a.faultEvents.size(), 1u);  // empty right adds nothing
+  EXPECT_EQ(a.faultEvents[0].kind, "bitflip");
+
+  // The mirror case: empty left absorbs the right's log verbatim.
+  ipu::Profile c;
+  ASSERT_TRUE(c.faultEvents.empty());
+  c += a;
+  ASSERT_EQ(c.faultEvents.size(), 1u);
+  EXPECT_TRUE(c.faultEvents[0] == a.faultEvents[0]);
+  EXPECT_DOUBLE_EQ(c.computeCycles.at("spmv"), 100.0);
+  EXPECT_DOUBLE_EQ(c.computeCycles.at("reduce"), 7.0);
+}
+
+// Prometheus text exposition: names are sanitised onto the Prometheus
+// charset, every family gets a TYPE line, and std::map iteration makes the
+// output deterministic.
+TEST(Metrics, PrometheusTextExposition) {
+  support::MetricsRegistry metrics;
+  metrics.addCounter("spmv.flops", 1234);
+  metrics.addCounter("halo.bytes", 9);
+  metrics.setGauge("mem.peak-used", 2.5);
+
+  const std::string text = support::metricsToPrometheusText(metrics);
+  EXPECT_EQ(text,
+            "# TYPE graphene_halo_bytes counter\n"
+            "graphene_halo_bytes 9\n"
+            "# TYPE graphene_spmv_flops counter\n"
+            "graphene_spmv_flops 1234\n"
+            "# TYPE graphene_mem_peak_used gauge\n"
+            "graphene_mem_peak_used 2.5\n");
+
+  // Prefixless, and a name that starts with a digit gets escaped.
+  support::MetricsRegistry odd;
+  odd.addCounter("2fast", 1);
+  const std::string oddText = support::metricsToPrometheusText(odd, "");
+  EXPECT_EQ(oddText, "# TYPE _fast counter\n_fast 1\n");
 }
 
 // With no sink attached nothing is recorded and nothing breaks — the

@@ -1,0 +1,183 @@
+// graphene-prof — command-line front end for tile-profile reports.
+//
+// Reports are produced by SolveSession::enableTileProfile() (or any engine
+// with a TileProfile attached) and written as JSON; this tool renders them
+// as summary tables or a self-contained HTML page, and diffs two reports
+// for A/B runs (halo reordering on/off, GRAPHENE_NO_FASTPATH, partitioner
+// changes). `diff` can gate CI: with thresholds given it exits nonzero on a
+// regression.
+//
+//   graphene-prof summary <report.json>
+//   graphene-prof diff <baseline.json> <candidate.json>
+//       [--max-cycles-regress <pct>] [--min-locality-ratio <x>]
+//   graphene-prof html <report.json> <out.html>
+//
+// Exit codes: 0 ok, 1 regression past a threshold, 2 usage/input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "support/tile_profile.hpp"
+
+namespace {
+
+using graphene::support::TileProfile;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: graphene-prof <command> ...\n"
+      "  summary <report.json>                   print summary tables\n"
+      "  diff <baseline.json> <candidate.json>   compare two reports\n"
+      "       [--max-cycles-regress <pct>]       fail if total cycles regress\n"
+      "                                          more than <pct> percent\n"
+      "       [--min-locality-ratio <x>]         fail if candidate locality\n"
+      "                                          < x * baseline locality\n"
+      "  html <report.json> <out.html>           write a self-contained HTML\n"
+      "                                          report with heatmaps\n");
+  return 2;
+}
+
+TileProfile loadReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw graphene::Error("cannot open report file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return graphene::support::tileProfileFromJson(
+      graphene::json::parse(buf.str()));
+}
+
+int runSummary(const std::string& path) {
+  const TileProfile profile = loadReport(path);
+  const graphene::support::ImbalanceStats imbalance =
+      graphene::support::loadImbalance(profile);
+
+  std::printf("Tile profile: %s\n",
+              profile.label.empty() ? "(unlabelled)" : profile.label.c_str());
+  std::printf(
+      "%zu tiles, %zu workers/tile; %zu compute + %zu exchange supersteps\n",
+      profile.numTiles, profile.workersPerTile, profile.computeSupersteps,
+      profile.exchangeSupersteps);
+  std::printf(
+      "total %s cycles (compute %s, exchange %s, sync %s) — %s\n",
+      graphene::formatSig(profile.totalCycles(), 6).c_str(),
+      graphene::formatSig(profile.totalComputeCycles(), 6).c_str(),
+      graphene::formatSig(profile.exchangeCycles, 6).c_str(),
+      graphene::formatSig(profile.syncCycles, 6).c_str(),
+      graphene::support::runClassification(profile).c_str());
+  std::printf(
+      "load imbalance %sx over %zu active tiles; traffic locality %s\n\n",
+      graphene::formatSig(imbalance.imbalance, 4).c_str(),
+      imbalance.activeTiles,
+      graphene::formatSig(graphene::support::trafficLocalityScore(profile), 4)
+          .c_str());
+
+  std::printf("%s\n",
+              graphene::support::tileProfileSummaryTable(profile).render()
+                  .c_str());
+  std::printf("Top stragglers:\n%s\n",
+              graphene::support::tileStragglerTable(profile).render().c_str());
+
+  if (!profile.traffic.empty()) {
+    std::printf(
+        "Exchange: %s payload in %llu messages (%llu send instructions)\n",
+        graphene::formatBytes(static_cast<double>(profile.traffic.totalBytes()))
+            .c_str(),
+        static_cast<unsigned long long>(profile.traffic.totalMessages()),
+        static_cast<unsigned long long>(profile.traffic.sendInstructions()));
+  }
+  if (!profile.sram.highWaterBytes.empty()) {
+    std::printf("SRAM: peak %s of %s per-tile budget\n",
+                graphene::formatBytes(
+                    static_cast<double>(profile.sram.peakUsed()))
+                    .c_str(),
+                graphene::formatBytes(
+                    static_cast<double>(profile.sram.budgetBytes))
+                    .c_str());
+  }
+  return 0;
+}
+
+int runDiff(int argc, char** argv) {
+  std::string pathA, pathB;
+  double maxCyclesRegressFrac = -1.0;  // negative = check disabled
+  double minLocalityRatio = -1.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-cycles-regress") {
+      if (++i >= argc) return usage();
+      maxCyclesRegressFrac = std::atof(argv[i]) / 100.0;
+    } else if (arg == "--min-locality-ratio") {
+      if (++i >= argc) return usage();
+      minLocalityRatio = std::atof(argv[i]);
+    } else if (pathA.empty()) {
+      pathA = arg;
+    } else if (pathB.empty()) {
+      pathB = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (pathA.empty() || pathB.empty()) return usage();
+
+  const TileProfile a = loadReport(pathA);
+  const TileProfile b = loadReport(pathB);
+  const graphene::support::TileProfileDiff diff =
+      graphene::support::diffTileProfiles(a, b);
+  std::printf("A: %s (%s)\nB: %s (%s)\n\n%s\n", pathA.c_str(),
+              a.label.empty() ? "unlabelled" : a.label.c_str(), pathB.c_str(),
+              b.label.empty() ? "unlabelled" : b.label.c_str(),
+              graphene::support::tileProfileDiffTable(diff).render().c_str());
+
+  std::string why;
+  if (!graphene::support::diffWithinThresholds(diff, maxCyclesRegressFrac,
+                                               minLocalityRatio, &why)) {
+    std::fprintf(stderr, "REGRESSION: %s\n", why.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int runHtml(const std::string& reportPath, const std::string& outPath) {
+  const TileProfile profile = loadReport(reportPath);
+  std::ofstream out(outPath, std::ios::binary);
+  if (!out) {
+    throw graphene::Error("cannot write '" + outPath + "'");
+  }
+  out << graphene::support::tileProfileToHtml(profile);
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "summary") {
+      if (argc != 3) return usage();
+      return runSummary(argv[2]);
+    }
+    if (command == "diff") {
+      return runDiff(argc, argv);
+    }
+    if (command == "html") {
+      if (argc != 4) return usage();
+      return runHtml(argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "graphene-prof: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
