@@ -1,0 +1,228 @@
+// Serving-layer bench: an open-loop traffic generator against the
+// SolverService.
+//
+// Two questions the serving layer is accountable for:
+//   1. What does the plan cache buy? Jobs are classified by how they ran —
+//      cold (pipeline built for this job) vs warm (leased a pooled
+//      pipeline) — and each class reports its simulated-latency
+//      distribution (p50/p99) and throughput in solves per simulated
+//      second. The gap is the build cost the cache amortises.
+//   2. What does the service do under stress? A burst beyond the queue
+//      bound, with a slice of fault-injected jobs, reports the rejection
+//      and retry rates off the service counters — the same numbers a
+//      Prometheus scrape of a deployment would show.
+//
+// Emits the shared bench JSON envelope to stdout (saved as
+// BENCH_SERVICE.json at the repo root). Latency distributions are simulated
+// cycles (deterministic); backoff is configured to zero so those paths
+// never sleep. The one exception to the no-wall-clock rule is the
+// build-amortisation scenario: pipeline builds are *host* work the
+// simulated clock cannot see, so cold-vs-warm solves/sec is necessarily a
+// wall measurement — its rows are the only machine-dependent ones in the
+// report. Run metadata comes in via `--git-rev` / `--date` argv flags (see
+// bench_json.hpp).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "graphene.hpp"
+
+namespace {
+
+using namespace graphene;
+
+constexpr double kClockHz = 1.325e9;  // Mk2 tile clock (ipu/target.hpp)
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+json::Value cgConfig() {
+  return json::parse(R"({"type": "cg", "tolerance": 1e-6,
+                         "maxIterations": 300})");
+}
+
+std::vector<double> seededRhs(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed * 2 + 1);
+  std::vector<double> rhs(n);
+  for (double& v : rhs) v = rng.uniform(-1.0, 1.0);
+  return rhs;
+}
+
+/// A seeded transient fault plan for the stress slice: enough corruption to
+/// force retries, not enough to make every attempt hopeless.
+json::Value stressPlan(std::uint64_t seed) {
+  json::Object f;
+  f["type"] = "bitflip";
+  f["tensor"] = "resid";
+  f["bit"] = 30.0;
+  f["probability"] = 1.0;
+  f["count"] = 100000.0;
+  json::Object plan;
+  plan["seed"] = static_cast<double>(seed);
+  plan["faults"] = json::Value(json::Array{json::Value(f)});
+  return json::Value(plan);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchMeta meta = bench::parseBenchMeta(argc, argv);
+  meta.tiles = 16;
+  bench::BenchReport report("service", meta);
+  report.setField("clockHz", kClockHz);
+
+  // ---- Throughput: cold builds vs warm plan-cache leases -----------------
+  {
+    solver::SolverService service({.workers = 4, .tiles = 16});
+    const matrix::GeneratedMatrix structures[] = {
+        matrix::poisson2d5(12, 12), matrix::poisson3d7(6, 6, 6)};
+
+    // Open loop: every job is submitted up front; arrivals never wait for
+    // completions. Twelve jobs per structure — the first per structure (and
+    // any concurrent collision) builds cold, the rest lease warm.
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < 24; ++i) {
+      const auto& g = structures[i % 2];
+      ids.push_back(
+          service.submit(g, cgConfig(), seededRhs(i, g.matrix.rows())));
+    }
+
+    std::vector<double> coldCycles, warmCycles;
+    for (std::size_t id : ids) {
+      const solver::JobResult r = service.wait(id);
+      if (r.typedError || r.solve.status != solver::SolveStatus::Converged) {
+        std::fprintf(stderr, "throughput job %zu did not converge: %s %s\n",
+                     r.jobId, solver::toString(r.solve.status),
+                     r.message.c_str());
+        return 1;
+      }
+      (r.planCacheHit ? warmCycles : coldCycles).push_back(r.simCycles);
+    }
+
+    for (const auto& [phase, cycles] :
+         {std::pair{"cold", coldCycles}, std::pair{"warm", warmCycles}}) {
+      double sum = 0;
+      for (double c : cycles) sum += c;
+      const double mean = cycles.empty() ? 0 : sum / cycles.size();
+      json::Object row;
+      row["scenario"] = "throughput";
+      row["phase"] = phase;
+      row["solves"] = cycles.size();
+      row["meanCycles"] = mean;
+      row["p50Cycles"] = percentile(cycles, 0.50);
+      row["p99Cycles"] = percentile(cycles, 0.99);
+      row["p50LatencyMs"] = percentile(cycles, 0.50) / kClockHz * 1e3;
+      row["p99LatencyMs"] = percentile(cycles, 0.99) / kClockHz * 1e3;
+      row["solvesPerSimSecond"] = mean > 0 ? kClockHz / mean : 0;
+      report.addResult(std::move(row));
+    }
+
+    const auto stats = service.planCacheStats();
+    json::Object row;
+    row["scenario"] = "throughput";
+    row["phase"] = "plan-cache";
+    row["hits"] = stats.hits;
+    row["misses"] = stats.misses;
+    row["invalidations"] = stats.invalidations;
+    row["evictions"] = stats.evictions;
+    report.addResult(std::move(row));
+  }
+
+  // ---- Build amortisation: cold vs warm solves/sec (wall clock) ----------
+  {
+    const matrix::GeneratedMatrix g = matrix::poisson2d5(12, 12);
+    constexpr std::size_t kSolves = 8;
+    const auto timeSolves = [&](solver::SolverService& service) {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < kSolves; ++i) {
+        const auto r =
+            service.solve(g, cgConfig(), seededRhs(i, g.matrix.rows()));
+        if (r.solve.status != solver::SolveStatus::Converged) {
+          std::fprintf(stderr, "amortisation job failed: %s\n",
+                       solver::toString(r.solve.status));
+          std::exit(1);
+        }
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return elapsed.count();
+    };
+
+    // Cold: cache disabled, every solve pays partitioning + emission.
+    solver::SolverService cold(
+        {.workers = 1, .tiles = 16, .planCacheCapacity = 0});
+    const double coldSeconds = timeSolves(cold);
+
+    // Warm: one untimed solve builds the pipeline, the timed ones lease it.
+    solver::SolverService warm({.workers = 1, .tiles = 16});
+    (void)warm.solve(g, cgConfig(), seededRhs(999, g.matrix.rows()));
+    const double warmSeconds = timeSolves(warm);
+
+    for (const auto& [phase, seconds] : {std::pair{"cold", coldSeconds},
+                                         std::pair{"warm", warmSeconds}}) {
+      json::Object row;
+      row["scenario"] = "build-amortisation";
+      row["phase"] = phase;
+      row["solves"] = kSolves;
+      row["wallSeconds"] = seconds;
+      row["solvesPerWallSecond"] =
+          seconds > 0 ? static_cast<double>(kSolves) / seconds : 0;
+      report.addResult(std::move(row));
+    }
+    json::Object row;
+    row["scenario"] = "build-amortisation";
+    row["phase"] = "speedup";
+    row["warmOverCold"] = warmSeconds > 0 ? coldSeconds / warmSeconds : 0;
+    report.addResult(std::move(row));
+  }
+
+  // ---- Stress: burst past the queue bound, fault-injected slice ----------
+  {
+    solver::SolverService service(
+        {.workers = 2,
+         .tiles = 16,
+         .retry = {.maxRetries = 1, .backoffBaseMs = 0.0, .backoffMaxMs = 0.0,
+                   .jitter = 0.0},
+         .admission = {.maxQueueDepth = 8},
+         .breaker = {.failuresToOpen = 1000000}});
+    const matrix::GeneratedMatrix g = matrix::poisson2d5(10, 10);
+
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < 32; ++i) {
+      solver::SolveJobOptions opts;
+      opts.deadlineCycles = 5e8;
+      if (i % 4 == 1) opts.faultPlan = stressPlan(i);
+      ids.push_back(service.submit(g, cgConfig(),
+                                   seededRhs(100 + i, g.matrix.rows()),
+                                   std::move(opts)));
+    }
+    for (std::size_t id : ids) (void)service.wait(id);
+
+    const auto& m = service.metrics();
+    const double submitted = 32;
+    json::Object row;
+    row["scenario"] = "stress";
+    row["submitted"] = submitted;
+    row["accepted"] = m.counter("service.jobs.accepted");
+    row["rejected"] = m.counter("service.jobs.rejected");
+    row["retried"] = m.counter("service.jobs.retried");
+    row["deadlineExceeded"] = m.counter("service.jobs.deadline_exceeded");
+    row["degraded"] = m.counter("service.jobs.degraded");
+    row["rejectionRate"] = m.counter("service.jobs.rejected") / submitted;
+    row["retryRate"] = m.counter("service.jobs.retried") / submitted;
+    report.addResult(std::move(row));
+  }
+
+  std::printf("%s\n", report.dump().c_str());
+  return 0;
+}

@@ -16,7 +16,24 @@ Context::Context(ipu::IpuTarget target) : graph_(target) {
   stack_.push_back(root_);
 }
 
-Context::~Context() { g_currentContext = nullptr; }
+Context::~Context() {
+  // Only clear the slot if this context is the one bound on the destroying
+  // thread: a pooled pipeline may be destroyed (cache eviction, service
+  // teardown) from a thread that never bound it, and must not clobber that
+  // thread's own active context.
+  if (g_currentContext == this) g_currentContext = nullptr;
+}
+
+void Context::bind() {
+  GRAPHENE_CHECK(g_currentContext == nullptr || g_currentContext == this,
+                 "cannot bind DSL context: this thread already has another "
+                 "active context");
+  g_currentContext = this;
+}
+
+void Context::unbind() {
+  if (g_currentContext == this) g_currentContext = nullptr;
+}
 
 Context& Context::current() {
   GRAPHENE_CHECK(g_currentContext != nullptr,

@@ -27,6 +27,18 @@ class Context {
   static Context& current();
   static bool active();
 
+  /// Re-binds this context as the calling thread's active context. A context
+  /// is bound to its creating thread by the constructor; a pooled pipeline
+  /// (e.g. a plan-cache entry leased by a solver-service worker) calls this
+  /// when a *different* thread takes ownership. Errors if the calling thread
+  /// already has another context bound — ownership is exclusive.
+  void bind();
+
+  /// Releases this context from the calling thread's thread-local slot (a
+  /// no-op if it is not the one bound here). Call before handing the context
+  /// to another thread; destruction of an unbound context is always safe.
+  void unbind();
+
   graph::Graph& graph() { return graph_; }
   const ipu::IpuTarget& target() const { return graph_.target(); }
 

@@ -522,6 +522,18 @@ void Engine::runExecute(ComputeSetId csId) {
                               " confirmed dead by the superstep watchdog"),
         health_->deadTiles());
   }
+  checkCancelled();
+}
+
+void Engine::checkCancelled() {
+  if (!cancel_) return;
+  const char* reason = cancel_(*this);
+  if (reason == nullptr) return;
+  throw CancelledError(
+      detail::concatMessage("solve cancelled after superstep ",
+                            profile_.computeSupersteps, " at cycle ",
+                            simClock_, ": ", reason),
+      reason);
 }
 
 void Engine::runCopy(const Program& program) {
@@ -614,6 +626,7 @@ void Engine::runCopy(const Program& program) {
   }
   simClock_ += stats.cycles;
   if (trace_ != nullptr) traceNewFaultEvents();
+  checkCancelled();
 }
 
 }  // namespace graphene::graph

@@ -6,6 +6,7 @@
 // the slowest tile (BSP), exchange supersteps are priced by the fabric model.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -114,6 +115,18 @@ class Engine {
   /// and writes *to* its stale replicas are harmless.
   void setExcludedTiles(const std::vector<std::size_t>& tiles);
 
+  /// Cooperative cancellation: the check is called after every *committed*
+  /// compute and exchange superstep and returns nullptr to keep running or a
+  /// short reason token ("deadline", "cancelled", ...) to stop. On a
+  /// non-null return run() throws graphene::CancelledError carrying that
+  /// reason — after the superstep has been committed to profile, trace and
+  /// simulated clock, so a deadline overshoot is bounded by one superstep.
+  /// The robustness envelope of the solver service plugs per-job deadlines
+  /// and client cancellation in here. With no check attached the hook is a
+  /// single branch.
+  using CancelCheck = std::function<const char*(const Engine&)>;
+  void setCancelCheck(CancelCheck check) { cancel_ = std::move(check); }
+
   /// Attaches a trace sink (non-owning; nullptr detaches). Every compute
   /// superstep, exchange, sync, injected fault and solver recovery action is
   /// recorded as a timeline event. Pay-for-what-you-use: with no sink
@@ -181,6 +194,9 @@ class Engine {
   };
 
   void runExecute(ComputeSetId cs);
+  /// Throws CancelledError when the attached cancel check requests a stop.
+  /// Called after a superstep is fully committed.
+  void checkCancelled();
   /// Runs one tile's vertices; returns the tile-visible elapsed cycles.
   /// When `workerBusyOut` is non-null it receives the issue slots actually
   /// used across the tile's workers (the busy half of the busy/idle split).
@@ -202,6 +218,7 @@ class Engine {
   ipu::Profile profile_;
   ipu::FaultPlan* faultPlan_ = nullptr;
   ipu::HealthMonitor* health_ = nullptr;
+  CancelCheck cancel_;
   support::TraceSink* trace_ = nullptr;
   support::TileProfile* tileProfile_ = nullptr;
   std::size_t sramTensorsCaptured_ = 0;  // tensor count at last SRAM snapshot

@@ -16,6 +16,7 @@
 #include "ipu/fault.hpp"           // deterministic fault injection
 #include "matrix/generators.hpp"   // model problems (Poisson stencils, ...)
 #include "partition/partition.hpp" // row → tile partitioning
+#include "solver/service.hpp"      // concurrent serving front-end + plan cache
 #include "solver/session.hpp"      // the one-stop SolveSession facade
 #include "solver/solvers.hpp"      // solver suite + JSON factory
 #include "support/trace.hpp"       // execution tracing + metrics

@@ -248,11 +248,7 @@ void DistMatrix::residualExt(Tensor& r, const Tensor& b, const Tensor& x) {
   if (abftEnabled_) emitAbftCheck(r, x, &b);
 }
 
-void DistMatrix::enableAbft(double tolerance) {
-  if (abftEnabled_) return;
-  abftEnabled_ = true;
-  abftTolerance_ = tolerance;
-
+void DistMatrix::recomputeAbftColumnSums() {
   // Per-tile, per-local-column coefficient sums (diagonal included), in the
   // same float32 the device multiplies with so the checksum identity sees
   // the exact coefficients the SpMV sees. Accumulated in double: the
@@ -283,7 +279,15 @@ void DistMatrix::enableAbft(double tolerance) {
   }
   abftOwnedHost_.assign(owned.begin(), owned.end());
   abftHaloHost_.assign(halo.begin(), halo.end());
+}
 
+void DistMatrix::enableAbft(double tolerance) {
+  if (abftEnabled_) return;
+  abftEnabled_ = true;
+  abftTolerance_ = tolerance;
+  recomputeAbftColumnSums();
+
+  const std::size_t nTiles = layout_.numTiles;
   Context& ctx = Context::current();
   abftColOwned_.emplace(DType::Float32, ownedMapping_,
                         ctx.freshName("abft_colsum"));
@@ -358,6 +362,76 @@ void DistMatrix::emitAbftCheck(const Tensor& y, const Tensor& x,
   // guard reads it against the tolerance and writes 0 to re-arm.
   *abftFlag_ = dsl::Max(dsl::Expression(*abftFlag_),
                         abftRel_->reduce(dsl::ReduceKind::Max));
+}
+
+void DistMatrix::updateValues(const matrix::CsrMatrix& a) {
+  GRAPHENE_CHECK(a.rows() == rows(), "updateValues: row count changed (",
+                 a.rows(), " vs ", rows(), ")");
+  auto rowPtr = a.rowPtr();
+  auto colIdx = a.colIdx();
+  auto values = a.values();
+
+  // Re-run the constructor's localisation walk, values only. The entry sort
+  // is by local column (unique per row), so the permutation is identical to
+  // the one the structure was built with — each sorted entry must land on
+  // the same local column, which is exactly the structure-identity check.
+  const std::size_t nTiles = layout_.numTiles;
+  for (std::size_t t = 0; t < nTiles; ++t) {
+    const partition::TileLayout& tl = layout_.tiles[t];
+    TileLocal& local = tileLocal_[t];
+    std::unordered_map<std::size_t, std::int32_t> globalToLocal;
+    globalToLocal.reserve(tl.localToGlobal.size());
+    for (std::size_t i = 0; i < tl.localToGlobal.size(); ++i) {
+      globalToLocal[tl.localToGlobal[i]] = static_cast<std::int32_t>(i);
+    }
+    std::size_t cursor = 0;  // into local.col / local.val
+    for (std::size_t i = 0; i < tl.numOwned; ++i) {
+      const std::size_t g = tl.localToGlobal[i];
+      GRAPHENE_CHECK(
+          rowPtr[g + 1] - rowPtr[g] == local.rowPtr[i + 1] - local.rowPtr[i],
+          "updateValues: sparsity structure changed at row ", g,
+          " — rebuild the DistMatrix instead");
+      std::vector<std::pair<std::int32_t, double>> entries;
+      for (std::size_t k = rowPtr[g]; k < rowPtr[g + 1]; ++k) {
+        auto it = globalToLocal.find(static_cast<std::size_t>(colIdx[k]));
+        GRAPHENE_CHECK(it != globalToLocal.end(),
+                       "updateValues: sparsity structure changed at row ", g,
+                       " — rebuild the DistMatrix instead");
+        entries.emplace_back(it->second, values[k]);
+      }
+      std::sort(entries.begin(), entries.end());
+      for (const auto& [c, v] : entries) {
+        GRAPHENE_CHECK(local.col[cursor] == c,
+                       "updateValues: sparsity structure changed at row ", g,
+                       " — rebuild the DistMatrix instead");
+        local.val[cursor] = v;
+        ++cursor;
+      }
+    }
+  }
+
+  // Refresh the upload() staging from the updated tile-local values (same
+  // diag/off-diag split walk as the constructor; structure arrays keep).
+  diagHost_.clear();
+  valHost_.clear();
+  for (std::size_t t = 0; t < nTiles; ++t) {
+    const TileLocal& local = tileLocal_[t];
+    for (std::size_t i = 0; i < local.numOwned; ++i) {
+      for (std::size_t k = local.rowPtr[i]; k < local.rowPtr[i + 1]; ++k) {
+        if (local.col[k] == static_cast<std::int32_t>(i)) {
+          diagHost_.push_back(static_cast<float>(local.val[k]));
+          GRAPHENE_CHECK(diagHost_.back() != 0.0f,
+                         "modified CRS requires a nonzero diagonal");
+        } else {
+          valHost_.push_back(static_cast<float>(local.val[k]));
+        }
+      }
+    }
+  }
+  GRAPHENE_CHECK(valHost_.size() == colHost_.size(),
+                 "updateValues: staging size mismatch after refresh");
+
+  if (abftEnabled_) recomputeAbftColumnSums();
 }
 
 void DistMatrix::upload(graph::Engine& engine) const {

@@ -89,6 +89,17 @@ class DistMatrix {
   /// Uploads the matrix coefficients (must run before the program).
   void upload(graph::Engine& engine) const;
 
+  /// Replaces the coefficients with those of `a`, which must have the
+  /// *identical* sparsity structure (same rowPtr/colIdx) this DistMatrix was
+  /// built from — any structural difference is a hard error. Refreshes the
+  /// host staging that upload() pushes (ABFT column checksums included), so
+  /// an already-emitted program re-executes against the new values after the
+  /// next upload(). Caveat: factorisation preconditioners ((D)ILU,
+  /// Gauss-Seidel) capture host value arrays at emission time and are NOT
+  /// refreshed — value-only reuse is only sound for solver chains without
+  /// them (the plan cache enforces this).
+  void updateValues(const matrix::CsrMatrix& a);
+
   /// Host→device write of a vector in *global row order* (any dtype).
   void writeVector(graph::Engine& engine, const Tensor& v,
                    std::span<const double> globalValues) const;
@@ -142,6 +153,10 @@ class DistMatrix {
   std::vector<partition::HaloTransfer> perCellPlan_;
 
   std::vector<TileLocal> tileLocal_;
+
+  /// Recomputes abftOwnedHost_/abftHaloHost_ from tileLocal_ (enableAbft
+  /// and updateValues share it).
+  void recomputeAbftColumnSums();
 
   /// Emits the ABFT checksum check for an spmv-shaped emission. For
   /// y = A·x pass rhs == nullptr; for r = b − A·x pass rhs = &b (the

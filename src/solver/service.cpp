@@ -1,0 +1,702 @@
+// SolverService implementation: the worker loop, the retry/degradation
+// ladder, admission control, the circuit breaker and the plan-cache
+// choreography documented in the header.
+#include "solver/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace graphene::solver {
+
+namespace {
+
+/// What a service config key must hold (mirrors the solver-config
+/// validation in config.cpp: unknown keys and wrong types are errors that
+/// name the key and list the valid ones).
+enum class KeyKind { Number, Object, Bool };
+
+const char* toString(KeyKind kind) {
+  switch (kind) {
+    case KeyKind::Number: return "number";
+    case KeyKind::Object: return "object";
+    case KeyKind::Bool: return "boolean";
+  }
+  return "?";
+}
+
+struct KeySpec {
+  const char* key;
+  KeyKind kind;
+};
+
+void validateKeys(const json::Value& config, const std::string& where,
+                  std::initializer_list<KeySpec> allowed) {
+  for (const auto& [key, value] : config.asObject()) {
+    const KeySpec* spec = nullptr;
+    for (const KeySpec& s : allowed) {
+      if (key == s.key) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      std::string valid;
+      for (const KeySpec& s : allowed) {
+        if (!valid.empty()) valid += ", ";
+        valid += s.key;
+      }
+      GRAPHENE_CHECK(false, "unknown key '", key, "' in ", where,
+                     " config (valid keys: ", valid, ")");
+    }
+    const bool ok = spec->kind == KeyKind::Number ? value.isNumber()
+                    : spec->kind == KeyKind::Bool ? value.isBool()
+                                                  : value.isObject();
+    GRAPHENE_CHECK(ok, "key '", key, "' in ", where, " config must be a ",
+                   toString(spec->kind));
+  }
+}
+
+/// Worst-case wall milliseconds the retry ladder can spend sleeping.
+double worstCaseBackoffMs(const RetryPolicy& r) {
+  double total = 0, step = r.backoffBaseMs;
+  for (std::size_t i = 0; i < r.maxRetries; ++i) {
+    total += std::min(step, r.backoffMaxMs) * (1.0 + r.jitter);
+    step *= r.backoffFactor;
+  }
+  return total;
+}
+
+/// Validates every knob by name with its valid range — a bad policy should
+/// fail at construction, not as a wedged queue or an instant-expiring
+/// deadline at serving time.
+void validateOptions(const ServiceOptions& o) {
+  GRAPHENE_CHECK(o.workers >= 1, "service.workers must be >= 1 (got ",
+                 o.workers, ")");
+  GRAPHENE_CHECK(o.tiles >= 1, "service.tiles must be >= 1 (got ", o.tiles,
+                 ")");
+  GRAPHENE_CHECK(o.defaultDeadlineCycles >= 0,
+                 "service.defaultDeadlineCycles must be >= 0 cycles, 0 = no "
+                 "deadline (got ", o.defaultDeadlineCycles, ")");
+  GRAPHENE_CHECK(o.defaultDeadlineSeconds >= 0,
+                 "service.defaultDeadlineSeconds must be >= 0 seconds, 0 = "
+                 "no deadline (got ", o.defaultDeadlineSeconds, ")");
+  GRAPHENE_CHECK(o.retry.backoffFactor >= 1.0,
+                 "service.retry.backoffFactor must be >= 1 (got ",
+                 o.retry.backoffFactor,
+                 "); factors below 1 would shrink the backoff");
+  GRAPHENE_CHECK(o.retry.backoffBaseMs >= 0,
+                 "service.retry.backoffBaseMs must be >= 0 ms (got ",
+                 o.retry.backoffBaseMs, ")");
+  GRAPHENE_CHECK(o.retry.backoffMaxMs >= o.retry.backoffBaseMs,
+                 "service.retry.backoffMaxMs (", o.retry.backoffMaxMs,
+                 ") must be >= service.retry.backoffBaseMs (",
+                 o.retry.backoffBaseMs, ")");
+  GRAPHENE_CHECK(o.retry.jitter >= 0 && o.retry.jitter < 1,
+                 "service.retry.jitter must be in [0, 1) (got ",
+                 o.retry.jitter, ")");
+  GRAPHENE_CHECK(o.admission.maxQueueDepth >= 1,
+                 "service.admission.maxQueueDepth must be >= 1 (got ",
+                 o.admission.maxQueueDepth, ")");
+  GRAPHENE_CHECK(o.admission.headroom > 0 && o.admission.headroom <= 1,
+                 "service.admission.headroom must be in (0, 1] (got ",
+                 o.admission.headroom, ")");
+  GRAPHENE_CHECK(o.breaker.failuresToOpen >= 1,
+                 "service.breaker.failuresToOpen must be >= 1 (got ",
+                 o.breaker.failuresToOpen, ")");
+  GRAPHENE_CHECK(o.breaker.openForJobs >= 1,
+                 "service.breaker.openForJobs must be >= 1 (got ",
+                 o.breaker.openForJobs, ")");
+  GRAPHENE_CHECK(o.degradation.toleranceRelaxFactor >= 1.0,
+                 "service.degradation.toleranceRelaxFactor must be >= 1 "
+                 "(got ", o.degradation.toleranceRelaxFactor, ")");
+  if (o.defaultDeadlineSeconds > 0) {
+    const double worst = worstCaseBackoffMs(o.retry);
+    GRAPHENE_CHECK(
+        worst < o.defaultDeadlineSeconds * 1000.0,
+        "service.retry budget exceeds the deadline: ", o.retry.maxRetries,
+        " retries back off up to ", worst,
+        " ms worst-case, but service.defaultDeadlineSeconds is ",
+        o.defaultDeadlineSeconds,
+        " s — a job would spend its whole deadline sleeping; lower "
+        "retry.maxRetries/backoff or raise the deadline");
+  }
+}
+
+/// A verdict the retry ladder may take another shot at: transient numerical
+/// damage, not a property of the problem.
+bool isRetryable(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::NanDetected:
+    case SolveStatus::CorruptionDetected:
+    case SolveStatus::Breakdown:
+    case SolveStatus::Diverged:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Counts toward the circuit breaker: the job ended in damage, with its
+/// retry budget spent. Deadline/cancel verdicts say nothing about the
+/// matrix and stay neutral.
+bool isBreakerFailure(const JobResult& r) {
+  return r.typedError || isRetryable(r.solve.status);
+}
+
+/// Deterministic jitter fraction in [0, 1) from (jobId, attempt).
+double jitterFraction(std::size_t jobId, std::size_t attempt) {
+  std::uint64_t bits[2] = {static_cast<std::uint64_t>(jobId),
+                           static_cast<std::uint64_t>(attempt)};
+  const std::uint64_t h = fnv1aBytes(bits, sizeof bits);
+  return static_cast<double>(h >> 11) / 9007199254740992.0;  // 2^53
+}
+
+/// The degraded configuration of the final attempt: relaxed tolerances and
+/// (recursively) CG swapped for the more fault-robust BiCGStab.
+void degradeConfigInPlace(json::Value& v, const DegradationPolicy& d) {
+  if (!v.isObject()) return;
+  json::Object& o = v.asObject();
+  auto type = o.find("type");
+  if (d.cgToBicgstab && type != o.end() && type->second.isString() &&
+      type->second.asString() == "cg") {
+    o["type"] = "bicgstab";
+  }
+  auto tol = o.find("tolerance");
+  if (d.toleranceRelaxFactor > 1.0 && tol != o.end() &&
+      tol->second.isNumber() && tol->second.asNumber() > 0) {
+    o["tolerance"] = tol->second.asNumber() * d.toleranceRelaxFactor;
+  }
+  for (const char* nested : {"inner", "preconditioner"}) {
+    auto it = o.find(nested);
+    if (it != o.end()) degradeConfigInPlace(it->second, d);
+  }
+}
+
+}  // namespace
+
+ServiceOptions serviceOptionsFromJson(const json::Value& config) {
+  GRAPHENE_CHECK(config.isObject(), "service config must be a JSON object");
+  validateKeys(config, "service",
+               {{"workers", KeyKind::Number},
+                {"tiles", KeyKind::Number},
+                {"hostThreads", KeyKind::Number},
+                {"planCacheCapacity", KeyKind::Number},
+                {"defaultDeadlineCycles", KeyKind::Number},
+                {"defaultDeadlineSeconds", KeyKind::Number},
+                {"traceCapacity", KeyKind::Number},
+                {"retry", KeyKind::Object},
+                {"admission", KeyKind::Object},
+                {"breaker", KeyKind::Object},
+                {"degradation", KeyKind::Object}});
+  ServiceOptions o;
+  o.workers = static_cast<std::size_t>(
+      config.getOr("workers", static_cast<std::int64_t>(o.workers)));
+  o.tiles = static_cast<std::size_t>(
+      config.getOr("tiles", static_cast<std::int64_t>(o.tiles)));
+  o.hostThreads = static_cast<std::size_t>(
+      config.getOr("hostThreads", static_cast<std::int64_t>(o.hostThreads)));
+  o.planCacheCapacity = static_cast<std::size_t>(config.getOr(
+      "planCacheCapacity", static_cast<std::int64_t>(o.planCacheCapacity)));
+  o.defaultDeadlineCycles =
+      config.getOr("defaultDeadlineCycles", o.defaultDeadlineCycles);
+  o.defaultDeadlineSeconds =
+      config.getOr("defaultDeadlineSeconds", o.defaultDeadlineSeconds);
+  o.traceCapacity = static_cast<std::size_t>(config.getOr(
+      "traceCapacity", static_cast<std::int64_t>(o.traceCapacity)));
+  if (config.contains("retry")) {
+    const json::Value& r = config.at("retry");
+    validateKeys(r, "service.retry",
+                 {{"maxRetries", KeyKind::Number},
+                  {"backoffBaseMs", KeyKind::Number},
+                  {"backoffFactor", KeyKind::Number},
+                  {"backoffMaxMs", KeyKind::Number},
+                  {"jitter", KeyKind::Number}});
+    o.retry.maxRetries = static_cast<std::size_t>(config.at("retry").getOr(
+        "maxRetries", static_cast<std::int64_t>(o.retry.maxRetries)));
+    o.retry.backoffBaseMs = r.getOr("backoffBaseMs", o.retry.backoffBaseMs);
+    o.retry.backoffFactor = r.getOr("backoffFactor", o.retry.backoffFactor);
+    o.retry.backoffMaxMs = r.getOr("backoffMaxMs", o.retry.backoffMaxMs);
+    o.retry.jitter = r.getOr("jitter", o.retry.jitter);
+  }
+  if (config.contains("admission")) {
+    const json::Value& a = config.at("admission");
+    validateKeys(a, "service.admission",
+                 {{"maxQueueDepth", KeyKind::Number},
+                  {"sramPoolBytes", KeyKind::Number},
+                  {"headroom", KeyKind::Number}});
+    o.admission.maxQueueDepth = static_cast<std::size_t>(a.getOr(
+        "maxQueueDepth", static_cast<std::int64_t>(o.admission.maxQueueDepth)));
+    o.admission.sramPoolBytes = static_cast<std::size_t>(a.getOr(
+        "sramPoolBytes", static_cast<std::int64_t>(o.admission.sramPoolBytes)));
+    o.admission.headroom = a.getOr("headroom", o.admission.headroom);
+  }
+  if (config.contains("breaker")) {
+    const json::Value& b = config.at("breaker");
+    validateKeys(b, "service.breaker",
+                 {{"failuresToOpen", KeyKind::Number},
+                  {"openForJobs", KeyKind::Number}});
+    o.breaker.failuresToOpen = static_cast<std::size_t>(b.getOr(
+        "failuresToOpen", static_cast<std::int64_t>(o.breaker.failuresToOpen)));
+    o.breaker.openForJobs = static_cast<std::size_t>(b.getOr(
+        "openForJobs", static_cast<std::int64_t>(o.breaker.openForJobs)));
+  }
+  if (config.contains("degradation")) {
+    const json::Value& d = config.at("degradation");
+    validateKeys(d, "service.degradation",
+                 {{"enabled", KeyKind::Bool},
+                  {"toleranceRelaxFactor", KeyKind::Number},
+                  {"cgToBicgstab", KeyKind::Bool},
+                  {"perCellHalo", KeyKind::Bool}});
+    o.degradation.enabled = d.getOr("enabled", o.degradation.enabled);
+    o.degradation.toleranceRelaxFactor = d.getOr(
+        "toleranceRelaxFactor", o.degradation.toleranceRelaxFactor);
+    o.degradation.cgToBicgstab =
+        d.getOr("cgToBicgstab", o.degradation.cgToBicgstab);
+    o.degradation.perCellHalo =
+        d.getOr("perCellHalo", o.degradation.perCellHalo);
+  }
+  validateOptions(o);
+  return o;
+}
+
+SolverService::SolverService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.planCacheCapacity) {
+  validateOptions(options_);
+  sessionOptions_.tiles = options_.tiles;
+  sessionOptions_.hostThreads = options_.hostThreads;
+  sessionOptions_.traceCapacity = options_.traceCapacity;
+  // Pooled pipelines serve fault-injected jobs too: give each solve a remap
+  // budget that survives a couple of dead tiles instead of the facade's
+  // conservative default of one.
+  sessionOptions_.maxRemaps = std::max<std::size_t>(2, options_.tiles / 8);
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+void SolverService::recordJob(const std::string& name, std::size_t jobId,
+                              const std::string& detail) {
+  std::lock_guard<std::mutex> lock(traceMu_);
+  support::recordJobEvent(&trace_, name, jobId,
+                          static_cast<double>(++traceSeq_), detail);
+}
+
+support::TraceSink SolverService::traceSnapshot() const {
+  std::lock_guard<std::mutex> lock(traceMu_);
+  return trace_;
+}
+
+std::size_t SolverService::estimateSramCharge(const matrix::GeneratedMatrix& m,
+                                              std::uint64_t structureHash) {
+  // Known structure: the real measurement from a built pipeline's
+  // TileMemoryLedger (peak per-tile bytes × tiles, an upper bound on the
+  // machine-wide residency). First contact: raw device storage — float
+  // coefficients + int32 structure per nonzero, a handful of float vectors
+  // per row — as a deliberately rough lower-bound estimate.
+  auto it = knownSramPeak_.find(structureHash);
+  if (it != knownSramPeak_.end()) return it->second;
+  const matrix::CsrMatrix& a = m.matrix;
+  return a.nnz() * (sizeof(float) + sizeof(std::int32_t)) +
+         a.rows() * 12 * sizeof(float);
+}
+
+std::size_t SolverService::submit(const matrix::GeneratedMatrix& m,
+                                  const json::Value& solverConfig,
+                                  std::vector<double> rhs,
+                                  SolveJobOptions jobOptions) {
+  GRAPHENE_CHECK(m.matrix.rows() == rhs.size(), "rhs has ", rhs.size(),
+                 " entries but the matrix has ", m.matrix.rows(), " rows");
+  // Build the solver once up front so a malformed config fails the submit
+  // with the factory's own key-naming error, not a worker thread.
+  (void)makeSolver(solverConfig);
+
+  Job job;
+  job.m = m;
+  job.solverConfig = solverConfig;
+  job.rhs = std::move(rhs);
+  job.jobOptions = std::move(jobOptions);
+  job.acceptedAt = std::chrono::steady_clock::now();
+
+  auto state = std::make_shared<JobState>();
+  std::string rejection;
+  std::size_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GRAPHENE_CHECK(!stopping_, "SolverService::submit() after shutdown()");
+    id = nextJobId_++;
+    job.id = id;
+    jobs_[id] = state;
+    const std::uint64_t structureHash =
+        structureFingerprint(m, sessionOptions_);
+    job.sramCharge = estimateSramCharge(m, structureHash);
+    const auto usable = static_cast<std::size_t>(
+        options_.admission.headroom *
+        static_cast<double>(options_.admission.sramPoolBytes));
+    if (queue_.size() >= options_.admission.maxQueueDepth) {
+      rejection = "queue depth " + std::to_string(queue_.size()) +
+                  " at admission.maxQueueDepth " +
+                  std::to_string(options_.admission.maxQueueDepth);
+    } else if (options_.admission.sramPoolBytes > 0 &&
+               job.sramCharge > usable) {
+      rejection = "SRAM estimate " + std::to_string(job.sramCharge) +
+                  " B exceeds usable pool " + std::to_string(usable) +
+                  " B (admission.sramPoolBytes * headroom)";
+    } else {
+      queue_.push_back(std::move(job));
+    }
+  }
+  if (!rejection.empty()) {
+    metrics_.addCounter("service.jobs.rejected", 1);
+    recordJob("job:rejected", id, rejection);
+    JobResult r;
+    r.jobId = id;
+    r.solve.status = SolveStatus::AdmissionRejected;
+    r.message = rejection;
+    finishJob(state, std::move(r));
+    return id;
+  }
+  metrics_.addCounter("service.jobs.accepted", 1);
+  recordJob("job:accepted", id);
+  queueCv_.notify_one();
+  return id;
+}
+
+JobResult SolverService::wait(std::size_t jobId) {
+  std::shared_ptr<JobState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(jobId);
+    GRAPHENE_CHECK(it != jobs_.end(), "unknown job id ", jobId);
+    state = it->second;
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done; });
+  return state->result;
+}
+
+JobResult SolverService::solve(const matrix::GeneratedMatrix& m,
+                               const json::Value& solverConfig,
+                               std::vector<double> rhs,
+                               SolveJobOptions jobOptions) {
+  return wait(submit(m, solverConfig, std::move(rhs), std::move(jobOptions)));
+}
+
+bool SolverService::cancel(std::size_t jobId) {
+  std::shared_ptr<JobState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(jobId);
+    if (it == jobs_.end()) return false;
+    state = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return false;
+  }
+  state->cancelRequested.store(true, std::memory_order_relaxed);
+  recordJob("job:cancel-requested", jobId);
+  return true;
+}
+
+void SolverService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queueCv_.notify_all();
+  chargeCv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Reclaim the engine pool: every lease has ended (workers are joined), so
+  // this drops all warm pipelines and their engines.
+  cache_.clear();
+}
+
+void SolverService::finishJob(const std::shared_ptr<JobState>& state,
+                              JobResult result) {
+  const std::size_t id = result.jobId;
+  const std::string status =
+      result.typedError ? std::string("typed-error: ") + result.message
+                        : toString(result.solve.status);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->done = true;
+  }
+  state->cv.notify_all();
+  recordJob("job:done", id, status);
+}
+
+void SolverService::workerLoop() {
+  for (;;) {
+    Job job;
+    std::shared_ptr<JobState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queueCv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      state = jobs_.at(job.id);
+    }
+
+    if (state->cancelRequested.load(std::memory_order_relaxed)) {
+      metrics_.addCounter("service.jobs.cancelled", 1);
+      JobResult r;
+      r.jobId = job.id;
+      r.solve.status = SolveStatus::Cancelled;
+      r.message = "cancelled while queued";
+      finishJob(state, std::move(r));
+      continue;
+    }
+
+    // SRAM admission: jobs that fit the pool but not *right now* queue here
+    // until running jobs release their charge. Submit already rejected the
+    // can-never-fit ones, so a lone job always passes.
+    if (options_.admission.sramPoolBytes > 0) {
+      const auto usable = static_cast<std::size_t>(
+          options_.admission.headroom *
+          static_cast<double>(options_.admission.sramPoolBytes));
+      std::unique_lock<std::mutex> lock(mu_);
+      chargeCv_.wait(lock, [&] {
+        return stopping_ || runningCharge_ == 0 ||
+               runningCharge_ + job.sramCharge <= usable;
+      });
+      runningCharge_ += job.sramCharge;
+    }
+
+    JobResult result = runJob(job, state);
+
+    if (options_.admission.sramPoolBytes > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        runningCharge_ -= job.sramCharge;
+      }
+      chargeCv_.notify_all();
+    }
+    finishJob(state, std::move(result));
+  }
+}
+
+JobResult SolverService::runJob(Job& job,
+                                const std::shared_ptr<JobState>& state) {
+  JobResult res;
+  res.jobId = job.id;
+
+  const PlanCache::Key key{structureFingerprint(job.m, sessionOptions_),
+                           configFingerprint(job.solverConfig)};
+  const std::uint64_t valuesHash = valuesFingerprint(job.m.matrix);
+  const bool bakesValues = configBakesValues(job.solverConfig);
+
+  // Circuit breaker: quarantined structures fail fast; the first job after
+  // the quarantine runs as the half-open probe.
+  bool probe = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Breaker& b = breakers_[key.structure];
+    if (b.openRemaining > 0) {
+      b.openRemaining -= 1;
+      if (b.openRemaining == 0) b.halfOpen = true;
+      res.solve.status = SolveStatus::CircuitOpen;
+      res.message = "structure fingerprint quarantined after " +
+                    std::to_string(b.consecutiveFailures) +
+                    " consecutive failures";
+      metrics_.addCounter("service.jobs.rejected", 1);
+      recordJob("job:circuit-open", job.id, res.message);
+      return res;
+    }
+    probe = b.halfOpen;
+  }
+
+  const double deadlineCycles = job.jobOptions.deadlineCycles < 0
+                                    ? options_.defaultDeadlineCycles
+                                    : job.jobOptions.deadlineCycles;
+  const double deadlineSeconds = job.jobOptions.deadlineSeconds < 0
+                                     ? options_.defaultDeadlineSeconds
+                                     : job.jobOptions.deadlineSeconds;
+
+  recordJob("job:start", job.id, probe ? "half-open probe" : "");
+  double cyclesSoFar = 0;
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    const bool lastAttempt = attempt >= options_.retry.maxRetries;
+    const bool degradeThis = lastAttempt && attempt > 0 &&
+                             options_.degradation.enabled;
+    json::Value config = job.solverConfig;
+    SessionOptions sessOpts = sessionOptions_;
+    if (degradeThis) {
+      degradeConfigInPlace(config, options_.degradation);
+      if (options_.degradation.perCellHalo) sessOpts.perCellHalo = true;
+      recordJob("job:degraded", job.id, config.dump());
+    }
+    // Degraded attempts run a one-off configuration, and fault-injected
+    // jobs would leave their plan attached to the pooled pipeline — both
+    // build fresh and are never pooled.
+    const bool useCache = options_.planCacheCapacity > 0 && !degradeThis &&
+                          !job.jobOptions.faultPlan.has_value();
+
+    std::shared_ptr<SolveSession> session;
+    bool fresh = false;
+    bool cacheHit = false;
+    if (useCache) {
+      PlanCache::Lease lease = cache_.acquire(key, valuesHash, !bakesValues);
+      if (lease.session) {
+        session = lease.session;
+        cacheHit = true;
+        metrics_.addCounter("service.plan_cache.hits", 1);
+        session->bind();
+        if (!lease.valuesMatch) session->updateMatrixValues(job.m.matrix);
+      } else {
+        metrics_.addCounter("service.plan_cache.misses", 1);
+      }
+    }
+    if (!session) {
+      session = std::make_shared<SolveSession>(sessOpts);
+      session->load(job.m).configure(config);  // binds on this thread
+      fresh = true;
+    }
+    if (job.jobOptions.faultPlan) {
+      session->withFaultPlan(*job.jobOptions.faultPlan);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      knownSramPeak_[key.structure] =
+          session->sramPeakBytes() * options_.tiles;
+    }
+
+    session->traceSink().setJobId(job.id);
+    const double cyclesBefore = cyclesSoFar;
+    const auto acceptedAt = job.acceptedAt;
+    JobState* st = state.get();
+    session->setCancelCheck(
+        [deadlineCycles, deadlineSeconds, cyclesBefore, acceptedAt,
+         st](double solveCycles) -> const char* {
+          if (st->cancelRequested.load(std::memory_order_relaxed)) {
+            return "cancel-requested";
+          }
+          if (deadlineCycles > 0 &&
+              cyclesBefore + solveCycles >= deadlineCycles) {
+            return "deadline";
+          }
+          if (deadlineSeconds > 0) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - acceptedAt;
+            if (elapsed.count() >= deadlineSeconds) return "deadline";
+          }
+          return nullptr;
+        });
+
+    bool invalidate = false;
+    bool retryable = false;
+    try {
+      SolveSession::Result r = session->solve(job.rhs);
+      cyclesSoFar += r.simCycles;
+      res.solve = r.solve;
+      res.x = std::move(r.x);
+      res.typedError = false;
+      res.message.clear();
+      retryable = isRetryable(r.solve.status);
+      // A solve that blacklisted tiles repartitioned mid-flight: the cached
+      // plan no longer matches the machine it was built for.
+      invalidate = !session->blacklistedTiles().empty();
+    } catch (const CancelledError& ce) {
+      cyclesSoFar += session->engine().simCycles();
+      const bool deadline = std::string(ce.reason()) == "deadline";
+      res.solve = SolveResult{};
+      res.solve.status =
+          deadline ? SolveStatus::DeadlineExceeded : SolveStatus::Cancelled;
+      res.x.clear();
+      res.typedError = false;
+      res.message = ce.what();
+      metrics_.addCounter(deadline ? "service.jobs.deadline_exceeded"
+                                   : "service.jobs.cancelled",
+                          1);
+    } catch (const Error& e) {
+      // Typed failure (e.g. hard-fault recovery budget exhausted). The
+      // pipeline is suspect; retry — if budget remains — on a fresh build.
+      res.solve = SolveResult{};
+      res.x.clear();
+      res.typedError = true;
+      res.message = e.what();
+      invalidate = true;
+      retryable = true;
+    }
+    session->setCancelCheck(nullptr);
+    session->traceSink().setJobId(SIZE_MAX);
+    session->unbind();
+
+    res.attempts = attempt + 1;
+    res.degraded = degradeThis;
+    res.planCacheHit = cacheHit;
+    res.simCycles = cyclesSoFar;
+
+    if (useCache) {
+      if (fresh) cache_.insert(key, valuesHash, session);
+      cache_.release(session.get(), invalidate);
+      if (invalidate) {
+        metrics_.addCounter("service.plan_cache.invalidations", 1);
+      }
+    }
+    session.reset();
+
+    const bool terminal = !retryable || lastAttempt ||
+                          res.solve.status == SolveStatus::DeadlineExceeded ||
+                          res.solve.status == SolveStatus::Cancelled;
+    if (terminal) break;
+
+    metrics_.addCounter("service.jobs.retried", 1);
+    recordJob("job:retry", job.id,
+              res.typedError ? res.message : toString(res.solve.status));
+    double backoff = options_.retry.backoffBaseMs;
+    for (std::size_t i = 0; i < attempt; ++i) {
+      backoff *= options_.retry.backoffFactor;
+    }
+    backoff = std::min(backoff, options_.retry.backoffMaxMs);
+    backoff *= 1.0 + options_.retry.jitter * jitterFraction(job.id, attempt);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff));
+    }
+  }
+
+  if (res.typedError || isRetryable(res.solve.status) ||
+      res.solve.status == SolveStatus::MaxIterations) {
+    metrics_.addCounter("service.jobs.failed", 1);
+  } else if (res.solve.status == SolveStatus::Converged) {
+    metrics_.addCounter("service.jobs.completed", 1);
+  }
+  if (res.degraded) metrics_.addCounter("service.jobs.degraded", 1);
+
+  // Circuit breaker accounting (deadline/cancel verdicts stay neutral).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Breaker& b = breakers_[key.structure];
+    if (isBreakerFailure(res)) {
+      b.consecutiveFailures += 1;
+      b.halfOpen = false;
+      if (b.consecutiveFailures >= options_.breaker.failuresToOpen) {
+        b.openRemaining = options_.breaker.openForJobs;
+        recordJob("job:circuit-opened", job.id,
+                  std::to_string(b.consecutiveFailures) +
+                      " consecutive failures");
+      }
+    } else if (res.solve.status == SolveStatus::Converged ||
+               res.solve.status == SolveStatus::MaxIterations) {
+      b.consecutiveFailures = 0;
+      b.openRemaining = 0;
+      b.halfOpen = false;
+    }
+  }
+  return res;
+}
+
+}  // namespace graphene::solver

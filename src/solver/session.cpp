@@ -19,7 +19,20 @@ namespace graphene::solver {
 
 SolveSession::SolveSession(SessionOptions options)
     : options_(options), trace_(std::max<std::size_t>(options.traceCapacity, 1)) {
-  GRAPHENE_CHECK(options_.tiles > 0, "SessionOptions.tiles must be positive");
+  // Validate eagerly and by name: a bad knob should fail at construction
+  // with the offending key and its valid range, not as a hang or a watchdog
+  // misfire deep inside a later solve.
+  GRAPHENE_CHECK(options_.tiles > 0,
+                 "SessionOptions.tiles must be >= 1 (got ", options_.tiles,
+                 ")");
+  GRAPHENE_CHECK(options_.watchdogCycleBudget > 0,
+                 "SessionOptions.watchdogCycleBudget must be > 0 cycles (got ",
+                 options_.watchdogCycleBudget,
+                 "); it bounds one tile's compute per superstep");
+  GRAPHENE_CHECK(options_.watchdogTrips >= 1,
+                 "SessionOptions.watchdogTrips must be >= 1 (got ",
+                 options_.watchdogTrips,
+                 "); 0 would confirm a dead tile without evidence");
 }
 
 SolveSession::~SolveSession() = default;
@@ -87,6 +100,30 @@ SolveSession& SolveSession::configure(const std::string& solverJsonText) {
   return configure(json::parse(solverJsonText));
 }
 
+SolveSession& SolveSession::updateMatrixValues(const matrix::CsrMatrix& m) {
+  GRAPHENE_CHECK(A_, "SolveSession::updateMatrixValues() before load(): "
+                     "no matrix");
+  A_->updateValues(m);  // validates structure identity, refreshes staging
+  // Keep the host-side copy in step: remap migration and the post-solve
+  // verification both multiply with it.
+  m_.matrix = m;
+  return *this;
+}
+
+void SolveSession::bind() {
+  if (ctx_) ctx_->bind();
+}
+
+void SolveSession::unbind() {
+  if (ctx_) ctx_->unbind();
+}
+
+std::size_t SolveSession::sramPeakBytes() const {
+  GRAPHENE_CHECK(ctx_, "SolveSession::sramPeakBytes() before load(): "
+                       "no graph");
+  return ctx_->graph().ledger().peakUsed();
+}
+
 SolveSession& SolveSession::withFaultPlan(const json::Value& planConfig) {
   // Validate eagerly (errors surface at attach time), but rebuild from JSON
   // for every solve attempt — FaultPlan rules are stateful.
@@ -116,6 +153,9 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
   std::vector<double> x0(rhs.size(), 0.0);
   std::vector<double> shifted(rhs.begin(), rhs.end());
   std::size_t remaps = 0;
+  // Simulated cycles spent by *earlier* attempts of this solve — each fresh
+  // engine starts its clock at 0, but a deadline covers the whole solve.
+  double carriedCycles = 0.0;
 
   for (;;) {
     if (!emitted_) {
@@ -171,6 +211,12 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
     }
     if (options_.traceCapacity > 0) engine_->setTraceSink(&trace_);
     if (tileProfile_) engine_->setTileProfile(tileProfile_.get());
+    if (cancel_) {
+      const double carried = carriedCycles;
+      engine_->setCancelCheck([this, carried](const graph::Engine& e) {
+        return cancel_(carried + e.simCycles());
+      });
+    }
 
     A_->upload(*engine_);
     A_->writeVector(*engine_, *b_, shifted);
@@ -183,6 +229,7 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
       // run can stall forever (e.g. a dead control tile freezes every loop
       // condition), and hanging is the one thing chaos must never do.
       if (remaps >= options_.maxRemaps) throw;
+      carriedCycles += engine_->simCycles();
       // 1. Migrate: pull the solver's best-known iterate (its checkpoint /
       // last-good tensor when it keeps one, else x) out of the dying engine
       // and fold it into x0. Non-finite entries — a dead tile's vertices may
@@ -257,6 +304,7 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
   }
   r.history = solver_->history();
   r.simulatedSeconds = engine_->elapsedSeconds();
+  r.simCycles = carriedCycles + engine_->simCycles();
   r.tileProfile = tileProfile_;
 
   // Safety net against silently-wrong results: with fault injection active,

@@ -26,6 +26,7 @@
 // recovery:remap entries marking the seam.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -109,6 +110,34 @@ class SolveSession {
   /// deterministic: identical plan + seed gives identical fault logs.
   SolveSession& withFaultPlan(const json::Value& planConfig);
 
+  /// Replaces the matrix coefficients, keeping the emitted program: the new
+  /// matrix must have the identical sparsity structure (same rowPtr/colIdx)
+  /// as the loaded one. The next solve() re-uploads the refreshed staging,
+  /// so repeat solves against updated values skip partitioning and program
+  /// emission entirely. NOT sound for chains with factorisation
+  /// preconditioners ((D)ILU, Gauss-Seidel) — their factors were computed
+  /// from the old values at emission time (see DistMatrix::updateValues);
+  /// the plan cache refuses value-only reuse for those chains.
+  SolveSession& updateMatrixValues(const matrix::CsrMatrix& m);
+
+  /// Cooperative cancellation: consulted after every committed superstep of
+  /// every subsequent solve with the total simulated cycles the running
+  /// solve() has accumulated (carried across hard-fault remap attempts).
+  /// Returning a non-null reason stops the solve — the engine finishes the
+  /// current superstep, then throws support::CancelledError carrying the
+  /// reason; overshoot past a deadline is bounded by one superstep. Pass
+  /// nullptr to detach.
+  using CancelCheck = std::function<const char*(double simCycles)>;
+  void setCancelCheck(CancelCheck check) { cancel_ = std::move(check); }
+
+  /// Re-binds / releases the session's thread-local dsl::Context on the
+  /// calling thread. A session built on one thread can be leased by another
+  /// (pooled service workers): bind() before configure()/solve()/
+  /// updateMatrixValues(), unbind() before handing it on. At most one
+  /// context may be bound per thread at a time.
+  void bind();
+  void unbind();
+
   /// Opts every subsequent solve into tile-level profiling: per-tile cycle
   /// attribution per category, the tile×tile traffic matrix and the SRAM
   /// snapshot. A fresh report is collected per solve (accumulating across
@@ -124,6 +153,9 @@ class SolveSession {
     std::vector<double> x;                 // solution, global row order
     std::vector<IterationRecord> history;  // convergence samples
     double simulatedSeconds = 0.0;         // wall clock on the simulated IPU
+    /// Simulated cycles the whole solve took, summed across hard-fault
+    /// remap attempts (simulatedSeconds covers the final attempt only).
+    double simCycles = 0.0;
     /// Tile-level report of this solve; null unless enableTileProfile().
     std::shared_ptr<support::TileProfile> tileProfile;
   };
@@ -135,6 +167,9 @@ class SolveSession {
 
   /// The merged execution timeline of the last solve.
   const support::TraceSink& trace() const { return trace_; }
+  /// Mutable sink access for owners that stamp job ids onto the timeline
+  /// (see TraceSink::setJobId / SolverService).
+  support::TraceSink& traceSink() { return trace_; }
   /// Convenience: the last solve's trace in Chrome trace_event JSON
   /// (load into chrome://tracing or Perfetto).
   json::Value traceChromeJson() const { return support::traceToChromeJson(trace_); }
@@ -152,6 +187,14 @@ class SolveSession {
   DistMatrix& matrix();
   /// Engine of the last solve (valid until the next solve()).
   graph::Engine& engine();
+
+  const SessionOptions& options() const { return options_; }
+  /// The solver JSON this session was configure()d with ({} before).
+  const json::Value& solverConfig() const { return solverConfig_; }
+  bool emitted() const { return emitted_; }
+  /// Largest per-tile SRAM allocation of the built graph, in bytes — what
+  /// admission control charges a warm pipeline against the SRAM pool.
+  std::size_t sramPeakBytes() const;
 
   /// Tiles the watchdog confirmed dead and the remap path excluded from the
   /// partition (ascending). Empty until a hard-fault recovery happened.
@@ -182,6 +225,7 @@ class SolveSession {
   std::optional<ipu::FaultPlan> faultPlan_;
   std::optional<Tensor> x_, b_;
   support::TraceSink trace_;
+  CancelCheck cancel_;
   bool tileProfileEnabled_ = false;
   std::shared_ptr<support::TileProfile> tileProfile_;
   bool emitted_ = false;

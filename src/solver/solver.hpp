@@ -37,6 +37,14 @@ enum class SolveStatus {
   Diverged,       // residual grew past the divergence threshold
   NanDetected,    // NaN/Inf residual survived every restart attempt
   CorruptionDetected,  // ABFT checksum mismatch survived every recovery try
+  // Service-envelope verdicts (SolverService, solver/service.hpp). A solve
+  // that never ran or was stopped by the robustness envelope still ends in
+  // a first-class, testable outcome — the converge-or-fail-typed invariant
+  // extends to serving.
+  DeadlineExceeded,    // job ran past its deadline (stopped at a superstep)
+  Cancelled,           // cooperative cancellation honoured mid-solve
+  AdmissionRejected,   // admission control refused the job (queue/SRAM)
+  CircuitOpen,         // matrix fingerprint quarantined after repeat failures
 };
 
 inline const char* toString(SolveStatus status) {
@@ -49,6 +57,10 @@ inline const char* toString(SolveStatus status) {
     case SolveStatus::Diverged: return "diverged";
     case SolveStatus::NanDetected: return "nan-detected";
     case SolveStatus::CorruptionDetected: return "corruption-detected";
+    case SolveStatus::DeadlineExceeded: return "deadline-exceeded";
+    case SolveStatus::Cancelled: return "cancelled";
+    case SolveStatus::AdmissionRejected: return "admission-rejected";
+    case SolveStatus::CircuitOpen: return "circuit-open";
   }
   return "unknown";
 }

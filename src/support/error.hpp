@@ -37,6 +37,24 @@ class NumericalError : public Error {
   using Error::Error;
 };
 
+/// Thrown by the engine when an attached cooperative-cancellation check
+/// requests a stop (deadline passed, client cancelled, service shutting
+/// down). The superstep that was running is fully committed to profile,
+/// trace and simulated clock before the throw, so the overshoot past a
+/// deadline is bounded by one superstep. `reason()` is the short token the
+/// cancellation check returned ("deadline", "cancelled", ...) — the service
+/// layer maps it onto a typed SolveStatus.
+class CancelledError : public Error {
+ public:
+  CancelledError(std::string message, std::string reason)
+      : Error(std::move(message)), reason_(std::move(reason)) {}
+
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
 namespace detail {
 
 [[noreturn]] void throwCheckFailure(const char* kind, const char* condition,

@@ -18,6 +18,7 @@ const char* toString(TraceKind kind) {
     case TraceKind::Iteration: return "iteration";
     case TraceKind::Fault: return "fault";
     case TraceKind::Recovery: return "recovery";
+    case TraceKind::Job: return "job";
   }
   return "unknown";
 }
@@ -29,35 +30,64 @@ bool TraceEvent::operator==(const TraceEvent& o) const {
          tileMax == o.tileMax && stragglerTile == o.stragglerTile &&
          activeTiles == o.activeTiles && bytes == o.bytes &&
          iteration == o.iteration && residual == o.residual &&
-         detail == o.detail;
+         detail == o.detail && jobId == o.jobId;
+}
+
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& o) {
+  std::lock_guard<std::mutex> lock(o.mu_);
+  counters_ = o.counters_;
+  gauges_ = o.gauges_;
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& o) {
+  if (this == &o) return *this;
+  std::map<std::string, double> counters, gauges;
+  {
+    std::lock_guard<std::mutex> lock(o.mu_);
+    counters = o.counters_;
+    gauges = o.gauges_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = std::move(counters);
+  gauges_ = std::move(gauges);
+  return *this;
 }
 
 void MetricsRegistry::addCounter(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::setGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
 double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& o) {
-  for (const auto& [k, v] : o.counters_) counters_[k] += v;
-  for (const auto& [k, v] : o.gauges_) gauges_[k] = v;
+  // Snapshot the source first: locking both registries at once would
+  // deadlock against a concurrent merge in the opposite direction.
+  const MetricsRegistry src = o.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : src.counters_) counters_[k] += v;
+  for (const auto& [k, v] : src.gauges_) gauges_[k] = v;
   return *this;
 }
 
@@ -93,8 +123,12 @@ void appendPrometheusValue(std::ostream& os, double value) {
 
 }  // namespace
 
-std::string metricsToPrometheusText(const MetricsRegistry& metrics,
+std::string metricsToPrometheusText(const MetricsRegistry& metrics_,
                                     const std::string& prefix) {
+  // Scrape from a consistent locked snapshot: the service ticks the shared
+  // registry from every worker thread while the endpoint renders it, and a
+  // torn read (map rebalancing mid-iteration) must not corrupt the scrape.
+  const MetricsRegistry metrics = metrics_.snapshot();
   const std::string p =
       prefix.empty() ? "" : sanitizePrometheusName(prefix) + "_";
   std::ostringstream os;
@@ -120,6 +154,8 @@ TraceSink::TraceSink(std::size_t capacity)
 }
 
 void TraceSink::record(TraceEvent event) {
+  if (jobId_ != SIZE_MAX && event.jobId == SIZE_MAX) event.jobId = jobId_;
+  if (event.jobId != SIZE_MAX) jobsSeen_.insert(event.jobId);
   switch (event.kind) {
     case TraceKind::ComputeSuperstep: {
       CategorySummary& s = computeSummary_[event.name];
@@ -149,6 +185,9 @@ void TraceSink::record(TraceEvent event) {
       break;
     case TraceKind::Recovery:
       recoveryCount_ += 1;
+      break;
+    case TraceKind::Job:
+      jobEventCount_ += 1;
       break;
   }
   if (ring_.size() < capacity_) {
@@ -185,7 +224,10 @@ void TraceSink::clear() {
   computeSummary_.clear();
   exchangeCycles_ = syncCycles_ = 0;
   exchangeSupersteps_ = exchangedBytes_ = 0;
-  faultCount_ = recoveryCount_ = iterationCount_ = 0;
+  faultCount_ = recoveryCount_ = iterationCount_ = jobEventCount_ = 0;
+  jobsSeen_.clear();
+  // jobId_ survives clear() deliberately: it is the sink's configuration
+  // (who is currently being traced), not recorded state.
 }
 
 double TraceSink::totalComputeCycles() const {
@@ -205,6 +247,19 @@ void recordIteration(TraceSink* sink, const std::string& solver,
   ev.superstep = superstep;
   ev.iteration = iteration;
   ev.residual = residual;
+  sink->record(std::move(ev));
+}
+
+void recordJobEvent(TraceSink* sink, const std::string& name,
+                    std::size_t jobId, double sequence,
+                    const std::string& detail) {
+  if (sink == nullptr) return;
+  TraceEvent ev;
+  ev.kind = TraceKind::Job;
+  ev.name = name;
+  ev.jobId = jobId;
+  ev.startCycle = sequence;
+  ev.detail = detail;
   sink->record(std::move(ev));
 }
 
@@ -238,8 +293,15 @@ std::string rowNameFor(const TraceEvent& ev) {
     case TraceKind::Iteration: return "solver:" + ev.name;
     case TraceKind::Fault:
     case TraceKind::Recovery: return "faults";
+    case TraceKind::Job: return "jobs";
   }
   return "other";
+}
+
+/// Chrome process id for an event: jobs map to distinct pids so interleaved
+/// concurrent solves through one sink render as separate process groups.
+int pidFor(const TraceEvent& ev) {
+  return ev.jobId == SIZE_MAX ? 0 : static_cast<int>(ev.jobId) + 1;
 }
 
 }  // namespace
@@ -249,16 +311,20 @@ json::Value traceToChromeJson(const TraceSink& sink) {
   RowIds rows;
   json::Array traceEvents;
 
+  std::set<int> pids;
   for (const TraceEvent& ev : events) {
     const int tid = rows.idFor(rowNameFor(ev));
+    const int pid = pidFor(ev);
+    pids.insert(pid);
     json::Object e;
     e["name"] = ev.name;
     e["cat"] = std::string(toString(ev.kind));
-    e["pid"] = 0;
+    e["pid"] = pid;
     e["tid"] = tid;
     e["ts"] = ev.startCycle;
     json::Object args;
     args["superstep"] = ev.superstep;
+    if (ev.jobId != SIZE_MAX) args["jobId"] = ev.jobId;
     switch (ev.kind) {
       case TraceKind::ComputeSuperstep:
         e["ph"] = std::string("X");
@@ -285,6 +351,7 @@ json::Value traceToChromeJson(const TraceSink& sink) {
         break;
       case TraceKind::Fault:
       case TraceKind::Recovery:
+      case TraceKind::Job:
         e["ph"] = std::string("i");
         e["s"] = std::string("p");  // instant scope: process-wide
         break;
@@ -300,7 +367,7 @@ json::Value traceToChromeJson(const TraceSink& sink) {
       json::Object c;
       c["name"] = "residual:" + ev.name;
       c["ph"] = std::string("C");
-      c["pid"] = 0;
+      c["pid"] = pid;
       c["ts"] = ev.startCycle;
       json::Object cargs;
       // log10 keeps the counter track readable over 10+ decades.
@@ -310,17 +377,30 @@ json::Value traceToChromeJson(const TraceSink& sink) {
     }
   }
 
-  // Name the rows (thread_name metadata events, the Chrome convention).
-  for (const std::string& rowName : rows.order()) {
-    json::Object m;
-    m["name"] = std::string("thread_name");
-    m["ph"] = std::string("M");
-    m["pid"] = 0;
-    m["tid"] = rows.lookup(rowName);
-    json::Object args;
-    args["name"] = rowName;
-    m["args"] = std::move(args);
-    traceEvents.push_back(json::Value(std::move(m)));
+  // Name the rows and processes (metadata events, the Chrome convention).
+  // Row names repeat per process: each job renders as its own pid group.
+  for (const int pid : pids) {
+    if (pid != 0) {
+      json::Object pm;
+      pm["name"] = std::string("process_name");
+      pm["ph"] = std::string("M");
+      pm["pid"] = pid;
+      json::Object pargs;
+      pargs["name"] = "job " + std::to_string(pid - 1);
+      pm["args"] = std::move(pargs);
+      traceEvents.push_back(json::Value(std::move(pm)));
+    }
+    for (const std::string& rowName : rows.order()) {
+      json::Object m;
+      m["name"] = std::string("thread_name");
+      m["ph"] = std::string("M");
+      m["pid"] = pid;
+      m["tid"] = rows.lookup(rowName);
+      json::Object args;
+      args["name"] = rowName;
+      m["args"] = std::move(args);
+      traceEvents.push_back(json::Value(std::move(m)));
+    }
   }
 
   json::Object root;
@@ -359,6 +439,13 @@ TextTable traceSummaryTable(const TraceSink& sink) {
             "-", "-", "-"});
   t.addRow({"sync", "-", formatSig(sink.syncCycles(), 6),
             pct(sink.syncCycles()), "-", "-", "-"});
+  if (!sink.jobsSeen().empty()) {
+    // The sink merged events from service-dispatched jobs: say how many, so
+    // a reader knows the per-category rows aggregate across solves.
+    t.addRow({"(jobs)", std::to_string(sink.jobEventCount()) + " events",
+              "-", "-", "-", "-",
+              std::to_string(sink.jobsSeen().size()) + " distinct jobs"});
+  }
   if (sink.dropped() > 0) {
     // A wrapped ring must not read as a complete timeline.
     t.addRow({"(dropped)", std::to_string(sink.dropped()) + " events", "-",

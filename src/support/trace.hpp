@@ -33,6 +33,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,7 @@ enum class TraceKind : std::uint8_t {
   Iteration,
   Fault,
   Recovery,
+  Job,  // solve-job lifecycle (accepted/start/retry/done — SolverService)
 };
 
 const char* toString(TraceKind kind);
@@ -60,6 +63,12 @@ struct TraceEvent {
   double startCycle = 0;
   double durationCycles = 0;
   std::size_t superstep = 0;  // compute- or exchange-superstep index
+
+  /// Stable id of the solve job this event belongs to; SIZE_MAX when the
+  /// trace covers a single anonymous solve. Pooled service workers stamp it
+  /// (TraceSink::setJobId) so interleaved concurrent solves merge into an
+  /// unambiguous timeline — exporters group rows by job.
+  std::size_t jobId = SIZE_MAX;
 
   // ComputeSuperstep: per-tile cycle distribution across the active tiles.
   double tileMin = 0;
@@ -83,8 +92,19 @@ struct TraceEvent {
 /// Named counters and gauges that engine, codelets and solvers can tick
 /// (SpMV FLOPs, halo bytes, restart counts). Counters accumulate; gauges
 /// keep their last written value.
+///
+/// Mutations and point reads are thread-safe (internally locked): a solver
+/// service ticks one shared registry from every pooled worker thread while
+/// a metrics endpoint scrapes it. The bulk accessors counters()/gauges()
+/// return references without locking — they are for single-threaded
+/// consumers (profiles, tests); concurrent scrapers take snapshot() or use
+/// metricsToPrometheusText, which snapshots internally.
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry& o);
+  MetricsRegistry& operator=(const MetricsRegistry& o);
+
   void addCounter(const std::string& name, double delta);
   void setGauge(const std::string& name, double value);
 
@@ -95,7 +115,14 @@ class MetricsRegistry {
   const std::map<std::string, double>& counters() const { return counters_; }
   const std::map<std::string, double>& gauges() const { return gauges_; }
 
-  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  /// Consistent locked copy — the safe way to read a registry other threads
+  /// are still writing to.
+  MetricsRegistry snapshot() const { return *this; }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.empty() && gauges_.empty();
+  }
   void clear();
 
   /// Merge for Profile::operator+=: counters add, gauges take the
@@ -103,6 +130,7 @@ class MetricsRegistry {
   MetricsRegistry& operator+=(const MetricsRegistry& o);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, double> counters_;
   std::map<std::string, double> gauges_;
 };
@@ -136,6 +164,14 @@ class TraceSink {
 
   void record(TraceEvent event);
 
+  /// Stamps every subsequently recorded event that carries no job id of its
+  /// own with `id` (SIZE_MAX turns stamping off). A service worker sets this
+  /// when it leases a pooled pipeline for a job, so engine- and solver-level
+  /// events land in the merged timeline attributed to the right job even
+  /// when several jobs interleave through the same sink over time.
+  void setJobId(std::size_t id) { jobId_ = id; }
+  std::size_t jobId() const { return jobId_; }
+
   /// Events still in the ring, oldest first.
   std::vector<TraceEvent> events() const;
 
@@ -159,6 +195,10 @@ class TraceSink {
   std::size_t faultCount() const { return faultCount_; }
   std::size_t recoveryCount() const { return recoveryCount_; }
   std::size_t iterationCount() const { return iterationCount_; }
+  std::size_t jobEventCount() const { return jobEventCount_; }
+  /// Distinct job ids seen across the whole run (exact, survives ring
+  /// wrap). Empty for a single anonymous solve.
+  const std::set<std::size_t>& jobsSeen() const { return jobsSeen_; }
   double totalComputeCycles() const;
   double totalCycles() const {
     return totalComputeCycles() + exchangeCycles_ + syncCycles_;
@@ -167,6 +207,7 @@ class TraceSink {
  private:
   std::size_t capacity_;
   std::size_t recorded_ = 0;
+  std::size_t jobId_ = SIZE_MAX;
   std::vector<TraceEvent> ring_;
 
   std::map<std::string, CategorySummary> computeSummary_;
@@ -177,6 +218,8 @@ class TraceSink {
   std::size_t faultCount_ = 0;
   std::size_t recoveryCount_ = 0;
   std::size_t iterationCount_ = 0;
+  std::size_t jobEventCount_ = 0;
+  std::set<std::size_t> jobsSeen_;
 };
 
 /// Records a solver iteration/refinement sample. No-op on a null sink, so
@@ -184,6 +227,15 @@ class TraceSink {
 void recordIteration(TraceSink* sink, const std::string& solver,
                      std::size_t iteration, double residual, double cycle,
                      std::size_t superstep);
+
+/// Records a solve-job lifecycle event ("job:accepted", "job:start",
+/// "job:retry", "job:done", ...) attributed to `jobId`. `sequence` orders
+/// events on the service's merged timeline (service events have no shared
+/// simulated clock — concurrent engines each run their own). No-op on a
+/// null sink.
+void recordJobEvent(TraceSink* sink, const std::string& name,
+                    std::size_t jobId, double sequence,
+                    const std::string& detail = "");
 
 /// Serialises the sink's timeline as Chrome trace_event JSON (the
 /// "traceEvents" array format understood by chrome://tracing and Perfetto).

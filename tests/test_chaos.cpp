@@ -199,6 +199,145 @@ TEST(Chaos, RemapDecisionsAreHostThreadCountInvariant) {
   EXPECT_EQ(one.remaps, three.remaps);
 }
 
+namespace {
+
+/// The soak job mix, defined in one place so the submitter and the checks
+/// agree. Every fourth job runs clean — and always on the same (matrix,
+/// config) pair, so the clean jobs exercise warm plan-cache leases even in
+/// short soaks; the rest carry seeded random fault plans over a rotating
+/// solver / matrix mix.
+bool soakJobIsClean(std::size_t i) { return i % 4 == 3; }
+
+const matrix::GeneratedMatrix& soakMatrix(std::size_t i,
+                                          const matrix::GeneratedMatrix& m2,
+                                          const matrix::GeneratedMatrix& m3) {
+  if (soakJobIsClean(i)) return m2;
+  return (i % 2 == 0) ? m2 : m3;
+}
+
+std::string soakConfig(std::size_t i) {
+  static const char* solvers[] = {"cg", "bicgstab", "mpir"};
+  return solverConfigFor(soakJobIsClean(i) ? "cg" : solvers[i % 3]);
+}
+
+/// Runs one seeded soak mix through a SolverService: `jobs` concurrent
+/// submissions across CG / BiCGStab / MPIR and 2-D / 3-D matrices, three in
+/// four carrying a seeded random fault plan (hard faults included), all
+/// under a simulated-cycle deadline. Returns the terminal results in
+/// submission order.
+std::vector<solver::JobResult> runServiceSoak(std::size_t jobs,
+                                              std::size_t workers,
+                                              std::size_t hostThreads) {
+  solver::ServiceOptions serviceOpts;
+  serviceOpts.workers = workers;
+  serviceOpts.tiles = 8;
+  serviceOpts.hostThreads = hostThreads;
+  serviceOpts.retry.maxRetries = 1;
+  serviceOpts.retry.backoffBaseMs = 0.0;
+  serviceOpts.retry.backoffMaxMs = 0.0;
+  serviceOpts.retry.jitter = 0.0;
+  // The soak judges per-job verdicts: a breaker tripping on one job's
+  // seeded faults would make its *neighbours'* outcomes depend on
+  // completion order across workers.
+  serviceOpts.breaker.failuresToOpen = 1000000;
+  solver::SolverService service(serviceOpts);
+
+  const matrix::GeneratedMatrix m2 = matrix::poisson2d5(10, 10);
+  const matrix::GeneratedMatrix m3 = matrix::poisson3d7(5, 5, 5);
+
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    solver::SolveJobOptions opts;
+    opts.deadlineCycles = 5e8;  // simulated → deterministic
+    if (!soakJobIsClean(i)) {
+      opts.faultPlan = randomPlan(i, 8, /*allowHard=*/i % 2 == 1);
+    }
+    const matrix::GeneratedMatrix& g = soakMatrix(i, m2, m3);
+    ids.push_back(service.submit(g, json::parse(soakConfig(i)),
+                                 randomRhs(i, g.matrix.rows()),
+                                 std::move(opts)));
+  }
+
+  std::vector<solver::JobResult> results;
+  results.reserve(jobs);
+  for (std::size_t id : ids) results.push_back(service.wait(id));
+
+  // Clean repeat structures leased warm pipelines, and shutdown reclaims
+  // the whole engine pool.
+  EXPECT_GT(service.planCacheStats().hits, 0u);
+  service.shutdown();
+  EXPECT_EQ(service.pooledPipelines(), 0u);
+  return results;
+}
+
+/// Adapts a service JobResult to the chaos invariant (converge-for-real or
+/// fail typed); `g` is the matrix the job solved.
+Outcome outcomeOf(const solver::JobResult& r,
+                  const matrix::GeneratedMatrix& g, std::uint64_t seed) {
+  Outcome o;
+  o.status = r.solve.status;
+  o.typedError = r.typedError;
+  o.errorMessage = r.message;
+  o.x = r.x;
+  if (!r.typedError && r.solve.status == solver::SolveStatus::Converged) {
+    const std::vector<double> rhs = randomRhs(seed, g.matrix.rows());
+    std::vector<double> ax(rhs.size(), 0.0);
+    g.matrix.spmv(r.x, ax);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      const double d = rhs[i] - ax[i];
+      num += d * d;
+      den += rhs[i] * rhs[i];
+    }
+    o.hostRel = std::sqrt(num / std::max(den, 1e-300));
+  }
+  return o;
+}
+
+}  // namespace
+
+// The serving soak: ≥16 concurrent fault-injected jobs through the
+// SolverService — every one must end in a typed verdict (service verdicts
+// included) within its deadline, never a crash, hang or silent drop.
+TEST(Chaos, ServiceSoakEveryJobEndsTyped) {
+  const std::size_t jobs = std::max<std::size_t>(16, campaignCount(16));
+  const matrix::GeneratedMatrix m2 = matrix::poisson2d5(10, 10);
+  const matrix::GeneratedMatrix m3 = matrix::poisson3d7(5, 5, 5);
+
+  const auto results = runServiceSoak(jobs, /*workers=*/4, /*hostThreads=*/0);
+  ASSERT_EQ(results.size(), jobs);
+  std::size_t converged = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const Outcome o = outcomeOf(results[i], soakMatrix(i, m2, m3), i);
+    EXPECT_TRUE(holdsInvariant(o)) << "soak job " << i;
+    // Deadlines were enforced, not just recorded: overshoot is bounded by
+    // one superstep — which can cost the full dead-tile charge (1e9 cycles)
+    // on the hard-fault campaigns, and is small everywhere else.
+    const bool mayHitDeadTile = !soakJobIsClean(i) && i % 2 == 1;
+    EXPECT_LE(results[i].simCycles, 5e8 + (mayHitDeadTile ? 1.2e9 : 2.5e7))
+        << "soak job " << i;
+    if (o.status == solver::SolveStatus::Converged) ++converged;
+  }
+  EXPECT_GE(converged, jobs / 4);  // the soak isn't all wreckage
+}
+
+// Job outcomes are independent of service scheduling: the same soak mix
+// produces bit-identical per-job verdicts and solutions whatever the host
+// thread count — concurrency moves wall time around, never numerics.
+TEST(Chaos, ServiceSoakIsHostThreadCountInvariant) {
+  const std::size_t jobs = 8;
+  const auto one = runServiceSoak(jobs, /*workers=*/2, /*hostThreads=*/1);
+  const auto three = runServiceSoak(jobs, /*workers=*/2, /*hostThreads=*/3);
+  ASSERT_EQ(one.size(), three.size());
+  for (std::size_t i = 0; i < jobs; ++i) {
+    EXPECT_EQ(one[i].typedError, three[i].typedError) << "job " << i;
+    EXPECT_EQ(one[i].solve.status, three[i].solve.status)
+        << "job " << i << ": " << solver::toString(one[i].solve.status)
+        << " vs " << solver::toString(three[i].solve.status);
+    EXPECT_EQ(one[i].x, three[i].x) << "job " << i;
+  }
+}
+
 // Persistently dead SRAM under the SpMV result: every checksum check fails,
 // the restart budget drains, and the verdict is the *typed*
 // CorruptionDetected — not a crash, not a silent wrong answer.

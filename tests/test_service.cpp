@@ -1,0 +1,385 @@
+// SolverService — the robust serving front-end over SolveSession.
+//
+// Covers: the submit → wait flow across worker threads; plan-cache hits
+// with bit-identical solutions vs an uncached solve; value-only matrix
+// updates (and their refusal for factorisation chains); simulated-cycle
+// deadlines that stop a solve deterministically; cooperative cancellation
+// of queued jobs; SRAM + queue-depth admission control; the per-structure
+// circuit breaker incl. the half-open probe; graceful degradation on the
+// final retry; strict ServiceOptions/JSON validation naming the offending
+// key; and the service.* counters in the Prometheus exposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graphene.hpp"
+
+using namespace graphene;
+using namespace graphene::solver;
+
+namespace {
+
+std::string messageOf(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+json::Value cgConfig() {
+  return json::parse(R"({"type": "cg", "tolerance": 1e-6,
+                         "maxIterations": 200})");
+}
+
+/// A fault plan that corrupts the residual on *every* superstep with a
+/// high-exponent bit flip. The corruption outlasts any restart budget, so
+/// CG (and the degraded BiCGStab) end in a NanDetected / Diverged verdict
+/// deterministically.
+json::Value poisonPlan() {
+  return json::parse(R"({"seed": 7, "faults": [
+    {"type": "bitflip", "tensor": "resid", "bit": 30,
+     "probability": 1.0, "count": 100000, "skip": 0}]})");
+}
+
+std::vector<double> ones(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+}  // namespace
+
+TEST(SolverService, SubmitWaitSolvesAcrossWorkers) {
+  SolverService service({.workers = 2, .tiles = 4});
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(service.submit(g, cgConfig(), ones(n)));
+  }
+  for (std::size_t id : ids) {
+    JobResult r = service.wait(id);
+    EXPECT_FALSE(r.typedError) << r.message;
+    EXPECT_EQ(r.solve.status, SolveStatus::Converged);
+    EXPECT_EQ(r.x.size(), n);
+    EXPECT_GT(r.simCycles, 0.0);
+  }
+  // wait() is repeatable: the result is retained.
+  EXPECT_EQ(service.wait(ids[0]).solve.status, SolveStatus::Converged);
+
+  EXPECT_GE(service.metrics().counter("service.jobs.accepted"), 4.0);
+  EXPECT_GE(service.metrics().counter("service.jobs.completed"), 4.0);
+
+  service.shutdown();
+  EXPECT_EQ(service.pooledPipelines(), 0u);  // engine pool reclaimed
+}
+
+TEST(SolverService, PlanCacheHitIsBitIdentical) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  // Uncached reference: plan cache disabled entirely.
+  SolverService cold({.workers = 1, .tiles = 4, .planCacheCapacity = 0});
+  JobResult ref = cold.solve(g, cgConfig(), ones(n));
+  ASSERT_EQ(ref.solve.status, SolveStatus::Converged);
+  EXPECT_FALSE(ref.planCacheHit);
+  EXPECT_EQ(cold.planCacheStats().hits, 0u);
+
+  // Cached service: first solve builds, second leases the warm pipeline.
+  SolverService warm({.workers = 1, .tiles = 4});
+  JobResult first = warm.solve(g, cgConfig(), ones(n));
+  JobResult second = warm.solve(g, cgConfig(), ones(n));
+  EXPECT_FALSE(first.planCacheHit);
+  EXPECT_TRUE(second.planCacheHit);
+  EXPECT_GT(warm.planCacheStats().hits, 0u);
+  EXPECT_EQ(warm.pooledPipelines(), 1u);
+
+  // The warm path re-executes the identical program: bit-identical x, both
+  // against the cold build and against the cache-miss build.
+  EXPECT_EQ(first.x, ref.x);
+  EXPECT_EQ(second.x, ref.x);
+}
+
+TEST(SolverService, ValueOnlyUpdateReusesThePlan) {
+  auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service({.workers = 1, .tiles = 4});
+  ASSERT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::Converged);
+
+  // Same structure, scaled coefficients: the plan is leased and the values
+  // refreshed in place — no rebuild, still the right answer for the *new*
+  // system (x scales by 1/2 for A → 2A).
+  auto scaled = g;
+  {
+    auto vals = scaled.matrix.values();
+    for (double& v : vals) v *= 2.0;
+  }
+  JobResult r = service.solve(scaled, cgConfig(), ones(n));
+  EXPECT_EQ(r.solve.status, SolveStatus::Converged);
+  EXPECT_TRUE(r.planCacheHit);
+
+  std::vector<double> ax(n);
+  scaled.matrix.spmv(r.x, ax);
+  double maxErr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    maxErr = std::max(maxErr, std::abs(ax[i] - 1.0));
+  }
+  EXPECT_LT(maxErr, 1e-3);
+}
+
+TEST(SolverService, FactorisationChainsRefuseValueOnlyReuse) {
+  auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+  const json::Value config = json::parse(R"({
+    "type": "cg", "tolerance": 1e-6, "maxIterations": 200,
+    "preconditioner": {"type": "ilu"}})");
+  ASSERT_TRUE(configBakesValues(config));
+
+  SolverService service({.workers = 1, .tiles = 4});
+  ASSERT_EQ(service.solve(g, config, ones(n)).solve.status,
+            SolveStatus::Converged);
+
+  auto scaled = g;
+  {
+    auto vals = scaled.matrix.values();
+    for (double& v : vals) v *= 2.0;
+  }
+  // ILU baked the old values into its factors at emission: value-only reuse
+  // must miss and build a fresh pipeline — which still solves correctly.
+  const std::size_t missesBefore = service.planCacheStats().misses;
+  JobResult r = service.solve(scaled, config, ones(n));
+  EXPECT_EQ(r.solve.status, SolveStatus::Converged);
+  EXPECT_FALSE(r.planCacheHit);
+  EXPECT_GT(service.planCacheStats().misses, missesBefore);
+
+  std::vector<double> ax(n);
+  scaled.matrix.spmv(r.x, ax);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], 1.0, 1e-3);
+  }
+}
+
+TEST(SolverService, CycleDeadlineStopsTheSolveDeterministically) {
+  const auto g = matrix::poisson2d5(12, 12);
+  const std::size_t n = g.matrix.rows();
+
+  // Full-length reference run to learn the total cost.
+  SolverService service({.workers = 1, .tiles = 4, .planCacheCapacity = 0});
+  JobResult full = service.solve(g, cgConfig(), ones(n));
+  ASSERT_EQ(full.solve.status, SolveStatus::Converged);
+  ASSERT_GT(full.simCycles, 0.0);
+
+  // Half the budget: the solve must stop with DeadlineExceeded before
+  // running to completion — overshoot bounded by one superstep, so well
+  // under the full cost.
+  const double deadline = full.simCycles / 2;
+  JobResult cut = service.solve(g, cgConfig(), ones(n),
+                                {.deadlineCycles = deadline});
+  EXPECT_EQ(cut.solve.status, SolveStatus::DeadlineExceeded);
+  EXPECT_LT(cut.simCycles, full.simCycles);
+  EXPECT_GE(cut.simCycles, deadline);  // it ran *until* the deadline
+
+  // Simulated deadlines are deterministic: the same budget stops at the
+  // same superstep with the same cycle count on every run.
+  JobResult again = service.solve(g, cgConfig(), ones(n),
+                                  {.deadlineCycles = deadline});
+  EXPECT_EQ(again.solve.status, SolveStatus::DeadlineExceeded);
+  EXPECT_EQ(again.simCycles, cut.simCycles);
+
+  EXPECT_GE(service.metrics().counter("service.jobs.deadline_exceeded"), 2.0);
+}
+
+TEST(SolverService, CancelQueuedJob) {
+  const auto g = matrix::poisson2d5(16, 16);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service({.workers = 1, .tiles = 4});
+  // Occupy the lone worker, then cancel the job stuck behind it.
+  const std::size_t running = service.submit(g, cgConfig(), ones(n));
+  const std::size_t queued = service.submit(g, cgConfig(), ones(n));
+  EXPECT_TRUE(service.cancel(queued));
+  EXPECT_FALSE(service.cancel(queued + 100));  // unknown id
+
+  JobResult r = service.wait(queued);
+  EXPECT_EQ(r.solve.status, SolveStatus::Cancelled);
+  EXPECT_EQ(service.wait(running).solve.status, SolveStatus::Converged);
+}
+
+TEST(SolverService, AdmissionRejectsWhatCanNeverFit) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  // A 1-byte SRAM pool: every job's estimate exceeds headroom × pool, so
+  // admission rejects at submit — typed, not queued forever.
+  SolverService service({.workers = 1,
+                         .tiles = 4,
+                         .admission = {.maxQueueDepth = 4, .sramPoolBytes = 1}});
+  JobResult r = service.solve(g, cgConfig(), ones(n));
+  EXPECT_EQ(r.solve.status, SolveStatus::AdmissionRejected);
+  EXPECT_NE(r.message.find("SRAM"), std::string::npos) << r.message;
+  EXPECT_GE(service.metrics().counter("service.jobs.rejected"), 1.0);
+}
+
+TEST(SolverService, RetriesThenDegradesOnPersistentFaults) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service({.workers = 1,
+                         .tiles = 4,
+                         .retry = {.maxRetries = 2, .backoffBaseMs = 0.0,
+                                   .backoffMaxMs = 0.0, .jitter = 0.0}});
+  // The poison plan rides along on every attempt: transient verdicts are
+  // retried, the final attempt runs degraded, the job still fails *typed*.
+  JobResult r = service.solve(g, cgConfig(), ones(n),
+                              {.faultPlan = poisonPlan()});
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_FALSE(r.planCacheHit);  // fault-injected jobs are never pooled
+  EXPECT_TRUE(r.typedError || r.solve.status == SolveStatus::Diverged ||
+              r.solve.status == SolveStatus::NanDetected ||
+              r.solve.status == SolveStatus::Breakdown)
+      << toString(r.solve.status) << " " << r.message;
+  EXPECT_GE(service.metrics().counter("service.jobs.retried"), 2.0);
+  EXPECT_GE(service.metrics().counter("service.jobs.degraded"), 1.0);
+}
+
+TEST(SolverService, CircuitBreakerOpensAndProbesHalfOpen) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service(
+      {.workers = 1,
+       .tiles = 4,
+       .retry = {.maxRetries = 0},
+       .breaker = {.failuresToOpen = 1, .openForJobs = 1},
+       .degradation = {.enabled = false}});
+
+  // 1: fails hard → breaker opens for this structure fingerprint.
+  JobResult fail = service.solve(g, cgConfig(), ones(n),
+                                 {.faultPlan = poisonPlan()});
+  EXPECT_NE(fail.solve.status, SolveStatus::Converged);
+
+  // 2: rejected without running — the circuit is open.
+  JobResult open = service.solve(g, cgConfig(), ones(n));
+  EXPECT_EQ(open.solve.status, SolveStatus::CircuitOpen);
+  EXPECT_EQ(open.attempts, 0u);
+
+  // 3: the half-open probe runs for real; healthy again → circuit closes.
+  JobResult probe = service.solve(g, cgConfig(), ones(n));
+  EXPECT_EQ(probe.solve.status, SolveStatus::Converged);
+
+  // 4: closed: jobs flow normally.
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::Converged);
+}
+
+TEST(SolverService, OptionsValidationNamesTheKeyAndRange) {
+  EXPECT_NE(messageOf([] { SolverService s({.workers = 0}); })
+                .find("service.workers"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] {
+              SolverService s({.retry = {.backoffFactor = 0.5}});
+            }).find("service.retry.backoffFactor"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] { SolverService s({.retry = {.jitter = 1.0}}); })
+                .find("[0, 1)"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] {
+              SolverService s({.admission = {.maxQueueDepth = 0}});
+            }).find("service.admission.maxQueueDepth"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] {
+              SolverService s({.admission = {.headroom = 1.5}});
+            }).find("(0, 1]"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] {
+              SolverService s({.defaultDeadlineCycles = -1});
+            }).find("service.defaultDeadlineCycles"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] {
+              SolverService s({.breaker = {.failuresToOpen = 0}});
+            }).find("service.breaker.failuresToOpen"),
+            std::string::npos);
+  // Cross-field: a retry ladder that sleeps longer than the wall deadline
+  // names both knobs.
+  const std::string msg = messageOf([] {
+    SolverService s({.defaultDeadlineSeconds = 0.001,
+                     .retry = {.maxRetries = 10, .backoffBaseMs = 100.0,
+                               .backoffMaxMs = 100.0}});
+  });
+  EXPECT_NE(msg.find("retry budget exceeds the deadline"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("defaultDeadlineSeconds"), std::string::npos);
+}
+
+TEST(SolverService, JsonOptionsValidationAndRoundTrip) {
+  // Unknown keys name themselves and list the valid ones.
+  EXPECT_NE(messageOf([] {
+              serviceOptionsFromJson(json::parse(R"({"wrokers": 4})"));
+            }).find("wrokers"),
+            std::string::npos);
+  EXPECT_NE(messageOf([] {
+              serviceOptionsFromJson(
+                  json::parse(R"({"retry": {"backof": 1}})"));
+            }).find("service.retry"),
+            std::string::npos);
+  // Wrong JSON type names the key and the expected type.
+  EXPECT_NE(messageOf([] {
+              serviceOptionsFromJson(json::parse(R"({"retry": 3})"));
+            }).find("retry"),
+            std::string::npos);
+  // Range violations flow through the same validation as the struct path.
+  EXPECT_NE(messageOf([] {
+              serviceOptionsFromJson(
+                  json::parse(R"({"retry": {"backoffFactor": 0.25}})"));
+            }).find("backoffFactor"),
+            std::string::npos);
+
+  const ServiceOptions o = serviceOptionsFromJson(json::parse(R"({
+    "workers": 3, "tiles": 16, "planCacheCapacity": 5,
+    "defaultDeadlineCycles": 1e9,
+    "retry": {"maxRetries": 1, "backoffBaseMs": 2.5},
+    "admission": {"maxQueueDepth": 7, "sramPoolBytes": 123456},
+    "breaker": {"failuresToOpen": 2, "openForJobs": 4},
+    "degradation": {"enabled": false}})"));
+  EXPECT_EQ(o.workers, 3u);
+  EXPECT_EQ(o.tiles, 16u);
+  EXPECT_EQ(o.planCacheCapacity, 5u);
+  EXPECT_EQ(o.defaultDeadlineCycles, 1e9);
+  EXPECT_EQ(o.retry.maxRetries, 1u);
+  EXPECT_EQ(o.retry.backoffBaseMs, 2.5);
+  EXPECT_EQ(o.admission.maxQueueDepth, 7u);
+  EXPECT_EQ(o.admission.sramPoolBytes, 123456u);
+  EXPECT_EQ(o.breaker.failuresToOpen, 2u);
+  EXPECT_EQ(o.breaker.openForJobs, 4u);
+  EXPECT_FALSE(o.degradation.enabled);
+}
+
+TEST(SolverService, MetricsAndJobTimelineAreExposed) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service({.workers = 2, .tiles = 4});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+              SolveStatus::Converged);
+  }
+
+  // Prometheus exposition carries the service counters (sanitised names).
+  const std::string text = service.metricsText();
+  EXPECT_NE(text.find("service_jobs_accepted"), std::string::npos) << text;
+  EXPECT_NE(text.find("service_jobs_completed"), std::string::npos);
+  EXPECT_NE(text.find("service_plan_cache_hits"), std::string::npos);
+  EXPECT_NE(text.find("service_plan_cache_misses"), std::string::npos);
+
+  // The job timeline saw every lifecycle event, stamped with stable ids.
+  const support::TraceSink timeline = service.traceSnapshot();
+  EXPECT_GE(timeline.jobEventCount(), 6u);  // accepted + done per job
+  EXPECT_EQ(timeline.jobsSeen().size(), 3u);
+}

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "graph/engine.hpp"
 #include "ipu/fault.hpp"
@@ -347,4 +348,130 @@ TEST(TraceSinkApi, DetachedEngineRecordsNothing) {
 
   // recordIteration on a null sink is a safe no-op.
   support::recordIteration(nullptr, "cg", 1, 0.5, 0.0, 0);
+}
+
+// The registry is a shared mutable service surface: many worker threads
+// tick counters while a metrics endpoint scrapes the Prometheus text. Every
+// tick must land (no lost updates) and every scrape must be a consistent,
+// parseable exposition — never a torn map.
+TEST(Metrics, ConcurrentTicksAndPrometheusScrapes) {
+  support::MetricsRegistry metrics;
+  constexpr int kThreads = 4;
+  constexpr int kTicks = 2000;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&metrics, t] {
+      for (int i = 0; i < kTicks; ++i) {
+        metrics.addCounter("service.jobs.accepted", 1);
+        metrics.addCounter("worker." + std::to_string(t) + ".ticks", 1);
+        metrics.setGauge("service.queue.depth", static_cast<double>(i));
+      }
+    });
+  }
+  // Scrape concurrently with the writers the whole time.
+  std::size_t scrapes = 0;
+  while (scrapes < 50) {
+    const std::string text = support::metricsToPrometheusText(metrics);
+    EXPECT_TRUE(text.empty() || text.back() == '\n');
+    ++scrapes;
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(metrics.counter("service.jobs.accepted"),
+            static_cast<double>(kThreads * kTicks));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(metrics.counter("worker." + std::to_string(t) + ".ticks"),
+              static_cast<double>(kTicks));
+  }
+  // The final exposition carries every family exactly once.
+  const std::string text = support::metricsToPrometheusText(metrics);
+  EXPECT_NE(text.find("graphene_service_jobs_accepted 8000\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE graphene_service_queue_depth gauge"),
+            std::string::npos);
+}
+
+// Job lifecycle events and job-id stamping: recordJobEvent carries the
+// stable id explicitly; setJobId stamps engine/solver events that carry
+// none, so interleaved jobs through one sink stay attributable.
+TEST(TraceJobs, JobEventsAndStamping) {
+  TraceSink sink;
+  support::recordJobEvent(&sink, "job:accepted", 7, 1.0);
+  support::recordJobEvent(&sink, "job:done", 7, 2.0, "converged");
+  support::recordJobEvent(nullptr, "job:noop", 1, 3.0);  // safe no-op
+
+  // A leased-pipeline phase: events recorded while the stamp is set belong
+  // to job 9, even though the emission sites know nothing about jobs.
+  sink.setJobId(9);
+  support::recordIteration(&sink, "cg", 1, 0.5, 100.0, 4);
+  sink.setJobId(SIZE_MAX);
+  support::recordIteration(&sink, "cg", 2, 0.25, 200.0, 5);  // anonymous
+
+  EXPECT_EQ(sink.jobEventCount(), 2u);
+  EXPECT_EQ(sink.jobsSeen(), (std::set<std::size_t>{7, 9}));
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, TraceKind::Job);
+  EXPECT_EQ(events[0].jobId, 7u);
+  EXPECT_EQ(events[1].detail, "converged");
+  EXPECT_EQ(events[2].jobId, 9u);
+  EXPECT_EQ(events[3].jobId, SIZE_MAX);  // un-stamped stays anonymous
+
+  // clear() resets the events and aggregates but keeps the configured
+  // stamp semantics usable; jobsSeen is part of the run state and resets.
+  sink.clear();
+  EXPECT_EQ(sink.jobEventCount(), 0u);
+  EXPECT_TRUE(sink.jobsSeen().empty());
+}
+
+// The Chrome export groups the merged timeline by job: each job becomes its
+// own process (pid = jobId + 1, 0 for anonymous events) with a readable
+// process_name, so concurrent solves render as parallel lanes.
+TEST(TraceJobs, ChromeJsonGroupsByJob) {
+  TraceSink sink;
+  support::recordJobEvent(&sink, "job:start", 3, 1.0);
+  sink.setJobId(3);
+  support::recordIteration(&sink, "cg", 0, 1.0, 10.0, 0);
+  sink.setJobId(12);
+  support::recordIteration(&sink, "bicgstab", 0, 0.9, 10.0, 0);
+  sink.setJobId(SIZE_MAX);
+
+  const json::Value doc = support::traceToChromeJson(sink);
+  const auto& events = doc.at("traceEvents").asArray();
+
+  std::set<double> pids;
+  std::map<double, std::string> processNames;
+  for (const auto& ev : events) {
+    const double pid = ev.at("pid").asNumber();
+    pids.insert(pid);
+    if (ev.at("name").asString() == "process_name") {
+      processNames[pid] =
+          ev.at("args").at("name").asString();
+    }
+  }
+  // Jobs 3 and 12 → pids 4 and 13; nothing anonymous was recorded except
+  // metadata for pid 0 is absent.
+  EXPECT_TRUE(pids.count(4.0));
+  EXPECT_TRUE(pids.count(13.0));
+  EXPECT_EQ(processNames[4.0], "job 3");
+  EXPECT_EQ(processNames[13.0], "job 12");
+
+  // Stamped payload events carry the id in args too.
+  bool sawStampedIteration = false;
+  for (const auto& ev : events) {
+    if (ev.at("name").asString() == "cg" && ev.contains("args") &&
+        ev.at("args").contains("jobId")) {
+      EXPECT_EQ(ev.at("args").at("jobId").asNumber(), 3.0);
+      sawStampedIteration = true;
+    }
+  }
+  EXPECT_TRUE(sawStampedIteration);
+
+  // The summary table reports the job dimension once jobs are present.
+  const std::string rendered = support::traceSummaryTable(sink).render();
+  EXPECT_NE(rendered.find("(jobs)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("2 distinct jobs"), std::string::npos) << rendered;
 }
