@@ -187,6 +187,7 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
                 {"defaultDeadlineCycles", KeyKind::Number},
                 {"defaultDeadlineSeconds", KeyKind::Number},
                 {"traceCapacity", KeyKind::Number},
+                {"maxRetainedResults", KeyKind::Number},
                 {"retry", KeyKind::Object},
                 {"admission", KeyKind::Object},
                 {"breaker", KeyKind::Object},
@@ -206,6 +207,8 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
       config.getOr("defaultDeadlineSeconds", o.defaultDeadlineSeconds);
   o.traceCapacity = static_cast<std::size_t>(config.getOr(
       "traceCapacity", static_cast<std::int64_t>(o.traceCapacity)));
+  o.maxRetainedResults = static_cast<std::size_t>(config.getOr(
+      "maxRetainedResults", static_cast<std::int64_t>(o.maxRetainedResults)));
   if (config.contains("retry")) {
     const json::Value& r = config.at("retry");
     validateKeys(r, "service.retry",
@@ -372,7 +375,14 @@ JobResult SolverService::wait(std::size_t jobId) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = jobs_.find(jobId);
-    GRAPHENE_CHECK(it != jobs_.end(), "unknown job id ", jobId);
+    if (it == jobs_.end()) {
+      GRAPHENE_CHECK(jobId < nextJobId_, "unknown job id ", jobId);
+      GRAPHENE_CHECK(false, "job ", jobId,
+                     " result already released: the service retains the "
+                     "last ", options_.maxRetainedResults,
+                     " terminal results (service.maxRetainedResults) — "
+                     "wait() sooner or raise the retention");
+    }
     state = it->second;
   }
   std::unique_lock<std::mutex> lock(state->mu);
@@ -398,8 +408,11 @@ bool SolverService::cancel(std::size_t jobId) {
   {
     std::lock_guard<std::mutex> lock(state->mu);
     if (state->done) return false;
+    state->cancelRequested.store(true, std::memory_order_relaxed);
   }
-  state->cancelRequested.store(true, std::memory_order_relaxed);
+  // Wake a worker parked in the retry-backoff wait on this job's cv so the
+  // cancel takes effect now, not after the full backoff interval.
+  state->cv.notify_all();
   recordJob("job:cancel-requested", jobId);
   return true;
 }
@@ -434,6 +447,17 @@ void SolverService::finishJob(const std::shared_ptr<JobState>& state,
   }
   state->cv.notify_all();
   recordJob("job:done", id, status);
+  // Bound the job table: release the oldest terminal results beyond the
+  // retention window. Waiters already blocked in wait() hold the JobState
+  // by shared_ptr, so they still receive this result.
+  if (options_.maxRetainedResults > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    doneIds_.push_back(id);
+    while (doneIds_.size() > options_.maxRetainedResults) {
+      jobs_.erase(doneIds_.front());
+      doneIds_.pop_front();
+    }
+  }
 }
 
 void SolverService::workerLoop() {
@@ -474,7 +498,28 @@ void SolverService::workerLoop() {
       runningCharge_ += job.sramCharge;
     }
 
-    JobResult result = runJob(job, state);
+    // Last-resort net for the converge-or-fail-typed invariant: runJob maps
+    // every expected failure itself, but anything that still escapes must
+    // end the job with a typed verdict — an exception leaving this loop
+    // would std::terminate the process and hang every wait()er.
+    JobResult result;
+    try {
+      result = runJob(job, state);
+    } catch (const std::exception& e) {
+      result = JobResult{};
+      result.jobId = job.id;
+      result.typedError = true;
+      result.message = std::string("internal error: ") + e.what();
+      metrics_.addCounter("service.jobs.failed", 1);
+      recordJob("job:internal-error", job.id, result.message);
+    } catch (...) {
+      result = JobResult{};
+      result.jobId = job.id;
+      result.typedError = true;
+      result.message = "internal error: unknown exception";
+      metrics_.addCounter("service.jobs.failed", 1);
+      recordJob("job:internal-error", job.id, result.message);
+    }
 
     if (options_.admission.sramPoolBytes > 0) {
       {
@@ -498,7 +543,9 @@ JobResult SolverService::runJob(Job& job,
   const bool bakesValues = configBakesValues(job.solverConfig);
 
   // Circuit breaker: quarantined structures fail fast; the first job after
-  // the quarantine runs as the half-open probe.
+  // the quarantine runs as the single half-open probe — while its verdict
+  // is pending, further jobs for the structure are rejected too, so exactly
+  // one job at a time tests the water.
   bool probe = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -514,7 +561,18 @@ JobResult SolverService::runJob(Job& job,
       recordJob("job:circuit-open", job.id, res.message);
       return res;
     }
-    probe = b.halfOpen;
+    if (b.halfOpen) {
+      if (b.probeInFlight) {
+        res.solve.status = SolveStatus::CircuitOpen;
+        res.message =
+            "structure fingerprint half-open: probe job in flight";
+        metrics_.addCounter("service.jobs.rejected", 1);
+        recordJob("job:circuit-open", job.id, res.message);
+        return res;
+      }
+      b.probeInFlight = true;
+      probe = true;
+    }
   }
 
   const double deadlineCycles = job.jobOptions.deadlineCycles < 0
@@ -550,22 +608,56 @@ JobResult SolverService::runJob(Job& job,
     if (useCache) {
       PlanCache::Lease lease = cache_.acquire(key, valuesHash, !bakesValues);
       if (lease.session) {
-        session = lease.session;
-        cacheHit = true;
         metrics_.addCounter("service.plan_cache.hits", 1);
-        session->bind();
-        if (!lease.valuesMatch) session->updateMatrixValues(job.m.matrix);
+        try {
+          lease.session->bind();
+          if (!lease.valuesMatch) {
+            lease.session->updateMatrixValues(job.m.matrix);
+          }
+          session = lease.session;
+          cacheHit = true;
+        } catch (const Error& e) {
+          // The value refresh rejected the leased pipeline (e.g. a
+          // structure mismatch behind a fingerprint collision): drop the
+          // entry and fall through to a fresh build for this matrix.
+          try {
+            lease.session->unbind();
+          } catch (...) {
+          }
+          cache_.release(lease.session.get(), /*invalidate=*/true);
+          metrics_.addCounter("service.plan_cache.invalidations", 1);
+          recordJob("job:cache-refresh-failed", job.id, e.what());
+        }
       } else {
         metrics_.addCounter("service.plan_cache.misses", 1);
       }
     }
     if (!session) {
-      session = std::make_shared<SolveSession>(sessOpts);
-      session->load(job.m).configure(config);  // binds on this thread
+      try {
+        session = std::make_shared<SolveSession>(sessOpts);
+        session->load(job.m).configure(config);  // binds on this thread
+        if (job.jobOptions.faultPlan) {
+          session->withFaultPlan(*job.jobOptions.faultPlan);
+        }
+      } catch (const Error& e) {
+        // A pipeline build failure is a deterministic property of the
+        // submitted matrix / plan (e.g. a zero diagonal the modified-CRS
+        // format cannot represent), not transient damage: end the job with
+        // the typed error now instead of retrying a build that cannot
+        // succeed. `session` still owns whatever was partially built; it is
+        // destroyed (and its context unbound) on scope exit, never pooled.
+        res.solve = SolveResult{};
+        res.x.clear();
+        res.typedError = true;
+        res.message = e.what();
+        res.attempts = attempt + 1;
+        res.degraded = degradeThis;
+        res.planCacheHit = false;
+        res.simCycles = cyclesSoFar;
+        recordJob("job:build-failed", job.id, res.message);
+        break;
+      }
       fresh = true;
-    }
-    if (job.jobOptions.faultPlan) {
-      session->withFaultPlan(*job.jobOptions.faultPlan);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -609,7 +701,10 @@ JobResult SolverService::runJob(Job& job,
       // plan no longer matches the machine it was built for.
       invalidate = !session->blacklistedTiles().empty();
     } catch (const CancelledError& ce) {
-      cyclesSoFar += session->engine().simCycles();
+      // lastSolveCycles() includes cycles carried across hard-fault remap
+      // attempts within this solve — engine().simCycles() alone would be
+      // only the final engine's clock.
+      cyclesSoFar += session->lastSolveCycles();
       const bool deadline = std::string(ce.reason()) == "deadline";
       res.solve = SolveResult{};
       res.solve.status =
@@ -623,6 +718,9 @@ JobResult SolverService::runJob(Job& job,
     } catch (const Error& e) {
       // Typed failure (e.g. hard-fault recovery budget exhausted). The
       // pipeline is suspect; retry — if budget remains — on a fresh build.
+      // The failed solve's cycles (all remap attempts included) still count
+      // against the job's cycle deadline.
+      cyclesSoFar += session->lastSolveCycles();
       res.solve = SolveResult{};
       res.x.clear();
       res.typedError = true;
@@ -653,9 +751,6 @@ JobResult SolverService::runJob(Job& job,
                           res.solve.status == SolveStatus::Cancelled;
     if (terminal) break;
 
-    metrics_.addCounter("service.jobs.retried", 1);
-    recordJob("job:retry", job.id,
-              res.typedError ? res.message : toString(res.solve.status));
     double backoff = options_.retry.backoffBaseMs;
     for (std::size_t i = 0; i < attempt; ++i) {
       backoff *= options_.retry.backoffFactor;
@@ -663,9 +758,56 @@ JobResult SolverService::runJob(Job& job,
     backoff = std::min(backoff, options_.retry.backoffMaxMs);
     backoff *= 1.0 + options_.retry.jitter * jitterFraction(job.id, attempt);
     if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          backoff));
+      // Interruptible backoff: cancel() notifies this cv, and the wait is
+      // capped at the remaining wall budget — a job must not sleep past its
+      // deadline or its client's cancel, then pay another pipeline build.
+      auto waitFor = std::chrono::duration<double, std::milli>(backoff);
+      if (deadlineSeconds > 0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - job.acceptedAt;
+        const double remainingMs =
+            (deadlineSeconds - elapsed.count()) * 1000.0;
+        waitFor = std::min(
+            waitFor,
+            std::chrono::duration<double, std::milli>(
+                std::max(0.0, remainingMs)));
+      }
+      std::unique_lock<std::mutex> slock(state->mu);
+      state->cv.wait_for(slock, waitFor, [&] {
+        return state->cancelRequested.load(std::memory_order_relaxed);
+      });
     }
+    if (state->cancelRequested.load(std::memory_order_relaxed)) {
+      res.solve = SolveResult{};
+      res.solve.status = SolveStatus::Cancelled;
+      res.x.clear();
+      res.typedError = false;
+      res.message = "cancelled during retry backoff";
+      metrics_.addCounter("service.jobs.cancelled", 1);
+      break;
+    }
+    const bool cycleBudgetSpent =
+        deadlineCycles > 0 && cyclesSoFar >= deadlineCycles;
+    bool wallBudgetSpent = false;
+    if (deadlineSeconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - job.acceptedAt;
+      wallBudgetSpent = elapsed.count() >= deadlineSeconds;
+    }
+    if (cycleBudgetSpent || wallBudgetSpent) {
+      res.solve = SolveResult{};
+      res.solve.status = SolveStatus::DeadlineExceeded;
+      res.x.clear();
+      res.typedError = false;
+      res.message = cycleBudgetSpent
+                        ? "cycle deadline spent before the next attempt"
+                        : "wall deadline expired during retry backoff";
+      metrics_.addCounter("service.jobs.deadline_exceeded", 1);
+      break;
+    }
+    metrics_.addCounter("service.jobs.retried", 1);
+    recordJob("job:retry", job.id,
+              res.typedError ? res.message : toString(res.solve.status));
   }
 
   if (res.typedError || isRetryable(res.solve.status) ||
@@ -676,18 +818,24 @@ JobResult SolverService::runJob(Job& job,
   }
   if (res.degraded) metrics_.addCounter("service.jobs.degraded", 1);
 
-  // Circuit breaker accounting (deadline/cancel verdicts stay neutral).
+  // Circuit breaker accounting. Deadline/cancel verdicts stay neutral: they
+  // say nothing about the matrix — a neutral probe just hands the half-open
+  // slot to the next job for this structure.
   {
     std::lock_guard<std::mutex> lock(mu_);
     Breaker& b = breakers_[key.structure];
+    if (probe) b.probeInFlight = false;
     if (isBreakerFailure(res)) {
       b.consecutiveFailures += 1;
-      b.halfOpen = false;
-      if (b.consecutiveFailures >= options_.breaker.failuresToOpen) {
+      // A failed probe re-opens the quarantine immediately; outside
+      // half-open the threshold decides.
+      if (probe || b.consecutiveFailures >= options_.breaker.failuresToOpen) {
+        b.halfOpen = false;
         b.openRemaining = options_.breaker.openForJobs;
         recordJob("job:circuit-opened", job.id,
                   std::to_string(b.consecutiveFailures) +
-                      " consecutive failures");
+                      " consecutive failures" +
+                      (probe ? " (half-open probe failed)" : ""));
       }
     } else if (res.solve.status == SolveStatus::Converged ||
                res.solve.status == SolveStatus::MaxIterations) {

@@ -38,8 +38,9 @@
 //     charge frees up. Queue depth is bounded.
 //   * Circuit breaker: per structure fingerprint; after
 //     breaker.failuresToOpen consecutive hard failures the matrix is
-//     quarantined for breaker.openForJobs submissions, then one probe job
-//     is let through (half-open).
+//     quarantined for breaker.openForJobs submissions, then exactly one
+//     probe job is let through (half-open) — others are rejected until the
+//     probe's verdict lands.
 //
 // Observability: service counters (service.jobs.*, service.plan_cache.*)
 // live in a thread-safe MetricsRegistry exported by metricsToPrometheusText;
@@ -99,8 +100,10 @@ struct CircuitBreakerPolicy {
   /// exhausted) of one structure fingerprint before its circuit opens.
   std::size_t failuresToOpen = 3;
   /// Submissions rejected with CircuitOpen while open; the next job after
-  /// that runs as the half-open probe (success closes the circuit, failure
-  /// re-opens it).
+  /// that runs as the single half-open probe (success closes the circuit,
+  /// failure re-opens it for another openForJobs submissions). While the
+  /// probe is in flight, further jobs for the structure are rejected with
+  /// CircuitOpen — exactly one job tests the water at a time.
   std::size_t openForJobs = 8;
 };
 
@@ -136,6 +139,13 @@ struct ServiceOptions {
   /// Ring capacity of each pipeline's TraceSink; 0 disables engine-level
   /// tracing (the service's own job timeline is always on).
   std::size_t traceCapacity = support::TraceSink::kDefaultCapacity;
+  /// Terminal job results retained for wait(): once more than this many
+  /// jobs are terminal, the oldest results (including their solution
+  /// vectors) are released in completion order, bounding the service's
+  /// memory at steady state. wait() on a released id is an error naming
+  /// this knob. 0 = retain everything (a long-running server will grow
+  /// without bound).
+  std::size_t maxRetainedResults = 1024;
   RetryPolicy retry;
   AdmissionPolicy admission;
   CircuitBreakerPolicy breaker;
@@ -148,7 +158,7 @@ struct ServiceOptions {
 /// valid range. Accepted shape (all keys optional):
 ///   {"workers": 4, "tiles": 32, "hostThreads": 0, "planCacheCapacity": 8,
 ///    "defaultDeadlineCycles": 0, "defaultDeadlineSeconds": 0,
-///    "traceCapacity": 65536,
+///    "traceCapacity": 65536, "maxRetainedResults": 1024,
 ///    "retry": {"maxRetries": 2, "backoffBaseMs": 1, "backoffFactor": 2,
 ///              "backoffMaxMs": 20, "jitter": 0.1},
 ///    "admission": {"maxQueueDepth": 64, "sramPoolBytes": 0,
@@ -201,7 +211,10 @@ class SolverService {
                      std::vector<double> rhs, SolveJobOptions jobOptions = {});
 
   /// Blocks until the job is terminal and returns its result. Each job's
-  /// result may be waited on from any thread, any number of times.
+  /// result may be waited on from any thread, any number of times, while it
+  /// is retained — the service keeps the last maxRetainedResults terminal
+  /// results and releases older ones (waiting on a released id is an
+  /// error).
   JobResult wait(std::size_t jobId);
 
   /// submit + wait.
@@ -258,6 +271,7 @@ class SolverService {
     std::size_t consecutiveFailures = 0;
     std::size_t openRemaining = 0;  // submissions still quarantined
     bool halfOpen = false;          // next job runs as the probe
+    bool probeInFlight = false;     // the probe is running: admit no others
   };
 
   void workerLoop();
@@ -282,6 +296,7 @@ class SolverService {
   std::condition_variable chargeCv_;   // workers wait for SRAM charge
   std::deque<Job> queue_;
   std::map<std::size_t, std::shared_ptr<JobState>> jobs_;
+  std::deque<std::size_t> doneIds_;  // terminal jobs in completion order
   std::map<std::uint64_t, Breaker> breakers_;
   std::map<std::uint64_t, std::size_t> knownSramPeak_;  // by structure hash
   std::size_t runningCharge_ = 0;

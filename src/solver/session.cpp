@@ -133,6 +133,7 @@ SolveSession& SolveSession::withFaultPlan(const json::Value& planConfig) {
 }
 
 SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
+  solveCycles_ = 0.0;  // before the checks: lastSolveCycles() covers *this* call
   GRAPHENE_CHECK(A_, "SolveSession::solve() before load(): no matrix");
   GRAPHENE_CHECK(solver_,
                  "SolveSession::solve() before configure(): no solver");
@@ -153,9 +154,11 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
   std::vector<double> x0(rhs.size(), 0.0);
   std::vector<double> shifted(rhs.begin(), rhs.end());
   std::size_t remaps = 0;
-  // Simulated cycles spent by *earlier* attempts of this solve — each fresh
-  // engine starts its clock at 0, but a deadline covers the whole solve.
-  double carriedCycles = 0.0;
+  // solveCycles_ accumulates the simulated cycles of *earlier* attempts of
+  // this solve — each fresh engine starts its clock at 0, but a deadline
+  // covers the whole solve. Kept in a member (lastSolveCycles()) so the
+  // total survives a throwing exit: the catch blocks below fold the final
+  // engine's clock in first.
 
   for (;;) {
     if (!emitted_) {
@@ -212,7 +215,7 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
     if (options_.traceCapacity > 0) engine_->setTraceSink(&trace_);
     if (tileProfile_) engine_->setTileProfile(tileProfile_.get());
     if (cancel_) {
-      const double carried = carriedCycles;
+      const double carried = solveCycles_;
       engine_->setCancelCheck([this, carried](const graph::Engine& e) {
         return cancel_(carried + e.simCycles());
       });
@@ -224,12 +227,12 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
       engine_->run(ctx_->program());
       break;
     } catch (const ipu::HardFaultError& hf) {
+      solveCycles_ += engine_->simCycles();
       // Out of remap budget: surface the typed error instead of attempting
       // a "degraded" run — with freshly dead tiles still in the machine a
       // run can stall forever (e.g. a dead control tile freezes every loop
       // condition), and hanging is the one thing chaos must never do.
       if (remaps >= options_.maxRemaps) throw;
-      carriedCycles += engine_->simCycles();
       // 1. Migrate: pull the solver's best-known iterate (its checkpoint /
       // last-good tensor when it keeps one, else x) out of the dying engine
       // and fold it into x0. Non-finite entries — a dead tile's vertices may
@@ -293,8 +296,15 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
 
       // 3. Rebuild the whole pipeline over the surviving tiles and retry.
       buildPipeline();
+    } catch (const Error&) {
+      // CancelledError and every other engine-level error: charge this
+      // attempt's cycles before surfacing, so lastSolveCycles() reports the
+      // whole solve — including attempts consumed by earlier remaps.
+      solveCycles_ += engine_->simCycles();
+      throw;
     }
   }
+  solveCycles_ += engine_->simCycles();
 
   Result r;
   r.solve = solver_->result();
@@ -304,7 +314,7 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
   }
   r.history = solver_->history();
   r.simulatedSeconds = engine_->elapsedSeconds();
-  r.simCycles = carriedCycles + engine_->simCycles();
+  r.simCycles = solveCycles_;
   r.tileProfile = tileProfile_;
 
   // Safety net against silently-wrong results: with fault injection active,

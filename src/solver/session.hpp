@@ -188,6 +188,13 @@ class SolveSession {
   /// Engine of the last solve (valid until the next solve()).
   graph::Engine& engine();
 
+  /// Simulated cycles accumulated by the most recent solve() call, summed
+  /// across hard-fault remap attempts. Unlike Result::simCycles this is
+  /// also valid after solve() threw (CancelledError, HardFaultError, ...):
+  /// the failing attempt's engine clock is folded in before the throw, so
+  /// deadline baselines never under-count a solve that remapped mid-flight.
+  double lastSolveCycles() const { return solveCycles_; }
+
   const SessionOptions& options() const { return options_; }
   /// The solver JSON this session was configure()d with ({} before).
   const json::Value& solverConfig() const { return solverConfig_; }
@@ -226,6 +233,7 @@ class SolveSession {
   std::optional<Tensor> x_, b_;
   support::TraceSink trace_;
   CancelCheck cancel_;
+  double solveCycles_ = 0.0;  // see lastSolveCycles()
   bool tileProfileEnabled_ = false;
   std::shared_ptr<support::TileProfile> tileProfile_;
   bool emitted_ = false;

@@ -5,14 +5,19 @@
 // updates (and their refusal for factorisation chains); simulated-cycle
 // deadlines that stop a solve deterministically; cooperative cancellation
 // of queued jobs; SRAM + queue-depth admission control; the per-structure
-// circuit breaker incl. the half-open probe; graceful degradation on the
-// final retry; strict ServiceOptions/JSON validation naming the offending
-// key; and the service.* counters in the Prometheus exposition.
+// circuit breaker incl. the single-flight half-open probe and its
+// reopen-on-failure path; graceful degradation on the final retry; typed
+// verdicts for matrices whose pipeline cannot even be built; bounded
+// retention of terminal results; cancel/deadline cutting the retry backoff
+// short; strict ServiceOptions/JSON validation naming the offending key;
+// and the service.* counters in the Prometheus exposition.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graphene.hpp"
@@ -247,6 +252,146 @@ TEST(SolverService, RetriesThenDegradesOnPersistentFaults) {
       << toString(r.solve.status) << " " << r.message;
   EXPECT_GE(service.metrics().counter("service.jobs.retried"), 2.0);
   EXPECT_GE(service.metrics().counter("service.jobs.degraded"), 1.0);
+}
+
+TEST(SolverService, BuildFailureEndsTypedAndServiceStaysLive) {
+  // A matrix the pipeline cannot build (zero diagonal — modified CRS
+  // requires a nonzero one) must end in a typed verdict, not an exception
+  // escaping the worker thread. submit() only pre-validates the solver
+  // config, so the build failure surfaces inside the worker.
+  matrix::GeneratedMatrix bad;
+  bad.name = "zero-diagonal";
+  bad.matrix = matrix::CsrMatrix::fromTriplets(
+      4, 4,
+      {{0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0},
+       {1, 2, -1.0}, {2, 1, -1.0}, {2, 3, -1.0},  // A(2,2) missing
+       {3, 2, -1.0}, {3, 3, 2.0}});
+  ASSERT_FALSE(bad.matrix.hasFullDiagonal());
+
+  SolverService service({.workers = 1, .tiles = 4});
+  JobResult r = service.solve(bad, cgConfig(), ones(4));
+  EXPECT_TRUE(r.typedError);
+  EXPECT_NE(r.message.find("diagonal"), std::string::npos) << r.message;
+  // Deterministic build failures are not retried: the build would fail
+  // identically on every attempt.
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_GE(service.metrics().counter("service.jobs.failed"), 1.0);
+
+  // The worker survived; healthy traffic flows as before.
+  const auto g = matrix::poisson2d5(8, 8);
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(g.matrix.rows())).solve.status,
+            SolveStatus::Converged);
+}
+
+TEST(SolverService, ResultRetentionIsBounded) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service({.workers = 1, .tiles = 4, .maxRetainedResults = 2});
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(service.submit(g, cgConfig(), ones(n)));
+  }
+  // Waiting in submit order is fine: each waiter holds the JobState while
+  // blocked, so the reap never races a result away from under it.
+  for (std::size_t id : ids) {
+    EXPECT_EQ(service.wait(id).solve.status, SolveStatus::Converged);
+  }
+  // The lone worker reaped job 0 while finishing job 2, strictly before it
+  // even started job 3 — so with job 3's result observable, job 0's release
+  // is settled. (Job 1's reap rides on finishing job 3 and may still be in
+  // flight; the retained window {2, 3} is never reaped at all.)
+  const std::string released =
+      messageOf([&] { (void)service.wait(ids[0]); });
+  EXPECT_NE(released.find("already released"), std::string::npos) << released;
+  EXPECT_NE(released.find("maxRetainedResults"), std::string::npos);
+  EXPECT_EQ(service.wait(ids[2]).solve.status, SolveStatus::Converged);
+  EXPECT_EQ(service.wait(ids[3]).solve.status, SolveStatus::Converged);
+  // A never-issued id still reads as unknown, not released.
+  EXPECT_NE(messageOf([&] { (void)service.wait(9999); }).find("unknown"),
+            std::string::npos);
+}
+
+TEST(SolverService, CancelCutsRetryBackoffShort) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  // A minute of backoff between attempts: without the interruptible wait a
+  // cancelled job would sleep it out before noticing.
+  SolverService service({.workers = 1,
+                         .tiles = 4,
+                         .retry = {.maxRetries = 3, .backoffBaseMs = 60000.0,
+                                   .backoffMaxMs = 60000.0, .jitter = 0.0}});
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t id =
+      service.submit(g, cgConfig(), ones(n), {.faultPlan = poisonPlan()});
+  // Land the cancel mid-first-attempt or mid-backoff — both must cut the
+  // job short with a Cancelled verdict.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.cancel(id);
+  JobResult r = service.wait(id);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.solve.status, SolveStatus::Cancelled);
+  EXPECT_LT(elapsed.count(), 30.0);  // nowhere near the 60 s backoff
+}
+
+TEST(SolverService, WallDeadlineCapsRetryBackoff) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service({.workers = 1,
+                         .tiles = 4,
+                         .retry = {.maxRetries = 3, .backoffBaseMs = 60000.0,
+                                   .backoffMaxMs = 60000.0, .jitter = 0.0}});
+  const auto start = std::chrono::steady_clock::now();
+  // The poisoned attempt fails transiently; the wall deadline expires long
+  // before the 60 s backoff would — the job must finish DeadlineExceeded
+  // without sleeping the interval out or starting another attempt.
+  JobResult r = service.solve(g, cgConfig(), ones(n),
+                              {.deadlineSeconds = 1.5,
+                               .faultPlan = poisonPlan()});
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.solve.status, SolveStatus::DeadlineExceeded);
+  EXPECT_LT(elapsed.count(), 30.0);
+}
+
+TEST(SolverService, ProbeFailureReopensTheCircuit) {
+  const auto g = matrix::poisson2d5(8, 8);
+  const std::size_t n = g.matrix.rows();
+
+  SolverService service(
+      {.workers = 1,
+       .tiles = 4,
+       .retry = {.maxRetries = 0},
+       .breaker = {.failuresToOpen = 1, .openForJobs = 2},
+       .degradation = {.enabled = false}});
+
+  // Open the circuit, drain the quarantine window.
+  EXPECT_NE(service.solve(g, cgConfig(), ones(n), {.faultPlan = poisonPlan()})
+                .solve.status,
+            SolveStatus::Converged);
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::CircuitOpen);
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::CircuitOpen);
+
+  // The half-open probe fails → the quarantine re-opens for another full
+  // window before the next probe.
+  EXPECT_NE(service.solve(g, cgConfig(), ones(n), {.faultPlan = poisonPlan()})
+                .solve.status,
+            SolveStatus::Converged);
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::CircuitOpen);
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::CircuitOpen);
+
+  // This probe succeeds → closed, traffic flows.
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::Converged);
+  EXPECT_EQ(service.solve(g, cgConfig(), ones(n)).solve.status,
+            SolveStatus::Converged);
 }
 
 TEST(SolverService, CircuitBreakerOpensAndProbesHalfOpen) {
