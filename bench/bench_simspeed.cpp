@@ -97,7 +97,11 @@ int main(int argc, char** argv) {
 
   bench::BenchMeta meta = bench::parseBenchMeta(argc, argv);
   meta.tiles = configs.front().tiles;
-  meta.hostThreads = 0;  // swept per row
+  // The real host concurrency the ladder ran against. Rows still sweep their
+  // own hostThreads; ones exceeding the core count are marked `saturated`
+  // below so readers (and the perf gate) don't misread an oversubscribed
+  // flat line as a scaling failure.
+  meta.hostThreads = hw;
   bench::BenchReport report("simspeed", meta);
   report.setField("hardwareConcurrency", hw);
 
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
       row["supersteps"] = r.supersteps;
       row["itersPerSec"] = r.itersPerSec;
       row["verticesPerSec"] = r.verticesPerSec;
+      if (threads > hw) row["saturated"] = true;
       report.addResult(std::move(row));
     }
   }

@@ -4,13 +4,25 @@
 #include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+
+// The named span kernels dispatch on runtime aliasing so the hot disjoint
+// case can promise no-alias to the auto-vectorizer (the build keeps
+// -ffp-contract=off, so vectorized lanes stay bit-identical to the scalar
+// walk: elementwise float ops, no FMA contraction, no reassociation).
+#if defined(__GNUC__) || defined(__clang__)
+#define GRAPHENE_RESTRICT __restrict__
+#else
+#define GRAPHENE_RESTRICT
+#endif
 
 #include "ipu/worker_pool.hpp"
 #include "support/error.hpp"
@@ -234,12 +246,21 @@ struct LoopOp {
     IConst, IMov, ILoad,
     IAdd, ISub, IMul, IMin, IMax,
     INeg, IAbs, IFromFloat,
+    // Parallel-row kernels only: a nested counted unit-step loop.
+    // LBegin: dst = induction reg, a = begin reg, b = end reg, arg = loop
+    // ordinal (trip-count slot), iimm = pc of the matching LEnd.
+    // LEnd: a = induction reg, iimm = pc of the matching LBegin.
+    LBegin, LEnd,
   };
   K k{};
   std::int16_t dst = -1, a = -1, b = -1;
   std::int16_t arg = -1;
   float fimm = 0;
   std::int32_t iimm = 0;
+  // Load/store index register proven equal to the induction value at this op
+  // (analyzeBlockable dataflow): the blocked VM may use a contiguous,
+  // pre-bounds-checked span access for it.
+  bool ew = false;
 };
 
 /// Recognised whole-loop span kernels (all Float32, unit step): the shapes
@@ -259,9 +280,31 @@ struct NamedLoop {
   bool dotSingle = false; // acc += a[i] instead of acc += a[i]*b[i]
 };
 
+/// Recognised whole-row parallel kernel: the two-run CSR SpMV row shape
+/// DistMatrix::spmv traces (owned-column run, then halo run):
+///   acc = d[r] * x[r]
+///   for k in [rp[r], sp[r]):    acc = acc + a[k] * x[c[k]]
+///   for k in [sp[r], rp[r+1]):  acc = acc + a[k] * h[c[k] - owned]
+///   y[r] = acc
+/// Rows run as a native scalar loop (same float ops in the same order, so
+/// bit-identical); the last row still runs through the register VM so the
+/// kernel's var write-backs stay exact.
+struct CsrRow {
+  bool valid = false;
+  std::int16_t yArg = -1, dArg = -1, xArg = -1, aArg = -1, hArg = -1;
+  std::int16_t cArg = -1, rpArg = -1, spArg = -1;
+  std::int32_t ownedVar = -1;  // outer var holding the owned-row count
+};
+
 struct LoopKernel {
   static constexpr std::size_t kMaxRegs = 64;
   static constexpr std::size_t kMaxArgs = 16;
+  static constexpr std::size_t kMaxNested = 8;
+
+  /// One straight-line charge block (lanes totalled as max(fp,mem)+ctrl).
+  struct Seg {
+    double fp = 0, mem = 0, ctrl = 0;
+  };
 
   std::vector<LoopOp> ops;
   // Once-per-entry register seeds.
@@ -279,7 +322,154 @@ struct LoopKernel {
   // Per-iteration lane charges (priced at compile time).
   double iterFp = 0, iterMem = 0, iterCtrl = 0;
   NamedLoop named;
+  // Parallel (ParFor) row kernels: the whole row body is one register
+  // program with nested counted loops encoded as LBegin/LEnd jumps. The
+  // generic walk flushes its lane block at every nested loop-entry branch, so
+  // a row costs Σ_k max(fp_k, mem_k) + ctrl_k over L+1 blocks — block k
+  // holding segs[k] plus trips[k-1] iterations of nested[k-1] — plus one
+  // branch per nested loop. Every priced constant is an integral double, so
+  // the polynomial equals the walk's per-op accumulation exactly.
+  bool isPar = false;
+  std::vector<Seg> segs;    // L+1 straight-line blocks
+  std::vector<Seg> nested;  // per-iteration lanes of each nested loop
+  double branchCost = 0;
+  CsrRow csr;
+  // Block-vectorizable kernels (serial loops and flat ParFor rows): no
+  // register is loop-carried (read before its first write while also
+  // written), so elements are independent
+  // and can run in lanes of kBlock with each op applied lane-wise — the same
+  // scalar operations in the same per-element order, hence bit-identical.
+  // Aliasing between stored and loaded spans is re-checked at run time
+  // (blockedAliasOk); args flagged elementwiseOnly are only ever indexed by
+  // the induction variable.
+  static constexpr std::int32_t kBlock = 16;
+  struct ArgUse {
+    std::int16_t arg = -1;
+    bool elementwiseOnly = true;   // every access at the element's own index
+    bool anyElementwise = false;   // at least one such access (needs bounds
+                                   // pre-check: ew ops skip per-lane checks)
+  };
+  bool blockable = false;
+  std::vector<ArgUse> loadFloat, storeFloat, loadInt;
 };
+
+/// Decides whether a serial kernel can run block-vectorized and classifies
+/// its float-arg accesses (see LoopKernel::blockable). The induction register
+/// (int 0) is reset by the driver every element and is exempt.
+void analyzeBlockable(LoopKernel& k) {
+  k.blockable = false;
+  constexpr std::size_t R = LoopKernel::kMaxRegs;
+  std::array<bool, R> fWritten{}, iWritten{};
+  std::array<bool, R> fCarried{}, iCarried{};
+  std::array<bool, R> fReadEarly{}, iReadEarly{};
+  auto readF = [&](std::int16_t r) {
+    if (r >= 0 && !fWritten[static_cast<std::size_t>(r)])
+      fReadEarly[static_cast<std::size_t>(r)] = true;
+  };
+  auto readI = [&](std::int16_t r) {
+    if (r > 0 && !iWritten[static_cast<std::size_t>(r)])
+      iReadEarly[static_cast<std::size_t>(r)] = true;
+  };
+  auto writeF = [&](std::int16_t r) {
+    if (r >= 0) fWritten[static_cast<std::size_t>(r)] = true;
+  };
+  bool ivWritten = false;
+  auto writeI = [&](std::int16_t r) {
+    if (r > 0) iWritten[static_cast<std::size_t>(r)] = true;
+    if (r == 0) ivWritten = true;  // induction reg must stay driver-owned
+  };
+  // Forward dataflow over the straight-line body: which int registers hold
+  // exactly the induction value right now. The DSL traces body-local Value
+  // copies as IMov chains off reg 0, so indices are rarely reg 0 itself.
+  std::array<bool, R> isIv{};
+  isIv[0] = true;
+  std::unordered_map<std::int16_t, LoopKernel::ArgUse> loads, stores,
+      intLoads;
+  auto access = [&](std::unordered_map<std::int16_t, LoopKernel::ArgUse>& m,
+                    std::int16_t arg, bool elementwise) {
+    LoopKernel::ArgUse& u = m[arg];
+    u.arg = arg;
+    if (elementwise) {
+      u.anyElementwise = true;
+    } else {
+      u.elementwiseOnly = false;
+    }
+  };
+  using K = LoopOp::K;
+  for (LoopOp& op : k.ops) {
+    switch (op.k) {
+      case K::FConst: writeF(op.dst); break;
+      case K::FMov: case K::FNeg: case K::FAbs: case K::FSqrt:
+        readF(op.a); writeF(op.dst); break;
+      case K::FLoad:
+        readI(op.a); writeF(op.dst);
+        op.ew = isIv[static_cast<std::size_t>(op.a)];
+        access(loads, op.arg, op.ew);
+        break;
+      case K::FStore:
+        readI(op.a); readF(op.b);
+        op.ew = isIv[static_cast<std::size_t>(op.a)];
+        access(stores, op.arg, op.ew);
+        break;
+      case K::FAdd: case K::FSub: case K::FMul: case K::FDiv:
+      case K::FMin: case K::FMax:
+        readF(op.a); readF(op.b); writeF(op.dst); break;
+      case K::FFromInt: readI(op.a); writeF(op.dst); break;
+      case K::IConst:
+        writeI(op.dst);
+        if (op.dst > 0) isIv[static_cast<std::size_t>(op.dst)] = false;
+        break;
+      case K::IMov:
+        readI(op.a); writeI(op.dst);
+        if (op.dst > 0) {
+          isIv[static_cast<std::size_t>(op.dst)] =
+              isIv[static_cast<std::size_t>(op.a)];
+        }
+        break;
+      case K::INeg: case K::IAbs:
+        readI(op.a); writeI(op.dst);
+        if (op.dst > 0) isIv[static_cast<std::size_t>(op.dst)] = false;
+        break;
+      case K::ILoad:
+        readI(op.a); writeI(op.dst);
+        op.ew = isIv[static_cast<std::size_t>(op.a)];
+        access(intLoads, op.arg, op.ew);
+        if (op.dst > 0) isIv[static_cast<std::size_t>(op.dst)] = false;
+        break;
+      case K::IAdd: case K::ISub: case K::IMul: case K::IMin: case K::IMax:
+        readI(op.a); readI(op.b); writeI(op.dst);
+        if (op.dst > 0) isIv[static_cast<std::size_t>(op.dst)] = false;
+        break;
+      case K::IFromFloat:
+        readF(op.a); writeI(op.dst);
+        if (op.dst > 0) isIv[static_cast<std::size_t>(op.dst)] = false;
+        break;
+      case K::LBegin: case K::LEnd:
+        return;  // nested loops: parallel kernels only, never blockable
+    }
+  }
+  if (ivWritten) return;
+  for (std::size_t r = 0; r < R; ++r) {
+    if ((fReadEarly[r] && fWritten[r]) || (iReadEarly[r] && iWritten[r])) {
+      return;  // loop-carried register
+    }
+  }
+  // Stores must be at the element's own index: lane j of a blocked store
+  // then touches exactly the index element iv+j touches in the scalar walk,
+  // so write order per address is preserved. A scattered store could let two
+  // ops' lanes collide in a different order than the scalar schedule.
+  for (const auto& [arg, su] : stores) {
+    if (!su.elementwiseOnly) return;
+    auto lit = loads.find(arg);
+    if (lit == loads.end()) continue;
+    // Same span loaded and stored: each lane may only see its own element.
+    if (!lit->second.elementwiseOnly) return;
+  }
+  for (const auto& [arg, u] : loads) k.loadFloat.push_back(u);
+  for (const auto& [arg, u] : stores) k.storeFloat.push_back(u);
+  for (const auto& [arg, u] : intLoads) k.loadInt.push_back(u);
+  k.blockable = true;
+}
 
 /// Compiles one For statement's body into a LoopKernel, or nothing if the
 /// body leaves the supported subset (nested control flow, bools, comparisons,
@@ -296,6 +486,7 @@ class LoopCompiler {
     k_ = LoopKernel{};
     iter_ = ipu::LaneCycles{};
     homes_.clear();
+    constInts_.clear();
     loopVar_ = fs.var;
     // Int register 0 is the induction variable.
     k_.numIntRegs = 1;
@@ -310,6 +501,55 @@ class LoopCompiler {
     k_.iterMem = iter_.mem();
     k_.iterCtrl = iter_.ctrl();
     matchNamed(forId);
+    analyzeBlockable(k_);
+    return std::move(k_);
+  }
+
+  /// Compiles a whole ParFor row body — straight-line code plus single-level
+  /// counted unit-step For loops — into one parallel kernel. Bailing is never
+  /// an error: the generic worker-pool walk runs the loop instead.
+  std::optional<LoopKernel> compilePar(std::int32_t parForId) {
+    const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(parForId)];
+    if (fs.var < 0 || fs.body < 0) return std::nullopt;
+    k_ = LoopKernel{};
+    iter_ = ipu::LaneCycles{};
+    homes_.clear();
+    constInts_.clear();
+    retired_.clear();
+    nestedVars_.clear();
+    segLanes_.assign(1, ipu::LaneCycles{});
+    nestedLanes_.clear();
+    loopVar_ = fs.var;
+    parMode_ = true;
+    inNested_ = false;
+    k_.isPar = true;
+    k_.numIntRegs = 1;  // int register 0 is the row index
+    bool ok = true;
+    try {
+      for (std::int32_t sid : flat_.lists[static_cast<std::size_t>(fs.body)]) {
+        compileStmt(flat_.stmts[static_cast<std::size_t>(sid)]);
+      }
+    } catch (const Bail&) {
+      ok = false;
+    }
+    parMode_ = false;
+    inNested_ = false;
+    if (!ok) return std::nullopt;
+    // Nested induction variables do not survive the kernel: nothing outside
+    // the row body may read them.
+    const std::unordered_set<int> outside = varsReadOutside(parForId);
+    for (int v : nestedVars_) {
+      if (outside.count(v) != 0) return std::nullopt;
+    }
+    for (const ipu::LaneCycles& l : segLanes_) {
+      k_.segs.push_back({l.fp(), l.mem(), l.ctrl()});
+    }
+    for (const ipu::LaneCycles& l : nestedLanes_) {
+      k_.nested.push_back({l.fp(), l.mem(), l.ctrl()});
+    }
+    k_.branchCost = cost_.workerCycles(ipu::Op::Branch, DType::Int32);
+    if (k_.nested.size() == 2) matchCsrRow(parForId);
+    analyzeBlockable(k_);
     return std::move(k_);
   }
 
@@ -323,6 +563,10 @@ class LoopCompiler {
     std::int16_t reg;
     bool isFloat;
     bool assigned = false;
+    // Nested-loop ordinal whose body created this home via an Assign, or -1.
+    // A var first defined inside a loop that may run zero iterations has no
+    // defined value outside that loop, so reads elsewhere must bail.
+    std::int16_t definedLoop = -1;
   };
 
   [[noreturn]] static void bail() { throw Bail{}; }
@@ -347,7 +591,14 @@ class LoopCompiler {
     k_.ops.push_back(op);
   }
 
-  void chargeIter(ipu::Op op, DType t) { iter_.add(cost_, op, t); }
+  void chargeIter(ipu::Op op, DType t) {
+    if (parMode_) {
+      (inNested_ ? nestedLanes_[curNested_] : segLanes_.back())
+          .add(cost_, op, t);
+    } else {
+      iter_.add(cost_, op, t);
+    }
+  }
 
   std::int16_t guardArg(std::int32_t arg, bool isFloat) {
     if (arg < 0 || arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs)) bail();
@@ -397,9 +648,23 @@ class LoopCompiler {
         bail();
       }
       case Expr::Kind::Var: {
+        if (parMode_) {
+          if (inNested_ && e.var == nestedVar_) return {nestedIvReg_, false};
+          if (retired_.count(e.var) != 0) bail();
+        }
         if (e.var == loopVar_) return {0, false};
         auto it = homes_.find(e.var);
-        if (it != homes_.end()) return {it->second.reg, it->second.isFloat};
+        if (it != homes_.end()) {
+          // A home first defined inside a nested loop only holds a value
+          // while that loop's body runs (the loop may zero-trip).
+          const Home& h = it->second;
+          if (h.definedLoop >= 0 &&
+              (!inNested_ ||
+               static_cast<std::size_t>(h.definedLoop) != curNested_)) {
+            bail();
+          }
+          return {h.reg, h.isFloat};
+        }
         // First touch is a read: the var is loop-carried or loop-invariant;
         // seed its home register from the interpreter's var slot on entry.
         bool isFloat;
@@ -523,11 +788,19 @@ class LoopCompiler {
     switch (s.kind) {
       case Stmt::Kind::Assign: {
         if (s.var == loopVar_) bail();  // rewriting the induction variable
+        if (parMode_ && (retired_.count(s.var) != 0 ||
+                         (inNested_ && s.var == nestedVar_))) {
+          bail();
+        }
         const Val v = compileExpr(s.value);
         auto it = homes_.find(s.var);
         if (it == homes_.end()) {
           const std::int16_t reg = v.isFloat ? newFloat() : newInt();
-          it = homes_.emplace(s.var, Home{reg, v.isFloat, false}).first;
+          Home h{reg, v.isFloat, false};
+          if (parMode_ && inNested_) {
+            h.definedLoop = static_cast<std::int16_t>(curNested_);
+          }
+          it = homes_.emplace(s.var, h).first;
         }
         Home& h = it->second;
         if (h.isFloat != v.isFloat) bail();  // var changes type across loop
@@ -535,6 +808,17 @@ class LoopCompiler {
         if (!h.assigned) {
           h.assigned = true;
           (h.isFloat ? k_.writeFloat : k_.writeInt).emplace_back(s.var, h.reg);
+        }
+        // Literal ints trace as var assignments (Value(int) declares a var),
+        // so nested-loop step resolution needs the var → constant map. An
+        // assignment inside a nested loop is conditional (the loop may run
+        // zero iterations), so it only ever invalidates.
+        const FlatExpr& ve = flat_.exprs[static_cast<std::size_t>(s.value)];
+        if (!inNested_ && ve.kind == Expr::Kind::Const &&
+            ve.constant.type() == DType::Int32) {
+          constInts_[s.var] = ve.constant.asInt();
+        } else {
+          constInts_.erase(s.var);
         }
         return;
       }
@@ -548,13 +832,75 @@ class LoopCompiler {
         emit(LoopOp::K::FStore, -1, idx, val, arg);
         return;
       }
+      case Stmt::Kind::For: {
+        // A parallel row body may contain one level of serial counted loops;
+        // everywhere else nested control flow stays on the generic walk.
+        if (!parMode_ || inNested_) bail();
+        compileNestedFor(s);
+        return;
+      }
       case Stmt::Kind::If:
       case Stmt::Kind::While:
-      case Stmt::Kind::For:
       case Stmt::Kind::ParFor:
         bail();  // nested control flow stays on the generic walk
     }
     GRAPHENE_UNREACHABLE("bad stmt kind");
+  }
+
+  /// Lowers a serial unit-step For inside a ParFor row. The header's bound
+  /// evaluation and setup charges land in the current segment — exactly where
+  /// the generic walk accumulates them before its loop-entry branch flush —
+  /// then the body's per-iteration charges open a fresh lane block.
+  void compileNestedFor(const FlatStmt& s) {
+    if (s.var < 0 || s.body < 0) bail();
+    if (s.var == loopVar_ || homes_.count(s.var) != 0 ||
+        retired_.count(s.var) != 0) {
+      bail();
+    }
+    if (s.step >= 0) {
+      // The step may be a literal Const or a read of a var holding a known
+      // integer constant (DSL int literals trace as var assignments).
+      const FlatExpr& st = flat_.exprs[static_cast<std::size_t>(s.step)];
+      std::int32_t stepVal = 0;
+      if (st.kind == Expr::Kind::Const && st.constant.type() == DType::Int32) {
+        stepVal = st.constant.asInt();
+      } else if (st.kind == Expr::Kind::Var) {
+        auto cit = constInts_.find(st.var);
+        if (cit == constInts_.end()) bail();
+        stepVal = cit->second;
+      } else {
+        bail();
+      }
+      if (stepVal != 1) bail();
+    }
+    if (nestedLanes_.size() >= LoopKernel::kMaxNested) bail();
+    const std::int16_t beginReg = toInt(compileExpr(s.begin));
+    const std::int16_t endReg = toInt(compileExpr(s.end));
+    chargeIter(ipu::Op::IntArith, DType::Int32);  // loop setup, pre-branch
+    const auto loopIdx = static_cast<std::int16_t>(nestedLanes_.size());
+    nestedLanes_.emplace_back();
+    const std::int16_t iv = newInt();
+    const auto beginPc = static_cast<std::int32_t>(k_.ops.size());
+    emit(LoopOp::K::LBegin, iv, beginReg, endReg, loopIdx);
+    inNested_ = true;
+    curNested_ = static_cast<std::size_t>(loopIdx);
+    nestedVar_ = s.var;
+    nestedIvReg_ = iv;
+    for (std::int32_t sid : flat_.lists[static_cast<std::size_t>(s.body)]) {
+      compileStmt(flat_.stmts[static_cast<std::size_t>(sid)]);
+    }
+    inNested_ = false;
+    nestedVar_ = -1;
+    LoopOp endOp;
+    endOp.k = LoopOp::K::LEnd;
+    endOp.a = iv;
+    endOp.iimm = beginPc;
+    k_.ops.push_back(endOp);
+    k_.ops[static_cast<std::size_t>(beginPc)].iimm =
+        static_cast<std::int32_t>(k_.ops.size()) - 1;
+    retired_.insert(s.var);
+    nestedVars_.push_back(s.var);
+    segLanes_.emplace_back();
   }
 
   // ---- named-pattern recognition ----------------------------------------
@@ -605,12 +951,21 @@ class LoopCompiler {
 
   /// Collects every var id read by statements outside this For's body (the
   /// For's own bound expressions count as outside).
+  void collectBodyStmts(std::int32_t listId,
+                        std::unordered_set<std::int32_t>& out) {
+    if (listId < 0) return;
+    for (std::int32_t sid : flat_.lists[static_cast<std::size_t>(listId)]) {
+      out.insert(sid);
+      const FlatStmt& s = flat_.stmts[static_cast<std::size_t>(sid)];
+      collectBodyStmts(s.body, out);
+      collectBodyStmts(s.elseBody, out);
+    }
+  }
+
   std::unordered_set<int> varsReadOutside(std::int32_t forId) {
     const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(forId)];
     std::unordered_set<std::int32_t> bodyStmts;
-    for (std::int32_t sid : flat_.lists[static_cast<std::size_t>(fs.body)]) {
-      bodyStmts.insert(sid);  // body is straight-line: no nested stmts
-    }
+    collectBodyStmts(fs.body, bodyStmts);
     std::unordered_set<int> reads;
     std::function<void(std::int32_t)> walkExpr = [&](std::int32_t id) {
       if (id < 0) return;
@@ -638,11 +993,15 @@ class LoopCompiler {
     const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(forId)];
     const auto& body = flat_.lists[static_cast<std::size_t>(fs.body)];
     if (body.empty()) return;
-    // Unit step only (absent or literal 1).
+    // Unit step only. DSL literals trace as var reads (Value(int) declares a
+    // var), so the step is usually a Var here — that's fine: the runtime
+    // dispatch re-checks step == 1 before using the named kernel and falls
+    // back to the VM otherwise. Only a *known* non-unit constant can never
+    // pass that gate, so only that case disables matching.
     if (fs.step >= 0) {
       const FlatExpr& st = flat_.exprs[static_cast<std::size_t>(fs.step)];
-      if (st.kind != Expr::Kind::Const || st.constant.type() != DType::Int32 ||
-          st.constant.asInt() != 1) {
+      if (st.kind == Expr::Kind::Const &&
+          (st.constant.type() != DType::Int32 || st.constant.asInt() != 1)) {
         return;
       }
     }
@@ -761,12 +1120,219 @@ class LoopCompiler {
     k_.named = nm;
   }
 
+  /// Matches `e` (already resolved) as `args[A][idxVar]` of element type `t`.
+  bool isIdxLoad(const FlatExpr& e, int idxVar, DType t,
+                 const std::unordered_map<int, std::int32_t>& env,
+                 std::int16_t& outArg) {
+    if (e.kind != Expr::Kind::ArgLoad || e.type != t) return false;
+    if (e.arg < 0 || e.arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs))
+      return false;
+    const FlatExpr& ix = resolve(e.a, env);
+    if (ix.kind != Expr::Kind::Var || ix.var != idxVar) return false;
+    outArg = static_cast<std::int16_t>(e.arg);
+    return true;
+  }
+
+  /// Recognises the two-run CSR SpMV row body (see CsrRow). Matching is
+  /// structural over the flat IR with temps resolved through their defining
+  /// assignments, so the literal-int vars the DSL traces are looked through.
+  /// Everything the match does not pin (dead temps, write-backs) stays exact
+  /// because the executor still runs the final row through the register VM.
+  void matchCsrRow(std::int32_t parForId) {
+    const FlatStmt& fs = flat_.stmts[static_cast<std::size_t>(parForId)];
+    const auto& body = flat_.lists[static_cast<std::size_t>(fs.body)];
+    if (body.size() < 4) return;
+
+    // Shape scan: top level is single-assignment temps, two Fors, and a
+    // trailing StoreArg.
+    std::unordered_map<int, std::int32_t> env;
+    const FlatStmt* fors[2] = {nullptr, nullptr};
+    std::size_t forPos[2] = {0, 0};
+    const FlatStmt* store = nullptr;
+    std::unordered_map<int, std::size_t> assignPos;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const FlatStmt& s = flat_.stmts[static_cast<std::size_t>(body[i])];
+      if (s.kind == Stmt::Kind::Assign) {
+        if (i + 1 == body.size()) return;
+        if (!env.emplace(s.var, s.value).second) return;
+        assignPos.emplace(s.var, i);
+      } else if (s.kind == Stmt::Kind::For) {
+        if (fors[1] != nullptr) return;
+        const std::size_t slot = fors[0] == nullptr ? 0 : 1;
+        fors[slot] = &s;
+        forPos[slot] = i;
+      } else if (s.kind == Stmt::Kind::StoreArg && i + 1 == body.size()) {
+        store = &s;
+      } else {
+        return;
+      }
+    }
+    if (fors[1] == nullptr || store == nullptr) return;
+
+    // Every var assigned anywhere in the row body (loop bodies included):
+    // the owned-count operand must not be one, since the native rows read it
+    // once from the interpreter's var slot.
+    std::unordered_set<std::int32_t> bodyStmts;
+    collectBodyStmts(fs.body, bodyStmts);
+    std::unordered_set<int> assignedAnywhere;
+    for (std::int32_t sid : bodyStmts) {
+      const FlatStmt& s = flat_.stmts[static_cast<std::size_t>(sid)];
+      if (s.kind == Stmt::Kind::Assign) assignedAnywhere.insert(s.var);
+    }
+
+    CsrRow m;
+    // y[r] = acc — the store value must be a direct read of the accumulator.
+    const FlatExpr& sv = flat_.exprs[static_cast<std::size_t>(store->value)];
+    if (sv.kind != Expr::Kind::Var || sv.type != DType::Float32) return;
+    const int accVar = sv.var;
+    {
+      const FlatExpr& ix = resolve(store->index, env);
+      if (ix.kind != Expr::Kind::Var || ix.var != loopVar_) return;
+    }
+    if (store->arg < 0 ||
+        store->arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs)) {
+      return;
+    }
+    m.yArg = static_cast<std::int16_t>(store->arg);
+
+    // acc = d[r] * x[r], initialised before the first loop (otherwise the
+    // loop bodies would fold onto a seeded value, not this product).
+    auto accIt = env.find(accVar);
+    auto accPosIt = assignPos.find(accVar);
+    if (accIt == env.end() || accPosIt == assignPos.end()) return;
+    if (accPosIt->second > forPos[0]) return;
+    const std::int32_t accInit = accIt->second;
+    // Resolution must not look through the accumulator itself.
+    env.erase(accVar);
+    {
+      const FlatExpr& init = flat_.exprs[static_cast<std::size_t>(accInit)];
+      if (init.kind != Expr::Kind::Binary || init.bop != BinOp::Mul) return;
+      if (!isIdxLoad(resolve(init.a, env), loopVar_, DType::Float32, env,
+                     m.dArg) ||
+          !isIdxLoad(resolve(init.b, env), loopVar_, DType::Float32, env,
+                     m.xArg)) {
+        return;
+      }
+    }
+
+    // Loop bounds: [rp[r], sp[r]) then [sp[r], rp[r+1]), both unit step.
+    auto unitStep = [&](const FlatStmt& f) {
+      if (f.step < 0) return true;
+      const FlatExpr& st = resolve(f.step, env);
+      return st.kind == Expr::Kind::Const &&
+             st.constant.type() == DType::Int32 && st.constant.asInt() == 1;
+    };
+    std::int16_t spAgain = -1, rpAgain = -1;
+    if (!unitStep(*fors[0]) || !unitStep(*fors[1])) return;
+    if (!isIdxLoad(resolve(fors[0]->begin, env), loopVar_, DType::Int32, env,
+                   m.rpArg) ||
+        !isIdxLoad(resolve(fors[0]->end, env), loopVar_, DType::Int32, env,
+                   m.spArg) ||
+        !isIdxLoad(resolve(fors[1]->begin, env), loopVar_, DType::Int32, env,
+                   spAgain) ||
+        spAgain != m.spArg) {
+      return;
+    }
+    {
+      // rp[r + 1]
+      const FlatExpr& e = resolve(fors[1]->end, env);
+      if (e.kind != Expr::Kind::ArgLoad || e.type != DType::Int32) return;
+      if (e.arg != m.rpArg) return;
+      const FlatExpr& ix = resolve(e.a, env);
+      if (ix.kind != Expr::Kind::Binary || ix.bop != BinOp::Add) return;
+      const FlatExpr& l = resolve(ix.a, env);
+      const FlatExpr& r = resolve(ix.b, env);
+      if (l.kind != Expr::Kind::Var || l.var != loopVar_) return;
+      if (r.kind != Expr::Kind::Const || r.constant.type() != DType::Int32 ||
+          r.constant.asInt() != 1) {
+        return;
+      }
+    }
+
+    // Loop bodies: temps + `acc = acc + a[k] * <gather>`.
+    auto matchBody = [&](const FlatStmt& f, bool halo) {
+      if (f.body < 0) return false;
+      const auto& list = flat_.lists[static_cast<std::size_t>(f.body)];
+      if (list.empty()) return false;
+      std::unordered_map<int, std::int32_t> envB = env;
+      for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+        const FlatStmt& s = flat_.stmts[static_cast<std::size_t>(list[i])];
+        if (s.kind != Stmt::Kind::Assign || s.var == accVar) return false;
+        if (!envB.emplace(s.var, s.value).second) return false;
+      }
+      const FlatStmt& upd =
+          flat_.stmts[static_cast<std::size_t>(list.back())];
+      if (upd.kind != Stmt::Kind::Assign || upd.var != accVar) return false;
+      const FlatExpr& v = resolve(upd.value, envB);
+      if (v.kind != Expr::Kind::Binary || v.bop != BinOp::Add) return false;
+      const FlatExpr& l = resolve(v.a, envB);
+      if (l.kind != Expr::Kind::Var || l.var != accVar) return false;
+      const FlatExpr& mul = resolve(v.b, envB);
+      if (mul.kind != Expr::Kind::Binary || mul.bop != BinOp::Mul)
+        return false;
+      std::int16_t aArg = -1, cArg = -1;
+      if (!isIdxLoad(resolve(mul.a, envB), f.var, DType::Float32, envB, aArg))
+        return false;
+      const FlatExpr& gather = resolve(mul.b, envB);
+      if (gather.kind != Expr::Kind::ArgLoad ||
+          gather.type != DType::Float32) {
+        return false;
+      }
+      const FlatExpr& gix = resolve(gather.a, envB);
+      if (!halo) {
+        // x[c[k]]
+        if (gather.arg != m.xArg) return false;
+        if (!isIdxLoad(gix, f.var, DType::Int32, envB, cArg)) return false;
+        m.aArg = aArg;
+        m.cArg = cArg;
+      } else {
+        // h[c[k] - owned]
+        if (gather.arg < 0 ||
+            gather.arg >= static_cast<std::int32_t>(LoopKernel::kMaxArgs)) {
+          return false;
+        }
+        m.hArg = static_cast<std::int16_t>(gather.arg);
+        if (gix.kind != Expr::Kind::Binary || gix.bop != BinOp::Sub)
+          return false;
+        if (!isIdxLoad(resolve(gix.a, envB), f.var, DType::Int32, envB, cArg))
+          return false;
+        if (cArg != m.cArg || aArg != m.aArg) return false;
+        const FlatExpr& owned = resolve(gix.b, envB);
+        if (owned.kind != Expr::Kind::Var || owned.type != DType::Int32 ||
+            owned.var == loopVar_ || owned.var == f.var ||
+            assignedAnywhere.count(owned.var) != 0) {
+          return false;
+        }
+        m.ownedVar = owned.var;
+      }
+      return true;
+    };
+    if (!matchBody(*fors[0], /*halo=*/false) ||
+        !matchBody(*fors[1], /*halo=*/true)) {
+      return;
+    }
+    m.valid = true;
+    k_.csr = m;
+  }
+
   const FlatCodelet& flat_;
   const ipu::CostModel& cost_;
   LoopKernel k_;
   ipu::LaneCycles iter_;
   std::unordered_map<int, Home> homes_;
   int loopVar_ = -1;
+  // Parallel (ParFor) mode state.
+  bool parMode_ = false;
+  bool inNested_ = false;
+  std::size_t curNested_ = 0;
+  int nestedVar_ = -1;
+  std::int16_t nestedIvReg_ = -1;
+  std::vector<ipu::LaneCycles> segLanes_;
+  std::vector<ipu::LaneCycles> nestedLanes_;
+  std::unordered_set<int> retired_;
+  // Vars currently holding a known integer constant (program order).
+  std::unordered_map<int, std::int32_t> constInts_;
+  std::vector<int> nestedVars_;
 };
 
 }  // namespace
@@ -781,6 +1347,31 @@ class CompiledCodelet {
   std::vector<LoopKernel> kernels;
   ipu::CostModel cost;
   std::size_t numWorkers = 6;
+
+  // Whole-codelet cycle polynomial: when the root is a sequence of counted
+  // unit-step For loops with compiled kernels and Const/ArgSize bounds, the
+  // per-vertex cost is a closed form in the trip counts, evaluated once per
+  // execution instead of accumulated per op (the walk then runs with lane
+  // charging suppressed). GRAPHENE_VERIFY_CYCLES=1 runs the charged walk too
+  // and asserts exact equality.
+  struct Bound {
+    bool isArgSize = false;
+    std::int32_t value = 0;  // constant, or the arg index for ArgSize
+  };
+  struct StaticLoop {
+    Bound begin, end;
+    double iterFp = 0, iterMem = 0, iterCtrl = 0;
+  };
+  struct StaticCost {
+    bool valid = false;
+    std::vector<LoopKernel::Seg> segs;  // loops.size()+1 blocks
+    std::vector<StaticLoop> loops;
+    double branchCost = 0;
+    // Union of the loop kernels' runtime dtype guards: if these hold, every
+    // loop takes its bulk path and the polynomial is exact.
+    std::vector<std::int16_t> floatArgs, intArgs;
+  };
+  StaticCost staticCost;
 };
 
 namespace {
@@ -790,15 +1381,22 @@ std::atomic<bool> g_fastPaths{[] {
   return !(e != nullptr && e[0] != '\0' && e[0] != '0');
 }()};
 
+std::atomic<bool> g_verifyCycles{[] {
+  const char* e = std::getenv("GRAPHENE_VERIFY_CYCLES");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
+}()};
+
 /// One execution of a compiled codelet over a vertex. Cycle accounting is
 /// identical to the original tree-walking interpreter: ops accumulate into a
 /// LaneCycles block (fp/mem overlap); control flow flushes the block.
 class FlatExec {
  public:
-  FlatExec(const CompiledCodelet& cc, graph::VertexContext& ctx)
+  FlatExec(const CompiledCodelet& cc, graph::VertexContext& ctx,
+           bool charging = true)
       : cc_(cc), ctx_(ctx),
         vars_(static_cast<std::size_t>(cc.flat.numVars)),
-        fastPaths_(g_fastPaths.load(std::memory_order_relaxed)) {}
+        fastPaths_(g_fastPaths.load(std::memory_order_relaxed)),
+        charging_(charging) {}
 
   double run() {
     runList(cc_.flat.root);
@@ -812,11 +1410,15 @@ class FlatExec {
     lanes_ = ipu::LaneCycles{};
   }
 
-  void charge(ipu::Op op, DType t) { lanes_.add(cc_.cost, op, t); }
+  void charge(ipu::Op op, DType t) {
+    if (charging_) lanes_.add(cc_.cost, op, t);
+  }
 
   void chargeBranch() {
     flush();
-    total_ += cc_.cost.workerCycles(ipu::Op::Branch, DType::Int32);
+    if (charging_) {
+      total_ += cc_.cost.workerCycles(ipu::Op::Branch, DType::Int32);
+    }
   }
 
   const FlatExpr& expr(std::int32_t id) const {
@@ -864,7 +1466,7 @@ class FlatExec {
             default: cycles = 0; break;              // fall through below
           }
           if (cycles > 0) {
-            lanes_.add(ipu::Lane::Fp, cycles);
+            if (charging_) lanes_.add(ipu::Lane::Fp, cycles);
             return evalBinaryScalar(e.bop, a, b);
           }
         }
@@ -988,6 +1590,11 @@ class FlatExec {
     // level are independent by construction); the clock advances by the
     // slowest worker plus spawn/sync overhead.
     flush();
+    if (s.fastLoop >= 0 && fastPaths_) {
+      const LoopKernel& k =
+          cc_.kernels[static_cast<std::size_t>(s.fastLoop)];
+      if (k.isPar && runParLoop(k, s, begin, end, step)) return;
+    }
     ipu::WorkerPool pool(cc_.numWorkers);
     pool.chargeSpawn();
     const std::size_t savedWorker = worker_;
@@ -1033,9 +1640,11 @@ class FlatExec {
     // n × perIteration is exactly the sum the generic walk accumulates.
     const double n = static_cast<double>(
         (static_cast<std::int64_t>(end) - begin + step - 1) / step);
-    lanes_.add(ipu::Lane::Fp, n * k.iterFp);
-    lanes_.add(ipu::Lane::Mem, n * k.iterMem);
-    lanes_.add(ipu::Lane::Ctrl, n * k.iterCtrl);
+    if (charging_) {
+      lanes_.add(ipu::Lane::Fp, n * k.iterFp);
+      lanes_.add(ipu::Lane::Mem, n * k.iterMem);
+      lanes_.add(ipu::Lane::Ctrl, n * k.iterCtrl);
+    }
 
     std::array<std::span<float>, LoopKernel::kMaxArgs> fsp;
     std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs> isp;
@@ -1075,81 +1684,22 @@ class FlatExec {
       ir[static_cast<std::size_t>(reg)] =
           vars_[static_cast<std::size_t>(v)].asInt();
     }
+    std::array<std::int32_t, LoopKernel::kMaxNested> trips{};
+    // Block-vectorized front: full blocks of kBlock independent elements run
+    // lane-wise (same scalar ops, same per-element order — bit-identical),
+    // then the scalar VM finishes the tail. At least one element always goes
+    // through the scalar VM so the home-register writebacks below observe
+    // exactly the final element's state.
+    std::int32_t scalarBegin = begin;
+    if (k.blockable && step == 1 && begin >= 0 && end - begin > 2 &&
+        blockedRangeOk(k, fsp, isp, end)) {
+      scalarBegin = runBlockedFront(k, fsp, isp, fr, ir, begin, end);
+    }
     std::int32_t last = begin;
-    for (std::int32_t iv = begin; iv < end; iv += step) {
+    for (std::int32_t iv = scalarBegin; iv < end; iv += step) {
       ir[0] = iv;
       last = iv;
-      for (const LoopOp& op : k.ops) {
-        switch (op.k) {
-          case LoopOp::K::FConst: fr[op.dst] = op.fimm; break;
-          case LoopOp::K::FMov: fr[op.dst] = fr[op.a]; break;
-          case LoopOp::K::FLoad: {
-            const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
-            const auto ix = static_cast<std::uint32_t>(ir[op.a]);
-            GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
-            fr[op.dst] = sp[ix];
-            break;
-          }
-          case LoopOp::K::FStore: {
-            const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
-            const auto ix = static_cast<std::uint32_t>(ir[op.a]);
-            GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
-            sp[ix] = fr[op.b];
-            break;
-          }
-          case LoopOp::K::FAdd: fr[op.dst] = fr[op.a] + fr[op.b]; break;
-          case LoopOp::K::FSub: fr[op.dst] = fr[op.a] - fr[op.b]; break;
-          case LoopOp::K::FMul: fr[op.dst] = fr[op.a] * fr[op.b]; break;
-          case LoopOp::K::FDiv: fr[op.dst] = fr[op.a] / fr[op.b]; break;
-          case LoopOp::K::FMin: {
-            const float a = fr[op.a], b = fr[op.b];
-            fr[op.dst] = b < a ? b : a;  // matches binNumeric Min
-            break;
-          }
-          case LoopOp::K::FMax: {
-            const float a = fr[op.a], b = fr[op.b];
-            fr[op.dst] = a < b ? b : a;  // matches binNumeric Max
-            break;
-          }
-          case LoopOp::K::FNeg: fr[op.dst] = -fr[op.a]; break;
-          case LoopOp::K::FAbs: fr[op.dst] = std::fabs(fr[op.a]); break;
-          case LoopOp::K::FSqrt: fr[op.dst] = std::sqrt(fr[op.a]); break;
-          case LoopOp::K::FFromInt:
-            fr[op.dst] = static_cast<float>(ir[op.a]);
-            break;
-          case LoopOp::K::IConst: ir[op.dst] = op.iimm; break;
-          case LoopOp::K::IMov: ir[op.dst] = ir[op.a]; break;
-          case LoopOp::K::ILoad: {
-            const auto& sp = isp[static_cast<std::size_t>(op.arg)];
-            const auto ix = static_cast<std::uint32_t>(ir[op.a]);
-            GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
-            ir[op.dst] = sp[ix];
-            break;
-          }
-          case LoopOp::K::IAdd: ir[op.dst] = ir[op.a] + ir[op.b]; break;
-          case LoopOp::K::ISub: ir[op.dst] = ir[op.a] - ir[op.b]; break;
-          case LoopOp::K::IMul: ir[op.dst] = ir[op.a] * ir[op.b]; break;
-          case LoopOp::K::IMin: {
-            const std::int32_t a = ir[op.a], b = ir[op.b];
-            ir[op.dst] = b < a ? b : a;
-            break;
-          }
-          case LoopOp::K::IMax: {
-            const std::int32_t a = ir[op.a], b = ir[op.b];
-            ir[op.dst] = a < b ? b : a;
-            break;
-          }
-          case LoopOp::K::INeg: ir[op.dst] = -ir[op.a]; break;
-          case LoopOp::K::IAbs: {
-            const std::int32_t v = ir[op.a];
-            ir[op.dst] = v < 0 ? -v : v;
-            break;
-          }
-          case LoopOp::K::IFromFloat:
-            ir[op.dst] = static_cast<std::int32_t>(fr[op.a]);
-            break;
-        }
-      }
+      runRowOps(k, fsp, isp, fr, ir, trips);
     }
     vars_[static_cast<std::size_t>(s.var)] = Scalar(last);
     for (const auto& [v, reg] : k.writeFloat) {
@@ -1160,6 +1710,586 @@ class FlatExec {
       vars_[static_cast<std::size_t>(v)] =
           Scalar(ir[static_cast<std::size_t>(reg)]);
     }
+    return true;
+  }
+
+  /// Run-time guard for the blocked VM: every elementwise span must cover
+  /// [0, end), and no stored span may alias a span it doesn't share
+  /// elementwise access with. Two args bound to the identical span are safe
+  /// when both only touch the element's own index (lane j touches only
+  /// iv+j); anything overlapping otherwise falls back to the scalar VM.
+  static bool blockedRangeOk(
+      const LoopKernel& k,
+      const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
+      const std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs>&
+          isp,
+      std::int32_t end) {
+    const auto n = static_cast<std::size_t>(end);
+    for (const LoopKernel::ArgUse& u : k.loadFloat) {
+      if (u.anyElementwise &&
+          fsp[static_cast<std::size_t>(u.arg)].size() < n) {
+        return false;
+      }
+    }
+    for (const LoopKernel::ArgUse& u : k.loadInt) {
+      if (u.anyElementwise &&
+          isp[static_cast<std::size_t>(u.arg)].size() < n) {
+        return false;
+      }
+    }
+    for (const LoopKernel::ArgUse& u : k.storeFloat) {
+      if (fsp[static_cast<std::size_t>(u.arg)].size() < n) return false;
+    }
+    auto overlapUnsafe = [&](const LoopKernel::ArgUse& a,
+                             const LoopKernel::ArgUse& b) {
+      if (a.arg == b.arg) return false;  // same span: checked at compile time
+      const auto& sa = fsp[static_cast<std::size_t>(a.arg)];
+      const auto& sb = fsp[static_cast<std::size_t>(b.arg)];
+      if (sa.data() == sb.data() && sa.size() == sb.size()) {
+        return !(a.elementwiseOnly && b.elementwiseOnly);
+      }
+      return sa.data() < sb.data() + sb.size() &&
+             sb.data() < sa.data() + sa.size();
+    };
+    for (const LoopKernel::ArgUse& su : k.storeFloat) {
+      for (const LoopKernel::ArgUse& lu : k.loadFloat) {
+        if (overlapUnsafe(su, lu)) return false;
+      }
+      for (const LoopKernel::ArgUse& ou : k.storeFloat) {
+        if (overlapUnsafe(su, ou)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Runs as much of [begin, end) as possible through runBlockedRange,
+  /// stepping the lane width down 16 → 8 → 4 → 2 while always leaving at
+  /// least one element for the scalar VM (whose register state feeds the
+  /// home-variable writebacks). Returns where the scalar tail starts.
+  static std::int32_t runBlockedFront(
+      const LoopKernel& k,
+      const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
+      const std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs>&
+          isp,
+      const std::array<float, LoopKernel::kMaxRegs>& fr,
+      const std::array<std::int32_t, LoopKernel::kMaxRegs>& ir,
+      std::int32_t begin, std::int32_t end) {
+    std::int32_t iv = begin;
+    if (end - 1 - iv >= 16) {
+      const std::int32_t n = ((end - 1 - iv) / 16) * 16;
+      runBlockedRange<16>(k, fsp, isp, fr, ir, iv, iv + n);
+      iv += n;
+    }
+    if (end - 1 - iv >= 8) {
+      runBlockedRange<8>(k, fsp, isp, fr, ir, iv, iv + 8);
+      iv += 8;
+    }
+    if (end - 1 - iv >= 4) {
+      runBlockedRange<4>(k, fsp, isp, fr, ir, iv, iv + 4);
+      iv += 4;
+    }
+    if (end - 1 - iv >= 2) {
+      runBlockedRange<2>(k, fsp, isp, fr, ir, iv, iv + 2);
+      iv += 2;
+    }
+    return iv;
+  }
+
+  /// Runs [begin, endB) of a blockable kernel in lanes of B.
+  /// Each op applies its scalar operation to every lane in increasing lane
+  /// order before the next op runs; with no loop-carried registers and only
+  /// elementwise stores (analyzeBlockable) plus non-aliased spans
+  /// (blockedRangeOk), every element sees exactly the scalar VM's operation
+  /// sequence on exactly the scalar VM's values — bit-identical results.
+  /// Caller guarantees endB - begin is a positive multiple of B.
+  template <std::int32_t B>
+  static void runBlockedRange(
+      const LoopKernel& k,
+      const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
+      const std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs>&
+          isp,
+      const std::array<float, LoopKernel::kMaxRegs>& fr,
+      const std::array<std::int32_t, LoopKernel::kMaxRegs>& ir,
+      std::int32_t begin, std::int32_t endB) {
+    alignas(64) float fb[LoopKernel::kMaxRegs][B];
+    alignas(64) std::int32_t ib[LoopKernel::kMaxRegs][B];
+    // Seed registers are loop-invariant (no carried regs): splat once.
+    for (int r = 0; r < k.numFloatRegs; ++r) {
+      for (std::int32_t j = 0; j < B; ++j) fb[r][j] = fr[static_cast<std::size_t>(r)];
+    }
+    for (int r = 0; r < k.numIntRegs; ++r) {
+      for (std::int32_t j = 0; j < B; ++j) ib[r][j] = ir[static_cast<std::size_t>(r)];
+    }
+    using K = LoopOp::K;
+    for (std::int32_t iv = begin; iv < endB; iv += B) {
+      for (std::int32_t j = 0; j < B; ++j) ib[0][j] = iv + j;
+      for (const LoopOp& op : k.ops) {
+        switch (op.k) {
+          case K::FConst: {
+            float* d = fb[op.dst];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = op.fimm;
+            break;
+          }
+          case K::FMov: {
+            float* d = fb[op.dst];
+            const float* a = fb[op.a];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j];
+            break;
+          }
+          case K::FLoad: {
+            const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
+            float* d = fb[op.dst];
+            if (op.ew) {
+              // Index proven equal to iv: bounds pre-checked, contiguous.
+              const float* GRAPHENE_RESTRICT p = sp.data() + iv;
+              for (std::int32_t j = 0; j < B; ++j) d[j] = p[j];
+            } else {
+              const std::int32_t* x = ib[op.a];
+              for (std::int32_t j = 0; j < B; ++j) {
+                const auto ix = static_cast<std::uint32_t>(x[j]);
+                GRAPHENE_CHECK(ix < sp.size(),
+                               "tensor index out of range in codelet");
+                d[j] = sp[ix];
+              }
+            }
+            break;
+          }
+          case K::FStore: {
+            // analyzeBlockable only admits elementwise stores (op.ew).
+            const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
+            float* GRAPHENE_RESTRICT p = sp.data() + iv;
+            const float* s = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) p[j] = s[j];
+            break;
+          }
+          case K::FAdd: {
+            float* d = fb[op.dst];
+            const float *a = fb[op.a], *b = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] + b[j];
+            break;
+          }
+          case K::FSub: {
+            float* d = fb[op.dst];
+            const float *a = fb[op.a], *b = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] - b[j];
+            break;
+          }
+          case K::FMul: {
+            float* d = fb[op.dst];
+            const float *a = fb[op.a], *b = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] * b[j];
+            break;
+          }
+          case K::FDiv: {
+            float* d = fb[op.dst];
+            const float *a = fb[op.a], *b = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] / b[j];
+            break;
+          }
+          case K::FMin: {
+            float* d = fb[op.dst];
+            const float *a = fb[op.a], *b = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = b[j] < a[j] ? b[j] : a[j];  // matches binNumeric Min
+            }
+            break;
+          }
+          case K::FMax: {
+            float* d = fb[op.dst];
+            const float *a = fb[op.a], *b = fb[op.b];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = a[j] < b[j] ? b[j] : a[j];  // matches binNumeric Max
+            }
+            break;
+          }
+          case K::FNeg: {
+            float* d = fb[op.dst];
+            const float* a = fb[op.a];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = -a[j];
+            break;
+          }
+          case K::FAbs: {
+            float* d = fb[op.dst];
+            const float* a = fb[op.a];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = std::fabs(a[j]);
+            break;
+          }
+          case K::FSqrt: {
+            float* d = fb[op.dst];
+            const float* a = fb[op.a];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = std::sqrt(a[j]);
+            break;
+          }
+          case K::FFromInt: {
+            float* d = fb[op.dst];
+            const std::int32_t* a = ib[op.a];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = static_cast<float>(a[j]);
+            }
+            break;
+          }
+          case K::IConst: {
+            std::int32_t* d = ib[op.dst];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = op.iimm;
+            break;
+          }
+          case K::IMov: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t* a = ib[op.a];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j];
+            break;
+          }
+          case K::ILoad: {
+            const auto& sp = isp[static_cast<std::size_t>(op.arg)];
+            std::int32_t* d = ib[op.dst];
+            if (op.ew) {
+              const std::int32_t* GRAPHENE_RESTRICT p = sp.data() + iv;
+              for (std::int32_t j = 0; j < B; ++j) d[j] = p[j];
+            } else {
+              const std::int32_t* x = ib[op.a];
+              for (std::int32_t j = 0; j < B; ++j) {
+                const auto ix = static_cast<std::uint32_t>(x[j]);
+                GRAPHENE_CHECK(ix < sp.size(),
+                               "tensor index out of range in codelet");
+                d[j] = sp[ix];
+              }
+            }
+            break;
+          }
+          case K::IAdd: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t *a = ib[op.a], *b = ib[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] + b[j];
+            break;
+          }
+          case K::ISub: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t *a = ib[op.a], *b = ib[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] - b[j];
+            break;
+          }
+          case K::IMul: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t *a = ib[op.a], *b = ib[op.b];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = a[j] * b[j];
+            break;
+          }
+          case K::IMin: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t *a = ib[op.a], *b = ib[op.b];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = b[j] < a[j] ? b[j] : a[j];
+            }
+            break;
+          }
+          case K::IMax: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t *a = ib[op.a], *b = ib[op.b];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = a[j] < b[j] ? b[j] : a[j];
+            }
+            break;
+          }
+          case K::INeg: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t* a = ib[op.a];
+            for (std::int32_t j = 0; j < B; ++j) d[j] = -a[j];
+            break;
+          }
+          case K::IAbs: {
+            std::int32_t* d = ib[op.dst];
+            const std::int32_t* a = ib[op.a];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = a[j] < 0 ? -a[j] : a[j];
+            }
+            break;
+          }
+          case K::IFromFloat: {
+            std::int32_t* d = ib[op.dst];
+            const float* a = fb[op.a];
+            for (std::int32_t j = 0; j < B; ++j) {
+              d[j] = static_cast<std::int32_t>(a[j]);
+            }
+            break;
+          }
+          case K::LBegin:
+          case K::LEnd:
+            break;  // analyzeBlockable never admits loop ops
+        }
+      }
+    }
+  }
+
+  /// Executes one pass over a kernel's ops: a linear walk with LBegin/LEnd
+  /// implementing nested counted loops (parallel row kernels; serial kernels
+  /// contain no loop ops and degenerate to a straight run). Records each
+  /// nested loop's trip count into `trips` for the cost polynomial.
+  static void runRowOps(
+      const LoopKernel& k,
+      const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
+      const std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs>&
+          isp,
+      std::array<float, LoopKernel::kMaxRegs>& fr,
+      std::array<std::int32_t, LoopKernel::kMaxRegs>& ir,
+      std::array<std::int32_t, LoopKernel::kMaxNested>& trips) {
+    // Only one loop is ever active (single-level nesting), so one live trip
+    // counter suffices.
+    std::int32_t trip = 0;
+    const std::size_t nops = k.ops.size();
+    for (std::size_t pc = 0; pc < nops; ++pc) {
+      const LoopOp& op = k.ops[pc];
+      switch (op.k) {
+        case LoopOp::K::FConst: fr[op.dst] = op.fimm; break;
+        case LoopOp::K::FMov: fr[op.dst] = fr[op.a]; break;
+        case LoopOp::K::FLoad: {
+          const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
+          const auto ix = static_cast<std::uint32_t>(ir[op.a]);
+          GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
+          fr[op.dst] = sp[ix];
+          break;
+        }
+        case LoopOp::K::FStore: {
+          const auto& sp = fsp[static_cast<std::size_t>(op.arg)];
+          const auto ix = static_cast<std::uint32_t>(ir[op.a]);
+          GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
+          sp[ix] = fr[op.b];
+          break;
+        }
+        case LoopOp::K::FAdd: fr[op.dst] = fr[op.a] + fr[op.b]; break;
+        case LoopOp::K::FSub: fr[op.dst] = fr[op.a] - fr[op.b]; break;
+        case LoopOp::K::FMul: fr[op.dst] = fr[op.a] * fr[op.b]; break;
+        case LoopOp::K::FDiv: fr[op.dst] = fr[op.a] / fr[op.b]; break;
+        case LoopOp::K::FMin: {
+          const float a = fr[op.a], b = fr[op.b];
+          fr[op.dst] = b < a ? b : a;  // matches binNumeric Min
+          break;
+        }
+        case LoopOp::K::FMax: {
+          const float a = fr[op.a], b = fr[op.b];
+          fr[op.dst] = a < b ? b : a;  // matches binNumeric Max
+          break;
+        }
+        case LoopOp::K::FNeg: fr[op.dst] = -fr[op.a]; break;
+        case LoopOp::K::FAbs: fr[op.dst] = std::fabs(fr[op.a]); break;
+        case LoopOp::K::FSqrt: fr[op.dst] = std::sqrt(fr[op.a]); break;
+        case LoopOp::K::FFromInt:
+          fr[op.dst] = static_cast<float>(ir[op.a]);
+          break;
+        case LoopOp::K::IConst: ir[op.dst] = op.iimm; break;
+        case LoopOp::K::IMov: ir[op.dst] = ir[op.a]; break;
+        case LoopOp::K::ILoad: {
+          const auto& sp = isp[static_cast<std::size_t>(op.arg)];
+          const auto ix = static_cast<std::uint32_t>(ir[op.a]);
+          GRAPHENE_CHECK(ix < sp.size(), "tensor index out of range in codelet");
+          ir[op.dst] = sp[ix];
+          break;
+        }
+        case LoopOp::K::IAdd: ir[op.dst] = ir[op.a] + ir[op.b]; break;
+        case LoopOp::K::ISub: ir[op.dst] = ir[op.a] - ir[op.b]; break;
+        case LoopOp::K::IMul: ir[op.dst] = ir[op.a] * ir[op.b]; break;
+        case LoopOp::K::IMin: {
+          const std::int32_t a = ir[op.a], b = ir[op.b];
+          ir[op.dst] = b < a ? b : a;
+          break;
+        }
+        case LoopOp::K::IMax: {
+          const std::int32_t a = ir[op.a], b = ir[op.b];
+          ir[op.dst] = a < b ? b : a;
+          break;
+        }
+        case LoopOp::K::INeg: ir[op.dst] = -ir[op.a]; break;
+        case LoopOp::K::IAbs: {
+          const std::int32_t v = ir[op.a];
+          ir[op.dst] = v < 0 ? -v : v;
+          break;
+        }
+        case LoopOp::K::IFromFloat:
+          ir[op.dst] = static_cast<std::int32_t>(fr[op.a]);
+          break;
+        case LoopOp::K::LBegin: {
+          const std::int32_t b = ir[op.a], e = ir[op.b];
+          const std::int32_t n = e > b ? e - b : 0;
+          trips[static_cast<std::size_t>(op.arg)] = n;
+          if (n == 0) {
+            // Jump to the LEnd; ++pc then steps past it.
+            pc = static_cast<std::size_t>(op.iimm);
+            break;
+          }
+          trip = n;
+          ir[op.dst] = b;
+          break;
+        }
+        case LoopOp::K::LEnd:
+          if (--trip > 0) {
+            ++ir[op.a];
+            // Jump to the LBegin; ++pc re-enters the body without re-running
+            // the loop initialisation.
+            pc = static_cast<std::size_t>(op.iimm);
+          }
+          break;
+      }
+    }
+  }
+
+  /// Runs a compiled ParFor kernel: rows are dealt round-robin to a worker
+  /// pool exactly like the generic walk, but each row executes as one
+  /// register program and its cycle cost comes from the kernel's
+  /// segment/loop polynomial instead of per-op lane accumulation. The caller
+  /// has evaluated the bounds and flushed. Returns false when a runtime
+  /// guard fails (the generic pool walk then runs; both are exact).
+  bool runParLoop(const LoopKernel& k, const FlatStmt& s, std::int32_t begin,
+                  std::int32_t end, std::int32_t step) {
+    for (std::int16_t a : k.floatArgs) {
+      if (ctx_.argType(static_cast<std::size_t>(a)) != DType::Float32)
+        return false;
+    }
+    for (std::int16_t a : k.intArgs) {
+      if (ctx_.argType(static_cast<std::size_t>(a)) != DType::Int32)
+        return false;
+    }
+    for (const auto& [v, reg] : k.seedFloat) {
+      if (vars_[static_cast<std::size_t>(v)].type() != DType::Float32)
+        return false;
+    }
+    for (const auto& [v, reg] : k.seedInt) {
+      if (vars_[static_cast<std::size_t>(v)].type() != DType::Int32)
+        return false;
+    }
+
+    ipu::WorkerPool pool(cc_.numWorkers);
+    pool.chargeSpawn();
+    if (begin < end) {
+      std::array<std::span<float>, LoopKernel::kMaxArgs> fsp;
+      std::array<std::span<const std::int32_t>, LoopKernel::kMaxArgs> isp;
+      for (std::int16_t a : k.floatArgs) {
+        fsp[static_cast<std::size_t>(a)] =
+            ctx_.floatSpan(static_cast<std::size_t>(a));
+      }
+      for (std::int16_t a : k.intArgs) {
+        isp[static_cast<std::size_t>(a)] =
+            ctx_.intSpan(static_cast<std::size_t>(a));
+      }
+      std::array<float, LoopKernel::kMaxRegs> fr{};
+      std::array<std::int32_t, LoopKernel::kMaxRegs> ir{};
+      std::array<std::int32_t, LoopKernel::kMaxNested> trips{};
+      for (const auto& [reg, arg] : k.sizeSeeds) {
+        ir[static_cast<std::size_t>(reg)] = static_cast<std::int32_t>(
+            ctx_.argSize(static_cast<std::size_t>(arg)));
+      }
+      for (const auto& [v, reg] : k.seedFloat) {
+        fr[static_cast<std::size_t>(reg)] =
+            vars_[static_cast<std::size_t>(v)].asFloat();
+      }
+      for (const auto& [v, reg] : k.seedInt) {
+        ir[static_cast<std::size_t>(reg)] =
+            vars_[static_cast<std::size_t>(v)].asInt();
+      }
+      // Native CSR rows: all but the last row run as a plain scalar loop
+      // (identical float ops in identical order); the last row goes through
+      // the register VM so every home register write-back stays exact.
+      const CsrRow& csr = k.csr;
+      const bool native = csr.valid && step == 1;
+      const float* dp = nullptr;
+      const float* xp = nullptr;
+      const float* ap = nullptr;
+      const float* hp = nullptr;
+      float* yp = nullptr;
+      const std::int32_t* cp = nullptr;
+      const std::int32_t* rpp = nullptr;
+      const std::int32_t* spp = nullptr;
+      std::int32_t owned = 0;
+      if (native) {
+        dp = fsp[static_cast<std::size_t>(csr.dArg)].data();
+        xp = fsp[static_cast<std::size_t>(csr.xArg)].data();
+        ap = fsp[static_cast<std::size_t>(csr.aArg)].data();
+        hp = fsp[static_cast<std::size_t>(csr.hArg)].data();
+        yp = fsp[static_cast<std::size_t>(csr.yArg)].data();
+        cp = isp[static_cast<std::size_t>(csr.cArg)].data();
+        rpp = isp[static_cast<std::size_t>(csr.rpArg)].data();
+        spp = isp[static_cast<std::size_t>(csr.spArg)].data();
+        owned = vars_[static_cast<std::size_t>(csr.ownedVar)].asInt();
+      }
+      const std::size_t numLoops = k.nested.size();
+      std::size_t w = 0;
+      std::int32_t scalarBegin = begin;
+      // Block-vectorized front for flat row bodies (no nested loops, no
+      // worker-index reads): full blocks of kBlock rows run lane-wise with
+      // the scalar ops in the scalar order — bit-identical. Rows are charged
+      // to workers in closed form: with no nested loops the row cost is a
+      // trip-free integral constant, so count × cost equals the per-row sum
+      // exactly, and the round-robin rotation gives worker wi
+      // ⌈(n - wi) / numWorkers⌉ rows. At least one row always runs through
+      // the scalar VM so home-register writebacks observe the final row.
+      if (k.blockable && !native && step == 1 && begin >= 0 &&
+          k.workerReg < 0 && end - begin > 2 &&
+          blockedRangeOk(k, fsp, isp, end)) {
+        const std::int32_t endB =
+            runBlockedFront(k, fsp, isp, fr, ir, begin, end);
+        const double rowCost =
+            (k.segs[0].fp > k.segs[0].mem ? k.segs[0].fp : k.segs[0].mem) +
+            k.segs[0].ctrl;
+        const std::int64_t nb = endB - begin;
+        const auto W = static_cast<std::int64_t>(cc_.numWorkers);
+        for (std::int64_t wi = 0; wi < W; ++wi) {
+          const std::int64_t c = nb / W + (wi < nb % W ? 1 : 0);
+          if (c > 0) {
+            pool.addCycles(static_cast<std::size_t>(wi),
+                           static_cast<double>(c) * rowCost);
+          }
+        }
+        w = static_cast<std::size_t>(nb % W);
+        scalarBegin = endB;
+      }
+      std::int32_t last = begin;
+      for (std::int32_t iv = scalarBegin; iv < end; iv += step) {
+        ir[0] = iv;
+        last = iv;
+        if (k.workerReg >= 0) {
+          ir[static_cast<std::size_t>(k.workerReg)] =
+              static_cast<std::int32_t>(w);
+        }
+        if (native && iv + 1 < end) {
+          const auto r = static_cast<std::size_t>(iv);
+          float acc = dp[r] * xp[r];
+          const std::int32_t b1 = rpp[r], e1 = spp[r], e2 = rpp[r + 1];
+          for (std::int32_t kk = b1; kk < e1; ++kk) {
+            acc = acc + ap[kk] * xp[cp[kk]];
+          }
+          for (std::int32_t kk = e1; kk < e2; ++kk) {
+            acc = acc + ap[kk] * hp[cp[kk] - owned];
+          }
+          yp[r] = acc;
+          trips[0] = e1 > b1 ? e1 - b1 : 0;
+          trips[1] = e2 > e1 ? e2 - e1 : 0;
+        } else {
+          runRowOps(k, fsp, isp, fr, ir, trips);
+        }
+        double rowCost = 0;
+        for (std::size_t b = 0; b <= numLoops; ++b) {
+          double fp = k.segs[b].fp, mem = k.segs[b].mem, ctrl = k.segs[b].ctrl;
+          if (b > 0) {
+            const double n = trips[b - 1];
+            fp += n * k.nested[b - 1].fp;
+            mem += n * k.nested[b - 1].mem;
+            ctrl += n * k.nested[b - 1].ctrl;
+          }
+          rowCost += (fp > mem ? fp : mem) + ctrl;
+        }
+        rowCost += static_cast<double>(numLoops) * k.branchCost;
+        pool.addCycles(w, rowCost);
+        w = (w + 1) % cc_.numWorkers;
+      }
+      vars_[static_cast<std::size_t>(s.var)] = Scalar(last);
+      for (const auto& [v, reg] : k.writeFloat) {
+        vars_[static_cast<std::size_t>(v)] =
+            Scalar(fr[static_cast<std::size_t>(reg)]);
+      }
+      for (const auto& [v, reg] : k.writeInt) {
+        vars_[static_cast<std::size_t>(v)] =
+            Scalar(ir[static_cast<std::size_t>(reg)]);
+      }
+    }
+    total_ += pool.sync();
     return true;
   }
 
@@ -1174,6 +2304,13 @@ class FlatExec {
     return ok(nm.dstArg) && ok(nm.aArg) && ok(nm.bArg);
   }
 
+  /// True when [a, a+n) and [b, b+n) cannot overlap (std::less_equal gives a
+  /// total order even for pointers into unrelated allocations).
+  static bool spansDisjoint(const float* a, const float* b, std::size_t n) {
+    return std::less_equal<const float*>{}(a + n, b) ||
+           std::less_equal<const float*>{}(b + n, a);
+  }
+
   void runNamed(const NamedLoop& nm,
                 const std::array<std::span<float>, LoopKernel::kMaxArgs>& fsp,
                 std::int32_t begin, std::int32_t end) {
@@ -1186,42 +2323,71 @@ class FlatExec {
             : (nm.sVar >= 0
                    ? vars_[static_cast<std::size_t>(nm.sVar)].asFloat()
                    : 0.0f);
+    const std::size_t n = static_cast<std::size_t>(end - begin);
     switch (nm.p) {
       case NamedLoop::P::Copy: {
-        auto d = span(nm.dstArg);
-        auto a = span(nm.aArg);
-        for (std::int32_t i = begin; i < end; ++i) d[i] = a[i];
+        float* dp = span(nm.dstArg).data() + begin;
+        const float* ap = span(nm.aArg).data() + begin;
+        if (dp == ap) return;  // self-copy: the forward walk is the identity
+        if (spansDisjoint(dp, ap, n)) {
+          std::memcpy(dp, ap, n * sizeof(float));  // raw bits, bit-exact
+        } else {
+          for (std::size_t i = 0; i < n; ++i) dp[i] = ap[i];
+        }
         return;
       }
       case NamedLoop::P::Scale: {
-        auto d = span(nm.dstArg);
-        auto a = span(nm.aArg);
-        if (nm.sFirst) {
-          for (std::int32_t i = begin; i < end; ++i) d[i] = sv * a[i];
+        float* dp = span(nm.dstArg).data() + begin;
+        const float* ap = span(nm.aArg).data() + begin;
+        if (spansDisjoint(dp, ap, n)) {
+          float* GRAPHENE_RESTRICT dr = dp;
+          if (nm.sFirst) {
+            for (std::size_t i = 0; i < n; ++i) dr[i] = sv * ap[i];
+          } else {
+            for (std::size_t i = 0; i < n; ++i) dr[i] = ap[i] * sv;
+          }
+        } else if (nm.sFirst) {
+          for (std::size_t i = 0; i < n; ++i) dp[i] = sv * ap[i];
         } else {
-          for (std::int32_t i = begin; i < end; ++i) d[i] = a[i] * sv;
+          for (std::size_t i = 0; i < n; ++i) dp[i] = ap[i] * sv;
         }
         return;
       }
       case NamedLoop::P::AddVec: {
-        auto d = span(nm.dstArg);
-        auto a = span(nm.aArg);
-        auto b = span(nm.bArg);
-        if (nm.isSub) {
-          for (std::int32_t i = begin; i < end; ++i) d[i] = a[i] - b[i];
+        float* dp = span(nm.dstArg).data() + begin;
+        const float* ap = span(nm.aArg).data() + begin;
+        const float* bp = span(nm.bArg).data() + begin;
+        if (spansDisjoint(dp, ap, n) && spansDisjoint(dp, bp, n)) {
+          float* GRAPHENE_RESTRICT dr = dp;
+          if (nm.isSub) {
+            for (std::size_t i = 0; i < n; ++i) dr[i] = ap[i] - bp[i];
+          } else {
+            for (std::size_t i = 0; i < n; ++i) dr[i] = ap[i] + bp[i];
+          }
+        } else if (nm.isSub) {
+          for (std::size_t i = 0; i < n; ++i) dp[i] = ap[i] - bp[i];
         } else {
-          for (std::int32_t i = begin; i < end; ++i) d[i] = a[i] + b[i];
+          for (std::size_t i = 0; i < n; ++i) dp[i] = ap[i] + bp[i];
         }
         return;
       }
       case NamedLoop::P::Axpy: {
-        auto d = span(nm.dstArg);
-        auto a = span(nm.aArg);
-        auto b = span(nm.bArg);
-        for (std::int32_t i = begin; i < end; ++i) {
-          const float m = nm.sFirst ? sv * b[i] : b[i] * sv;
-          d[i] = nm.loadFirst ? (nm.isSub ? a[i] - m : a[i] + m)
-                              : (nm.isSub ? m - a[i] : m + a[i]);
+        float* dp = span(nm.dstArg).data() + begin;
+        const float* ap = span(nm.aArg).data() + begin;
+        const float* bp = span(nm.bArg).data() + begin;
+        if (spansDisjoint(dp, ap, n) && spansDisjoint(dp, bp, n)) {
+          float* GRAPHENE_RESTRICT dr = dp;
+          for (std::size_t i = 0; i < n; ++i) {
+            const float m = nm.sFirst ? sv * bp[i] : bp[i] * sv;
+            dr[i] = nm.loadFirst ? (nm.isSub ? ap[i] - m : ap[i] + m)
+                                 : (nm.isSub ? m - ap[i] : m + ap[i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            const float m = nm.sFirst ? sv * bp[i] : bp[i] * sv;
+            dp[i] = nm.loadFirst ? (nm.isSub ? ap[i] - m : ap[i] + m)
+                                 : (nm.isSub ? m - ap[i] : m + ap[i]);
+          }
         }
         return;
       }
@@ -1254,7 +2420,107 @@ class FlatExec {
   double total_ = 0;
   std::size_t worker_ = 0;
   bool fastPaths_ = true;
+  bool charging_ = true;
 };
+
+/// Builds the whole-codelet cycle polynomial, leaving staticCost.valid false
+/// when the codelet leaves the supported shape (anything but counted
+/// unit-step root For loops with kernels and Const/ArgSize bounds).
+bool staticBound(const FlatCodelet& flat, std::int32_t id,
+                 CompiledCodelet::Bound& out) {
+  if (id < 0) return false;
+  const FlatExpr& e = flat.exprs[static_cast<std::size_t>(id)];
+  if (e.kind == Expr::Kind::Const && e.constant.type() == DType::Int32) {
+    out.isArgSize = false;
+    out.value = e.constant.asInt();
+    return true;
+  }
+  if (e.kind == Expr::Kind::ArgSize && e.arg >= 0) {
+    out.isArgSize = true;
+    out.value = e.arg;
+    return true;
+  }
+  return false;
+}
+
+void buildStaticCost(CompiledCodelet& cc) {
+  CompiledCodelet::StaticCost& sc = cc.staticCost;
+  const FlatCodelet& flat = cc.flat;
+  if (flat.root < 0) return;
+  const auto& root = flat.lists[static_cast<std::size_t>(flat.root)];
+  if (root.empty()) return;
+  ipu::LaneCycles seg;
+  std::vector<ipu::LaneCycles> segs;
+  auto addGuard = [](std::vector<std::int16_t>& list, std::int16_t a) {
+    if (std::find(list.begin(), list.end(), a) == list.end())
+      list.push_back(a);
+  };
+  for (std::int32_t sid : root) {
+    const FlatStmt& s = flat.stmts[static_cast<std::size_t>(sid)];
+    if (s.kind != Stmt::Kind::For || s.fastLoop < 0) return;
+    const LoopKernel& k = cc.kernels[static_cast<std::size_t>(s.fastLoop)];
+    if (k.isPar) return;
+    // Seeded kernels read interpreter vars whose runtime types cannot be
+    // guarded here (and an unset var has no defined value at the root).
+    if (!k.seedFloat.empty() || !k.seedInt.empty()) return;
+    CompiledCodelet::StaticLoop sl;
+    if (!staticBound(flat, s.begin, sl.begin)) return;
+    if (!staticBound(flat, s.end, sl.end)) return;
+    if (s.step >= 0) {
+      const FlatExpr& st = flat.exprs[static_cast<std::size_t>(s.step)];
+      if (st.kind != Expr::Kind::Const ||
+          st.constant.type() != DType::Int32 || st.constant.asInt() != 1) {
+        return;
+      }
+    }
+    // Header charges land in the block before the loop-entry branch flush:
+    // each ArgSize bound charges one integer op when evaluated, plus the
+    // loop's own setup op.
+    if (sl.begin.isArgSize) seg.add(cc.cost, ipu::Op::IntArith, DType::Int32);
+    if (sl.end.isArgSize) seg.add(cc.cost, ipu::Op::IntArith, DType::Int32);
+    seg.add(cc.cost, ipu::Op::IntArith, DType::Int32);
+    segs.push_back(seg);
+    seg = ipu::LaneCycles{};
+    sl.iterFp = k.iterFp;
+    sl.iterMem = k.iterMem;
+    sl.iterCtrl = k.iterCtrl;
+    sc.loops.push_back(std::move(sl));
+    for (std::int16_t a : k.floatArgs) addGuard(sc.floatArgs, a);
+    for (std::int16_t a : k.intArgs) addGuard(sc.intArgs, a);
+  }
+  segs.push_back(seg);  // trailing block, flushed at the end of run()
+  for (const ipu::LaneCycles& l : segs) {
+    sc.segs.push_back({l.fp(), l.mem(), l.ctrl()});
+  }
+  sc.branchCost = cc.cost.workerCycles(ipu::Op::Branch, DType::Int32);
+  sc.valid = true;
+}
+
+/// Evaluates the polynomial against a vertex's actual arg sizes.
+double staticCostEval(const CompiledCodelet::StaticCost& sc,
+                      graph::VertexContext& ctx) {
+  auto bound = [&](const CompiledCodelet::Bound& b) {
+    return b.isArgSize ? static_cast<std::int32_t>(
+                             ctx.argSize(static_cast<std::size_t>(b.value)))
+                       : b.value;
+  };
+  double total = 0;
+  const std::size_t numLoops = sc.loops.size();
+  for (std::size_t k = 0; k <= numLoops; ++k) {
+    double fp = sc.segs[k].fp, mem = sc.segs[k].mem, ctrl = sc.segs[k].ctrl;
+    if (k > 0) {
+      const CompiledCodelet::StaticLoop& l = sc.loops[k - 1];
+      const std::int32_t b = bound(l.begin), e = bound(l.end);
+      const double n = e > b ? static_cast<double>(e - b) : 0.0;
+      fp += n * l.iterFp;
+      mem += n * l.iterMem;
+      ctrl += n * l.iterCtrl;
+    }
+    total += (fp > mem ? fp : mem) + ctrl;
+  }
+  total += static_cast<double>(numLoops) * sc.branchCost;
+  return total;
+}
 
 }  // namespace
 
@@ -1270,6 +2536,14 @@ bool codeletFastPathsEnabled() {
   return g_fastPaths.load(std::memory_order_relaxed);
 }
 
+void setCodeletCycleVerification(bool enabled) {
+  g_verifyCycles.store(enabled, std::memory_order_relaxed);
+}
+
+bool codeletCycleVerificationEnabled() {
+  return g_verifyCycles.load(std::memory_order_relaxed);
+}
+
 CompiledCodeletPtr compileCodelet(const CodeletIR& ir,
                                   const ipu::CostModel& cost,
                                   std::size_t numWorkers) {
@@ -1283,12 +2557,19 @@ CompiledCodeletPtr compileCodelet(const CodeletIR& ir,
   LoopCompiler lc(cc->flat, cc->cost);
   for (std::size_t sid = 0; sid < cc->flat.stmts.size(); ++sid) {
     FlatStmt& s = cc->flat.stmts[sid];
-    if (s.kind != Stmt::Kind::For) continue;
-    if (auto kernel = lc.compile(static_cast<std::int32_t>(sid))) {
-      s.fastLoop = static_cast<std::int32_t>(cc->kernels.size());
-      cc->kernels.push_back(std::move(*kernel));
+    if (s.kind == Stmt::Kind::For) {
+      if (auto kernel = lc.compile(static_cast<std::int32_t>(sid))) {
+        s.fastLoop = static_cast<std::int32_t>(cc->kernels.size());
+        cc->kernels.push_back(std::move(*kernel));
+      }
+    } else if (s.kind == Stmt::Kind::ParFor) {
+      if (auto kernel = lc.compilePar(static_cast<std::int32_t>(sid))) {
+        s.fastLoop = static_cast<std::int32_t>(cc->kernels.size());
+        cc->kernels.push_back(std::move(*kernel));
+      }
     }
   }
+  buildStaticCost(*cc);
   return cc;
 }
 
@@ -1297,10 +2578,41 @@ graph::VertexCost runCompiled(const CompiledCodelet& codelet,
   GRAPHENE_CHECK(ctx.numArgs() == codelet.flat.numArgs,
                  "codelet arg count mismatch: vertex has ", ctx.numArgs(),
                  ", codelet expects ", codelet.flat.numArgs);
-  FlatExec exec(codelet, ctx);
   graph::VertexCost result;
-  result.workerCycles = exec.run();
   result.wholeTile = codelet.flat.usesWorkers;
+  const CompiledCodelet::StaticCost& sc = codelet.staticCost;
+  if (sc.valid && g_fastPaths.load(std::memory_order_relaxed)) {
+    bool guarded = true;
+    for (std::int16_t a : sc.floatArgs) {
+      if (ctx.argType(static_cast<std::size_t>(a)) != DType::Float32) {
+        guarded = false;
+        break;
+      }
+    }
+    if (guarded) {
+      for (std::int16_t a : sc.intArgs) {
+        if (ctx.argType(static_cast<std::size_t>(a)) != DType::Int32) {
+          guarded = false;
+          break;
+        }
+      }
+    }
+    if (guarded) {
+      const double cost = staticCostEval(sc, ctx);
+      const bool verify = g_verifyCycles.load(std::memory_order_relaxed);
+      FlatExec exec(codelet, ctx, /*charging=*/verify);
+      const double walked = exec.run();
+      if (verify) {
+        GRAPHENE_CHECK(walked == cost,
+                       "static cycle polynomial mismatch: per-op walk ",
+                       walked, ", polynomial ", cost);
+      }
+      result.workerCycles = cost;
+      return result;
+    }
+  }
+  FlatExec exec(codelet, ctx);
+  result.workerCycles = exec.run();
   return result;
 }
 
@@ -1308,6 +2620,26 @@ graph::Codelet makeCodelet(std::string name, CodeletIR ir,
                            const ipu::CostModel& cost,
                            std::size_t numWorkers) {
   CompiledCodeletPtr cc = compileCodelet(ir, cost, numWorkers);
+  // Compile-time diagnostics: which loops got a VM kernel, which of those are
+  // block-vectorizable or matched a named bulk kernel. Costs nothing when the
+  // env var is unset; invaluable when a hot loop silently drops to the walk.
+  if (std::getenv("GRAPHENE_DUMP_COMPILE") != nullptr) {
+    std::size_t loops = 0, fast = 0;
+    for (const FlatStmt& s : cc->flat.stmts) {
+      if (s.kind == Stmt::Kind::For || s.kind == Stmt::Kind::ParFor) {
+        ++loops;
+        if (s.fastLoop >= 0) ++fast;
+      }
+    }
+    std::fprintf(stderr, "[compile] %s: loops=%zu fast=%zu static=%d\n",
+                 name.c_str(), loops, fast, cc->staticCost.valid ? 1 : 0);
+    for (const LoopKernel& k : cc->kernels) {
+      std::fprintf(stderr,
+                   "  kernel: par=%d ops=%zu csr=%d blockable=%d named=%d\n",
+                   k.isPar ? 1 : 0, k.ops.size(), k.csr.valid ? 1 : 0,
+                   k.blockable ? 1 : 0, static_cast<int>(k.named.p));
+    }
+  }
   return graph::Codelet{std::move(name),
                         [cc = std::move(cc)](graph::VertexContext& vc) {
                           return runCompiled(*cc, vc);

@@ -60,6 +60,13 @@ graph::VertexCost interpretCodelet(const CodeletIR& ir,
 void setCodeletFastPaths(bool enabled);
 bool codeletFastPathsEnabled();
 
+/// Enables the cycle-polynomial cross-check: codelets with a static cost
+/// additionally run the fully charged per-op walk and assert that the
+/// polynomial matches it exactly. Slow — for tests and debugging only. Also
+/// settable via the environment: GRAPHENE_VERIFY_CYCLES=1.
+void setCodeletCycleVerification(bool enabled);
+bool codeletCycleVerificationEnabled();
+
 /// Evaluates a binary operation on dynamically typed scalars with numeric
 /// promotion. Exposed for unit tests.
 Scalar evalBinaryScalar(BinOp op, const Scalar& lhs, const Scalar& rhs);

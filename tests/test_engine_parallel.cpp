@@ -49,7 +49,8 @@ struct SolveObservables {
 /// per-solver state, so engines must not share a program).
 SolveObservables runSolve(const matrix::GeneratedMatrix& g, std::size_t tiles,
                           const std::string& solverJson,
-                          std::size_t hostThreads, ipu::FaultPlan* plan) {
+                          std::size_t hostThreads, ipu::FaultPlan* plan,
+                          bool fusion = true) {
   Context ctx(ipu::IpuTarget::testTarget(tiles));
   auto rowToTile = partition::partitionAuto(g, tiles);
   auto layout = partition::buildLayout(g.matrix, rowToTile, tiles);
@@ -61,6 +62,7 @@ SolveObservables runSolve(const matrix::GeneratedMatrix& g, std::size_t tiles,
 
   graph::Engine engine(ctx.graph(), hostThreads);
   EXPECT_EQ(engine.numHostThreads(), hostThreads);
+  engine.setSuperstepFusion(fusion);
   if (plan != nullptr) {
     plan->reset();
     engine.setFaultPlan(plan);
@@ -147,11 +149,14 @@ TEST(ParallelEngine, BitIdenticalWithFaultPlanAttached) {
 
 TEST(ParallelEngine, FastPathMatchesGenericWalk) {
   auto g = matrix::poisson2d5(16, 16);
-  ASSERT_TRUE(dsl::codeletFastPathsEnabled());
+  // Force both modes explicitly so the A/B holds even when the whole suite
+  // runs under GRAPHENE_NO_FASTPATH=1 (the CI oracle job).
+  const bool envFastPaths = dsl::codeletFastPathsEnabled();
+  dsl::setCodeletFastPaths(true);
   SolveObservables fast = runSolve(g, 4, kCgJson, 1, nullptr);
   dsl::setCodeletFastPaths(false);
   SolveObservables generic = runSolve(g, 4, kCgJson, 1, nullptr);
-  dsl::setCodeletFastPaths(true);
+  dsl::setCodeletFastPaths(envFastPaths);
 
   ASSERT_EQ(fast.x.size(), generic.x.size());
   for (std::size_t i = 0; i < fast.x.size(); ++i) {
@@ -175,6 +180,84 @@ TEST(ParallelEngine, MixedPrecisionBitIdenticalToSerial) {
     EXPECT_EQ(serial.x[i], parallel.x[i]) << "element " << i;
   }
   expectProfilesIdentical(serial.profile, parallel.profile);
+}
+
+// ---------------------------------------------------------------------------
+// Superstep fusion A/B: fusing adjacent compute supersteps into one host
+// dispatch must be invisible — same solution bits, same Profile totals — on
+// full solver programs, serial and host-parallel, with and without the
+// fallback triggers (fault plan) attached.
+// ---------------------------------------------------------------------------
+
+TEST(SuperstepFusion, SolveBitIdenticalFusedVsUnfused) {
+  auto g = matrix::poisson2d5(24, 24);
+  SolveObservables unfused = runSolve(g, 8, kCgJson, 1, nullptr, false);
+  SolveObservables fused = runSolve(g, 8, kCgJson, 1, nullptr, true);
+
+  ASSERT_EQ(unfused.x.size(), fused.x.size());
+  for (std::size_t i = 0; i < unfused.x.size(); ++i) {
+    EXPECT_EQ(unfused.x[i], fused.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(unfused.profile, fused.profile);
+}
+
+TEST(SuperstepFusion, ParallelFusedMatchesSerialUnfused) {
+  // The strongest cross-check: 8 host threads + fusion vs 1 thread without,
+  // in one comparison — any schedule dependence in either layer shows up.
+  auto g = matrix::poisson2d5(24, 24);
+  SolveObservables serial = runSolve(g, 8, kCgJson, 1, nullptr, false);
+  SolveObservables parallel = runSolve(g, 8, kCgJson, 8, nullptr, true);
+
+  ASSERT_EQ(serial.x.size(), parallel.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    EXPECT_EQ(serial.x[i], parallel.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(serial.profile, parallel.profile);
+}
+
+TEST(SuperstepFusion, FaultPlanForcesFallbackAndStaysIdentical) {
+  // With a fault plan attached the engine must run fused members as plain
+  // supersteps so hooks fire at the exact unfused instants; the observable
+  // recovery timeline therefore cannot depend on the fusion setting.
+  auto g = matrix::poisson2d5(20, 20);
+  auto makePlan = [] {
+    return ipu::FaultPlan::fromJsonText(R"({
+      "seed": 11,
+      "faults": [
+        {"type": "stall", "tile": 1, "cycles": 5000, "superstep": 7},
+        {"type": "bitflip", "tensor": "cg_resid", "bit": 30, "count": 2,
+         "skip": 30}
+      ]
+    })");
+  };
+  ipu::FaultPlan planA = makePlan();
+  ipu::FaultPlan planB = makePlan();
+  SolveObservables unfused = runSolve(g, 8, kCgJson, 1, &planA, false);
+  SolveObservables fused = runSolve(g, 8, kCgJson, 8, &planB, true);
+
+  ASSERT_EQ(unfused.x.size(), fused.x.size());
+  for (std::size_t i = 0; i < unfused.x.size(); ++i) {
+    EXPECT_EQ(unfused.x[i], fused.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(unfused.profile, fused.profile);
+  EXPECT_FALSE(fused.profile.faultEvents.empty());
+}
+
+TEST(SuperstepFusion, MixedPrecisionFusedVsUnfused) {
+  auto g = matrix::poisson2d5(16, 16);
+  const char* mpirJson = R"({
+    "type": "mpir", "extendedType": "doubleword",
+    "maxRefinements": 4, "tolerance": 1e-12,
+    "inner": {"type": "cg", "maxIterations": 10, "tolerance": 0}
+  })";
+  SolveObservables unfused = runSolve(g, 8, mpirJson, 1, nullptr, false);
+  SolveObservables fused = runSolve(g, 8, mpirJson, 8, nullptr, true);
+
+  ASSERT_EQ(unfused.x.size(), fused.x.size());
+  for (std::size_t i = 0; i < unfused.x.size(); ++i) {
+    EXPECT_EQ(unfused.x[i], fused.x[i]) << "element " << i;
+  }
+  expectProfilesIdentical(unfused.profile, fused.profile);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,396 @@
+// Superstep fusion must be invisible to the simulated machine.
+//
+// graph::fuseSupersteps merges runs of adjacent Execute steps into one
+// ExecuteFused step so the engine can simulate each tile's work for the whole
+// run with a single host dispatch. These tests pin down the legality rules —
+// copies, host calls and ABFT compute sets end a fusable run; fault plans,
+// trace sinks, tile profiles and excluded tiles make the engine fall back to
+// per-superstep execution — and assert the only property that matters: fused
+// and unfused runs are bit-identical in results and exactly equal in every
+// Profile total. The event-driven exchange path (cached copy plans) gets the
+// same treatment against the full per-segment walk.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/compiler.hpp"
+#include "graph/engine.hpp"
+#include "graph/graph.hpp"
+#include "ipu/fault.hpp"
+#include "support/trace.hpp"
+
+using namespace graphene;
+using namespace graphene::graph;
+
+namespace {
+
+/// Field-by-field exact comparison (doubles compared with ==).
+void expectProfilesIdentical(const ipu::Profile& a, const ipu::Profile& b) {
+  EXPECT_EQ(a.computeCycles.size(), b.computeCycles.size());
+  for (const auto& [category, cycles] : a.computeCycles) {
+    auto it = b.computeCycles.find(category);
+    ASSERT_NE(it, b.computeCycles.end()) << "missing category " << category;
+    EXPECT_EQ(cycles, it->second) << "cycles differ in " << category;
+  }
+  EXPECT_EQ(a.exchangeCycles, b.exchangeCycles);
+  EXPECT_EQ(a.syncCycles, b.syncCycles);
+  EXPECT_EQ(a.computeSupersteps, b.computeSupersteps);
+  EXPECT_EQ(a.exchangeSupersteps, b.exchangeSupersteps);
+  EXPECT_EQ(a.exchangeInstructions, b.exchangeInstructions);
+  EXPECT_EQ(a.exchangedBytes, b.exchangedBytes);
+  EXPECT_EQ(a.verticesExecuted, b.verticesExecuted);
+  ASSERT_EQ(a.faultEvents.size(), b.faultEvents.size());
+}
+
+/// A two-tile graph whose compute sets append a marker to every element of
+/// `data` (x = 2x + k): order-sensitive, so any reordering of supersteps or
+/// tiles would change the result bits.
+struct TestRig {
+  Graph g{ipu::IpuTarget::testTarget(2)};
+  TensorId data = kInvalidTensor;
+
+  TestRig() {
+    TensorInfo info;
+    info.name = "data";
+    info.dtype = ipu::DType::Float32;
+    info.mapping = TileMapping::linear(8, 2);
+    data = g.addTensor(std::move(info));
+  }
+
+  /// Adds a compute set (one vertex per tile) computing x = 2x + k over the
+  /// tile's slice of `data`.
+  ComputeSetId addStep(float k, const std::string& category = "step") {
+    CodeletId c = g.addCodelet(Codelet{
+        "affine", [k](VertexContext& ctx) {
+          auto s = ctx.floatSpan(0);
+          for (float& x : s) x = 2.0f * x + k;
+          return VertexCost{static_cast<double>(s.size()) * 3.0, false};
+        }});
+    ComputeSetId cs = g.addComputeSet(category);
+    for (std::size_t tile = 0; tile < 2; ++tile) {
+      Vertex vx;
+      vx.codelet = c;
+      vx.tile = tile;
+      vx.args.push_back(TensorSlice{data, tile, 0, 4});
+      g.addVertex(cs, vx);
+    }
+    return cs;
+  }
+
+  CopySegment haloSeg(std::size_t srcTile, std::size_t dstTile) {
+    CopySegment s;
+    s.src = data;
+    s.srcTile = srcTile;
+    s.srcBegin = 0;
+    s.dst = data;
+    s.dsts.push_back({dstTile, 2});
+    s.count = 2;
+    return s;
+  }
+
+  std::vector<float> runOn(Engine& e, const ProgramPtr& p) {
+    e.writeTensor<float>(data, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+    e.run(p);
+    return e.readTensor<float>(data);
+  }
+};
+
+}  // namespace
+
+TEST(Fusion, FusesAdjacentExecuteRunsOnly) {
+  TestRig rig;
+  ComputeSetId a = rig.addStep(1.0f);
+  ComputeSetId b = rig.addStep(2.0f);
+  ComputeSetId c = rig.addStep(3.0f);
+  auto seq = Program::sequence();
+  seq->children.push_back(Program::execute(a));
+  seq->children.push_back(Program::execute(b));
+  seq->children.push_back(Program::copy({rig.haloSeg(0, 1)}));
+  seq->children.push_back(Program::execute(c));
+
+  auto fused = fuseSupersteps(seq, rig.g);
+  ProgramStats stats = analyzeProgram(fused);
+  EXPECT_EQ(stats.fusedSteps, 1u);    // a+b fused; copy ends the run
+  EXPECT_EQ(stats.executeSteps, 3u);  // members still count as supersteps
+  EXPECT_EQ(stats.copySteps, 1u);
+  // The original tree is untouched.
+  EXPECT_EQ(analyzeProgram(seq).fusedSteps, 0u);
+
+  // Fused and unfused execution agree bit-for-bit, including every profile
+  // total (each member commits its own superstep).
+  Engine unfused(rig.g, 1);
+  unfused.setSuperstepFusion(false);
+  Engine fusedEngine(rig.g, 1);
+  // Force fusion on so the A/B holds even when the whole suite runs under
+  // GRAPHENE_NO_FUSION=1 (the CI oracle job).
+  fusedEngine.setSuperstepFusion(true);
+  ASSERT_TRUE(fusedEngine.superstepFusion());
+  const std::vector<float> want = rig.runOn(unfused, seq);
+  const std::vector<float> got = rig.runOn(fusedEngine, seq);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(unfused.profile(), fusedEngine.profile());
+  EXPECT_EQ(fusedEngine.profile().computeSupersteps, 3u);
+  EXPECT_EQ(fusedEngine.simCycles(), unfused.simCycles());
+}
+
+TEST(Fusion, SingleExecuteAndNonExecuteStepsAreLeftAlone) {
+  TestRig rig;
+  ComputeSetId a = rig.addStep(1.0f);
+  auto seq = Program::sequence();
+  seq->children.push_back(Program::copy({rig.haloSeg(0, 1)}));
+  seq->children.push_back(Program::execute(a));
+  seq->children.push_back(Program::copy({rig.haloSeg(1, 0)}));
+
+  ProgramStats stats = analyzeProgram(fuseSupersteps(seq, rig.g));
+  EXPECT_EQ(stats.fusedSteps, 0u);  // a lone Execute never fuses
+  EXPECT_EQ(stats.executeSteps, 1u);
+  EXPECT_EQ(stats.copySteps, 2u);
+}
+
+TEST(Fusion, AbftComputeSetsBlockFusion) {
+  TestRig rig;
+  ComputeSetId a = rig.addStep(1.0f);
+  ComputeSetId guard = rig.addStep(0.5f, "abft");
+  ComputeSetId b = rig.addStep(2.0f);
+  auto seq = Program::sequence();
+  seq->children.push_back(Program::execute(a));
+  seq->children.push_back(Program::execute(guard));
+  seq->children.push_back(Program::execute(b));
+
+  // The ABFT set splits the run: a and b end up alone, nothing fuses.
+  ProgramStats stats = analyzeProgram(fuseSupersteps(seq, rig.g));
+  EXPECT_EQ(stats.fusedSteps, 0u);
+  EXPECT_EQ(stats.executeSteps, 3u);
+
+  // With the ABFT set at the end, the leading pair still fuses.
+  auto seq2 = Program::sequence();
+  seq2->children.push_back(Program::execute(a));
+  seq2->children.push_back(Program::execute(b));
+  seq2->children.push_back(Program::execute(guard));
+  ProgramStats stats2 = analyzeProgram(fuseSupersteps(seq2, rig.g));
+  EXPECT_EQ(stats2.fusedSteps, 1u);
+  EXPECT_EQ(stats2.executeSteps, 3u);
+}
+
+TEST(Fusion, HostCallsBlockFusion) {
+  TestRig rig;
+  ComputeSetId a = rig.addStep(1.0f);
+  ComputeSetId b = rig.addStep(2.0f);
+  auto seq = Program::sequence();
+  seq->children.push_back(Program::execute(a));
+  seq->children.push_back(Program::hostCall([](Engine&) {}));
+  seq->children.push_back(Program::execute(b));
+  ProgramStats stats = analyzeProgram(fuseSupersteps(seq, rig.g));
+  EXPECT_EQ(stats.fusedSteps, 0u);
+  EXPECT_EQ(stats.hostCallSteps, 1u);
+}
+
+TEST(Fusion, FaultPlanFallsBackAndStaysIdentical) {
+  // A stall on the fused pair's superstep: the fault hook must observe the
+  // same superstep indices and charge the same cycles whether or not the
+  // program was fused — the engine runs fused members as plain supersteps
+  // whenever a plan is attached.
+  auto makePlan = [] {
+    return ipu::FaultPlan::fromJsonText(R"({
+      "seed": 3,
+      "faults": [{"type": "stall", "tile": 1, "cycles": 777, "superstep": 1}]
+    })");
+  };
+  TestRig rigA;
+  ComputeSetId a1 = rigA.addStep(1.0f);
+  ComputeSetId b1 = rigA.addStep(2.0f);
+  auto seqA = Program::sequence();
+  seqA->children.push_back(Program::execute(a1));
+  seqA->children.push_back(Program::execute(b1));
+
+  TestRig rigB;
+  ComputeSetId a2 = rigB.addStep(1.0f);
+  ComputeSetId b2 = rigB.addStep(2.0f);
+  auto seqB = Program::sequence();
+  seqB->children.push_back(Program::execute(a2));
+  seqB->children.push_back(Program::execute(b2));
+
+  ipu::FaultPlan planA = makePlan();
+  ipu::FaultPlan planB = makePlan();
+  Engine unfused(rigA.g, 1);
+  unfused.setSuperstepFusion(false);
+  unfused.setFaultPlan(&planA);
+  Engine fused(rigB.g, 1);
+  fused.setSuperstepFusion(true);  // hold the A/B under GRAPHENE_NO_FUSION=1
+  fused.setFaultPlan(&planB);
+  const std::vector<float> want = rigA.runOn(unfused, seqA);
+  const std::vector<float> got = rigB.runOn(fused, seqB);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(unfused.profile(), fused.profile());
+  EXPECT_FALSE(fused.profile().faultEvents.empty());
+}
+
+TEST(Fusion, TraceSinkFallsBackAndStaysIdentical) {
+  TestRig rigA;
+  auto seqA = Program::sequence();
+  seqA->children.push_back(Program::execute(rigA.addStep(1.0f)));
+  seqA->children.push_back(Program::execute(rigA.addStep(2.0f)));
+  TestRig rigB;
+  auto seqB = Program::sequence();
+  seqB->children.push_back(Program::execute(rigB.addStep(1.0f)));
+  seqB->children.push_back(Program::execute(rigB.addStep(2.0f)));
+
+  support::TraceSink sinkA, sinkB;
+  Engine unfused(rigA.g, 1);
+  unfused.setSuperstepFusion(false);
+  unfused.setTraceSink(&sinkA);
+  Engine fused(rigB.g, 1);
+  fused.setSuperstepFusion(true);  // hold the A/B under GRAPHENE_NO_FUSION=1
+  fused.setTraceSink(&sinkB);
+  const std::vector<float> want = rigA.runOn(unfused, seqA);
+  const std::vector<float> got = rigB.runOn(fused, seqB);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(unfused.profile(), fused.profile());
+  // A trace-enabled run must still see one event per superstep, at the same
+  // timestamps — fusion is required to fall back, not to skip emission.
+  ASSERT_EQ(sinkA.events().size(), sinkB.events().size());
+  for (std::size_t i = 0; i < sinkA.events().size(); ++i) {
+    EXPECT_EQ(sinkA.events()[i].startCycle, sinkB.events()[i].startCycle);
+    EXPECT_EQ(sinkA.events()[i].durationCycles,
+              sinkB.events()[i].durationCycles);
+  }
+}
+
+TEST(Fusion, ExcludedTilesFallBackAndStayIdentical) {
+  TestRig rigA;
+  auto seqA = Program::sequence();
+  seqA->children.push_back(Program::execute(rigA.addStep(1.0f)));
+  seqA->children.push_back(Program::execute(rigA.addStep(2.0f)));
+  TestRig rigB;
+  auto seqB = Program::sequence();
+  seqB->children.push_back(Program::execute(rigB.addStep(1.0f)));
+  seqB->children.push_back(Program::execute(rigB.addStep(2.0f)));
+
+  Engine unfused(rigA.g, 1);
+  unfused.setSuperstepFusion(false);
+  unfused.setExcludedTiles({1});
+  Engine fused(rigB.g, 1);
+  fused.setSuperstepFusion(true);  // hold the A/B under GRAPHENE_NO_FUSION=1
+  fused.setExcludedTiles({1});
+  const std::vector<float> want = rigA.runOn(unfused, seqA);
+  const std::vector<float> got = rigB.runOn(fused, seqB);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(unfused.profile(), fused.profile());
+  // The excluded tile really executed nothing: its slice still holds the
+  // uploaded values.
+  EXPECT_EQ(got[4], 5.0f);
+  EXPECT_EQ(got[7], 8.0f);
+}
+
+TEST(Fusion, FusedPlanRebuildsWhenComputeSetGrows) {
+  // Run a fused pair, then append vertices to one member and run again: the
+  // cached per-tile worklist must rebuild (it mirrors each member plan's
+  // vertex-count staleness stamp), not replay the stale one.
+  TestRig rigA;
+  ComputeSetId a1 = rigA.addStep(1.0f);
+  ComputeSetId b1 = rigA.addStep(2.0f);
+  auto seqA = Program::sequence();
+  seqA->children.push_back(Program::execute(a1));
+  seqA->children.push_back(Program::execute(b1));
+  TestRig rigB;
+  ComputeSetId a2 = rigB.addStep(1.0f);
+  ComputeSetId b2 = rigB.addStep(2.0f);
+  auto seqB = Program::sequence();
+  seqB->children.push_back(Program::execute(a2));
+  seqB->children.push_back(Program::execute(b2));
+
+  Engine unfused(rigA.g, 1);
+  unfused.setSuperstepFusion(false);
+  Engine fused(rigB.g, 1);
+  fused.setSuperstepFusion(true);  // hold the A/B under GRAPHENE_NO_FUSION=1
+  rigA.runOn(unfused, seqA);
+  rigB.runOn(fused, seqB);
+
+  // Grow member b with a second pass over tile 0 (same codelet as "step").
+  auto grow = [](TestRig& rig, ComputeSetId cs) {
+    CodeletId c = rig.g.addCodelet(Codelet{
+        "affine2", [](VertexContext& ctx) {
+          auto s = ctx.floatSpan(0);
+          for (float& x : s) x = 2.0f * x + 9.0f;
+          return VertexCost{static_cast<double>(s.size()) * 3.0, false};
+        }});
+    Vertex vx;
+    vx.codelet = c;
+    vx.tile = 0;
+    vx.args.push_back(TensorSlice{rig.data, 0, 0, 4});
+    rig.g.addVertex(cs, vx);
+  };
+  grow(rigA, b1);
+  grow(rigB, b2);
+  const std::vector<float> want = rigA.runOn(unfused, seqA);
+  const std::vector<float> got = rigB.runOn(fused, seqB);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(unfused.profile(), fused.profile());
+}
+
+TEST(Exchange, CachedCopyPlanMatchesSegmentWalk) {
+  // The engine resolves a Copy step once and replays it when no fault plan
+  // or tile profile is attached. An *empty* fault plan forces the full
+  // per-segment walk without changing any outcome — a perfect oracle.
+  TestRig rigA;
+  auto seqA = Program::sequence();
+  seqA->children.push_back(
+      Program::copy({rigA.haloSeg(0, 1), rigA.haloSeg(1, 0)}));
+  seqA->children.push_back(Program::execute(rigA.addStep(1.0f)));
+  seqA->children.push_back(
+      Program::copy({rigA.haloSeg(0, 1), rigA.haloSeg(1, 0)}));
+  TestRig rigB;
+  auto seqB = Program::sequence();
+  seqB->children.push_back(
+      Program::copy({rigB.haloSeg(0, 1), rigB.haloSeg(1, 0)}));
+  seqB->children.push_back(Program::execute(rigB.addStep(1.0f)));
+  seqB->children.push_back(
+      Program::copy({rigB.haloSeg(0, 1), rigB.haloSeg(1, 0)}));
+
+  ipu::FaultPlan empty = ipu::FaultPlan::fromJsonText(R"({"faults": []})");
+  Engine walked(rigA.g, 1);
+  walked.setFaultPlan(&empty);  // forces the per-segment path
+  Engine cached(rigB.g, 1);
+  const std::vector<float> want = rigA.runOn(walked, seqA);
+  const std::vector<float> got = rigB.runOn(cached, seqB);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(walked.profile(), cached.profile());
+  EXPECT_GT(cached.profile().exchangedBytes, 0u);
+
+  // Replay: run the same program again on the cached engine — the second
+  // pass (a pure cache hit) must charge exactly the same exchange totals.
+  const auto bytesOnce = cached.profile().exchangedBytes;
+  const auto cyclesOnce = cached.profile().exchangeCycles;
+  rigB.runOn(cached, seqB);
+  EXPECT_EQ(cached.profile().exchangedBytes, 2 * bytesOnce);
+  EXPECT_EQ(cached.profile().exchangeCycles, 2 * cyclesOnce);
+}
+
+TEST(Exchange, ZeroByteExchangeIsSkippedButStillCommitted) {
+  // A Copy whose only destination is its own source is a zero-byte exchange
+  // superstep: the event-driven path must skip the segment simulation yet
+  // still commit the superstep (count +1, zero bytes, zero cycles) exactly
+  // like the full walk does.
+  TestRig rigA;
+  CopySegment self;
+  self.src = rigA.data;
+  self.srcTile = 0;
+  self.srcBegin = 0;
+  self.dst = rigA.data;
+  self.dsts.push_back({0, 0});
+  self.count = 4;
+  auto seqA = Program::sequence();
+  seqA->children.push_back(Program::copy({self}));
+
+  ipu::FaultPlan empty = ipu::FaultPlan::fromJsonText(R"({"faults": []})");
+  Engine walked(rigA.g, 1);
+  walked.setFaultPlan(&empty);
+  Engine cached(rigA.g, 1);
+  const std::vector<float> want = rigA.runOn(walked, seqA);
+  const std::vector<float> got = rigA.runOn(cached, seqA);
+  EXPECT_EQ(want, got);
+  expectProfilesIdentical(walked.profile(), cached.profile());
+  EXPECT_EQ(cached.profile().exchangeSupersteps, 1u);
+  EXPECT_EQ(cached.profile().exchangedBytes, 0u);
+  EXPECT_EQ(cached.profile().exchangeCycles, 0.0);
+}

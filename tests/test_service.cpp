@@ -288,21 +288,26 @@ TEST(SolverService, ResultRetentionIsBounded) {
   const std::size_t n = g.matrix.rows();
 
   SolverService service({.workers = 1, .tiles = 4, .maxRetainedResults = 2});
+  // Submit-then-wait one job at a time: a job can only be reaped by a
+  // *later* job's completion, so each wait() here observes its own result
+  // before any reap can touch it — regardless of how fast the worker runs.
   std::vector<std::size_t> ids;
   for (int i = 0; i < 4; ++i) {
     ids.push_back(service.submit(g, cgConfig(), ones(n)));
+    EXPECT_EQ(service.wait(ids.back()).solve.status, SolveStatus::Converged);
   }
-  // Waiting in submit order is fine: each waiter holds the JobState while
-  // blocked, so the reap never races a result away from under it.
-  for (std::size_t id : ids) {
-    EXPECT_EQ(service.wait(id).solve.status, SolveStatus::Converged);
-  }
-  // The lone worker reaped job 0 while finishing job 2, strictly before it
-  // even started job 3 — so with job 3's result observable, job 0's release
-  // is settled. (Job 1's reap rides on finishing job 3 and may still be in
-  // flight; the retained window {2, 3} is never reaped at all.)
-  const std::string released =
-      messageOf([&] { (void)service.wait(ids[0]); });
+  // Jobs 0 and 1 fell out of the 2-result retention window when jobs 2 and
+  // 3 finished. The reap runs on the worker thread just after the result is
+  // published, so poll briefly rather than assuming it already landed.
+  const auto waitReleased = [&](std::size_t id) {
+    for (int tries = 0; tries < 500; ++tries) {
+      const std::string msg = messageOf([&] { (void)service.wait(id); });
+      if (!msg.empty()) return msg;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return std::string("job was never released");
+  };
+  const std::string released = waitReleased(ids[0]);
   EXPECT_NE(released.find("already released"), std::string::npos) << released;
   EXPECT_NE(released.find("maxRetainedResults"), std::string::npos);
   EXPECT_EQ(service.wait(ids[2]).solve.status, SolveStatus::Converged);

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf gate: fail CI when the simulator got much slower than the record.
+
+Compares one or more fresh bench_simspeed JSON reports against the committed
+baseline (BENCH_SIMSPEED.json at the repo root) and exits 1 if any matching
+row regressed by more than the threshold factor in itersPerSec.
+
+Usage:
+    check_bench_regression.py [--baseline BENCH_SIMSPEED.json]
+                              [--threshold 2.0] fresh1.json [fresh2.json ...]
+
+Rows are matched on (solver, hostThreads). When several fresh reports are
+given, the BEST rate per row is used — CI runners are noisy and slow outliers
+are common, so the gate asks "can the simulator still reach at least
+baseline/threshold?" rather than "did this one run hit it?". Rows marked
+`saturated` (thread count above the machine's cores) are skipped: an
+oversubscribed ladder measures the scheduler, not the simulator. The
+threshold is deliberately loose (2x): this is a ratchet against large
+accidental regressions — a dropped fast path, an accidentally-disabled
+cache — not a microbenchmark tracker.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_rows(path):
+    """Returns {(solver, hostThreads): row} for non-saturated result rows."""
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for row in report.get("results", []):
+        if row.get("saturated"):
+            continue
+        rows[(row["solver"], row["hostThreads"])] = row
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", nargs="+", help="fresh bench_simspeed JSON files")
+    ap.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_SIMSPEED.json"),
+        help="committed baseline report (default: repo root)")
+    ap.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="max allowed slowdown factor vs baseline (default: 2.0)")
+    args = ap.parse_args()
+
+    baseline = load_rows(args.baseline)
+    if not baseline:
+        print(f"error: no comparable rows in baseline {args.baseline}")
+        return 1
+
+    # Best observed rate per row across all fresh reports.
+    best = {}
+    for path in args.fresh:
+        for key, row in load_rows(path).items():
+            rate = row["itersPerSec"]
+            if key not in best or rate > best[key]:
+                best[key] = rate
+
+    failed = False
+    for key, base_row in sorted(baseline.items()):
+        solver, threads = key
+        base = base_row["itersPerSec"]
+        floor = base / args.threshold
+        got = best.get(key)
+        if got is None:
+            print(f"MISSING  {solver} @ {threads} threads: "
+                  f"row absent from fresh reports (baseline {base:.0f}/s)")
+            failed = True
+            continue
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"{verdict:<10}{solver} @ {threads} threads: "
+              f"{got:.0f}/s vs baseline {base:.0f}/s "
+              f"(floor {floor:.0f}/s = baseline/{args.threshold:g})")
+        if got < floor:
+            failed = True
+
+    if failed:
+        print(f"\nperf gate FAILED: simulator slower than "
+              f"{args.threshold:g}x off the committed baseline "
+              f"({args.baseline}). If the slowdown is intentional, "
+              f"regenerate BENCH_SIMSPEED.json and commit it.")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
