@@ -51,8 +51,8 @@ int main() {
   bool allFaster = true;
   for (Case& c : cases) {
     ipu::IpuTarget target = ipu::IpuTarget::testTarget(c.tiles);
-    auto layout = partition::buildLayout(
-        c.g.matrix, partition::partitionAuto(c.g, c.tiles), c.tiles);
+    partition::Partitioner part(ipu::Topology::singleIpu(c.tiles));
+    auto layout = part.layout(c.g);
     auto blockStats = price(target, layout.transfers);
     auto cellStats = price(target, partition::naivePerCellTransfers(layout));
     double speedup = cellStats.cycles / blockStats.cycles;

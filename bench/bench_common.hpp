@@ -11,8 +11,9 @@
 #include <vector>
 
 #include "graph/engine.hpp"
+#include "ipu/topology.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -27,17 +28,22 @@ struct DistSystem {
   std::unique_ptr<graph::Engine> engine;
 };
 
-/// Builds target/layout/matrix/engine for `g` on `target`. Emit programs via
-/// the context before creating more; upload() is already done.
+/// Builds context/layout/matrix for `g` on `topo` via the pod-aware
+/// Partitioner. Emit programs via the context before creating more;
+/// upload() happens in runProgram.
+inline DistSystem makeSystem(const matrix::GeneratedMatrix& g,
+                             const ipu::Topology& topo) {
+  DistSystem s;
+  s.ctx = std::make_unique<dsl::Context>(topo.target());
+  partition::Partitioner part(topo);
+  s.A = std::make_unique<solver::DistMatrix>(g.matrix, part.layout(g));
+  return s;
+}
+
+/// Legacy entry point: a raw target is wrapped into its Topology.
 inline DistSystem makeSystem(const matrix::GeneratedMatrix& g,
                              const ipu::IpuTarget& target) {
-  DistSystem s;
-  s.ctx = std::make_unique<dsl::Context>(target);
-  auto layout = partition::buildLayout(
-      g.matrix, partition::partitionAuto(g, target.totalTiles()),
-      target.totalTiles());
-  s.A = std::make_unique<solver::DistMatrix>(g.matrix, std::move(layout));
-  return s;
+  return makeSystem(g, ipu::Topology::fromTarget(target));
 }
 
 /// Runs `program` once on a fresh engine and returns the profile. An

@@ -28,7 +28,7 @@
 #include "graph/engine.hpp"
 #include "ipu/fault.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/session.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
@@ -57,8 +57,8 @@ struct Outcome {
 Outcome solveWith(const matrix::GeneratedMatrix& problem, std::size_t tiles,
                   ipu::FaultPlan* plan) {
   dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
-  auto layout = partition::buildLayout(
-      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
+  auto layout = partition::Partitioner(ipu::Topology::singleIpu(tiles))
+                    .layout(problem);
   const std::size_t perExchange = layout.transfers.size();
   solver::DistMatrix A(problem.matrix, std::move(layout));
   dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");

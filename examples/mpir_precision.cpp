@@ -11,7 +11,7 @@
 
 #include "graph/engine.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 
@@ -27,8 +27,8 @@ struct Outcome {
 Outcome solveWith(const matrix::GeneratedMatrix& problem, std::size_t tiles,
                   const std::string& config) {
   dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
-  auto layout = partition::buildLayout(
-      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
+  auto layout = partition::Partitioner(ipu::Topology::singleIpu(tiles))
+                    .layout(problem);
   solver::DistMatrix A(problem.matrix, std::move(layout));
   dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");
   dsl::Tensor b = A.makeVector(dsl::DType::Float32, "b");

@@ -14,7 +14,7 @@
 #include "levelset/levelset.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/reorder.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 
@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
 
   // Device solve with PCG + ILU(0).
   dsl::Context ctx(ipu::IpuTarget::testTarget(tiles));
-  auto layout = partition::buildLayout(
-      problem.matrix, partition::partitionAuto(problem, tiles), tiles);
+  auto layout = partition::Partitioner(ipu::Topology::singleIpu(tiles))
+                    .layout(problem);
   solver::DistMatrix A(problem.matrix, std::move(layout));
   dsl::Tensor x = A.makeVector(dsl::DType::Float32, "x");
   dsl::Tensor b = A.makeVector(dsl::DType::Float32, "b");

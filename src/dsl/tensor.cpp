@@ -439,132 +439,191 @@ Tensor Expression::materialize(const std::string& category) const {
 
 bool Expression::isScalarShaped() const { return exprIsScalarShaped(node_); }
 
-Expression Expression::reduce(ReduceKind kind) const {
+namespace {
+
+/// The accumulator combine step for a reduction kind. (AbsMax combines with
+/// Max(acc, Abs(v)); partials are already non-negative, so re-applying Abs
+/// at later levels is a harmless identity.)
+Value combineReduce(ReduceKind kind, const Value& acc, const Value& v) {
+  switch (kind) {
+    case ReduceKind::Sum: return acc + v;
+    case ReduceKind::Max: return Max(acc, v);
+    case ReduceKind::Min: return Min(acc, v);
+    case ReduceKind::AbsMax: return Max(acc, Abs(v));
+  }
+  GRAPHENE_UNREACHABLE("bad reduce kind");
+}
+
+/// Lowers an expression tree to codelet IR at loop index `i`, resolving Ref
+/// nodes against `refs` (handle k+1 of `handles`; scalar-shaped operands
+/// were hoisted).
+Value lowerReduceExpr(const ExpNodePtr& n, const Value& i,
+                      const std::vector<graph::TensorId>& refs,
+                      const std::vector<Value>& handles,
+                      const std::vector<Value>& hoisted,
+                      const std::vector<bool>& scalarArg) {
+  auto lower = [&](const ExpNodePtr& node, const Value& idx) {
+    return lowerReduceExpr(node, idx, refs, handles, hoisted, scalarArg);
+  };
+  switch (n->kind) {
+    case ExpNode::Kind::Ref: {
+      std::size_t k = 0;
+      while (k < refs.size() && refs[k] != n->tensor) ++k;
+      return scalarArg[k] ? hoisted[k] : Value(handles[k + 1][i]);
+    }
+    case ExpNode::Kind::Const: return Value(n->constant);
+    case ExpNode::Kind::Binary: {
+      Value a = lower(n->a, i), b = lower(n->b, i);
+      switch (n->bop) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div: return a / b;
+        case BinOp::Mod: return a % b;
+        case BinOp::Lt: return a < b;
+        case BinOp::Le: return a <= b;
+        case BinOp::Gt: return a > b;
+        case BinOp::Ge: return a >= b;
+        case BinOp::Eq: return a == b;
+        case BinOp::Ne: return a != b;
+        case BinOp::And: return a && b;
+        case BinOp::Or: return a || b;
+        case BinOp::Min: return Min(a, b);
+        case BinOp::Max: return Max(a, b);
+      }
+      GRAPHENE_UNREACHABLE("bad binop");
+    }
+    case ExpNode::Kind::Unary: {
+      Value a = lower(n->a, i);
+      switch (n->uop) {
+        case UnOp::Neg: return -a;
+        case UnOp::Abs: return Abs(a);
+        case UnOp::Sqrt: return Sqrt(a);
+        case UnOp::Not: return !a;
+      }
+      GRAPHENE_UNREACHABLE("bad unop");
+    }
+    case ExpNode::Kind::Cast: return lower(n->a, i).cast(n->type);
+    case ExpNode::Kind::Select:
+      return Select(lower(n->a, i), lower(n->b, i), lower(n->c, i));
+  }
+  GRAPHENE_UNREACHABLE("bad node kind");
+}
+
+/// Emits a combine codelet reducing `groups` strided k-vectors (argument 0)
+/// into k scalar outputs (arguments firstOutArg .. firstOutArg+k-1):
+/// out_j = combine over g of data[g*k + j], with `groups` the constant trip
+/// count.
+void emitStridedCombine(ReduceKind kind, std::size_t k, const Value& data,
+                        std::size_t groups, int firstOutArg, DType accType) {
+  for (std::size_t j = 0; j < k; ++j) {
+    Value acc(data[Value(static_cast<int>(j))]);
+    For(1, Value(static_cast<int>(groups)), 1, [&](Value i) {
+      Value idx = k == 1 ? Value(i)
+                         : Value(i * Value(static_cast<int>(k)) +
+                                 Value(static_cast<int>(j)));
+      acc = combineReduce(kind, acc, Value(data[idx]));
+    });
+    Value out = Value::argument(firstOutArg + static_cast<int>(j), accType);
+    out[Value(0)] = acc;
+  }
+}
+
+/// Shared implementation of Expression::reduce (k == 1) and ReduceMany:
+/// one fused per-tile partial compute set for all k expressions, one
+/// gather, one final combine, one broadcast. On a pod with two-level
+/// reductions the gather runs in two hops — tiles to a per-IPU leader over
+/// the on-chip fabric, then one k-vector per IPU over the links — so link
+/// traffic per reduction is O(numIpus), not O(tiles). The optional
+/// `overlap` callback is emitted between the (first) gather and the final
+/// combine: work placed there hides the reduction's communication latency.
+std::vector<Tensor> reduceManyImpl(const std::vector<Expression>& exprs,
+                                   ReduceKind kind,
+                                   const std::function<void()>& overlap) {
   Context& ctx = Context::current();
   graph::Graph& g = ctx.graph();
-
-  // The accumulator combine step for this reduction kind.
-  auto combine = [kind](const Value& acc, const Value& v) -> Value {
-    switch (kind) {
-      case ReduceKind::Sum: return acc + v;
-      case ReduceKind::Max: return Max(acc, v);
-      case ReduceKind::Min: return Min(acc, v);
-      case ReduceKind::AbsMax: return Max(acc, Abs(v));
-    }
-    GRAPHENE_UNREACHABLE("bad reduce kind");
-  };
-
-  // Reducing a scalar-shaped expression is the expression itself (AbsMax
-  // still applies its elementwise transform).
-  if (exprIsScalarShaped(node_)) {
-    Tensor out = kind == ReduceKind::AbsMax
-                     ? Abs(*this).materialize("reduce")
-                     : materialize("reduce");
-    return Expression(out);
+  const std::size_t k = exprs.size();
+  GRAPHENE_CHECK(k > 0, "ReduceMany needs at least one expression");
+  const std::size_t nTiles = g.target().totalTiles();
+  const DType accType = exprs[0].node()->type;
+  for (const Expression& e : exprs) {
+    GRAPHENE_CHECK(e.node()->type == accType,
+                   "joint reductions must share one dtype");
   }
 
+  // Union of referenced tensors across all expressions (first-seen order;
+  // collectRefs deduplicates).
   std::vector<graph::TensorId> refs;
-  detail::collectRefs(node_, refs);
-  const std::size_t nTiles = g.target().totalTiles();
-  const DType accType = node_->type;
+  for (const Expression& e : exprs) detail::collectRefs(e.node(), refs);
 
   std::vector<bool> scalarArg(refs.size());
-  for (std::size_t k = 0; k < refs.size(); ++k) {
-    scalarArg[k] = detail::tensorIsScalarShaped(g.tensor(refs[k]));
+  for (std::size_t a = 0; a < refs.size(); ++a) {
+    scalarArg[a] = detail::tensorIsScalarShaped(g.tensor(refs[a]));
   }
-  // All non-scalar refs must share one mapping; find it for loop bounds.
-  int loopArg = -1;
-  const graph::TileMapping* mapping = nullptr;
-  for (std::size_t k = 0; k < refs.size(); ++k) {
-    if (!scalarArg[k]) {
-      const auto& info = g.tensor(refs[k]);
+  // Within each expression all non-scalar refs must share one mapping; find
+  // each expression's loop handle for its per-tile bounds.
+  std::vector<std::size_t> loopArg(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<graph::TensorId> own;
+    detail::collectRefs(exprs[j].node(), own);
+    int arg = -1;
+    const graph::TileMapping* mapping = nullptr;
+    for (graph::TensorId id : own) {
+      const auto& info = g.tensor(id);
+      if (detail::tensorIsScalarShaped(info)) continue;
       if (mapping == nullptr) {
         mapping = &info.mapping;
-        loopArg = static_cast<int>(k);
+        for (std::size_t a = 0; a < refs.size(); ++a) {
+          if (refs[a] == id) arg = static_cast<int>(a);
+        }
       } else {
         GRAPHENE_CHECK(info.mapping == *mapping,
                        "reduce operands must share one tile mapping");
       }
     }
+    GRAPHENE_CHECK(arg >= 0, "reduce needs a non-scalar operand");
+    loopArg[j] = static_cast<std::size_t>(arg);
   }
-  GRAPHENE_CHECK(loopArg >= 0, "reduce needs a non-scalar operand");
 
-  // Step 1: fused per-tile partial reduction.
-  Tensor partial(accType, graph::TileMapping::replicated(nTiles),
+  // Step 1: fused per-tile partial reduction — k accumulators, one pass.
+  Tensor partial(accType,
+                 k == 1 ? graph::TileMapping::replicated(nTiles)
+                        : graph::TileMapping::ragged(
+                              std::vector<std::size_t>(nTiles, k)),
                  ctx.freshName("partial"));
   {
     CodeletBuilder builder;
     builder.setNumArgs(1 + refs.size());
     std::vector<Value> handles;
     handles.push_back(Value::argument(0, accType));
-    for (std::size_t k = 0; k < refs.size(); ++k) {
+    for (std::size_t a = 0; a < refs.size(); ++a) {
       handles.push_back(
-          Value::argument(static_cast<int>(k + 1), g.tensor(refs[k]).dtype));
+          Value::argument(static_cast<int>(a + 1), g.tensor(refs[a]).dtype));
     }
     std::vector<Value> hoisted;
-    for (std::size_t k = 0; k < refs.size(); ++k) {
-      hoisted.push_back(scalarArg[k] ? Value(handles[k + 1][Value(0)])
+    for (std::size_t a = 0; a < refs.size(); ++a) {
+      hoisted.push_back(scalarArg[a] ? Value(handles[a + 1][Value(0)])
                                      : Value(0));
     }
-    std::function<Value(const ExpNodePtr&, const Value&)> lower =
-        [&](const ExpNodePtr& n, const Value& i) -> Value {
-      switch (n->kind) {
-        case ExpNode::Kind::Ref: {
-          std::size_t k = 0;
-          while (k < refs.size() && refs[k] != n->tensor) ++k;
-          return scalarArg[k] ? hoisted[k] : Value(handles[k + 1][i]);
-        }
-        case ExpNode::Kind::Const: return Value(n->constant);
-        case ExpNode::Kind::Binary: {
-          Value a = lower(n->a, i), b = lower(n->b, i);
-          switch (n->bop) {
-            case BinOp::Add: return a + b;
-            case BinOp::Sub: return a - b;
-            case BinOp::Mul: return a * b;
-            case BinOp::Div: return a / b;
-            case BinOp::Mod: return a % b;
-            case BinOp::Lt: return a < b;
-            case BinOp::Le: return a <= b;
-            case BinOp::Gt: return a > b;
-            case BinOp::Ge: return a >= b;
-            case BinOp::Eq: return a == b;
-            case BinOp::Ne: return a != b;
-            case BinOp::And: return a && b;
-            case BinOp::Or: return a || b;
-            case BinOp::Min: return Min(a, b);
-            case BinOp::Max: return Max(a, b);
-          }
-          GRAPHENE_UNREACHABLE("bad binop");
-        }
-        case ExpNode::Kind::Unary: {
-          Value a = lower(n->a, i);
-          switch (n->uop) {
-            case UnOp::Neg: return -a;
-            case UnOp::Abs: return Abs(a);
-            case UnOp::Sqrt: return Sqrt(a);
-            case UnOp::Not: return !a;
-          }
-          GRAPHENE_UNREACHABLE("bad unop");
-        }
-        case ExpNode::Kind::Cast: return lower(n->a, i).cast(n->type);
-        case ExpNode::Kind::Select:
-          return Select(lower(n->a, i), lower(n->b, i), lower(n->c, i));
-      }
-      GRAPHENE_UNREACHABLE("bad node kind");
-    };
-
-    // Initialise from element 0 (identity-free: works for Max/Min too; an
-    // empty tile region keeps the zero initialiser).
-    Value acc(Scalar::zero(accType));
-    Value loopHandle = handles[static_cast<std::size_t>(loopArg) + 1];
-    If(loopHandle.size() > 0, [&] {
-      Value first = lower(node_, Value(0));
-      acc = kind == ReduceKind::AbsMax ? Abs(first) : first;
-    });
-    For(1, loopHandle.size(), 1,
-        [&](Value i) { acc = combine(acc, lower(node_, i)); });
-    Value out = handles[0];
-    out[Value(0)] = acc;
+    // Initialise each accumulator from element 0 (identity-free: works for
+    // Max/Min too; an empty tile region keeps the zero initialiser).
+    for (std::size_t j = 0; j < k; ++j) {
+      const ExpNodePtr& node = exprs[j].node();
+      Value acc(Scalar::zero(accType));
+      Value loopHandle = handles[loopArg[j] + 1];
+      If(loopHandle.size() > 0, [&] {
+        Value first = lowerReduceExpr(node, Value(0), refs, handles,
+                                      hoisted, scalarArg);
+        acc = kind == ReduceKind::AbsMax ? Abs(first) : first;
+      });
+      For(1, loopHandle.size(), 1, [&](Value i) {
+        acc = combineReduce(kind, acc,
+                            lowerReduceExpr(node, i, refs, handles,
+                                            hoisted, scalarArg));
+      });
+      Value out = handles[0];
+      out[Value(static_cast<int>(j))] = acc;
+    }
 
     CodeletIR ir = builder.finish();
     const ipu::CostModel cost = g.costModel();
@@ -576,7 +635,7 @@ Expression Expression::reduce(ReduceKind kind) const {
       graph::Vertex v;
       v.codelet = codeletId;
       v.tile = tile;
-      v.args.push_back(graph::TensorSlice{partial.id(), tile, 0, 1});
+      v.args.push_back(graph::TensorSlice{partial.id(), tile, 0, k});
       for (graph::TensorId rid : refs) {
         const auto& rinfo = g.tensor(rid);
         v.args.push_back(graph::TensorSlice{
@@ -587,68 +646,256 @@ Expression Expression::reduce(ReduceKind kind) const {
     ctx.emit(graph::Program::execute(cs));
   }
 
-  // Step 2: gather partials on the control tile (tile 0 unless a resilience
-  // layer moved control off a blacklisted tile).
   const std::size_t ctrl = g.controlTile();
-  Tensor gathered(accType, graph::TileMapping::onTile(nTiles, ctrl, nTiles),
-                  ctx.freshName("gather"));
-  {
+  const ipu::IpuTarget& target = g.target();
+  const bool twoLevel = g.twoLevelReduce() && target.numIpus > 1;
+
+  // Created after the gather below so tensor naming and ids match the
+  // historical single-reduction emission.
+  std::vector<Tensor> outs;
+  auto makeOuts = [&] {
+    for (std::size_t j = 0; j < k; ++j) {
+      outs.emplace_back(Tensor::scalar(accType, ctx.freshName("reduced")));
+    }
+  };
+
+  if (!twoLevel) {
+    // Step 2 (flat): gather every tile's partial k-vector on the control
+    // tile (tile 0 unless a resilience layer moved control off a
+    // blacklisted tile).
+    Tensor gathered(accType,
+                    graph::TileMapping::onTile(nTiles * k, ctrl, nTiles),
+                    ctx.freshName("gather"));
+    {
+      std::vector<graph::CopySegment> segs;
+      segs.reserve(nTiles);
+      for (std::size_t tile = 0; tile < nTiles; ++tile) {
+        graph::CopySegment s;
+        s.src = partial.id();
+        s.srcTile = tile;
+        s.srcBegin = 0;
+        s.dst = gathered.id();
+        s.dsts.push_back({ctrl, tile * k});
+        s.count = k;
+        segs.push_back(std::move(s));
+      }
+      ctx.emit(graph::Program::copy(std::move(segs)));
+    }
+    if (overlap) overlap();
+    makeOuts();
+
+    // Step 3 (flat): final combine on the control tile.
+    {
+      CodeletBuilder builder;
+      builder.setNumArgs(1 + k);
+      Value gHandle = Value::argument(0, accType);
+      if (k == 1) {
+        // Transcription of the historical single-reduction combine: the
+        // emitted IR (and hence the simulated cycle count) must not change
+        // under refactoring.
+        Value oHandle = Value::argument(1, accType);
+        Value acc(gHandle[Value(0)]);
+        For(1, gHandle.size(), 1,
+            [&](Value i) { acc = combineReduce(kind, acc, Value(gHandle[i])); });
+        oHandle[Value(0)] = acc;
+      } else {
+        emitStridedCombine(kind, k, gHandle, nTiles, 1, accType);
+      }
+      CodeletIR ir = builder.finish();
+      const ipu::CostModel cost = g.costModel();
+      const std::size_t workers = g.target().workersPerTile;
+      graph::CodeletId codeletId = g.addCodelet(makeCodelet(
+          ctx.freshName("reduce_final"), std::move(ir), cost, workers));
+      graph::ComputeSetId cs = g.addComputeSet("reduce");
+      graph::Vertex v;
+      v.codelet = codeletId;
+      v.tile = ctrl;
+      v.args.push_back(graph::TensorSlice{gathered.id(), ctrl, 0, nTiles * k});
+      for (std::size_t j = 0; j < k; ++j) {
+        v.args.push_back(graph::TensorSlice{outs[j].id(), ctrl, 0, 1});
+      }
+      g.addVertex(cs, std::move(v));
+      ctx.emit(graph::Program::execute(cs));
+    }
+  } else {
+    // Two-level: tiles → per-IPU leader over the on-chip fabric, leaders →
+    // control tile over the links (one k-vector per IPU), then combine.
+    const std::size_t P = target.tilesPerIpu;
+    const std::size_t I = target.numIpus;
+    std::vector<std::size_t> leader(I, SIZE_MAX);
+    for (std::size_t ipu = 0; ipu < I; ++ipu) {
+      for (std::size_t t = ipu * P; t < (ipu + 1) * P; ++t) {
+        if (!g.tileExcluded(t)) {
+          leader[ipu] = t;
+          break;
+        }
+      }
+    }
+    // Keep control's own IPU anchored on the control tile so its hop in the
+    // link-gather step below is local.
+    if (leader[ctrl / P] != SIZE_MAX && !g.tileExcluded(ctrl)) {
+      leader[ctrl / P] = ctrl;
+    }
+
+    // Step 2a: intra-IPU gather (leader collects its chip's partials).
+    std::vector<std::size_t> lgSizes(nTiles, 0);
+    for (std::size_t ipu = 0; ipu < I; ++ipu) {
+      if (leader[ipu] != SIZE_MAX) lgSizes[leader[ipu]] = P * k;
+    }
+    Tensor lgather(accType, graph::TileMapping::ragged(lgSizes),
+                   ctx.freshName("gather"));
+    {
+      std::vector<graph::CopySegment> segs;
+      for (std::size_t ipu = 0; ipu < I; ++ipu) {
+        if (leader[ipu] == SIZE_MAX) continue;  // whole chip dead
+        for (std::size_t t = ipu * P; t < (ipu + 1) * P; ++t) {
+          graph::CopySegment s;
+          s.src = partial.id();
+          s.srcTile = t;
+          s.srcBegin = 0;
+          s.dst = lgather.id();
+          s.dsts.push_back({leader[ipu], (t - ipu * P) * k});
+          s.count = k;
+          segs.push_back(std::move(s));
+        }
+      }
+      ctx.emit(graph::Program::copy(std::move(segs)));
+    }
+    if (overlap) overlap();
+
+    // Step 2b: leader combine — one k-vector per surviving IPU. Dead tiles
+    // contributed their zero-initialised partials, same as the flat gather.
+    std::vector<std::size_t> lpSizes(nTiles, 0);
+    for (std::size_t ipu = 0; ipu < I; ++ipu) {
+      if (leader[ipu] != SIZE_MAX) lpSizes[leader[ipu]] = k;
+    }
+    Tensor lpartial(accType, graph::TileMapping::ragged(lpSizes),
+                    ctx.freshName("ipu_partial"));
+    {
+      CodeletBuilder builder;
+      builder.setNumArgs(2);
+      Value gHandle = Value::argument(0, accType);
+      Value pHandle = Value::argument(1, accType);
+      // The leader's k outputs live in one slice (unlike the final combine's
+      // k separate scalars), so combine with per-j output offsets here.
+      for (std::size_t j = 0; j < k; ++j) {
+        Value acc(gHandle[Value(static_cast<int>(j))]);
+        For(1, Value(static_cast<int>(P)), 1, [&](Value i) {
+          Value idx = k == 1 ? i
+                             : Value(i * Value(static_cast<int>(k)) +
+                                     Value(static_cast<int>(j)));
+          acc = combineReduce(kind, acc, Value(gHandle[idx]));
+        });
+        pHandle[Value(static_cast<int>(j))] = acc;
+      }
+      CodeletIR ir = builder.finish();
+      const ipu::CostModel cost = g.costModel();
+      const std::size_t workers = g.target().workersPerTile;
+      graph::CodeletId codeletId = g.addCodelet(makeCodelet(
+          ctx.freshName("reduce_leader"), std::move(ir), cost, workers));
+      graph::ComputeSetId cs = g.addComputeSet("reduce");
+      for (std::size_t ipu = 0; ipu < I; ++ipu) {
+        if (leader[ipu] == SIZE_MAX) continue;
+        graph::Vertex v;
+        v.codelet = codeletId;
+        v.tile = leader[ipu];
+        v.args.push_back(
+            graph::TensorSlice{lgather.id(), leader[ipu], 0, P * k});
+        v.args.push_back(
+            graph::TensorSlice{lpartial.id(), leader[ipu], 0, k});
+        g.addVertex(cs, std::move(v));
+      }
+      ctx.emit(graph::Program::execute(cs));
+    }
+
+    // Step 2c: link gather — one k-vector per IPU crosses to control.
+    Tensor gathered(accType, graph::TileMapping::onTile(I * k, ctrl, nTiles),
+                    ctx.freshName("gather"));
+    {
+      std::vector<graph::CopySegment> segs;
+      for (std::size_t ipu = 0; ipu < I; ++ipu) {
+        if (leader[ipu] == SIZE_MAX) continue;  // zeros remain for dead chips
+        graph::CopySegment s;
+        s.src = lpartial.id();
+        s.srcTile = leader[ipu];
+        s.srcBegin = 0;
+        s.dst = gathered.id();
+        s.dsts.push_back({ctrl, ipu * k});
+        s.count = k;
+        segs.push_back(std::move(s));
+      }
+      ctx.emit(graph::Program::copy(std::move(segs)));
+    }
+
+    // Step 3 (two-level): combine the per-IPU scalars on the control tile.
+    makeOuts();
+    {
+      CodeletBuilder builder;
+      builder.setNumArgs(1 + k);
+      Value gHandle = Value::argument(0, accType);
+      emitStridedCombine(kind, k, gHandle, I, 1, accType);
+      CodeletIR ir = builder.finish();
+      const ipu::CostModel cost = g.costModel();
+      const std::size_t workers = g.target().workersPerTile;
+      graph::CodeletId codeletId = g.addCodelet(makeCodelet(
+          ctx.freshName("reduce_final"), std::move(ir), cost, workers));
+      graph::ComputeSetId cs = g.addComputeSet("reduce");
+      graph::Vertex v;
+      v.codelet = codeletId;
+      v.tile = ctrl;
+      v.args.push_back(graph::TensorSlice{gathered.id(), ctrl, 0, I * k});
+      for (std::size_t j = 0; j < k; ++j) {
+        v.args.push_back(graph::TensorSlice{outs[j].id(), ctrl, 0, 1});
+      }
+      g.addVertex(cs, std::move(v));
+      ctx.emit(graph::Program::execute(cs));
+    }
+  }
+
+  // Step 4: broadcast every result to every tile's replica (one exchange
+  // superstep; over links the payload crosses once per destination IPU).
+  if (nTiles > 1) {
     std::vector<graph::CopySegment> segs;
-    segs.reserve(nTiles);
-    for (std::size_t tile = 0; tile < nTiles; ++tile) {
+    for (std::size_t j = 0; j < k; ++j) {
       graph::CopySegment s;
-      s.src = partial.id();
-      s.srcTile = tile;
+      s.src = outs[j].id();
+      s.srcTile = ctrl;
       s.srcBegin = 0;
-      s.dst = gathered.id();
-      s.dsts.push_back({ctrl, tile});
+      s.dst = outs[j].id();
       s.count = 1;
+      for (std::size_t tile = 0; tile < nTiles; ++tile) {
+        if (tile != ctrl) s.dsts.push_back({tile, 0});
+      }
       segs.push_back(std::move(s));
     }
     ctx.emit(graph::Program::copy(std::move(segs)));
   }
 
-  // Step 3: final reduction on the control tile into a replicated scalar.
-  Tensor out = Tensor::scalar(accType, ctx.freshName("reduced"));
-  {
-    CodeletBuilder builder;
-    builder.setNumArgs(2);
-    Value gHandle = Value::argument(0, accType);
-    Value oHandle = Value::argument(1, accType);
-    Value acc(gHandle[Value(0)]);
-    For(1, gHandle.size(), 1,
-        [&](Value i) { acc = combine(acc, Value(gHandle[i])); });
-    oHandle[Value(0)] = acc;
-    CodeletIR ir = builder.finish();
-    const ipu::CostModel cost = g.costModel();
-    const std::size_t workers = g.target().workersPerTile;
-    graph::CodeletId codeletId = g.addCodelet(makeCodelet(
-        ctx.freshName("reduce_final"), std::move(ir), cost, workers));
-    graph::ComputeSetId cs = g.addComputeSet("reduce");
-    graph::Vertex v;
-    v.codelet = codeletId;
-    v.tile = ctrl;
-    v.args.push_back(graph::TensorSlice{gathered.id(), ctrl, 0, nTiles});
-    v.args.push_back(graph::TensorSlice{out.id(), ctrl, 0, 1});
-    g.addVertex(cs, std::move(v));
-    ctx.emit(graph::Program::execute(cs));
-  }
+  return outs;
+}
 
-  // Step 4: broadcast the result to every tile's replica.
-  if (nTiles > 1) {
-    graph::CopySegment s;
-    s.src = out.id();
-    s.srcTile = ctrl;
-    s.srcBegin = 0;
-    s.dst = out.id();
-    s.count = 1;
-    for (std::size_t tile = 0; tile < nTiles; ++tile) {
-      if (tile != ctrl) s.dsts.push_back({tile, 0});
-    }
-    ctx.emit(graph::Program::copy({std::move(s)}));
-  }
+}  // namespace
 
-  return Expression(out);
+Expression Expression::reduce(ReduceKind kind) const {
+  // Reducing a scalar-shaped expression is the expression itself (AbsMax
+  // still applies its elementwise transform).
+  if (exprIsScalarShaped(node_)) {
+    Tensor out = kind == ReduceKind::AbsMax
+                     ? Abs(*this).materialize("reduce")
+                     : materialize("reduce");
+    return Expression(out);
+  }
+  return Expression(reduceManyImpl({*this}, kind, nullptr)[0]);
+}
+
+std::vector<Tensor> ReduceMany(const std::vector<Expression>& exprs,
+                               ReduceKind kind,
+                               const std::function<void()>& overlap) {
+  for (const Expression& e : exprs) {
+    GRAPHENE_CHECK(!e.isScalarShaped(),
+                   "ReduceMany expressions need a non-scalar operand");
+  }
+  return reduceManyImpl(exprs, kind, overlap);
 }
 
 // ---------------------------------------------------------------------------

@@ -153,6 +153,21 @@ Expression Max(const Expression& a, const Expression& b);
 Expression Select(const Expression& cond, const Expression& ifTrue,
                   const Expression& ifFalse);
 
+/// Joint reduction: reduces k expressions in ONE fused pass — one partial
+/// compute set, one gather exchange, one final combine, one broadcast —
+/// instead of k separate reduction trees. Pipelined Krylov methods use this
+/// to merge their dot products into a single global sync per iteration
+/// (Ghysels & Vanroose). All expressions must share a dtype and each needs a
+/// non-scalar operand. The optional `overlap` callback is emitted between
+/// the gather and the final combine: programs emitted there execute while
+/// the reduction's exchange is in flight, hiding its latency. On pods with
+/// two-level reductions enabled (Graph::ReduceMode) the gather runs
+/// hierarchically: tiles reduce to a per-IPU leader on-chip, and one
+/// k-vector per IPU crosses the links. Returns k replicated scalars.
+std::vector<Tensor> ReduceMany(const std::vector<Expression>& exprs,
+                               ReduceKind kind = ReduceKind::Sum,
+                               const std::function<void()>& overlap = {});
+
 /// Dot product: (a * b).reduce().
 Expression Dot(const Expression& a, const Expression& b);
 /// Euclidean norm: sqrt((a * a).reduce()).

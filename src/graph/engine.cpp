@@ -142,7 +142,8 @@ void Engine::setTileProfile(support::TileProfile* profile) {
   const ipu::IpuTarget& target = graph_.target();
   tileProfile_->init(target.totalTiles(), target.workersPerTile,
                      target.exchangeInstrCycles *
-                         target.exchangeSendBytesPerCycle);
+                         target.exchangeSendBytesPerCycle,
+                     target.tilesPerIpu);
   captureSramSnapshot();
 }
 
@@ -719,17 +720,25 @@ void Engine::runCopy(const ProgramPtr& node) {
       const ipu::ExchangeStats stats =
           ipu::priceExchange(graph_.target(), transfers, nullptr);
       cp.cycles = stats.cycles;
+      cp.intraCycles = stats.intraCycles;
+      cp.interCycles = stats.interCycles;
       cp.instructions = stats.instructions;
       cp.totalBytes = stats.totalBytes;
+      cp.interIpuBytes = stats.interIpuBytes;
+      cp.interIpuMessages = stats.interIpuMessages;
     }
     for (const CopyPlan::Move& mv : cp.moves) {
       storage_[mv.dst].copyFrom(storage_[mv.src], mv.srcFlat, mv.dstFlat,
                                 mv.count);
     }
     profile_.exchangeCycles += cp.cycles;
+    profile_.exchangeIntraCycles += cp.intraCycles;
+    profile_.exchangeInterCycles += cp.interCycles;
     profile_.exchangeSupersteps += 1;
     profile_.exchangeInstructions += cp.instructions;
     profile_.exchangedBytes += cp.totalBytes;
+    profile_.interIpuBytes += cp.interIpuBytes;
+    profile_.interIpuMessages += cp.interIpuMessages;
     for (const auto& [name, value] : program.copyMetrics) {
       profile_.metrics.addCounter(name, value);
     }
@@ -811,15 +820,23 @@ void Engine::runCopy(const ProgramPtr& node) {
     // Degraded links slow the whole exchange phase: BSP exchanges complete
     // when the last transfer lands, so one slow link stretches the phase.
     EngineFaultSurface surface(*this);
-    stats.cycles *=
+    const double stretch =
         faultPlan_->onExchangeSuperstep(profile_.exchangeSupersteps, surface);
+    stats.cycles *= stretch;
+    stats.intraCycles *= stretch;
+    stats.interCycles *= stretch;
   }
   profile_.exchangeCycles += stats.cycles;
+  profile_.exchangeIntraCycles += stats.intraCycles;
+  profile_.exchangeInterCycles += stats.interCycles;
   profile_.exchangeSupersteps += 1;
   profile_.exchangeInstructions += stats.instructions;
   profile_.exchangedBytes += stats.totalBytes;
+  profile_.interIpuBytes += stats.interIpuBytes;
+  profile_.interIpuMessages += stats.interIpuMessages;
   if (tileProfile_ != nullptr) {
     tileProfile_->exchangeCycles += stats.cycles;
+    tileProfile_->exchangeInterCycles += stats.interCycles;
     tileProfile_->exchangeSupersteps += 1;
   }
   for (const auto& [name, value] : program.copyMetrics) {

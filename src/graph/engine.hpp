@@ -290,8 +290,12 @@ class Engine {
     ProgramPtr node;  // pins the Copy node so the cache key stays unique
     std::vector<Move> moves;
     double cycles = 0;
+    double intraCycles = 0;
+    double interCycles = 0;
     std::size_t instructions = 0;
     std::size_t totalBytes = 0;
+    std::size_t interIpuBytes = 0;
+    std::size_t interIpuMessages = 0;
   };
 
   struct FusedProgram {

@@ -18,8 +18,12 @@ ExchangeStats priceExchange(const IpuTarget& target,
   std::vector<double> sendBytes(nTiles, 0.0);
   std::vector<double> recvBytes(nTiles, 0.0);
   std::vector<std::size_t> instrs(nTiles, 0);
-  // Bytes crossing each ordered (srcIpu, dstIpu) link.
-  std::map<std::pair<std::size_t, std::size_t>, double> linkBytes;
+  // Bytes and message count crossing each ordered (srcIpu, dstIpu) link.
+  struct LinkLoad {
+    double bytes = 0;
+    std::size_t messages = 0;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, LinkLoad> linkLoad;
 
   for (const Transfer& t : transfers) {
     GRAPHENE_CHECK(t.srcTile < nTiles, "transfer source tile out of range");
@@ -36,7 +40,9 @@ ExchangeStats priceExchange(const IpuTarget& target,
       const std::size_t dstIpu = target.ipuOfTile(dst);
       if (dstIpu != srcIpu && !ipuSeen[dstIpu]) {
         ipuSeen[dstIpu] = true;
-        linkBytes[{srcIpu, dstIpu}] += static_cast<double>(t.bytes);
+        LinkLoad& load = linkLoad[{srcIpu, dstIpu}];
+        load.bytes += static_cast<double>(t.bytes);
+        load.messages += 1;
         stats.interIpuBytes += t.bytes;
         stats.crossesIpus = true;
       }
@@ -64,15 +70,50 @@ ExchangeStats priceExchange(const IpuTarget& target,
     maxInstr = std::max(maxInstr, static_cast<double>(instrs[i]));
   }
 
+  // Link phase. Each active (srcIpu, dstIpu) pair is one stream: with halo
+  // aggregation every message between the pair coalesces into a single link
+  // transfer (one latency charge); otherwise each crossing message pays the
+  // latency. A chip drives at most `linksPerIpu` lanes concurrently, so when
+  // a superstep talks to more peers than that, its streams serialise onto
+  // the available lanes; the slowest chip (out- or in-bound) sets the phase.
+  std::vector<double> ipuOutSum(target.numIpus, 0.0);
+  std::vector<double> ipuOutMax(target.numIpus, 0.0);
+  std::vector<std::size_t> ipuOutPairs(target.numIpus, 0);
+  std::vector<double> ipuInSum(target.numIpus, 0.0);
+  std::vector<double> ipuInMax(target.numIpus, 0.0);
+  std::vector<std::size_t> ipuInPairs(target.numIpus, 0);
+  for (const auto& [pair, load] : linkLoad) {
+    const std::size_t messages =
+        target.aggregateInterIpuHalo ? 1 : load.messages;
+    stats.interIpuMessages += messages;
+    const double pairCycles =
+        target.linkLatencyCycles * static_cast<double>(messages) +
+        load.bytes / target.linkBytesPerCycle();
+    ipuOutSum[pair.first] += pairCycles;
+    ipuOutMax[pair.first] = std::max(ipuOutMax[pair.first], pairCycles);
+    ipuOutPairs[pair.first] += 1;
+    ipuInSum[pair.second] += pairCycles;
+    ipuInMax[pair.second] = std::max(ipuInMax[pair.second], pairCycles);
+    ipuInPairs[pair.second] += 1;
+  }
   double linkCycles = 0;
-  for (const auto& [pair, bytes] : linkBytes) {
-    linkCycles = std::max(linkCycles, bytes / target.linkBytesPerCycle());
+  for (std::size_t i = 0; i < target.numIpus; ++i) {
+    const double outLanes = static_cast<double>(
+        std::max<std::size_t>(1, std::min(target.linksPerIpu, ipuOutPairs[i])));
+    const double inLanes = static_cast<double>(
+        std::max<std::size_t>(1, std::min(target.linksPerIpu, ipuInPairs[i])));
+    linkCycles = std::max(linkCycles,
+                          std::max(ipuOutMax[i], ipuOutSum[i] / outLanes));
+    linkCycles =
+        std::max(linkCycles, std::max(ipuInMax[i], ipuInSum[i] / inLanes));
   }
 
   const double sync =
       stats.crossesIpus ? target.syncCyclesGlobal : target.syncCyclesOnChip;
-  stats.cycles = sync + target.exchangeInstrCycles * maxInstr +
-                 std::max(maxSendCycles, maxRecvCycles) + linkCycles;
+  stats.intraCycles = target.exchangeInstrCycles * maxInstr +
+                      std::max(maxSendCycles, maxRecvCycles);
+  stats.interCycles = linkCycles;
+  stats.cycles = sync + stats.intraCycles + stats.interCycles;
   return stats;
 }
 

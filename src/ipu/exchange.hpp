@@ -1,16 +1,29 @@
-// BSP exchange-phase cycle model for the IPU's all-to-all fabric.
+// Two-level BSP exchange-phase cycle model: the IPU's on-chip all-to-all
+// fabric, plus serialized IPU-Link lanes between chips.
 //
 // Communication programs are generated before execution (graph compile time)
 // and are cycle-precise (§II-A). This model prices one exchange superstep
 // given its list of transfers:
 //
-//   cycles = sync + instrOverhead * (busiest tile's transfer count)
-//            + max over tiles of send/recv serialisation
-//            + inter-IPU link serialisation (if any)
+//   cycles = sync
+//            + intra: instrOverhead * (busiest tile's transfer count)
+//                     + max over tiles of send/recv serialisation
+//            + inter: per ordered (srcIpu, dstIpu) pair, a link transfer of
+//                     latency + bytes/linkBandwidth; pairs sharing a chip's
+//                     link lanes serialise when the pair count exceeds
+//                     `linksPerIpu` (congestion), and the slowest chip sets
+//                     the phase duration.
+//
+// With `aggregateInterIpuHalo` (the default, and what the pod-aware layout
+// produces) all messages between an IPU pair coalesce into ONE link transfer
+// per superstep — one latency charge per pair; otherwise every crossing
+// message pays latency individually.
 //
 // A broadcast — one separator region consumed by several neighbour tiles — is
 // a *single* send (§IV: "broadcast to all neighbors in a single blockwise
-// transfer"); only the receivers each pay the receive cost.
+// transfer"); only the receivers each pay the receive cost. Over links the
+// payload crosses once per *destination IPU* (the gateway fans out on the
+// remote chip).
 #pragma once
 
 #include <cstddef>
@@ -35,9 +48,12 @@ struct Transfer {
 /// Static description of a compiled exchange program.
 struct ExchangeStats {
   double cycles = 0;            // modelled duration of the exchange superstep
+  double intraCycles = 0;       // on-chip fabric share (instr overhead + wire)
+  double interCycles = 0;       // IPU-Link share (latency + link serialisation)
   std::size_t instructions = 0; // total transfer instructions (program size)
   std::size_t totalBytes = 0;   // payload bytes pushed into the fabric
-  std::size_t interIpuBytes = 0;
+  std::size_t interIpuBytes = 0; // bytes crossing links, once per dst IPU
+  std::size_t interIpuMessages = 0; // link transfers charged (after aggregation)
   bool crossesIpus = false;
 };
 

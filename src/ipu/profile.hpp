@@ -102,6 +102,12 @@ struct Profile {
   /// Cycles spent in exchange supersteps (incl. their sync).
   double exchangeCycles = 0;
 
+  /// Two-level split of exchangeCycles (sync excluded): on-chip fabric
+  /// serialisation vs IPU-Link transfers. Both are zero-sync shares, so
+  /// exchangeIntraCycles + exchangeInterCycles <= exchangeCycles.
+  double exchangeIntraCycles = 0;
+  double exchangeInterCycles = 0;
+
   /// Cycles spent in compute-superstep BSP syncs.
   double syncCycles = 0;
 
@@ -109,6 +115,11 @@ struct Profile {
   std::size_t exchangeSupersteps = 0;
   std::size_t exchangeInstructions = 0;
   std::size_t exchangedBytes = 0;
+
+  /// Bytes crossing IPU-Links (counted once per destination IPU) and link
+  /// transfers charged (after halo aggregation). Zero on a single chip.
+  std::size_t interIpuBytes = 0;
+  std::size_t interIpuMessages = 0;
 
   /// Vertices run across all compute supersteps (simulator throughput
   /// statistics; no hardware analogue).
@@ -143,11 +154,15 @@ struct Profile {
   Profile& operator+=(const Profile& o) {
     for (const auto& [k, v] : o.computeCycles) computeCycles[k] += v;
     exchangeCycles += o.exchangeCycles;
+    exchangeIntraCycles += o.exchangeIntraCycles;
+    exchangeInterCycles += o.exchangeInterCycles;
     syncCycles += o.syncCycles;
     computeSupersteps += o.computeSupersteps;
     exchangeSupersteps += o.exchangeSupersteps;
     exchangeInstructions += o.exchangeInstructions;
     exchangedBytes += o.exchangedBytes;
+    interIpuBytes += o.interIpuBytes;
+    interIpuMessages += o.interIpuMessages;
     verticesExecuted += o.verticesExecuted;
     faultEvents.insert(faultEvents.end(), o.faultEvents.begin(),
                        o.faultEvents.end());

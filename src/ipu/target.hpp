@@ -59,6 +59,22 @@ struct IpuTarget {
   /// IPU-Link bandwidth per direction between a pair of IPUs, bytes/second.
   double linkBytesPerSecond = 64e9;
 
+  /// Fixed per-message cost of a link transfer (gateway turnaround + flit
+  /// setup; IPU-Link latency is ~0.5 µs, i.e. hundreds of tile cycles).
+  /// Aggregating halo messages amortises this, which is why the pod-aware
+  /// partitioner coalesces all traffic between an IPU pair per superstep.
+  double linkLatencyCycles = 600.0;
+
+  /// Number of IPU-Link lanes one chip can drive concurrently (Mk2: 10).
+  /// When a superstep talks to more peers than this, link transfers
+  /// serialise onto the available lanes.
+  std::size_t linksPerIpu = 10;
+
+  /// Coalesce all cross-IPU messages between an ordered IPU pair into one
+  /// link transfer per superstep (one latency charge per pair instead of
+  /// one per message). The pod-aware layout enables this by construction.
+  bool aggregateInterIpuHalo = true;
+
   std::size_t totalTiles() const { return tilesPerIpu * numIpus; }
 
   /// IPU index that owns a global tile id.

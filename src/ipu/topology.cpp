@@ -1,0 +1,92 @@
+#include "ipu/topology.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace graphene::ipu {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnvDouble(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return fnv1a(h, bits);
+}
+
+}  // namespace
+
+Topology::Topology() : target_(IpuTarget{}) {}
+
+Topology Topology::singleIpu(std::size_t tiles) {
+  GRAPHENE_CHECK(tiles >= 1, "Topology::singleIpu: need at least one tile");
+  IpuTarget t;
+  t.tilesPerIpu = tiles;
+  t.numIpus = 1;
+  return Topology(t);
+}
+
+Topology Topology::pod(std::size_t ipus, std::size_t tilesPerIpu,
+                       LinkModel link) {
+  GRAPHENE_CHECK(ipus >= 1, "Topology::pod: need at least one IPU");
+  GRAPHENE_CHECK(tilesPerIpu >= 1, "Topology::pod: need at least one tile per IPU");
+  GRAPHENE_CHECK(link.bytesPerSecond > 0, "Topology::pod: link bandwidth must be positive");
+  GRAPHENE_CHECK(link.latencyCycles >= 0, "Topology::pod: link latency must be non-negative");
+  GRAPHENE_CHECK(link.linksPerIpu >= 1, "Topology::pod: need at least one link lane");
+  IpuTarget t;
+  t.tilesPerIpu = tilesPerIpu;
+  t.numIpus = ipus;
+  t.linkBytesPerSecond = link.bytesPerSecond;
+  t.linkLatencyCycles = link.latencyCycles;
+  t.linksPerIpu = link.linksPerIpu;
+  t.aggregateInterIpuHalo = link.aggregateHalo;
+  return Topology(t);
+}
+
+Topology Topology::fromTarget(const IpuTarget& target) {
+  GRAPHENE_CHECK(target.tilesPerIpu >= 1 && target.numIpus >= 1,
+                 "Topology::fromTarget: degenerate target shape");
+  return Topology(target);
+}
+
+LinkModel Topology::link() const {
+  LinkModel l;
+  l.bytesPerSecond = target_.linkBytesPerSecond;
+  l.latencyCycles = target_.linkLatencyCycles;
+  l.linksPerIpu = target_.linksPerIpu;
+  l.aggregateHalo = target_.aggregateInterIpuHalo;
+  return l;
+}
+
+std::uint64_t Topology::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, target_.numIpus);
+  h = fnv1a(h, target_.tilesPerIpu);
+  h = fnvDouble(h, target_.linkBytesPerSecond);
+  h = fnvDouble(h, target_.linkLatencyCycles);
+  h = fnv1a(h, target_.linksPerIpu);
+  h = fnv1a(h, target_.aggregateInterIpuHalo ? 1 : 0);
+  return h;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << target_.numIpus << " IPU x " << target_.tilesPerIpu << " tiles";
+  return os.str();
+}
+
+bool Topology::operator==(const Topology& o) const {
+  return target_.numIpus == o.target_.numIpus &&
+         target_.tilesPerIpu == o.target_.tilesPerIpu && link() == o.link();
+}
+
+}  // namespace graphene::ipu

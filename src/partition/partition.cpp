@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <mutex>
 #include <queue>
 
+#include "partition/partitioner.hpp"
 #include "support/error.hpp"
 
 namespace graphene::partition {
@@ -49,6 +52,11 @@ void factor3(std::size_t tiles, std::size_t& px, std::size_t& py,
 }
 
 }  // namespace
+
+void factorCubic(std::size_t tiles, std::size_t& px, std::size_t& py,
+                 std::size_t& pz) {
+  factor3(tiles, px, py, pz);
+}
 
 std::vector<std::size_t> partitionGrid(std::size_t nx, std::size_t ny,
                                        std::size_t nz, std::size_t tiles) {
@@ -125,33 +133,33 @@ std::vector<std::size_t> partitionBfs(const matrix::CsrMatrix& a,
   return rowToTile;
 }
 
+namespace {
+
+void warnPartitionAutoDeprecated() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::fprintf(stderr,
+                 "graphene: warning: partitionAuto() is deprecated; construct "
+                 "a partition::Partitioner over an ipu::Topology instead "
+                 "(this warning is printed once)\n");
+  });
+}
+
+}  // namespace
+
 std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
                                        std::size_t tiles) {
-  if (g.nx > 0 && g.ny > 0 && g.nz > 0) {
-    return partitionGrid(g.nx, g.ny, g.nz, tiles);
-  }
-  return partitionBfs(g.matrix, tiles);
+  warnPartitionAutoDeprecated();
+  return Partitioner(ipu::Topology::singleIpu(tiles)).map(g);
 }
 
 std::vector<std::size_t> partitionAuto(
     const matrix::GeneratedMatrix& g, std::size_t tiles,
     const std::vector<std::size_t>& blacklist) {
-  if (blacklist.empty()) return partitionAuto(g, tiles);
-  std::vector<bool> dead(tiles, false);
-  for (std::size_t t : blacklist) {
-    GRAPHENE_CHECK(t < tiles, "blacklisted tile ", t, " out of range (",
-                   tiles, " tiles)");
-    dead[t] = true;
-  }
-  std::vector<std::size_t> survivors;
-  for (std::size_t t = 0; t < tiles; ++t) {
-    if (!dead[t]) survivors.push_back(t);
-  }
-  GRAPHENE_CHECK(!survivors.empty(),
-                 "all ", tiles, " tiles are blacklisted — nothing to run on");
-  std::vector<std::size_t> packed = partitionAuto(g, survivors.size());
-  for (std::size_t& t : packed) t = survivors[t];
-  return packed;
+  warnPartitionAutoDeprecated();
+  Partitioner p(ipu::Topology::singleIpu(tiles));
+  p.setBlacklist(blacklist);
+  return p.map(g);
 }
 
 std::vector<std::size_t> partitionSizes(

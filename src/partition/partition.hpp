@@ -17,6 +17,12 @@ namespace graphene::partition {
 /// Contiguous row blocks of (almost) equal size.
 std::vector<std::size_t> partitionLinear(std::size_t rows, std::size_t tiles);
 
+/// Factors `tiles` into px*py*pz as close to a cube as possible
+/// (px >= py >= pz, px*py*pz == tiles). Shared by the flat and the nested
+/// (pod) grid decompositions.
+void factorCubic(std::size_t tiles, std::size_t& px, std::size_t& py,
+                 std::size_t& pz);
+
 /// Block-grid decomposition of an nx × ny × nz grid into `tiles` cuboidal
 /// subdomains (tiles is factored into px·py·pz as cubically as possible).
 /// Cell (x,y,z) keeps the generator's index order: idx = (z*ny + y)*nx + x.
@@ -28,14 +34,16 @@ std::vector<std::size_t> partitionGrid(std::size_t nx, std::size_t ny,
 std::vector<std::size_t> partitionBfs(const matrix::CsrMatrix& a,
                                       std::size_t tiles);
 
-/// Picks grid partitioning when geometry is available, BFS otherwise.
+/// DEPRECATED: picks grid partitioning when geometry is available, BFS
+/// otherwise, treating `tiles` as one big IPU. Use
+/// `partition::Partitioner(Topology::singleIpu(tiles))` instead — this shim
+/// forwards there and prints a one-time deprecation warning.
 std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
                                        std::size_t tiles);
 
-/// Like partitionAuto, but never places rows on a blacklisted tile: the
-/// partition is computed over the surviving tile count and relabelled onto
-/// the surviving physical tile ids (ascending). This is what the hard-fault
-/// remap path uses after the watchdog confirms tiles dead.
+/// DEPRECATED: like partitionAuto, but never places rows on a blacklisted
+/// tile. Use `Partitioner(...).setBlacklist(...)` instead; same one-time
+/// warning as the overload above.
 std::vector<std::size_t> partitionAuto(const matrix::GeneratedMatrix& g,
                                        std::size_t tiles,
                                        const std::vector<std::size_t>& blacklist);

@@ -1,0 +1,313 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <queue>
+
+#include "partition/partition.hpp"
+#include "support/error.hpp"
+
+namespace graphene::partition {
+
+namespace {
+
+constexpr std::size_t kNone = SIZE_MAX;
+
+/// Largest-remainder apportionment of `n` rows over weighted slots: sizes
+/// are proportional to `weights`, sum to exactly `n`, and ties break by
+/// slot index (deterministic).
+std::vector<std::size_t> apportion(std::size_t n,
+                                   const std::vector<std::size_t>& weights) {
+  std::size_t total = std::accumulate(weights.begin(), weights.end(),
+                                      std::size_t{0});
+  GRAPHENE_CHECK(total > 0, "apportion: no capacity left");
+  std::vector<std::size_t> sizes(weights.size(), 0);
+  std::vector<std::size_t> frac(weights.size(), 0);
+  std::size_t given = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    sizes[i] = n * weights[i] / total;
+    frac[i] = (n * weights[i]) % total;
+    given += sizes[i];
+  }
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return frac[a] > frac[b];
+  });
+  for (std::size_t k = 0; given < n; ++k) {
+    // Never hand rows to a zero-weight (fully dead) slot.
+    const std::size_t i = order[k % order.size()];
+    if (weights[i] == 0) continue;
+    ++sizes[i];
+    ++given;
+  }
+  return sizes;
+}
+
+/// BFS-grown connected chunks over the adjacency of `a`, restricted to rows
+/// where `eligible` (nullptr = all rows). Chunk `c` grows to `targets[c]`
+/// rows; zero-target chunks are skipped; leftovers attach to the last
+/// non-empty chunk (same clamp as partitionBfs). Writes chunk ids into
+/// `chunkOfRow` (kNone elsewhere).
+void bfsChunks(const matrix::CsrMatrix& a, const std::vector<char>* eligible,
+               const std::vector<std::size_t>& targets,
+               std::vector<std::size_t>& chunkOfRow) {
+  const std::size_t n = a.rows();
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  auto ok = [&](std::size_t r) {
+    return (eligible == nullptr || (*eligible)[r]) && chunkOfRow[r] == kNone;
+  };
+
+  std::vector<std::size_t> active;  // chunk ids with a non-zero target
+  std::size_t wanted = 0;
+  for (std::size_t c = 0; c < targets.size(); ++c) {
+    if (targets[c] > 0) {
+      active.push_back(c);
+      wanted += targets[c];
+    }
+  }
+  if (active.empty()) return;
+
+  std::size_t pos = 0;  // index into `active`
+  std::size_t count = 0;
+  std::queue<std::size_t> frontier;
+  std::size_t nextSeed = 0;
+  for (std::size_t assigned = 0; assigned < wanted;) {
+    if (frontier.empty()) {
+      while (nextSeed < n && !ok(nextSeed)) ++nextSeed;
+      GRAPHENE_CHECK(nextSeed < n, "BFS pod partition lost cells");
+      frontier.push(nextSeed);
+      chunkOfRow[nextSeed] = active[pos];
+      ++count;
+      ++assigned;
+    }
+    while (!frontier.empty() && count < targets[active[pos]]) {
+      std::size_t u = frontier.front();
+      frontier.pop();
+      for (std::size_t k = rowPtr[u]; k < rowPtr[u + 1]; ++k) {
+        std::size_t v = static_cast<std::size_t>(col[k]);
+        if (ok(v) && count < targets[active[pos]]) {
+          chunkOfRow[v] = active[pos];
+          ++count;
+          ++assigned;
+          frontier.push(v);
+        }
+      }
+    }
+    if (count >= targets[active[pos]]) {
+      std::queue<std::size_t>().swap(frontier);
+      pos = std::min(pos + 1, active.size() - 1);
+      count = 0;
+    }
+  }
+}
+
+/// Nested block-grid decomposition: the nx x ny x nz grid is first cut into
+/// `ipus` cuboids (IPU subdomains, minimizing cut surface by cubical
+/// factoring), then each subdomain is cut into `tilesPerIpu` cuboids.
+/// Returns ipu * tilesPerIpu + localTile per cell, IPU-major.
+std::vector<std::size_t> gridPodMap(std::size_t nx, std::size_t ny,
+                                    std::size_t nz, std::size_t ipus,
+                                    std::size_t tilesPerIpu) {
+  // Assign the largest factor to the largest dimension (partitionGrid rule).
+  auto assignFactors = [](std::size_t parts, const std::size_t dims[3],
+                          std::size_t out[3]) {
+    std::size_t f[3];
+    factorCubic(parts, f[0], f[1], f[2]);  // descending
+    std::size_t order[3] = {0, 1, 2};
+    std::sort(order, order + 3,
+              [&](std::size_t a, std::size_t b) { return dims[a] > dims[b]; });
+    for (int i = 0; i < 3; ++i) out[order[static_cast<std::size_t>(i)]] =
+        f[i];
+  };
+
+  const std::size_t dims[3] = {nx, ny, nz};
+  std::size_t ipuFac[3];
+  assignFactors(ipus, dims, ipuFac);
+
+  // Boundary of IPU slab j along an axis of extent n cut in f parts: the
+  // first coordinate whose block index (min(f-1, x*f/n)) reaches j.
+  auto lo = [](std::size_t j, std::size_t n, std::size_t f) {
+    return (j * n + f - 1) / f;  // ceil(j*n/f)
+  };
+
+  std::vector<std::size_t> rowToTile(nx * ny * nz);
+  // Per-IPU tile factors depend only on the subdomain extents; cache them.
+  std::vector<std::array<std::size_t, 3>> tileFacCache(ipus);
+  std::vector<char> tileFacReady(ipus, 0);
+
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t c[3] = {x, y, z};
+        std::size_t ipuCoord[3], boxLo[3], boxExt[3];
+        for (int d = 0; d < 3; ++d) {
+          const std::size_t dd = static_cast<std::size_t>(d);
+          ipuCoord[dd] = std::min(ipuFac[dd] - 1, c[dd] * ipuFac[dd] / dims[dd]);
+          boxLo[dd] = lo(ipuCoord[dd], dims[dd], ipuFac[dd]);
+          boxExt[dd] = lo(ipuCoord[dd] + 1, dims[dd], ipuFac[dd]) - boxLo[dd];
+        }
+        const std::size_t ipu =
+            (ipuCoord[2] * ipuFac[1] + ipuCoord[1]) * ipuFac[0] + ipuCoord[0];
+        if (!tileFacReady[ipu]) {
+          assignFactors(tilesPerIpu, boxExt, tileFacCache[ipu].data());
+          tileFacReady[ipu] = 1;
+        }
+        const auto& tf = tileFacCache[ipu];
+        std::size_t local[3];
+        for (int d = 0; d < 3; ++d) {
+          const std::size_t dd = static_cast<std::size_t>(d);
+          local[dd] = boxExt[dd] == 0
+                          ? 0
+                          : std::min(tf[dd] - 1,
+                                     (c[dd] - boxLo[dd]) * tf[dd] / boxExt[dd]);
+        }
+        const std::size_t localTile =
+            (local[2] * tf[1] + local[1]) * tf[0] + local[0];
+        rowToTile[(z * ny + y) * nx + x] = ipu * tilesPerIpu + localTile;
+      }
+    }
+  }
+  return rowToTile;
+}
+
+}  // namespace
+
+Partitioner::Partitioner(ipu::Topology topology, Strategy strategy)
+    : topology_(topology), strategy_(strategy) {}
+
+Partitioner& Partitioner::setBlacklist(std::vector<std::size_t> deadTiles) {
+  const std::size_t total = topology_.totalTiles();
+  for (std::size_t t : deadTiles) {
+    GRAPHENE_CHECK(t < total, "blacklisted tile ", t, " out of range (", total,
+                   " tiles)");
+  }
+  blacklist_ = std::move(deadTiles);
+  return *this;
+}
+
+std::vector<std::size_t> Partitioner::map(const matrix::GeneratedMatrix& g) const {
+  const ipu::IpuTarget& t = topology_.target();
+  const std::size_t numIpus = t.numIpus;
+  const std::size_t tilesPerIpu = t.tilesPerIpu;
+  const std::size_t total = t.totalTiles();
+  const std::size_t n = g.matrix.rows();
+
+  std::vector<char> dead(total, 0);
+  for (std::size_t b : blacklist_) dead[b] = 1;
+  std::vector<std::vector<std::size_t>> survivors(numIpus);
+  std::vector<std::size_t> flatSurvivors;
+  for (std::size_t tile = 0; tile < total; ++tile) {
+    if (!dead[tile]) {
+      survivors[tile / tilesPerIpu].push_back(tile);
+      flatSurvivors.push_back(tile);
+    }
+  }
+  GRAPHENE_CHECK(!flatSurvivors.empty(),
+                 "all ", total, " tiles are blacklisted — nothing to run on");
+
+  const bool haveGeometry = g.nx > 0 && g.ny > 0 && g.nz > 0;
+  Strategy s = strategy_;
+  if (s == Strategy::Auto) s = haveGeometry ? Strategy::Grid : Strategy::Bfs;
+  GRAPHENE_CHECK(s != Strategy::Grid || haveGeometry,
+                 "Partitioner: Grid strategy needs generator geometry");
+
+  if (s == Strategy::Linear) {
+    // Contiguous row blocks over surviving tiles (IPU-major, so blocks are
+    // automatically contiguous per IPU).
+    std::vector<std::size_t> sizes =
+        apportion(n, std::vector<std::size_t>(flatSurvivors.size(), 1));
+    std::vector<std::size_t> rowToTile(n);
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < flatSurvivors.size(); ++i) {
+      for (std::size_t k = 0; k < sizes[i]; ++k)
+        rowToTile[row++] = flatSurvivors[i];
+    }
+    return rowToTile;
+  }
+
+  if (s == Strategy::Grid) {
+    // The nested grid keeps its regular shape as long as every IPU has the
+    // same number of surviving tiles (including the undamaged case); rows
+    // are laid out on a virtual ipus x k grid and relabelled onto the
+    // surviving physical tiles. Asymmetric damage falls through to BFS.
+    const std::size_t k = survivors[0].size();
+    bool uniform = k > 0;
+    for (const auto& sv : survivors) uniform = uniform && sv.size() == k;
+    if (uniform) {
+      std::vector<std::size_t> virt =
+          numIpus == 1 ? partitionGrid(g.nx, g.ny, g.nz, k)
+                       : gridPodMap(g.nx, g.ny, g.nz, numIpus, k);
+      for (std::size_t& v : virt) v = survivors[v / k][v % k];
+      return virt;
+    }
+    s = Strategy::Bfs;
+  }
+
+  // BFS path: single chip keeps the historical flat behaviour; pods split
+  // rows across IPUs first (weighted by surviving tiles), then grow equal
+  // connected chunks inside each IPU.
+  if (numIpus == 1) {
+    std::vector<std::size_t> packed = partitionBfs(g.matrix, flatSurvivors.size());
+    for (std::size_t& v : packed) v = flatSurvivors[v];
+    return packed;
+  }
+
+  std::vector<std::size_t> weights(numIpus);
+  for (std::size_t i = 0; i < numIpus; ++i) weights[i] = survivors[i].size();
+  std::vector<std::size_t> ipuRows = apportion(n, weights);
+
+  std::vector<std::size_t> ipuOfRow(n, kNone);
+  bfsChunks(g.matrix, nullptr, ipuRows, ipuOfRow);
+
+  std::vector<std::size_t> rowToTile(n, kNone);
+  for (std::size_t i = 0; i < numIpus; ++i) {
+    if (ipuRows[i] == 0) continue;
+    std::vector<char> mine(n, 0);
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (ipuOfRow[r] == i) {
+        mine[r] = 1;
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    std::vector<std::size_t> tileRows =
+        apportion(count, std::vector<std::size_t>(survivors[i].size(), 1));
+    std::vector<std::size_t> localChunk(n, kNone);
+    bfsChunks(g.matrix, &mine, tileRows, localChunk);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (localChunk[r] != kNone) rowToTile[r] = survivors[i][localChunk[r]];
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    GRAPHENE_CHECK(rowToTile[r] != kNone, "pod partition lost row ", r);
+  }
+  return rowToTile;
+}
+
+DistributedLayout Partitioner::layout(const matrix::GeneratedMatrix& g) const {
+  return buildLayout(g.matrix, map(g), topology_.totalTiles());
+}
+
+std::size_t interIpuCut(const matrix::CsrMatrix& a,
+                        const std::vector<std::size_t>& rowToTile,
+                        const ipu::Topology& topology) {
+  const ipu::IpuTarget& t = topology.target();
+  auto rowPtr = a.rowPtr();
+  auto col = a.colIdx();
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::size_t ipuI = t.ipuOfTile(rowToTile[i]);
+    for (std::size_t k = rowPtr[i]; k < rowPtr[i + 1]; ++k) {
+      const std::size_t j = static_cast<std::size_t>(col[k]);
+      if (j == i) continue;
+      if (t.ipuOfTile(rowToTile[j]) != ipuI) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace graphene::partition

@@ -1,0 +1,346 @@
+// Pipelined Preconditioned Conjugate Gradient (Ghysels & Vanroose,
+// "Hiding global synchronization latency in the preconditioned Conjugate
+// Gradient algorithm", Parallel Computing 40, 2014).
+//
+// Classic PCG needs three inner products per iteration — (p,Ap), (r,z) and
+// the convergence check (r,r) — at three different points of the recurrence,
+// so every iteration pays three global reduction round-trips. On a pod each
+// round-trip crosses the IPU-Links twice (gather + broadcast); for small
+// systems those fixed latencies dominate and strong scaling collapses.
+//
+// PIPECG rearranges the recurrences so all inner products are computable at
+// the SAME point, from vectors already available:
+//
+//   gamma = (r, u)    delta = (w, u)    rr = (r, r)
+//
+// with u = M^-1 r and w = A u maintained as iterates. The three reductions
+// merge into ONE joint reduction (dsl::ReduceMany), and the next iteration's
+// preconditioner apply m = M^-1 w and matrix product n = A m are emitted
+// inside the reduction's latency window — the BSP cost model prices the
+// overlap region between the reduction's gather and its final combine, which
+// is exactly where those compute supersteps land. The scalar recurrences
+//
+//   beta = gamma / gamma_old        alpha = gamma / (delta - beta gamma / alpha_old)
+//   z = n + beta z;  q = m + beta q;  s = w + beta s;  p = u + beta p
+//   x += alpha p;  r -= alpha s;  u -= alpha q;  w -= alpha z
+//
+// reproduce PCG's iterates in exact arithmetic (float32 rounding makes the
+// trajectories drift by at most an iteration or so near the tolerance).
+//
+// The robustness envelope mirrors CgSolver: host residual guard with
+// NaN/divergence detection, checkpoint/restart (a restart raises the `fresh`
+// flag, which re-enters the first-iteration recurrence with beta = 0), an
+// independently emitted duplicate of (r,r) under ABFT, and post-loop true
+// residual verification.
+#include <cmath>
+
+#include "solver/solvers.hpp"
+#include "support/trace.hpp"
+
+namespace graphene::solver {
+
+using dsl::Dot;
+using dsl::Expression;
+using dsl::Tensor;
+
+void PipelinedCgSolver::apply(DistMatrix& a, Tensor& x, Tensor& b) {
+  precond_->ensureSetup(a);
+  if (robust_.abft) a.enableAbft(robust_.abftTolerance);
+  dsl::Context::current().graph().setReduceMode(reduction_);
+
+  // Initial iterates: r0 = b (x0 = 0), u0 = M^-1 r0, w0 = A u0.
+  x = Expression(0.0f);
+  Tensor r = a.makeVector(DType::Float32, "pcg_r");
+  r = Expression(b);
+  Tensor u = a.makeVector(DType::Float32, "pcg_u");
+  precond_->apply(a, u, r);
+  Tensor w = a.makeVector(DType::Float32, "pcg_w");
+  a.spmv(w, u);
+  // Pipeline iterates: m = M^-1 w, n = A m, and the four direction vectors.
+  Tensor m = a.makeVector(DType::Float32, "pcg_m");
+  Tensor n = a.makeVector(DType::Float32, "pcg_n");
+  Tensor z = a.makeVector(DType::Float32, "pcg_z");
+  z = Expression(0.0f);
+  Tensor q = a.makeVector(DType::Float32, "pcg_q");
+  q = Expression(0.0f);
+  Tensor s = a.makeVector(DType::Float32, "pcg_s");
+  s = Expression(0.0f);
+  Tensor p = a.makeVector(DType::Float32, "pcg_p");
+  p = Expression(0.0f);
+
+  Tensor bNormSq = Dot(b, b);
+  Tensor gammaOld = Tensor::scalar(DType::Float32, "pcg_gamma_old");
+  gammaOld = Expression(1.0f);
+  Tensor alphaOld = Tensor::scalar(DType::Float32, "pcg_alpha_old");
+  alphaOld = Expression(1.0f);
+  Tensor alpha = Tensor::scalar(DType::Float32, "pcg_alpha");
+  Tensor beta = Tensor::scalar(DType::Float32, "pcg_beta");
+  Tensor denom = Tensor::scalar(DType::Float32, "pcg_denom");
+  Tensor resNormSq = Tensor(Expression(bNormSq));
+  Tensor iter = Tensor::scalar(DType::Int32, "pcg_iter");
+  iter = Expression(0);
+  // `fresh` selects the first-iteration recurrence (beta = 0, directions
+  // seeded from the current iterates). Raised initially and by restarts.
+  Tensor fresh = Tensor::scalar(DType::Int32, "pcg_fresh");
+  fresh = Expression(1);
+
+  // Self-healing state, as in CgSolver.
+  Tensor ok = Tensor::scalar(DType::Int32, "pcg_ok");
+  ok = Expression(1);
+  Tensor restart = Tensor::scalar(DType::Int32, "pcg_restart");
+  restart = Expression(0);
+  const bool recovery = robust_.maxRestarts > 0 && robust_.checkpointEvery > 0;
+  std::optional<Tensor> xCkpt;
+  if (recovery) {
+    xCkpt.emplace(a.makeVector(DType::Float32, "pcg_ckpt"));
+    *xCkpt = Expression(x);
+  }
+  stateId_ = recovery ? xCkpt->id() : x.id();
+  // ABFT: the duplicate of (r,r) stays a SEPARATE reduction tree (its own
+  // partial compute set and gather) rather than a fourth joint output —
+  // riding the joint reduction's exchange would make corruption of that
+  // exchange hit original and duplicate identically, hiding it.
+  std::optional<Tensor> resDup;
+  if (robust_.abft) {
+    resDup.emplace(Tensor::scalar(DType::Float32, "pcg_rrdup"));
+  }
+
+  const float tol2 = static_cast<float>(tolerance_ * tolerance_);
+  auto histPtr = history_;
+  auto resPtr = result_;
+  // Stagnation guard: silent finite corruption (below the divergence
+  // threshold, missed by ABFT timing) leaves the direction recurrences
+  // incoherent — the residual then oscillates around a plateau forever.
+  // Residual replacement keeps it honest but cannot restore conjugacy, so
+  // the host guard also tracks the best residual: no halving of it within
+  // the window (while still above tolerance) means the Krylov process is
+  // stuck, and a checkpoint restart (fresh directions) is the only cure.
+  constexpr std::size_t kStagnationWindow = 32;
+  struct GuardState {
+    double bestRel = 1.0;
+    std::size_t bestIt = 0;
+  };
+  auto guardState = std::make_shared<GuardState>();
+  const RobustnessOptions opts = robust_;
+  const double tolerance = tolerance_;
+  graph::TensorId resId = resNormSq.id(), bId = bNormSq.id();
+  graph::TensorId okId = ok.id(), restartId = restart.id(),
+                  iterId = iter.id();
+  graph::TensorId abftId =
+      robust_.abft ? a.abftFlagId() : graph::kInvalidTensor;
+  graph::TensorId dupId = robust_.abft ? resDup->id() : graph::kInvalidTensor;
+
+  dsl::HostCall([resPtr, guardState](graph::Engine&) {
+    *resPtr = SolveResult{};
+    resPtr->status = SolveStatus::Running;
+    *guardState = GuardState{};
+  });
+
+  Expression keepGoing =
+      tolerance_ > 0.0
+          ? Expression(iter) < static_cast<int>(maxIterations_) &&
+                Expression(resNormSq) > Expression(tol2) * Expression(bNormSq)
+          : Expression(iter) < static_cast<int>(maxIterations_);
+
+  dsl::While(keepGoing && Expression(ok) > Expression(0), [&] {
+    if (recovery) {
+      // Host-requested restart: re-seed from the checkpoint, rebuild every
+      // pipeline iterate from scratch, and re-enter the fresh path so the
+      // direction vectors are re-seeded (beta = 0).
+      dsl::If(Expression(restart) > Expression(0), [&] {
+        x = Expression(*xCkpt);
+        a.spmv(n, x);
+        r = Expression(b) - Expression(n);
+        precond_->apply(a, u, r);
+        a.spmv(w, u);
+        resNormSq = Dot(r, r);
+        fresh = Expression(1);
+        restart = Expression(0);
+      });
+    }
+
+    if (replaceEvery_ > 0) {
+      // Residual replacement (Cools, Yetkin, Agullo, Giraud & Vanroose,
+      // SIAM J. Matrix Anal. 2018): the pipelined recurrences for r, u, w
+      // and the auxiliary vectors amplify local rounding error, which in
+      // float32 stalls the attainable accuracy well above classic CG's.
+      // Periodically recompute every drifted iterate from its definition —
+      // r = b - A x, u = M^-1 r, w = A u, s = A p, q = M^-1 s, z = A q —
+      // keeping the search direction p, so convergence continues where the
+      // recurrences left off instead of restarting.
+      dsl::If(Expression(iter) > Expression(0) &&
+                  Expression(iter) % static_cast<int>(replaceEvery_) ==
+                      Expression(0) &&
+                  Expression(fresh) == Expression(0),
+              [&] {
+                a.spmv(n, x);
+                r = Expression(b) - Expression(n);
+                precond_->apply(a, u, r);
+                a.spmv(w, u);
+                a.spmv(s, p);
+                precond_->apply(a, q, s);
+                a.spmv(z, q);
+                resNormSq = Dot(r, r);
+              });
+    }
+
+    // The heart of PIPECG: one joint reduction for gamma = (r,u),
+    // delta = (w,u) and rr = (r,r); the preconditioner apply and SpMV of
+    // m/n execute inside its latency window.
+    auto red = dsl::ReduceMany(
+        {Expression(r) * Expression(u), Expression(w) * Expression(u),
+         Expression(r) * Expression(r)},
+        dsl::ReduceKind::Sum, [&] {
+          precond_->apply(a, m, w);
+          a.spmv(n, m);
+        });
+    Tensor& gamma = red[0];
+    Tensor& delta = red[1];
+    resNormSq = Expression(red[2]);
+    if (robust_.abft) *resDup = Dot(r, r);
+
+    // Scalar recurrences, breakdown-guarded like CgSolver: a vanishing
+    // denominator yields alpha/beta = 0 (stall) instead of NaN, and the
+    // host guard then takes over.
+    beta = dsl::Select(
+        Expression(fresh) > Expression(0), Expression(0.0f),
+        dsl::Select(Abs(Expression(gammaOld)) > Expression(0.0f),
+                    Expression(gamma) / Expression(gammaOld),
+                    Expression(0.0f)));
+    denom = Expression(delta) -
+            Expression(beta) *
+                dsl::Select(Abs(Expression(alphaOld)) > Expression(0.0f),
+                            Expression(gamma) / Expression(alphaOld),
+                            Expression(0.0f));
+    alpha = dsl::Select(Abs(Expression(denom)) > Expression(0.0f),
+                        Expression(gamma) / Expression(denom),
+                        Expression(0.0f));
+
+    // Vector recurrences. With fresh (beta = 0) these seed z = n, q = m,
+    // s = w, p = u — the classic first CG step.
+    z = Expression(n) + Expression(beta) * Expression(z);
+    q = Expression(m) + Expression(beta) * Expression(q);
+    s = Expression(w) + Expression(beta) * Expression(s);
+    p = Expression(u) + Expression(beta) * Expression(p);
+    x = Expression(x) + Expression(alpha) * Expression(p);
+    r = Expression(r) - Expression(alpha) * Expression(s);
+    u = Expression(u) - Expression(alpha) * Expression(q);
+    w = Expression(w) - Expression(alpha) * Expression(z);
+
+    gammaOld = Expression(gamma);
+    alphaOld = Expression(alpha);
+    fresh = Expression(0);
+    iter = Expression(iter) + 1;
+    if (recovery) {
+      dsl::If(Expression(iter) %
+                      static_cast<int>(robust_.checkpointEvery) ==
+                  Expression(0),
+              [&] { *xCkpt = Expression(x); });
+    }
+
+    // Host guard: identical contract to CgSolver's (NaN/divergence =>
+    // restart or typed outcome; ABFT flag + duplicate reduction verdict).
+    dsl::HostCall([histPtr, resPtr, opts, recovery, tolerance, guardState,
+                   resId, bId, okId, restartId, iterId, abftId,
+                   dupId](graph::Engine& e) {
+      const double rr = e.readScalar(resId).toHostDouble();
+      const double bb = e.readScalar(bId).toHostDouble();
+      const auto it =
+          static_cast<std::size_t>(e.readScalar(iterId).toHostDouble());
+      const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+      const bool bad = !std::isfinite(rr) || rel > opts.divergenceFactor;
+      bool abftBad = false;
+      if (!bad && abftId != graph::kInvalidTensor) {
+        const double flag = e.readScalar(abftId).toHostDouble();
+        const double dup = e.readScalar(dupId).toHostDouble();
+        abftBad = !(flag <= opts.abftTolerance) || dup != rr;
+      }
+      bool stagnated = false;
+      if (!bad && !abftBad) {
+        if (rel < 0.5 * guardState->bestRel) {
+          guardState->bestRel = rel;
+          guardState->bestIt = it;
+        }
+        stagnated = recovery && tolerance > 0.0 &&
+                    it > guardState->bestIt + kStagnationWindow &&
+                    resPtr->restarts < opts.maxRestarts;
+      }
+      if (!bad && !abftBad && !stagnated) {
+        histPtr->push_back({histPtr->size() + 1, rel});
+        resPtr->iterations = it;
+        resPtr->finalResidual = rel;
+        support::recordIteration(e.traceSink(), "pipelined-cg",
+                                 histPtr->size(), rel, e.simCycles(),
+                                 e.profile().computeSupersteps);
+        return;
+      }
+      if (abftBad) {
+        e.profile().metrics.addCounter("resilience.abft.mismatches", 1);
+        e.profile().faultEvents.push_back(
+            {"abft-mismatch", e.profile().computeSupersteps, "pipelined-cg",
+             it, -1, 0.0, "checksum defect above tolerance"});
+        e.writeScalar(abftId, graph::Scalar(0.0f));
+      }
+      if (recovery && resPtr->restarts < opts.maxRestarts) {
+        ++resPtr->restarts;
+        e.profile().metrics.addCounter("cg.restarts", 1);
+        e.writeScalar(restartId, graph::Scalar(std::int32_t(1)));
+        // Repair the condition scalar so the While loop survives the NaN.
+        e.writeScalar(resId, graph::Scalar(static_cast<float>(bb)));
+        // Re-arm the stagnation window from the restart point.
+        guardState->bestIt = it;
+        e.profile().faultEvents.push_back(
+            {"recovery:restart", e.profile().computeSupersteps,
+             "pipelined-cg", it, -1, 0.0,
+             bad ? (!std::isfinite(rr)
+                        ? "nan residual; re-seeding from checkpoint"
+                        : "diverged; re-seeding from checkpoint")
+                 : (stagnated
+                        ? "stagnated residual; re-seeding from checkpoint"
+                        : "abft mismatch; re-seeding from checkpoint")});
+      } else {
+        resPtr->status = bad ? (std::isfinite(rr) ? SolveStatus::Diverged
+                                                  : SolveStatus::NanDetected)
+                             : SolveStatus::CorruptionDetected;
+        resPtr->iterations = it;
+        e.writeScalar(okId, graph::Scalar(std::int32_t(0)));
+      }
+    });
+  });
+
+  // Post-loop verification (ABFT only): re-measure the true residual.
+  graph::TensorId verId = graph::kInvalidTensor;
+  std::optional<Tensor> verNormSq;
+  if (robust_.abft && tolerance_ > 0.0) {
+    a.spmv(n, x);
+    Tensor vr = a.makeVector(DType::Float32, "pcg_verify");
+    vr = Expression(b) - Expression(n);
+    verNormSq.emplace(Dot(vr, vr));
+    verId = verNormSq->id();
+  }
+
+  dsl::HostCall([resPtr, resId, bId, iterId, verId,
+                 tolerance](graph::Engine& e) {
+    if (resPtr->status != SolveStatus::Running) return;
+    const double rr = e.readScalar(resId).toHostDouble();
+    const double bb = e.readScalar(bId).toHostDouble();
+    const double rel = std::sqrt(std::abs(rr) / std::max(bb, 1e-300));
+    resPtr->iterations =
+        static_cast<std::size_t>(e.readScalar(iterId).toHostDouble());
+    if (std::isfinite(rel)) resPtr->finalResidual = rel;
+    resPtr->status = tolerance > 0.0 && rel <= tolerance
+                         ? SolveStatus::Converged
+                         : SolveStatus::MaxIterations;
+    if (resPtr->status == SolveStatus::Converged &&
+        verId != graph::kInvalidTensor) {
+      const double vv = e.readScalar(verId).toHostDouble();
+      const double vrel = std::sqrt(std::abs(vv) / std::max(bb, 1e-300));
+      if (!(vrel <= 50.0 * tolerance)) {
+        resPtr->status = SolveStatus::CorruptionDetected;
+        resPtr->finalResidual = vrel;
+      }
+    }
+  });
+}
+
+}  // namespace graphene::solver

@@ -160,12 +160,24 @@ std::unique_ptr<Solver> makeSolver(const json::Value& config) {
         static_cast<float>(config.getOr("omega", 0.5)));
   }
   if (type == "bicgstab" || type == "cg") {
-    validateKeys(config, where,
-                 {{"type", KeyKind::String},
-                  {"maxIterations", KeyKind::Number},
-                  {"tolerance", KeyKind::Number},
-                  {"preconditioner", KeyKind::Object},
-                  {"robustness", KeyKind::Object}});
+    if (type == "cg") {
+      validateKeys(config, where,
+                   {{"type", KeyKind::String},
+                    {"maxIterations", KeyKind::Number},
+                    {"tolerance", KeyKind::Number},
+                    {"preconditioner", KeyKind::Object},
+                    {"robustness", KeyKind::Object},
+                    {"pipelined", KeyKind::Bool},
+                    {"reduction", KeyKind::String},
+                    {"residualReplaceEvery", KeyKind::Number}});
+    } else {
+      validateKeys(config, where,
+                   {{"type", KeyKind::String},
+                    {"maxIterations", KeyKind::Number},
+                    {"tolerance", KeyKind::Number},
+                    {"preconditioner", KeyKind::Object},
+                    {"robustness", KeyKind::Object}});
+    }
     std::unique_ptr<Solver> precond;
     if (config.contains("preconditioner")) {
       precond = makeSolver(config.at("preconditioner"));
@@ -176,9 +188,33 @@ std::unique_ptr<Solver> makeSolver(const json::Value& config) {
         static_cast<std::size_t>(config.getOr("maxIterations", 1000));
     const double tolerance = config.getOr("tolerance", 1e-9);
     if (type == "cg") {
+      // "reduction" picks how the dot products reduce on pods: "auto"
+      // (two-level on multi-IPU targets), "flat", or "two-level".
+      const std::string red = config.getOr("reduction", std::string("auto"));
+      graph::Graph::ReduceMode mode = graph::Graph::ReduceMode::Auto;
+      if (red == "flat") {
+        mode = graph::Graph::ReduceMode::Flat;
+      } else if (red == "two-level" || red == "twolevel" ||
+                 red == "hierarchical") {
+        mode = graph::Graph::ReduceMode::TwoLevel;
+      } else {
+        GRAPHENE_CHECK(red == "auto", "key 'reduction' in ", where,
+                       " config must be auto, flat or two-level (got '", red,
+                       "')");
+      }
+      if (config.getOr("pipelined", false)) {
+        const auto replaceEvery = static_cast<std::size_t>(
+            config.getOr("residualReplaceEvery", 16));
+        return std::make_unique<PipelinedCgSolver>(
+            maxIterations, tolerance, std::move(precond),
+            parseRobustness(config), mode, replaceEvery);
+      }
+      GRAPHENE_CHECK(!config.contains("residualReplaceEvery"),
+                     "key 'residualReplaceEvery' in ", where,
+                     " config requires \"pipelined\": true");
       return std::make_unique<CgSolver>(maxIterations, tolerance,
                                         std::move(precond),
-                                        parseRobustness(config));
+                                        parseRobustness(config), mode);
     }
     return std::make_unique<BiCgStabSolver>(maxIterations, tolerance,
                                             std::move(precond),

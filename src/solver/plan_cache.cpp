@@ -40,6 +40,13 @@ std::uint64_t structureFingerprint(const matrix::GeneratedMatrix& m,
   h = hashSizeT(h, m.nz);
   h = hashSizeT(h, options.tiles);
   h = hashSizeT(h, options.perCellHalo ? 1 : 0);
+  // The machine shape (chips x tiles, link model) changes the partition,
+  // the emitted exchange programs and the cycle pricing: a pipeline compiled
+  // for 1x64 must never be replayed on a 4x16 pod. Hash the *resolved*
+  // topology so the explicit-topology, GRAPHENE_TEST_POD and plain-tiles
+  // spellings of the same shape share cache entries.
+  h = hashSizeT(h, static_cast<std::size_t>(
+                       resolveSessionTopology(options).fingerprint()));
   return h;
 }
 

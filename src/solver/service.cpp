@@ -182,6 +182,7 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
   validateKeys(config, "service",
                {{"workers", KeyKind::Number},
                 {"tiles", KeyKind::Number},
+                {"topology", KeyKind::Object},
                 {"hostThreads", KeyKind::Number},
                 {"planCacheCapacity", KeyKind::Number},
                 {"defaultDeadlineCycles", KeyKind::Number},
@@ -197,6 +198,28 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
       config.getOr("workers", static_cast<std::int64_t>(o.workers)));
   o.tiles = static_cast<std::size_t>(
       config.getOr("tiles", static_cast<std::int64_t>(o.tiles)));
+  if (config.contains("topology")) {
+    const json::Value& t = config.at("topology");
+    validateKeys(t, "service.topology",
+                 {{"ipus", KeyKind::Number},
+                  {"tilesPerIpu", KeyKind::Number},
+                  {"linkBytesPerSecond", KeyKind::Number},
+                  {"linkLatencyCycles", KeyKind::Number},
+                  {"linksPerIpu", KeyKind::Number},
+                  {"aggregateHalo", KeyKind::Bool}});
+    ipu::LinkModel link;
+    link.bytesPerSecond = t.getOr("linkBytesPerSecond", link.bytesPerSecond);
+    link.latencyCycles = t.getOr("linkLatencyCycles", link.latencyCycles);
+    link.linksPerIpu = static_cast<std::size_t>(
+        t.getOr("linksPerIpu", static_cast<std::int64_t>(link.linksPerIpu)));
+    link.aggregateHalo = t.getOr("aggregateHalo", link.aggregateHalo);
+    const auto ipus = static_cast<std::size_t>(
+        t.getOr("ipus", static_cast<std::int64_t>(1)));
+    const auto perIpu = static_cast<std::size_t>(t.getOr(
+        "tilesPerIpu", static_cast<std::int64_t>(o.tiles / std::max<std::size_t>(ipus, 1))));
+    o.topology = ipu::Topology::pod(ipus, perIpu, link);
+    o.tiles = o.topology->totalTiles();
+  }
   o.hostThreads = static_cast<std::size_t>(
       config.getOr("hostThreads", static_cast<std::int64_t>(o.hostThreads)));
   o.planCacheCapacity = static_cast<std::size_t>(config.getOr(
@@ -268,7 +291,9 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
 SolverService::SolverService(ServiceOptions options)
     : options_(std::move(options)), cache_(options_.planCacheCapacity) {
   validateOptions(options_);
+  if (options_.topology) options_.tiles = options_.topology->totalTiles();
   sessionOptions_.tiles = options_.tiles;
+  sessionOptions_.topology = options_.topology;
   sessionOptions_.hostThreads = options_.hostThreads;
   sessionOptions_.traceCapacity = options_.traceCapacity;
   // Pooled pipelines serve fault-injected jobs too: give each solve a remap

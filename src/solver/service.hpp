@@ -126,6 +126,10 @@ struct ServiceOptions {
   std::size_t workers = 2;
   /// Simulated-IPU geometry of every pipeline the service builds.
   std::size_t tiles = 32;
+  /// Explicit machine shape (chips x tiles, link model) for every pipeline;
+  /// overrides `tiles` and GRAPHENE_TEST_POD. JSON spelling:
+  ///   "topology": {"ipus": 4, "tilesPerIpu": 16}
+  std::optional<ipu::Topology> topology = std::nullopt;
   /// Host threads per engine (0 = Engine's default resolution). Workers
   /// multiply this — keep workers × hostThreads near the core count.
   std::size_t hostThreads = 0;

@@ -7,15 +7,31 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
 
 #include "dsl/context.hpp"
 #include "graph/engine.hpp"
 #include "ipu/health.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "support/error.hpp"
 
 namespace graphene::solver {
+
+ipu::Topology resolveSessionTopology(const SessionOptions& options) {
+  if (options.topology) return *options.topology;
+  GRAPHENE_CHECK(options.tiles > 0,
+                 "SessionOptions.tiles must be >= 1 (got ", options.tiles,
+                 ")");
+  if (const char* env = std::getenv("GRAPHENE_TEST_POD")) {
+    const long n = std::atol(env);
+    if (n > 1 && options.tiles % static_cast<std::size_t>(n) == 0) {
+      return ipu::Topology::pod(static_cast<std::size_t>(n),
+                                options.tiles / static_cast<std::size_t>(n));
+    }
+  }
+  return ipu::Topology::singleIpu(options.tiles);
+}
 
 SolveSession::SolveSession(SessionOptions options)
     : options_(options), trace_(std::max<std::size_t>(options.traceCapacity, 1)) {
@@ -25,6 +41,11 @@ SolveSession::SolveSession(SessionOptions options)
   GRAPHENE_CHECK(options_.tiles > 0,
                  "SessionOptions.tiles must be >= 1 (got ", options_.tiles,
                  ")");
+  // Pin the machine shape for the session's lifetime: every rebuild (incl.
+  // hard-fault remaps) must target the same pod, and the plan cache keys on
+  // the resolved shape.
+  options_.topology = resolveSessionTopology(options_);
+  options_.tiles = options_.topology->totalTiles();
   GRAPHENE_CHECK(options_.watchdogCycleBudget > 0,
                  "SessionOptions.watchdogCycleBudget must be > 0 cycles (got ",
                  options_.watchdogCycleBudget,
@@ -51,8 +72,8 @@ void SolveSession::buildPipeline() {
   ctx_.reset();
   emitted_ = false;
 
-  ctx_ = std::make_unique<dsl::Context>(
-      ipu::IpuTarget::testTarget(options_.tiles));
+  const ipu::Topology& topo = *options_.topology;
+  ctx_ = std::make_unique<dsl::Context>(topo.target());
   // Control state (reduction finals, loop conditions, scalar replicas the
   // host reads) must live on a surviving tile: the DSL defaults to tile 0,
   // which may be exactly the tile that just died. blacklist_ is sorted.
@@ -63,10 +84,12 @@ void SolveSession::buildPipeline() {
   GRAPHENE_CHECK(control < options_.tiles,
                  "all ", options_.tiles, " tiles are blacklisted");
   ctx_->graph().setControlTile(control);
-  auto layout = partition::buildLayout(
-      m_.matrix, partition::partitionAuto(m_, options_.tiles, blacklist_),
-      options_.tiles);
-  A_ = std::make_unique<DistMatrix>(m_.matrix, std::move(layout));
+  // Per-IPU control state (two-level reduction leaders) must avoid dead
+  // tiles too.
+  ctx_->graph().setExcludedTiles(blacklist_);
+  partition::Partitioner part(topo);
+  part.setBlacklist(blacklist_);
+  A_ = std::make_unique<DistMatrix>(m_.matrix, part.layout(m_));
   if (options_.perCellHalo) A_->setPerCellHalo(true);
   if (configured_) solver_ = makeSolver(solverConfig_);
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ipu/fault.hpp"
+#include "ipu/topology.hpp"
 #include "matrix/generators.hpp"
 #include "solver/solver.hpp"
 #include "support/tile_profile.hpp"
@@ -49,8 +50,15 @@ class HealthMonitor;
 namespace graphene::solver {
 
 struct SessionOptions {
-  /// Tiles of the simulated IPU (IpuTarget::testTarget geometry).
+  /// Tiles of the simulated machine. When `topology` is unset this is a
+  /// single IPU with this many tiles (IpuTarget::testTarget geometry) —
+  /// unless GRAPHENE_TEST_POD=N is set and divides it, in which case the
+  /// session runs on an N-IPU pod with tiles/N tiles per chip. When
+  /// `topology` is set it wins and this field is overwritten with its total.
   std::size_t tiles = 32;
+  /// Explicit machine shape (chips x tiles, link model). Overrides `tiles`
+  /// and the GRAPHENE_TEST_POD environment variable.
+  std::optional<ipu::Topology> topology = std::nullopt;
   /// Host threads simulating tiles in parallel; 0 = Engine's default
   /// resolution (GRAPHENE_TEST_HOST_THREADS, else hardware concurrency).
   std::size_t hostThreads = 0;
@@ -74,6 +82,12 @@ struct SessionOptions {
   /// GRAPHENE_NO_HALO_REORDER environment variable.
   bool perCellHalo = false;
 };
+
+/// The machine shape a SessionOptions resolves to: its explicit `topology`
+/// if set, else an N-IPU pod when GRAPHENE_TEST_POD=N divides `tiles`, else
+/// a single IPU with `tiles` tiles. Deterministic per process — the plan
+/// cache hashes the resolved shape into its structure fingerprints.
+ipu::Topology resolveSessionTopology(const SessionOptions& options);
 
 class SolveSession {
  public:

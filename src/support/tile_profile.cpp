@@ -81,15 +81,21 @@ std::size_t TileSramProfile::peakUsed() const {
 // -- TileProfile ------------------------------------------------------------
 
 void TileProfile::init(std::size_t tiles, std::size_t workers,
-                       double overheadBytesPerMsg) {
+                       double overheadBytesPerMsg, std::size_t tilesPerChip) {
+  if (tilesPerChip == 0) tilesPerChip = tiles;
   if (numTiles != 0) {
     GRAPHENE_CHECK(numTiles == tiles,
                    "tile profile re-attached to an engine with a different "
                    "tile count: had ",
                    numTiles, ", got ", tiles);
+    GRAPHENE_CHECK(tilesPerIpu == tilesPerChip,
+                   "tile profile re-attached to an engine with a different "
+                   "pod shape: had ",
+                   tilesPerIpu, " tiles/IPU, got ", tilesPerChip);
     return;
   }
   numTiles = tiles;
+  tilesPerIpu = tilesPerChip;
   workersPerTile = workers;
   overheadBytesPerMessage = overheadBytesPerMsg;
   traffic.init(tiles);
@@ -255,6 +261,52 @@ double trafficLocalityScore(const TileProfile& profile) {
   return spatial * efficiency;
 }
 
+TrafficLocalitySplit trafficLocalitySplit(const TileProfile& profile) {
+  TrafficLocalitySplit split;
+  const TileTrafficMatrix& traffic = profile.traffic;
+  if (traffic.empty()) return split;
+  const std::size_t n = traffic.numTiles();
+  // Payload-weighted proximity per side: tile distance on-chip, IPU
+  // distance across links (the gateway fans out on the remote chip, so tile
+  // offsets inside the remote IPU are irrelevant to link traffic).
+  double intraWeighted = 0, intraBytes = 0;
+  double interWeighted = 0, interBytes = 0;
+  for (std::size_t src = 0; src < n; ++src) {
+    const std::size_t srcIpu = profile.ipuOfTile(src);
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const double b = static_cast<double>(traffic.bytes(src, dst));
+      if (b <= 0.0) continue;
+      const std::size_t dstIpu = profile.ipuOfTile(dst);
+      if (srcIpu == dstIpu) {
+        const double dist = src > dst ? static_cast<double>(src - dst)
+                                      : static_cast<double>(dst - src);
+        intraWeighted += b / (1.0 + dist);
+        intraBytes += b;
+        split.intraBytes += traffic.bytes(src, dst);
+      } else {
+        const double dist = srcIpu > dstIpu
+                                ? static_cast<double>(srcIpu - dstIpu)
+                                : static_cast<double>(dstIpu - srcIpu);
+        interWeighted += b / (1.0 + dist);
+        interBytes += b;
+        split.interBytes += traffic.bytes(src, dst);
+      }
+    }
+  }
+  // Same wire-efficiency factor as the combined score: per-send-instruction
+  // overhead is charged on the sending tile's port either way.
+  const double payload = static_cast<double>(traffic.totalBytes());
+  const double overhead = profile.overheadBytesPerMessage *
+                          static_cast<double>(traffic.sendInstructions());
+  const double efficiency =
+      payload > 0.0 ? payload / (payload + overhead) : 0.0;
+  split.intraScore =
+      intraBytes > 0.0 ? (intraWeighted / intraBytes) * efficiency : 0.0;
+  split.interScore =
+      interBytes > 0.0 ? (interWeighted / interBytes) * efficiency : 0.0;
+  return split;
+}
+
 std::vector<CategoryClassification> classifyCategories(
     const TileProfile& profile) {
   const double totalCompute = profile.totalComputeCycles();
@@ -311,6 +363,8 @@ TileProfileDiff diffTileProfiles(const TileProfile& a, const TileProfile& b) {
   diff.exchangeCyclesB = b.exchangeCycles;
   diff.trafficBytesA = a.traffic.totalBytes();
   diff.trafficBytesB = b.traffic.totalBytes();
+  diff.interIpuBytesA = trafficLocalitySplit(a).interBytes;
+  diff.interIpuBytesB = trafficLocalitySplit(b).interBytes;
   diff.messagesA = a.traffic.totalMessages();
   diff.messagesB = b.traffic.totalMessages();
   diff.localityA = trafficLocalityScore(a);
@@ -338,7 +392,8 @@ TileProfileDiff diffTileProfiles(const TileProfile& a, const TileProfile& b) {
 
 bool diffWithinThresholds(const TileProfileDiff& diff,
                           double maxCyclesRegressFrac, double minLocalityRatio,
-                          std::string* why) {
+                          std::string* why,
+                          double maxInterBytesRegressFrac) {
   if (maxCyclesRegressFrac >= 0.0 && diff.totalCyclesA > 0.0) {
     const double regress = diff.cyclesRatio() - 1.0;
     if (regress > maxCyclesRegressFrac) {
@@ -361,6 +416,19 @@ bool diffWithinThresholds(const TileProfileDiff& diff,
             << "x of baseline (minimum " << formatSig(minLocalityRatio, 4)
             << "x): " << formatSig(diff.localityA, 4) << " -> "
             << formatSig(diff.localityB, 4);
+        *why = oss.str();
+      }
+      return false;
+    }
+  }
+  if (maxInterBytesRegressFrac >= 0.0 && diff.interIpuBytesA > 0) {
+    const double regress = diff.interIpuBytesRatio() - 1.0;
+    if (regress > maxInterBytesRegressFrac) {
+      if (why != nullptr) {
+        std::ostringstream oss;
+        oss << "inter-IPU bytes regressed " << formatSig(regress * 100.0, 3)
+            << "% (limit " << formatSig(maxInterBytesRegressFrac * 100.0, 3)
+            << "%): " << diff.interIpuBytesA << " -> " << diff.interIpuBytesB;
         *why = oss.str();
       }
       return false;
@@ -432,12 +500,14 @@ json::Value tileProfileToJson(const TileProfile& profile) {
   json::Object doc;
   doc["schemaVersion"] = TileProfile::kSchemaVersion;
   doc["numTiles"] = profile.numTiles;
+  doc["tilesPerIpu"] = profile.tilesPerIpu;
   doc["workersPerTile"] = profile.workersPerTile;
   doc["overheadBytesPerMessage"] = profile.overheadBytesPerMessage;
   doc["label"] = profile.label;
   doc["computeSupersteps"] = profile.computeSupersteps;
   doc["exchangeSupersteps"] = profile.exchangeSupersteps;
   doc["exchangeCycles"] = profile.exchangeCycles;
+  doc["exchangeInterCycles"] = profile.exchangeInterCycles;
   doc["syncCycles"] = profile.syncCycles;
 
   json::Object categories;
@@ -483,22 +553,27 @@ json::Value tileProfileToJson(const TileProfile& profile) {
 TileProfile tileProfileFromJson(const json::Value& doc) {
   GRAPHENE_CHECK(doc.isObject(), "tile profile JSON: document is not an object");
   const std::int64_t version = doc.getOr("schemaVersion", std::int64_t{0});
-  GRAPHENE_CHECK(version == TileProfile::kSchemaVersion,
+  // v1 reports predate pods: no tilesPerIpu (= numTiles) and no inter-IPU
+  // cycle split (= 0). Both defaults below express exactly that.
+  GRAPHENE_CHECK(version == 1 || version == TileProfile::kSchemaVersion,
                  "tile profile JSON: unsupported schemaVersion ", version,
-                 " (this build reads version ", TileProfile::kSchemaVersion,
-                 ")");
+                 " (this build reads versions 1 and ",
+                 TileProfile::kSchemaVersion, ")");
 
   TileProfile profile;
   const std::size_t n = static_cast<std::size_t>(doc.at("numTiles").asInt());
   profile.init(n,
                static_cast<std::size_t>(doc.at("workersPerTile").asInt()),
-               doc.at("overheadBytesPerMessage").asNumber());
+               doc.at("overheadBytesPerMessage").asNumber(),
+               static_cast<std::size_t>(
+                   doc.getOr("tilesPerIpu", static_cast<std::int64_t>(n))));
   profile.label = doc.getOr("label", std::string());
   profile.computeSupersteps =
       static_cast<std::size_t>(doc.getOr("computeSupersteps", std::int64_t{0}));
   profile.exchangeSupersteps = static_cast<std::size_t>(
       doc.getOr("exchangeSupersteps", std::int64_t{0}));
   profile.exchangeCycles = doc.getOr("exchangeCycles", 0.0);
+  profile.exchangeInterCycles = doc.getOr("exchangeInterCycles", 0.0);
   profile.syncCycles = doc.getOr("syncCycles", 0.0);
 
   for (const auto& [name, cj] : doc.at("categories").asObject()) {
@@ -597,6 +672,11 @@ TextTable tileProfileDiffTable(const TileProfileDiff& diff) {
                 formatBytes(static_cast<double>(diff.trafficBytesB)),
                 ratio(static_cast<double>(diff.trafficBytesA),
                       static_cast<double>(diff.trafficBytesB))});
+  table.addRow({"Inter-IPU bytes",
+                formatBytes(static_cast<double>(diff.interIpuBytesA)),
+                formatBytes(static_cast<double>(diff.interIpuBytesB)),
+                ratio(static_cast<double>(diff.interIpuBytesA),
+                      static_cast<double>(diff.interIpuBytesB))});
   table.addRow({"Messages", std::to_string(diff.messagesA),
                 std::to_string(diff.messagesB),
                 ratio(static_cast<double>(diff.messagesA),
@@ -691,14 +771,28 @@ std::string tileProfileToHtml(const TileProfile& profile) {
   os << "</h1>\n";
 
   const ImbalanceStats imbalance = loadImbalance(profile);
-  os << "<p>" << profile.numTiles << " tiles &middot; "
-     << profile.workersPerTile << " workers/tile &middot; "
+  os << "<p>" << profile.numTiles << " tiles";
+  if (profile.numIpus() > 1) {
+    os << " (" << profile.numIpus() << " IPUs &times; " << profile.tilesPerIpu
+       << " tiles)";
+  }
+  os << " &middot; " << profile.workersPerTile << " workers/tile &middot; "
      << profile.computeSupersteps << " compute / "
      << profile.exchangeSupersteps << " exchange supersteps &middot; "
      << "total " << formatSig(profile.totalCycles(), 6) << " cycles ("
      << runClassification(profile) << ") &middot; load imbalance "
      << formatSig(imbalance.imbalance, 4) << "x &middot; traffic locality "
      << formatSig(trafficLocalityScore(profile), 4) << "</p>\n";
+  if (profile.numIpus() > 1) {
+    const TrafficLocalitySplit split = trafficLocalitySplit(profile);
+    os << "<p>Two-level exchange: intra-IPU "
+       << formatBytes(static_cast<double>(split.intraBytes)) << " (locality "
+       << formatSig(split.intraScore, 4) << ") &middot; inter-IPU "
+       << formatBytes(static_cast<double>(split.interBytes)) << " (locality "
+       << formatSig(split.interScore, 4) << ") &middot; IPU-Link share of "
+       << "exchange " << formatSig(profile.exchangeInterCycles, 6) << " of "
+       << formatSig(profile.exchangeCycles, 6) << " cycles</p>\n";
+  }
 
   os << "<h2>Categories</h2>\n";
   appendTable(os, tileProfileSummaryTable(profile));
@@ -719,6 +813,28 @@ std::string tileProfileToHtml(const TileProfile& profile) {
                                   profile.sram.budgetBytes)) +
                               ")",
                       sram, "bytes");
+  }
+
+  if (!profile.traffic.empty() && profile.numIpus() > 1) {
+    // Pod runs: split the per-tile send volume into the on-chip fabric
+    // share and the IPU-Link share — the two components the pod-aware
+    // partitioner and halo aggregation trade against each other.
+    const std::size_t n = profile.traffic.numTiles();
+    std::vector<double> intraSent(n, 0.0), interSent(n, 0.0);
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        const auto b = static_cast<double>(profile.traffic.bytes(src, dst));
+        if (b <= 0.0) continue;
+        if (profile.ipuOfTile(src) == profile.ipuOfTile(dst)) {
+          intraSent[src] += b;
+        } else {
+          interSent[src] += b;
+        }
+      }
+    }
+    appendTileHeatmap(os, "Intra-IPU bytes sent per tile", intraSent, "bytes");
+    appendTileHeatmap(os, "Inter-IPU (IPU-Link) bytes sent per tile",
+                      interSent, "bytes");
   }
 
   if (!profile.traffic.empty()) {

@@ -154,9 +154,15 @@ struct TileSramProfile {
 /// keeps one across hard-fault remap attempts and the report covers the
 /// whole solve.
 struct TileProfile {
-  static constexpr int kSchemaVersion = 1;
+  /// v2 adds the pod shape (tilesPerIpu) and the IPU-Link share of the
+  /// exchange phase; v1 documents load as single-chip (tilesPerIpu =
+  /// numTiles) and is still accepted by tileProfileFromJson.
+  static constexpr int kSchemaVersion = 2;
 
   std::size_t numTiles = 0;
+  /// Tiles per IPU chip; numTiles / tilesPerIpu is the pod size. Equal to
+  /// numTiles on a single chip (and for v1 reports).
+  std::size_t tilesPerIpu = 0;
   std::size_t workersPerTile = 0;
   /// Send-port bytes one transfer instruction's overhead is worth
   /// (exchangeInstrCycles × exchangeSendBytesPerCycle) — the constant the
@@ -169,14 +175,25 @@ struct TileProfile {
   TileSramProfile sram;
 
   double exchangeCycles = 0;
+  /// IPU-Link share of exchangeCycles (0 on a single chip).
+  double exchangeInterCycles = 0;
   double syncCycles = 0;
   std::size_t computeSupersteps = 0;
   std::size_t exchangeSupersteps = 0;
 
+  /// IPU index owning a tile under this report's pod shape.
+  std::size_t ipuOfTile(std::size_t tile) const {
+    return tilesPerIpu > 0 ? tile / tilesPerIpu : 0;
+  }
+  std::size_t numIpus() const {
+    return tilesPerIpu > 0 ? numTiles / tilesPerIpu : 1;
+  }
+
   /// Sizes every per-tile structure (idempotent; re-attaching the same
   /// collector to a rebuilt engine validates the geometry instead).
-  void init(std::size_t tiles, std::size_t workers,
-            double overheadBytesPerMsg);
+  /// `tilesPerChip` = 0 means a single chip (tilesPerIpu = tiles).
+  void init(std::size_t tiles, std::size_t workers, double overheadBytesPerMsg,
+            std::size_t tilesPerChip = 0);
 
   /// The category's per-tile planes, created and sized on first use.
   TileCategoryProfile& category(const std::string& name);
@@ -239,6 +256,20 @@ std::vector<StragglerInfo> topStragglers(const TileProfile& profile,
 /// nearby tiles raises the spatial factor. 0 when there was no traffic.
 double trafficLocalityScore(const TileProfile& profile);
 
+/// Two-level split of the traffic matrix and the locality score under the
+/// report's pod shape. Intra pairs live on one chip (spatial factor decays
+/// with tile distance, as in trafficLocalityScore); inter pairs cross
+/// IPU-Links (spatial factor decays with *IPU* distance — what the pod-aware
+/// partitioner and halo aggregation move). Scores are 0 for an empty side.
+struct TrafficLocalitySplit {
+  std::uint64_t intraBytes = 0;
+  std::uint64_t interBytes = 0;
+  double intraScore = 0;
+  double interScore = 0;
+};
+
+TrafficLocalitySplit trafficLocalitySplit(const TileProfile& profile);
+
 /// Roofline-style classification of one category: how its critical path
 /// splits between useful worker issue and the two stall ceilings.
 struct CategoryClassification {
@@ -267,6 +298,7 @@ struct TileProfileDiff {
   double computeCyclesA = 0, computeCyclesB = 0;
   double exchangeCyclesA = 0, exchangeCyclesB = 0;
   std::uint64_t trafficBytesA = 0, trafficBytesB = 0;
+  std::uint64_t interIpuBytesA = 0, interIpuBytesB = 0;
   std::uint64_t messagesA = 0, messagesB = 0;
   double localityA = 0, localityB = 0;
   double imbalanceA = 1.0, imbalanceB = 1.0;
@@ -283,17 +315,25 @@ struct TileProfileDiff {
   double localityRatio() const {
     return localityA > 0 ? localityB / localityA : 1.0;
   }
+  double interIpuBytesRatio() const {
+    return interIpuBytesA > 0 ? static_cast<double>(interIpuBytesB) /
+                                    static_cast<double>(interIpuBytesA)
+                              : 1.0;
+  }
 };
 
 TileProfileDiff diffTileProfiles(const TileProfile& a, const TileProfile& b);
 
 /// Regression gate for the diff: fails when B's total cycles regress past
 /// `maxCyclesRegressFrac` (0 = any regression fails; < 0 disables the
-/// check) or B's locality falls below `minLocalityRatio` × A's (< 0
-/// disables). Returns a human-readable verdict in `*why` when failing.
+/// check), B's locality falls below `minLocalityRatio` × A's (< 0
+/// disables), or B's inter-IPU bytes regress past
+/// `maxInterBytesRegressFrac` (< 0 disables). Returns a human-readable
+/// verdict in `*why` when failing.
 bool diffWithinThresholds(const TileProfileDiff& diff,
                           double maxCyclesRegressFrac,
-                          double minLocalityRatio, std::string* why = nullptr);
+                          double minLocalityRatio, std::string* why = nullptr,
+                          double maxInterBytesRegressFrac = -1.0);
 
 // -- exporters --------------------------------------------------------------
 

@@ -49,6 +49,15 @@ inline std::string solverConfigFor(const std::string& name) {
                "robustness": {"maxRestarts": 2, "checkpointEvery": 8,
                               "abft": true, "abftTolerance": 1e-3}})";
   }
+  if (name == "pipelined-cg") {
+    // Tolerance 1e-5: the pipelined recurrences monitor an honest
+    // (residual-replaced) residual, and 1e-6 sits below the float32
+    // true-residual floor of these systems.
+    return R"({"type": "cg", "pipelined": true, "maxIterations": 120,
+               "tolerance": 1e-5,
+               "robustness": {"maxRestarts": 2, "checkpointEvery": 8,
+                              "abft": true, "abftTolerance": 1e-3}})";
+  }
   if (name == "bicgstab") {
     return R"({"type": "bicgstab", "maxIterations": 120, "tolerance": 1e-6,
                "robustness": {"maxRestarts": 2, "checkpointEvery": 8,

@@ -36,11 +36,11 @@ TEST(Chaos, GrandCampaign) {
   const std::size_t campaigns = campaignCount(51);
   const matrix::GeneratedMatrix m2 = matrix::poisson2d5(10, 10);
   const matrix::GeneratedMatrix m3 = matrix::poisson3d7(5, 5, 5);
-  const char* solvers[] = {"cg", "bicgstab", "mpir"};
+  const char* solvers[] = {"cg", "bicgstab", "mpir", "pipelined-cg"};
 
   std::size_t hardFaultCampaigns = 0, converged = 0;
   for (std::size_t i = 0; i < campaigns; ++i) {
-    const std::string solver = solvers[i % 3];
+    const std::string solver = solvers[i % 4];
     const matrix::GeneratedMatrix& g = (i % 2 == 0) ? m2 : m3;
     const bool allowHard = (i % 2 == 1);
     const json::Value plan = randomPlan(i, 8, allowHard);

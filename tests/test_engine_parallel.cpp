@@ -20,7 +20,7 @@
 #include "graph/engine.hpp"
 #include "ipu/fault.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -52,8 +52,8 @@ SolveObservables runSolve(const matrix::GeneratedMatrix& g, std::size_t tiles,
                           std::size_t hostThreads, ipu::FaultPlan* plan,
                           bool fusion = true) {
   Context ctx(ipu::IpuTarget::testTarget(tiles));
-  auto rowToTile = partition::partitionAuto(g, tiles);
-  auto layout = partition::buildLayout(g.matrix, rowToTile, tiles);
+  auto layout =
+      partition::Partitioner(ipu::Topology::singleIpu(tiles)).layout(g);
   DistMatrix A(g.matrix, std::move(layout));
   Tensor x = A.makeVector(DType::Float32, "x");
   Tensor b = A.makeVector(DType::Float32, "b");

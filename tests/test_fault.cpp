@@ -13,7 +13,7 @@
 #include "graph/engine.hpp"
 #include "ipu/fault.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 
@@ -55,8 +55,8 @@ FaultedSolve runFaultedSolve(const matrix::GeneratedMatrix& g,
                              std::size_t tiles, const std::string& solverJson,
                              ipu::FaultPlan* plan) {
   Context ctx(ipu::IpuTarget::testTarget(tiles));
-  auto rowToTile = partition::partitionAuto(g, tiles);
-  auto layout = partition::buildLayout(g.matrix, rowToTile, tiles);
+  auto layout =
+      partition::Partitioner(ipu::Topology::singleIpu(tiles)).layout(g);
   FaultedSolve out;
   out.haloTransfersPerExchange = layout.transfers.size();
   DistMatrix A(g.matrix, std::move(layout));
@@ -277,8 +277,8 @@ TEST(FaultInjection, DroppedTransferIsStillPriced) {
 
   auto runSpmv = [&](ipu::FaultPlan* plan) {
     Context ctx(ipu::IpuTarget::testTarget(4));
-    auto rowToTile = partition::partitionAuto(g, 4);
-    auto layout = partition::buildLayout(g.matrix, rowToTile, 4);
+    auto layout =
+        partition::Partitioner(ipu::Topology::singleIpu(4)).layout(g);
     DistMatrix A(g.matrix, std::move(layout));
     Tensor v = A.makeVector(DType::Float32, "v");
     Tensor y = A.makeVector(DType::Float32, "y");
@@ -417,8 +417,8 @@ TEST(SolverRecovery, MpirRollsBackCorruptedResidualExchange) {
   std::string extHaloName;
   {
     Context ctx(ipu::IpuTarget::testTarget(4));
-    auto rowToTile = partition::partitionAuto(g, 4);
-    auto layout = partition::buildLayout(g.matrix, rowToTile, 4);
+    auto layout =
+        partition::Partitioner(ipu::Topology::singleIpu(4)).layout(g);
     DistMatrix A(g.matrix, std::move(layout));
     Tensor x = A.makeVector(DType::Float32, "x");
     Tensor b = A.makeVector(DType::Float32, "b");

@@ -7,7 +7,7 @@
 
 #include "graph/engine.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 
@@ -23,9 +23,8 @@ double solveAndMeasure(const matrix::GeneratedMatrix& g,
                        const std::string& config,
                        ipu::Profile* profileOut = nullptr) {
   Context ctx(target);
-  auto layout = partition::buildLayout(
-      g.matrix, partition::partitionAuto(g, target.totalTiles()),
-      target.totalTiles());
+  auto layout =
+      partition::Partitioner(ipu::Topology::fromTarget(target)).layout(g);
   DistMatrix A(g.matrix, std::move(layout));
   Tensor x = A.makeVector(dsl::DType::Float32, "x");
   Tensor b = A.makeVector(dsl::DType::Float32, "b");
@@ -198,10 +197,10 @@ TEST(Integration, SramExhaustionSurfacesAsResourceError) {
   tiny.sramBytesPerTile = 16 * 1024;
   Context ctx(tiny);
   auto g = matrix::poisson3d7(16, 16, 16);  // ~4k rows won't fit on 2 tiny tiles
-  auto rowToTile = partition::partitionAuto(g, 2);
+  partition::Partitioner part(ipu::Topology::fromTarget(tiny));
   EXPECT_THROW(
       {
-        auto layout = partition::buildLayout(g.matrix, rowToTile, 2);
+        auto layout = part.layout(g);
         DistMatrix A(g.matrix, std::move(layout));
       },
       ResourceError);

@@ -188,3 +188,93 @@ TEST(ExchangePricing, RejectsOutOfRangeTiles) {
   EXPECT_THROW(priceExchange(t, {Transfer{5, {0}, 16}}), Error);
   EXPECT_THROW(priceExchange(t, {Transfer{0, {9}, 16}}), Error);
 }
+
+// ---------------------------------------------------------------------------
+// Two-level exchange pricing (intra-IPU fabric vs IPU-Link lanes)
+// ---------------------------------------------------------------------------
+
+TEST(TwoLevelExchange, SingleChipHasNoInterCycles) {
+  IpuTarget t = IpuTarget::testTarget(8);
+  std::vector<Transfer> transfers = {{0, {1, 2}, 4096}, {3, {7}, 2048}};
+  auto stats = priceExchange(t, transfers);
+  EXPECT_DOUBLE_EQ(stats.interCycles, 0.0);
+  EXPECT_EQ(stats.interIpuBytes, 0u);
+  EXPECT_EQ(stats.interIpuMessages, 0u);
+  // Total = on-chip sync + intra fabric phase, nothing else.
+  EXPECT_DOUBLE_EQ(stats.cycles, t.syncCyclesOnChip + stats.intraCycles);
+}
+
+TEST(TwoLevelExchange, SplitSumsToTotalMinusSync) {
+  IpuTarget t = IpuTarget::testTarget(4, 2);
+  std::vector<Transfer> transfers = {
+      {0, {1}, 8192}, {0, {5}, 4096}, {2, {6, 7}, 1024}};
+  auto stats = priceExchange(t, transfers);
+  EXPECT_GT(stats.intraCycles, 0.0);
+  EXPECT_GT(stats.interCycles, 0.0);
+  EXPECT_DOUBLE_EQ(stats.cycles,
+                   t.syncCyclesGlobal + stats.intraCycles + stats.interCycles);
+}
+
+TEST(TwoLevelExchange, HaloAggregationCoalescesPairMessages) {
+  // Ten small messages from IPU0 tiles to IPU1 tiles: aggregated they ride
+  // one link transfer (one latency charge); unaggregated each pays it.
+  IpuTarget agg = IpuTarget::testTarget(4, 2);
+  IpuTarget raw = agg;
+  raw.aggregateInterIpuHalo = false;
+  std::vector<Transfer> transfers;
+  for (std::size_t i = 0; i < 10; ++i) {
+    transfers.push_back({i % 4, {4 + (i % 4)}, 64});
+  }
+  auto a = priceExchange(agg, transfers);
+  auto r = priceExchange(raw, transfers);
+  EXPECT_EQ(a.interIpuMessages, 1u);
+  EXPECT_EQ(r.interIpuMessages, 10u);
+  EXPECT_EQ(a.interIpuBytes, r.interIpuBytes);  // payload is unchanged
+  // 9 saved latency charges on the link phase.
+  EXPECT_NEAR(r.interCycles - a.interCycles, 9 * agg.linkLatencyCycles, 1e-6);
+  EXPECT_LT(a.cycles, r.cycles);
+}
+
+TEST(TwoLevelExchange, AggregationIsPerOrderedIpuPair) {
+  // IPU0 -> IPU1 and IPU0 -> IPU2 are distinct lanes: two transfers even
+  // with aggregation on; the reverse direction is its own message too.
+  IpuTarget t = IpuTarget::testTarget(2, 3);
+  std::vector<Transfer> transfers = {
+      {0, {2}, 128}, {1, {3}, 128},   // IPU0 -> IPU1 (coalesced)
+      {0, {4}, 128},                  // IPU0 -> IPU2
+      {2, {0}, 128}};                 // IPU1 -> IPU0
+  auto stats = priceExchange(t, transfers);
+  EXPECT_EQ(stats.interIpuMessages, 3u);
+  EXPECT_EQ(stats.interIpuBytes, 4u * 128u);
+}
+
+TEST(TwoLevelExchange, LaneCongestionSerialisesExcessPairs) {
+  // One source chip talking to `linksPerIpu` peers streams concurrently;
+  // talking to 2x as many serialises two pair-streams per lane.
+  IpuTarget t = IpuTarget::testTarget(1, 21);  // 1 tile/chip, 21 chips
+  t.linksPerIpu = 10;
+  const std::size_t bytes = 1 << 16;
+  std::vector<Transfer> ten, twenty;
+  for (std::size_t i = 1; i <= 20; ++i) {
+    if (i <= 10) ten.push_back({0, {i}, bytes});
+    twenty.push_back({0, {i}, bytes});
+  }
+  auto fits = priceExchange(t, ten);
+  auto spills = priceExchange(t, twenty);
+  const double pairCycles =
+      t.linkLatencyCycles + static_cast<double>(bytes) / t.linkBytesPerCycle();
+  // 10 pairs on 10 lanes: the phase is one pair's cycles.
+  EXPECT_NEAR(fits.interCycles, pairCycles, 1e-6);
+  // 20 pairs on 10 lanes: each lane carries two streams back to back.
+  EXPECT_NEAR(spills.interCycles, 2 * pairCycles, 1e-6);
+}
+
+TEST(TwoLevelExchange, InterIpuBytesChargedOncePerDestinationIpu) {
+  // A broadcast with three destinations on the same remote chip ships the
+  // payload over the link once; the gateway fans out on the remote fabric.
+  IpuTarget t = IpuTarget::testTarget(4, 2);
+  Transfer tr{0, {5, 6, 7}, 4096};
+  auto stats = priceExchange(t, {tr});
+  EXPECT_EQ(stats.interIpuBytes, 4096u);
+  EXPECT_EQ(stats.interIpuMessages, 1u);
+}

@@ -7,6 +7,7 @@
 #include "matrix/generators.hpp"
 #include "partition/halo.hpp"
 #include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 
 using namespace graphene;
 using namespace graphene::partition;
@@ -73,7 +74,7 @@ TEST_P(HaloLayoutInvariants, EveryCellAppearsExactlyOnceAsOwned) {
   const LayoutCase& c = GetParam();
   auto g = c.make();
   auto layout =
-      buildLayout(g.matrix, partitionAuto(g, c.tiles), c.tiles);
+      Partitioner(ipu::Topology::singleIpu(c.tiles)).layout(g);
   std::vector<int> seen(g.matrix.rows(), 0);
   for (const TileLayout& tl : layout.tiles) {
     for (std::size_t i = 0; i < tl.numOwned; ++i) {
@@ -89,7 +90,7 @@ TEST_P(HaloLayoutInvariants, HaloCopiesCoverAllRemoteReferences) {
   // either owned there or present in t's halo.
   const LayoutCase& c = GetParam();
   auto g = c.make();
-  auto layout = buildLayout(g.matrix, partitionAuto(g, c.tiles), c.tiles);
+  auto layout = Partitioner(ipu::Topology::singleIpu(c.tiles)).layout(g);
   auto rowPtr = g.matrix.rowPtr();
   auto col = g.matrix.colIdx();
   for (const TileLayout& tl : layout.tiles) {
@@ -108,7 +109,7 @@ TEST_P(HaloLayoutInvariants, HaloCopiesCoverAllRemoteReferences) {
 TEST_P(HaloLayoutInvariants, RegionsPartitionSeparatorCells) {
   const LayoutCase& c = GetParam();
   auto g = c.make();
-  auto layout = buildLayout(g.matrix, partitionAuto(g, c.tiles), c.tiles);
+  auto layout = Partitioner(ipu::Topology::singleIpu(c.tiles)).layout(g);
   std::set<std::size_t> inRegions;
   for (const Region& region : layout.regions) {
     EXPECT_FALSE(region.consumerTiles.empty());
@@ -133,7 +134,7 @@ TEST_P(HaloLayoutInvariants, ConsistentOrderingAcrossSeparatorAndHalos) {
   // copy lands every value at the right local slot.
   const LayoutCase& c = GetParam();
   auto g = c.make();
-  auto layout = buildLayout(g.matrix, partitionAuto(g, c.tiles), c.tiles);
+  auto layout = Partitioner(ipu::Topology::singleIpu(c.tiles)).layout(g);
   for (const HaloTransfer& tr : layout.transfers) {
     const Region& region = layout.regions[tr.regionId];
     const TileLayout& src = layout.tiles[tr.srcTile];
@@ -152,7 +153,7 @@ TEST_P(HaloLayoutInvariants, ConsistentOrderingAcrossSeparatorAndHalos) {
 TEST_P(HaloLayoutInvariants, TransfersAreBlockwiseBroadcasts) {
   const LayoutCase& c = GetParam();
   auto g = c.make();
-  auto layout = buildLayout(g.matrix, partitionAuto(g, c.tiles), c.tiles);
+  auto layout = Partitioner(ipu::Topology::singleIpu(c.tiles)).layout(g);
   // One transfer per region, broadcast to all consumers.
   EXPECT_EQ(layout.transfers.size(), layout.regions.size());
   std::size_t cellsMoved = 0;
@@ -169,7 +170,7 @@ TEST_P(HaloLayoutInvariants, TransfersAreBlockwiseBroadcasts) {
 TEST_P(HaloLayoutInvariants, PermutationIsValid) {
   const LayoutCase& c = GetParam();
   auto g = c.make();
-  auto layout = buildLayout(g.matrix, partitionAuto(g, c.tiles), c.tiles);
+  auto layout = Partitioner(ipu::Topology::singleIpu(c.tiles)).layout(g);
   auto perm = layout.reorderingPermutation();
   std::vector<int> seen(perm.size(), 0);
   for (std::size_t p : perm) {
@@ -258,4 +259,107 @@ TEST(HaloLayout, SingleTileHasNoHalo) {
   EXPECT_EQ(layout.tiles[0].numOwned, 36u);
   EXPECT_EQ(layout.tiles[0].numInterior, 36u);
   EXPECT_EQ(layout.tiles[0].numHalo, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pod-aware partitioning (multi-IPU)
+// ---------------------------------------------------------------------------
+
+TEST(PodPartition, SingleIpuMatchesDeprecatedPartitionAuto) {
+  // The old free function is now a shim over Partitioner; the single-chip
+  // path must stay bit-compatible so existing layouts (and plan-cache
+  // fingerprints) survive the port.
+  for (std::size_t tiles : {4u, 7u}) {
+    auto grid = matrix::poisson2d5(8, 8);
+    auto circ = matrix::g3CircuitLike(1500);
+    EXPECT_EQ(Partitioner(ipu::Topology::singleIpu(tiles)).map(grid),
+              partitionAuto(grid, tiles));
+    EXPECT_EQ(Partitioner(ipu::Topology::singleIpu(tiles)).map(circ),
+              partitionAuto(circ, tiles));
+  }
+}
+
+TEST(PodPartition, MapIsIpuMajorAndComplete) {
+  auto g = matrix::poisson3d7(12, 12, 12);
+  const ipu::Topology topo = ipu::Topology::pod(4, 8);
+  auto map = Partitioner(topo).map(g);
+  ASSERT_EQ(map.size(), g.matrix.rows());
+  std::vector<std::size_t> rowsPerIpu(4, 0);
+  for (std::size_t t : map) {
+    ASSERT_LT(t, topo.totalTiles());
+    ++rowsPerIpu[topo.target().ipuOfTile(t)];
+  }
+  // Every chip carries a share, balanced within 2x of the mean.
+  const double avg = static_cast<double>(g.matrix.rows()) / 4.0;
+  for (std::size_t r : rowsPerIpu) {
+    EXPECT_GT(static_cast<double>(r), 0.4 * avg);
+    EXPECT_LT(static_cast<double>(r), 2.0 * avg);
+  }
+}
+
+TEST(PodPartition, CutSurfaceMonotoneInPodSize) {
+  // More chips at fixed tiles/chip = more subdomain surface crossing links.
+  auto g = matrix::poisson3d7(12, 12, 12);
+  std::size_t prev = 0;
+  for (std::size_t ipus : {2u, 4u, 8u}) {
+    const ipu::Topology topo = ipu::Topology::pod(ipus, 16);
+    auto map = Partitioner(topo).map(g);
+    const std::size_t cut = interIpuCut(g.matrix, map, topo);
+    EXPECT_GT(cut, 0u);
+    EXPECT_GE(cut, prev);
+    prev = cut;
+  }
+}
+
+TEST(PodPartition, PodAwareCutNoWorseThanLinearBaseline) {
+  // The hierarchical split must not cross more links than the naive
+  // contiguous-blocks baseline on a structured grid.
+  auto g = matrix::poisson3d7(16, 16, 16);
+  const ipu::Topology topo = ipu::Topology::pod(4, 16);
+  const std::size_t podCut =
+      interIpuCut(g.matrix, Partitioner(topo).map(g), topo);
+  const std::size_t linCut = interIpuCut(
+      g.matrix, Partitioner(topo, Partitioner::Strategy::Linear).map(g),
+      topo);
+  EXPECT_LE(podCut, linCut);
+}
+
+TEST(PodPartition, InterIpuCutCountsOnlyCrossChipEdges) {
+  // 2x2 grid, rows {0,1} on chip 0 and {2,3} on chip 1: exactly the four
+  // structural entries (0,2),(2,0),(1,3),(3,1) cross the link.
+  auto g = matrix::poisson2d5(2, 2);
+  const ipu::Topology topo = ipu::Topology::pod(2, 1);
+  const std::vector<std::size_t> map = {0, 0, 1, 1};
+  EXPECT_EQ(interIpuCut(g.matrix, map, topo), 4u);
+  // Everything on one chip: no cut.
+  const std::vector<std::size_t> oneChip = {0, 0, 0, 0};
+  EXPECT_EQ(interIpuCut(g.matrix, oneChip, topo), 0u);
+}
+
+TEST(PodPartition, BlacklistRemapsAcrossIpuBoundaries) {
+  // Kill chip 1 entirely plus one tile of chip 2: rows must migrate across
+  // IPU boundaries onto surviving tiles only, weighted by surviving
+  // capacity, and the layout must still build.
+  auto g = matrix::poisson3d7(10, 10, 10);
+  const ipu::Topology topo = ipu::Topology::pod(4, 8);
+  std::vector<std::size_t> dead = {8, 9, 10, 11, 12, 13, 14, 15, 17};
+  Partitioner part(topo);
+  part.setBlacklist(dead);
+  auto map = part.map(g);
+  ASSERT_EQ(map.size(), g.matrix.rows());
+  std::set<std::size_t> deadSet(dead.begin(), dead.end());
+  std::vector<std::size_t> rowsPerIpu(4, 0);
+  for (std::size_t t : map) {
+    ASSERT_LT(t, topo.totalTiles());
+    EXPECT_FALSE(deadSet.count(t)) << "row placed on dead tile " << t;
+    ++rowsPerIpu[topo.target().ipuOfTile(t)];
+  }
+  EXPECT_EQ(rowsPerIpu[1], 0u);  // the dead chip carries nothing
+  // Chip 2 lost 1 of 8 tiles; it still carries rows, but fewer than the
+  // intact chips.
+  EXPECT_GT(rowsPerIpu[2], 0u);
+  EXPECT_LT(rowsPerIpu[2], rowsPerIpu[0]);
+  EXPECT_LT(rowsPerIpu[2], rowsPerIpu[3]);
+  auto layout = part.layout(g);
+  EXPECT_EQ(layout.tiles.size(), topo.totalTiles());
 }

@@ -6,7 +6,7 @@
 
 #include "graph/engine.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/rng.hpp"
 
@@ -20,8 +20,8 @@ namespace {
 
 DistMatrix makeDistMatrix(const matrix::GeneratedMatrix& g,
                           std::size_t tiles) {
-  auto rowToTile = partition::partitionAuto(g, tiles);
-  auto layout = partition::buildLayout(g.matrix, rowToTile, tiles);
+  auto layout =
+      partition::Partitioner(ipu::Topology::singleIpu(tiles)).layout(g);
   return DistMatrix(g.matrix, std::move(layout));
 }
 

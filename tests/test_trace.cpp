@@ -15,7 +15,7 @@
 #include "graph/engine.hpp"
 #include "ipu/fault.hpp"
 #include "matrix/generators.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/solvers.hpp"
 #include "support/trace.hpp"
 
@@ -45,8 +45,8 @@ struct TracedSetup {
                        std::size_t tiles = 4) {
     auto g = matrix::poisson2d5(8, 8);
     ctx = std::make_unique<Context>(ipu::IpuTarget::testTarget(tiles));
-    auto layout = partition::buildLayout(
-        g.matrix, partition::partitionAuto(g, tiles), tiles);
+    auto layout =
+        partition::Partitioner(ipu::Topology::singleIpu(tiles)).layout(g);
     A = std::make_unique<DistMatrix>(g.matrix, std::move(layout));
     x.emplace(A->makeVector(DType::Float32, "x"));
     b.emplace(A->makeVector(DType::Float32, "b"));

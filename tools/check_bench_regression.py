@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
-"""Perf gate: fail CI when the simulator got much slower than the record.
+"""Perf gate: fail CI when a benchmark got much worse than the record.
 
-Compares one or more fresh bench_simspeed JSON reports against the committed
-baseline (BENCH_SIMSPEED.json at the repo root) and exits 1 if any matching
-row regressed by more than the threshold factor in itersPerSec.
+Compares one or more fresh bench JSON reports against a committed baseline
+and exits 1 if any matching row regressed by more than the threshold factor.
+Two report kinds are understood (detected from the "bench" field):
+
+  simspeed  (BENCH_SIMSPEED.json)  wall-clock simulator throughput; rows
+            match on (solver, hostThreads) and gate on itersPerSec (higher
+            is better). Noisy — the BEST rate per row across all fresh
+            reports is used, and `saturated` rows (thread count above the
+            machine's cores) are skipped.
+  scaling   (BENCH_SCALING.json)   simulated-cycle pod sweeps from
+            bench_fig5_strong_scaling / bench_fig6_weak_scaling; rows match
+            on (figure, problem, ipus) and gate on totalCycles (lower is
+            better). Simulated cycles are deterministic, so a tighter
+            threshold than the simspeed default is appropriate (CI uses
+            1.25).
 
 Usage:
     check_bench_regression.py [--baseline BENCH_SIMSPEED.json]
                               [--threshold 2.0] fresh1.json [fresh2.json ...]
 
-Rows are matched on (solver, hostThreads). When several fresh reports are
-given, the BEST rate per row is used — CI runners are noisy and slow outliers
-are common, so the gate asks "can the simulator still reach at least
-baseline/threshold?" rather than "did this one run hit it?". Rows marked
-`saturated` (thread count above the machine's cores) are skipped: an
-oversubscribed ladder measures the scheduler, not the simulator. The
-threshold is deliberately loose (2x): this is a ratchet against large
-accidental regressions — a dropped fast path, an accidentally-disabled
-cache — not a microbenchmark tracker.
+The threshold is deliberately loose: this is a ratchet against large
+accidental regressions — a dropped fast path, a partitioner that stopped
+being pod-aware — not a microbenchmark tracker. If a regression is
+intentional, regenerate the baseline JSON and commit it.
 """
 
 import argparse
@@ -27,28 +34,42 @@ from pathlib import Path
 
 
 def load_rows(path):
-    """Returns {(solver, hostThreads): row} for non-saturated result rows."""
+    """Returns {key: (direction, value, label)} for comparable result rows.
+
+    direction is "higher" (bigger value is better) or "lower".
+    """
     with open(path) as f:
         report = json.load(f)
+    bench = report.get("bench", "simspeed")
     rows = {}
     for row in report.get("results", []):
-        if row.get("saturated"):
-            continue
-        rows[(row["solver"], row["hostThreads"])] = row
+        if bench == "scaling":
+            key = ("scaling", row["figure"], row.get("problem", ""),
+                   row["ipus"])
+            label = (f"{row['figure']}/{row.get('problem', '?')} "
+                     f"@ {row['ipus']} IPUs totalCycles")
+            rows[key] = ("lower", float(row["totalCycles"]), label)
+        else:
+            if row.get("saturated"):
+                continue
+            key = ("simspeed", row["solver"], row["hostThreads"])
+            label = f"{row['solver']} @ {row['hostThreads']} threads"
+            rows[key] = ("higher", float(row["itersPerSec"]), label)
     return rows
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("fresh", nargs="+", help="fresh bench_simspeed JSON files")
+    ap.add_argument("fresh", nargs="+", help="fresh bench JSON files")
     ap.add_argument(
         "--baseline",
         default=str(Path(__file__).resolve().parent.parent
                     / "BENCH_SIMSPEED.json"),
-        help="committed baseline report (default: repo root)")
+        help="committed baseline report (default: BENCH_SIMSPEED.json at "
+             "the repo root)")
     ap.add_argument(
         "--threshold", type=float, default=2.0,
-        help="max allowed slowdown factor vs baseline (default: 2.0)")
+        help="max allowed regression factor vs baseline (default: 2.0)")
     args = ap.parse_args()
 
     baseline = load_rows(args.baseline)
@@ -56,37 +77,44 @@ def main():
         print(f"error: no comparable rows in baseline {args.baseline}")
         return 1
 
-    # Best observed rate per row across all fresh reports.
+    # Best observed value per row across all fresh reports (max for
+    # higher-is-better rows, min for lower-is-better ones).
     best = {}
     for path in args.fresh:
-        for key, row in load_rows(path).items():
-            rate = row["itersPerSec"]
-            if key not in best or rate > best[key]:
-                best[key] = rate
+        for key, (direction, value, _) in load_rows(path).items():
+            if key not in best:
+                best[key] = value
+            elif direction == "higher":
+                best[key] = max(best[key], value)
+            else:
+                best[key] = min(best[key], value)
 
     failed = False
-    for key, base_row in sorted(baseline.items()):
-        solver, threads = key
-        base = base_row["itersPerSec"]
-        floor = base / args.threshold
+    for key, (direction, base, label) in sorted(baseline.items()):
         got = best.get(key)
         if got is None:
-            print(f"MISSING  {solver} @ {threads} threads: "
-                  f"row absent from fresh reports (baseline {base:.0f}/s)")
+            print(f"MISSING  {label}: row absent from fresh reports "
+                  f"(baseline {base:.0f})")
             failed = True
             continue
-        verdict = "ok" if got >= floor else "REGRESSED"
-        print(f"{verdict:<10}{solver} @ {threads} threads: "
-              f"{got:.0f}/s vs baseline {base:.0f}/s "
-              f"(floor {floor:.0f}/s = baseline/{args.threshold:g})")
-        if got < floor:
+        if direction == "higher":
+            limit = base / args.threshold
+            ok = got >= limit
+            bound = f"floor {limit:.0f} = baseline/{args.threshold:g}"
+        else:
+            limit = base * args.threshold
+            ok = got <= limit
+            bound = f"ceiling {limit:.0f} = baseline*{args.threshold:g}"
+        verdict = "ok" if ok else "REGRESSED"
+        print(f"{verdict:<10}{label}: {got:.0f} vs baseline {base:.0f} "
+              f"({bound})")
+        if not ok:
             failed = True
 
     if failed:
-        print(f"\nperf gate FAILED: simulator slower than "
-              f"{args.threshold:g}x off the committed baseline "
-              f"({args.baseline}). If the slowdown is intentional, "
-              f"regenerate BENCH_SIMSPEED.json and commit it.")
+        print(f"\nperf gate FAILED: worse than {args.threshold:g}x off the "
+              f"committed baseline ({args.baseline}). If the regression is "
+              f"intentional, regenerate the baseline JSON and commit it.")
         return 1
     print("\nperf gate passed")
     return 0

@@ -40,6 +40,8 @@ int usage() {
       "                                          more than <pct> percent\n"
       "       [--min-locality-ratio <x>]         fail if candidate locality\n"
       "                                          < x * baseline locality\n"
+      "       [--max-inter-bytes-regress <pct>]  fail if inter-IPU bytes\n"
+      "                                          regress more than <pct>\n"
       "  html <report.json> <out.html>           write a self-contained HTML\n"
       "                                          report with heatmaps\n");
   return 2;
@@ -75,11 +77,26 @@ int runSummary(const std::string& path) {
       graphene::formatSig(profile.syncCycles, 6).c_str(),
       graphene::support::runClassification(profile).c_str());
   std::printf(
-      "load imbalance %sx over %zu active tiles; traffic locality %s\n\n",
+      "load imbalance %sx over %zu active tiles; traffic locality %s\n",
       graphene::formatSig(imbalance.imbalance, 4).c_str(),
       imbalance.activeTiles,
       graphene::formatSig(graphene::support::trafficLocalityScore(profile), 4)
           .c_str());
+  if (profile.numIpus() > 1) {
+    const graphene::support::TrafficLocalitySplit split =
+        graphene::support::trafficLocalitySplit(profile);
+    std::printf(
+        "pod %zu IPUs x %zu tiles: intra-IPU %s (locality %s), "
+        "inter-IPU %s (locality %s); IPU-Link exchange %s of %s cycles\n",
+        profile.numIpus(), profile.tilesPerIpu,
+        graphene::formatBytes(static_cast<double>(split.intraBytes)).c_str(),
+        graphene::formatSig(split.intraScore, 4).c_str(),
+        graphene::formatBytes(static_cast<double>(split.interBytes)).c_str(),
+        graphene::formatSig(split.interScore, 4).c_str(),
+        graphene::formatSig(profile.exchangeInterCycles, 6).c_str(),
+        graphene::formatSig(profile.exchangeCycles, 6).c_str());
+  }
+  std::printf("\n");
 
   std::printf("%s\n",
               graphene::support::tileProfileSummaryTable(profile).render()
@@ -111,6 +128,7 @@ int runDiff(int argc, char** argv) {
   std::string pathA, pathB;
   double maxCyclesRegressFrac = -1.0;  // negative = check disabled
   double minLocalityRatio = -1.0;
+  double maxInterBytesRegressFrac = -1.0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-cycles-regress") {
@@ -119,6 +137,9 @@ int runDiff(int argc, char** argv) {
     } else if (arg == "--min-locality-ratio") {
       if (++i >= argc) return usage();
       minLocalityRatio = std::atof(argv[i]);
+    } else if (arg == "--max-inter-bytes-regress") {
+      if (++i >= argc) return usage();
+      maxInterBytesRegressFrac = std::atof(argv[i]) / 100.0;
     } else if (pathA.empty()) {
       pathA = arg;
     } else if (pathB.empty()) {
@@ -140,7 +161,8 @@ int runDiff(int argc, char** argv) {
 
   std::string why;
   if (!graphene::support::diffWithinThresholds(diff, maxCyclesRegressFrac,
-                                               minLocalityRatio, &why)) {
+                                               minLocalityRatio, &why,
+                                               maxInterBytesRegressFrac)) {
     std::fprintf(stderr, "REGRESSION: %s\n", why.c_str());
     return 1;
   }
