@@ -8,6 +8,9 @@
 //      ABFT + checkpoint restarts cleaning up behind the flips?
 //   3. What does a hard fault cost end to end — watchdog detection,
 //      blacklist, repartition over the survivors, migrated resume?
+//   4. What do pod-scale faults cost on a 4-chip pod — a whole chip lost
+//      mid-solve (topology shrink + migrated resume) and a severed IPU
+//      link (traffic re-routed via a surviving chip, detour priced)?
 //
 // Emits a JSON summary to stdout (saved as BENCH_RESILIENCE.json at the
 // repo root) so the recovery-cost trajectory is recorded across PRs.
@@ -19,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "ipu/topology.hpp"
 #include "solver/session.hpp"
 
 namespace {
@@ -64,8 +68,11 @@ std::string flipPlan(std::size_t flips) {
 }
 
 Row run(const std::string& solverName, const std::string& scenario,
-        const matrix::GeneratedMatrix& g, bool abft, const char* planJson) {
-  solver::SolveSession session({.tiles = 8, .maxRemaps = 2});
+        const matrix::GeneratedMatrix& g, bool abft, const char* planJson,
+        const ipu::Topology* topology = nullptr) {
+  solver::SessionOptions opts{.tiles = 8, .maxRemaps = 2};
+  if (topology != nullptr) opts.topology = *topology;
+  solver::SolveSession session(opts);
   session.load(g).configure(solverJson(solverName, abft));
   if (planJson != nullptr) session.withFaultPlan(json::parse(planJson));
   std::vector<double> rhs = bench::randomRhs(g.matrix.rows(), 7);
@@ -106,6 +113,26 @@ int main(int argc, char** argv) {
                             "superstep": 40}]})"));
   }
 
+  // Pod-scale hard faults on a 4-chip pod (same 32 simulated tiles the
+  // service CI job uses). `pod-clean` is the reference: `pod-chip-dead`
+  // prices the whole escalation ladder (watchdog → ipu-dead verdict →
+  // topology shrink to 3 chips → migrated resume), `pod-link-dead` prices
+  // the two-hop relay detour of a severed inter-chip link.
+  const ipu::Topology pod = ipu::Topology::pod(4, 8);
+  for (const char* solverName : {"cg", "mpir"}) {
+    rows.push_back(run(solverName, "pod-clean", g, false, nullptr, &pod));
+    rows.push_back(run(solverName, "pod-chip-dead", g, false,
+                       R"({"seed": 21, "faults": [
+                           {"type": "ipu-dead", "ipu": 1,
+                            "superstep": 40}]})",
+                       &pod));
+    rows.push_back(run(solverName, "pod-link-dead", g, false,
+                       R"({"seed": 21, "faults": [
+                           {"type": "ipu-link-dead", "from": 0, "to": 1,
+                            "superstep": 0}]})",
+                       &pod));
+  }
+
   bench::BenchMeta meta = bench::parseBenchMeta(argc, argv);
   meta.tiles = 8;
   meta.hostThreads = 1;
@@ -115,7 +142,11 @@ int main(int argc, char** argv) {
 
   double cleanCycles = 0;
   for (const Row& r : rows) {
-    if (r.scenario == "clean") cleanCycles = r.cycles;
+    // Pod rows normalise against the pod's own healthy run, not the
+    // single-chip clean row — the ratio isolates the fault's cost.
+    if (r.scenario == "clean" || r.scenario == "pod-clean") {
+      cleanCycles = r.cycles;
+    }
     json::Object row;
     row["solver"] = r.solver;
     row["scenario"] = r.scenario;

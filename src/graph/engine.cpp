@@ -424,8 +424,14 @@ void Engine::runExecute(ComputeSetId csId) {
   auto taskCycles = [&](std::size_t ti) -> double {
     const std::size_t tile = plan.tasks[ti].tile;
     if (!tileExcluded_.empty() && tileExcluded_[tile]) return 0.0;
-    if (hardFaults && faultPlan_->tileDead(tile, superstepIndex)) {
-      return faultPlan_->deadTileCycles(tile);
+    if (hardFaults) {
+      if (faultPlan_->tileDead(tile, superstepIndex)) {
+        return faultPlan_->deadTileCycles(tile);
+      }
+      const std::size_t ipu = target.ipuOfTile(tile);
+      if (faultPlan_->ipuDead(ipu, superstepIndex)) {
+        return faultPlan_->deadIpuCycles(ipu);
+      }
     }
     return runTileTask(cs, plan, storage, ti,
                        tileProfiling ? &tileBusy_[ti] : nullptr);
@@ -548,10 +554,23 @@ void Engine::runExecute(ComputeSetId csId) {
       if (!tiles.empty()) tiles += ", ";
       tiles += std::to_string(t);
     }
-    throw ipu::HardFaultError(
-        detail::concatMessage("hard fault: tile(s) ", tiles,
-                              " confirmed dead by the superstep watchdog"),
-        health_->deadTiles());
+    std::string message;
+    if (!health_->deadIpus().empty()) {
+      std::string ipus;
+      for (std::size_t i : health_->deadIpus()) {
+        if (!ipus.empty()) ipus += ", ";
+        ipus += std::to_string(i);
+      }
+      message = detail::concatMessage(
+          "hard fault: chip(s) ", ipus,
+          " declared dead by watchdog escalation (tiles ", tiles, ")");
+    } else {
+      message = detail::concatMessage(
+          "hard fault: tile(s) ", tiles,
+          " confirmed dead by the superstep watchdog");
+    }
+    throw ipu::HardFaultError(message, health_->deadTiles(),
+                              health_->deadIpus());
   }
   checkCancelled();
 }
@@ -766,11 +785,13 @@ void Engine::runCopy(const ProgramPtr& node) {
     GRAPHENE_CHECK(seg.src != kInvalidTensor && seg.dst != kInvalidTensor,
                    "copy segment with invalid tensors");
     // A dead tile never sends: its outgoing transfers neither deliver nor
-    // cost fabric cycles, and every destination keeps its stale data. (The
-    // tile-dead trigger is on the compute-superstep clock, hence the
-    // computeSupersteps index here.)
+    // cost fabric cycles, and every destination keeps its stale data. A dead
+    // chip is the same verdict for all of its tiles at once. (Both triggers
+    // are on the compute-superstep clock, hence the computeSupersteps index.)
     if (hardFaults &&
-        faultPlan_->tileDead(seg.srcTile, profile_.computeSupersteps)) {
+        (faultPlan_->tileDead(seg.srcTile, profile_.computeSupersteps) ||
+         faultPlan_->ipuDead(graph_.target().ipuOfTile(seg.srcTile),
+                             profile_.computeSupersteps))) {
       continue;
     }
     TensorStorage& src = storageFor(seg.src);
@@ -813,9 +834,15 @@ void Engine::runCopy(const ProgramPtr& node) {
     }
     if (!t.dstTiles.empty()) transfers.push_back(std::move(t));
   }
+  ipu::LinkFaults linkFaults;
+  if (hardFaults) {
+    linkFaults = faultPlan_->linkFaults(profile_.exchangeSupersteps,
+                                        profile_.computeSupersteps);
+  }
   ipu::ExchangeStats stats = ipu::priceExchange(
       graph_.target(), transfers,
-      tileProfile_ != nullptr ? &tileProfile_->traffic : nullptr);
+      tileProfile_ != nullptr ? &tileProfile_->traffic : nullptr,
+      hardFaults ? &linkFaults : nullptr);
   if (hardFaults) {
     // Degraded links slow the whole exchange phase: BSP exchanges complete
     // when the last transfer lands, so one slow link stretches the phase.

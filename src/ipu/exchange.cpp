@@ -10,9 +10,11 @@ namespace graphene::ipu {
 
 ExchangeStats priceExchange(const IpuTarget& target,
                             const std::vector<Transfer>& transfers,
-                            support::TileTrafficMatrix* traffic) {
+                            support::TileTrafficMatrix* traffic,
+                            const LinkFaults* linkFaults) {
   ExchangeStats stats;
   if (transfers.empty()) return stats;
+  if (linkFaults != nullptr && linkFaults->empty()) linkFaults = nullptr;
 
   const std::size_t nTiles = target.totalTiles();
   std::vector<double> sendBytes(nTiles, 0.0);
@@ -24,6 +26,30 @@ ExchangeStats priceExchange(const IpuTarget& target,
     std::size_t messages = 0;
   };
   std::map<std::pair<std::size_t, std::size_t>, LinkLoad> linkLoad;
+
+  auto chargeLink = [&](std::size_t fromIpu, std::size_t toIpu,
+                        std::size_t bytes) {
+    LinkLoad& load = linkLoad[{fromIpu, toIpu}];
+    load.bytes += static_cast<double>(bytes);
+    load.messages += 1;
+    stats.interIpuBytes += bytes;
+  };
+  // Lowest-numbered surviving chip that bridges a severed ordered pair with
+  // two alive hops. Dead chips cannot relay. Deterministic by construction,
+  // so re-routed pricing stays bit-identical across host thread counts.
+  auto findRelay = [&](std::size_t fromIpu, std::size_t toIpu) {
+    for (std::size_t mid = 0; mid < target.numIpus; ++mid) {
+      if (mid == fromIpu || mid == toIpu) continue;
+      if (linkFaults->ipuDead(mid)) continue;
+      if (linkFaults->isDead(fromIpu, mid) || linkFaults->isDead(mid, toIpu)) {
+        continue;
+      }
+      return mid;
+    }
+    throw LinkPartitionedError(detail::concatMessage(
+        "IPU-Link graph is partitioned: link ", fromIpu, "->", toIpu,
+        " is severed and no surviving chip offers an alive two-hop route"));
+  };
 
   for (const Transfer& t : transfers) {
     GRAPHENE_CHECK(t.srcTile < nTiles, "transfer source tile out of range");
@@ -40,11 +66,16 @@ ExchangeStats priceExchange(const IpuTarget& target,
       const std::size_t dstIpu = target.ipuOfTile(dst);
       if (dstIpu != srcIpu && !ipuSeen[dstIpu]) {
         ipuSeen[dstIpu] = true;
-        LinkLoad& load = linkLoad[{srcIpu, dstIpu}];
-        load.bytes += static_cast<double>(t.bytes);
-        load.messages += 1;
-        stats.interIpuBytes += t.bytes;
         stats.crossesIpus = true;
+        if (linkFaults == nullptr || !linkFaults->isDead(srcIpu, dstIpu)) {
+          chargeLink(srcIpu, dstIpu, t.bytes);
+        } else {
+          // Severed link: the payload detours via a surviving chip. Both
+          // hops are real streams — charged, and congesting their lanes.
+          const std::size_t relay = findRelay(srcIpu, dstIpu);
+          chargeLink(srcIpu, relay, t.bytes);
+          chargeLink(relay, dstIpu, t.bytes);
+        }
       }
     }
     if (!remoteDst) continue;  // purely local
@@ -86,9 +117,15 @@ ExchangeStats priceExchange(const IpuTarget& target,
     const std::size_t messages =
         target.aggregateInterIpuHalo ? 1 : load.messages;
     stats.interIpuMessages += messages;
-    const double pairCycles =
+    double pairCycles =
         target.linkLatencyCycles * static_cast<double>(messages) +
         load.bytes / target.linkBytesPerCycle();
+    // A degraded link multiplies the whole stream — latency and wire time —
+    // and the inflated stream then serialises onto its chip's lanes below,
+    // so degradation slows congestion too, not just the lone transfer.
+    if (linkFaults != nullptr) {
+      pairCycles *= linkFaults->factor(pair.first, pair.second);
+    }
     ipuOutSum[pair.first] += pairCycles;
     ipuOutMax[pair.first] = std::max(ipuOutMax[pair.first], pairCycles);
     ipuOutPairs[pair.first] += 1;

@@ -27,9 +27,11 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "ipu/target.hpp"
+#include "support/error.hpp"
 
 namespace graphene::support {
 class TileTrafficMatrix;
@@ -43,6 +45,57 @@ struct Transfer {
   std::size_t srcTile = 0;
   std::vector<std::size_t> dstTiles;
   std::size_t bytes = 0;
+};
+
+/// Typed failure for a link graph that re-routing cannot bridge: an ordered
+/// IPU pair has its direct link severed and no surviving intermediate chip
+/// offers an alive two-hop route. The exchange cannot be priced, let alone
+/// executed — the caller must fail the solve typed, not hang.
+class LinkPartitionedError : public graphene::Error {
+ public:
+  using graphene::Error::Error;
+};
+
+/// Permanent IPU-Link fabric faults in effect for one exchange superstep.
+/// `deadPairs` are ordered (srcIpu, dstIpu) links that are severed;
+/// `degraded` multiplies the cost of an ordered pair's link transfers.
+/// `deadIpus` lists chips that must not be used as re-route intermediates
+/// (a dying chip cannot relay traffic) — traffic to/from those chips is
+/// still priced on its direct links, so the watchdog escalation path keeps
+/// observing the chip until recovery excludes it.
+struct LinkFaults {
+  std::vector<std::pair<std::size_t, std::size_t>> deadPairs;
+  struct Degrade {
+    std::size_t fromIpu = 0;
+    std::size_t toIpu = 0;
+    double factor = 1.0;
+  };
+  std::vector<Degrade> degraded;
+  std::vector<std::size_t> deadIpus;
+
+  bool empty() const {
+    return deadPairs.empty() && degraded.empty() && deadIpus.empty();
+  }
+  bool isDead(std::size_t fromIpu, std::size_t toIpu) const {
+    for (const auto& p : deadPairs) {
+      if (p.first == fromIpu && p.second == toIpu) return true;
+    }
+    return false;
+  }
+  bool ipuDead(std::size_t ipu) const {
+    for (std::size_t d : deadIpus) {
+      if (d == ipu) return true;
+    }
+    return false;
+  }
+  /// Combined degradation factor for one ordered link (1.0 when healthy).
+  double factor(std::size_t fromIpu, std::size_t toIpu) const {
+    double f = 1.0;
+    for (const auto& d : degraded) {
+      if (d.fromIpu == fromIpu && d.toIpu == toIpu) f *= d.factor;
+    }
+    return f;
+  }
 };
 
 /// Static description of a compiled exchange program.
@@ -62,8 +115,15 @@ struct ExchangeStats {
 /// When `traffic` is non-null, every fabric transfer is also recorded into
 /// the tile×tile traffic matrix (broadcast payload split integer-exactly
 /// over the remote destinations, matching `totalBytes` accounting).
+///
+/// When `linkFaults` is non-null, severed ordered pairs re-route through the
+/// lowest-numbered surviving intermediate chip — both hops are charged and
+/// take part in lane congestion like any other stream — degraded pairs
+/// multiply their link cost, and a pair with no surviving route raises
+/// LinkPartitionedError.
 ExchangeStats priceExchange(const IpuTarget& target,
                             const std::vector<Transfer>& transfers,
-                            support::TileTrafficMatrix* traffic = nullptr);
+                            support::TileTrafficMatrix* traffic = nullptr,
+                            const LinkFaults* linkFaults = nullptr);
 
 }  // namespace graphene::ipu

@@ -9,6 +9,13 @@ namespace graphene::ipu {
 
 namespace {
 
+/// The one list of valid fault kinds, shared by every validation message
+/// that names the set — adding a kind here updates them all.
+constexpr const char* kValidFaultKinds =
+    "bitflip, stuck-zero, exchange-drop, exchange-corrupt, stall, "
+    "tile-dead, link-degraded, sram-region-dead, ipu-dead, ipu-link-dead, "
+    "ipu-link-degraded";
+
 FaultPlan::Rule::Kind parseKind(const std::string& s) {
   using Kind = FaultPlan::Rule::Kind;
   if (s == "bitflip" || s == "bit-flip") return Kind::BitFlip;
@@ -21,10 +28,13 @@ FaultPlan::Rule::Kind parseKind(const std::string& s) {
   if (s == "sram-region-dead" || s == "sram_region_dead") {
     return Kind::SramRegionDead;
   }
-  throw ParseError(
-      "unknown fault type '" + s +
-      "' (valid: bitflip, stuck-zero, exchange-drop, exchange-corrupt, "
-      "stall, tile-dead, link-degraded, sram-region-dead)");
+  if (s == "ipu-dead" || s == "ipu_dead") return Kind::IpuDead;
+  if (s == "ipu-link-dead" || s == "ipu_link_dead") return Kind::IpuLinkDead;
+  if (s == "ipu-link-degraded" || s == "ipu_link_degraded") {
+    return Kind::IpuLinkDegraded;
+  }
+  throw ParseError("unknown fault type '" + s + "' (valid: " +
+                   kValidFaultKinds + ")");
 }
 
 const char* kindName(FaultPlan::Rule::Kind kind) {
@@ -38,6 +48,9 @@ const char* kindName(FaultPlan::Rule::Kind kind) {
     case Kind::TileDead: return "tile-dead";
     case Kind::LinkDegraded: return "link-degraded";
     case Kind::SramRegionDead: return "sram-region-dead";
+    case Kind::IpuDead: return "ipu-dead";
+    case Kind::IpuLinkDead: return "ipu-link-dead";
+    case Kind::IpuLinkDegraded: return "ipu-link-degraded";
   }
   GRAPHENE_UNREACHABLE("bad fault kind");
 }
@@ -138,13 +151,27 @@ void validateRule(const json::Value& f, FaultPlan::Rule::Kind kind) {
                               {"element", KeyKind::Number},
                               {"elements", KeyKind::Number}});
       break;
+    case Kind::IpuDead:
+      validateKeys(f, where, {type, {"ipu", KeyKind::Number}, superstep,
+                              {"cycles", KeyKind::Number}});
+      break;
+    case Kind::IpuLinkDead:
+      validateKeys(f, where, {type, {"from", KeyKind::Number},
+                              {"to", KeyKind::Number}, superstep});
+      break;
+    case Kind::IpuLinkDegraded:
+      validateKeys(f, where, {type, {"from", KeyKind::Number},
+                              {"to", KeyKind::Number}, superstep,
+                              {"factor", KeyKind::Number}});
+      break;
   }
 }
 
 bool isHardKind(FaultPlan::Rule::Kind kind) {
   using Kind = FaultPlan::Rule::Kind;
   return kind == Kind::TileDead || kind == Kind::LinkDegraded ||
-         kind == Kind::SramRegionDead;
+         kind == Kind::SramRegionDead || kind == Kind::IpuDead ||
+         kind == Kind::IpuLinkDead || kind == Kind::IpuLinkDegraded;
 }
 
 /// A hard fault is active at superstep `index` once its trigger is reached.
@@ -166,9 +193,8 @@ FaultPlan FaultPlan::fromJson(const json::Value& config) {
   for (const json::Value& f : config.at("faults").asArray()) {
     GRAPHENE_CHECK(f.isObject(), "each fault rule must be a JSON object");
     GRAPHENE_CHECK(f.contains("type"),
-                   "each fault rule needs a 'type' key (bitflip, stuck-zero, "
-                   "exchange-drop, exchange-corrupt, stall, tile-dead, "
-                   "link-degraded, sram-region-dead)");
+                   "each fault rule needs a 'type' key (", kValidFaultKinds,
+                   ")");
     GRAPHENE_CHECK(f.at("type").isString(),
                    "key 'type' in fault rule must be a string");
     Rule r;
@@ -207,6 +233,32 @@ FaultPlan FaultPlan::fromJson(const json::Value& config) {
                      "sram-region-dead 'elements' must be >= 1, got ",
                      elements);
       r.regionElements = static_cast<std::size_t>(elements);
+    }
+    if (r.kind == Rule::Kind::IpuDead) {
+      GRAPHENE_CHECK(f.contains("ipu"),
+                     "ipu-dead fault needs an 'ipu' key (the chip to kill)");
+      r.ipu = static_cast<std::size_t>(f.getOr("ipu", std::int64_t(0)));
+      // Same watchdog-scale hang per superstep as tile-dead, for every tile
+      // of the chip.
+      if (r.stallCycles <= 0) r.stallCycles = 1e9;
+    }
+    if (r.kind == Rule::Kind::IpuLinkDead ||
+        r.kind == Rule::Kind::IpuLinkDegraded) {
+      const std::string where = std::string("'") + kindName(r.kind) + "'";
+      GRAPHENE_CHECK(f.contains("from") && f.contains("to"), where,
+                     " fault needs 'from' and 'to' keys (the ordered chip "
+                     "pair whose link it hits)");
+      r.fromIpu = static_cast<std::size_t>(f.getOr("from", std::int64_t(0)));
+      r.toIpu = static_cast<std::size_t>(f.getOr("to", std::int64_t(0)));
+      GRAPHENE_CHECK(r.fromIpu != r.toIpu, where,
+                     " fault needs 'from' != 'to' — a chip has no link to "
+                     "itself");
+      if (r.kind == Rule::Kind::IpuLinkDegraded) {
+        r.factor = f.getOr("factor", 4.0);
+        GRAPHENE_CHECK(r.factor >= 1.0,
+                       "ipu-link-degraded 'factor' must be >= 1, got ",
+                       r.factor);
+      }
     }
     plan.rules_.push_back(r);
   }
@@ -292,6 +344,58 @@ double FaultPlan::linkFactor(std::size_t index) const {
   return factor;
 }
 
+bool FaultPlan::ipuDead(std::size_t ipu, std::size_t index) const {
+  const auto idx = static_cast<std::int64_t>(index);
+  for (const Rule& rule : rules_) {
+    if (rule.kind == Rule::Kind::IpuDead && rule.ipu == ipu &&
+        hardActive(rule, idx)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::deadIpuCycles(std::size_t ipu) const {
+  double cycles = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.kind == Rule::Kind::IpuDead && rule.ipu == ipu) {
+      cycles = std::max(cycles, rule.stallCycles);
+    }
+  }
+  return cycles;
+}
+
+LinkFaults FaultPlan::linkFaults(std::size_t exchangeIndex,
+                                 std::size_t computeIndex) const {
+  const auto xIdx = static_cast<std::int64_t>(exchangeIndex);
+  const auto cIdx = static_cast<std::int64_t>(computeIndex);
+  LinkFaults faults;
+  for (const Rule& rule : rules_) {
+    switch (rule.kind) {
+      case Rule::Kind::IpuLinkDead:
+        if (hardActive(rule, xIdx)) {
+          faults.deadPairs.emplace_back(rule.fromIpu, rule.toIpu);
+        }
+        break;
+      case Rule::Kind::IpuLinkDegraded:
+        if (hardActive(rule, xIdx)) {
+          faults.degraded.push_back({rule.fromIpu, rule.toIpu, rule.factor});
+        }
+        break;
+      case Rule::Kind::IpuDead:
+        // A dying chip still gets its traffic priced (the watchdog must keep
+        // seeing it), but it cannot serve as a re-route relay.
+        if (hardActive(rule, cIdx) && !faults.ipuDead(rule.ipu)) {
+          faults.deadIpus.push_back(rule.ipu);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return faults;
+}
+
 void FaultPlan::onComputeSuperstepStart(std::size_t index,
                                         FaultSurface& surface) {
   states_.resize(rules_.size());
@@ -310,6 +414,20 @@ void FaultPlan::onComputeSuperstepStart(std::size_t index,
         ev.cycles = rule.stallCycles;
         ev.detail = "permanent: tile stops executing; outgoing transfers "
                     "are lost";
+        surface.profile().faultEvents.push_back(std::move(ev));
+        ++injected_;
+        break;
+      }
+      case Rule::Kind::IpuDead: {
+        if (!hardActive(rule, idx) || state.activated) break;
+        state.activated = true;
+        FaultEvent ev;
+        ev.kind = kindName(rule.kind);
+        ev.superstep = index;
+        ev.target = "ipu " + std::to_string(rule.ipu);
+        ev.cycles = rule.stallCycles;
+        ev.detail = "permanent: every tile of the chip stops executing; "
+                    "its outgoing transfers are lost";
         surface.profile().faultEvents.push_back(std::move(ev));
         ++injected_;
         break;
@@ -364,22 +482,41 @@ double FaultPlan::onExchangeSuperstep(std::size_t index,
   double factor = 1.0;
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const Rule& rule = rules_[i];
-    if (rule.kind != Rule::Kind::LinkDegraded || !hardActive(rule, idx)) {
-      continue;
-    }
     RuleState& state = states_[i];
-    if (!state.activated) {
+    if (rule.kind == Rule::Kind::LinkDegraded && hardActive(rule, idx)) {
+      if (!state.activated) {
+        state.activated = true;
+        FaultEvent ev;
+        ev.kind = kindName(rule.kind);
+        ev.superstep = index;
+        ev.target = "tile " + std::to_string(rule.tile);
+        ev.detail = "permanent: fabric cost x" + std::to_string(rule.factor) +
+                    " from this exchange on";
+        surface.profile().faultEvents.push_back(std::move(ev));
+        ++injected_;
+      }
+      factor *= rule.factor;
+    }
+    // The pod-scale link kinds only log their activation here; their cost
+    // effect is per ordered pair, applied inside priceExchange via
+    // linkFaults() — not through the global factor.
+    if ((rule.kind == Rule::Kind::IpuLinkDead ||
+         rule.kind == Rule::Kind::IpuLinkDegraded) &&
+        hardActive(rule, idx) && !state.activated) {
       state.activated = true;
       FaultEvent ev;
       ev.kind = kindName(rule.kind);
       ev.superstep = index;
-      ev.target = "tile " + std::to_string(rule.tile);
-      ev.detail = "permanent: fabric cost x" + std::to_string(rule.factor) +
-                  " from this exchange on";
+      ev.target = "link " + std::to_string(rule.fromIpu) + "->" +
+                  std::to_string(rule.toIpu);
+      ev.detail = rule.kind == Rule::Kind::IpuLinkDead
+                      ? "permanent: link severed; traffic re-routes via a "
+                        "surviving chip"
+                      : "permanent: link cost x" + std::to_string(rule.factor) +
+                            " from this exchange on";
       surface.profile().faultEvents.push_back(std::move(ev));
       ++injected_;
     }
-    factor *= rule.factor;
   }
   return factor;
 }
@@ -446,6 +583,9 @@ double FaultPlan::afterComputeSuperstep(std::size_t index,
       case Rule::Kind::TileDead:
       case Rule::Kind::LinkDegraded:
       case Rule::Kind::SramRegionDead:
+      case Rule::Kind::IpuDead:
+      case Rule::Kind::IpuLinkDead:
+      case Rule::Kind::IpuLinkDegraded:
         break;  // permanent faults: onComputeSuperstepStart / exchange hooks
     }
   }

@@ -34,7 +34,12 @@
 //       {"type": "tile-dead", "tile": 3, "superstep": 40},
 //       {"type": "link-degraded", "tile": 5, "factor": 8.0, "superstep": 10},
 //       {"type": "sram-region-dead", "tensor": "cg_p", "element": 4,
-//        "elements": 8, "superstep": 25}
+//        "elements": 8, "superstep": 25},
+//       // Pod-scale hard faults:
+//       {"type": "ipu-dead", "ipu": 2, "superstep": 40},
+//       {"type": "ipu-link-dead", "from": 0, "to": 1, "superstep": 12},
+//       {"type": "ipu-link-degraded", "from": 1, "to": 2, "factor": 6.0,
+//        "superstep": 12}
 //     ]
 //   }
 // Exchange rules match on the *destination* tensor of a transfer and trigger
@@ -54,12 +59,23 @@
 // `element` (-1 = seeded-random start) to zero before every compute
 // superstep — overwrites don't stick, which is what distinguishes it from a
 // transient stuck-zero.
+//
+// The pod-scale kinds lift the same semantics one level up the hierarchy.
+// "ipu-dead" kills every tile of chip "ipu" from its (compute-clock) trigger
+// on: each of the chip's compute supersteps charges "cycles" (default 1e9,
+// the watchdog-scale hang) and the chip's outgoing transfers are lost.
+// "ipu-link-dead" severs the ordered (from, to) IPU-Link from its
+// (exchange-clock) trigger — the exchange model re-routes the pair's traffic
+// via a surviving chip, or raises a typed LinkPartitionedError when none
+// exists. "ipu-link-degraded" multiplies the ordered pair's link cost by
+// "factor" (default 4.0) instead of severing it.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ipu/exchange.hpp"
 #include "ipu/profile.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -96,7 +112,8 @@ class FaultPlan {
  public:
   struct Rule {
     enum class Kind { BitFlip, StuckZero, ExchangeDrop, ExchangeCorrupt,
-                      Stall, TileDead, LinkDegraded, SramRegionDead };
+                      Stall, TileDead, LinkDegraded, SramRegionDead,
+                      IpuDead, IpuLinkDead, IpuLinkDegraded };
     Kind kind = Kind::BitFlip;
     std::string tensor;            // substring of the target tensor's name
     std::int64_t superstep = -1;   // exact superstep trigger; -1 = any
@@ -110,6 +127,9 @@ class FaultPlan {
     std::size_t count = SIZE_MAX;  // injection budget (transient rules only)
     double factor = 1.0;           // link-degraded fabric-cost multiplier
     std::size_t regionElements = 1;  // sram-region-dead region length
+    std::size_t ipu = 0;           // ipu-dead chip target
+    std::size_t fromIpu = 0;       // ipu-link-* ordered pair source chip
+    std::size_t toIpu = 0;         // ipu-link-* ordered pair destination chip
   };
 
   FaultPlan() = default;
@@ -143,6 +163,19 @@ class FaultPlan {
   /// Fabric-cost multiplier for exchange superstep `index` (product of the
   /// factors of every active link-degraded rule; 1.0 = healthy fabric).
   double linkFactor(std::size_t index) const;
+
+  /// True when every tile of chip `ipu` is dead at compute superstep `index`.
+  bool ipuDead(std::size_t ipu, std::size_t index) const;
+
+  /// Cycles each tile of a dead chip charges per compute superstep.
+  double deadIpuCycles(std::size_t ipu) const;
+
+  /// The IPU-Link fabric faults active for exchange superstep
+  /// `exchangeIndex`: severed / degraded ordered pairs (exchange clock) plus
+  /// the chips dead at compute superstep `computeIndex`, which re-routing
+  /// must not use as relays. Empty when no pod-scale rule is active.
+  LinkFaults linkFaults(std::size_t exchangeIndex,
+                        std::size_t computeIndex) const;
 
   /// Restores the plan to its just-built state (RNG re-seeded, budgets and
   /// skip counters reset) so the same plan object can drive a fresh run.

@@ -1,6 +1,7 @@
 #include "ipu/health.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace graphene::ipu {
@@ -54,6 +55,39 @@ void HealthMonitor::observeCompute(std::size_t superstep, std::size_t tile,
                 " consecutive watchdog trips";
   profile.faultEvents.push_back(std::move(dead));
   if (options_.abortOnConfirmedDead) abortPending_ = true;
+
+  // Chip-level escalation: enough of this tile's chip confirmed dead means
+  // the chip itself is gone — one shrink verdict instead of a drawn-out
+  // tile-by-tile blacklist march.
+  if (options_.tilesPerIpu == 0) return;
+  const std::size_t ipu = tile / options_.tilesPerIpu;
+  if (std::find(deadIpus_.begin(), deadIpus_.end(), ipu) != deadIpus_.end()) {
+    return;
+  }
+  std::size_t deadOnChip = 0;
+  for (std::size_t t : deadTiles_) {
+    if (t / options_.tilesPerIpu == ipu) ++deadOnChip;
+  }
+  const double fraction =
+      std::min(1.0, std::max(options_.ipuDeadFraction, 0.0));
+  // Floor of 2: a single dead tile is a tile fault however small the chip
+  // — escalation needs a *pattern*. (A 1-tile chip still recovers via the
+  // ordinary tile blacklist, which empties it just the same.)
+  const auto needed = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::ceil(
+             fraction * static_cast<double>(options_.tilesPerIpu))));
+  if (deadOnChip < needed) return;
+  deadIpus_.push_back(ipu);
+  std::sort(deadIpus_.begin(), deadIpus_.end());
+  profile.metrics.addCounter("resilience.ipu.dead", 1);
+  FaultEvent chip;
+  chip.kind = "health:ipu-dead";
+  chip.superstep = superstep;
+  chip.target = "ipu " + std::to_string(ipu);
+  chip.detail = std::to_string(deadOnChip) + "/" +
+                std::to_string(options_.tilesPerIpu) +
+                " tiles confirmed dead — chip declared dead";
+  profile.faultEvents.push_back(std::move(chip));
 }
 
 json::Value HealthMonitor::reportJson() const {
@@ -64,6 +98,13 @@ json::Value HealthMonitor::reportJson() const {
   json::Array deadArr;
   for (std::size_t t : deadTiles_) deadArr.push_back(json::Value(t));
   report["deadTiles"] = json::Value(std::move(deadArr));
+  if (options_.tilesPerIpu > 0) {
+    report["tilesPerIpu"] = options_.tilesPerIpu;
+    report["ipuDeadFraction"] = options_.ipuDeadFraction;
+    json::Array deadIpusArr;
+    for (std::size_t ipu : deadIpus_) deadIpusArr.push_back(json::Value(ipu));
+    report["deadIpus"] = json::Value(std::move(deadIpusArr));
+  }
   json::Array tilesArr;
   for (const auto& [tile, h] : tiles_) {
     if (h.totalTrips == 0) continue;
@@ -81,6 +122,7 @@ json::Value HealthMonitor::reportJson() const {
 void HealthMonitor::reset() {
   tiles_.clear();
   deadTiles_.clear();
+  deadIpus_.clear();
   trips_ = 0;
   abortPending_ = false;
 }

@@ -31,17 +31,24 @@
 namespace graphene::ipu {
 
 /// Thrown by the engine when the health monitor confirms dead tiles and is
-/// configured to abort. Carries the (sorted) list of confirmed-dead tiles so
-/// the catcher can blacklist them.
+/// configured to abort. Carries the (sorted) list of confirmed-dead tiles —
+/// and, when the monitor escalated tile deaths to a whole-chip verdict, the
+/// (sorted) dead chips — so the catcher can blacklist tiles or shrink the
+/// topology.
 class HardFaultError : public Error {
  public:
-  HardFaultError(const std::string& message, std::vector<std::size_t> tiles)
-      : Error(message), deadTiles_(std::move(tiles)) {}
+  HardFaultError(const std::string& message, std::vector<std::size_t> tiles,
+                 std::vector<std::size_t> ipus = {})
+      : Error(message),
+        deadTiles_(std::move(tiles)),
+        deadIpus_(std::move(ipus)) {}
 
   const std::vector<std::size_t>& deadTiles() const { return deadTiles_; }
+  const std::vector<std::size_t>& deadIpus() const { return deadIpus_; }
 
  private:
   std::vector<std::size_t> deadTiles_;
+  std::vector<std::size_t> deadIpus_;
 };
 
 class HealthMonitor {
@@ -57,6 +64,15 @@ class HealthMonitor {
     /// Leave false when no recovery is possible — the run then completes
     /// and the caller reads the health report instead.
     bool abortOnConfirmedDead = true;
+    /// Chip-level escalation: when > 0, tiles aggregate into chips of this
+    /// many tiles, and a chip whose confirmed-dead tile count reaches
+    /// ceil(ipuDeadFraction * tilesPerIpu) is declared ipu-dead (a
+    /// "health:ipu-dead" event + the deadIpus() verdict the recovery layer
+    /// turns into a topology shrink). 0 = per-tile verdicts only.
+    std::size_t tilesPerIpu = 0;
+    /// Fraction of a chip's tiles that must be confirmed dead before the
+    /// chip itself is declared dead. In (0, 1].
+    double ipuDeadFraction = 0.5;
   };
 
   HealthMonitor() = default;
@@ -72,6 +88,10 @@ class HealthMonitor {
 
   /// Tiles confirmed dead so far, ascending.
   const std::vector<std::size_t>& deadTiles() const { return deadTiles_; }
+
+  /// Chips declared dead by the tile-fraction escalation, ascending. Empty
+  /// unless Options::tilesPerIpu enabled chip aggregation.
+  const std::vector<std::size_t>& deadIpus() const { return deadIpus_; }
 
   /// True once a confirmation armed an abort; the engine throws after the
   /// superstep is committed. clearAbort() disarms (the throw consumed it).
@@ -101,6 +121,7 @@ class HealthMonitor {
   Options options_;
   std::map<std::size_t, TileHealth> tiles_;  // ordered: deterministic report
   std::vector<std::size_t> deadTiles_;
+  std::vector<std::size_t> deadIpus_;
   std::size_t trips_ = 0;
   bool abortPending_ = false;
 };

@@ -1,5 +1,6 @@
 #include "ipu/topology.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -58,6 +59,28 @@ Topology Topology::fromTarget(const IpuTarget& target) {
   return Topology(target);
 }
 
+Topology Topology::withoutIpus(const std::vector<std::size_t>& dead) const {
+  Topology out = *this;
+  for (std::size_t ipu : dead) {
+    GRAPHENE_CHECK(ipu < target_.numIpus, "Topology::withoutIpus: chip ", ipu,
+                   " out of range for ", describe());
+    out.deadIpus_.push_back(ipu);
+  }
+  std::sort(out.deadIpus_.begin(), out.deadIpus_.end());
+  out.deadIpus_.erase(
+      std::unique(out.deadIpus_.begin(), out.deadIpus_.end()),
+      out.deadIpus_.end());
+  GRAPHENE_CHECK(out.deadIpus_.size() < target_.numIpus,
+                 "Topology::withoutIpus: cannot shrink away every chip of ",
+                 describe());
+  return out;
+}
+
+bool Topology::ipuAlive(std::size_t ipu) const {
+  return ipu < target_.numIpus &&
+         !std::binary_search(deadIpus_.begin(), deadIpus_.end(), ipu);
+}
+
 LinkModel Topology::link() const {
   LinkModel l;
   l.bytesPerSecond = target_.linkBytesPerSecond;
@@ -75,18 +98,26 @@ std::uint64_t Topology::fingerprint() const {
   h = fnvDouble(h, target_.linkLatencyCycles);
   h = fnv1a(h, target_.linksPerIpu);
   h = fnv1a(h, target_.aggregateInterIpuHalo ? 1 : 0);
+  h = fnv1a(h, deadIpus_.size());
+  for (std::size_t ipu : deadIpus_) h = fnv1a(h, ipu + 1);
   return h;
 }
 
 std::string Topology::describe() const {
   std::ostringstream os;
   os << target_.numIpus << " IPU x " << target_.tilesPerIpu << " tiles";
+  if (!deadIpus_.empty()) {
+    os << " (chips down:";
+    for (std::size_t ipu : deadIpus_) os << " " << ipu;
+    os << ")";
+  }
   return os.str();
 }
 
 bool Topology::operator==(const Topology& o) const {
   return target_.numIpus == o.target_.numIpus &&
-         target_.tilesPerIpu == o.target_.tilesPerIpu && link() == o.link();
+         target_.tilesPerIpu == o.target_.tilesPerIpu && link() == o.link() &&
+         deadIpus_ == o.deadIpus_;
 }
 
 }  // namespace graphene::ipu

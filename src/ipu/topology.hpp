@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ipu/target.hpp"
 
@@ -65,6 +66,20 @@ class Topology {
   std::size_t totalTiles() const { return target_.totalTiles(); }
   bool isPod() const { return target_.numIpus > 1; }
 
+  /// The elastic-shrink view: the same machine shape with some chips marked
+  /// dead. Tile and chip numbering stay stable (so fault rules, blacklists
+  /// and traces keep meaning across a shrink); partitioning, control-tile
+  /// selection and link re-routing skip the dead set. The dead set is part
+  /// of the fingerprint: a plan built for the full pod must never be
+  /// replayed on the shrunken one.
+  Topology withoutIpus(const std::vector<std::size_t>& dead) const;
+  const std::vector<std::size_t>& deadIpus() const { return deadIpus_; }
+  bool ipuAlive(std::size_t ipu) const;
+  std::size_t numAliveIpus() const { return target_.numIpus - deadIpus_.size(); }
+  std::size_t numAliveTiles() const {
+    return target_.totalTiles() - deadIpus_.size() * target_.tilesPerIpu;
+  }
+
   /// The fully-populated machine description consumed by Context/Graph and
   /// the cycle model.
   const IpuTarget& target() const { return target_; }
@@ -89,6 +104,7 @@ class Topology {
  private:
   explicit Topology(IpuTarget target) : target_(target) {}
   IpuTarget target_;
+  std::vector<std::size_t> deadIpus_;  // sorted, unique, < numIpus
 };
 
 }  // namespace graphene::ipu

@@ -197,6 +197,12 @@ std::vector<std::size_t> Partitioner::map(const matrix::GeneratedMatrix& g) cons
 
   std::vector<char> dead(total, 0);
   for (std::size_t b : blacklist_) dead[b] = 1;
+  // A chip removed from the topology takes all of its tiles with it; the
+  // stable tile numbering is kept so blacklists and fault rules still mean
+  // the same tile after a shrink.
+  for (std::size_t ipu : topology_.deadIpus()) {
+    for (std::size_t l = 0; l < tilesPerIpu; ++l) dead[ipu * tilesPerIpu + l] = 1;
+  }
   std::vector<std::vector<std::size_t>> survivors(numIpus);
   std::vector<std::size_t> flatSurvivors;
   for (std::size_t tile = 0; tile < total; ++tile) {
@@ -229,27 +235,36 @@ std::vector<std::size_t> Partitioner::map(const matrix::GeneratedMatrix& g) cons
   }
 
   if (s == Strategy::Grid) {
-    // The nested grid keeps its regular shape as long as every IPU has the
-    // same number of surviving tiles (including the undamaged case); rows
-    // are laid out on a virtual ipus x k grid and relabelled onto the
-    // surviving physical tiles. Asymmetric damage falls through to BFS.
-    const std::size_t k = survivors[0].size();
+    // The nested grid keeps its regular shape as long as every *surviving*
+    // IPU has the same number of surviving tiles (including the undamaged
+    // case); rows are laid out on a virtual aliveIpus x k grid and
+    // relabelled onto the surviving physical tiles. Whole-chip loss stays on
+    // this path — the grid simply spans fewer chips. Asymmetric tile damage
+    // falls through to BFS.
+    std::vector<std::size_t> aliveIpus;
+    for (std::size_t i = 0; i < numIpus; ++i) {
+      if (!survivors[i].empty()) aliveIpus.push_back(i);
+    }
+    const std::size_t k = survivors[aliveIpus.front()].size();
     bool uniform = k > 0;
-    for (const auto& sv : survivors) uniform = uniform && sv.size() == k;
+    for (std::size_t i : aliveIpus) uniform = uniform && survivors[i].size() == k;
     if (uniform) {
       std::vector<std::size_t> virt =
-          numIpus == 1 ? partitionGrid(g.nx, g.ny, g.nz, k)
-                       : gridPodMap(g.nx, g.ny, g.nz, numIpus, k);
-      for (std::size_t& v : virt) v = survivors[v / k][v % k];
+          aliveIpus.size() == 1
+              ? partitionGrid(g.nx, g.ny, g.nz, k)
+              : gridPodMap(g.nx, g.ny, g.nz, aliveIpus.size(), k);
+      for (std::size_t& v : virt) v = survivors[aliveIpus[v / k]][v % k];
       return virt;
     }
     s = Strategy::Bfs;
   }
 
-  // BFS path: single chip keeps the historical flat behaviour; pods split
-  // rows across IPUs first (weighted by surviving tiles), then grow equal
-  // connected chunks inside each IPU.
-  if (numIpus == 1) {
+  const std::size_t numAliveIpus = numIpus - topology_.deadIpus().size();
+
+  // BFS path: a single (surviving) chip keeps the historical flat behaviour;
+  // pods split rows across IPUs first (weighted by surviving tiles, zero for
+  // dead chips), then grow equal connected chunks inside each IPU.
+  if (numAliveIpus == 1) {
     std::vector<std::size_t> packed = partitionBfs(g.matrix, flatSurvivors.size());
     for (std::size_t& v : packed) v = flatSurvivors[v];
     return packed;

@@ -115,6 +115,9 @@ void PlanCache::insert(const Key& key, std::uint64_t valuesHash,
   Entry e;
   e.key = key;
   e.valuesHash = valuesHash;
+  e.topologyFp =
+      session->options().topology ? session->options().topology->fingerprint()
+                                  : 0;
   e.session = std::move(session);
   e.busy = true;  // the builder keeps the lease
   e.lastUsedTick = ++tick_;
@@ -144,6 +147,19 @@ std::size_t PlanCache::invalidate(const Key& key) {
   std::size_t dropped = 0;
   for (std::size_t i = entries_.size(); i-- > 0;) {
     if (!entries_[i].busy && entries_[i].key == key) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      dropped += 1;
+    }
+  }
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+std::size_t PlanCache::invalidateTopology(std::uint64_t topologyFp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (!entries_[i].busy && entries_[i].topologyFp == topologyFp) {
       entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
       dropped += 1;
     }

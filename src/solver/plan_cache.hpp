@@ -105,6 +105,9 @@ class PlanCache {
   /// Registers a freshly built pipeline as a leased entry for `key` (the
   /// caller keeps using it; release() returns it to the pool). May evict
   /// the LRU idle entry to stay within capacity. No-op at capacity 0.
+  /// The entry is tagged with the session's resolved topology fingerprint
+  /// so chip-dead verdicts can invalidate every plan built for the now-gone
+  /// machine shape (see invalidateTopology).
   void insert(const Key& key, std::uint64_t valuesHash,
               std::shared_ptr<SolveSession> session);
 
@@ -118,6 +121,13 @@ class PlanCache {
   /// release). Returns how many entries were invalidated.
   std::size_t invalidate(const Key& key);
 
+  /// Drops every idle entry whose pipeline was built for the machine shape
+  /// with fingerprint `topologyFp` — the chip-dead path: once a chip is
+  /// gone, every plan compiled for the pre-shrink pod is stale regardless
+  /// of its (structure, config) key. Leased entries are dropped at
+  /// release(). Returns how many entries were invalidated.
+  std::size_t invalidateTopology(std::uint64_t topologyFp);
+
   /// Drops every entry unconditionally. Only safe when no leases are
   /// outstanding (e.g. service shutdown after the workers joined).
   void clear();
@@ -130,6 +140,7 @@ class PlanCache {
   struct Entry {
     Key key;
     std::uint64_t valuesHash = 0;
+    std::uint64_t topologyFp = 0;  // resolved machine shape at insert time
     std::shared_ptr<SolveSession> session;
     bool busy = false;
     std::uint64_t lastUsedTick = 0;

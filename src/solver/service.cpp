@@ -296,6 +296,11 @@ SolverService::SolverService(ServiceOptions options)
   sessionOptions_.topology = options_.topology;
   sessionOptions_.hostThreads = options_.hostThreads;
   sessionOptions_.traceCapacity = options_.traceCapacity;
+  // Resolve the machine shape once (explicit topology > GRAPHENE_TEST_POD >
+  // plain tiles): every pipeline the service builds targets this pod, plan
+  // keys hash its fingerprint, and chip-dead verdicts shrink it in place.
+  sessionOptions_.topology = resolveSessionTopology(sessionOptions_);
+  sessionOptions_.tiles = sessionOptions_.topology->totalTiles();
   // Pooled pipelines serve fault-injected jobs too: give each solve a remap
   // budget that survives a couple of dead tiles instead of the facade's
   // conservative default of one.
@@ -304,6 +309,11 @@ SolverService::SolverService(ServiceOptions options)
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
   }
+}
+
+ipu::Topology SolverService::resolvedTopology() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *sessionOptions_.topology;
 }
 
 SolverService::~SolverService() { shutdown(); }
@@ -562,7 +572,12 @@ JobResult SolverService::runJob(Job& job,
   JobResult res;
   res.jobId = job.id;
 
-  const PlanCache::Key key{structureFingerprint(job.m, sessionOptions_),
+  SessionOptions baseOpts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    baseOpts = sessionOptions_;
+  }
+  const PlanCache::Key key{structureFingerprint(job.m, baseOpts),
                            configFingerprint(job.solverConfig)};
   const std::uint64_t valuesHash = valuesFingerprint(job.m.matrix);
   const bool bakesValues = configBakesValues(job.solverConfig);
@@ -615,7 +630,17 @@ JobResult SolverService::runJob(Job& job,
     const bool degradeThis = lastAttempt && attempt > 0 &&
                              options_.degradation.enabled;
     json::Value config = job.solverConfig;
-    SessionOptions sessOpts = sessionOptions_;
+    // Per-attempt snapshot: a chip-dead verdict from a concurrent job may
+    // have shrunk the service topology between attempts — retries must
+    // target the surviving pod, not the shape the job started on.
+    SessionOptions sessOpts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessOpts = sessionOptions_;
+    }
+    const std::uint64_t attemptTopologyFp = sessOpts.topology->fingerprint();
+    const PlanCache::Key attemptKey{structureFingerprint(job.m, sessOpts),
+                                    key.config};
     if (degradeThis) {
       degradeConfigInPlace(config, options_.degradation);
       if (options_.degradation.perCellHalo) sessOpts.perCellHalo = true;
@@ -631,7 +656,8 @@ JobResult SolverService::runJob(Job& job,
     bool fresh = false;
     bool cacheHit = false;
     if (useCache) {
-      PlanCache::Lease lease = cache_.acquire(key, valuesHash, !bakesValues);
+      PlanCache::Lease lease =
+          cache_.acquire(attemptKey, valuesHash, !bakesValues);
       if (lease.session) {
         metrics_.addCounter("service.plan_cache.hits", 1);
         try {
@@ -686,8 +712,11 @@ JobResult SolverService::runJob(Job& job,
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      knownSramPeak_[key.structure] =
-          session->sramPeakBytes() * options_.tiles;
+      // Admission charges against tiles that can actually hold state — a
+      // shrunken pod's dead chips contribute no SRAM.
+      knownSramPeak_[attemptKey.structure] =
+          session->sramPeakBytes() *
+          session->options().topology->numAliveTiles();
     }
 
     session->traceSink().setJobId(job.id);
@@ -723,7 +752,8 @@ JobResult SolverService::runJob(Job& job,
       res.message.clear();
       retryable = isRetryable(r.solve.status);
       // A solve that blacklisted tiles repartitioned mid-flight: the cached
-      // plan no longer matches the machine it was built for.
+      // plan no longer matches the machine it was built for. (Chip loss is
+      // folded in below — deadIpus is read for every exit path.)
       invalidate = !session->blacklistedTiles().empty();
     } catch (const CancelledError& ce) {
       // lastSolveCycles() includes cycles carried across hard-fault remap
@@ -756,6 +786,11 @@ JobResult SolverService::runJob(Job& job,
     session->setCancelCheck(nullptr);
     session->traceSink().setJobId(SIZE_MAX);
     session->unbind();
+    // Chips this solve's watchdog escalation retired (copied out — the
+    // session is pooled or destroyed below). Non-empty on any exit path
+    // (converged after a shrink, typed error, even cancel mid-recovery).
+    const std::vector<std::size_t> deadIpus = session->deadIpus();
+    invalidate = invalidate || !deadIpus.empty();
 
     res.attempts = attempt + 1;
     res.degraded = degradeThis;
@@ -763,13 +798,58 @@ JobResult SolverService::runJob(Job& job,
     res.simCycles = cyclesSoFar;
 
     if (useCache) {
-      if (fresh) cache_.insert(key, valuesHash, session);
-      cache_.release(session.get(), invalidate);
-      if (invalidate) {
+      if (fresh) cache_.insert(attemptKey, valuesHash, session);
+      // Also drop pipelines whose machine shape is no longer the service's:
+      // a concurrent job may have shrunk the topology while this attempt
+      // was in flight, making this pipeline stale even though its own solve
+      // saw no fault.
+      bool topologyStale = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        topologyStale =
+            sessionOptions_.topology->fingerprint() != attemptTopologyFp;
+      }
+      const bool drop = invalidate || topologyStale;
+      cache_.release(session.get(), drop);
+      if (drop) {
         metrics_.addCounter("service.plan_cache.invalidations", 1);
       }
     }
     session.reset();
+
+    // Adopt the shrink: retire the dead chips from the service topology and
+    // invalidate every pooled plan built for the pre-shrink shape. The
+    // fingerprint guard makes the union idempotent — when another job
+    // already retired these chips, the (valid) shrunken-topology plans are
+    // left alone.
+    if (!deadIpus.empty()) {
+      bool adopted = false;
+      std::uint64_t staleFp = 0;
+      std::size_t droppedPlans = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        staleFp = sessionOptions_.topology->fingerprint();
+        ipu::Topology shrunk =
+            sessionOptions_.topology->withoutIpus(deadIpus);
+        if (shrunk.fingerprint() != staleFp) {
+          sessionOptions_.topology = shrunk;
+          sessionOptions_.tiles = shrunk.totalTiles();
+          droppedPlans = cache_.invalidateTopology(staleFp);
+          adopted = true;
+        }
+      }
+      if (adopted) {
+        metrics_.addCounter("service.topology.shrinks", 1);
+        std::string chips;
+        for (std::size_t ipu : deadIpus) {
+          chips += (chips.empty() ? "" : " ") + std::to_string(ipu);
+        }
+        recordJob("job:topology-shrink", job.id,
+                  "chip(s) " + chips + " retired; " +
+                      std::to_string(droppedPlans) +
+                      " stale plan(s) invalidated");
+      }
+    }
 
     const bool terminal = !retryable || lastAttempt ||
                           res.solve.status == SolveStatus::DeadlineExceeded ||

@@ -252,6 +252,12 @@ class SolverService {
   std::size_t pooledPipelines() const { return cache_.size(); }
   const ServiceOptions& options() const { return options_; }
 
+  /// The machine shape pipelines are currently built for: the constructor's
+  /// resolved topology (explicit `topology` > GRAPHENE_TEST_POD > plain
+  /// `tiles`), minus any chips retired by chip-dead verdicts since. Its
+  /// deadIpus() / fingerprint() expose the elastic-shrink state.
+  ipu::Topology resolvedTopology() const;
+
  private:
   struct Job {
     std::size_t id = SIZE_MAX;
@@ -287,7 +293,10 @@ class SolverService {
                  const std::string& detail = "");
 
   ServiceOptions options_;
-  SessionOptions sessionOptions_;  // derived once in the ctor
+  /// Derived in the ctor with the topology resolved eagerly; mutated (under
+  /// mu_) only by the chip-dead shrink path in runJob. Workers snapshot it
+  /// per attempt.
+  SessionOptions sessionOptions_;
   PlanCache cache_;
   support::MetricsRegistry metrics_;
 
@@ -295,7 +304,8 @@ class SolverService {
   support::TraceSink trace_;
   std::uint64_t traceSeq_ = 0;
 
-  std::mutex mu_;  // queue, job table, breakers, SRAM accounting
+  mutable std::mutex mu_;  // queue, job table, breakers, SRAM accounting,
+                           // sessionOptions_ (topology shrink)
   std::condition_variable queueCv_;    // workers wait for jobs
   std::condition_variable chargeCv_;   // workers wait for SRAM charge
   std::deque<Job> queue_;

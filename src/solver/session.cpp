@@ -54,6 +54,12 @@ SolveSession::SolveSession(SessionOptions options)
                  "SessionOptions.watchdogTrips must be >= 1 (got ",
                  options_.watchdogTrips,
                  "); 0 would confirm a dead tile without evidence");
+  GRAPHENE_CHECK(options_.watchdogIpuDeadFraction > 0 &&
+                     options_.watchdogIpuDeadFraction <= 1.0,
+                 "SessionOptions.watchdogIpuDeadFraction must be in (0, 1] "
+                 "(got ", options_.watchdogIpuDeadFraction,
+                 "); it is the fraction of a chip's tiles that must die "
+                 "before the chip is declared dead");
 }
 
 SolveSession::~SolveSession() = default;
@@ -74,19 +80,32 @@ void SolveSession::buildPipeline() {
 
   const ipu::Topology& topo = *options_.topology;
   ctx_ = std::make_unique<dsl::Context>(topo.target());
+  // Everything out of the machine: individually blacklisted tiles plus every
+  // tile of a chip the topology has shrunk away.
+  std::vector<std::size_t> excluded = blacklist_;
+  for (std::size_t ipu : topo.deadIpus()) {
+    for (std::size_t l = 0; l < topo.tilesPerIpu(); ++l) {
+      excluded.push_back(ipu * topo.tilesPerIpu() + l);
+    }
+  }
+  std::sort(excluded.begin(), excluded.end());
+  excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                 excluded.end());
+  GRAPHENE_CHECK(excluded.size() < options_.tiles,
+                 "all ", options_.tiles,
+                 " tiles are blacklisted or on dead chips");
   // Control state (reduction finals, loop conditions, scalar replicas the
   // host reads) must live on a surviving tile: the DSL defaults to tile 0,
-  // which may be exactly the tile that just died. blacklist_ is sorted.
+  // which may be exactly the tile (or chip) that just died. `excluded` is
+  // sorted, so this finds the first surviving tile.
   std::size_t control = 0;
-  for (std::size_t t : blacklist_) {
+  for (std::size_t t : excluded) {
     if (t == control) ++control;
   }
-  GRAPHENE_CHECK(control < options_.tiles,
-                 "all ", options_.tiles, " tiles are blacklisted");
   ctx_->graph().setControlTile(control);
   // Per-IPU control state (two-level reduction leaders) must avoid dead
   // tiles too.
-  ctx_->graph().setExcludedTiles(blacklist_);
+  ctx_->graph().setExcludedTiles(excluded);
   partition::Partitioner part(topo);
   part.setBlacklist(blacklist_);
   A_ = std::make_unique<DistMatrix>(m_.matrix, part.layout(m_));
@@ -197,17 +216,36 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
     engine_->setExcludedTiles(blacklist_);
     health_.reset();
     if (faultPlanJson_) {
-      // Rules aimed at a blacklisted tile are dropped for this attempt: the
-      // tile is already out of the machine, so re-injecting its death would
-      // only make the watchdog re-confirm a fault that has been handled.
+      // Rules aimed at a blacklisted tile or an excluded chip are dropped
+      // for this attempt: that hardware is already out of the machine, so
+      // re-injecting its death would only make the watchdog re-confirm a
+      // fault that has been handled.
       json::Value planJson = *faultPlanJson_;
-      if (!blacklist_.empty()) {
+      const std::vector<std::size_t>& deadIpus =
+          options_.topology->deadIpus();
+      if (!blacklist_.empty() || !deadIpus.empty()) {
+        const std::size_t tilesPerIpu = options_.topology->tilesPerIpu();
+        auto chipGone = [&](std::size_t ipu) {
+          return std::find(deadIpus.begin(), deadIpus.end(), ipu) !=
+                 deadIpus.end();
+        };
+        auto keyGone = [&](const json::Value& f, const char* key) {
+          return f.asObject().count(key) > 0 &&
+                 chipGone(static_cast<std::size_t>(f.at(key).asNumber()));
+        };
         json::Array kept;
         for (const json::Value& f : planJson.at("faults").asArray()) {
-          if (f.isObject() && f.asObject().count("tile") > 0 &&
-              std::find(blacklist_.begin(), blacklist_.end(),
-                        static_cast<std::size_t>(f.at("tile").asNumber())) !=
-                  blacklist_.end()) {
+          if (f.isObject() && f.asObject().count("tile") > 0) {
+            const auto tile =
+                static_cast<std::size_t>(f.at("tile").asNumber());
+            if (std::find(blacklist_.begin(), blacklist_.end(), tile) !=
+                    blacklist_.end() ||
+                chipGone(tile / tilesPerIpu)) {
+              continue;
+            }
+          }
+          if (f.isObject() && (keyGone(f, "ipu") || keyGone(f, "from") ||
+                               keyGone(f, "to"))) {
             continue;
           }
           kept.push_back(f);
@@ -220,6 +258,10 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
         ipu::HealthMonitor::Options h;
         h.computeCycleBudget = options_.watchdogCycleBudget;
         h.tripsToConfirm = options_.watchdogTrips;
+        if (options_.topology->isPod()) {
+          h.tilesPerIpu = options_.topology->tilesPerIpu();
+          h.ipuDeadFraction = options_.watchdogIpuDeadFraction;
+        }
         health_ = std::make_unique<ipu::HealthMonitor>(h);
         engine_->setHealthMonitor(health_.get());
       }
@@ -273,13 +315,31 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
         shifted[i] = rhs[i] - shifted[i];  // ... then b − A·x0
       }
 
-      // 2. Blacklist the confirmed-dead tiles and mark the seam in the
-      // carried fault log and the trace timeline.
+      // 2. Retire the confirmed-dead hardware and mark the seam in the
+      // carried fault log and the trace timeline. Whole-chip verdicts shrink
+      // the topology (new fingerprint over the surviving chips); remaining
+      // tile verdicts are blacklisted individually.
       carriedLog = engine_->profile().faultEvents;
       const std::size_t atSuperstep = engine_->profile().computeSupersteps;
       const double atCycle = engine_->simCycles();
       const std::size_t seamBegin = carriedLog.size();
+      const std::vector<std::size_t>& deadChips = hf.deadIpus();
+      auto onDeadChip = [&](std::size_t t) {
+        return std::find(deadChips.begin(), deadChips.end(),
+                         t / options_.topology->tilesPerIpu()) !=
+               deadChips.end();
+      };
+      for (std::size_t ipu : deadChips) {
+        ipu::FaultEvent fe;
+        fe.kind = "recovery:ipu-blacklist";
+        fe.superstep = atSuperstep;
+        fe.target = "ipu " + std::to_string(ipu);
+        fe.detail = "chip excluded from the topology after watchdog "
+                    "escalation";
+        carriedLog.push_back(fe);
+      }
       for (std::size_t t : hf.deadTiles()) {
+        if (onDeadChip(t)) continue;  // covered by the chip verdict above
         if (std::find(blacklist_.begin(), blacklist_.end(), t) ==
             blacklist_.end()) {
           blacklist_.push_back(t);
@@ -293,15 +353,25 @@ SolveSession::Result SolveSession::solve(std::span<const double> rhs) {
         carriedLog.push_back(fe);
       }
       std::sort(blacklist_.begin(), blacklist_.end());
+      if (!deadChips.empty()) {
+        options_.topology = options_.topology->withoutIpus(deadChips);
+      }
       ++remaps;
       ipu::FaultEvent fe;
       fe.kind = "recovery:remap";
       fe.superstep = atSuperstep;
       fe.target = "session";
       fe.element = remaps;
-      fe.detail = "repartitioned over " +
-                  std::to_string(options_.tiles - blacklist_.size()) +
-                  " surviving tiles; resuming from migrated iterate";
+      fe.detail =
+          deadChips.empty()
+              ? "repartitioned over " +
+                    std::to_string(options_.tiles - blacklist_.size()) +
+                    " surviving tiles; resuming from migrated iterate"
+              : "topology shrunk to " +
+                    std::to_string(options_.topology->numAliveIpus()) +
+                    " surviving chips (" +
+                    std::to_string(options_.topology->numAliveTiles()) +
+                    " tiles); resuming from migrated iterate";
       carriedLog.push_back(fe);
       if (options_.traceCapacity > 0) {
         // Mirror the seam events into the trace here — the next engine's
@@ -393,6 +463,13 @@ json::Value SolveSession::healthReport() const {
     blacklisted.push_back(json::Value(static_cast<double>(t)));
   }
   report["blacklistedTiles"] = json::Value(blacklisted);
+  // The session-level shrink verdict (the watchdog's own deadIpus only
+  // covers the last attempt; the topology remembers every chip that went).
+  json::Array deadIpusArr;
+  for (std::size_t ipu : options_.topology->deadIpus()) {
+    deadIpusArr.push_back(json::Value(static_cast<double>(ipu)));
+  }
+  report["deadIpus"] = json::Value(deadIpusArr);
   if (ctx_) {
     report["controlTile"] =
         json::Value(static_cast<double>(ctx_->graph().controlTile()));

@@ -23,7 +23,11 @@
 // best-known iterate x0 is migrated out of the dying engine, and the solve
 // resumes on the shifted system A·dx = b − A·x0 (final x = x0 + dx). The
 // fault log carries across the remap, with recovery:blacklist and
-// recovery:remap entries marking the seam.
+// recovery:remap entries marking the seam. On pods the watchdog also
+// escalates: when enough of one chip's tiles are confirmed dead the chip
+// itself is declared ipu-dead, and recovery shrinks the topology (a new
+// fingerprint over the surviving chips) instead of blacklisting tile by
+// tile — recovery:ipu-blacklist entries mark which chips went.
 #pragma once
 
 #include <functional>
@@ -71,6 +75,11 @@ struct SessionOptions {
   double watchdogCycleBudget = 5e7;
   /// Watchdog: consecutive trips before a tile is confirmed dead.
   std::size_t watchdogTrips = 2;
+  /// Watchdog escalation on pods: fraction of one chip's tiles that must be
+  /// confirmed dead before the whole chip is declared ipu-dead and the
+  /// recovery path shrinks the topology instead of blacklisting tile by
+  /// tile. In (0, 1]. Ignored on single-IPU sessions.
+  double watchdogIpuDeadFraction = 0.5;
   /// Hard-fault recovery budget: how many blacklist-and-repartition cycles
   /// a single solve() may take. When yet another tile is confirmed dead
   /// with the budget exhausted, solve() rethrows the typed HardFaultError —
@@ -221,6 +230,13 @@ class SolveSession {
   /// partition (ascending). Empty until a hard-fault recovery happened.
   const std::vector<std::size_t>& blacklistedTiles() const {
     return blacklist_;
+  }
+  /// Chips the watchdog escalation declared dead and the recovery path
+  /// shrank out of the topology (ascending). Empty until a whole-chip loss
+  /// happened. The session's resolved topology (options().topology) carries
+  /// the same set — and a new fingerprint — after the shrink.
+  const std::vector<std::size_t>& deadIpus() const {
+    return options_.topology->deadIpus();
   }
   /// Health report of the last solve's watchdog ({} when no watchdog ran).
   json::Value healthReport() const;

@@ -160,6 +160,62 @@ inline json::Value randomPlan(std::uint64_t seed, std::size_t tiles,
   return json::Value(plan);
 }
 
+/// Builds a seeded random *pod* fault plan: one pod-scale hard fault
+/// (rotating chip-dead / severed link / degraded link by seed), optionally
+/// with a transient riding along. Triggers land in the early solve.
+inline json::Value randomPodPlan(std::uint64_t seed, std::size_t ipus) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 7);
+  json::Array faults;
+  if (rng.nextBelow(2) == 0) {
+    json::Object f;
+    f["type"] = "bitflip";
+    f["tensor"] = randomTensorTarget(rng);
+    f["bit"] = static_cast<double>(12 + rng.nextBelow(16));
+    f["probability"] = 0.5;
+    f["count"] = 1.0;
+    faults.push_back(json::Value(f));
+  }
+  switch (seed % 3) {
+    case 0: {  // whole-chip loss mid-solve → elastic topology shrink
+      json::Object f;
+      f["type"] = "ipu-dead";
+      f["ipu"] = static_cast<double>(rng.nextBelow(ipus));
+      f["superstep"] = static_cast<double>(10 + rng.nextBelow(40));
+      faults.push_back(json::Value(f));
+      break;
+    }
+    case 1: {  // severed ordered link → two-hop re-route
+      const std::size_t from = rng.nextBelow(ipus);
+      std::size_t to = rng.nextBelow(ipus - 1);
+      if (to >= from) ++to;
+      json::Object f;
+      f["type"] = "ipu-link-dead";
+      f["from"] = static_cast<double>(from);
+      f["to"] = static_cast<double>(to);
+      f["superstep"] = static_cast<double>(rng.nextBelow(30));
+      faults.push_back(json::Value(f));
+      break;
+    }
+    default: {  // degraded link → per-pair cost multiplier
+      const std::size_t from = rng.nextBelow(ipus);
+      std::size_t to = rng.nextBelow(ipus - 1);
+      if (to >= from) ++to;
+      json::Object f;
+      f["type"] = "ipu-link-degraded";
+      f["from"] = static_cast<double>(from);
+      f["to"] = static_cast<double>(to);
+      f["factor"] = 2.0 + rng.nextDouble() * 6.0;
+      f["superstep"] = static_cast<double>(rng.nextBelow(30));
+      faults.push_back(json::Value(f));
+      break;
+    }
+  }
+  json::Object plan;
+  plan["seed"] = static_cast<double>(seed);
+  plan["faults"] = json::Value(faults);
+  return json::Value(plan);
+}
+
 /// Deterministic per-campaign right-hand side.
 inline std::vector<double> randomRhs(std::uint64_t seed, std::size_t n) {
   Rng rng(seed * 2 + 1);
@@ -181,13 +237,12 @@ struct Outcome {
   double hostRel = -1.0;  // relative residual of x, computed on the host
 };
 
-inline Outcome runCampaign(const matrix::GeneratedMatrix& g,
-                           const std::string& solverName, std::uint64_t seed,
-                           const json::Value& plan, std::size_t tiles,
-                           std::size_t hostThreads = 0) {
-  solver::SolveSession session({.tiles = tiles,
-                                .hostThreads = hostThreads,
-                                .maxRemaps = 2});
+inline Outcome runCampaignWithOptions(const matrix::GeneratedMatrix& g,
+                                      const std::string& solverName,
+                                      std::uint64_t seed,
+                                      const json::Value& plan,
+                                      solver::SessionOptions opts) {
+  solver::SolveSession session(std::move(opts));
   session.load(g).configure(solverConfigFor(solverName)).withFaultPlan(plan);
   const std::vector<double> rhs = randomRhs(seed, session.matrix().rows());
 
@@ -214,6 +269,29 @@ inline Outcome runCampaign(const matrix::GeneratedMatrix& g,
     out.errorMessage = e.what();
   }
   return out;
+}
+
+inline Outcome runCampaign(const matrix::GeneratedMatrix& g,
+                           const std::string& solverName, std::uint64_t seed,
+                           const json::Value& plan, std::size_t tiles,
+                           std::size_t hostThreads = 0) {
+  return runCampaignWithOptions(g, solverName, seed, plan,
+                                {.tiles = tiles,
+                                 .hostThreads = hostThreads,
+                                 .maxRemaps = 2});
+}
+
+/// Pod variant: same contract on an explicit machine shape (chip-dead and
+/// link-dead faults need a multi-IPU topology to mean anything).
+inline Outcome runPodCampaign(const matrix::GeneratedMatrix& g,
+                              const std::string& solverName,
+                              std::uint64_t seed, const json::Value& plan,
+                              const ipu::Topology& topology,
+                              std::size_t hostThreads = 0) {
+  return runCampaignWithOptions(g, solverName, seed, plan,
+                                {.topology = topology,
+                                 .hostThreads = hostThreads,
+                                 .maxRemaps = 2});
 }
 
 /// The chaos invariant: converge-for-real or fail typed.

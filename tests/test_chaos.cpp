@@ -338,6 +338,167 @@ TEST(Chaos, ServiceSoakIsHostThreadCountInvariant) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pod-scale chaos: whole-chip loss and IPU-Link faults on a 4-chip pod.
+
+// The pod flagship: a chip dies mid-solve, the watchdog escalates its tile
+// deaths to an ipu-dead verdict, the session shrinks the topology onto the
+// three survivors, migrates the iterate and converges. Every rung of the
+// ladder is observable.
+TEST(PodChaos, IpuDeadSurvivesViaTopologyShrink) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(10, 10);
+  const ipu::Topology pod = ipu::Topology::pod(4, 8);
+  solver::SolveSession session({.topology = pod, .maxRemaps = 2});
+  session.load(g)
+      .configure(R"({"type": "cg", "maxIterations": 200, "tolerance": 1e-6,
+                     "robustness": {"maxRestarts": 2, "checkpointEvery": 8}})")
+      .withFaultPlan(json::parse(R"({
+        "seed": 9,
+        "faults": [{"type": "ipu-dead", "ipu": 1, "superstep": 30}]
+      })"));
+  std::vector<double> rhs(session.matrix().rows(), 1.0);
+  auto result = session.solve(rhs);
+
+  EXPECT_EQ(result.solve.status, solver::SolveStatus::Converged)
+      << solver::toString(result.solve.status);
+  // The chip went as one verdict, not a tile-by-tile blacklist march.
+  ASSERT_EQ(session.deadIpus(), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(session.blacklistedTiles().empty());
+  ASSERT_TRUE(session.options().topology.has_value());
+  EXPECT_EQ(session.options().topology->numAliveIpus(), 3u);
+  EXPECT_NE(session.options().topology->fingerprint(), pod.fingerprint());
+
+  // The full escalation ladder is in the fault log...
+  const auto& log = session.profile().faultEvents;
+  EXPECT_TRUE(logContains(log, "ipu-dead"));                // injected fault
+  EXPECT_TRUE(logContains(log, "watchdog-trip"));           // detection
+  EXPECT_TRUE(logContains(log, "health:tile-dead"));        // per-tile
+  EXPECT_TRUE(logContains(log, "health:ipu-dead"));         // escalation
+  EXPECT_TRUE(logContains(log, "recovery:ipu-blacklist"));  // shrink
+  EXPECT_TRUE(logContains(log, "recovery:remap"));
+  // ...in the trace timeline and the metrics.
+  EXPECT_GE(session.trace().recoveryCount(), 2u);
+  EXPECT_EQ(session.profile().metrics.counter("resilience.remaps"), 1.0);
+  // ...and the health report carries the chip verdict.
+  const json::Value health = session.healthReport();
+  ASSERT_TRUE(health.asObject().count("deadIpus") > 0);
+  EXPECT_EQ(health.at("deadIpus").asArray().size(), 1u);
+
+  // No row of the shrunken layout lives on the dead chip (tiles 8..15).
+  for (std::size_t t : session.matrix().layout().rowToTile) {
+    EXPECT_TRUE(t < 8 || t >= 16) << "row mapped to dead chip tile " << t;
+  }
+
+  // And x actually solves the system.
+  std::vector<double> ax(rhs.size(), 0.0);
+  g.matrix.spmv(result.x, ax);
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    EXPECT_NEAR(ax[i], rhs[i], 1e-3);
+  }
+}
+
+// The shrink decision comes out of the engine's serial reduction pass, so
+// the whole chip-dead recovery — fault log, shrink, solution — is
+// bit-identical at any host thread count.
+TEST(PodChaos, TopologyShrinkIsHostThreadCountInvariant) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(10, 10);
+  const ipu::Topology pod = ipu::Topology::pod(4, 8);
+  const json::Value plan = json::parse(R"({
+    "seed": 13,
+    "faults": [{"type": "ipu-dead", "ipu": 2, "superstep": 25}]
+  })");
+
+  Outcome one = runPodCampaign(g, "cg", 13, plan, pod, /*hostThreads=*/1);
+  Outcome three = runPodCampaign(g, "cg", 13, plan, pod, /*hostThreads=*/3);
+
+  ASSERT_FALSE(one.typedError) << one.errorMessage;
+  ASSERT_FALSE(three.typedError) << three.errorMessage;
+  EXPECT_EQ(one.status, three.status);
+  EXPECT_EQ(one.faultLog, three.faultLog);  // byte-identical fault log
+  EXPECT_EQ(one.x, three.x);                // bit-identical solution
+  EXPECT_EQ(one.remaps, three.remaps);
+}
+
+// A severed ordered link re-routes its traffic via a surviving chip: the
+// payload still lands (numerics are bit-identical to the healthy pod), but
+// the detour is priced — the faulted solve costs strictly more cycles.
+TEST(PodChaos, IpuLinkDeadReroutesAndConverges) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(10, 10);
+  const ipu::Topology pod = ipu::Topology::pod(4, 8);
+  const char* config =
+      R"({"type": "cg", "maxIterations": 200, "tolerance": 1e-6})";
+  std::vector<double> rhs(g.matrix.rows(), 1.0);
+
+  solver::SolveSession::Result clean;
+  {  // Scoped: only one session (one DSL context) may be live at a time.
+    solver::SolveSession healthy({.topology = pod});
+    healthy.load(g).configure(config);
+    // Empty plan: keeps the engine on the same (fault-aware) execution path
+    // as the severed run, so the cycle comparison isolates the re-route cost.
+    healthy.withFaultPlan(json::parse(R"({"faults": []})"));
+    clean = healthy.solve(rhs);
+  }
+
+  solver::SolveSession severed({.topology = pod});
+  severed.load(g).configure(config).withFaultPlan(json::parse(R"({
+    "faults": [{"type": "ipu-link-dead", "from": 0, "to": 1, "superstep": 0}]
+  })"));
+  auto rerouted = severed.solve(rhs);
+
+  EXPECT_EQ(clean.solve.status, solver::SolveStatus::Converged);
+  EXPECT_EQ(rerouted.solve.status, solver::SolveStatus::Converged);
+  EXPECT_EQ(rerouted.x, clean.x);  // the detour never touches the payload
+  EXPECT_GT(rerouted.simCycles, clean.simCycles);  // ...but it is priced
+  EXPECT_TRUE(
+      logContains(severed.profile().faultEvents, "ipu-link-dead"));
+}
+
+// On a 2-chip pod there is no surviving chip to relay through: severing the
+// only link forward is a *partition* of the link graph, and the solve ends
+// in the typed LinkPartitionedError — never a hang or a silent wrong answer.
+TEST(PodChaos, LinkPartitionIsTyped) {
+  const matrix::GeneratedMatrix g = matrix::poisson2d5(8, 8);
+  solver::SolveSession session({.topology = ipu::Topology::pod(2, 4)});
+  session.load(g)
+      .configure(R"({"type": "cg", "maxIterations": 100, "tolerance": 1e-6})")
+      .withFaultPlan(json::parse(R"({
+        "faults": [{"type": "ipu-link-dead", "from": 0, "to": 1,
+                    "superstep": 0}]
+      })"));
+  std::vector<double> rhs(session.matrix().rows(), 1.0);
+  EXPECT_THROW(session.solve(rhs), ipu::LinkPartitionedError);
+}
+
+// The pod grand campaign: seeded chip-dead / link-dead / link-degraded
+// rotations across CG, pipelined CG and BiCGStab on a 4-chip pod. Every
+// campaign converges for real or fails typed.
+TEST(PodChaos, PodGrandCampaign) {
+  const std::size_t campaigns = campaignCount(18);
+  const ipu::Topology pod = ipu::Topology::pod(4, 8);
+  const matrix::GeneratedMatrix m2 = matrix::poisson2d5(10, 10);
+  const matrix::GeneratedMatrix m3 = matrix::poisson3d7(5, 5, 5);
+  const char* solvers[] = {"cg", "pipelined-cg", "bicgstab"};
+
+  std::size_t converged = 0;
+  for (std::size_t i = 0; i < campaigns; ++i) {
+    const std::string solver = solvers[i % 3];
+    const matrix::GeneratedMatrix& g = (i % 2 == 0) ? m2 : m3;
+    const json::Value plan = randomPodPlan(i, pod.numIpus());
+
+    Outcome o = runPodCampaign(g, solver, i, plan, pod);
+    EXPECT_TRUE(holdsInvariant(o))
+        << "pod campaign " << i << " (" << solver << " on " << g.name
+        << "), plan: " << describe(plan);
+    if (!o.typedError) {
+      EXPECT_EQ(ipu::faultEventsFromJson(ipu::faultEventsToJson(o.faultLog)),
+                o.faultLog)
+          << "pod campaign " << i;
+      if (o.status == solver::SolveStatus::Converged) ++converged;
+    }
+  }
+  EXPECT_GE(converged, campaigns / 4);  // recovery rescues a decent share
+}
+
 // Persistently dead SRAM under the SpMV result: every checksum check fails,
 // the restart budget drains, and the verdict is the *typed*
 // CorruptionDetected — not a crash, not a silent wrong answer.

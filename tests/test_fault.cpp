@@ -174,6 +174,114 @@ TEST(FaultPlanJson, RejectsTensorTargetOnLinkDegraded) {
       Error);
 }
 
+TEST(FaultPlanJson, ParsesPodFaultKinds) {
+  ipu::FaultPlan plan = ipu::FaultPlan::fromJsonText(R"({
+    "faults": [
+      {"type": "ipu-dead", "ipu": 2, "superstep": 40},
+      {"type": "ipu-link-dead", "from": 0, "to": 1, "superstep": 12},
+      {"type": "ipu-link-degraded", "from": 1, "to": 2, "factor": 6.0,
+       "superstep": 12}
+    ]
+  })");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.hasHardFaults());
+  // ipu-dead triggers on the compute clock and is permanent from there on.
+  EXPECT_TRUE(plan.ipuDead(2, 40));
+  EXPECT_FALSE(plan.ipuDead(2, 39));
+  EXPECT_TRUE(plan.ipuDead(2, 1000));
+  EXPECT_FALSE(plan.ipuDead(1, 40));  // only the named chip dies
+  EXPECT_DOUBLE_EQ(plan.deadIpuCycles(2), 1e9);  // watchdog-scale default
+
+  // Link kinds trigger on the exchange clock; the dead chip rides along on
+  // the compute clock (re-routing must not relay through it).
+  ipu::LinkFaults before = plan.linkFaults(/*exchangeIndex=*/11,
+                                           /*computeIndex=*/39);
+  EXPECT_TRUE(before.empty());
+  ipu::LinkFaults after = plan.linkFaults(/*exchangeIndex=*/12,
+                                          /*computeIndex=*/40);
+  EXPECT_FALSE(after.empty());
+  EXPECT_TRUE(after.isDead(0, 1));
+  EXPECT_FALSE(after.isDead(1, 0));  // ordered pair: reverse link survives
+  EXPECT_DOUBLE_EQ(after.factor(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(after.factor(2, 1), 1.0);
+  EXPECT_TRUE(after.ipuDead(2));
+  EXPECT_FALSE(after.ipuDead(0));
+}
+
+// The unknown-type rejection names the full valid set — including the
+// pod-scale kinds — from the single shared constant.
+TEST(FaultPlanJson, UnknownTypeNamesPodKindsInValidSet) {
+  try {
+    ipu::FaultPlan::fromJsonText(R"({"faults": [{"type": "gamma-ray"}]})");
+    FAIL() << "expected a parse error";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("gamma-ray"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ipu-dead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ipu-link-dead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ipu-link-degraded"), std::string::npos) << msg;
+  }
+}
+
+// Strict per-kind key validation for the pod kinds: a foreign key is
+// rejected with a message naming the offending key and the valid set.
+TEST(FaultPlanJson, RejectsForeignKeyOnPodRule) {
+  try {
+    ipu::FaultPlan::fromJsonText(
+        R"({"faults": [{"type": "ipu-dead", "ipu": 1, "tile": 3}]})");
+    FAIL() << "expected a validation error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tile"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ipu-dead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("superstep"), std::string::npos) << msg;  // valid set
+  }
+  try {
+    ipu::FaultPlan::fromJsonText(
+        R"({"faults": [{"type": "ipu-link-dead", "from": 0, "to": 1,
+                        "factor": 2.0}]})");
+    FAIL() << "expected a validation error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    // Severing has no cost knob: "factor" belongs to ipu-link-degraded.
+    EXPECT_NE(msg.find("factor"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ipu-link-dead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("from"), std::string::npos) << msg;  // valid set
+  }
+}
+
+TEST(FaultPlanJson, RejectsMalformedPodRules) {
+  // ipu-dead must name its chip.
+  try {
+    ipu::FaultPlan::fromJsonText(
+        R"({"faults": [{"type": "ipu-dead", "superstep": 4}]})");
+    FAIL() << "expected a validation error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'ipu'"), std::string::npos)
+        << e.what();
+  }
+  // Link kinds need the full ordered pair...
+  EXPECT_THROW(ipu::FaultPlan::fromJsonText(
+                   R"({"faults": [{"type": "ipu-link-dead", "from": 0}]})"),
+               Error);
+  // ... with two distinct endpoints ...
+  try {
+    ipu::FaultPlan::fromJsonText(
+        R"({"faults": [{"type": "ipu-link-degraded", "from": 1, "to": 1}]})");
+    FAIL() << "expected a validation error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no link to itself"),
+              std::string::npos)
+        << e.what();
+  }
+  // ... and a degradation factor that actually degrades.
+  EXPECT_THROW(
+      ipu::FaultPlan::fromJsonText(
+          R"({"faults": [{"type": "ipu-link-degraded", "from": 0, "to": 1,
+                          "factor": 0.5}]})"),
+      Error);
+}
+
 // An engine without a plan and one with an *empty* plan attached must be
 // bit-identical: same cycles, same supersteps, same history, same solution.
 TEST(FaultInjection, DetachedAndEmptyPlanAreBitIdentical) {
@@ -514,6 +622,16 @@ TEST(FaultLog, RoundTripsThroughJsonExactly) {
   events.push_back({"recovery:remap", 58, "session", 1, -1, 0.0,
                     "repartitioned over 7 surviving tiles"});
   events.push_back({"abft-mismatch", 44, "cg", 0, -1, 0.0, "rel 5.4e-3"});
+  events.push_back({"ipu-dead", 40, "ipu 2", 0, -1, 1e9,
+                    "permanent: every tile of the chip stops executing"});
+  events.push_back({"ipu-link-dead", 12, "link 0->1", 0, -1, 0.0,
+                    "permanent: link severed; traffic re-routes"});
+  events.push_back({"ipu-link-degraded", 12, "link 1->2", 0, -1, 0.0,
+                    "permanent: link cost x6.0"});
+  events.push_back({"health:ipu-dead", 61, "ipu 2", 0, -1, 0.0,
+                    "4/8 tiles confirmed dead — chip declared dead"});
+  events.push_back({"recovery:ipu-blacklist", 61, "ipu 2", 0, -1, 0.0,
+                    "chip excluded from the topology"});
 
   const std::vector<ipu::FaultEvent> back =
       ipu::faultEventsFromJson(ipu::faultEventsToJson(events));

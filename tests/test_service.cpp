@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -532,4 +533,82 @@ TEST(SolverService, MetricsAndJobTimelineAreExposed) {
   const support::TraceSink timeline = service.traceSnapshot();
   EXPECT_GE(timeline.jobEventCount(), 6u);  // accepted + done per job
   EXPECT_EQ(timeline.jobsSeen().size(), 3u);
+}
+
+// GRAPHENE_TEST_POD reaches every service-built pipeline: the ctor resolves
+// the pod once (explicit topology > env > plain tiles) and service plans
+// carry that pod's topology fingerprint from then on.
+TEST(SolverService, PodEnvResolvesServiceTopology) {
+  const char* ambientRaw = std::getenv("GRAPHENE_TEST_POD");
+  const std::string ambient = ambientRaw != nullptr ? ambientRaw : "";
+  ::setenv("GRAPHENE_TEST_POD", "4", 1);
+
+  {  // Env splits the tile budget into a 4-chip pod.
+    SolverService service({.workers = 1, .tiles = 32});
+    EXPECT_EQ(service.resolvedTopology().numIpus(), 4u);
+    EXPECT_EQ(service.resolvedTopology().fingerprint(),
+              ipu::Topology::pod(4, 8).fingerprint());
+    // ...and jobs actually run on it.
+    const auto g = matrix::poisson2d5(8, 8);
+    JobResult r = service.solve(g, cgConfig(), ones(g.matrix.rows()));
+    EXPECT_EQ(r.solve.status, SolveStatus::Converged);
+    service.shutdown();
+  }
+  {  // An explicit topology wins over the environment.
+    SolverService service({.workers = 1,
+                           .tiles = 32,
+                           .topology = ipu::Topology::pod(2, 16)});
+    EXPECT_EQ(service.resolvedTopology().numIpus(), 2u);
+    EXPECT_EQ(service.resolvedTopology().tilesPerIpu(), 16u);
+    service.shutdown();
+  }
+
+  if (ambient.empty()) {
+    ::unsetenv("GRAPHENE_TEST_POD");
+  } else {
+    ::setenv("GRAPHENE_TEST_POD", ambient.c_str(), 1);
+  }
+}
+
+// The pod flagship, end to end through the serving layer: a chip dies
+// mid-job, the session shrinks the topology and converges, and the service
+// adopts the shrink — every plan cached against the healthy pod's
+// fingerprint is invalidated, follow-up jobs build against the survivors.
+TEST(SolverService, ChipDeathShrinksPodAndInvalidatesStalePlans) {
+  const auto g = matrix::poisson2d5(10, 10);
+  const std::size_t n = g.matrix.rows();
+  SolverService service(
+      {.workers = 1, .tiles = 32, .topology = ipu::Topology::pod(4, 8)});
+
+  // Job 1: a clean solve on the healthy pod warms the plan cache.
+  JobResult warm = service.solve(g, cgConfig(), ones(n));
+  ASSERT_EQ(warm.solve.status, SolveStatus::Converged);
+  ASSERT_GE(service.planCacheStats().misses, 1u);  // entry inserted
+
+  // Job 2: same matrix, chip 1 dies mid-solve. Fault-plan jobs bypass the
+  // cache, so the warm healthy-pod plan sits idle — and stale.
+  JobResult faulted =
+      service.solve(g, cgConfig(), ones(n),
+                    {.faultPlan = json::parse(R"({"faults": [
+                        {"type": "ipu-dead", "ipu": 1, "superstep": 30}]})")});
+  EXPECT_FALSE(faulted.typedError) << faulted.message;
+  EXPECT_EQ(faulted.solve.status, SolveStatus::Converged);  // typed verdict
+
+  // The service now serves from the shrunken pod...
+  EXPECT_EQ(service.resolvedTopology().numAliveIpus(), 3u);
+  EXPECT_EQ(service.resolvedTopology().deadIpus(),
+            (std::vector<std::size_t>{1}));
+  EXPECT_GE(service.metrics().counter("service.topology.shrinks"), 1.0);
+  // ...and the healthy-pod plan can never be leased again.
+  EXPECT_GE(service.planCacheStats().invalidations, 1u);
+
+  // A follow-up clean job misses the cache and converges on the survivors.
+  const auto statsBefore = service.planCacheStats();
+  JobResult after = service.solve(g, cgConfig(), ones(n));
+  EXPECT_EQ(after.solve.status, SolveStatus::Converged);
+  EXPECT_FALSE(after.planCacheHit);
+  EXPECT_GT(service.planCacheStats().misses, statsBefore.misses);
+
+  service.shutdown();
+  EXPECT_EQ(service.pooledPipelines(), 0u);
 }
