@@ -36,15 +36,12 @@ using namespace graphene;
 
 constexpr double kClockHz = 1.325e9;  // Mk2 tile clock (ipu/target.hpp)
 
-double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const double pos = q * static_cast<double>(v.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return v[lo] + (v[hi] - v[lo]) * frac;
-}
+/// The service's simulated-cycles latency ladder (service.latency.cycles.*
+/// in the /metrics exposition). The bench buckets its samples through the
+/// same ladder and derives p50/p99 the way a Prometheus scrape would —
+/// bucket interpolation over a fixed ladder, not per-sample sorting — so
+/// the snapshot and a live scrape of the same run agree by construction.
+constexpr support::HistogramLadder kCyclesLadder{1024.0, 2.0, 24};
 
 json::Value cgConfig() {
   return json::parse(R"({"type": "cg", "tolerance": 1e-6,
@@ -97,7 +94,7 @@ int main(int argc, char** argv) {
           service.submit(g, cgConfig(), seededRhs(i, g.matrix.rows())));
     }
 
-    std::vector<double> coldCycles, warmCycles;
+    support::Histogram coldHist(kCyclesLadder), warmHist(kCyclesLadder);
     for (std::size_t id : ids) {
       const solver::JobResult r = service.wait(id);
       if (r.typedError || r.solve.status != solver::SolveStatus::Converged) {
@@ -106,24 +103,45 @@ int main(int argc, char** argv) {
                      r.message.c_str());
         return 1;
       }
-      (r.planCacheHit ? warmCycles : coldCycles).push_back(r.simCycles);
+      (r.planCacheHit ? warmHist : coldHist).observe(r.simCycles);
     }
 
-    for (const auto& [phase, cycles] :
-         {std::pair{"cold", coldCycles}, std::pair{"warm", warmCycles}}) {
-      double sum = 0;
-      for (double c : cycles) sum += c;
-      const double mean = cycles.empty() ? 0 : sum / cycles.size();
+    // The ladder itself, once, so a consumer can reconstruct bucket bounds
+    // from the per-phase counts below.
+    {
+      json::Object row;
+      row["scenario"] = "throughput";
+      row["phase"] = "ladder";
+      row["firstBound"] = kCyclesLadder.firstBound;
+      row["growth"] = kCyclesLadder.growth;
+      row["bucketCount"] = kCyclesLadder.bucketCount;
+      json::Array bounds;
+      for (std::size_t i = 0; i < kCyclesLadder.bucketCount; ++i) {
+        bounds.push_back(json::Value(kCyclesLadder.upperBound(i)));
+      }
+      row["upperBounds"] = std::move(bounds);
+      report.addResult(std::move(row));
+    }
+
+    for (const auto& [phase, hist] :
+         {std::pair{"cold", &coldHist}, std::pair{"warm", &warmHist}}) {
+      const double mean =
+          hist->count > 0 ? hist->sum / static_cast<double>(hist->count) : 0;
       json::Object row;
       row["scenario"] = "throughput";
       row["phase"] = phase;
-      row["solves"] = cycles.size();
+      row["solves"] = hist->count;
       row["meanCycles"] = mean;
-      row["p50Cycles"] = percentile(cycles, 0.50);
-      row["p99Cycles"] = percentile(cycles, 0.99);
-      row["p50LatencyMs"] = percentile(cycles, 0.50) / kClockHz * 1e3;
-      row["p99LatencyMs"] = percentile(cycles, 0.99) / kClockHz * 1e3;
+      row["p50Cycles"] = hist->quantile(0.50);
+      row["p99Cycles"] = hist->quantile(0.99);
+      row["p50LatencyMs"] = hist->quantile(0.50) / kClockHz * 1e3;
+      row["p99LatencyMs"] = hist->quantile(0.99) / kClockHz * 1e3;
       row["solvesPerSimSecond"] = mean > 0 ? kClockHz / mean : 0;
+      json::Array buckets;
+      for (std::uint64_t b : hist->buckets) {
+        buckets.push_back(json::Value(static_cast<double>(b)));
+      }
+      row["buckets"] = std::move(buckets);
       report.addResult(std::move(row));
     }
 

@@ -10,16 +10,29 @@
 // Build & run:  ./example_solver_service [--jobs N] [--workers N]
 //                                        [--deadline-mcycles N]
 //                                        [--metrics-text] [--trace out.json]
+//                                        [--serve PORT] [--hold SECONDS]
+//                                        [--port-file PATH] [--poison N]
+//                                        [--flight-dir DIR] [--log PATH]
 //   Submits an open-loop burst of Poisson solves (a mix of two sparsity
 //   structures, so the plan cache gets both cold builds and warm leases),
 //   waits for every verdict, and prints a per-job summary plus the service
 //   counters. --metrics-text prints the Prometheus exposition a scraper
 //   would see; --trace writes the merged cross-job timeline as Chrome
 //   trace_event JSON (one process lane per job id).
+//
+//   Live telemetry: --serve PORT starts the embedded HTTP listener
+//   (PORT 0 binds an ephemeral port; --port-file writes the bound port for
+//   scripts) and --hold keeps the service up after the burst so `curl` or
+//   graphene-top can watch it. --poison N adds N fault-injected jobs that
+//   exhaust their retries — exercising the failure counters, and, with
+//   --flight-dir, the automatic black-box dumps. --log appends the JSONL
+//   structured event stream.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graphene.hpp"
@@ -28,13 +41,18 @@ using namespace graphene;
 
 int main(int argc, char** argv) {
   std::size_t jobs = 8;
+  std::size_t poison = 0;
   std::size_t workers = 2;
   double deadlineMcycles = 500;
   bool metricsText = false;
-  std::string tracePath;
+  int servePort = -1;
+  double holdSeconds = 0;
+  std::string tracePath, portFile, flightDir, logPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--poison") == 0 && i + 1 < argc) {
+      poison = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--deadline-mcycles") == 0 &&
@@ -44,24 +62,57 @@ int main(int argc, char** argv) {
       metricsText = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      servePort = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc) {
+      holdSeconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      portFile = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+      flightDir = argv[++i];
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      logPath = argv[++i];
     }
   }
 
-  solver::SolverService service({.workers = workers, .tiles = 16});
+  solver::ServiceOptions options{.workers = workers, .tiles = 16};
+  options.metricsPort = servePort;
+  options.flightDir = flightDir;
+  options.logPath = logPath;
+  solver::SolverService service(std::move(options));
+
+  if (servePort >= 0) {
+    std::printf("serving http://127.0.0.1:%u "
+                "(GET /metrics /healthz /jobs /flight/<id>)\n",
+                static_cast<unsigned>(service.httpPort()));
+    if (!portFile.empty()) {
+      std::ofstream pf(portFile);
+      pf << service.httpPort() << "\n";
+    }
+    std::fflush(stdout);
+  }
 
   const matrix::GeneratedMatrix structures[] = {matrix::poisson2d5(12, 12),
                                                 matrix::poisson3d7(6, 6, 6)};
   const json::Value config = json::parse(
       R"({"type": "cg", "tolerance": 1e-6, "maxIterations": 300})");
+  // A fault plan that flips a residual bit on every superstep: the retry
+  // ladder (and the degraded final attempt) cannot save such a job, so it
+  // ends failed — feeding the failure histograms and the flight dumps.
+  const json::Value poisonPlan = json::parse(R"({"seed": 7, "faults": [
+    {"type": "bitflip", "tensor": "resid", "bit": 30,
+     "probability": 1.0, "count": 100000, "skip": 0}]})");
 
   // Open loop: submit everything up front, then collect the verdicts.
   std::vector<std::size_t> ids;
-  for (std::size_t i = 0; i < jobs; ++i) {
+  for (std::size_t i = 0; i < jobs + poison; ++i) {
     const auto& g = structures[i % 2];
     std::vector<double> rhs(g.matrix.rows(), 1.0);
-    ids.push_back(service.submit(
-        g, config, std::move(rhs),
-        {.deadlineCycles = deadlineMcycles * 1e6}));
+    solver::SolveJobOptions jobOptions;
+    jobOptions.deadlineCycles = deadlineMcycles * 1e6;
+    if (i >= jobs) jobOptions.faultPlan = poisonPlan;
+    ids.push_back(service.submit(g, config, std::move(rhs),
+                                 std::move(jobOptions)));
   }
 
   std::printf("job  status             attempts  warm  Mcycles\n");
@@ -83,6 +134,14 @@ int main(int argc, char** argv) {
     out << support::traceToChromeJson(service.traceSnapshot()).dump(2)
         << "\n";
     std::printf("wrote job timeline to %s\n", tracePath.c_str());
+  }
+
+  if (holdSeconds > 0) {
+    std::printf("holding for %.0f s — scrape http://127.0.0.1:%u/metrics\n",
+                holdSeconds, static_cast<unsigned>(service.httpPort()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(holdSeconds));
   }
 
   service.shutdown();

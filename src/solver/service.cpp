@@ -16,13 +16,14 @@ namespace {
 /// What a service config key must hold (mirrors the solver-config
 /// validation in config.cpp: unknown keys and wrong types are errors that
 /// name the key and list the valid ones).
-enum class KeyKind { Number, Object, Bool };
+enum class KeyKind { Number, Object, Bool, String };
 
 const char* toString(KeyKind kind) {
   switch (kind) {
     case KeyKind::Number: return "number";
     case KeyKind::Object: return "object";
     case KeyKind::Bool: return "boolean";
+    case KeyKind::String: return "string";
   }
   return "?";
 }
@@ -51,9 +52,10 @@ void validateKeys(const json::Value& config, const std::string& where,
       GRAPHENE_CHECK(false, "unknown key '", key, "' in ", where,
                      " config (valid keys: ", valid, ")");
     }
-    const bool ok = spec->kind == KeyKind::Number ? value.isNumber()
-                    : spec->kind == KeyKind::Bool ? value.isBool()
-                                                  : value.isObject();
+    const bool ok = spec->kind == KeyKind::Number   ? value.isNumber()
+                    : spec->kind == KeyKind::Bool   ? value.isBool()
+                    : spec->kind == KeyKind::String ? value.isString()
+                                                    : value.isObject();
     GRAPHENE_CHECK(ok, "key '", key, "' in ", where, " config must be a ",
                    toString(spec->kind));
   }
@@ -77,6 +79,12 @@ void validateOptions(const ServiceOptions& o) {
                  o.workers, ")");
   GRAPHENE_CHECK(o.tiles >= 1, "service.tiles must be >= 1 (got ", o.tiles,
                  ")");
+  GRAPHENE_CHECK(o.metricsPort >= -1 && o.metricsPort <= 65535,
+                 "service.metricsPort must be -1 (disabled) or a TCP port "
+                 "in [0, 65535], 0 = ephemeral (got ", o.metricsPort, ")");
+  GRAPHENE_CHECK(o.flightEventCapacity >= 1,
+                 "service.flightEventCapacity must be >= 1 (got ",
+                 o.flightEventCapacity, ")");
   GRAPHENE_CHECK(o.defaultDeadlineCycles >= 0,
                  "service.defaultDeadlineCycles must be >= 0 cycles, 0 = no "
                  "deadline (got ", o.defaultDeadlineCycles, ")");
@@ -175,6 +183,14 @@ void degradeConfigInPlace(json::Value& v, const DegradationPolicy& d) {
   }
 }
 
+// Bucket ladders of the service histograms. Fixed at these values so
+// exposition output and merged profiles are comparable across runs;
+// powers of two keep the bounds exact in binary.
+constexpr support::HistogramLadder kCyclesLadder{1024.0, 2.0, 24};
+constexpr support::HistogramLadder kMsLadder{0.25, 2.0, 20};
+constexpr support::HistogramLadder kIterLadder{1.0, 2.0, 16};
+constexpr support::HistogramLadder kRetryLadder{1.0, 2.0, 6};
+
 }  // namespace
 
 ServiceOptions serviceOptionsFromJson(const json::Value& config) {
@@ -189,6 +205,11 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
                 {"defaultDeadlineSeconds", KeyKind::Number},
                 {"traceCapacity", KeyKind::Number},
                 {"maxRetainedResults", KeyKind::Number},
+                {"metricsPort", KeyKind::Number},
+                {"flightRecorderJobs", KeyKind::Number},
+                {"flightEventCapacity", KeyKind::Number},
+                {"flightDir", KeyKind::String},
+                {"logPath", KeyKind::String},
                 {"retry", KeyKind::Object},
                 {"admission", KeyKind::Object},
                 {"breaker", KeyKind::Object},
@@ -232,6 +253,15 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
       "traceCapacity", static_cast<std::int64_t>(o.traceCapacity)));
   o.maxRetainedResults = static_cast<std::size_t>(config.getOr(
       "maxRetainedResults", static_cast<std::int64_t>(o.maxRetainedResults)));
+  o.metricsPort = static_cast<int>(config.getOr(
+      "metricsPort", static_cast<std::int64_t>(o.metricsPort)));
+  o.flightRecorderJobs = static_cast<std::size_t>(config.getOr(
+      "flightRecorderJobs", static_cast<std::int64_t>(o.flightRecorderJobs)));
+  o.flightEventCapacity = static_cast<std::size_t>(config.getOr(
+      "flightEventCapacity",
+      static_cast<std::int64_t>(o.flightEventCapacity)));
+  o.flightDir = config.getOr("flightDir", o.flightDir);
+  o.logPath = config.getOr("logPath", o.logPath);
   if (config.contains("retry")) {
     const json::Value& r = config.at("retry");
     validateKeys(r, "service.retry",
@@ -289,7 +319,9 @@ ServiceOptions serviceOptionsFromJson(const json::Value& config) {
 }
 
 SolverService::SolverService(ServiceOptions options)
-    : options_(std::move(options)), cache_(options_.planCacheCapacity) {
+    : options_(std::move(options)),
+      cache_(options_.planCacheCapacity),
+      flight_(options_.flightRecorderJobs, options_.flightEventCapacity) {
   validateOptions(options_);
   if (options_.topology) options_.tiles = options_.topology->totalTiles();
   sessionOptions_.tiles = options_.tiles;
@@ -305,9 +337,43 @@ SolverService::SolverService(ServiceOptions options)
   // budget that survives a couple of dead tiles instead of the facade's
   // conservative default of one.
   sessionOptions_.maxRemaps = std::max<std::size_t>(2, options_.tiles / 8);
+  // # HELP text for the Prometheus exposition. Per-verdict histogram
+  // families get theirs on first observation (observeTerminal).
+  metrics_.setHelp("service.jobs.accepted",
+                   "Jobs admitted past admission control.");
+  metrics_.setHelp("service.jobs.completed", "Jobs that converged.");
+  metrics_.setHelp("service.jobs.failed",
+                   "Jobs that ended failed: typed error, transient verdict "
+                   "with retries spent, or max-iterations.");
+  metrics_.setHelp("service.jobs.rejected",
+                   "Jobs refused at admission or by an open circuit "
+                   "breaker.");
+  metrics_.setHelp("service.queue.depth",
+                   "Jobs currently waiting in the queue.");
+  metrics_.setHelp("service.queue_wait_ms",
+                   "Wall milliseconds a job waited in the queue before a "
+                   "worker picked it up.");
+  metrics_.setHelp("service.retries",
+                   "Retry attempts consumed per terminal job.");
+  metrics_.setHelp("service.iterations.converged",
+                   "Iterations to convergence of completed jobs.");
+  if (!options_.logPath.empty()) {
+    log_ = std::make_unique<support::LogSink>(options_.logPath);
+    json::Object f;
+    f["workers"] = options_.workers;
+    f["tiles"] = sessionOptions_.tiles;
+    f["topologyFingerprint"] =
+        std::to_string(sessionOptions_.topology->fingerprint());
+    log_->log("service:start", SIZE_MAX, std::move(f));
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
+  }
+  // Started last: a request must never observe a half-constructed service.
+  if (options_.metricsPort >= 0) {
+    http_.start(static_cast<std::uint16_t>(options_.metricsPort),
+                [this](const std::string& path) { return handleHttp(path); });
   }
 }
 
@@ -318,11 +384,173 @@ ipu::Topology SolverService::resolvedTopology() const {
 
 SolverService::~SolverService() { shutdown(); }
 
-void SolverService::recordJob(const std::string& name, std::size_t jobId,
+void SolverService::recordJob(const JobEvent& event, std::size_t jobId,
                               const std::string& detail) {
-  std::lock_guard<std::mutex> lock(traceMu_);
-  support::recordJobEvent(&trace_, name, jobId,
-                          static_cast<double>(++traceSeq_), detail);
+  if (event.counter != nullptr) metrics_.addCounter(event.counter, 1);
+  if (event.trace == nullptr) return;
+  double seq;
+  {
+    std::lock_guard<std::mutex> lock(traceMu_);
+    seq = static_cast<double>(++traceSeq_);
+    support::recordJobEvent(&trace_, event.trace, jobId, seq, detail);
+  }
+  if (jobId != SIZE_MAX) {
+    support::TraceEvent ev;
+    ev.kind = support::TraceKind::Job;
+    ev.name = event.trace;
+    ev.jobId = jobId;
+    ev.startCycle = seq;
+    ev.detail = detail;
+    flight_.record(jobId, ev);
+  }
+  if (log_) {
+    json::Object fields;
+    if (!detail.empty()) fields["detail"] = detail;
+    log_->log(event.trace, jobId, std::move(fields));
+  }
+}
+
+void SolverService::observeTerminal(const JobResult& result) {
+  const std::string verdict =
+      result.typedError ? "typed-error"
+                        : std::string(toString(result.solve.status));
+  const std::string cycles = "service.latency.cycles." + verdict;
+  metrics_.setHelp(cycles, "Simulated cycles per terminal job, by verdict.");
+  metrics_.observe(cycles, result.simCycles, kCyclesLadder);
+  const std::string wall = "service.latency.wall_ms." + verdict;
+  metrics_.setHelp(wall,
+                   "Wall milliseconds from accept to terminal verdict, by "
+                   "verdict.");
+  metrics_.observe(wall, result.wallSeconds * 1000.0, kMsLadder);
+  metrics_.observe(
+      "service.retries",
+      result.attempts > 0 ? static_cast<double>(result.attempts - 1) : 0.0,
+      kRetryLadder);
+  if (!result.typedError && result.solve.status == SolveStatus::Converged) {
+    metrics_.observe("service.iterations.converged",
+                     static_cast<double>(result.solve.iterations),
+                     kIterLadder);
+  }
+}
+
+json::Value SolverService::healthJson() const {
+  json::Object o;
+  o["status"] = "ok";
+  o["workers"] = options_.workers;
+  o["pooledPipelines"] = cache_.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const ipu::Topology& t = *sessionOptions_.topology;
+    json::Object topo;
+    topo["fingerprint"] = std::to_string(t.fingerprint());
+    topo["ipus"] = t.numIpus();
+    topo["aliveIpus"] = t.numAliveIpus();
+    topo["tilesPerIpu"] = t.tilesPerIpu();
+    topo["aliveTiles"] = t.numAliveTiles();
+    json::Array dead;
+    for (std::size_t d : t.deadIpus()) dead.push_back(json::Value(d));
+    topo["deadIpus"] = std::move(dead);
+    o["topology"] = std::move(topo);
+    o["queueDepth"] = queue_.size();
+    o["retainedJobs"] = jobs_.size();
+    o["submitted"] = nextJobId_;
+    o["stopping"] = stopping_;
+    json::Array brs;
+    for (const auto& [fp, b] : breakers_) {
+      json::Object br;
+      br["structureFingerprint"] = std::to_string(fp);
+      br["state"] = b.openRemaining > 0 ? "open"
+                    : b.halfOpen        ? "half-open"
+                                        : "closed";
+      br["consecutiveFailures"] = b.consecutiveFailures;
+      br["openRemaining"] = b.openRemaining;
+      br["probeInFlight"] = b.probeInFlight;
+      brs.push_back(json::Value(std::move(br)));
+    }
+    o["breakers"] = std::move(brs);
+  }
+  return json::Value(std::move(o));
+}
+
+json::Value SolverService::jobsJson() const {
+  // Two-phase snapshot, honouring the service lock order: collect the
+  // states under mu_, release it, then lock each job individually — never
+  // mu_ and a JobState::mu together.
+  std::vector<std::pair<std::size_t, std::shared_ptr<JobState>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(jobs_.begin(), jobs_.end());
+  }
+  json::Array arr;
+  for (const auto& [id, state] : snapshot) {
+    json::Object j;
+    j["id"] = id;
+    std::lock_guard<std::mutex> lock(state->mu);
+    j["phase"] = std::string(state->phase);
+    if (state->cancelRequested.load(std::memory_order_relaxed)) {
+      j["cancelRequested"] = true;
+    }
+    if (state->done) {
+      const JobResult& r = state->result;
+      j["verdict"] = r.typedError ? std::string("typed-error")
+                                  : std::string(toString(r.solve.status));
+      if (!r.message.empty()) j["message"] = r.message;
+      j["attempts"] = r.attempts;
+      j["degraded"] = r.degraded;
+      j["planCacheHit"] = r.planCacheHit;
+      j["iterations"] = r.solve.iterations;
+      j["simCycles"] = r.simCycles;
+      j["wallSeconds"] = r.wallSeconds;
+    }
+    arr.push_back(json::Value(std::move(j)));
+  }
+  json::Object o;
+  o["jobs"] = std::move(arr);
+  return json::Value(std::move(o));
+}
+
+support::HttpServer::Response SolverService::handleHttp(
+    const std::string& path) {
+  support::HttpServer::Response resp;
+  if (path == "/metrics") {
+    resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = metricsText();
+    return resp;
+  }
+  if (path == "/healthz") {
+    resp.contentType = "application/json";
+    resp.body = healthJson().dump() + "\n";
+    return resp;
+  }
+  if (path == "/jobs") {
+    resp.contentType = "application/json";
+    resp.body = jobsJson().dump() + "\n";
+    return resp;
+  }
+  const std::string flightPrefix = "/flight/";
+  if (path.rfind(flightPrefix, 0) == 0) {
+    const std::string idText = path.substr(flightPrefix.size());
+    std::size_t id = 0;
+    bool valid = !idText.empty();
+    for (char c : idText) valid = valid && c >= '0' && c <= '9';
+    if (valid) id = static_cast<std::size_t>(std::stoull(idText));
+    std::optional<FlightRecord> record =
+        valid ? flight_.record(id) : std::nullopt;
+    if (!record) {
+      resp.status = 404;
+      resp.body = "no flight record for job '" + idText + "' (the recorder "
+                  "retains the last " + std::to_string(flight_.retainJobs()) +
+                  " terminal jobs)\n";
+      return resp;
+    }
+    resp.contentType = "application/x-ndjson";
+    resp.body = flightRecordToJsonl(*record);
+    return resp;
+  }
+  resp.status = 404;
+  resp.body =
+      "not found; endpoints: /metrics /healthz /jobs /flight/<id>\n";
+  return resp;
 }
 
 support::TraceSink SolverService::traceSnapshot() const {
@@ -362,6 +590,7 @@ std::size_t SolverService::submit(const matrix::GeneratedMatrix& m,
   job.acceptedAt = std::chrono::steady_clock::now();
 
   auto state = std::make_shared<JobState>();
+  state->acceptedAt = job.acceptedAt;
   std::string rejection;
   std::size_t id;
   {
@@ -372,6 +601,12 @@ std::size_t SolverService::submit(const matrix::GeneratedMatrix& m,
     jobs_[id] = state;
     const std::uint64_t structureHash =
         structureFingerprint(m, sessionOptions_);
+    // Identity fields of the flight record — written before the job is
+    // visible to any worker (it is not queued yet), read at seal time.
+    state->structureFp = structureHash;
+    state->configFp = configFingerprint(solverConfig);
+    state->topologyFp = sessionOptions_.topology->fingerprint();
+    state->solverConfigDump = solverConfig.dump();
     job.sramCharge = estimateSramCharge(m, structureHash);
     const auto usable = static_cast<std::size_t>(
         options_.admission.headroom *
@@ -387,11 +622,13 @@ std::size_t SolverService::submit(const matrix::GeneratedMatrix& m,
                   " B (admission.sramPoolBytes * headroom)";
     } else {
       queue_.push_back(std::move(job));
+      metrics_.setGauge("service.queue.depth",
+                        static_cast<double>(queue_.size()));
     }
   }
+  flight_.open(id);
   if (!rejection.empty()) {
-    metrics_.addCounter("service.jobs.rejected", 1);
-    recordJob("job:rejected", id, rejection);
+    recordJob(job_events::kRejected, id, rejection);
     JobResult r;
     r.jobId = id;
     r.solve.status = SolveStatus::AdmissionRejected;
@@ -399,8 +636,7 @@ std::size_t SolverService::submit(const matrix::GeneratedMatrix& m,
     finishJob(state, std::move(r));
     return id;
   }
-  metrics_.addCounter("service.jobs.accepted", 1);
-  recordJob("job:accepted", id);
+  recordJob(job_events::kAccepted, id);
   queueCv_.notify_one();
   return id;
 }
@@ -448,7 +684,7 @@ bool SolverService::cancel(std::size_t jobId) {
   // Wake a worker parked in the retry-backoff wait on this job's cv so the
   // cancel takes effect now, not after the full backoff interval.
   state->cv.notify_all();
-  recordJob("job:cancel-requested", jobId);
+  recordJob(job_events::kCancelRequested, jobId);
   return true;
 }
 
@@ -458,6 +694,9 @@ void SolverService::shutdown() {
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
+  // Stop serving scrapes first: a request must never observe the service
+  // mid-teardown. stop() joins the listener thread deterministically.
+  http_.stop();
   queueCv_.notify_all();
   chargeCv_.notify_all();
   for (std::thread& w : workers_) {
@@ -467,21 +706,67 @@ void SolverService::shutdown() {
   // Reclaim the engine pool: every lease has ended (workers are joined), so
   // this drops all warm pipelines and their engines.
   cache_.clear();
+  if (log_) log_->log("service:shutdown");
 }
 
 void SolverService::finishJob(const std::shared_ptr<JobState>& state,
                               JobResult result) {
   const std::size_t id = result.jobId;
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    state->acceptedAt)
+          .count();
+  const std::string verdict =
+      result.typedError ? std::string("typed-error")
+                        : std::string(toString(result.solve.status));
   const std::string status =
-      result.typedError ? std::string("typed-error: ") + result.message
-                        : toString(result.solve.status);
+      result.typedError ? "typed-error: " + result.message : verdict;
+  observeTerminal(result);
+
+  // Terminal header of the flight record; the job's identity fields were
+  // written in submit(), before any worker could see the job.
+  FlightRecord header;
+  header.verdict = verdict;
+  header.message = result.message;
+  header.attempts = result.attempts;
+  header.degraded = result.degraded;
+  header.simCycles = result.simCycles;
+  header.wallSeconds = result.wallSeconds;
+  header.structureFingerprint = state->structureFp;
+  header.configFingerprint = state->configFp;
+  header.topologyFingerprint = state->topologyFp;
+  header.solverConfig = state->solverConfigDump;
+  const bool failed = result.typedError ||
+                      isRetryable(result.solve.status) ||
+                      result.solve.status == SolveStatus::MaxIterations;
+
+  // Seal (and on failure dump) the flight record *before* publishing the
+  // result: when wait() returns a failed verdict, the black-box artifact
+  // is already on disk. job:done is recorded first so it lands inside the
+  // sealed record.
+  recordJob(job_events::kDone, id, status);
+  const FlightRecord sealed = flight_.seal(id, std::move(header));
+  if (failed && !options_.flightDir.empty()) {
+    try {
+      const std::string path = dumpFlightRecord(sealed, options_.flightDir);
+      recordJob(job_events::kFlightDumped, id, path);
+    } catch (const Error& e) {
+      // The dump is best-effort forensics — a missing directory must not
+      // turn a typed verdict into a crash.
+      if (log_) {
+        json::Object f;
+        f["detail"] = std::string(e.what());
+        log_->log("flight:dump-failed", id, std::move(f));
+      }
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->result = std::move(result);
     state->done = true;
+    state->phase = "done";
   }
   state->cv.notify_all();
-  recordJob("job:done", id, status);
   // Bound the job table: release the oldest terminal results beyond the
   // retention window. Waiters already blocked in wait() hold the JobState
   // by shared_ptr, so they still receive this result.
@@ -505,17 +790,29 @@ void SolverService::workerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      metrics_.setGauge("service.queue.depth",
+                        static_cast<double>(queue_.size()));
       state = jobs_.at(job.id);
     }
+    metrics_.observe(
+        "service.queue_wait_ms",
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - job.acceptedAt)
+            .count(),
+        kMsLadder);
 
     if (state->cancelRequested.load(std::memory_order_relaxed)) {
-      metrics_.addCounter("service.jobs.cancelled", 1);
+      recordJob(job_events::kCancelled, job.id);
       JobResult r;
       r.jobId = job.id;
       r.solve.status = SolveStatus::Cancelled;
       r.message = "cancelled while queued";
       finishJob(state, std::move(r));
       continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->phase = "running";
     }
 
     // SRAM admission: jobs that fit the pool but not *right now* queue here
@@ -545,15 +842,13 @@ void SolverService::workerLoop() {
       result.jobId = job.id;
       result.typedError = true;
       result.message = std::string("internal error: ") + e.what();
-      metrics_.addCounter("service.jobs.failed", 1);
-      recordJob("job:internal-error", job.id, result.message);
+      recordJob(job_events::kInternalError, job.id, result.message);
     } catch (...) {
       result = JobResult{};
       result.jobId = job.id;
       result.typedError = true;
       result.message = "internal error: unknown exception";
-      metrics_.addCounter("service.jobs.failed", 1);
-      recordJob("job:internal-error", job.id, result.message);
+      recordJob(job_events::kInternalError, job.id, result.message);
     }
 
     if (options_.admission.sramPoolBytes > 0) {
@@ -597,8 +892,7 @@ JobResult SolverService::runJob(Job& job,
       res.message = "structure fingerprint quarantined after " +
                     std::to_string(b.consecutiveFailures) +
                     " consecutive failures";
-      metrics_.addCounter("service.jobs.rejected", 1);
-      recordJob("job:circuit-open", job.id, res.message);
+      recordJob(job_events::kCircuitOpen, job.id, res.message);
       return res;
     }
     if (b.halfOpen) {
@@ -606,8 +900,7 @@ JobResult SolverService::runJob(Job& job,
         res.solve.status = SolveStatus::CircuitOpen;
         res.message =
             "structure fingerprint half-open: probe job in flight";
-        metrics_.addCounter("service.jobs.rejected", 1);
-        recordJob("job:circuit-open", job.id, res.message);
+        recordJob(job_events::kCircuitOpen, job.id, res.message);
         return res;
       }
       b.probeInFlight = true;
@@ -622,7 +915,7 @@ JobResult SolverService::runJob(Job& job,
                                      ? options_.defaultDeadlineSeconds
                                      : job.jobOptions.deadlineSeconds;
 
-  recordJob("job:start", job.id, probe ? "half-open probe" : "");
+  recordJob(job_events::kStart, job.id, probe ? "half-open probe" : "");
   double cyclesSoFar = 0;
 
   for (std::size_t attempt = 0;; ++attempt) {
@@ -644,7 +937,7 @@ JobResult SolverService::runJob(Job& job,
     if (degradeThis) {
       degradeConfigInPlace(config, options_.degradation);
       if (options_.degradation.perCellHalo) sessOpts.perCellHalo = true;
-      recordJob("job:degraded", job.id, config.dump());
+      recordJob(job_events::kDegradedAttempt, job.id, config.dump());
     }
     // Degraded attempts run a one-off configuration, and fault-injected
     // jobs would leave their plan attached to the pooled pipeline — both
@@ -659,7 +952,7 @@ JobResult SolverService::runJob(Job& job,
       PlanCache::Lease lease =
           cache_.acquire(attemptKey, valuesHash, !bakesValues);
       if (lease.session) {
-        metrics_.addCounter("service.plan_cache.hits", 1);
+        recordJob(job_events::kPlanHit, job.id);
         try {
           lease.session->bind();
           if (!lease.valuesMatch) {
@@ -676,11 +969,10 @@ JobResult SolverService::runJob(Job& job,
           } catch (...) {
           }
           cache_.release(lease.session.get(), /*invalidate=*/true);
-          metrics_.addCounter("service.plan_cache.invalidations", 1);
-          recordJob("job:cache-refresh-failed", job.id, e.what());
+          recordJob(job_events::kCacheRefreshFailed, job.id, e.what());
         }
       } else {
-        metrics_.addCounter("service.plan_cache.misses", 1);
+        recordJob(job_events::kPlanMiss, job.id);
       }
     }
     if (!session) {
@@ -705,7 +997,7 @@ JobResult SolverService::runJob(Job& job,
         res.degraded = degradeThis;
         res.planCacheHit = false;
         res.simCycles = cyclesSoFar;
-        recordJob("job:build-failed", job.id, res.message);
+        recordJob(job_events::kBuildFailed, job.id, res.message);
         break;
       }
       fresh = true;
@@ -767,9 +1059,9 @@ JobResult SolverService::runJob(Job& job,
       res.x.clear();
       res.typedError = false;
       res.message = ce.what();
-      metrics_.addCounter(deadline ? "service.jobs.deadline_exceeded"
-                                   : "service.jobs.cancelled",
-                          1);
+      recordJob(deadline ? job_events::kDeadlineExceeded
+                         : job_events::kCancelled,
+                job.id);
     } catch (const Error& e) {
       // Typed failure (e.g. hard-fault recovery budget exhausted). The
       // pipeline is suspect; retry — if budget remains — on a fresh build.
@@ -792,6 +1084,22 @@ JobResult SolverService::runJob(Job& job,
     const std::vector<std::size_t> deadIpus = session->deadIpus();
     invalidate = invalidate || !deadIpus.empty();
 
+    // Black box: fold this attempt's artifacts into the job's flight
+    // record — its solver-level timeline (the events stamped with this
+    // job's id; pooled sinks carry other jobs' history too), the fault log
+    // and the watchdog report. Best-effort: forensics must never turn a
+    // verdict into a crash.
+    try {
+      std::vector<support::TraceEvent> attemptEvents;
+      for (const support::TraceEvent& ev : session->trace().events()) {
+        if (ev.jobId == job.id) attemptEvents.push_back(ev);
+      }
+      flight_.recordAttempt(job.id, attemptEvents,
+                            session->profile().faultEvents,
+                            session->healthReport());
+    } catch (...) {
+    }
+
     res.attempts = attempt + 1;
     res.degraded = degradeThis;
     res.planCacheHit = cacheHit;
@@ -811,9 +1119,7 @@ JobResult SolverService::runJob(Job& job,
       }
       const bool drop = invalidate || topologyStale;
       cache_.release(session.get(), drop);
-      if (drop) {
-        metrics_.addCounter("service.plan_cache.invalidations", 1);
-      }
+      if (drop) recordJob(job_events::kPlanInvalidated, job.id);
     }
     session.reset();
 
@@ -839,12 +1145,11 @@ JobResult SolverService::runJob(Job& job,
         }
       }
       if (adopted) {
-        metrics_.addCounter("service.topology.shrinks", 1);
         std::string chips;
         for (std::size_t ipu : deadIpus) {
           chips += (chips.empty() ? "" : " ") + std::to_string(ipu);
         }
-        recordJob("job:topology-shrink", job.id,
+        recordJob(job_events::kTopologyShrink, job.id,
                   "chip(s) " + chips + " retired; " +
                       std::to_string(droppedPlans) +
                       " stale plan(s) invalidated");
@@ -888,7 +1193,7 @@ JobResult SolverService::runJob(Job& job,
       res.x.clear();
       res.typedError = false;
       res.message = "cancelled during retry backoff";
-      metrics_.addCounter("service.jobs.cancelled", 1);
+      recordJob(job_events::kCancelled, job.id);
       break;
     }
     const bool cycleBudgetSpent =
@@ -907,21 +1212,20 @@ JobResult SolverService::runJob(Job& job,
       res.message = cycleBudgetSpent
                         ? "cycle deadline spent before the next attempt"
                         : "wall deadline expired during retry backoff";
-      metrics_.addCounter("service.jobs.deadline_exceeded", 1);
+      recordJob(job_events::kDeadlineExceeded, job.id);
       break;
     }
-    metrics_.addCounter("service.jobs.retried", 1);
-    recordJob("job:retry", job.id,
+    recordJob(job_events::kRetry, job.id,
               res.typedError ? res.message : toString(res.solve.status));
   }
 
   if (res.typedError || isRetryable(res.solve.status) ||
       res.solve.status == SolveStatus::MaxIterations) {
-    metrics_.addCounter("service.jobs.failed", 1);
+    recordJob(job_events::kFailed, job.id);
   } else if (res.solve.status == SolveStatus::Converged) {
-    metrics_.addCounter("service.jobs.completed", 1);
+    recordJob(job_events::kCompleted, job.id);
   }
-  if (res.degraded) metrics_.addCounter("service.jobs.degraded", 1);
+  if (res.degraded) recordJob(job_events::kDegraded, job.id);
 
   // Circuit breaker accounting. Deadline/cancel verdicts stay neutral: they
   // say nothing about the matrix — a neutral probe just hands the half-open
@@ -937,7 +1241,7 @@ JobResult SolverService::runJob(Job& job,
       if (probe || b.consecutiveFailures >= options_.breaker.failuresToOpen) {
         b.halfOpen = false;
         b.openRemaining = options_.breaker.openForJobs;
-        recordJob("job:circuit-opened", job.id,
+        recordJob(job_events::kCircuitOpened, job.id,
                   std::to_string(b.consecutiveFailures) +
                       " consecutive failures" +
                       (probe ? " (half-open probe failed)" : ""));

@@ -43,9 +43,16 @@
 //     probe's verdict lands.
 //
 // Observability: service counters (service.jobs.*, service.plan_cache.*)
-// live in a thread-safe MetricsRegistry exported by metricsToPrometheusText;
-// job lifecycle events (accepted/start/retry/done, stamped with the stable
-// job id) land in the service TraceSink for a merged cross-job timeline.
+// and latency/iteration histograms (service.latency.*, service.retries,
+// service.queue_wait_ms) live in a thread-safe MetricsRegistry exported by
+// metricsToPrometheusText; job lifecycle events (accepted/start/retry/done,
+// stamped with the stable job id) land in the service TraceSink for a
+// merged cross-job timeline, in the JSONL structured log (logPath) and in
+// the per-job flight recorder — all under the same names, drawn from the
+// job_events table below. With metricsPort >= 0 an embedded HTTP listener
+// serves GET /metrics, /healthz, /jobs and /flight/<id> live, race-free
+// against in-flight solves; failed jobs dump their flight record as a
+// JSONL black-box artifact into flightDir automatically.
 #pragma once
 
 #include <atomic>
@@ -62,13 +69,59 @@
 #include <vector>
 
 #include "matrix/generators.hpp"
+#include "solver/flight_recorder.hpp"
 #include "solver/plan_cache.hpp"
 #include "solver/session.hpp"
 #include "solver/solver.hpp"
+#include "support/http_server.hpp"
 #include "support/json.hpp"
+#include "support/log_sink.hpp"
 #include "support/trace.hpp"
 
 namespace graphene::solver {
+
+/// One job-lifecycle event: the stable name stamped on the TraceSink
+/// timeline / structured log, paired with the metrics counter the event
+/// bumps. This table is the single source of truth for the names — the
+/// three views of an incident (trace timeline, JSONL log, Prometheus
+/// counters) always join on them. `trace == nullptr` marks counter-only
+/// events (no timeline line); `counter == nullptr` marks trace-only ones.
+struct JobEvent {
+  const char* trace;    // TraceSink / LogSink event name
+  const char* counter;  // MetricsRegistry counter bumped by 1
+};
+
+namespace job_events {
+inline constexpr JobEvent kAccepted{"job:accepted", "service.jobs.accepted"};
+inline constexpr JobEvent kRejected{"job:rejected", "service.jobs.rejected"};
+inline constexpr JobEvent kCircuitOpen{"job:circuit-open",
+                                       "service.jobs.rejected"};
+inline constexpr JobEvent kCircuitOpened{"job:circuit-opened", nullptr};
+inline constexpr JobEvent kStart{"job:start", nullptr};
+inline constexpr JobEvent kDone{"job:done", nullptr};
+inline constexpr JobEvent kCancelRequested{"job:cancel-requested", nullptr};
+inline constexpr JobEvent kRetry{"job:retry", "service.jobs.retried"};
+inline constexpr JobEvent kDegradedAttempt{"job:degraded", nullptr};
+inline constexpr JobEvent kBuildFailed{"job:build-failed", nullptr};
+inline constexpr JobEvent kCacheRefreshFailed{"job:cache-refresh-failed",
+                                              "service.plan_cache.invalidations"};
+inline constexpr JobEvent kInternalError{"job:internal-error",
+                                         "service.jobs.failed"};
+inline constexpr JobEvent kTopologyShrink{"job:topology-shrink",
+                                          "service.topology.shrinks"};
+inline constexpr JobEvent kFlightDumped{"job:flight-dumped", nullptr};
+// Counter-only terminal/bookkeeping events.
+inline constexpr JobEvent kCancelled{nullptr, "service.jobs.cancelled"};
+inline constexpr JobEvent kDeadlineExceeded{nullptr,
+                                            "service.jobs.deadline_exceeded"};
+inline constexpr JobEvent kCompleted{nullptr, "service.jobs.completed"};
+inline constexpr JobEvent kFailed{nullptr, "service.jobs.failed"};
+inline constexpr JobEvent kDegraded{nullptr, "service.jobs.degraded"};
+inline constexpr JobEvent kPlanHit{nullptr, "service.plan_cache.hits"};
+inline constexpr JobEvent kPlanMiss{nullptr, "service.plan_cache.misses"};
+inline constexpr JobEvent kPlanInvalidated{nullptr,
+                                           "service.plan_cache.invalidations"};
+}  // namespace job_events
 
 struct RetryPolicy {
   /// Re-attempts after the first try (0 = fail on first verdict).
@@ -150,6 +203,22 @@ struct ServiceOptions {
   /// this knob. 0 = retain everything (a long-running server will grow
   /// without bound).
   std::size_t maxRetainedResults = 1024;
+  /// TCP port for the embedded HTTP telemetry listener (127.0.0.1 only):
+  /// GET /metrics (Prometheus text), /healthz, /jobs, /flight/<id>.
+  /// -1 disables it; 0 binds an ephemeral port (read it back via
+  /// httpPort()).
+  int metricsPort = -1;
+  /// Sealed flight records retained for the last N terminal jobs
+  /// (GET /flight/<id>); 0 disables retention (failed jobs still dump
+  /// when flightDir is set).
+  std::size_t flightRecorderJobs = 16;
+  /// Per-job flight-recorder event ring capacity.
+  std::size_t flightEventCapacity = 256;
+  /// Directory for automatic black-box dumps (flight-job<id>.jsonl) of
+  /// failed jobs; "" disables dumping. The directory must exist.
+  std::string flightDir;
+  /// Path of the JSONL structured event log (appended); "" disables it.
+  std::string logPath;
   RetryPolicy retry;
   AdmissionPolicy admission;
   CircuitBreakerPolicy breaker;
@@ -163,6 +232,8 @@ struct ServiceOptions {
 ///   {"workers": 4, "tiles": 32, "hostThreads": 0, "planCacheCapacity": 8,
 ///    "defaultDeadlineCycles": 0, "defaultDeadlineSeconds": 0,
 ///    "traceCapacity": 65536, "maxRetainedResults": 1024,
+///    "metricsPort": -1, "flightRecorderJobs": 16,
+///    "flightEventCapacity": 256, "flightDir": "", "logPath": "",
 ///    "retry": {"maxRetries": 2, "backoffBaseMs": 1, "backoffFactor": 2,
 ///              "backoffMaxMs": 20, "jitter": 0.1},
 ///    "admission": {"maxQueueDepth": 64, "sramPoolBytes": 0,
@@ -197,6 +268,7 @@ struct JobResult {
   bool degraded = false;       // final result came from a degraded config
   bool planCacheHit = false;   // last attempt leased a warm pipeline
   double simCycles = 0;        // simulated cycles across all attempts
+  double wallSeconds = 0;      // wall time from accept to terminal verdict
 };
 
 class SolverService {
@@ -247,6 +319,21 @@ class SolverService {
   /// stamped with job ids; see recordJobEvent).
   support::TraceSink traceSnapshot() const;
 
+  /// Port of the embedded HTTP listener (0 when metricsPort is -1). With
+  /// metricsPort = 0 this is the ephemeral port the kernel assigned.
+  std::uint16_t httpPort() const { return http_.port(); }
+  /// The /healthz document: topology fingerprint and alive shape, queue
+  /// depth, breaker states, job tallies. Safe against in-flight solves.
+  json::Value healthJson() const;
+  /// The /jobs document: every retained job (queued, running, terminal)
+  /// with its phase and verdict, ascending by id.
+  json::Value jobsJson() const;
+  /// Per-job black boxes (GET /flight/<id> serves flightRecordToJsonl of
+  /// these records).
+  const FlightRecorder& flightRecorder() const { return flight_; }
+  /// The structured JSONL event log (nullptr when logPath is "").
+  support::LogSink* logSink() const { return log_.get(); }
+
   PlanCache::Stats planCacheStats() const { return cache_.stats(); }
   /// Warm pipelines currently pooled (0 after shutdown()).
   std::size_t pooledPipelines() const { return cache_.size(); }
@@ -275,6 +362,16 @@ class SolverService {
     bool done = false;
     std::atomic<bool> cancelRequested{false};
     JobResult result;
+    /// Where the job is in its lifecycle ("queued" / "running" /
+    /// "done"), for /jobs. Guarded by mu.
+    const char* phase = "queued";
+    /// Identity fields for the flight record, written once in submit()
+    /// (before the job is visible to workers) and read at seal time.
+    std::uint64_t structureFp = 0;
+    std::uint64_t configFp = 0;
+    std::uint64_t topologyFp = 0;
+    std::string solverConfigDump;
+    std::chrono::steady_clock::time_point acceptedAt;
   };
 
   struct Breaker {
@@ -289,8 +386,14 @@ class SolverService {
   void finishJob(const std::shared_ptr<JobState>& state, JobResult result);
   std::size_t estimateSramCharge(const matrix::GeneratedMatrix& m,
                                  std::uint64_t structureHash);
-  void recordJob(const std::string& name, std::size_t jobId,
+  /// The one emission point for lifecycle events: bumps the event's
+  /// counter, stamps its trace line (service timeline + the job's flight
+  /// ring) and appends the structured-log line — all under the same name
+  /// from the job_events table.
+  void recordJob(const JobEvent& event, std::size_t jobId,
                  const std::string& detail = "");
+  void observeTerminal(const JobResult& result);
+  support::HttpServer::Response handleHttp(const std::string& path);
 
   ServiceOptions options_;
   /// Derived in the ctor with the topology resolved eagerly; mutated (under
@@ -303,6 +406,10 @@ class SolverService {
   mutable std::mutex traceMu_;
   support::TraceSink trace_;
   std::uint64_t traceSeq_ = 0;
+
+  FlightRecorder flight_;
+  std::unique_ptr<support::LogSink> log_;
+  support::HttpServer http_;
 
   mutable std::mutex mu_;  // queue, job table, breakers, SRAM accounting,
                            // sessionOptions_ (topology shrink)

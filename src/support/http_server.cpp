@@ -1,0 +1,246 @@
+#include "support/http_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace graphene::support {
+
+namespace {
+
+const char* statusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+  }
+  return "OK";
+}
+
+/// Writes the whole buffer, retrying on EINTR / partial writes.
+bool writeAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the header terminator (a GET carries no body), with a hard
+/// size cap so a garbage client cannot balloon the buffer.
+bool readRequestHead(int fd, std::string& head) {
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > 16 * 1024) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void sendResponse(int fd, const HttpServer::Response& r) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << r.status << " " << statusText(r.status) << "\r\n"
+     << "Content-Type: " << r.contentType << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << r.body;
+  const std::string out = os.str();
+  (void)writeAll(fd, out.data(), out.size());
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start(std::uint16_t port, Handler handler) {
+  GRAPHENE_CHECK(!running(), "HttpServer::start() while already running");
+  GRAPHENE_CHECK(handler != nullptr, "HttpServer::start() needs a handler");
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GRAPHENE_CHECK(fd >= 0, "HttpServer: socket() failed: ",
+                 std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // telemetry stays local
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GRAPHENE_CHECK(false, "HttpServer: bind(127.0.0.1:", port,
+                   ") failed: ", std::strerror(err));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GRAPHENE_CHECK(false, "HttpServer: listen() failed: ",
+                   std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  GRAPHENE_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+      "HttpServer: getsockname() failed: ", std::strerror(errno));
+
+  listenFd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stop_.store(false, std::memory_order_release);
+  requests_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  port_ = 0;
+}
+
+void HttpServer::acceptLoop() {
+  // Poll with a short timeout instead of blocking in accept(): stop() only
+  // has to flip the flag and join — no self-pipe, no signal games, and the
+  // shutdown is deterministic (at most one poll interval late).
+  pollfd pfd{listenFd_, POLLIN, 0};
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int ready = ::poll(&pfd, 1, /*ms=*/50);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listenFd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    std::string head;
+    Response response;
+    if (!readRequestHead(client, head)) {
+      response = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else {
+      std::istringstream line(head.substr(0, head.find("\r\n")));
+      std::string method, target, version;
+      line >> method >> target >> version;
+      if (method != "GET") {
+        response = {405, "text/plain; charset=utf-8",
+                    "only GET is supported\n"};
+      } else {
+        // Strip any query string: handlers dispatch on the bare path.
+        const std::size_t q = target.find('?');
+        const std::string path =
+            q == std::string::npos ? target : target.substr(0, q);
+        try {
+          response = handler_(path.empty() ? "/" : path);
+        } catch (const std::exception& e) {
+          response = {500, "text/plain; charset=utf-8",
+                      std::string("internal error: ") + e.what() + "\n"};
+        } catch (...) {
+          response = {500, "text/plain; charset=utf-8",
+                      "internal error\n"};
+        }
+      }
+    }
+    // Counted before the response bytes go out: a client that saw a reply
+    // must also see requestsServed() >= 1 (tests poll exactly that).
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    sendResponse(client, response);
+    ::close(client);
+  }
+}
+
+HttpServer::Response httpGet(std::uint16_t port, const std::string& path,
+                             double timeoutSeconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GRAPHENE_CHECK(fd >= 0, "httpGet: socket() failed: ", std::strerror(errno));
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeoutSeconds);
+  tv.tv_usec = static_cast<long>((timeoutSeconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GRAPHENE_CHECK(false, "httpGet: connect(127.0.0.1:", port,
+                   ") failed: ", std::strerror(err));
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!writeAll(fd, request.data(), request.size())) {
+    const int err = errno;
+    ::close(fd);
+    GRAPHENE_CHECK(false, "httpGet: send failed: ", std::strerror(err));
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t headerEnd = raw.find("\r\n\r\n");
+  GRAPHENE_CHECK(headerEnd != std::string::npos,
+                 "httpGet: malformed response (no header terminator) from "
+                 "port ", port);
+  std::istringstream status(raw.substr(0, raw.find("\r\n")));
+  std::string version;
+  HttpServer::Response r;
+  status >> version >> r.status;
+  GRAPHENE_CHECK(version.rfind("HTTP/", 0) == 0 && r.status > 0,
+                 "httpGet: malformed status line from port ", port);
+  // Content-Type is informational for callers; a case-insensitive scan of
+  // the header block is all we need.
+  std::istringstream headers(raw.substr(0, headerEnd));
+  std::string headerLine;
+  while (std::getline(headers, headerLine)) {
+    std::string lower = headerLine;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower.rfind("content-type:", 0) == 0) {
+      std::string v = headerLine.substr(std::strlen("content-type:"));
+      while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+        v.erase(v.begin());
+      }
+      while (!v.empty() && (v.back() == '\r' || v.back() == '\n')) {
+        v.pop_back();
+      }
+      r.contentType = v;
+    }
+  }
+  r.body = raw.substr(headerEnd + 4);
+  return r;
+}
+
+}  // namespace graphene::support

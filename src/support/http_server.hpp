@@ -1,0 +1,89 @@
+// Minimal embedded HTTP/1.1 server — the live telemetry endpoint.
+//
+// A long-running SolverService wants its Prometheus metrics *scraped*, not
+// dumped once at exit: Prometheus, curl and graphene-top all speak plain
+// HTTP GET. No third-party HTTP dependency is available offline, so this is
+// the subset a scrape needs and nothing more: a blocking IPv4 listener on
+// 127.0.0.1, one connection served at a time, GET only, Connection: close.
+// That is deliberately boring — a scrape is a handful of requests per
+// second, and a serial accept loop cannot reorder, interleave or starve
+// anything the TSan service job would have to reason about.
+//
+//   support::HttpServer server;
+//   server.start(0 /* ephemeral */, [](const std::string& path) {
+//     return support::HttpServer::Response{200, "text/plain", "ok\n"};
+//   });
+//   ... server.port() is bound now ...
+//   server.stop();  // deterministic: joins the accept thread
+//
+// The handler runs on the accept thread; it must be thread-safe against
+// whatever state it reads (the service handlers snapshot under their own
+// locks). httpGet() is the matching one-shot client used by graphene-top
+// and the tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace graphene::support {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Maps a request path ("/metrics", "/flight/7") to a response. Thrown
+  /// exceptions become a 500 with the error text in the body — an endpoint
+  /// bug must not kill the accept thread.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer();  // stop()s
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, read it
+  /// back via port()) and starts the accept thread. Errors (port in use,
+  /// no sockets) throw graphene::Error. start() after start() is an error;
+  /// start() after stop() opens a fresh listener.
+  void start(std::uint16_t port, Handler handler);
+
+  /// The bound port; 0 when not running.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Closes the listener and joins the accept thread. In-flight requests
+  /// finish first (the accept loop re-checks the stop flag between
+  /// connections); idempotent.
+  void stop();
+
+  /// Requests served since start() (diagnostics/tests).
+  std::size_t requestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void acceptLoop();
+
+  Handler handler_;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> requests_{0};
+  std::thread thread_;
+};
+
+/// One-shot blocking HTTP GET against 127.0.0.1:`port`. Returns the parsed
+/// status and body; throws graphene::Error on connection failure or a
+/// malformed response. `timeoutSeconds` bounds the whole exchange.
+HttpServer::Response httpGet(std::uint16_t port, const std::string& path,
+                             double timeoutSeconds = 5.0);
+
+}  // namespace graphene::support

@@ -1,0 +1,38 @@
+#include "support/log_sink.hpp"
+
+#include "support/error.hpp"
+
+namespace graphene::support {
+
+LogSink::LogSink(const std::string& path)
+    : file_(path, std::ios::out | std::ios::app) {
+  GRAPHENE_CHECK(file_.is_open(), "LogSink: cannot open '", path,
+                 "' for append");
+  os_ = &file_;
+}
+
+LogSink::LogSink(std::ostream& os) : os_(&os) {}
+
+void LogSink::log(const std::string& event, std::size_t jobId,
+                  json::Object fields) {
+  json::Object line;
+  line["event"] = event;
+  if (jobId != SIZE_MAX) line["jobId"] = jobId;
+  for (auto& [k, v] : fields) {
+    if (k == "seq" || k == "event" || k == "jobId") continue;
+    line[k] = std::move(v);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  line["seq"] = seq_++;
+  // One complete line per call, flushed: a reader tailing the file never
+  // sees a torn object, and a crash loses nothing already logged.
+  (*os_) << json::Value(std::move(line)).dump() << "\n";
+  os_->flush();
+}
+
+std::size_t LogSink::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace graphene::support

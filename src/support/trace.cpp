@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -33,23 +34,91 @@ bool TraceEvent::operator==(const TraceEvent& o) const {
          detail == o.detail && jobId == o.jobId;
 }
 
+double HistogramLadder::upperBound(std::size_t i) const {
+  if (i >= bucketCount) return std::numeric_limits<double>::infinity();
+  double bound = firstBound;
+  for (std::size_t k = 0; k < i; ++k) bound *= growth;
+  return bound;
+}
+
+std::size_t HistogramLadder::bucketFor(double value) const {
+  // A multiply-and-compare walk instead of log(): bit-deterministic on
+  // every host, and the ladders in use are a few dozen buckets at most.
+  double bound = firstBound;
+  for (std::size_t i = 0; i < bucketCount; ++i) {
+    if (value <= bound) return i;
+    bound *= growth;
+  }
+  return bucketCount;  // +Inf overflow bucket
+}
+
+void Histogram::observe(double value) {
+  buckets[ladder.bucketFor(value)] += 1;
+  count += 1;
+  sum += value;
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) {
+  GRAPHENE_CHECK(ladder == o.ladder,
+                 "histogram merge with mismatched bucket ladders (",
+                 ladder.firstBound, "x", ladder.growth, "^",
+                 ladder.bucketCount, " vs ", o.ladder.firstBound, "x",
+                 o.ladder.growth, "^", o.ladder.bucketCount, ")");
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+  return *this;
+}
+
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-th observation, 1-based; walk the cumulative counts.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t prev = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank || buckets[i] == 0) continue;
+    const double hi = ladder.upperBound(i);
+    if (std::isinf(hi)) {
+      // Prometheus convention: quantiles cannot reach into +Inf — clamp to
+      // the largest finite bound.
+      return ladder.upperBound(ladder.bucketCount - 1);
+    }
+    const double lo = i == 0 ? 0.0 : ladder.upperBound(i - 1);
+    const double frac = (rank - static_cast<double>(prev)) /
+                        static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+  }
+  return ladder.upperBound(ladder.bucketCount - 1);
+}
+
 MetricsRegistry::MetricsRegistry(const MetricsRegistry& o) {
   std::lock_guard<std::mutex> lock(o.mu_);
   counters_ = o.counters_;
   gauges_ = o.gauges_;
+  histograms_ = o.histograms_;
+  help_ = o.help_;
 }
 
 MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& o) {
   if (this == &o) return *this;
   std::map<std::string, double> counters, gauges;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, std::string> help;
   {
     std::lock_guard<std::mutex> lock(o.mu_);
     counters = o.counters_;
     gauges = o.gauges_;
+    histograms = o.histograms_;
+    help = o.help_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   counters_ = std::move(counters);
   gauges_ = std::move(gauges);
+  histograms_ = std::move(histograms);
+  help_ = std::move(help);
   return *this;
 }
 
@@ -61,6 +130,22 @@ void MetricsRegistry::addCounter(const std::string& name, double delta) {
 void MetricsRegistry::setGauge(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const HistogramLadder& ladder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(ladder)).first;
+  }
+  it->second.observe(value);
+}
+
+void MetricsRegistry::setHelp(const std::string& name,
+                              const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = text;
 }
 
 double MetricsRegistry::counter(const std::string& name) const {
@@ -75,10 +160,18 @@ double MetricsRegistry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+Histogram MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
 void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
+  help_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& o) {
@@ -88,6 +181,15 @@ MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& o) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [k, v] : src.counters_) counters_[k] += v;
   for (const auto& [k, v] : src.gauges_) gauges_[k] = v;
+  for (const auto& [k, v] : src.histograms_) {
+    auto it = histograms_.find(k);
+    if (it == histograms_.end()) {
+      histograms_.emplace(k, v);
+    } else {
+      it->second += v;
+    }
+  }
+  for (const auto& [k, v] : src.help_) help_[k] = v;
   return *this;
 }
 
@@ -132,18 +234,45 @@ std::string metricsToPrometheusText(const MetricsRegistry& metrics_,
   const std::string p =
       prefix.empty() ? "" : sanitizePrometheusName(prefix) + "_";
   std::ostringstream os;
+  const auto header = [&](const std::string& rawName, const char* type) {
+    const std::string m = p + sanitizePrometheusName(rawName);
+    auto it = metrics.help().find(rawName);
+    if (it != metrics.help().end()) {
+      os << "# HELP " << m << " " << it->second << "\n";
+    }
+    os << "# TYPE " << m << " " << type << "\n";
+    return m;
+  };
   // std::map iteration gives each family in name order already.
   for (const auto& [name, value] : metrics.counters()) {
-    const std::string m = p + sanitizePrometheusName(name);
-    os << "# TYPE " << m << " counter\n" << m << " ";
+    const std::string m = header(name, "counter");
+    os << m << " ";
     appendPrometheusValue(os, value);
     os << "\n";
   }
   for (const auto& [name, value] : metrics.gauges()) {
-    const std::string m = p + sanitizePrometheusName(name);
-    os << "# TYPE " << m << " gauge\n" << m << " ";
+    const std::string m = header(name, "gauge");
+    os << m << " ";
     appendPrometheusValue(os, value);
     os << "\n";
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    const std::string m = header(name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << m << "_bucket{le=\"";
+      const double bound = h.ladder.upperBound(i);
+      if (std::isinf(bound)) {
+        os << "+Inf";
+      } else {
+        appendPrometheusValue(os, bound);
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << m << "_sum ";
+    appendPrometheusValue(os, h.sum);
+    os << "\n" << m << "_count " << h.count << "\n";
   }
   return os.str();
 }

@@ -89,9 +89,66 @@ struct TraceEvent {
   bool operator==(const TraceEvent& o) const;
 };
 
-/// Named counters and gauges that engine, codelets and solvers can tick
-/// (SpMV FLOPs, halo bytes, restart counts). Counters accumulate; gauges
-/// keep their last written value.
+/// Fixed exponential bucket ladder of a Histogram: bucket i covers values
+/// up to firstBound * growth^i (i in [0, bucketCount)), plus a final +Inf
+/// overflow bucket. The ladder is part of a histogram's identity: merges
+/// require identical ladders, and bucket placement is a deterministic
+/// compare loop against multiplied-out bounds — no libm, so the same value
+/// lands in the same bucket on every host and at any thread count.
+struct HistogramLadder {
+  double firstBound = 1.0;
+  double growth = 2.0;
+  std::size_t bucketCount = 40;
+
+  bool operator==(const HistogramLadder& o) const {
+    return firstBound == o.firstBound && growth == o.growth &&
+           bucketCount == o.bucketCount;
+  }
+
+  /// Upper bound (inclusive, Prometheus `le`) of bucket i; +Inf for the
+  /// overflow bucket i == bucketCount.
+  double upperBound(std::size_t i) const;
+  /// Index of the bucket `value` falls into (the +Inf bucket included).
+  std::size_t bucketFor(double value) const;
+};
+
+/// A fixed-ladder histogram: per-bucket observation counts plus the exact
+/// sum and count (the Prometheus _bucket/_sum/_count triple). Merging adds
+/// bucket counts (integers — exact) and sums; with a deterministic merge
+/// order the result is bit-identical at any host thread count, which is
+/// what Profile::operator+= provides.
+struct Histogram {
+  HistogramLadder ladder;
+  /// ladder.bucketCount + 1 entries; the last is the +Inf overflow bucket.
+  /// Non-cumulative (exposition accumulates on the way out).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0;
+
+  explicit Histogram(HistogramLadder l = {})
+      : ladder(l), buckets(l.bucketCount + 1, 0) {}
+
+  void observe(double value);
+  /// Merge; the ladders must match (checked).
+  Histogram& operator+=(const Histogram& o);
+
+  /// Quantile estimate from the bucket counts, Prometheus-style: find the
+  /// bucket holding the q-th observation, interpolate linearly inside it.
+  /// Observations in the +Inf bucket clamp to the last finite bound; an
+  /// empty histogram reports 0.
+  double quantile(double q) const;
+
+  bool operator==(const Histogram& o) const {
+    return ladder == o.ladder && buckets == o.buckets && count == o.count &&
+           sum == o.sum;
+  }
+};
+
+/// Named counters, gauges and histograms that engine, codelets and solvers
+/// can tick (SpMV FLOPs, halo bytes, restart counts, job latency
+/// distributions). Counters accumulate; gauges keep their last written
+/// value; histograms bucket every observation on a fixed exponential
+/// ladder.
 ///
 /// Mutations and point reads are thread-safe (internally locked): a solver
 /// service ticks one shared registry from every pooled worker thread while
@@ -107,13 +164,31 @@ class MetricsRegistry {
 
   void addCounter(const std::string& name, double delta);
   void setGauge(const std::string& name, double value);
+  /// Buckets `value` into the named histogram. The ladder is applied on the
+  /// histogram's first touch only (it is part of the histogram's identity
+  /// from then on — a later observe with a different ladder keeps the
+  /// original one).
+  void observe(const std::string& name, double value,
+               const HistogramLadder& ladder = {});
+
+  /// Optional per-metric help text, emitted as a Prometheus `# HELP` line
+  /// by metricsToPrometheusText. Help is documentation, not data: merges
+  /// and copies carry it, clear() drops it with everything else.
+  void setHelp(const std::string& name, const std::string& text);
 
   /// Value of a counter/gauge, 0 when never touched.
   double counter(const std::string& name) const;
   double gauge(const std::string& name) const;
+  /// Locked copy of a histogram; an empty default-ladder histogram when
+  /// never observed.
+  Histogram histogram(const std::string& name) const;
 
   const std::map<std::string, double>& counters() const { return counters_; }
   const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::string>& help() const { return help_; }
 
   /// Consistent locked copy — the safe way to read a registry other threads
   /// are still writing to.
@@ -121,25 +196,31 @@ class MetricsRegistry {
 
   bool empty() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return counters_.empty() && gauges_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
   void clear();
 
   /// Merge for Profile::operator+=: counters add, gauges take the
-  /// right-hand (newer) value.
+  /// right-hand (newer) value, histograms merge bucket-wise (ladders must
+  /// match), help takes the right-hand text.
   MetricsRegistry& operator+=(const MetricsRegistry& o);
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, double> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 /// Prometheus text exposition (version 0.0.4) of a registry: counters as
-/// `counter`, gauges as `gauge`, names sanitised to the Prometheus charset
-/// ([a-zA-Z_:][a-zA-Z0-9_:]*, every other character becomes '_') and
-/// prefixed with `prefix` (itself sanitised; pass "" for none). Output is
-/// sorted by metric name — deterministic, scrape-ready.
+/// `counter`, gauges as `gauge`, histograms as `histogram` with the
+/// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, names
+/// sanitised to the Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]*, every
+/// other character becomes '_') and prefixed with `prefix` (itself
+/// sanitised; pass "" for none). Metrics with registered help text get a
+/// `# HELP` line before their `# TYPE`. Output is sorted by metric name
+/// within each kind — deterministic, scrape-ready.
 std::string metricsToPrometheusText(const MetricsRegistry& metrics,
                                     const std::string& prefix = "graphene");
 

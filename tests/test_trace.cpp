@@ -475,3 +475,101 @@ TEST(TraceJobs, ChromeJsonGroupsByJob) {
   EXPECT_NE(rendered.find("(jobs)"), std::string::npos) << rendered;
   EXPECT_NE(rendered.find("2 distinct jobs"), std::string::npos) << rendered;
 }
+
+// ---- Histograms --------------------------------------------------------
+
+// The ladder places values by multiply-and-compare (no libm), so bucket
+// indices are bit-deterministic across hosts: a value on a bound goes to
+// that bound's bucket (le is inclusive, the Prometheus convention).
+TEST(Histogram, LadderBucketPlacement) {
+  support::HistogramLadder ladder{1.0, 2.0, 4};  // bounds 1 2 4 8, +Inf
+  EXPECT_EQ(ladder.bucketFor(0.5), 0u);
+  EXPECT_EQ(ladder.bucketFor(1.0), 0u);  // on the bound: inclusive
+  EXPECT_EQ(ladder.bucketFor(1.5), 1u);
+  EXPECT_EQ(ladder.bucketFor(8.0), 3u);
+  EXPECT_EQ(ladder.bucketFor(8.1), 4u);  // +Inf bucket
+  EXPECT_EQ(ladder.upperBound(2), 4.0);
+  EXPECT_TRUE(std::isinf(ladder.upperBound(4)));
+}
+
+TEST(Histogram, ObserveSumCountAndQuantile) {
+  support::Histogram h(support::HistogramLadder{1.0, 2.0, 8});
+  for (double v : {0.5, 1.5, 3.0, 3.5, 6.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_DOUBLE_EQ(h.sum, 114.5);
+  // Quantiles interpolate within the covering bucket; q=0 sits in the
+  // first non-empty one, q=1 in the last (clamped to a finite bound for
+  // the +Inf bucket).
+  EXPECT_GT(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 128.0);  // +Inf clamps to last bound
+  EXPECT_EQ(support::Histogram{}.quantile(0.5), 0.0);  // empty → 0
+}
+
+// Merging histograms (Profile::operator+= across engine shards / pod
+// chips) is integer bucket addition: the merged result is identical no
+// matter how observations were distributed — the determinism contract at
+// any host thread count.
+TEST(Histogram, MergeIsOrderAndShardingInvariant) {
+  const support::HistogramLadder ladder{1.0, 2.0, 10};
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(0.3 * i);
+
+  support::Histogram all(ladder);
+  for (double v : samples) all.observe(v);
+
+  support::Histogram shards[8] = {
+      support::Histogram(ladder), support::Histogram(ladder),
+      support::Histogram(ladder), support::Histogram(ladder),
+      support::Histogram(ladder), support::Histogram(ladder),
+      support::Histogram(ladder), support::Histogram(ladder)};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    shards[i % 8].observe(samples[i]);
+  }
+  support::Histogram merged(ladder);
+  for (int s = 7; s >= 0; --s) merged += shards[s];  // any order
+  EXPECT_TRUE(merged == all);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.99), all.quantile(0.99));
+}
+
+TEST(Metrics, RegistryHistogramsMergeAndCopy) {
+  support::MetricsRegistry a, b;
+  a.observe("lat", 3.0, support::HistogramLadder{1.0, 2.0, 4});
+  b.observe("lat", 900.0, support::HistogramLadder{1.0, 2.0, 4});
+  b.observe("other", 1.0);
+  a += b;
+  EXPECT_EQ(a.histogram("lat").count, 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("lat").sum, 903.0);
+  EXPECT_EQ(a.histogram("other").count, 1u);
+  support::MetricsRegistry c = a;  // deep copy
+  c.observe("lat", 1.0);
+  EXPECT_EQ(a.histogram("lat").count, 2u);
+  EXPECT_EQ(c.histogram("lat").count, 3u);
+}
+
+// Exposition-format regression: # HELP lines come from the help registry,
+// histograms emit the cumulative _bucket series plus _sum/_count. Pinned
+// byte-for-byte — Prometheus parsers are strict and so is this test.
+TEST(Metrics, PrometheusTextWithHelpAndHistogram) {
+  support::MetricsRegistry metrics;
+  metrics.addCounter("jobs.done", 3);
+  metrics.setHelp("jobs.done", "Terminal jobs.");
+  metrics.observe("lat.ms", 0.5, support::HistogramLadder{1.0, 2.0, 3});
+  metrics.observe("lat.ms", 3.0, support::HistogramLadder{1.0, 2.0, 3});
+  metrics.observe("lat.ms", 100.0, support::HistogramLadder{1.0, 2.0, 3});
+  metrics.setHelp("lat.ms", "Latency in milliseconds.");
+
+  const std::string text = support::metricsToPrometheusText(metrics);
+  EXPECT_EQ(text,
+            "# HELP graphene_jobs_done Terminal jobs.\n"
+            "# TYPE graphene_jobs_done counter\n"
+            "graphene_jobs_done 3\n"
+            "# HELP graphene_lat_ms Latency in milliseconds.\n"
+            "# TYPE graphene_lat_ms histogram\n"
+            "graphene_lat_ms_bucket{le=\"1\"} 1\n"
+            "graphene_lat_ms_bucket{le=\"2\"} 1\n"
+            "graphene_lat_ms_bucket{le=\"4\"} 2\n"
+            "graphene_lat_ms_bucket{le=\"+Inf\"} 3\n"
+            "graphene_lat_ms_sum 103.5\n"
+            "graphene_lat_ms_count 3\n");
+}

@@ -1,0 +1,224 @@
+// graphene-top — a `top` for a running SolverService.
+//
+// Polls the service's embedded HTTP listener (GET /metrics, /healthz and
+// /jobs) and renders a refreshing terminal dashboard: job throughput since
+// the previous poll, latency quantiles derived from the exposition's
+// histogram buckets, circuit-breaker states and the (possibly shrunken)
+// topology. Everything shown is recomputed from the text a Prometheus
+// scraper would see — the tool has no privileged view of the service.
+//
+//   graphene-top --port 9100 [--host 127.0.0.1] [--interval 2] [--once]
+//
+// --once prints a single snapshot without clearing the screen (scripts,
+// CI smoke). Quantiles use the Prometheus convention: linear interpolation
+// within the first bucket whose cumulative count covers the rank; the +Inf
+// bucket clamps to the largest finite bound.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/http_server.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct HistogramSeries {
+  // (upper bound, cumulative count), ascending; the +Inf bucket last.
+  std::vector<std::pair<double, double>> buckets;
+  double sum = 0;
+  double count = 0;
+};
+
+struct Exposition {
+  std::map<std::string, double> scalars;  // counters and gauges
+  std::map<std::string, HistogramSeries> histograms;
+};
+
+/// Parses the Prometheus text format back into values. Only the shapes
+/// metricsToPrometheusText emits are handled: `name value` scalars and
+/// `name_bucket{le="..."} value` histogram series with `_sum`/`_count`.
+Exposition parseExposition(const std::string& text) {
+  Exposition out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    const double value = std::atof(line.c_str() + space + 1);
+    const std::size_t brace = name.find("_bucket{le=\"");
+    if (brace != std::string::npos) {
+      const std::string family = name.substr(0, brace);
+      const std::string le =
+          name.substr(brace + 12, name.size() - brace - 12 - 2);
+      const double bound = le == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::atof(le.c_str());
+      out.histograms[family].buckets.emplace_back(bound, value);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, "_sum") == 0 &&
+               out.histograms.count(name.substr(0, name.size() - 4))) {
+      out.histograms[name.substr(0, name.size() - 4)].sum = value;
+    } else if (name.size() > 6 &&
+               name.compare(name.size() - 6, 6, "_count") == 0 &&
+               out.histograms.count(name.substr(0, name.size() - 6))) {
+      out.histograms[name.substr(0, name.size() - 6)].count = value;
+    } else {
+      out.scalars[name] = value;
+    }
+  }
+  return out;
+}
+
+/// Prometheus-style histogram quantile over cumulative buckets.
+double quantile(const HistogramSeries& h, double q) {
+  if (h.count <= 0 || h.buckets.empty()) return 0;
+  const double rank = q * h.count;
+  double prevBound = 0, prevCum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const auto& [bound, cum] = h.buckets[i];
+    if (cum >= rank) {
+      if (std::isinf(bound)) return prevBound;  // clamp to largest finite
+      const double inBucket = cum - prevCum;
+      if (inBucket <= 0) return bound;
+      return prevBound + (bound - prevBound) * (rank - prevCum) / inBucket;
+    }
+    prevBound = bound;
+    prevCum = cum;
+  }
+  return prevBound;
+}
+
+double scalarOr(const Exposition& e, const std::string& name, double def) {
+  auto it = e.scalars.find(name);
+  return it == e.scalars.end() ? def : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  double intervalSeconds = 2.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      intervalSeconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: graphene-top --port P [--interval S] [--once]\n");
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr,
+                 "graphene-top: --port is required (the service's "
+                 "metricsPort / --serve port)\n");
+    return 2;
+  }
+
+  double prevDone = -1;
+  for (;;) {
+    graphene::support::HttpServer::Response metrics, healthz, jobs;
+    try {
+      metrics = graphene::support::httpGet(
+          static_cast<std::uint16_t>(port), "/metrics");
+      healthz = graphene::support::httpGet(
+          static_cast<std::uint16_t>(port), "/healthz");
+      jobs = graphene::support::httpGet(
+          static_cast<std::uint16_t>(port), "/jobs");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "graphene-top: 127.0.0.1:%d unreachable: %s\n",
+                   port, e.what());
+      return 1;
+    }
+    const Exposition exp = parseExposition(metrics.body);
+    const graphene::json::Value health = graphene::json::parse(healthz.body);
+    const graphene::json::Value jobsDoc = graphene::json::parse(jobs.body);
+
+    if (!once) std::printf("\033[2J\033[H");
+    const double accepted = scalarOr(exp, "graphene_service_jobs_accepted", 0);
+    const double completed =
+        scalarOr(exp, "graphene_service_jobs_completed", 0);
+    const double failed = scalarOr(exp, "graphene_service_jobs_failed", 0);
+    const double done = completed + failed;
+    std::printf("graphene-top — 127.0.0.1:%d  |  accepted %.0f  "
+                "completed %.0f  failed %.0f  queue %.0f",
+                port, accepted, completed, failed,
+                scalarOr(exp, "graphene_service_queue_depth", 0));
+    if (prevDone >= 0 && intervalSeconds > 0) {
+      std::printf("  |  %.1f jobs/s", (done - prevDone) / intervalSeconds);
+    }
+    std::printf("\n");
+    prevDone = done;
+
+    const auto& topo = health.at("topology");
+    std::printf("topology: %lld/%lld chips alive, %lld tiles, "
+                "fingerprint %s\n",
+                static_cast<long long>(topo.at("aliveIpus").asNumber()),
+                static_cast<long long>(topo.at("ipus").asNumber()),
+                static_cast<long long>(topo.at("aliveTiles").asNumber()),
+                topo.at("fingerprint").asString().c_str());
+
+    graphene::TextTable lat({"latency family", "count", "p50", "p99"});
+    for (const auto& [family, series] : exp.histograms) {
+      if (series.count <= 0) continue;
+      lat.addRow({family, graphene::formatSig(series.count, 3),
+                  graphene::formatSig(quantile(series, 0.50), 3),
+                  graphene::formatSig(quantile(series, 0.99), 3)});
+    }
+    if (lat.rowCount() > 0) std::printf("\n%s", lat.render().c_str());
+
+    const auto& breakers = health.at("breakers").asArray();
+    if (!breakers.empty()) {
+      graphene::TextTable brk(
+          {"breaker (structure)", "state", "consecutive failures"});
+      for (const auto& b : breakers) {
+        brk.addRow({b.at("structureFingerprint").asString(),
+                    b.at("state").asString(),
+                    graphene::formatSig(
+                        b.at("consecutiveFailures").asNumber(), 3)});
+      }
+      std::printf("\n%s", brk.render().c_str());
+    }
+
+    const auto& jobRows = jobsDoc.at("jobs").asArray();
+    graphene::TextTable jt({"job", "phase", "verdict", "attempts",
+                            "Mcycles"});
+    const std::size_t tail = jobRows.size() > 10 ? jobRows.size() - 10 : 0;
+    for (std::size_t i = tail; i < jobRows.size(); ++i) {
+      const auto& j = jobRows[i];
+      const bool done2 = j.contains("verdict");
+      jt.addRow({graphene::formatSig(j.at("id").asNumber(), 6),
+                 j.at("phase").asString(),
+                 done2 ? j.at("verdict").asString() : "-",
+                 done2 ? graphene::formatSig(j.at("attempts").asNumber(), 3)
+                       : "-",
+                 done2 ? graphene::formatSig(
+                             j.at("simCycles").asNumber() / 1e6, 3)
+                       : "-"});
+    }
+    if (jt.rowCount() > 0) std::printf("\n%s", jt.render().c_str());
+    std::fflush(stdout);
+
+    if (once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(intervalSeconds));
+  }
+}
